@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+These are not paper tables; they quantify the choices the paper's
+algorithms embed, on small live runs:
+
+- fantasy (rank-1 Cholesky) updates vs full refits in the KB loop;
+- mic-q-EGO's criterion pair (EI+UCB) vs EI-only fantasies;
+- BSP-EGO's region multiplier (1× / 2× / 4× regions per worker);
+- TuRBO's acquisition inside the trust region: qEI vs Thompson.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BSPEGO, KBqEGO, MicQEGO, TuRBO, run_optimization
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.problems import get_benchmark
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 64, "maxiter": 25,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 30},
+}
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(128, problem.bounds, seed=0)
+    return problem, X, problem(X)
+
+
+class TestFantasyVsRefit:
+    def test_fantasy_update(self, benchmark, training_data):
+        problem, X, y = training_data
+        gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+        gp.fit(X, y, n_restarts=0, maxiter=30, seed=0)
+        x_new = latin_hypercube(1, problem.bounds, seed=1)
+        benchmark(gp.fantasize, x_new)
+
+    def test_full_refit(self, benchmark, training_data):
+        problem, X, y = training_data
+        gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+        gp.fit(X, y, n_restarts=0, maxiter=30, seed=0)
+        x_new = latin_hypercube(1, problem.bounds, seed=1)
+        y_new = gp.predict(x_new, return_std=False)
+        X_aug = np.vstack([X, x_new])
+        y_aug = np.concatenate([y, y_new])
+
+        def refit():
+            g = GaussianProcess(dim=12, input_bounds=problem.bounds)
+            g.fit(X_aug, y_aug, n_restarts=0, maxiter=30, seed=0)
+
+        benchmark(refit)
+
+    def test_fantasy_is_much_cheaper(self, training_data):
+        problem, X, y = training_data
+        gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+        gp.fit(X, y, n_restarts=0, maxiter=30, seed=0)
+        x_new = latin_hypercube(1, problem.bounds, seed=1)
+
+        t0 = time.perf_counter()
+        for _ in range(10):
+            gp.fantasize(x_new)
+        t_fant = (time.perf_counter() - t0) / 10
+
+        t0 = time.perf_counter()
+        GaussianProcess(dim=12, input_bounds=problem.bounds).fit(
+            X, y, n_restarts=0, maxiter=30, seed=0
+        )
+        t_refit = time.perf_counter() - t0
+        assert t_fant * 3 < t_refit, (
+            f"fantasy {t_fant:.4f}s not clearly cheaper than refit "
+            f"{t_refit:.4f}s"
+        )
+
+
+def _short_run(opt_cls, problem, q=4, budget=100.0, seed=0, **kwargs):
+    opt = opt_cls(problem, q, seed=seed, **FAST, **kwargs)
+    return run_optimization(problem, opt, budget, time_scale=0.0, seed=seed)
+
+
+class TestMicCriteria:
+    def test_mic_run(self, benchmark):
+        problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+        res = benchmark.pedantic(
+            _short_run, args=(MicQEGO, problem), rounds=1, iterations=1
+        )
+        assert res.best_value < res.initial_best
+
+    def test_kb_run(self, benchmark):
+        problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+        res = benchmark.pedantic(
+            _short_run, args=(KBqEGO, problem), rounds=1, iterations=1
+        )
+        assert res.best_value < res.initial_best
+
+
+class TestBSPRegions:
+    @pytest.mark.parametrize("rpw", [1, 2, 4])
+    def test_region_multiplier(self, benchmark, rpw):
+        problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+        res = benchmark.pedantic(
+            _short_run, args=(BSPEGO, problem), rounds=1, iterations=1,
+            kwargs={"regions_per_worker": rpw},
+        )
+        assert res.best_value < res.initial_best
+
+
+class TestTuRBOAcquisition:
+    @pytest.mark.parametrize("acq", ["qei", "thompson"])
+    def test_tr_acquisition_variant(self, benchmark, acq):
+        problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+        res = benchmark.pedantic(
+            _short_run, args=(TuRBO, problem), rounds=1, iterations=1,
+            kwargs={"acquisition": acq},
+        )
+        assert res.best_value < res.initial_best

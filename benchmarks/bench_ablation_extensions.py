@@ -1,0 +1,85 @@
+"""Ablations of the paper's proposed remedies (Discussion §4/§5).
+
+The paper closes with three leads against the breaking point: faster
+surrogates (subsets of data), multiple complementary criteria, and
+space partitioning/reduction — "for example, a multi-infill-criterion
+TuRBO can easily be considered and implemented". These benches measure
+all three on live short runs:
+
+- TuRBO vs mic-TuRBO (the proposed combination) at a large batch size;
+- full-data vs subset-of-data GP fitting in KB-q-EGO;
+- mic-q-EGO with 2 vs 3 complementary criteria.
+"""
+
+import pytest
+
+from repro.core import KBqEGO, MicQEGO, MicTuRBO, TuRBO, run_optimization
+from repro.problems import get_benchmark
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 64, "maxiter": 25,
+                    "n_mc": 64},
+}
+
+
+def _run(opt_cls, q=8, budget=120.0, seed=0, gp_extra=None, **kwargs):
+    problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+    gp_options = {"n_restarts": 0, "maxiter": 30, **(gp_extra or {})}
+    opt = opt_cls(problem, q, seed=seed, gp_options=gp_options, **FAST,
+                  **kwargs)
+    return run_optimization(problem, opt, budget, time_scale=0.0, seed=seed)
+
+
+class TestMicTuRBOCombination:
+    @pytest.mark.parametrize("cls", [TuRBO, MicTuRBO],
+                             ids=["turbo-qei", "mic-turbo"])
+    def test_variant(self, benchmark, cls):
+        res = benchmark.pedantic(_run, args=(cls,), rounds=1, iterations=1)
+        assert res.best_value < res.initial_best
+
+    def test_mic_turbo_acquisition_not_slower_than_qei(self):
+        """The combination's selling point: single-point criteria in a
+        small region keep the acquisition cheap at large q."""
+        res_qei = _run(TuRBO, q=16, budget=80.0)
+        res_mic = _run(MicTuRBO, q=16, budget=80.0)
+        t_qei = sum(r.acq_time for r in res_qei.history) / max(
+            res_qei.n_cycles, 1
+        )
+        t_mic = sum(r.acq_time for r in res_mic.history) / max(
+            res_mic.n_cycles, 1
+        )
+        assert t_mic < 3.0 * t_qei  # same order; often cheaper
+
+
+class TestSubsetOfData:
+    @pytest.mark.parametrize("cap", [None, 64],
+                             ids=["full-data", "subset-64"])
+    def test_kb_with_cap(self, benchmark, cap):
+        res = benchmark.pedantic(
+            _run, args=(KBqEGO,), rounds=1, iterations=1,
+            kwargs={"gp_extra": {"max_points": cap}},
+        )
+        assert res.best_value < res.initial_best
+
+    def test_cap_reduces_fit_time(self):
+        full = _run(KBqEGO, q=8, budget=150.0)
+        capped = _run(KBqEGO, q=8, budget=150.0,
+                      gp_extra={"max_points": 48})
+        # compare the *last* cycles, where data sets diverge most
+        t_full = full.history[-1].fit_time
+        t_capped = capped.history[-1].fit_time
+        assert t_capped < t_full
+
+
+class TestCriteriaCount:
+    @pytest.mark.parametrize(
+        "criteria",
+        [("ei", "ucb"), ("ei", "ucb", "pi")],
+        ids=["2-criteria", "3-criteria"],
+    )
+    def test_mic_with_criteria(self, benchmark, criteria):
+        res = benchmark.pedantic(
+            _run, args=(MicQEGO,), rounds=1, iterations=1,
+            kwargs={"criteria": criteria},
+        )
+        assert res.best_value < res.initial_best

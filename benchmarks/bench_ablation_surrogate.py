@@ -1,0 +1,52 @@
+"""Ablation: exact GP vs the RFF fast surrogate (Discussion §4).
+
+Times the surrogate fit at growing data-set sizes for both backends —
+the exact O(n³) GP is what creates the paper's breaking point; the
+low-rank O(n·D²) RFF model is its proposed remedy — and runs KB-q-EGO
+end-to-end on both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KBqEGO, run_optimization
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess, RFFGaussianProcess
+from repro.problems import get_benchmark
+
+
+@pytest.mark.parametrize("n", [128, 512])
+@pytest.mark.parametrize("backend", ["exact", "rff"])
+def test_surrogate_fit_cost(benchmark, n, backend):
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(n, problem.bounds, seed=0)
+    y = problem(X)
+
+    def fit():
+        if backend == "exact":
+            gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+        else:
+            gp = RFFGaussianProcess(dim=12, n_features=256,
+                                    input_bounds=problem.bounds, seed=0)
+        gp.fit(X, y, n_restarts=0, maxiter=20, seed=0)
+        return gp
+
+    gp = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert gp.n_train == n
+
+
+@pytest.mark.parametrize("backend", ["exact", "rff"])
+def test_kb_run_per_backend(benchmark, backend):
+    problem = get_benchmark("ackley", dim=12, sim_time=10.0)
+
+    def run():
+        opt = KBqEGO(
+            problem, 4, seed=0,
+            gp_options={"n_restarts": 0, "maxiter": 25, "backend": backend,
+                        "n_features": 256},
+            acq_options={"n_restarts": 2, "raw_samples": 64, "maxiter": 25},
+        )
+        return run_optimization(problem, opt, 100.0, time_scale=0.0, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.best_value < res.initial_best

@@ -1,0 +1,46 @@
+"""Figures 3–7 — UPHES convergence curves per batch size.
+
+One figure per batch size: the running best profit vs cycles, averaged
+over the repetitions. Shape checks: curves are non-decreasing, every
+algorithm ends above its starting point, and the curves are truncated
+to the common cycle count exactly as the paper does.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure_3_to_7
+
+FIG_BY_Q = {1: 3, 2: 4, 4: 5, 8: 6, 16: 7}
+
+
+def _qs(preset):
+    return [q for q in preset.batch_sizes if q in FIG_BY_Q]
+
+
+@pytest.mark.parametrize("q", [1, 2, 4, 8, 16])
+def test_figure_render(benchmark, uphes_campaign, results_root, preset, q):
+    if q not in preset.batch_sizes:
+        pytest.skip(f"preset lacks n_batch={q}")
+    series, text = benchmark(figure_3_to_7, uphes_campaign, q)
+    emit(benchmark, f"figure{FIG_BY_Q[q]}", text, results_root, preset)
+    for algo in preset.algorithms:
+        mean = np.asarray(series[algo]["mean"])
+        assert mean.size > 0
+        assert np.all(np.diff(mean) >= -1e-9)  # running best is monotone
+
+
+def test_curves_improve_over_start(benchmark, uphes_campaign, preset):
+    def min_gain():
+        gains = []
+        for q in _qs(preset):
+            series, _ = figure_3_to_7(uphes_campaign, q)
+            for algo in preset.algorithms:
+                m = series[algo]["mean"]
+                if m:
+                    gains.append(m[-1] - m[0])
+        return min(gains)
+
+    gain = benchmark.pedantic(min_gain, rounds=1, iterations=1)
+    assert gain >= 0.0

@@ -1,0 +1,26 @@
+"""Figure 8 — pairwise Student's t-test p-value heat maps.
+
+One matrix per batch size on the UPHES outcomes, exactly the paper's
+statistical comparison. Structural checks: symmetry, unit diagonal,
+values in [0, 1].
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure_8
+
+
+@pytest.mark.parametrize("q", [1, 2, 4, 8, 16])
+def test_figure8_render(benchmark, uphes_campaign, results_root, preset, q):
+    if q not in preset.batch_sizes:
+        pytest.skip(f"preset lacks n_batch={q}")
+    data, text = benchmark(figure_8, uphes_campaign, q)
+    emit(benchmark, f"figure8_q{q}", text, results_root, preset)
+    p = np.asarray(data["p"])
+    k = len(preset.algorithms)
+    assert p.shape == (k, k)
+    np.testing.assert_allclose(p, p.T)
+    np.testing.assert_array_equal(np.diag(p), 1.0)
+    assert np.all(p >= 0.0) and np.all(p <= 1.0)

@@ -1,0 +1,75 @@
+"""Figure 9a/b — UPHES simulations and cycles vs batch size.
+
+Shape checks from the paper's scalability discussion: the cycle count
+decreases monotonically-ish with the batch size (the sequential part
+grows), small batches stay close to the 120-cycle ceiling, and the
+breaking point shows up as a sub-linear simulation ratio between the
+two largest batch sizes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure_9
+
+
+def test_figure9_render(benchmark, uphes_campaign, results_root, preset):
+    data, text = benchmark(figure_9, uphes_campaign)
+    emit(benchmark, "figure9", text, results_root, preset)
+    assert set(data) == {"simulations", "cycles"}
+
+
+def test_cycles_decrease_with_batch(benchmark, uphes_campaign, preset):
+    qs = sorted(preset.batch_sizes)
+
+    def cycle_means():
+        out = {}
+        for q in qs:
+            vals = []
+            for algo in preset.algorithms:
+                vals.extend(
+                    r.n_cycles for r in uphes_campaign.runs("uphes", algo, q)
+                )
+            out[q] = float(np.mean(vals))
+        return out
+
+    means = benchmark.pedantic(cycle_means, rounds=1, iterations=1)
+    assert means[qs[-1]] < means[qs[0]]
+
+
+def test_small_batches_near_cycle_ceiling(benchmark, uphes_campaign, preset):
+    """Paper: q=1,2 reach close to the maximum cycle count."""
+    q0 = min(preset.batch_sizes)
+    ceiling = preset.max_cycles_per_run
+
+    def mean_cycles():
+        vals = []
+        for algo in preset.algorithms:
+            vals.extend(
+                r.n_cycles for r in uphes_campaign.runs("uphes", algo, q0)
+            )
+        return float(np.mean(vals))
+
+    mean = benchmark.pedantic(mean_cycles, rounds=1, iterations=1)
+    assert mean > 0.55 * ceiling
+
+
+def test_uphes_breaking_point(benchmark, uphes_campaign, preset):
+    qs = sorted(preset.batch_sizes)
+    if len(qs) < 3:
+        pytest.skip("needs at least three batch sizes")
+    q_mid, q_max = qs[-2], qs[-1]
+
+    def ratio():
+        sims = {q: [] for q in (q_mid, q_max)}
+        for algo in preset.algorithms:
+            for q in (q_mid, q_max):
+                sims[q].extend(
+                    r.n_simulations
+                    for r in uphes_campaign.runs("uphes", algo, q)
+                )
+        return float(np.mean(sims[q_max]) / np.mean(sims[q_mid]))
+
+    observed = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    assert observed < 0.85 * (q_max / q_mid)

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the substrates under the algorithms.
+
+Not paper artefacts — these document the cost profile that *produces*
+the paper's overhead phenomena: GP fitting versus data-set size,
+qEI gradient cost versus batch size, fantasy-update cost, and the
+virtual cluster's accounting overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import qExpectedImprovement
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.parallel import SimulatedCluster, VirtualClock
+from repro.problems import get_benchmark
+
+
+@pytest.mark.parametrize("n", [64, 256, 512])
+def test_gp_fit_scaling(benchmark, n):
+    """The O(n³) fit cost behind the paper's breaking point."""
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(n, problem.bounds, seed=0)
+    y = problem(X)
+
+    def fit():
+        gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+        gp.fit(X, y, n_restarts=0, maxiter=25, seed=0)
+        return gp
+
+    gp = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert gp.n_train == n
+
+
+@pytest.mark.parametrize("q", [2, 4, 8, 16])
+def test_qei_gradient_scaling(benchmark, q):
+    """The O(q·(n² + n·d)) per-gradient cost of joint MC-qEI."""
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(128, problem.bounds, seed=0)
+    y = problem(X)
+    gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+    gp.fit(X, y, n_restarts=0, maxiter=25, seed=0)
+    acq = qExpectedImprovement(gp, float(np.median(y)), q=q, n_mc=128, seed=0)
+    Xq = latin_hypercube(q, problem.bounds, seed=1)
+
+    val, grad = benchmark(acq.value_and_grad, Xq)
+    assert grad.shape == (q, 12)
+
+
+def test_gp_predict_batch(benchmark):
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(256, problem.bounds, seed=0)
+    gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+    gp.fit(X, problem(X), n_restarts=0, maxiter=25, seed=0)
+    Xq = latin_hypercube(512, problem.bounds, seed=1)
+    mu, sigma = benchmark(gp.predict, Xq)
+    assert mu.shape == (512,)
+
+
+def test_virtual_cluster_accounting_overhead(benchmark):
+    """The accounting itself must be negligible next to a real cycle."""
+    problem = get_benchmark("sphere", dim=12, sim_time=10.0)
+    X = latin_hypercube(16, problem.bounds, seed=0)
+
+    def one_batch():
+        cluster = SimulatedCluster(16, clock=VirtualClock())
+        return cluster.evaluate(problem, X)
+
+    y = benchmark(one_batch)
+    assert y.shape == (16,)

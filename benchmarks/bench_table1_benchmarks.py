@@ -1,0 +1,31 @@
+"""Table 1 — benchmark definitions, plus raw evaluation throughput.
+
+Regenerates the paper's Table 1 and times the vectorized evaluation of
+each benchmark function (the cheap substrate under the 10-s virtual
+simulation cost).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.doe import uniform_random
+from repro.experiments.tables import table_1
+from repro.problems import get_benchmark
+from repro.problems.benchmarks import PAPER_BENCHMARKS
+
+
+def test_table1_render(benchmark, results_root, preset):
+    text = benchmark(table_1, preset.dim)
+    emit(benchmark, "table1", text, results_root, preset)
+    for name in ("Rosenbrock", "Ackley", "Schwefel"):
+        assert name in text
+
+
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_benchmark_eval_throughput(benchmark, name):
+    problem = get_benchmark(name, dim=12)
+    X = uniform_random(1024, problem.bounds, seed=0)
+    y = benchmark(problem, X)
+    assert y.shape == (1024,)
+    assert np.all(y >= -1e-6)  # f_min = 0 for all three

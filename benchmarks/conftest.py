@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+The benches regenerate every table and figure of the paper. The heavy
+part — the (algorithm × batch × seed) campaign — runs **once per
+preset** and is cached as JSON under ``results/``; the pytest-benchmark
+timings then measure the per-cycle building blocks (fits, acquisitions,
+simulator calls) and the renderers, while each bench *prints* the
+reproduced table/figure and stores it in ``benchmark.extra_info``.
+
+Select the protocol with ``--preset`` (default: ``quick``; ``paper``
+reproduces the full Table-2 protocol and needs cluster-scale wall
+time; ``smoke`` is CI-sized).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Campaign, get_preset
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--preset",
+        action="store",
+        default="quick",
+        choices=["paper", "quick", "smoke"],
+        help="experimental protocol for the reproduction benches",
+    )
+    parser.addoption(
+        "--results-root",
+        action="store",
+        default="results",
+        help="campaign cache directory",
+    )
+
+
+@pytest.fixture(scope="session")
+def preset(request):
+    return get_preset(request.config.getoption("--preset"))
+
+
+@pytest.fixture(scope="session")
+def results_root(request):
+    return Path(request.config.getoption("--results-root"))
+
+
+@pytest.fixture(scope="session")
+def benchmark_campaign(preset, results_root):
+    """The synthetic-benchmark campaign (Tables 4–6, Figure 2)."""
+    return Campaign(preset, root=results_root).ensure()
+
+
+@pytest.fixture(scope="session")
+def uphes_campaign(preset, results_root):
+    """The UPHES campaign (Table 7, Figures 3–9)."""
+    return Campaign(preset, problems=["uphes"], root=results_root).ensure()
+
+
+def emit(benchmark, name: str, text: str, results_root: Path, preset) -> None:
+    """Print a reproduced artefact and persist it alongside the cache."""
+    print(f"\n{text}\n")
+    benchmark.extra_info[name] = text
+    out = results_root / preset.name / "report"
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``. This file
+exists so that ``pip install -e .`` works on environments whose
+setuptools lacks PEP 660 editable-wheel support (no ``wheel`` package
+installed), falling back to the classic develop install.
+"""
+
+from setuptools import setup
+
+setup()

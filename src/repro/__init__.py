@@ -1,0 +1,62 @@
+"""repro — Parallel Bayesian Optimization for UPHES scheduling.
+
+Reproduction of Gobert, Gmys, Toubeau, Vallée, Melab, Tuyttens:
+*Parallel Bayesian Optimization for Optimal Scheduling of Underground
+Pumped Hydro-Energy Storage Systems* (IPDPSW 2022; extended journal
+version in Algorithms 15(12):446, 2022).
+
+The package is organised bottom-up:
+
+- :mod:`repro.util` — RNG handling, validation, errors.
+- :mod:`repro.problems` — the benchmark functions of the paper's Table 1
+  plus extras, and the :class:`~repro.problems.Problem` abstraction.
+- :mod:`repro.doe` — initial designs (Latin hypercube, Sobol, uniform).
+- :mod:`repro.gp` — exact Gaussian-process regression with ARD Matérn
+  kernels, analytic marginal-likelihood gradients, and rank-1 "fantasy"
+  updates for the Kriging Believer heuristic.
+- :mod:`repro.acquisition` — EI / PI / UCB / scaled-EI with analytic
+  spatial gradients, Monte-Carlo qEI, and the multi-start inner
+  optimizer :func:`~repro.acquisition.optimize_acqf`.
+- :mod:`repro.parallel` — virtual-clock batch executors, real thread /
+  process executors, and an in-process MPI-style communicator.
+- :mod:`repro.uphes` — the Underground Pumped Hydro-Energy Storage
+  simulator substrate (the paper's proprietary Matlab/RAO black box,
+  rebuilt as a physics-based synthetic simulator).
+- :mod:`repro.core` — the five parallel BO algorithms under study
+  (KB-q-EGO, mic-q-EGO, MC-based q-EGO, BSP-EGO, TuRBO) and a
+  random-search baseline, plus the time-budgeted driver.
+- :mod:`repro.experiments` — campaign runner, statistics, and the
+  renderers for every table and figure of the paper.
+"""
+
+from repro.core import (
+    BSPEGO,
+    KBqEGO,
+    MCqEGO,
+    MicQEGO,
+    RandomSearch,
+    TuRBO,
+    make_optimizer,
+    optimize,
+)
+from repro.gp import GaussianProcess
+from repro.problems import Problem, get_benchmark
+from repro.uphes import UPHESSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPEGO",
+    "GaussianProcess",
+    "KBqEGO",
+    "MCqEGO",
+    "MicQEGO",
+    "Problem",
+    "RandomSearch",
+    "TuRBO",
+    "UPHESSimulator",
+    "get_benchmark",
+    "make_optimizer",
+    "optimize",
+    "__version__",
+]

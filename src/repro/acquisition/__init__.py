@@ -1,0 +1,40 @@
+"""Acquisition functions and the inner optimizer (paper §2.2.2).
+
+Single-point criteria (EI, PI, UCB, scaled EI) carry analytic spatial
+gradients through the GP posterior; the Monte-Carlo multi-point qEI
+uses the reparameterization trick with quasi-MC (Sobol) base samples
+and a full reverse-mode gradient (no autodiff needed — see
+:func:`repro.gp.linalg.cholesky_adjoint`).
+
+Every acquisition value is defined so that **larger is better** and the
+underlying objective is assumed to be **minimized**; the driver handles
+the sign of maximization problems (such as the UPHES profit).
+"""
+
+from repro.acquisition.analytic import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    ScaledExpectedImprovement,
+    UpperConfidenceBound,
+)
+from repro.acquisition.base import AcquisitionFunction
+from repro.acquisition.mes import MaxValueEntropySearch, sample_min_values
+from repro.acquisition.optimize import optimize_acqf
+from repro.acquisition.qei import qExpectedImprovement
+from repro.acquisition.quadrature import qei_quadrature, qei_quadrature_from_gp
+from repro.acquisition.thompson import thompson_sample
+
+__all__ = [
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "MaxValueEntropySearch",
+    "ProbabilityOfImprovement",
+    "ScaledExpectedImprovement",
+    "UpperConfidenceBound",
+    "optimize_acqf",
+    "qExpectedImprovement",
+    "qei_quadrature",
+    "qei_quadrature_from_gp",
+    "sample_min_values",
+    "thompson_sample",
+]

@@ -1,0 +1,153 @@
+"""Analytic single-point acquisition criteria.
+
+All criteria assume the objective is being *minimized* and return
+values to be *maximized* by the inner optimizer. ``best_f`` is the best
+(smallest) objective value observed so far.
+
+Gradients chain through the GP's analytic posterior derivatives
+(:meth:`repro.gp.GaussianProcess.mean_std_grad`):
+
+- EI:  dEI = −Φ(u)·dμ + φ(u)·dσ
+- PI:  dPI = φ(u)·(−dμ − u·dσ)/σ
+- UCB: dα = −dμ + √β·dσ
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.acquisition.base import AcquisitionFunction
+from repro.util import check_positive, check_vector
+
+#: Below this predictive σ the point is treated as fully known.
+_MIN_STD = 1e-12
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """EI(x) = E[max(best_f − f(x) − ξ, 0)] under the GP posterior.
+
+    ``xi`` (ξ ≥ 0) is the optional exploration margin; the paper uses
+    plain EI (ξ = 0).
+    """
+
+    has_analytic_grad = True
+
+    def __init__(self, gp, best_f: float, xi: float = 0.0):
+        super().__init__(gp)
+        self.best_f = float(best_f)
+        if xi < 0:
+            raise ValueError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def value(self, X) -> np.ndarray:
+        mu, sigma = self.gp.predict(X)
+        improve = self.best_f - mu - self.xi
+        out = np.maximum(improve, 0.0)
+        mask = sigma > _MIN_STD
+        u = improve[mask] / sigma[mask]
+        out[mask] = sigma[mask] * (u * norm.cdf(u) + norm.pdf(u))
+        return out
+
+    def value_and_grad(self, x) -> tuple[float, np.ndarray]:
+        x = check_vector(x, "x", dim=self.gp.dim)
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad(x)
+        improve = self.best_f - mu - self.xi
+        if sigma <= _MIN_STD:
+            return max(improve, 0.0), -dmu if improve > 0 else np.zeros_like(dmu)
+        u = improve / sigma
+        cdf = norm.cdf(u)
+        pdf = norm.pdf(u)
+        value = sigma * (u * cdf + pdf)
+        grad = -cdf * dmu + pdf * dsigma
+        return float(value), grad
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """PI(x) = P[f(x) < best_f − ξ] under the GP posterior."""
+
+    has_analytic_grad = True
+
+    def __init__(self, gp, best_f: float, xi: float = 0.0):
+        super().__init__(gp)
+        self.best_f = float(best_f)
+        if xi < 0:
+            raise ValueError(f"xi must be >= 0, got {xi}")
+        self.xi = float(xi)
+
+    def value(self, X) -> np.ndarray:
+        mu, sigma = self.gp.predict(X)
+        improve = self.best_f - mu - self.xi
+        out = (improve > 0).astype(np.float64)
+        mask = sigma > _MIN_STD
+        out[mask] = norm.cdf(improve[mask] / sigma[mask])
+        return out
+
+    def value_and_grad(self, x) -> tuple[float, np.ndarray]:
+        x = check_vector(x, "x", dim=self.gp.dim)
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad(x)
+        improve = self.best_f - mu - self.xi
+        if sigma <= _MIN_STD:
+            return float(improve > 0), np.zeros_like(dmu)
+        u = improve / sigma
+        pdf = norm.pdf(u)
+        grad = pdf * (-dmu - u * dsigma) / sigma
+        return float(norm.cdf(u)), grad
+
+
+class UpperConfidenceBound(AcquisitionFunction):
+    """GP-UCB for a minimized objective: α(x) = −μ(x) + √β·σ(x).
+
+    This is the minimization counterpart of the classical
+    ``μ + √β·σ`` (Srinivas et al., 2010) used as the complementary
+    criterion of mic-q-EGO; a larger ``beta`` explores more.
+    """
+
+    has_analytic_grad = True
+
+    def __init__(self, gp, beta: float = 2.0):
+        super().__init__(gp)
+        self.beta = check_positive(beta, "beta")
+        self._sqrt_beta = math.sqrt(self.beta)
+
+    def value(self, X) -> np.ndarray:
+        mu, sigma = self.gp.predict(X)
+        return -mu + self._sqrt_beta * sigma
+
+    def value_and_grad(self, x) -> tuple[float, np.ndarray]:
+        x = check_vector(x, "x", dim=self.gp.dim)
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad(x)
+        return float(-mu + self._sqrt_beta * sigma), -dmu + self._sqrt_beta * dsigma
+
+
+class ScaledExpectedImprovement(AcquisitionFunction):
+    """Scaled EI (Noè & Husmeier, 2018): EI(x) / √Var[I(x)].
+
+    Normalizing by the standard deviation of the improvement rewards
+    reliable improvements over long-shot ones. The gradient falls back
+    to finite differences (this criterion is provided for the
+    multi-infill ablations, not the paper's main experiments).
+    """
+
+    def __init__(self, gp, best_f: float):
+        super().__init__(gp)
+        self.best_f = float(best_f)
+
+    def value(self, X) -> np.ndarray:
+        mu, sigma = self.gp.predict(X)
+        improve = self.best_f - mu
+        out = np.zeros(mu.shape[0], dtype=np.float64)
+        mask = sigma > _MIN_STD
+        u = improve[mask] / sigma[mask]
+        cdf = norm.cdf(u)
+        pdf = norm.pdf(u)
+        ei = sigma[mask] * (u * cdf + pdf)
+        var_imp = sigma[mask] ** 2 * ((u**2 + 1.0) * cdf + u * pdf) - ei**2
+        np.maximum(var_imp, 0.0, out=var_imp)
+        good = var_imp > _MIN_STD**2
+        scaled = np.zeros_like(ei)
+        scaled[good] = ei[good] / np.sqrt(var_imp[good])
+        out[mask] = scaled
+        return out

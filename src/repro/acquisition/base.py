@@ -1,0 +1,57 @@
+"""Acquisition-function interface.
+
+An acquisition function scores candidate points; the inner optimizer
+(:func:`repro.acquisition.optimize_acqf`) *maximizes* it. Single-point
+criteria implement the batched :meth:`value` plus the analytic
+:meth:`value_and_grad`; multi-point criteria (qEI) score a whole
+``(q, d)`` batch jointly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_matrix, check_vector
+
+
+class AcquisitionFunction:
+    """Base class for single-point acquisition criteria.
+
+    Subclasses implement :meth:`value` over an ``(n, d)`` batch and, if
+    an analytic gradient is available, override :meth:`value_and_grad`.
+    The default gradient is central finite differences — correct but
+    slow, meant only for experimental criteria.
+    """
+
+    #: set by subclasses with an analytic gradient path
+    has_analytic_grad: bool = False
+
+    def __init__(self, gp):
+        self.gp = gp
+
+    def value(self, X) -> np.ndarray:
+        """Acquisition value for each row of ``X``; larger is better."""
+        raise NotImplementedError
+
+    def __call__(self, X) -> np.ndarray:
+        return self.value(check_matrix(X, "X", cols=self.gp.dim))
+
+    def value_and_grad(self, x) -> tuple[float, np.ndarray]:
+        """Value and gradient at a single point ``x``.
+
+        Default: central finite differences on :meth:`value` with a
+        per-coordinate step of 1e-6 of the input scale.
+        """
+        x = check_vector(x, "x", dim=self.gp.dim)
+        f0 = float(self.value(x[None, :])[0])
+        grad = np.zeros_like(x)
+        h = 1e-6
+        for j in range(x.shape[0]):
+            xp = x.copy()
+            xp[j] += h
+            xm = x.copy()
+            xm[j] -= h
+            grad[j] = (
+                float(self.value(xp[None, :])[0]) - float(self.value(xm[None, :])[0])
+            ) / (2.0 * h)
+        return f0, grad

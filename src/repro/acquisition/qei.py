@@ -1,0 +1,128 @@
+"""Monte-Carlo multi-point expected improvement (qEI).
+
+Implements the reparameterization-trick estimator of Wilson et al.
+(2017) used by BoTorch's ``qExpectedImprovement`` (Balandat et al.,
+2020) — the acquisition behind both MC-based q-EGO and TuRBO in the
+paper:
+
+    qEI(X_q) ≈ (1/N) Σₛ max(best_f − minⱼ Yₛⱼ, 0),
+    Yₛ = μ(X_q) + C(X_q)·zₛ,    C·Cᵀ = Σ(X_q),
+
+with quasi-MC base samples zₛ (scrambled Sobol → inverse normal CDF)
+held fixed across the inner optimization (common random numbers give a
+deterministic, smooth-almost-everywhere objective).
+
+The spatial gradient is computed in closed form by reverse mode:
+the per-sample subgradient w.r.t. (μ, C) is accumulated, pulled back
+through the Cholesky factorization (:func:`cholesky_adjoint`) and then
+through the GP posterior (:meth:`joint_posterior_backward`). This keeps
+the cost per gradient at O(q·(n² + n·d)) — the same asymptotics that
+make the paper's multi-point acquisition expensive for large batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtri
+from scipy.stats import qmc
+
+from repro.gp.linalg import cholesky_adjoint, jittered_cholesky
+from repro.util import ConfigurationError, RandomState, as_generator, check_matrix
+
+
+def _sobol_normal(n: int, q: int, rng: np.random.Generator) -> np.ndarray:
+    """``(n, q)`` quasi-MC standard-normal base samples."""
+    import warnings
+
+    sampler = qmc.Sobol(d=q, scramble=True, seed=rng)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        u = sampler.random(n)
+    # keep strictly inside (0, 1) for the inverse CDF
+    eps = 1e-12
+    return ndtri(np.clip(u, eps, 1.0 - eps))
+
+
+class qExpectedImprovement:
+    """Joint EI of a batch of ``q`` points, to be maximized.
+
+    Parameters
+    ----------
+    gp:
+        Fitted :class:`~repro.gp.GaussianProcess`.
+    best_f:
+        Best (smallest) objective value observed so far.
+    q:
+        Batch size.
+    n_mc:
+        Number of quasi-MC samples (default 128, as in BoTorch's
+        default Sobol sampler sizing for small q).
+    seed:
+        Seed for the scrambled Sobol base samples.
+    """
+
+    has_analytic_grad = True
+
+    def __init__(self, gp, best_f: float, q: int, n_mc: int = 128,
+                 seed: RandomState = None):
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if n_mc < 2:
+            raise ConfigurationError(f"n_mc must be >= 2, got {n_mc}")
+        self.gp = gp
+        self.best_f = float(best_f)
+        self.q = int(q)
+        self.n_mc = int(n_mc)
+        self._Z = _sobol_normal(self.n_mc, self.q, as_generator(seed))
+
+    # ------------------------------------------------------------------
+    def _posterior_chol(self, Xq: np.ndarray):
+        post = self.gp.joint_posterior(Xq)
+        C, _ = jittered_cholesky(post.cov)
+        return post, C
+
+    def value(self, Xq) -> float:
+        """qEI of one ``(q, d)`` batch."""
+        Xq = check_matrix(Xq, "Xq", cols=self.gp.dim)
+        if Xq.shape[0] != self.q:
+            raise ConfigurationError(
+                f"batch has {Xq.shape[0]} points, acquisition built for q={self.q}"
+            )
+        post, C = self._posterior_chol(Xq)
+        Y = post.mean[None, :] + self._Z @ C.T  # (N, q)
+        improvement = self.best_f - np.min(Y, axis=1)
+        return float(np.mean(np.maximum(improvement, 0.0)))
+
+    def value_and_grad(self, Xq) -> tuple[float, np.ndarray]:
+        """qEI and its ``(q, d)`` gradient for one batch."""
+        Xq = check_matrix(Xq, "Xq", cols=self.gp.dim)
+        if Xq.shape[0] != self.q:
+            raise ConfigurationError(
+                f"batch has {Xq.shape[0]} points, acquisition built for q={self.q}"
+            )
+        post, C = self._posterior_chol(Xq)
+        Y = post.mean[None, :] + self._Z @ C.T  # (N, q)
+        j_star = np.argmin(Y, axis=1)  # (N,)
+        y_min = Y[np.arange(self.n_mc), j_star]
+        improvement = self.best_f - y_min
+        active = improvement > 0.0
+        value = float(np.mean(np.maximum(improvement, 0.0)))
+
+        if not np.any(active):
+            return value, np.zeros_like(Xq)
+
+        # ∂qEI/∂Yₛⱼ = −1/N for the argmin entry of each active sample.
+        w = -1.0 / self.n_mc
+        mean_bar = np.zeros(self.q)
+        C_bar = np.zeros((self.q, self.q))
+        idx = np.flatnonzero(active)
+        js = j_star[idx]
+        np.add.at(mean_bar, js, w)
+        # C_bar[j, m] accumulates w·z_{s,m} over active samples with j*=j
+        np.add.at(C_bar, js, w * self._Z[idx])
+        # dY/dC only touches the lower triangle actually produced by chol
+        C_bar = np.tril(C_bar)
+
+        cov_bar = cholesky_adjoint(C, C_bar)
+        grad = self.gp.joint_posterior_backward(post, mean_bar, cov_bar)
+        return value, grad

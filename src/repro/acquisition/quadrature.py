@@ -1,0 +1,99 @@
+"""Deterministic qEI by Gauss–Hermite quadrature (validation oracle).
+
+The Monte-Carlo qEI estimator is the production path (its cost scales
+the way the paper measures); this module computes the same integral
+
+    qEI = E[max(best_f − minⱼ Yⱼ, 0)],   Y ~ N(μ, Σ)
+
+to near machine precision on a tensor Gauss–Hermite grid, for small q.
+It exists to *validate* the MC estimator and its gradient in the test
+suite, and as a reference implementation for exact multi-point EI
+(Ginsbourger et al. derive q = 2 in closed form; quadrature covers any
+small q uniformly).
+
+Cost is O(n_nodesᵠ), so it is only sensible for q ≤ 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.gp.linalg import jittered_cholesky
+from repro.util import ConfigurationError
+
+
+def qei_quadrature(
+    mean,
+    cov,
+    best_f: float,
+    n_nodes: int = 40,
+) -> float:
+    """Exact-to-quadrature qEI of a joint Gaussian batch.
+
+    Parameters
+    ----------
+    mean, cov:
+        Joint posterior moments of the batch, shapes ``(q,)`` / ``(q, q)``.
+    best_f:
+        Incumbent (smallest observed) objective value.
+    n_nodes:
+        Gauss–Hermite nodes per dimension (error decays rapidly; 40 is
+        far beyond what the MC comparison needs).
+    """
+    mean = np.asarray(mean, dtype=np.float64).reshape(-1)
+    q = mean.shape[0]
+    cov = np.asarray(cov, dtype=np.float64).reshape(q, q)
+    if q > 4:
+        raise ConfigurationError(
+            f"tensor quadrature is intended for q <= 4, got q={q}"
+        )
+    if n_nodes < 2:
+        raise ConfigurationError(f"n_nodes must be >= 2, got {n_nodes}")
+
+    # Physicists' Hermite nodes: x ~ N(0, 1) after scaling by sqrt(2).
+    nodes, weights = np.polynomial.hermite.hermgauss(n_nodes)
+    z_nodes = nodes * math.sqrt(2.0)
+    w_norm = weights / math.sqrt(math.pi)
+
+    L, _ = jittered_cholesky(cov)
+
+    # The last coordinate is integrated in closed form (see _inner),
+    # which removes the integrand's kink along that axis; only the
+    # first q-1 standard normals are handled by the tensor grid. For
+    # q = 1 the result is therefore the exact analytic EI.
+    from scipy.stats import norm as _norm
+
+    def _inner(m_prime: float, a: float, c: float) -> float:
+        """E[max(T − min(m', Y), 0)] for Y ~ N(a, c²), T = best_f."""
+        T = best_f
+        if c <= 1e-300:
+            return max(T - min(m_prime, a), 0.0)
+        t = min(T, m_prime)
+        beta = (t - a) / c
+        value = (T - a) * _norm.cdf(beta) + c * _norm.pdf(beta)
+        if m_prime < T:
+            value += (T - m_prime) * _norm.sf((m_prime - a) / c)
+        return float(value)
+
+    if q == 1:
+        return _inner(math.inf, float(mean[0]), float(L[0, 0]))
+
+    total = 0.0
+    for idx in itertools.product(range(n_nodes), repeat=q - 1):
+        z = z_nodes[list(idx)]
+        w = float(np.prod(w_norm[list(idx)]))
+        y_head = mean[: q - 1] + L[: q - 1, : q - 1] @ z
+        m_prime = float(y_head.min())
+        a = float(mean[q - 1] + L[q - 1, : q - 1] @ z)
+        c = float(L[q - 1, q - 1])
+        total += w * _inner(m_prime, a, c)
+    return total
+
+
+def qei_quadrature_from_gp(gp, Xq, best_f: float, n_nodes: int = 40) -> float:
+    """Convenience wrapper evaluating the oracle at GP query points."""
+    post = gp.joint_posterior(np.asarray(Xq, dtype=np.float64))
+    return qei_quadrature(post.mean, post.cov, best_f, n_nodes=n_nodes)

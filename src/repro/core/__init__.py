@@ -1,0 +1,60 @@
+"""The five parallel BO algorithms under study, plus the driver.
+
+This is the paper's subject matter (§2.2): five batch-acquisition
+processes on top of the same GP surrogate —
+
+=================  ==================================================
+KB-q-EGO           sequential Kriging-Believer fantasies, EI
+mic-q-EGO          KB fantasies with two criteria per update (EI+UCB)
+MC-based q-EGO     joint Monte-Carlo qEI over the whole batch
+BSP-EGO            parallel per-sub-region EI on a binary partition
+TuRBO              MC-qEI inside an adaptive trust region
+=================  ==================================================
+
+— all run by :func:`run_optimization` under a virtual wall-clock
+budget with measured acquisition overheads, exactly the paper's
+experimental protocol.
+"""
+
+from repro.core.async_driver import AsyncResult, run_async_optimization
+from repro.core.base import BatchOptimizer, Proposal
+from repro.core.bsp_ego import BSPEGO
+from repro.core.driver import (
+    AnalyticTimeModel,
+    CycleRecord,
+    OptimizationResult,
+    run_optimization,
+)
+from repro.core.kb_qego import KBqEGO
+from repro.core.lp_ego import LPEGO
+from repro.core.mc_qego import MCqEGO
+from repro.core.mic_qego import MicQEGO
+from repro.core.mic_turbo import MicTuRBO
+from repro.core.random_search import RandomSearch
+from repro.core.registry import ALGORITHMS, PAPER_ALGORITHMS, make_optimizer, optimize
+from repro.core.turbo import TuRBO
+from repro.core.turbo_m import TuRBOm
+
+__all__ = [
+    "ALGORITHMS",
+    "AnalyticTimeModel",
+    "AsyncResult",
+    "BSPEGO",
+    "BatchOptimizer",
+    "CycleRecord",
+    "KBqEGO",
+    "LPEGO",
+    "MCqEGO",
+    "MicQEGO",
+    "MicTuRBO",
+    "OptimizationResult",
+    "PAPER_ALGORITHMS",
+    "Proposal",
+    "RandomSearch",
+    "TuRBO",
+    "TuRBOm",
+    "make_optimizer",
+    "optimize",
+    "run_async_optimization",
+    "run_optimization",
+]

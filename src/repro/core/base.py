@@ -1,0 +1,247 @@
+"""Common machinery of the batch Bayesian-optimization algorithms.
+
+Every algorithm in :mod:`repro.core` implements the same three-step
+protocol the paper's Algorithm 1 describes:
+
+1. :meth:`BatchOptimizer.initialize` — receive the initial design;
+2. :meth:`BatchOptimizer.propose` — fit the surrogate and return a
+   batch of ``n_batch`` candidates (a :class:`Proposal`, carrying the
+   *measured* fit / acquisition durations that the driver charges
+   against the virtual wall clock);
+3. :meth:`BatchOptimizer.update` — receive the exact evaluations.
+
+Optimizers always *minimize*; the driver flips the sign of
+maximization problems (the UPHES profit) at the boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gp import GaussianProcess
+from repro.util import (
+    ConfigurationError,
+    RandomState,
+    as_generator,
+    check_finite,
+    check_matrix,
+    check_vector,
+)
+
+#: Default inner-optimization configuration (BoTorch-like multi-start).
+DEFAULT_ACQ_OPTIONS = {
+    "n_restarts": 4,
+    "raw_samples": 256,
+    "maxiter": 50,
+    "n_mc": 128,
+}
+
+#: Default surrogate-fitting configuration (full fit, each cycle).
+#: ``max_points`` (None = unlimited) caps the training set by keeping
+#: the best plus the most recent observations — the "use subsets of
+#: data" remedy the paper's Discussion recommends against the breaking
+#: point.
+#: ``backend`` selects the surrogate: ``"exact"`` (the paper's GP) or
+#: ``"rff"`` (random-Fourier-features low-rank GP, the fast-surrogate
+#: remedy of the paper's Discussion; single-point APs only).
+DEFAULT_GP_OPTIONS = {
+    "n_restarts": 1,
+    "maxiter": 50,
+    "max_points": None,
+    "backend": "exact",
+    "n_features": 256,
+}
+
+
+@dataclass
+class Proposal:
+    """A batch of candidates plus the measured acquisition timings.
+
+    ``acq_durations`` is set by algorithms whose acquisition process is
+    itself parallel (BSP-EGO): the driver then charges the LPT makespan
+    of these durations over the workers instead of the serial
+    ``acq_time``.
+    """
+
+    X: np.ndarray
+    fit_time: float = 0.0
+    acq_time: float = 0.0
+    acq_durations: list[float] | None = None
+    info: dict = field(default_factory=dict)
+
+
+class _Stopwatch:
+    """Tiny perf_counter stopwatch: ``with sw: ...`` accumulates."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.total += time.perf_counter() - self._t0
+        return False
+
+
+class BatchOptimizer:
+    """Base class: data management, surrogate construction, dedup.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.problems.Problem` being optimized (used for
+        bounds/dimension only; evaluation happens in the driver).
+    n_batch:
+        Batch size q — also the number of parallel workers.
+    seed:
+        Seed for every stochastic choice of the algorithm.
+    gp_options / acq_options:
+        Overrides of :data:`DEFAULT_GP_OPTIONS` /
+        :data:`DEFAULT_ACQ_OPTIONS`.
+    """
+
+    name = "base"
+    uses_surrogate = True
+
+    def __init__(
+        self,
+        problem,
+        n_batch: int,
+        seed: RandomState = None,
+        gp_options: dict | None = None,
+        acq_options: dict | None = None,
+    ):
+        if n_batch < 1:
+            raise ConfigurationError(f"n_batch must be >= 1, got {n_batch}")
+        self.problem = problem
+        self.n_batch = int(n_batch)
+        self.rng = as_generator(seed)
+        self.gp_options = {**DEFAULT_GP_OPTIONS, **(gp_options or {})}
+        self.acq_options = {**DEFAULT_ACQ_OPTIONS, **(acq_options or {})}
+        self.X = np.empty((0, problem.dim))
+        self.y = np.empty(0)  # minimization orientation
+        self.gp: GaussianProcess | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def best_f(self) -> float:
+        """Best (smallest) internal objective value so far."""
+        if self.y.size == 0:
+            raise ConfigurationError("no data yet; call initialize() first")
+        return float(self.y.min())
+
+    @property
+    def best_x(self) -> np.ndarray:
+        if self.y.size == 0:
+            raise ConfigurationError("no data yet; call initialize() first")
+        return self.X[int(np.argmin(self.y))].copy()
+
+    def initialize(self, X0, y0) -> None:
+        """Install the initial design (``y0`` in minimization sense)."""
+        self.X = check_matrix(X0, "X0", cols=self.problem.dim).copy()
+        self.y = check_finite(
+            check_vector(y0, "y0", dim=self.X.shape[0]), "y0"
+        ).copy()
+
+    def update(self, X_new, y_new) -> None:
+        """Append exact evaluations of the last proposed batch."""
+        X_new = check_matrix(X_new, "X_new", cols=self.problem.dim)
+        y_new = check_finite(
+            check_vector(y_new, "y_new", dim=X_new.shape[0]), "y_new"
+        )
+        self.X = np.vstack([self.X, X_new])
+        self.y = np.concatenate([self.y, y_new])
+        self._after_update(X_new, y_new)
+
+    def _after_update(self, X_new, y_new) -> None:
+        """Hook for per-algorithm state (e.g. TuRBO's counters)."""
+
+    def propose(self) -> Proposal:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _training_subset(self, X: np.ndarray, y: np.ndarray):
+        """Apply the optional ``max_points`` training-set cap.
+
+        Keeps the best half of the budget by objective value and fills
+        the rest with the most recent observations (deduplicated),
+        preserving both the incumbent region and the newest evidence.
+        """
+        cap = self.gp_options.get("max_points")
+        if cap is None or X.shape[0] <= cap:
+            return X, y
+        n_best = cap // 2
+        best_idx = np.argsort(y)[:n_best]
+        keep = set(best_idx.tolist())
+        for i in range(X.shape[0] - 1, -1, -1):
+            if len(keep) >= cap:
+                break
+            keep.add(i)
+        idx = np.fromiter(sorted(keep), dtype=int)
+        return X[idx], y[idx]
+
+    def _make_surrogate(self):
+        backend = self.gp_options.get("backend", "exact")
+        if backend == "exact":
+            return GaussianProcess(
+                dim=self.problem.dim, input_bounds=self.problem.bounds
+            )
+        if backend == "rff":
+            from repro.gp.rff import RFFGaussianProcess
+
+            return RFFGaussianProcess(
+                dim=self.problem.dim,
+                n_features=int(self.gp_options.get("n_features", 256)),
+                input_bounds=self.problem.bounds,
+                seed=0,  # frozen features: the same approximate kernel
+            )
+        raise ConfigurationError(
+            f"unknown surrogate backend {backend!r}; use 'exact' or 'rff'"
+        )
+
+    def _fit_gp(self, X=None, y=None) -> tuple[GaussianProcess, float]:
+        """Full surrogate fit on (X, y) (defaults: all data); timed."""
+        X = self.X if X is None else X
+        y = self.y if y is None else y
+        X, y = self._training_subset(X, y)
+        sw = _Stopwatch()
+        with sw:
+            gp = self._make_surrogate()
+            gp.fit(
+                X,
+                y,
+                n_restarts=self.gp_options["n_restarts"],
+                maxiter=self.gp_options["maxiter"],
+                seed=self.rng,
+            )
+        self.gp = gp
+        return gp, sw.total
+
+    def _dedupe(self, x: np.ndarray, batch: list[np.ndarray]) -> np.ndarray:
+        """Nudge ``x`` if it (near-)duplicates a batch member.
+
+        Identical batch entries waste a parallel evaluation; a tiny
+        uniform perturbation inside the box is the standard fix.
+        """
+        if not batch:
+            return x
+        span = self.problem.upper - self.problem.lower
+        tol = 1e-6
+        x = x.copy()
+        for _ in range(10):
+            dists = np.min(
+                [np.max(np.abs((x - b) / span)) for b in batch]
+            )
+            if dists > tol:
+                break
+            x = np.clip(
+                x + self.rng.normal(0.0, 1e-3, size=x.shape) * span,
+                self.problem.lower,
+                self.problem.upper,
+            )
+        return x

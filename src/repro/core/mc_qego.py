@@ -1,0 +1,71 @@
+"""MC-based q-EGO: joint optimization of Monte-Carlo qEI.
+
+The BoTorch approach (Balandat et al., 2020): the *combined* utility of
+the whole batch is estimated by quasi-MC with the reparameterization
+trick and maximized jointly over the ``n_batch × d`` variables — in
+contrast to the sequential heuristics, every candidate is chosen aware
+of the others. The price, which the paper measures, is an inner
+optimization whose dimension (and per-gradient cost) grows with the
+batch size, eventually dominating the cycle time.
+
+With ``n_batch = 1`` the analytic EI is used (paper Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition import ExpectedImprovement, optimize_acqf, qExpectedImprovement
+from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
+
+
+class MCqEGO(BatchOptimizer):
+    """Joint MC-qEI batch EGO (BoTorch-style)."""
+
+    name = "MC-based q-EGO"
+
+    def propose(self) -> Proposal:
+        gp, fit_time = self._fit_gp()
+        opts = self.acq_options
+        sw = _Stopwatch()
+        with sw:
+            if self.n_batch == 1:
+                acq = ExpectedImprovement(gp, self.best_f)
+                x, _ = optimize_acqf(
+                    acq,
+                    self.problem.bounds,
+                    n_restarts=opts["n_restarts"],
+                    raw_samples=opts["raw_samples"],
+                    maxiter=opts["maxiter"],
+                    seed=self.rng,
+                    initial_points=self.best_x[None, :],
+                )
+                X = x[None, :]
+            else:
+                acq = qExpectedImprovement(
+                    gp,
+                    self.best_f,
+                    q=self.n_batch,
+                    n_mc=opts["n_mc"],
+                    seed=self.rng,
+                )
+                # Seed one start with perturbations of the incumbent.
+                span = self.problem.upper - self.problem.lower
+                warm = np.clip(
+                    self.best_x[None, :]
+                    + self.rng.normal(0.0, 0.05, (self.n_batch, self.problem.dim))
+                    * span,
+                    self.problem.lower,
+                    self.problem.upper,
+                )
+                X, _ = optimize_acqf(
+                    acq,
+                    self.problem.bounds,
+                    q=self.n_batch,
+                    n_restarts=opts["n_restarts"],
+                    raw_samples=opts["raw_samples"],
+                    maxiter=opts["maxiter"],
+                    seed=self.rng,
+                    initial_points=[warm],
+                )
+        return Proposal(X=np.asarray(X), fit_time=fit_time, acq_time=sw.total)

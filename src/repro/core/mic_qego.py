@@ -1,0 +1,106 @@
+"""mic-q-EGO: multi-infill-criteria q-EGO (the paper's Algorithm 2).
+
+The authors' variant of KB-q-EGO: per surrogate state, *two* different
+acquisition functions (EI as the primary criterion and UCB for added
+exploitation, paper Table 3) are each maximized once, yielding two
+candidates per fantasy update instead of one. This halves the number of
+sequential model updates per cycle — the paper's main lever against the
+Kriging Believer bottleneck — and adds diversity to the batch.
+
+With ``n_batch = 1`` only EI is used (Table 3, first row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    ScaledExpectedImprovement,
+    UpperConfidenceBound,
+    optimize_acqf,
+)
+from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
+from repro.util import ConfigurationError, RandomState
+
+#: Criterion names accepted by ``criteria=...`` (ablation hook; the
+#: paper's configuration is ("ei", "ucb")).
+CRITERIA = ("ei", "ucb", "pi", "sei")
+
+
+class MicQEGO(BatchOptimizer):
+    """Multi-infill-criteria Kriging-Believer batch EGO (EI + UCB)."""
+
+    name = "mic-q-EGO"
+
+    def __init__(
+        self,
+        problem,
+        n_batch: int,
+        seed: RandomState = None,
+        gp_options: dict | None = None,
+        acq_options: dict | None = None,
+        ucb_beta: float = 2.0,
+        criteria: tuple = ("ei", "ucb"),
+    ):
+        super().__init__(problem, n_batch, seed, gp_options, acq_options)
+        self.ucb_beta = float(ucb_beta)
+        criteria = tuple(str(c).lower() for c in criteria)
+        if not criteria:
+            raise ConfigurationError("criteria must not be empty")
+        for c in criteria:
+            if c not in CRITERIA:
+                raise ConfigurationError(
+                    f"unknown criterion {c!r}; available: {CRITERIA}"
+                )
+        self.criteria_names = criteria
+
+    def _make_criterion(self, name: str, model, best_f: float):
+        if name == "ei":
+            return ExpectedImprovement(model, best_f)
+        if name == "ucb":
+            return UpperConfidenceBound(model, beta=self.ucb_beta)
+        if name == "pi":
+            return ProbabilityOfImprovement(model, best_f)
+        return ScaledExpectedImprovement(model, best_f)
+
+    def _criteria(self, model, best_f: float) -> list:
+        if self.n_batch == 1:
+            # Table 3: the primary criterion only at q = 1.
+            return [self._make_criterion(self.criteria_names[0], model, best_f)]
+        return [
+            self._make_criterion(name, model, best_f)
+            for name in self.criteria_names
+        ]
+
+    def propose(self) -> Proposal:
+        gp, fit_time = self._fit_gp()
+        opts = self.acq_options
+        sw = _Stopwatch()
+        batch: list = []
+        with sw:
+            model = gp
+            best_f = self.best_f
+            while len(batch) < self.n_batch:
+                round_points: list = []
+                for acq in self._criteria(model, best_f):
+                    if len(batch) >= self.n_batch:
+                        break
+                    x, _ = optimize_acqf(
+                        acq,
+                        self.problem.bounds,
+                        n_restarts=opts["n_restarts"],
+                        raw_samples=opts["raw_samples"],
+                        maxiter=opts["maxiter"],
+                        seed=self.rng,
+                        initial_points=self.best_x[None, :],
+                    )
+                    x = self._dedupe(x, batch)
+                    batch.append(x)
+                    round_points.append(x)
+                if len(batch) < self.n_batch and round_points:
+                    # One partial (fantasy) update per round of criteria
+                    # — Algorithm 2 line 11, with the predicted values.
+                    model = model.fantasize(np.asarray(round_points))
+        return Proposal(X=np.asarray(batch), fit_time=fit_time, acq_time=sw.total)

@@ -1,0 +1,88 @@
+"""Algorithm registry and the one-call convenience entry point."""
+
+from __future__ import annotations
+
+from repro.core.base import BatchOptimizer
+from repro.core.bsp_ego import BSPEGO
+from repro.core.driver import OptimizationResult, run_optimization
+from repro.core.kb_qego import KBqEGO
+from repro.core.lp_ego import LPEGO
+from repro.core.mc_qego import MCqEGO
+from repro.core.mic_qego import MicQEGO
+from repro.core.mic_turbo import MicTuRBO
+from repro.core.random_search import RandomSearch
+from repro.core.turbo import TuRBO
+from repro.core.turbo_m import TuRBOm
+from repro.util import ConfigurationError, RandomState
+
+#: Canonical name -> class; keys are the lookup aliases.
+ALGORITHMS: dict[str, type[BatchOptimizer]] = {
+    "kb-q-ego": KBqEGO,
+    "kb_qego": KBqEGO,
+    "mic-q-ego": MicQEGO,
+    "mic_qego": MicQEGO,
+    "mc-based-q-ego": MCqEGO,
+    "mc-q-ego": MCqEGO,
+    "mc_qego": MCqEGO,
+    "bsp-ego": BSPEGO,
+    "bsp_ego": BSPEGO,
+    "lp-ego": LPEGO,
+    "lp_ego": LPEGO,
+    "turbo": TuRBO,
+    "turbo-m": TuRBOm,
+    "turbo_m": TuRBOm,
+    "mic-turbo": MicTuRBO,
+    "mic_turbo": MicTuRBO,
+    "random": RandomSearch,
+}
+
+#: The paper's five algorithms, in its presentation order.
+PAPER_ALGORITHMS = ("KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO", "TuRBO")
+
+
+def make_optimizer(
+    name: str,
+    problem,
+    n_batch: int,
+    seed: RandomState = None,
+    **kwargs,
+) -> BatchOptimizer:
+    """Instantiate an algorithm by (case/punctuation-insensitive) name."""
+    key = name.strip().lower().replace(" ", "-")
+    if key not in ALGORITHMS:
+        canonical = sorted({cls.name for cls in ALGORITHMS.values()})
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {canonical}"
+        )
+    return ALGORITHMS[key](problem, n_batch, seed=seed, **kwargs)
+
+
+def optimize(
+    problem,
+    algorithm: str = "turbo",
+    n_batch: int = 4,
+    budget: float = 1200.0,
+    seed: RandomState = None,
+    time_scale: float = 1.0,
+    **kwargs,
+) -> OptimizationResult:
+    """One-call parallel Bayesian optimization.
+
+    Builds the named algorithm and runs it under the time-budgeted
+    driver with the paper's defaults (initial design of
+    ``16 · n_batch``, 20-minute budget). Extra keyword arguments are
+    forwarded to the algorithm constructor.
+
+    Example
+    -------
+    >>> from repro import optimize
+    >>> from repro.problems import get_benchmark
+    >>> result = optimize(get_benchmark("ackley", sim_time=10.0),
+    ...                   algorithm="turbo", n_batch=4,
+    ...                   budget=120.0, seed=0)
+    >>> result.best_value  # doctest: +SKIP
+    """
+    opt = make_optimizer(algorithm, problem, n_batch, seed=seed, **kwargs)
+    return run_optimization(
+        problem, opt, budget, seed=seed, time_scale=time_scale
+    )

@@ -1,0 +1,249 @@
+"""TuRBO-m: several simultaneous trust regions.
+
+The paper runs TuRBO with a single trust region ("One or several trust
+regions can be maintained simultaneously. In this work, one trust
+region is used", §2.2.2). This module provides the multi-region variant
+of the original algorithm (Eriksson et al., 2019) for the ablation
+benches: ``m`` independent trust regions, each with its own history,
+local GP and expand/shrink/restart state, compete for the batch through
+*joint Thompson sampling* — for every batch slot, one posterior sample
+is drawn per region over its local candidate cloud and the overall
+argmin wins the slot. Evaluated points feed back only into the region
+that proposed them.
+
+A region whose base length collapses restarts independently from a
+fresh space-filling design (consuming its share of the budget, as in
+the original).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.gp.linalg import jittered_cholesky
+from repro.util import ConfigurationError, RandomState
+
+
+@dataclass
+class _Region:
+    """State of one trust region."""
+
+    index: int
+    length: float
+    X: np.ndarray
+    y: np.ndarray
+    n_succ: int = 0
+    n_fail: int = 0
+    restart_remaining: int = 0
+    n_restarts: int = 0
+    gp: GaussianProcess | None = field(default=None, repr=False)
+
+    @property
+    def restarting(self) -> bool:
+        return self.restart_remaining > 0
+
+    @property
+    def best_f(self) -> float:
+        return float(np.min(self.y)) if self.y.size else math.inf
+
+
+class TuRBOm(BatchOptimizer):
+    """Multi-trust-region TuRBO with joint Thompson-sampled batches."""
+
+    name = "TuRBO-m"
+
+    def __init__(
+        self,
+        problem,
+        n_batch: int,
+        seed: RandomState = None,
+        gp_options: dict | None = None,
+        acq_options: dict | None = None,
+        n_regions: int = 3,
+        length_init: float = 0.8,
+        length_min: float = 2.0**-7,
+        length_max: float = 1.6,
+        succ_tol: int = 3,
+        fail_tol: int | None = None,
+        n_candidates_per_region: int = 256,
+    ):
+        super().__init__(problem, n_batch, seed, gp_options, acq_options)
+        if n_regions < 1:
+            raise ConfigurationError(f"n_regions must be >= 1, got {n_regions}")
+        if not (0 < length_min < length_init <= length_max):
+            raise ConfigurationError("need 0 < length_min < length_init <= length_max")
+        self.n_regions = int(n_regions)
+        self.length_init = float(length_init)
+        self.length_min = float(length_min)
+        self.length_max = float(length_max)
+        self.succ_tol = int(succ_tol)
+        self.fail_tol = (
+            int(fail_tol)
+            if fail_tol is not None
+            else int(math.ceil(max(4.0, float(problem.dim)) / n_batch))
+        )
+        self.n_candidates_per_region = int(n_candidates_per_region)
+        self._n_init = max(2 * problem.dim, 4 * n_batch) // self.n_regions + 1
+        self.regions: list[_Region] = []
+        self._assignment: list[int] = []  # region index per batch slot
+
+    # ------------------------------------------------------------------
+    def initialize(self, X0, y0) -> None:
+        super().initialize(X0, y0)
+        # Split the initial design round-robin across the regions so
+        # each starts with its own history.
+        self.regions = []
+        for r in range(self.n_regions):
+            idx = np.arange(r, self.X.shape[0], self.n_regions)
+            if idx.size == 0:
+                idx = np.arange(self.X.shape[0])
+            self.regions.append(
+                _Region(
+                    index=r,
+                    length=self.length_init,
+                    X=self.X[idx].copy(),
+                    y=self.y[idx].copy(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _region_bounds(self, region: _Region) -> np.ndarray:
+        gp = region.gp
+        kernel = getattr(gp, "kernel", None)
+        inner = getattr(kernel, "inner", kernel)
+        ls = np.atleast_1d(getattr(inner, "lengthscale", np.array([1.0])))
+        if ls.shape[0] != self.problem.dim:
+            ls = np.full(self.problem.dim, float(ls[0]))
+        weights = ls / np.exp(np.mean(np.log(ls)))
+        span = self.problem.upper - self.problem.lower
+        center = region.X[int(np.argmin(region.y))]
+        half = 0.5 * region.length * weights * span
+        lo = np.maximum(center - half, self.problem.lower)
+        hi = np.minimum(center + half, self.problem.upper)
+        width = np.maximum(hi - lo, 1e-9 * span)
+        return np.column_stack([lo, lo + width])
+
+    def propose(self) -> Proposal:
+        fit_total = 0.0
+        sw = _Stopwatch()
+        with sw:
+            # 1) refresh the local models of the live regions
+            live: list[_Region] = []
+            for region in self.regions:
+                if region.restarting:
+                    continue
+                gp, fit_time = self._fit_gp(region.X, region.y)
+                region.gp = gp
+                fit_total += fit_time
+                live.append(region)
+
+            batch: list[np.ndarray] = []
+            assignment: list[int] = []
+
+            # 2) restarting regions claim slots with fresh LHS points
+            for region in self.regions:
+                if region.restarting and len(batch) < self.n_batch:
+                    k = min(region.restart_remaining, self.n_batch - len(batch))
+                    pts = latin_hypercube(k, self.problem.bounds, seed=self.rng)
+                    for p in pts:
+                        batch.append(self._dedupe(p, batch))
+                        assignment.append(region.index)
+
+            # 3) joint Thompson sampling across the live regions
+            if live and len(batch) < self.n_batch:
+                clouds, chols, means = [], [], []
+                for region in live:
+                    rb = self._region_bounds(region)
+                    cloud = rb[:, 0] + self.rng.random(
+                        (self.n_candidates_per_region, self.problem.dim)
+                    ) * (rb[:, 1] - rb[:, 0])
+                    post = region.gp.joint_posterior(cloud)
+                    C, _ = jittered_cholesky(post.cov)
+                    clouds.append(cloud)
+                    chols.append(C)
+                    means.append(post.mean)
+                while len(batch) < self.n_batch:
+                    best_val, best_point, best_region = math.inf, None, -1
+                    for region, cloud, C, m in zip(live, clouds, chols, means):
+                        z = self.rng.standard_normal(m.shape[0])
+                        sample = m + C @ z
+                        j = int(np.argmin(sample))
+                        if sample[j] < best_val:
+                            best_val = float(sample[j])
+                            best_point = cloud[j]
+                            best_region = region.index
+                    batch.append(self._dedupe(best_point, batch))
+                    assignment.append(best_region)
+
+            # 4) degenerate corner: everything restarting and sated —
+            # fill any leftover slots with random points for region 0
+            while len(batch) < self.n_batch:
+                batch.append(
+                    self._dedupe(
+                        self.rng.uniform(self.problem.lower, self.problem.upper),
+                        batch,
+                    )
+                )
+                assignment.append(self.regions[0].index)
+
+        self._assignment = assignment
+        acq_time = max(sw.total - fit_total, 0.0)
+        return Proposal(
+            X=np.asarray(batch),
+            fit_time=fit_total,
+            acq_time=acq_time,
+            info={
+                "lengths": [r.length for r in self.regions],
+                "assignment": list(assignment),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _after_update(self, X_new, y_new) -> None:
+        if not self._assignment:
+            return
+        for region in self.regions:
+            mask = [
+                i
+                for i, r in enumerate(self._assignment[: X_new.shape[0]])
+                if r == region.index
+            ]
+            if not mask:
+                continue
+            best_before = region.best_f
+            region.X = np.vstack([region.X, X_new[mask]])
+            region.y = np.concatenate([region.y, y_new[mask]])
+            if region.restarting:
+                region.restart_remaining -= len(mask)
+                if region.restart_remaining <= 0:
+                    region.restart_remaining = 0
+                continue
+            improved = float(np.min(y_new[mask])) < best_before - 1e-3 * abs(
+                best_before
+            )
+            if improved:
+                region.n_succ += 1
+                region.n_fail = 0
+            else:
+                region.n_fail += 1
+                region.n_succ = 0
+            if region.n_succ >= self.succ_tol:
+                region.length = min(2.0 * region.length, self.length_max)
+                region.n_succ = 0
+            elif region.n_fail >= self.fail_tol:
+                region.length /= 2.0
+                region.n_fail = 0
+            if region.length < self.length_min:
+                region.length = self.length_init
+                region.n_succ = region.n_fail = 0
+                region.n_restarts += 1
+                region.X = np.empty((0, self.problem.dim))
+                region.y = np.empty(0)
+                region.restart_remaining = self._n_init
+        self._assignment = []

@@ -1,0 +1,10 @@
+"""Design of experiments: initial sampling plans."""
+
+from repro.doe.sampling import (
+    latin_hypercube,
+    make_sampler,
+    sobol,
+    uniform_random,
+)
+
+__all__ = ["latin_hypercube", "make_sampler", "sobol", "uniform_random"]

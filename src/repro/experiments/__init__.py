@@ -1,0 +1,33 @@
+"""Experiment harness: campaigns, statistics, tables and figures.
+
+Maps one-to-one onto the paper's evaluation (§3):
+
+- :mod:`repro.experiments.presets` — the experimental protocol
+  (Table 2 budgets, batch sizes, repetition counts) at paper scale and
+  at a laptop-sized ``quick`` scale;
+- :mod:`repro.experiments.runner` / :mod:`~repro.experiments.campaign`
+  — run and cache the (algorithm × batch × seed × problem) sweeps;
+- :mod:`repro.experiments.stats` — summaries and the pairwise
+  Student's t-tests of Figure 8;
+- :mod:`repro.experiments.tables` — Tables 1–7;
+- :mod:`repro.experiments.figures` — the data series of Figures 2–9.
+"""
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.presets import PAPER, QUICK, SMOKE, Preset, get_preset
+from repro.experiments.records import RunRecord
+from repro.experiments.runner import run_single
+from repro.experiments.stats import pairwise_ttests, summarize
+
+__all__ = [
+    "Campaign",
+    "PAPER",
+    "Preset",
+    "QUICK",
+    "RunRecord",
+    "SMOKE",
+    "get_preset",
+    "pairwise_ttests",
+    "run_single",
+    "summarize",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — alias of the report CLI."""
+
+from repro.experiments.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Campaign management: sweeps with a JSON disk cache.
+
+A campaign is the full (problem × algorithm × n_batch × seed) sweep of
+one preset. Results are cached one JSON file per run under
+``<root>/results/<preset>/``, so the table and figure benches share a
+single sweep and interrupted campaigns resume where they stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.presets import Preset
+from repro.experiments.records import RunRecord, run_key
+from repro.experiments.runner import run_single
+from repro.util import ConfigurationError
+
+#: Default cache root: ``results/`` next to the current working dir.
+DEFAULT_ROOT = Path("results")
+
+
+class Campaign:
+    """A cached sweep over problems × algorithms × batch sizes × seeds.
+
+    Parameters
+    ----------
+    preset:
+        The protocol (budgets, seeds, batch sizes, algorithms).
+    problems:
+        Problem names; defaults to the preset's three benchmarks.
+        Use ``["uphes"]`` for the application campaign.
+    root:
+        Cache directory root (``results/`` by default).
+    verbose:
+        Print one progress line per executed run.
+    """
+
+    def __init__(
+        self,
+        preset: Preset,
+        problems=None,
+        root: str | Path = DEFAULT_ROOT,
+        verbose: bool = True,
+    ):
+        self.preset = preset
+        self.problems = (
+            preset.benchmarks if problems is None else tuple(problems)
+        )
+        if not self.problems:
+            raise ConfigurationError("campaign needs at least one problem")
+        self.root = Path(root) / preset.name
+        self.verbose = verbose
+        self._cache: dict[str, RunRecord] = {}
+
+    # -- cache ------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _load(self, key: str) -> RunRecord | None:
+        if key in self._cache:
+            return self._cache[key]
+        path = self._path(key)
+        if path.exists():
+            record = RunRecord.from_dict(json.loads(path.read_text()))
+            self._cache[key] = record
+            return record
+        return None
+
+    def _store(self, record: RunRecord) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._path(record.key).write_text(json.dumps(record.to_dict()))
+        self._cache[record.key] = record
+
+    # -- execution ----------------------------------------------------------
+    def cells(self) -> list[tuple[str, str, int, int]]:
+        """Every (problem, algorithm, n_batch, seed) cell of the sweep."""
+        return [
+            (prob, algo, q, seed)
+            for prob in self.problems
+            for algo in self.preset.algorithms
+            for q in self.preset.batch_sizes
+            for seed in range(self.preset.n_seeds)
+        ]
+
+    def missing(self) -> list[tuple[str, str, int, int]]:
+        return [
+            cell for cell in self.cells() if self._load(run_key(*cell)) is None
+        ]
+
+    def get(self, problem: str, algorithm: str, n_batch: int, seed: int) -> RunRecord:
+        """Fetch one cell, running it if not cached."""
+        key = run_key(problem, algorithm, n_batch, seed)
+        record = self._load(key)
+        if record is None:
+            t0 = time.perf_counter()
+            record = run_single(problem, algorithm, n_batch, seed, self.preset)
+            self._store(record)
+            if self.verbose:
+                print(
+                    f"[campaign {self.preset.name}] {key}: "
+                    f"best={record.best_value:.3f} cycles={record.n_cycles} "
+                    f"sims={record.n_simulations} "
+                    f"({time.perf_counter() - t0:.1f}s wall)",
+                    file=sys.stderr,
+                )
+        return record
+
+    def ensure(self) -> "Campaign":
+        """Run every missing cell; returns self for chaining."""
+        todo = self.missing()
+        if todo and self.verbose:
+            print(
+                f"[campaign {self.preset.name}] {len(todo)} runs to execute "
+                f"({len(self.cells()) - len(todo)} cached)",
+                file=sys.stderr,
+            )
+        for cell in todo:
+            self.get(*cell)
+        return self
+
+    # -- queries --------------------------------------------------------------
+    def runs(
+        self,
+        problem: str | None = None,
+        algorithm: str | None = None,
+        n_batch: int | None = None,
+    ) -> list[RunRecord]:
+        """All (cached-or-run) records matching the filters."""
+        out = []
+        for prob, algo, q, seed in self.cells():
+            if problem is not None and prob != problem:
+                continue
+            if algorithm is not None and algo != algorithm:
+                continue
+            if n_batch is not None and q != n_batch:
+                continue
+            out.append(self.get(prob, algo, q, seed))
+        return out
+
+    def final_values(
+        self, problem: str, algorithm: str, n_batch: int
+    ) -> list[float]:
+        """Final outcomes of the repetition set of one cell group."""
+        return [
+            r.best_value for r in self.runs(problem, algorithm, n_batch)
+        ]

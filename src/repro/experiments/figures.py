@@ -1,0 +1,145 @@
+"""Data series for every figure of the paper's evaluation.
+
+Matplotlib is not assumed: each ``figure_N`` function returns the
+numeric series the figure plots plus a text rendering (CSV-ish rows and
+an ASCII sparkline for the curves), which the benchmark harness prints
+and writes under ``results/``. The series are what you would feed to
+any plotting tool.
+
+- Figure 2a–c — number of evaluations vs batch size per benchmark;
+- Figures 3–7 — UPHES convergence curves (best profit vs cycles), one
+  figure per batch size;
+- Figure 8 — pairwise t-test p-value heat map;
+- Figure 9a/b — number of simulations / cycles vs batch size (UPHES).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.stats import mean_and_sd_by_batch, pairwise_ttests
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """ASCII sparkline of a numeric series (empty-safe)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * arr.size
+    idx = ((arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def _series_text(title: str, per_algo: dict[str, dict[int, tuple[float, float]]]) -> str:
+    lines = [title, "n_batch: " + "  ".join(f"{q:>8d}" for q in
+                                            next(iter(per_algo.values())).keys())]
+    for algo, by_q in per_algo.items():
+        means = "  ".join(f"{mu:8.1f}" for mu, _ in by_q.values())
+        sds = "  ".join(f"{sd:8.1f}" for _, sd in by_q.values())
+        lines.append(f"{algo:>16s} mean: {means}")
+        lines.append(f"{'':>16s}   sd: {sds}")
+    return "\n".join(lines)
+
+
+def figure_2(campaign: Campaign, problem: str) -> tuple[dict, str]:
+    """Fig. 2: evaluations performed in the budget vs batch size.
+
+    Returns ``({algo: {q: (mean, sd)}}, text)`` for one benchmark
+    (the paper has one panel per benchmark function).
+    """
+    data = mean_and_sd_by_batch(campaign, problem, metric="n_simulations")
+    text = _series_text(
+        f"Figure 2 ({problem}) — number of evaluations vs n_batch", data
+    )
+    return data, text
+
+
+def figure_3_to_7(campaign: Campaign, n_batch: int) -> tuple[dict, str]:
+    """Figs. 3–7: UPHES convergence curves for one batch size.
+
+    Returns ``({algo: {"mean": [...], "sd": [...]}}, text)`` — the
+    running best profit after each cycle, averaged over the seeds and
+    truncated (as in the paper) to the shortest run so every point
+    averages the full repetition set.
+    """
+    series: dict[str, dict[str, list[float]]] = {}
+    lines = [
+        f"Figure {2 + int(np.log2(n_batch)) + 1} — UPHES convergence, "
+        f"n_batch = {n_batch} (best profit vs cycle)"
+    ]
+    for algo in campaign.preset.algorithms:
+        runs = campaign.runs("uphes", algo, n_batch)
+        n_common = min(len(r.trajectory) for r in runs)
+        if n_common == 0:
+            series[algo] = {"mean": [], "sd": []}
+            continue
+        traj = np.asarray([r.trajectory[:n_common] for r in runs])
+        mean = traj.mean(axis=0)
+        sd = traj.std(axis=0, ddof=1) if traj.shape[0] > 1 else np.zeros(n_common)
+        series[algo] = {"mean": mean.tolist(), "sd": sd.tolist()}
+        lines.append(
+            f"{algo:>16s}: start={mean[0]:8.1f} end={mean[-1]:8.1f} "
+            f"({n_common:3d} cycles)  {sparkline(mean)}"
+        )
+    return series, "\n".join(lines)
+
+
+def figure_8(campaign: Campaign, n_batch: int = 4) -> tuple[dict, str]:
+    """Fig. 8: pairwise Student's t-test p-values on UPHES outcomes.
+
+    The paper reports the matrix per batch size; ``n_batch=4`` is the
+    panel it discusses most (mic-q-EGO's significant advantage).
+    """
+    groups = {
+        algo: campaign.final_values("uphes", algo, n_batch)
+        for algo in campaign.preset.algorithms
+    }
+    labels, p = pairwise_ttests(groups)
+    lines = [f"Figure 8 — pairwise t-test p-values, UPHES, n_batch = {n_batch}"]
+    header = " " * 16 + "  ".join(f"{l[:10]:>10s}" for l in labels)
+    lines.append(header)
+    for i, label in enumerate(labels):
+        row = "  ".join(f"{p[i, j]:10.3f}" for j in range(len(labels)))
+        lines.append(f"{label[:16]:>16s}{row}")
+    return {"labels": labels, "p": p.tolist()}, "\n".join(lines)
+
+
+def figure_9(campaign: Campaign) -> tuple[dict, str]:
+    """Fig. 9a/b: UPHES simulations and cycles vs batch size."""
+    sims = mean_and_sd_by_batch(campaign, "uphes", metric="n_simulations")
+    cycles = mean_and_sd_by_batch(campaign, "uphes", metric="n_cycles")
+    text = (
+        _series_text("Figure 9a — UPHES simulations vs n_batch", sims)
+        + "\n\n"
+        + _series_text("Figure 9b — UPHES cycles vs n_batch", cycles)
+    )
+    return {"simulations": sims, "cycles": cycles}, text
+
+
+def figure_1_description() -> str:
+    """Fig. 1: the plant topology (static; rendered as ASCII art)."""
+    return "\n".join(
+        [
+            "Figure 1 — topology of the modelled UPHES unit (Maizeret-like)",
+            "",
+            "      ~ upper reservoir (surface) ~        z ≈ +8..+22 m",
+            "      ====================________",
+            "                 |penstock|                net head H ≈ 65..120 m",
+            "                 | (pump/ |",
+            "                 | turbine|   <- variable-speed unit:",
+            "                 |  unit)  |      turbine [4, 8] MW, pump [6, 8] MW",
+            "      ___________|________|____",
+            "     ( lower reservoir: former )   z ≈ -100..-68 m",
+            "     (  underground open-pit   )   <-> groundwater exchange",
+            "     (        mine             )       with the water table (~ -80 m)",
+            "      -------------------------",
+            "",
+            "  Energy capacity ≈ 80 MWh; decisions: 8 day-ahead energy blocks",
+            "  (3 h each, signed MW) + 4 upward-reserve blocks (6 h each, MW).",
+        ]
+    )

@@ -1,0 +1,88 @@
+"""JSON-serializable run records for campaign caching."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.driver import OptimizationResult
+
+
+@dataclass
+class RunRecord:
+    """The disk-cacheable essence of one optimization run.
+
+    Keeps everything the tables and figures need — final outcomes,
+    cycle/simulation counts, and the best-so-far trajectory with its
+    timing breakdown — while dropping bulky internals (no design
+    matrices beyond the best point).
+    """
+
+    problem: str
+    algorithm: str
+    n_batch: int
+    seed: int
+    preset: str
+    maximize: bool
+    best_value: float
+    initial_best: float
+    best_x: list[float]
+    n_initial: int
+    n_cycles: int
+    n_simulations: int
+    elapsed: float
+    budget: float
+    sim_time: float
+    time_scale: float
+    trajectory: list[float] = field(default_factory=list)
+    fit_times: list[float] = field(default_factory=list)
+    acq_times: list[float] = field(default_factory=list)
+    acq_charged: list[float] = field(default_factory=list)
+    evals_after_cycle: list[int] = field(default_factory=list)
+
+    @classmethod
+    def from_result(
+        cls, result: OptimizationResult, seed: int, preset: str
+    ) -> "RunRecord":
+        return cls(
+            problem=result.problem,
+            algorithm=result.algorithm,
+            n_batch=result.n_batch,
+            seed=int(seed),
+            preset=preset,
+            maximize=result.maximize,
+            best_value=float(result.best_value),
+            initial_best=float(result.initial_best),
+            best_x=[float(v) for v in np.asarray(result.best_x).ravel()],
+            n_initial=int(result.n_initial),
+            n_cycles=int(result.n_cycles),
+            n_simulations=int(result.n_simulations),
+            elapsed=float(result.elapsed),
+            budget=float(result.budget),
+            sim_time=float(result.sim_time),
+            time_scale=float(result.time_scale),
+            trajectory=[float(r.best_value) for r in result.history],
+            fit_times=[float(r.fit_time) for r in result.history],
+            acq_times=[float(r.acq_time) for r in result.history],
+            acq_charged=[float(r.acq_charged) for r in result.history],
+            evals_after_cycle=[int(r.n_evaluations) for r in result.history],
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(**data)
+
+    @property
+    def key(self) -> str:
+        """Unique cache key of this run within a preset."""
+        return run_key(self.problem, self.algorithm, self.n_batch, self.seed)
+
+
+def run_key(problem: str, algorithm: str, n_batch: int, seed: int) -> str:
+    """Filename-safe identifier for a (problem, algo, q, seed) cell."""
+    algo = algorithm.lower().replace(" ", "_").replace("/", "-")
+    return f"{problem}__{algo}__q{n_batch}__s{seed}"

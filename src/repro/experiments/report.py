@@ -1,0 +1,110 @@
+"""Full-evaluation report: run campaigns, render every table/figure.
+
+Usage::
+
+    python -m repro.experiments.report [--preset quick] [--root results]
+                                       [--skip-benchmarks] [--skip-uphes]
+
+Executes (or loads from cache) the benchmark and UPHES campaigns of the
+chosen preset, prints every table and figure of the paper, and writes
+the renderings under ``<root>/<preset>/report/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.figures import (
+    figure_1_description,
+    figure_2,
+    figure_3_to_7,
+    figure_8,
+    figure_9,
+)
+from repro.experiments.presets import get_preset
+from repro.experiments.tables import (
+    table_1,
+    table_2,
+    table_3,
+    table_4,
+    table_5,
+    table_6,
+    table_7,
+)
+
+
+def build_report(
+    preset_name: str = "quick",
+    root: str | Path = "results",
+    include_benchmarks: bool = True,
+    include_uphes: bool = True,
+    verbose: bool = True,
+) -> dict[str, str]:
+    """Run/load both campaigns and render all artefacts.
+
+    Returns a mapping from artefact name (``table4``, ``figure9``, ...)
+    to its text rendering.
+    """
+    preset = get_preset(preset_name)
+    artefacts: dict[str, str] = {
+        "table1": table_1(preset.dim),
+        "table2": table_2(preset),
+        "table3": table_3(preset),
+        "figure1": figure_1_description(),
+    }
+
+    if include_benchmarks:
+        bench = Campaign(preset, root=root, verbose=verbose).ensure()
+        artefacts["table4"] = table_4(bench)
+        artefacts["table5"] = table_5(bench)
+        artefacts["table6"] = table_6(bench)
+        for problem in preset.benchmarks:
+            _, text = figure_2(bench, problem)
+            artefacts[f"figure2_{problem}"] = text
+
+    if include_uphes:
+        uphes = Campaign(preset, problems=["uphes"], root=root,
+                         verbose=verbose).ensure()
+        artefacts["table7"] = table_7(uphes)
+        for q in preset.batch_sizes:
+            fig_no = {1: 3, 2: 4, 4: 5, 8: 6, 16: 7}.get(q, f"conv_q{q}")
+            _, text = figure_3_to_7(uphes, q)
+            artefacts[f"figure{fig_no}"] = text
+        for q in preset.batch_sizes:
+            _, text = figure_8(uphes, n_batch=q)
+            artefacts[f"figure8_q{q}"] = text
+        _, text = figure_9(uphes)
+        artefacts["figure9"] = text
+
+    out_dir = Path(root) / preset.name / "report"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, text in artefacts.items():
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return artefacts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="quick",
+                        choices=["paper", "quick", "smoke"])
+    parser.add_argument("--root", default="results")
+    parser.add_argument("--skip-benchmarks", action="store_true")
+    parser.add_argument("--skip-uphes", action="store_true")
+    args = parser.parse_args(argv)
+
+    artefacts = build_report(
+        args.preset,
+        args.root,
+        include_benchmarks=not args.skip_benchmarks,
+        include_uphes=not args.skip_uphes,
+    )
+    for name in sorted(artefacts):
+        print(f"\n===== {name} =====")
+        print(artefacts[name])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Single-run execution under a preset's protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import make_optimizer, run_optimization
+from repro.doe import latin_hypercube
+from repro.experiments.presets import Preset
+from repro.experiments.records import RunRecord
+from repro.problems import get_benchmark
+from repro.uphes import UPHESSimulator
+from repro.util import ConfigurationError
+
+
+def make_problem(problem_name: str, preset: Preset):
+    """Instantiate a problem by name under the preset's protocol.
+
+    ``"uphes"`` builds the simulator (with its own fixed scenario seed,
+    shared by every run, like the paper's single plant); anything else
+    is looked up in the benchmark registry at the preset's dimension.
+    """
+    if problem_name.strip().lower() == "uphes":
+        return UPHESSimulator(seed=0, sim_time=preset.sim_time)
+    return get_benchmark(problem_name, dim=preset.dim, sim_time=preset.sim_time)
+
+
+def initial_design_for(problem, n_batch: int, seed: int, preset: Preset) -> np.ndarray:
+    """The shared initial design of one (seed, n_batch) repetition.
+
+    The paper evaluates all algorithms on the *same* 10 initial sets
+    ("10 distinct initial sets used for all approaches"), so the design
+    depends on the seed (and the size on n_batch), not the algorithm.
+    """
+    return latin_hypercube(
+        preset.initial_per_batch * n_batch, problem.bounds, seed=seed
+    )
+
+
+def run_single(
+    problem_name: str,
+    algorithm: str,
+    n_batch: int,
+    seed: int,
+    preset: Preset,
+) -> RunRecord:
+    """Run one (problem, algorithm, n_batch, seed) cell of the sweep."""
+    if n_batch < 1:
+        raise ConfigurationError(f"n_batch must be >= 1, got {n_batch}")
+    problem = make_problem(problem_name, preset)
+    optimizer = make_optimizer(
+        algorithm,
+        problem,
+        n_batch,
+        seed=seed,
+        gp_options=dict(preset.gp_options) or None,
+        acq_options=dict(preset.acq_options) or None,
+    )
+    result = run_optimization(
+        problem,
+        optimizer,
+        preset.budget,
+        initial_design=initial_design_for(problem, n_batch, seed, preset),
+        time_scale=preset.time_scale,
+        seed=seed,
+    )
+    return RunRecord.from_result(result, seed=seed, preset=preset.name)

@@ -1,0 +1,104 @@
+"""Statistics for the evaluation: summaries and pairwise t-tests.
+
+The paper compares algorithms with pairwise Student's t-tests on the
+final outcomes of the 10 repetitions (Figure 8 shows the p-value
+heatmap); :func:`pairwise_ttests` reproduces that matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.util import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """min / mean / max / sd of one repetition set (Table 7 row)."""
+
+    n: int
+    minimum: float
+    mean: float
+    maximum: float
+    sd: float
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a repetition set."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("cannot summarize an empty set")
+    return Summary(
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        mean=float(arr.mean()),
+        maximum=float(arr.max()),
+        sd=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+    )
+
+
+def pairwise_ttests(
+    groups: dict[str, list[float]], equal_var: bool = True
+) -> tuple[list[str], np.ndarray]:
+    """Pairwise two-sided Student's t-test p-values.
+
+    Parameters
+    ----------
+    groups:
+        Mapping from group label (algorithm name) to its repetition
+        outcomes.
+    equal_var:
+        ``True`` for the classic Student's test (the paper's choice),
+        ``False`` for Welch's.
+
+    Returns
+    -------
+    (labels, p):
+        ``p[i, j]`` is the p-value between groups i and j; the diagonal
+        is 1 by convention.
+    """
+    labels = list(groups)
+    if len(labels) < 2:
+        raise ConfigurationError("need at least two groups to compare")
+    k = len(labels)
+    p = np.ones((k, k), dtype=np.float64)
+    for i in range(k):
+        for j in range(i + 1, k):
+            a = np.asarray(groups[labels[i]], dtype=np.float64)
+            b = np.asarray(groups[labels[j]], dtype=np.float64)
+            if a.size < 2 or b.size < 2:
+                raise ConfigurationError(
+                    "each group needs >= 2 observations for a t-test"
+                )
+            if np.allclose(a.std(), 0.0) and np.allclose(b.std(), 0.0):
+                value = 1.0 if np.allclose(a.mean(), b.mean()) else 0.0
+            else:
+                value = float(
+                    sps.ttest_ind(a, b, equal_var=equal_var).pvalue
+                )
+            p[i, j] = p[j, i] = value
+    return labels, p
+
+
+def mean_and_sd_by_batch(
+    campaign, problem: str, metric: str = "best_value"
+) -> dict[str, dict[int, tuple[float, float]]]:
+    """``{algorithm: {n_batch: (mean, sd)}}`` of a per-run metric.
+
+    ``metric`` is any scalar :class:`RunRecord` attribute
+    (``best_value``, ``n_simulations``, ``n_cycles``...).
+    """
+    out: dict[str, dict[int, tuple[float, float]]] = {}
+    for algo in campaign.preset.algorithms:
+        out[algo] = {}
+        for q in campaign.preset.batch_sizes:
+            vals = np.asarray(
+                [getattr(r, metric) for r in campaign.runs(problem, algo, q)],
+                dtype=np.float64,
+            )
+            sd = float(vals.std(ddof=1)) if vals.size > 1 else 0.0
+            out[algo][q] = (float(vals.mean()), sd)
+    return out

@@ -1,0 +1,151 @@
+"""Renderers for every table of the paper.
+
+Each ``table_N`` function returns the table as a formatted string (and
+the underlying data), printing the same rows the paper reports:
+
+- Table 1 — benchmark definitions;
+- Table 2 — budget allocation per batch size;
+- Table 3 — acquisition function per algorithm × batch size;
+- Tables 4–6 — final average cost ± sd per algorithm × batch size on
+  Rosenbrock / Ackley / Schwefel;
+- Table 7 — min/mean/max/sd of the UPHES profit per batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.presets import Preset
+from repro.experiments.stats import summarize
+from repro.problems.benchmarks import BENCHMARKS, PAPER_BENCHMARKS
+
+
+def _fmt_table(header: list[str], rows: list[list[str]], title: str) -> str:
+    widths = [
+        max(len(str(header[c])), *(len(str(r[c])) for r in rows))
+        for c in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table_1(dim: int = 12) -> str:
+    """Table 1: the benchmark functions and their domains."""
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        _, (lo, hi), fmin = BENCHMARKS[name]
+        rows.append(
+            [name.capitalize(), f"[{lo:g}; {hi:g}]^{dim}", f"{fmin:g}"]
+        )
+    return _fmt_table(
+        ["Name", "Domain", "f_min"],
+        rows,
+        "Table 1 — benchmark functions",
+    )
+
+
+def table_2(preset: Preset) -> str:
+    """Table 2: budget allocation per batch size."""
+    rows = [
+        [
+            str(q),
+            str(preset.initial_per_batch * q),
+            f"{preset.budget / 60.0:g}",
+        ]
+        for q in preset.batch_sizes
+    ]
+    return _fmt_table(
+        ["n_batch", "Initial sample (simulations)", "Simulation budget (minutes)"],
+        rows,
+        f"Table 2 — budget allocation ({preset.name} preset)",
+    )
+
+
+def table_3(preset: Preset) -> str:
+    """Table 3: acquisition function per algorithm and batch size."""
+    rows = []
+    for q in preset.batch_sizes:
+        multi = "qEI" if q > 1 else "EI"
+        mic = "EI/UCB (50%)" if q > 1 else "EI"
+        rows.append([str(q), multi, multi, "EI", mic, "EI"])
+    return _fmt_table(
+        ["n_batch", "TuRBO", "MC-based q-EGO", "KB-q-EGO", "mic-q-EGO", "BSP-EGO"],
+        rows,
+        "Table 3 — acquisition function per algorithm",
+    )
+
+
+def _benchmark_table(campaign: Campaign, problem: str, number: int) -> str:
+    header = ["n_batch"]
+    for algo in campaign.preset.algorithms:
+        header += [f"{algo} mu", f"{algo} sd"]
+    rows = []
+    for q in campaign.preset.batch_sizes:
+        row = [str(q)]
+        best_mu = None
+        cells = []
+        for algo in campaign.preset.algorithms:
+            s = summarize(campaign.final_values(problem, algo, q))
+            cells.append(s)
+            if best_mu is None or s.mean < best_mu:
+                best_mu = s.mean
+        for s in cells:
+            star = "*" if np.isclose(s.mean, best_mu) else ""
+            row += [f"{s.mean:.3f}{star}", f"{s.sd:.3f}"]
+        rows.append(row)
+    return _fmt_table(
+        header,
+        rows,
+        f"Table {number} — final cost on {problem} "
+        f"(mean/sd over {campaign.preset.n_seeds} runs; * = row best)",
+    )
+
+
+def table_4(campaign: Campaign) -> str:
+    """Table 4: Rosenbrock final average cost per algorithm × batch."""
+    return _benchmark_table(campaign, "rosenbrock", 4)
+
+
+def table_5(campaign: Campaign) -> str:
+    """Table 5: Ackley final average cost per algorithm × batch."""
+    return _benchmark_table(campaign, "ackley", 5)
+
+
+def table_6(campaign: Campaign) -> str:
+    """Table 6: Schwefel final average cost per algorithm × batch."""
+    return _benchmark_table(campaign, "schwefel", 6)
+
+
+def table_7(campaign: Campaign) -> str:
+    """Table 7: UPHES profit min/mean/max/sd per algorithm × batch."""
+    blocks = []
+    for q in campaign.preset.batch_sizes:
+        rows = []
+        for algo in campaign.preset.algorithms:
+            s = summarize(campaign.final_values("uphes", algo, q))
+            rows.append(
+                [
+                    algo,
+                    f"{s.minimum:.0f}",
+                    f"{s.mean:.0f}",
+                    f"{s.maximum:.0f}",
+                    f"{s.sd:.0f}",
+                ]
+            )
+        blocks.append(
+            _fmt_table(
+                ["algorithm", "min", "mean", "max", "sd"],
+                rows,
+                f"n_batch = {q}",
+            )
+        )
+    title = (
+        "Table 7 — UPHES expected profit (EUR) over "
+        f"{campaign.preset.n_seeds} runs"
+    )
+    return title + "\n\n" + "\n\n".join(blocks)

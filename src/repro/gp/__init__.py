@@ -1,0 +1,46 @@
+"""Gaussian-process regression substrate (paper §2.2.1).
+
+Exact GP inference with Cholesky factorization, ARD Matérn / RBF
+kernels with analytic hyperparameter *and* spatial gradients, constant
+trend estimated by generalized least squares, homoskedastic noise, and
+rank-1 Cholesky extensions for the Kriging Believer "fantasy" updates.
+"""
+
+from repro.gp.gp import GaussianProcess, GPPosterior
+from repro.gp.kernels import (
+    RBF,
+    Kernel,
+    Matern12,
+    Matern32,
+    Matern52,
+    ProductKernel,
+    ScaledKernel,
+    SumKernel,
+    make_kernel,
+)
+from repro.gp.linalg import (
+    cholesky_append,
+    jittered_cholesky,
+    solve_cholesky,
+    solve_lower,
+)
+from repro.gp.rff import RFFGaussianProcess
+
+__all__ = [
+    "GPPosterior",
+    "GaussianProcess",
+    "Kernel",
+    "Matern12",
+    "Matern32",
+    "Matern52",
+    "ProductKernel",
+    "RBF",
+    "RFFGaussianProcess",
+    "ScaledKernel",
+    "SumKernel",
+    "cholesky_append",
+    "jittered_cholesky",
+    "make_kernel",
+    "solve_cholesky",
+    "solve_lower",
+]

@@ -1,0 +1,74 @@
+"""Hyperparameter fitting: multi-start L-BFGS-B on the concentrated MLL.
+
+The paper fits the GP by maximum marginal likelihood at the start of
+every cycle (full fit) and uses *reduced-budget* intermediate fits — or
+none at all — inside the Kriging Believer loop. ``maxiter`` and
+``n_restarts`` expose exactly that knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.gp.kernels import Kernel
+from repro.gp.mll import mll_value_and_grad
+from repro.util import RandomState, as_generator
+
+
+def fit_hyperparameters(
+    kernel: Kernel,
+    log_noise: float,
+    noise_bounds: tuple[float, float],
+    X: np.ndarray,
+    z: np.ndarray,
+    mean_mode: str = "constant",
+    n_restarts: int = 2,
+    maxiter: int = 100,
+    seed: RandomState = None,
+) -> tuple[float, float]:
+    """Maximize the MLL in place; returns ``(log_noise, best_mll)``.
+
+    The incumbent hyperparameters are always used as the first start
+    (warm start across BO cycles); ``n_restarts`` additional random
+    starts are drawn uniformly in the log-space box. The kernel is
+    mutated to the best parameters found.
+    """
+    rng = as_generator(seed)
+    bounds = np.vstack([kernel.theta_bounds, np.log(np.asarray([noise_bounds]))])
+    p0 = np.concatenate([kernel.theta, [log_noise]])
+    p0 = np.clip(p0, bounds[:, 0], bounds[:, 1])
+
+    def objective(p: np.ndarray) -> tuple[float, np.ndarray]:
+        kernel.theta = p[:-1]
+        try:
+            value, grad = mll_value_and_grad(kernel, p[-1], X, z, mean_mode)
+        except Exception:
+            # A pathological point (e.g. Cholesky failure at extreme
+            # hyperparameters): report a very bad value, zero gradient.
+            return 1e25, np.zeros_like(p)
+        if not np.isfinite(value):
+            return 1e25, np.zeros_like(p)
+        return -value, -grad
+
+    starts = [p0]
+    for _ in range(max(0, n_restarts)):
+        starts.append(rng.uniform(bounds[:, 0], bounds[:, 1]))
+
+    best_p = p0
+    best_val = np.inf
+    for start in starts:
+        result = minimize(
+            objective,
+            start,
+            jac=True,
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": maxiter},
+        )
+        if np.isfinite(result.fun) and result.fun < best_val:
+            best_val = float(result.fun)
+            best_p = np.asarray(result.x, dtype=np.float64)
+
+    kernel.theta = best_p[:-1]
+    return float(best_p[-1]), -best_val

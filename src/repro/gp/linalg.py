@@ -1,0 +1,122 @@
+"""Cholesky-centric linear algebra for exact GP inference.
+
+Everything here operates on lower-triangular factors. The two
+performance-critical pieces are:
+
+- :func:`jittered_cholesky` — robust factorization with escalating
+  diagonal jitter (kernel matrices are often numerically semidefinite);
+- :func:`cholesky_append` — O(n²·m) extension of an existing factor
+  when m rows/columns are appended, which is what makes the Kriging
+  Believer fantasy updates cheap (no O(n³) refactorization per fantasy
+  point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+
+from repro.util import NumericalError
+
+#: Jitter ladder tried in order by :func:`jittered_cholesky`.
+JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+
+def jittered_cholesky(K: np.ndarray, jitters=JITTERS) -> tuple[np.ndarray, float]:
+    """Lower Cholesky factor of ``K + jitter·I``, with escalating jitter.
+
+    Returns ``(L, jitter_used)``. Raises :class:`NumericalError` if the
+    matrix stays indefinite at the largest jitter — that signals a real
+    modelling problem (e.g. duplicated inputs with zero noise), not a
+    round-off issue.
+    """
+    K = np.asarray(K, dtype=np.float64)
+    n = K.shape[0]
+    diag_scale = max(float(np.mean(np.diag(K))), 1.0)
+    last_error: Exception | None = None
+    for jitter in jitters:
+        try:
+            L = cholesky(K + (jitter * diag_scale) * np.eye(n), lower=True)
+            return L, jitter * diag_scale
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - scipy raises below
+            last_error = exc
+        except ValueError as exc:
+            last_error = exc
+        except Exception as exc:  # scipy raises LinAlgError subclass
+            last_error = exc
+    raise NumericalError(
+        f"Cholesky failed for {n}x{n} matrix even with jitter "
+        f"{jitters[-1] * diag_scale:g}: {last_error}"
+    )
+
+
+def solve_lower(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``L x = B`` for lower-triangular ``L``."""
+    return solve_triangular(L, B, lower=True, check_finite=False)
+
+
+def solve_cholesky(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``(L Lᵀ) x = B`` given the lower factor ``L``."""
+    return cho_solve((L, True), B, check_finite=False)
+
+
+def cholesky_append(
+    L: np.ndarray, K_cross: np.ndarray, K_new: np.ndarray
+) -> np.ndarray:
+    """Extend a Cholesky factor after appending rows to the matrix.
+
+    Given ``L`` with ``L Lᵀ = K`` (n×n), the cross-covariance block
+    ``K_cross`` (n×m) and the new diagonal block ``K_new`` (m×m), return
+    the (n+m)×(n+m) lower factor of::
+
+        [[K,        K_cross],
+         [K_crossᵀ, K_new  ]]
+
+    Cost is O(n²·m + m³) instead of O((n+m)³). The Schur complement is
+    factorized with :func:`jittered_cholesky` so appending a point that
+    duplicates an existing one (zero predictive variance) still succeeds.
+    """
+    L = np.asarray(L, dtype=np.float64)
+    n = L.shape[0]
+    K_cross = np.asarray(K_cross, dtype=np.float64).reshape(n, -1)
+    m = K_cross.shape[1]
+    K_new = np.asarray(K_new, dtype=np.float64).reshape(m, m)
+
+    B = solve_lower(L, K_cross)  # n×m, so that K_cross = L B
+    schur = K_new - B.T @ B
+    C, _ = jittered_cholesky(schur)
+
+    out = np.zeros((n + m, n + m), dtype=np.float64)
+    out[:n, :n] = L
+    out[n:, :n] = B.T
+    out[n:, n:] = C
+    return out
+
+
+def log_det_from_cholesky(L: np.ndarray) -> float:
+    """``log |K|`` from the lower factor of ``K``."""
+    return 2.0 * float(np.sum(np.log(np.diag(L))))
+
+
+def cholesky_adjoint(C: np.ndarray, C_bar: np.ndarray) -> np.ndarray:
+    """Reverse-mode derivative of the Cholesky decomposition.
+
+    Given the lower factor ``C`` of ``Σ`` and the gradient ``C_bar`` of
+    some scalar loss w.r.t. ``C``, return the (symmetrized) gradient
+    w.r.t. ``Σ``. Follows Murray (2016), "Differentiation of the
+    Cholesky decomposition":
+
+        Σ̄ = sym( C⁻ᵀ · Φ(Cᵀ C̄) · C⁻¹ ),
+
+    where Φ keeps the lower triangle and halves the diagonal, and
+    ``sym(A) = (A + Aᵀ)/2``. This is the piece that lets Monte-Carlo
+    qEI have an analytic spatial gradient without autodiff.
+    """
+    C = np.asarray(C, dtype=np.float64)
+    C_bar = np.asarray(C_bar, dtype=np.float64)
+    phi = np.tril(C.T @ C_bar)
+    phi[np.diag_indices_from(phi)] *= 0.5
+    # Y = C⁻ᵀ Φ, then Σ̄ = Y C⁻¹, via two triangular solves.
+    Y = solve_triangular(C, phi, lower=True, trans="T", check_finite=False)
+    sigma_bar = solve_triangular(C, Y.T, lower=True, trans="T", check_finite=False).T
+    return 0.5 * (sigma_bar + sigma_bar.T)

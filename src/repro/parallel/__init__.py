@@ -1,0 +1,40 @@
+"""Parallel-evaluation substrate.
+
+The paper runs its five algorithms under a hard *wall-clock* budget on
+a 16-core node with MPI4Py, where each UPHES simulation costs ~10 s.
+This package reproduces that experimental machinery:
+
+- :mod:`repro.parallel.clock` — virtual and wall clocks sharing one
+  interface, so the same driver runs real experiments and fast,
+  deterministic replays;
+- :mod:`repro.parallel.simcluster` — a virtual-clock batch executor
+  modelling ``n`` workers plus the paper's parallel-call overhead;
+- :mod:`repro.parallel.executor` — real serial / thread / process
+  executors behind one protocol;
+- :mod:`repro.parallel.comm` — an in-process MPI-style communicator
+  and the master–worker evaluation service the paper built on MPI4Py.
+"""
+
+from repro.parallel.clock import Clock, VirtualClock, WallClock
+from repro.parallel.comm import Communicator, MasterWorkerEvaluator, run_mpi
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.parallel.simcluster import OverheadModel, SimulatedCluster, lpt_makespan
+
+__all__ = [
+    "Clock",
+    "Communicator",
+    "MasterWorkerEvaluator",
+    "OverheadModel",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SimulatedCluster",
+    "ThreadExecutor",
+    "VirtualClock",
+    "WallClock",
+    "lpt_makespan",
+    "run_mpi",
+]

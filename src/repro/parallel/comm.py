@@ -1,0 +1,258 @@
+"""In-process MPI-style message passing.
+
+The paper parallelizes with MPI4Py in a master–worker layout: rank 0
+runs the Bayesian optimization loop and scatters candidate batches to
+worker ranks, which run the simulator and send profits back. MPI is not
+available in this environment, so this module provides a faithful
+in-process substitute: ranks are threads, each with a mailbox per peer,
+and the familiar primitives (``send``/``recv``/``bcast``/``scatter``/
+``gather``/``barrier``) have MPI semantics (blocking, ordered per
+sender–receiver pair).
+
+It is genuinely concurrent (thread-based), so with a simulator that
+releases the GIL — or simply sleeps, like a licensed external binary —
+the master–worker service exhibits real batch parallelism.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+#: Matches MPI_ANY_SOURCE.
+ANY_SOURCE = -1
+_DEFAULT_TAG = 0
+
+# Sentinel shutting down the worker loop of MasterWorkerEvaluator.
+_STOP = object()
+
+
+class Communicator:
+    """A fixed-size communicator shared by ``size`` rank endpoints.
+
+    Construct once, then hand ``rank_view(r)`` to each rank's code.
+    Mailboxes are per (source, destination, tag) FIFO queues, so
+    messages between a pair of ranks with one tag never reorder —
+    matching MPI's non-overtaking guarantee.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        self.size = int(size)
+        self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._boxes_lock = threading.Lock()
+        self._barrier = threading.Barrier(self.size)
+
+    def _box(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._boxes_lock:
+            if key not in self._boxes:
+                self._boxes[key] = queue.Queue()
+            return self._boxes[key]
+
+    def _check_rank(self, rank: int, name: str) -> int:
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(
+                f"{name}={rank} out of range for communicator of size {self.size}"
+            )
+        return int(rank)
+
+    def rank_view(self, rank: int) -> "RankView":
+        """The endpoint object rank ``rank``'s code communicates with."""
+        return RankView(self, self._check_rank(rank, "rank"))
+
+
+class RankView:
+    """One rank's endpoint: mirrors the mpi4py lowercase API."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self._comm = comm
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = _DEFAULT_TAG) -> None:
+        self._comm._check_rank(dest, "dest")
+        self._comm._box(self.rank, dest, tag).put(obj)
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = _DEFAULT_TAG,
+        timeout: float | None = 30.0,
+    ) -> Any:
+        """Blocking receive; ``ANY_SOURCE`` polls every peer fairly.
+
+        A ``timeout`` (default 30 s) guards against deadlocks in user
+        code — raising ``TimeoutError`` beats hanging a test suite.
+        """
+        if source != ANY_SOURCE:
+            self._comm._check_rank(source, "source")
+            try:
+                return self._comm._box(source, self.rank, tag).get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"rank {self.rank} timed out receiving from {source}"
+                ) from None
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while True:
+            for src in range(self._comm.size):
+                box = self._comm._box(src, self.rank, tag)
+                try:
+                    return box.get_nowait()
+                except queue.Empty:
+                    continue
+            if deadline is not None and _time.monotonic() > deadline:
+                raise TimeoutError(f"rank {self.rank} timed out on ANY_SOURCE")
+            _time.sleep(1e-4)
+
+    # -- collectives -----------------------------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._comm._check_rank(root, "root")
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=-2)
+            return obj
+        return self.recv(source=root, tag=-2)
+
+    def scatter(self, chunks, root: int = 0) -> Any:
+        self._comm._check_rank(root, "root")
+        if self.rank == root:
+            if len(chunks) != self.size:
+                raise ConfigurationError(
+                    f"scatter needs {self.size} chunks, got {len(chunks)}"
+                )
+            own = None
+            for dst, chunk in enumerate(chunks):
+                if dst == root:
+                    own = chunk
+                else:
+                    self.send(chunk, dst, tag=-3)
+            return own
+        return self.recv(source=root, tag=-3)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        self._comm._check_rank(root, "root")
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(source=src, tag=-4)
+            return out
+        self.send(obj, root, tag=-4)
+        return None
+
+    def barrier(self) -> None:
+        self._comm._barrier.wait()
+
+
+def run_mpi(fn: Callable[[RankView], Any], size: int, timeout: float = 60.0) -> list:
+    """Run ``fn(rank_view)`` on ``size`` thread-ranks; gather returns.
+
+    The in-process analogue of ``mpiexec -n size python script.py``.
+    Exceptions in any rank are re-raised in the caller after all ranks
+    finish or the timeout elapses.
+    """
+    comm = Communicator(size)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = fn(comm.rank_view(rank))
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"mpi-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise TimeoutError(f"ranks did not finish: {alive}")
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results
+
+
+class MasterWorkerEvaluator:
+    """Master–worker batch evaluation over a :class:`Communicator`.
+
+    The layout of the paper's MPI4Py harness: worker ranks sit in a
+    service loop evaluating points; the master (the BO loop) calls
+    :meth:`evaluate` with a batch and receives the objective values.
+    Results are reassembled in submission order regardless of worker
+    completion order.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, problem, n_workers: int):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.problem = problem
+        self.n_workers = int(n_workers)
+        self._comm = Communicator(n_workers + 1)
+        self._master = self._comm.rank_view(0)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(r,), name=f"worker-{r}", daemon=True
+            )
+            for r in range(1, n_workers + 1)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker_loop(self, rank: int) -> None:
+        view = self._comm.rank_view(rank)
+        while True:
+            msg = view.recv(source=0, timeout=None)
+            if msg is _STOP:
+                return
+            index, x = msg
+            y = float(self.problem(np.asarray(x)[None, :])[0])
+            view.send((index, y), dest=0)
+
+    def evaluate(self, X) -> np.ndarray:
+        """Evaluate the rows of ``X`` across the workers."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        n = X.shape[0]
+        for i in range(n):
+            worker = 1 + (i % self.n_workers)
+            self._master.send((i, X[i]), dest=worker)
+        y = np.empty(n, dtype=np.float64)
+        for _ in range(n):
+            index, value = self._master.recv(source=ANY_SOURCE)
+            y[index] = value
+        return y
+
+    def shutdown(self) -> None:
+        for r in range(1, self.n_workers + 1):
+            self._master.send(_STOP, dest=r)
+        for t in self._threads:
+            t.join(timeout=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False

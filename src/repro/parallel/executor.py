@@ -1,0 +1,85 @@
+"""Real executors behind one tiny protocol.
+
+These evaluate a problem over a batch of points using actual
+parallelism (threads or processes). The virtual-clock experiments use
+:class:`repro.parallel.simcluster.SimulatedCluster` instead; the real
+executors exist for users who plug in genuinely expensive simulators,
+and to exercise the batch-evaluation code path with true concurrency in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.util import ConfigurationError, check_matrix
+
+
+class SerialExecutor:
+    """Evaluate the whole batch in the calling thread (one call)."""
+
+    n_workers = 1
+
+    def evaluate(self, problem, X) -> np.ndarray:
+        X = check_matrix(X, "X", cols=problem.dim)
+        return problem(X)
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
+class _PoolExecutor:
+    """Shared logic for thread/process pools: one row per task."""
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def evaluate(self, problem, X) -> np.ndarray:
+        X = check_matrix(X, "X", cols=problem.dim)
+        if self._pool is None:
+            self._pool = self._make_pool()
+        rows = [X[i : i + 1] for i in range(X.shape[0])]
+        results = list(self._pool.map(problem, rows))
+        return np.concatenate([np.atleast_1d(r) for r in results])
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool batch evaluation.
+
+    Appropriate when the objective releases the GIL (NumPy-heavy
+    simulators) or wraps an external process.
+    """
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.n_workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool batch evaluation.
+
+    The problem object must be picklable. Worth it only when a single
+    evaluation costs far more than the fork/pickle overhead.
+    """
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.n_workers)

@@ -1,0 +1,32 @@
+"""Optimization problems: abstraction, benchmark functions, wrappers."""
+
+from repro.problems.benchmarks import (
+    BENCHMARKS,
+    ackley,
+    get_benchmark,
+    griewank,
+    levy,
+    rastrigin,
+    rosenbrock,
+    schwefel,
+    sphere,
+)
+from repro.problems.problem import FunctionProblem, Problem
+from repro.problems.wrappers import CountingProblem, NoisyProblem, ShiftedProblem
+
+__all__ = [
+    "BENCHMARKS",
+    "CountingProblem",
+    "FunctionProblem",
+    "NoisyProblem",
+    "Problem",
+    "ShiftedProblem",
+    "ackley",
+    "get_benchmark",
+    "griewank",
+    "levy",
+    "rastrigin",
+    "rosenbrock",
+    "schwefel",
+    "sphere",
+]

@@ -1,0 +1,142 @@
+"""The :class:`Problem` abstraction shared by every optimizer.
+
+A problem is a box-constrained black-box objective. The library works
+internally in *minimization* convention; maximization problems (like the
+UPHES profit) set ``maximize=True`` and the driver handles negation, so
+user-facing results always carry the problem's native orientation.
+
+Problems also expose ``sim_time``: the *virtual* cost of one evaluation
+in seconds, used by the virtual-clock executors to reproduce the paper's
+wall-time-budgeted experiments (simulations last ~10 s there).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util import ValidationError, check_bounds, check_matrix
+
+
+class Problem:
+    """Box-constrained black-box optimization problem.
+
+    Subclasses implement :meth:`evaluate` taking a ``(n, d)`` batch and
+    returning ``(n,)`` objective values. The default :meth:`__call__`
+    accepts single points or batches.
+
+    Parameters
+    ----------
+    bounds:
+        ``(d, 2)`` array of per-dimension ``(lower, upper)`` box bounds.
+    name:
+        Human-readable identifier used in reports.
+    maximize:
+        Native orientation of the objective. ``False`` (default) means
+        smaller is better.
+    sim_time:
+        Virtual duration of one evaluation in seconds (default 0: free).
+    optimum:
+        Known optimal objective value, if any (for gap reporting).
+    """
+
+    def __init__(
+        self,
+        bounds,
+        name: str = "problem",
+        maximize: bool = False,
+        sim_time: float = 0.0,
+        optimum: float | None = None,
+    ):
+        self.bounds = check_bounds(bounds)
+        self.name = str(name)
+        self.maximize = bool(maximize)
+        if sim_time < 0:
+            raise ValidationError(f"sim_time must be >= 0, got {sim_time}")
+        self.sim_time = float(sim_time)
+        self.optimum = None if optimum is None else float(optimum)
+
+    @property
+    def dim(self) -> int:
+        """Number of decision variables."""
+        return self.bounds.shape[0]
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Vector of lower bounds, shape ``(d,)``."""
+        return self.bounds[:, 0]
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Vector of upper bounds, shape ``(d,)``."""
+        return self.bounds[:, 1]
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate a validated ``(n, d)`` batch; returns ``(n,)`` values."""
+        raise NotImplementedError
+
+    def __call__(self, X) -> np.ndarray:
+        X = check_matrix(X, "X", cols=self.dim)
+        y = np.asarray(self.evaluate(X), dtype=np.float64)
+        if y.shape != (X.shape[0],):
+            raise ValidationError(
+                f"{self.name}.evaluate returned shape {y.shape}, "
+                f"expected ({X.shape[0]},)"
+            )
+        return y
+
+    def clip(self, X) -> np.ndarray:
+        """Project points onto the box, returning a new array."""
+        X = check_matrix(X, "X", cols=self.dim)
+        return np.clip(X, self.lower, self.upper)
+
+    def contains(self, X) -> np.ndarray:
+        """Boolean mask of rows lying inside the box (inclusive)."""
+        X = check_matrix(X, "X", cols=self.dim)
+        return np.all((X >= self.lower) & (X <= self.upper), axis=1)
+
+    def normalize(self, X) -> np.ndarray:
+        """Map points from the box to the unit cube ``[0, 1]^d``."""
+        X = check_matrix(X, "X", cols=self.dim)
+        return (X - self.lower) / (self.upper - self.lower)
+
+    def denormalize(self, U) -> np.ndarray:
+        """Map points from the unit cube back to the box."""
+        U = check_matrix(U, "U", cols=self.dim)
+        return self.lower + U * (self.upper - self.lower)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        direction = "max" if self.maximize else "min"
+        return f"{type(self).__name__}({self.name!r}, d={self.dim}, {direction})"
+
+
+class FunctionProblem(Problem):
+    """Wrap a plain callable ``f(X) -> y`` as a :class:`Problem`.
+
+    The callable must accept an ``(n, d)`` array and return ``(n,)``
+    values (vectorized evaluation — the cheap path for synthetic
+    benchmarks, per the NumPy vectorization guideline).
+    """
+
+    def __init__(
+        self,
+        func: Callable[[np.ndarray], np.ndarray],
+        bounds,
+        name: str | None = None,
+        maximize: bool = False,
+        sim_time: float = 0.0,
+        optimum: float | None = None,
+    ):
+        super().__init__(
+            bounds,
+            name=name or getattr(func, "__name__", "function"),
+            maximize=maximize,
+            sim_time=sim_time,
+            optimum=optimum,
+        )
+        self._func = func
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        # Flatten (n, 1)-shaped returns; __call__ validates the length.
+        return np.asarray(self._func(X), dtype=np.float64).reshape(-1)

@@ -1,0 +1,89 @@
+"""Problem decorators: evaluation counting, observation noise, shifts.
+
+These compose around any :class:`~repro.problems.Problem` without
+changing its interface, so optimizers and executors treat wrapped and
+bare problems identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.problem import Problem
+from repro.util import RandomState, as_generator, check_positive
+
+
+class _DelegatingProblem(Problem):
+    """Base for wrappers that forward metadata to an inner problem."""
+
+    def __init__(self, inner: Problem, name_suffix: str):
+        self.inner = inner
+        super().__init__(
+            inner.bounds,
+            name=f"{inner.name}{name_suffix}",
+            maximize=inner.maximize,
+            sim_time=inner.sim_time,
+            optimum=inner.optimum,
+        )
+
+
+class CountingProblem(_DelegatingProblem):
+    """Count evaluations flowing through the wrapped problem.
+
+    ``n_calls`` counts batched calls, ``n_evals`` counts individual
+    points; ``history`` optionally records every (X, y) pair.
+    """
+
+    def __init__(self, inner: Problem, record: bool = False):
+        super().__init__(inner, name_suffix="")
+        self.n_calls = 0
+        self.n_evals = 0
+        self.record = bool(record)
+        self.history: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        y = self.inner(X)
+        self.n_calls += 1
+        self.n_evals += X.shape[0]
+        if self.record:
+            self.history.append((X.copy(), y.copy()))
+        return y
+
+    def reset(self) -> None:
+        """Zero the counters and clear the recorded history."""
+        self.n_calls = 0
+        self.n_evals = 0
+        self.history.clear()
+
+
+class NoisyProblem(_DelegatingProblem):
+    """Add i.i.d. Gaussian observation noise to the wrapped objective."""
+
+    def __init__(self, inner: Problem, noise_std: float, seed: RandomState = None):
+        super().__init__(inner, name_suffix="+noise")
+        self.noise_std = check_positive(noise_std, "noise_std")
+        self._rng = as_generator(seed)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        y = self.inner(X)
+        return y + self._rng.normal(0.0, self.noise_std, size=y.shape)
+
+
+class ShiftedProblem(_DelegatingProblem):
+    """Evaluate the inner problem at ``x - shift`` (optimum relocation).
+
+    Useful to de-bias benchmarks whose optimum sits at a special point
+    (origin / all-ones) that initial designs can hit by accident.
+    """
+
+    def __init__(self, inner: Problem, shift):
+        super().__init__(inner, name_suffix="+shift")
+        shift = np.asarray(shift, dtype=np.float64).reshape(-1)
+        if shift.shape[0] != inner.dim:
+            raise ValueError(
+                f"shift must have length {inner.dim}, got {shift.shape[0]}"
+            )
+        self.shift = shift
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return self.inner(np.clip(X - self.shift, self.inner.lower, self.inner.upper))

@@ -1,0 +1,41 @@
+"""Underground Pumped Hydro-Energy Storage simulator substrate.
+
+The paper's objective function is a licensed Matlab/RAO simulator of
+the Maizeret (Belgium) plant. This package rebuilds it as an open,
+physics-based synthetic simulator with the same interface (a 12-d
+decision vector in, an expected daily profit in EUR out) and the same
+qualitative landscape; see DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.uphes.config import (
+    GroundwaterConfig,
+    MachineConfig,
+    MarketConfig,
+    ReservoirConfig,
+    UPHESConfig,
+)
+from repro.uphes.groundwater import GroundwaterExchange
+from repro.uphes.machine import PumpTurbine
+from repro.uphes.market import MarketScenarios, daily_price_shape
+from repro.uphes.reservoirs import Reservoir, net_head
+from repro.uphes.schedule import block_hours, decode_schedule, reserve_block_index
+from repro.uphes.simulator import SimulationTrace, UPHESSimulator
+
+__all__ = [
+    "GroundwaterConfig",
+    "GroundwaterExchange",
+    "MachineConfig",
+    "MarketConfig",
+    "MarketScenarios",
+    "PumpTurbine",
+    "Reservoir",
+    "ReservoirConfig",
+    "SimulationTrace",
+    "UPHESConfig",
+    "UPHESSimulator",
+    "block_hours",
+    "daily_price_shape",
+    "decode_schedule",
+    "net_head",
+    "reserve_block_index",
+]

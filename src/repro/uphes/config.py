@@ -1,0 +1,192 @@
+"""Configuration of the synthetic UPHES plant and markets.
+
+The paper's simulator (the Maizeret plant, implemented in Matlab and
+the proprietary RAO language — Toubeau et al., 2019) is a licensed
+black box. This configuration describes the synthetic plant rebuilt in
+:mod:`repro.uphes`: the public facts from the paper are kept exactly —
+
+- nominal pump range **[6, 8] MW**, turbine range **[4, 8] MW**,
+- energy capacity **80 MWh**,
+- lower basin = former underground open-pit mine with groundwater
+  exchange,
+- both reservoir surfaces small → strong head effects,
+- 12 decision variables: 8 energy-market blocks + 4 reserve blocks —
+
+and the remaining constants are chosen so the optimization landscape
+has the paper's qualitative properties (discontinuous, nonlinear,
+mostly negative under random sampling; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+#: Water density [kg/m³] times gravity [m/s²]: pressure per metre head.
+RHO_G = 1000.0 * 9.81
+
+
+@dataclass(frozen=True)
+class ReservoirConfig:
+    """Geometry of one reservoir via a power-law level–volume curve.
+
+    ``level(V) = z_floor + depth · (V / v_max) ** shape`` — ``shape``
+    below 1 models a basin that narrows towards the bottom (the mine
+    pit), above (or near) 1 a shallow regular basin.
+    """
+
+    v_max: float  # usable volume [m³]
+    z_floor: float  # floor elevation [m above datum]
+    depth: float  # water depth at full volume [m]
+    shape: float  # curvature of the level–volume relation
+
+    def __post_init__(self):
+        if self.v_max <= 0 or self.depth <= 0 or self.shape <= 0:
+            raise ConfigurationError("reservoir v_max, depth, shape must be > 0")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Variable-speed pump-turbine unit with head-dependent envelopes."""
+
+    # Nominal operating ranges at nominal head (paper, §2.3.1).
+    p_turb_min: float = 4.0  # MW
+    p_turb_max: float = 8.0  # MW
+    p_pump_min: float = 6.0  # MW
+    p_pump_max: float = 8.0  # MW
+    head_nominal: float = 90.0  # m
+    # Safe head window (outside it the mode is unavailable).
+    head_min_turb: float = 65.0  # cavitation limit in turbine mode
+    head_max_pump: float = 115.0  # maximum lift in pump mode
+    # Peak efficiencies and hill-curve curvatures.
+    eta_turb_peak: float = 0.91
+    eta_pump_peak: float = 0.88
+    eta_floor: float = 0.55
+    hill_power_curv: float = 0.10  # efficiency loss per (ΔP/4 MW)²
+    hill_head_curv: float = 0.06  # efficiency loss per (ΔH/30 m)²
+    # How the limits move with head (fraction of nominal per ΔH/H₀).
+    turb_max_head_gain: float = 0.8
+    turb_min_head_gain: float = 1.2  # forbidden zone grows as head drops
+    start_cost: float = 30.0  # EUR per mode transition
+
+    def __post_init__(self):
+        if not (0 < self.p_turb_min < self.p_turb_max):
+            raise ConfigurationError("need 0 < p_turb_min < p_turb_max")
+        if not (0 < self.p_pump_min <= self.p_pump_max):
+            raise ConfigurationError("need 0 < p_pump_min <= p_pump_max")
+        if not (0 < self.head_min_turb < self.head_nominal < self.head_max_pump):
+            raise ConfigurationError("inconsistent head limits")
+
+
+@dataclass(frozen=True)
+class GroundwaterConfig:
+    """Exchange between the mine pit and the surrounding water table.
+
+    Seepage flow is ``conductance · (z_table − z_lower_level)`` m³/s:
+    water seeps *into* the pit while its level is below the surrounding
+    table and leaks out above it (Pujades et al., 2017).
+    """
+
+    z_table: float = -80.0  # m, surrounding water-table elevation
+    conductance: float = 0.03  # m³/s per metre of level difference
+    table_noise_std: float = 2.0  # m, per-scenario uncertainty
+
+    def __post_init__(self):
+        if self.conductance < 0 or self.table_noise_std < 0:
+            raise ConfigurationError("groundwater parameters must be >= 0")
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Day-ahead energy and reserve markets with scenario uncertainty."""
+
+    n_energy_blocks: int = 8  # 3-hour products
+    n_reserve_blocks: int = 4  # 6-hour products
+    # Deterministic daily price shape [EUR/MWh].
+    price_base: float = 45.0
+    price_morning_peak: float = 28.0  # centred 08:00
+    price_evening_peak: float = 38.0  # centred 19:00
+    price_night_valley: float = 20.0  # centred 03:30
+    # AR(1) scenario noise on the energy price.
+    price_noise_std: float = 7.0
+    price_noise_rho: float = 0.9
+    # Reserve capacity price [EUR/MW/h] and its lognormal-ish spread.
+    reserve_price_mean: float = 9.0
+    reserve_price_std: float = 2.5
+    # Settlement and constraint penalties ("a penalty term inside the
+    # simulator", paper §2.1).
+    imbalance_multiplier: float = 3.5  # deviation charged at λ·price
+    unsafe_penalty: float = 60.0  # EUR/MWh committed inside a forbidden zone
+    reserve_shortfall_price: float = 120.0  # EUR/MWh of missing headroom
+    reserve_sustain_hours: float = 0.5  # stored energy needed per MW of reserve
+    min_price: float = 1.0  # price floor after noise
+
+    def __post_init__(self):
+        if self.n_energy_blocks < 1 or self.n_reserve_blocks < 1:
+            raise ConfigurationError("need at least one block per market")
+        if self.imbalance_multiplier < 1.0:
+            raise ConfigurationError("imbalance_multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class UPHESConfig:
+    """Full plant + market description (defaults ≈ the Maizeret setup)."""
+
+    # 80 MWh at ~90 m head and peak turbine efficiency ↔ ~3.6e5 m³.
+    upper: ReservoirConfig = field(
+        default_factory=lambda: ReservoirConfig(
+            v_max=3.6e5, z_floor=8.0, depth=14.0, shape=0.95
+        )
+    )
+    lower: ReservoirConfig = field(
+        default_factory=lambda: ReservoirConfig(
+            v_max=3.6e5, z_floor=-100.0, depth=32.0, shape=0.7
+        )
+    )
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    groundwater: GroundwaterConfig = field(default_factory=GroundwaterConfig)
+    market: MarketConfig = field(default_factory=MarketConfig)
+
+    horizon_hours: float = 24.0
+    dt_hours: float = 0.25
+    n_scenarios: int = 8
+    # Initial fill fractions.
+    upper_fill0: float = 0.5
+    lower_fill0: float = 0.5
+    # Terminal valuation of the *change* in stored upper-basin energy,
+    # as a fraction of the mean energy price (kept below 1 so hoarding
+    # water is not a free lunch).
+    water_value_factor: float = 0.55
+
+    def __post_init__(self):
+        if self.horizon_hours <= 0 or self.dt_hours <= 0:
+            raise ConfigurationError("horizon and dt must be positive")
+        n_steps = self.horizon_hours / self.dt_hours
+        if abs(n_steps - round(n_steps)) > 1e-9:
+            raise ConfigurationError("dt must divide the horizon")
+        if self.n_scenarios < 1:
+            raise ConfigurationError("need at least one scenario")
+        for name in ("upper_fill0", "lower_fill0"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+    @property
+    def n_steps(self) -> int:
+        return int(round(self.horizon_hours / self.dt_hours))
+
+    @property
+    def dim(self) -> int:
+        """Decision-vector dimension (8 energy + 4 reserve = 12)."""
+        return self.market.n_energy_blocks + self.market.n_reserve_blocks
+
+    def bounds(self) -> np.ndarray:
+        """``(dim, 2)`` decision bounds: energy ±p_max, reserve [0, 4]."""
+        p_hi = max(self.machine.p_turb_max, self.machine.p_pump_max)
+        energy = np.tile([-p_hi, p_hi], (self.market.n_energy_blocks, 1))
+        r_hi = self.machine.p_turb_max - self.machine.p_turb_min
+        reserve = np.tile([0.0, r_hi], (self.market.n_reserve_blocks, 1))
+        return np.vstack([energy, reserve])

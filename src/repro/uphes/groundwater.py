@@ -1,0 +1,37 @@
+"""Groundwater exchange between the mine pit and its surroundings.
+
+The lower basin is a former open-pit mine whose waterproofing is not
+economical (paper §2.1): water seeps through the porous surroundings at
+a rate proportional to the level difference with the local water table.
+The table elevation itself is scenario-uncertain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uphes.config import GroundwaterConfig
+
+
+class GroundwaterExchange:
+    """Darcy-like linear exchange model, vectorized over scenarios."""
+
+    def __init__(self, config: GroundwaterConfig):
+        self.config = config
+
+    def flow(self, lower_level, z_table=None) -> np.ndarray:
+        """Seepage flow [m³/s] *into* the pit (negative = leakage out).
+
+        ``z_table`` may be a per-scenario array; defaults to the
+        configured deterministic table elevation.
+        """
+        z = self.config.z_table if z_table is None else np.asarray(z_table)
+        return self.config.conductance * (
+            z - np.asarray(lower_level, dtype=np.float64)
+        )
+
+    def sample_table(self, rng: np.random.Generator, n_scenarios: int) -> np.ndarray:
+        """Per-scenario water-table elevations [m]."""
+        return self.config.z_table + self.config.table_noise_std * rng.standard_normal(
+            n_scenarios
+        )

@@ -1,0 +1,109 @@
+"""The variable-speed pump-turbine: envelopes, hill curves, flows.
+
+Reproduces the two machine-side effects the paper calls out:
+
+- **head-dependent operating envelopes** — the safe power window moves
+  with the net head; in turbine mode the lower limit (the edge of the
+  cavitation / rough-running zone) *rises* as the head drops, and the
+  whole mode disappears outside the safe head window. This is the
+  source of the problem's discontinuity and its mixed-integer flavour
+  (pump / turbine / idle);
+- **non-convex performance (hill) curves** — efficiency is a quadratic
+  bowl around a head-dependent best-efficiency point, clipped at a
+  floor, so the power→flow map is neither convex nor concave.
+
+All functions are vectorized over scenario arrays of heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uphes.config import RHO_G, MachineConfig
+
+
+class PumpTurbine:
+    """Stateless machine model; state (volumes) lives in the simulator."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+
+    # -- operating envelopes --------------------------------------------
+    def turbine_limits(self, head) -> tuple[np.ndarray, np.ndarray]:
+        """(p_min, p_max) [MW] in turbine mode; NaN-free, 0-width when off.
+
+        Below ``head_min_turb`` the mode is unavailable: both limits
+        collapse to +inf/0 so every commitment is infeasible.
+        """
+        c = self.config
+        head = np.asarray(head, dtype=np.float64)
+        rel = (head - c.head_nominal) / c.head_nominal
+        p_max = c.p_turb_max * (1.0 + c.turb_max_head_gain * rel)
+        p_max = np.clip(p_max, 0.0, c.p_turb_max)
+        p_min = c.p_turb_min * (1.0 - c.turb_min_head_gain * np.minimum(rel, 0.0))
+        available = head >= c.head_min_turb
+        p_min = np.where(available, p_min, np.inf)
+        p_max = np.where(available, p_max, 0.0)
+        return p_min, p_max
+
+    def pump_limits(self, head) -> tuple[np.ndarray, np.ndarray]:
+        """(p_min, p_max) [MW] in pump mode; unavailable above max lift."""
+        c = self.config
+        head = np.asarray(head, dtype=np.float64)
+        available = head <= c.head_max_pump
+        p_min = np.where(available, c.p_pump_min, np.inf)
+        p_max = np.where(available, c.p_pump_max, 0.0)
+        return p_min, p_max
+
+    # -- hill curves ------------------------------------------------------
+    def _hill(self, power, head, peak: float, bep_shift: float) -> np.ndarray:
+        c = self.config
+        power = np.asarray(power, dtype=np.float64)
+        head = np.asarray(head, dtype=np.float64)
+        dh = (head - c.head_nominal) / 30.0
+        # Best-efficiency point drifts with head.
+        p_bep = 0.5 * (c.p_turb_min + c.p_turb_max) + bep_shift * dh * 2.0
+        dp = (power - p_bep) / 4.0
+        eta = peak - c.hill_power_curv * dp**2 - c.hill_head_curv * dh**2
+        return np.clip(eta, c.eta_floor, peak)
+
+    def turbine_efficiency(self, power, head) -> np.ndarray:
+        """Hydraulic-to-electric efficiency in turbine mode."""
+        return self._hill(power, head, self.config.eta_turb_peak, bep_shift=+1.0)
+
+    def pump_efficiency(self, power, head) -> np.ndarray:
+        """Electric-to-hydraulic efficiency in pump mode."""
+        return self._hill(power, head, self.config.eta_pump_peak, bep_shift=-1.0)
+
+    # -- power ↔ flow ------------------------------------------------------
+    def turbine_flow(self, power, head) -> np.ndarray:
+        """Discharge [m³/s] needed to generate ``power`` MW at ``head``.
+
+        ``P = ρ·g·Q·H·η  ⇒  Q = P / (ρ·g·H·η)``; powers in MW.
+        """
+        head = np.maximum(np.asarray(head, dtype=np.float64), 1.0)
+        eta = self.turbine_efficiency(power, head)
+        return np.asarray(power, dtype=np.float64) * 1e6 / (RHO_G * head * eta)
+
+    def pump_flow(self, power, head) -> np.ndarray:
+        """Lift flow [m³/s] produced by ``power`` MW of pumping.
+
+        ``Q = P·η / (ρ·g·H)``; powers in MW.
+        """
+        head = np.maximum(np.asarray(head, dtype=np.float64), 1.0)
+        eta = self.pump_efficiency(power, head)
+        return np.asarray(power, dtype=np.float64) * 1e6 * eta / (RHO_G * head)
+
+    def turbine_power_from_flow(self, flow, head) -> np.ndarray:
+        """Approximate inverse of :meth:`turbine_flow` for water limits.
+
+        Evaluated at the flow-implied power using the efficiency at
+        nominal mid-power (a fixed point would be exact; one step is
+        within the hill curve's flatness and keeps the simulator fast).
+        """
+        head = np.maximum(np.asarray(head, dtype=np.float64), 1.0)
+        p0 = RHO_G * head * np.asarray(flow, dtype=np.float64) * (
+            self.config.eta_turb_peak
+        ) / 1e6
+        eta = self.turbine_efficiency(p0, head)
+        return RHO_G * head * np.asarray(flow, dtype=np.float64) * eta / 1e6

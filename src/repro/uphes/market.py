@@ -1,0 +1,77 @@
+"""Energy and reserve market price scenarios.
+
+Day-ahead prices follow the classic double-peak daily shape (morning
+and evening peaks, deep night valley) with AR(1) scenario noise;
+reserve capacity prices are per-block positives. Scenarios are drawn
+once per simulator instance from a seeded generator, so the "expected
+profit" objective is deterministic — the paper's simulator likewise
+returns an expectation over its internal uncertainty model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uphes.config import MarketConfig
+from repro.util import RandomState, as_generator
+
+
+def daily_price_shape(hours: np.ndarray, config: MarketConfig) -> np.ndarray:
+    """Deterministic EUR/MWh day-ahead curve at the given hours."""
+    c = config
+
+    def bump(center: float, width: float) -> np.ndarray:
+        return np.exp(-0.5 * ((hours - center) / width) ** 2)
+
+    return (
+        c.price_base
+        + c.price_morning_peak * bump(8.0, 1.8)
+        + c.price_evening_peak * bump(19.0, 2.2)
+        - c.price_night_valley * bump(3.5, 2.5)
+    )
+
+
+class MarketScenarios:
+    """Frozen scenario set for one simulator instance.
+
+    Attributes
+    ----------
+    energy_price:
+        ``(n_scenarios, n_steps)`` EUR/MWh day-ahead paths.
+    reserve_price:
+        ``(n_scenarios, n_reserve_blocks)`` EUR/MW/h capacity prices.
+    mean_price:
+        Scalar mean of the energy price (terminal water valuation).
+    """
+
+    def __init__(
+        self,
+        config: MarketConfig,
+        n_steps: int,
+        dt_hours: float,
+        n_scenarios: int,
+        seed: RandomState = None,
+    ):
+        rng = as_generator(seed)
+        self.config = config
+        hours = (np.arange(n_steps) + 0.5) * dt_hours
+        base = daily_price_shape(hours, config)
+
+        noise = np.empty((n_scenarios, n_steps))
+        innov = rng.standard_normal((n_scenarios, n_steps))
+        rho = config.price_noise_rho
+        scale = config.price_noise_std * np.sqrt(max(1.0 - rho**2, 1e-12))
+        noise[:, 0] = config.price_noise_std * innov[:, 0]
+        for t in range(1, n_steps):
+            noise[:, t] = rho * noise[:, t - 1] + scale * innov[:, t]
+        self.energy_price = np.maximum(base[None, :] + noise, config.min_price)
+
+        raw = config.reserve_price_mean + config.reserve_price_std * rng.standard_normal(
+            (n_scenarios, config.n_reserve_blocks)
+        )
+        self.reserve_price = np.maximum(raw, 0.0)
+
+        self.mean_price = float(np.mean(self.energy_price))
+        self.n_scenarios = n_scenarios
+        self.n_steps = n_steps
+        self.dt_hours = dt_hours

@@ -1,0 +1,55 @@
+"""Reservoir geometry: nonlinear level–volume curves and head.
+
+The paper stresses that UPHES units see *important variations of the
+net hydraulic head* because both basins have limited surface area
+("head effects"). These curves make the head a strongly state-dependent
+quantity: the pit-shaped lower basin (shape < 1) swings its level
+faster when nearly empty, the shallow upper basin almost linearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uphes.config import ReservoirConfig
+
+
+class Reservoir:
+    """State-free reservoir geometry helper (volumes live in arrays).
+
+    All methods are vectorized over scenario arrays.
+    """
+
+    def __init__(self, config: ReservoirConfig):
+        self.config = config
+
+    @property
+    def v_max(self) -> float:
+        return self.config.v_max
+
+    def clamp(self, volume: np.ndarray) -> np.ndarray:
+        """Volumes clipped to the physical range ``[0, v_max]``."""
+        return np.clip(volume, 0.0, self.config.v_max)
+
+    def level(self, volume) -> np.ndarray:
+        """Water surface elevation [m] for volume(s) [m³]."""
+        c = self.config
+        frac = np.clip(np.asarray(volume, dtype=np.float64) / c.v_max, 0.0, 1.0)
+        return c.z_floor + c.depth * frac**c.shape
+
+    def volume_from_level(self, level) -> np.ndarray:
+        """Inverse of :meth:`level` (clipped to the valid range)."""
+        c = self.config
+        frac = np.clip(
+            (np.asarray(level, dtype=np.float64) - c.z_floor) / c.depth, 0.0, 1.0
+        )
+        return c.v_max * frac ** (1.0 / c.shape)
+
+    def headroom(self, volume) -> np.ndarray:
+        """Remaining fillable volume [m³]."""
+        return self.config.v_max - self.clamp(np.asarray(volume, dtype=np.float64))
+
+
+def net_head(upper: Reservoir, v_up, lower: Reservoir, v_low) -> np.ndarray:
+    """Net hydraulic head [m]: upper surface minus lower surface."""
+    return upper.level(v_up) - lower.level(v_low)

@@ -1,0 +1,55 @@
+"""Decision-vector decoding: 12 numbers → a 24-hour dispatch plan.
+
+The decision vector follows the paper (§2.1): 8 variables commit power
+on the day-ahead energy market's 3-hour blocks (signed: positive sells
+/ turbine, negative buys / pump) and 4 variables offer upward reserve
+capacity on 6-hour blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uphes.config import UPHESConfig
+from repro.util import ValidationError, check_vector
+
+
+def decode_schedule(x, config: UPHESConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a decision vector to per-step commitments.
+
+    Returns ``(power, reserve)``: two ``(n_steps,)`` arrays of the
+    committed market power [MW, signed] and offered upward reserve
+    capacity [MW, >= 0] at each simulation step.
+    """
+    m = config.market
+    x = check_vector(x, "x", dim=config.dim)
+    energy = x[: m.n_energy_blocks]
+    reserve = x[m.n_energy_blocks :]
+    if np.any(reserve < -1e-9):
+        raise ValidationError("reserve offers must be non-negative")
+
+    n = config.n_steps
+    if n % m.n_energy_blocks or n % m.n_reserve_blocks:
+        raise ValidationError(
+            "block counts must divide the number of simulation steps"
+        )
+    power = np.repeat(energy, n // m.n_energy_blocks)
+    res = np.repeat(np.maximum(reserve, 0.0), n // m.n_reserve_blocks)
+    return power, res
+
+
+def block_hours(config: UPHESConfig) -> tuple[float, float]:
+    """(energy_block_hours, reserve_block_hours)."""
+    m = config.market
+    return (
+        config.horizon_hours / m.n_energy_blocks,
+        config.horizon_hours / m.n_reserve_blocks,
+    )
+
+
+def reserve_block_index(config: UPHESConfig) -> np.ndarray:
+    """Map each simulation step to its reserve block, ``(n_steps,)``."""
+    m = config.market
+    return np.repeat(
+        np.arange(m.n_reserve_blocks), config.n_steps // m.n_reserve_blocks
+    )

@@ -1,0 +1,33 @@
+"""Shared utilities: errors, RNG handling, validation helpers."""
+
+from repro.util.errors import (
+    BudgetExhausted,
+    ConfigurationError,
+    NumericalError,
+    ReproError,
+    ValidationError,
+)
+from repro.util.rng import RandomState, as_generator, spawn_generators
+from repro.util.validation import (
+    check_bounds,
+    check_finite,
+    check_matrix,
+    check_positive,
+    check_vector,
+)
+
+__all__ = [
+    "BudgetExhausted",
+    "ConfigurationError",
+    "NumericalError",
+    "RandomState",
+    "ReproError",
+    "ValidationError",
+    "as_generator",
+    "check_bounds",
+    "check_finite",
+    "check_matrix",
+    "check_positive",
+    "check_vector",
+    "spawn_generators",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything coming from this package with one clause
+while still distinguishing configuration mistakes from numerical
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with inconsistent or invalid options."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An array argument failed shape / dtype / range validation."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical routine failed beyond recovery.
+
+    Raised e.g. when a kernel matrix stays indefinite after the maximum
+    jitter has been added to its diagonal.
+    """
+
+
+class BudgetExhausted(ReproError, RuntimeError):
+    """The optimization time budget ran out mid-operation.
+
+    The driver uses this internally to unwind from an acquisition step
+    that would overrun the virtual wall-clock budget.
+    """

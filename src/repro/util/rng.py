@@ -1,0 +1,51 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument
+that may be ``None``, an ``int``, or a :class:`numpy.random.Generator`.
+:func:`as_generator` normalises it; :func:`spawn_generators` derives
+independent child streams for parallel components, following NumPy's
+``SeedSequence.spawn`` discipline so that results are reproducible
+regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing a ``Generator`` returns it unchanged (shared stream);
+    an ``int`` gives a fresh deterministic stream; ``None`` gives a
+    fresh OS-entropy stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, int, or numpy.random.Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(seed: RandomState, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``seed``.
+
+    Unlike calling :func:`as_generator` repeatedly (which would alias a
+    shared stream), each returned generator has its own jumped seed
+    sequence, so work distributed across parallel components draws
+    non-overlapping streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing entropy from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]

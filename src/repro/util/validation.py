@@ -1,0 +1,85 @@
+"""Array-argument validation helpers.
+
+These keep validation messages uniform across the package and convert
+inputs to float64 C-contiguous arrays once, at API boundaries, so inner
+numerical code can assume clean arrays (a guideline for HPC Python:
+validate at the edges, run assumption-free in the hot loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+def check_vector(x, name: str = "x", dim: int | None = None) -> np.ndarray:
+    """Validate and return ``x`` as a 1-D float64 array.
+
+    ``dim``, when given, pins the required length.
+    """
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValidationError(f"{name} must have length {dim}, got {arr.shape[0]}")
+    return arr
+
+
+def check_matrix(
+    x,
+    name: str = "X",
+    cols: int | None = None,
+    allow_empty: bool = False,
+) -> np.ndarray:
+    """Validate and return ``x`` as a 2-D float64 array.
+
+    ``cols``, when given, pins the required number of columns.
+    """
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {arr.shape}")
+    if not allow_empty and arr.shape[0] == 0:
+        raise ValidationError(f"{name} must contain at least one row")
+    if cols is not None and arr.shape[1] != cols:
+        raise ValidationError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    return arr
+
+
+def check_finite(x, name: str = "array") -> np.ndarray:
+    """Raise :class:`ValidationError` if ``x`` contains NaN or Inf."""
+    arr = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Raise :class:`ValidationError` unless ``value`` is finite and > 0."""
+    v = float(value)
+    if not np.isfinite(v) or v <= 0.0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value!r}")
+    return v
+
+
+def check_bounds(bounds, dim: int | None = None) -> np.ndarray:
+    """Validate box bounds and return them as a ``(d, 2)`` float64 array.
+
+    Accepts ``(d, 2)`` arrays, ``(lower, upper)`` pairs of vectors, or a
+    list of ``(lo, hi)`` tuples. Every lower bound must be strictly below
+    its upper bound.
+    """
+    arr = np.asarray(bounds, dtype=np.float64)
+    if arr.ndim == 2 and arr.shape[0] == 2 and arr.shape[1] != 2:
+        arr = arr.T  # accept (2, d) convention as well
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValidationError(f"bounds must have shape (d, 2), got {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValidationError(f"bounds must have {dim} rows, got {arr.shape[0]}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError("bounds must be finite")
+    if not np.all(arr[:, 0] < arr[:, 1]):
+        raise ValidationError("every lower bound must be strictly below its upper bound")
+    return np.ascontiguousarray(arr)

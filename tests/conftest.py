@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess
+from repro.problems import get_benchmark
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def sphere3():
+    """A cheap 3-d problem with a known optimum at the origin."""
+    return get_benchmark("sphere", dim=3)
+
+
+@pytest.fixture
+def unit_bounds3():
+    return np.tile([0.0, 1.0], (3, 1))
+
+
+@pytest.fixture
+def fitted_gp(rng, unit_bounds3):
+    """A GP fitted on a smooth 3-d function, hyperparameters tuned."""
+    X = rng.random((30, 3))
+    y = np.sin(3.0 * X[:, 0]) + X[:, 1] ** 2 - 0.5 * X[:, 2]
+    gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+    gp.fit(X, y, n_restarts=1, maxiter=60, seed=0)
+    return gp, X, y

@@ -1,0 +1,113 @@
+"""Tests for the analytic acquisition criteria."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    ScaledExpectedImprovement,
+    UpperConfidenceBound,
+)
+
+
+@pytest.fixture
+def gp(fitted_gp):
+    return fitted_gp[0]
+
+
+@pytest.fixture
+def best_f(fitted_gp):
+    return float(fitted_gp[2].min())
+
+
+class TestExpectedImprovement:
+    def test_nonnegative(self, gp, best_f, rng):
+        ei = ExpectedImprovement(gp, best_f)
+        assert np.all(ei.value(rng.random((50, 3))) >= 0.0)
+
+    def test_matches_closed_form(self, gp, best_f, rng):
+        ei = ExpectedImprovement(gp, best_f)
+        X = rng.random((10, 3))
+        mu, sigma = gp.predict(X)
+        u = (best_f - mu) / sigma
+        expected = sigma * (u * norm.cdf(u) + norm.pdf(u))
+        np.testing.assert_allclose(ei.value(X), expected, rtol=1e-10)
+
+    def test_matches_mc_estimate(self, gp, best_f, rng):
+        """EI is an expectation — verify against brute-force sampling."""
+        ei = ExpectedImprovement(gp, best_f)
+        x = rng.random((1, 3))
+        mu, sigma = gp.predict(x)
+        samples = mu[0] + sigma[0] * rng.standard_normal(200_000)
+        mc = np.mean(np.maximum(best_f - samples, 0.0))
+        assert ei.value(x)[0] == pytest.approx(mc, rel=0.05, abs=1e-4)
+
+    def test_xi_reduces_ei(self, gp, best_f, rng):
+        X = rng.random((10, 3))
+        plain = ExpectedImprovement(gp, best_f).value(X)
+        margin = ExpectedImprovement(gp, best_f, xi=0.5).value(X)
+        assert np.all(margin <= plain + 1e-12)
+
+    def test_negative_xi_rejected(self, gp, best_f):
+        with pytest.raises(ValueError):
+            ExpectedImprovement(gp, best_f, xi=-0.1)
+
+    def test_positive_somewhere_with_loose_incumbent(self, gp, fitted_gp, rng):
+        """With a beatable incumbent, EI must be positive in the region
+        the model predicts below it."""
+        loose = float(np.median(fitted_gp[2]))
+        ei = ExpectedImprovement(gp, loose)
+        assert ei.value(rng.random((200, 3))).max() > 0.0
+
+
+class TestProbabilityOfImprovement:
+    def test_in_unit_interval(self, gp, best_f, rng):
+        pi = ProbabilityOfImprovement(gp, best_f)
+        vals = pi.value(rng.random((30, 3)))
+        assert np.all(vals >= 0.0) and np.all(vals <= 1.0)
+
+    def test_monotone_in_best_f(self, gp, best_f, rng):
+        """A looser target can only increase the probability."""
+        X = rng.random((10, 3))
+        tight = ProbabilityOfImprovement(gp, best_f).value(X)
+        loose = ProbabilityOfImprovement(gp, best_f + 1.0).value(X)
+        assert np.all(loose >= tight - 1e-12)
+
+
+class TestUpperConfidenceBound:
+    def test_formula(self, gp, rng):
+        ucb = UpperConfidenceBound(gp, beta=4.0)
+        X = rng.random((10, 3))
+        mu, sigma = gp.predict(X)
+        np.testing.assert_allclose(ucb.value(X), -mu + 2.0 * sigma, rtol=1e-10)
+
+    def test_beta_zero_invalid(self, gp):
+        with pytest.raises(Exception):
+            UpperConfidenceBound(gp, beta=0.0)
+
+    def test_larger_beta_rewards_uncertainty(self, gp, rng):
+        x_far = np.array([[0.5, 0.5, 1.5]])
+        x_near = gp.input_bounds[:, 0][None, :] * 0 + 0.5
+        lo = UpperConfidenceBound(gp, beta=0.1)
+        hi = UpperConfidenceBound(gp, beta=25.0)
+        gain_far = hi.value(x_far)[0] - lo.value(x_far)[0]
+        gain_near = hi.value(x_near)[0] - lo.value(x_near)[0]
+        assert gain_far > gain_near
+
+
+class TestScaledEI:
+    def test_nonnegative_and_finite(self, gp, best_f, rng):
+        sei = ScaledExpectedImprovement(gp, best_f)
+        vals = sei.value(rng.random((30, 3)))
+        assert np.all(np.isfinite(vals)) and np.all(vals >= 0.0)
+
+    def test_differs_from_ei_ranking(self, gp, best_f, rng):
+        """Scaled EI is a genuinely different criterion."""
+        X = rng.random((200, 3))
+        ei = ExpectedImprovement(gp, best_f).value(X)
+        sei = ScaledExpectedImprovement(gp, best_f).value(X)
+        assert int(np.argmax(ei)) != int(np.argmax(sei)) or not np.allclose(
+            ei / (ei.max() + 1e-12), sei / (sei.max() + 1e-12)
+        )

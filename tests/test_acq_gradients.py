@@ -1,0 +1,71 @@
+"""Finite-difference checks of acquisition gradients."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    ScaledExpectedImprovement,
+    UpperConfidenceBound,
+)
+
+
+@pytest.fixture
+def gp(fitted_gp):
+    return fitted_gp[0]
+
+
+@pytest.fixture
+def best_f(fitted_gp):
+    return float(fitted_gp[2].min())
+
+
+def _fd_check(acq, x, rel=2e-3, abs_=2e-4):
+    v0, g = acq.value_and_grad(x)
+    assert v0 == pytest.approx(float(acq.value(x[None, :])[0]), rel=1e-6, abs=1e-9)
+    h = 1e-6
+    for j in range(len(x)):
+        xp = x.copy()
+        xp[j] += h
+        xm = x.copy()
+        xm[j] -= h
+        fd = (acq.value(xp[None, :])[0] - acq.value(xm[None, :])[0]) / (2 * h)
+        assert g[j] == pytest.approx(fd, rel=rel, abs=abs_)
+
+
+class TestAnalyticGradients:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ei(self, gp, best_f, seed):
+        x = np.random.default_rng(seed).random(3)
+        _fd_check(ExpectedImprovement(gp, best_f), x)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pi(self, gp, best_f, seed):
+        x = np.random.default_rng(seed).random(3)
+        _fd_check(ProbabilityOfImprovement(gp, best_f), x)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ucb(self, gp, seed):
+        x = np.random.default_rng(seed).random(3)
+        _fd_check(UpperConfidenceBound(gp, beta=2.0), x)
+
+    def test_flags(self, gp, best_f):
+        assert ExpectedImprovement(gp, best_f).has_analytic_grad
+        assert ProbabilityOfImprovement(gp, best_f).has_analytic_grad
+        assert UpperConfidenceBound(gp).has_analytic_grad
+        assert not ScaledExpectedImprovement(gp, best_f).has_analytic_grad
+
+
+class TestFallbackGradient:
+    def test_scaled_ei_fd_gradient_consistent(self, gp, best_f, rng):
+        """The base-class FD gradient should approximate the slope."""
+        sei = ScaledExpectedImprovement(gp, best_f)
+        x = rng.random(3)
+        v, g = sei.value_and_grad(x)
+        h = 1e-5
+        for j in range(3):
+            xp = x.copy()
+            xp[j] += h
+            fd = (sei.value(xp[None, :])[0] - v) / h
+            assert g[j] == pytest.approx(fd, rel=5e-2, abs=1e-3)

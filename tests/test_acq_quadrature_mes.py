@@ -1,0 +1,144 @@
+"""Tests for the qEI quadrature oracle and Max-Value Entropy Search."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    MaxValueEntropySearch,
+    optimize_acqf,
+    qExpectedImprovement,
+    qei_quadrature,
+    qei_quadrature_from_gp,
+    sample_min_values,
+)
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def gp(fitted_gp):
+    return fitted_gp[0]
+
+
+@pytest.fixture
+def loose_best(fitted_gp):
+    return float(np.median(fitted_gp[2]))
+
+
+BOUNDS3 = np.tile([0.0, 1.0], (3, 1))
+
+
+class TestQuadratureOracle:
+    def test_q1_matches_analytic_ei(self):
+        """For q = 1 the oracle must equal the closed-form EI."""
+        mu, var, best = 0.3, 0.8, 0.5
+        sigma = np.sqrt(var)
+        u = (best - mu) / sigma
+        analytic = sigma * (u * norm.cdf(u) + norm.pdf(u))
+        quad = qei_quadrature([mu], [[var]], best, n_nodes=60)
+        assert quad == pytest.approx(analytic, rel=1e-6)
+
+    def test_perfectly_correlated_pair_reduces_to_single(self):
+        """Two identical, perfectly correlated points add nothing."""
+        cov = np.array([[1.0, 1.0], [1.0, 1.0]])
+        single = qei_quadrature([0.0], [[1.0]], 0.5, n_nodes=60)
+        double = qei_quadrature([0.0, 0.0], cov, 0.5, n_nodes=60)
+        # the singular covariance needs a jitter to factorize, which
+        # adds a tiny amount of smoothing — hence the loose tolerance
+        assert double == pytest.approx(single, rel=5e-3)
+
+    def test_independent_pair_beats_single(self):
+        cov = np.eye(2)
+        single = qei_quadrature([0.0], [[1.0]], 0.0, n_nodes=60)
+        double = qei_quadrature([0.0, 0.0], cov, 0.0, n_nodes=60)
+        assert double > single
+
+    def test_independent_pair_closed_form(self):
+        """min of two iid N(0,1) is -|N|-like: E[(0 - min)⁺] has the
+        closed form E[max(-min,0)] = E[|min|·1{min<0}]; with T=0 and
+        symmetric min distribution the value is E[-min]·P-weighted —
+        cross-check against a very large MC estimate."""
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal((2_000_000, 2))
+        mc = float(np.mean(np.maximum(0.0 - y.min(axis=1), 0.0)))
+        quad = qei_quadrature([0.0, 0.0], np.eye(2), 0.0, n_nodes=60)
+        assert quad == pytest.approx(mc, rel=5e-3)
+
+    def test_mc_qei_converges_to_oracle(self, gp, loose_best, rng):
+        """The production MC estimator must agree with the oracle."""
+        Xq = rng.random((2, 3))
+        oracle = qei_quadrature_from_gp(gp, Xq, loose_best, n_nodes=50)
+        mc = qExpectedImprovement(gp, loose_best, q=2, n_mc=16384, seed=0)
+        assert mc.value(Xq) == pytest.approx(oracle, rel=0.05, abs=1e-3)
+
+    def test_q3_oracle_vs_mc(self, gp, loose_best, rng):
+        Xq = rng.random((3, 3))
+        oracle = qei_quadrature_from_gp(gp, Xq, loose_best, n_nodes=24)
+        mc = qExpectedImprovement(gp, loose_best, q=3, n_mc=16384, seed=1)
+        assert mc.value(Xq) == pytest.approx(oracle, rel=0.08, abs=1e-3)
+
+    def test_large_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            qei_quadrature(np.zeros(5), np.eye(5), 0.0)
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            qei_quadrature([0.0], [[1.0]], 0.0, n_nodes=1)
+
+
+class TestMinValueSampling:
+    def test_samples_below_incumbent_mean(self, gp, fitted_gp, rng):
+        y_best = float(fitted_gp[2].min())
+        samples = sample_min_values(gp, BOUNDS3, n_samples=32, seed=0)
+        assert samples.shape == (32,)
+        # plausible minima sit below (or near) the best observation
+        assert np.median(samples) < y_best + 0.5
+
+    def test_deterministic_given_seed(self, gp):
+        a = sample_min_values(gp, BOUNDS3, n_samples=8, seed=4)
+        b = sample_min_values(gp, BOUNDS3, n_samples=8, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMES:
+    def test_nonnegative(self, gp, rng):
+        mes = MaxValueEntropySearch(gp, BOUNDS3, seed=0)
+        vals = mes.value(rng.random((50, 3)))
+        assert np.all(vals >= -1e-9)
+
+    def test_prefers_uncertain_over_known(self, gp, fitted_gp, rng):
+        """MES vanishes where the model is certain and is positive at
+        the most uncertain point of the domain."""
+        mes = MaxValueEntropySearch(gp, BOUNDS3, seed=0)
+        _, X, _ = fitted_gp
+        at_data = float(np.mean(mes.value(X[:5])))
+        cand = rng.random((500, 3))
+        _, sigma = gp.predict(cand)
+        most_uncertain = cand[int(np.argmax(sigma))][None, :]
+        assert mes.value(most_uncertain)[0] > at_data
+        assert mes.value(most_uncertain)[0] > 0.0
+
+    def test_optimizable(self, gp):
+        mes = MaxValueEntropySearch(gp, BOUNDS3, seed=0)
+        x, val = optimize_acqf(mes, BOUNDS3, n_restarts=3, raw_samples=64,
+                               maxiter=20, seed=0)
+        assert np.all(x >= 0) and np.all(x <= 1)
+        assert val >= float(np.max(mes.value(np.random.default_rng(0)
+                                             .random((64, 3))))) - 1e-9
+
+    def test_config_validation(self, gp):
+        with pytest.raises(ConfigurationError):
+            MaxValueEntropySearch(gp, BOUNDS3, n_min_samples=0)
+
+    def test_correlates_with_ei_ordering_loosely(self, gp, loose_best, rng):
+        """MES and EI are different criteria but both must prefer the
+        promising region over a clearly dominated one on average."""
+        mes = MaxValueEntropySearch(gp, BOUNDS3, seed=0)
+        ei = ExpectedImprovement(gp, loose_best)
+        X = rng.random((200, 3))
+        top_ei = X[np.argsort(ei.value(X))[-20:]]
+        bottom_ei = X[np.argsort(ei.value(X))[:20]]
+        assert float(np.mean(mes.value(top_ei))) > float(
+            np.mean(mes.value(bottom_ei))
+        )

@@ -1,0 +1,54 @@
+"""Tests for Thompson sampling batch selection."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import thompson_sample
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def gp(fitted_gp):
+    return fitted_gp[0]
+
+
+class TestThompson:
+    def test_shape(self, gp, rng):
+        cand = rng.random((100, 3))
+        X = thompson_sample(gp, cand, q=4, seed=0)
+        assert X.shape == (4, 3)
+
+    def test_rows_come_from_candidates(self, gp, rng):
+        cand = rng.random((50, 3))
+        X = thompson_sample(gp, cand, q=3, seed=1)
+        for row in X:
+            assert any(np.allclose(row, c) for c in cand)
+
+    def test_distinct_rows(self, gp, rng):
+        cand = rng.random((50, 3))
+        X = thompson_sample(gp, cand, q=5, seed=2)
+        assert len({tuple(np.round(r, 12)) for r in X}) == 5
+
+    def test_deterministic_given_seed(self, gp, rng):
+        cand = rng.random((40, 3))
+        a = thompson_sample(gp, cand, q=3, seed=7)
+        b = thompson_sample(gp, cand, q=3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_biased_towards_low_mean(self, gp, rng):
+        """TS picks low-posterior-mean candidates far more often."""
+        cand = rng.random((200, 3))
+        mu, _ = gp.predict(cand)
+        picks = np.vstack(
+            [thompson_sample(gp, cand, q=1, seed=s) for s in range(30)]
+        )
+        pick_means = gp.predict(picks)[0]
+        assert pick_means.mean() < np.median(mu)
+
+    def test_too_few_candidates(self, gp, rng):
+        with pytest.raises(ConfigurationError):
+            thompson_sample(gp, rng.random((2, 3)), q=5)
+
+    def test_invalid_q(self, gp, rng):
+        with pytest.raises(ConfigurationError):
+            thompson_sample(gp, rng.random((10, 3)), q=0)

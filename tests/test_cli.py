@@ -1,0 +1,81 @@
+"""Tests for the single-run CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.problem == "ackley"
+        assert args.algorithm == "turbo"
+        assert args.n_batch == 4
+
+    def test_uphes_choice(self):
+        args = build_parser().parse_args(["--problem", "uphes"])
+        assert args.problem == "uphes"
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--problem", "branin"])
+
+
+class TestMain:
+    def test_random_run_prints_summary(self, capsys):
+        code = main([
+            "--problem", "sphere", "--algorithm", "random",
+            "--n-batch", "2", "--budget", "50", "--dim", "3",
+            "--n-initial", "6", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final best" in out
+        assert "cycles/sims  : 5 / 10" in out
+
+    def test_cycle_table_printed(self, capsys):
+        main([
+            "--problem", "sphere", "--algorithm", "random",
+            "--n-batch", "2", "--budget", "30", "--dim", "3",
+            "--n-initial", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "cycle  t_start" in out
+
+    def test_json_record_written(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        main([
+            "--problem", "sphere", "--algorithm", "random",
+            "--n-batch", "2", "--budget", "30", "--dim", "3",
+            "--n-initial", "4", "--quiet", "--json", str(path),
+        ])
+        data = json.loads(path.read_text())
+        assert data["problem"] == "sphere"
+        assert data["algorithm"] == "Random"
+        assert data["preset"] == "cli"
+
+    def test_uphes_run(self, capsys):
+        code = main([
+            "--problem", "uphes", "--algorithm", "random",
+            "--n-batch", "4", "--budget", "40", "--n-initial", "8",
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profit" in out
+
+    def test_bo_algorithm_via_cli(self, capsys):
+        code = main([
+            "--problem", "sphere", "--algorithm", "turbo",
+            "--n-batch", "2", "--budget", "40", "--dim", "3",
+            "--n-initial", "8", "--time-scale", "0", "--quiet",
+        ])
+        assert code == 0
+
+    def test_unknown_algorithm_raises(self):
+        from repro.util import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["--problem", "sphere", "--algorithm", "annealing"])

@@ -1,0 +1,92 @@
+"""Shared behavioural tests across all five PBO algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALGORITHMS, make_optimizer
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+
+NAMES = ["kb-q-ego", "mic-q-ego", "mc-q-ego", "bsp-ego", "turbo"]
+
+
+def _initialized(name, q, seed=0, dim=3, n0=10):
+    problem = get_benchmark("sphere", dim=dim)
+    opt = make_optimizer(name, problem, q, seed=seed,
+                         acq_options={"n_restarts": 2, "raw_samples": 32,
+                                      "maxiter": 20, "n_mc": 64},
+                         gp_options={"n_restarts": 0, "maxiter": 25})
+    X0 = latin_hypercube(n0, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("q", [1, 3])
+class TestProposeContract:
+    def test_batch_shape_and_bounds(self, name, q):
+        problem, opt = _initialized(name, q)
+        prop = opt.propose()
+        assert prop.X.shape == (q, problem.dim)
+        assert np.all(prop.X >= problem.lower - 1e-12)
+        assert np.all(prop.X <= problem.upper + 1e-12)
+
+    def test_distinct_candidates(self, name, q):
+        _, opt = _initialized(name, q)
+        X = opt.propose().X
+        for i in range(q):
+            for j in range(i + 1, q):
+                assert not np.allclose(X[i], X[j], atol=1e-10)
+
+    def test_timing_recorded(self, name, q):
+        _, opt = _initialized(name, q)
+        prop = opt.propose()
+        assert prop.fit_time >= 0.0
+        assert prop.acq_time >= 0.0
+        assert prop.fit_time + prop.acq_time > 0.0
+
+    def test_full_cycle_updates_data(self, name, q):
+        problem, opt = _initialized(name, q)
+        n0 = opt.X.shape[0]
+        prop = opt.propose()
+        opt.update(prop.X, problem(prop.X))
+        assert opt.X.shape[0] == n0 + q
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestOptimizationProgress:
+    def test_improves_on_sphere(self, name):
+        """Five cycles of q=2 must beat the initial design on an easy
+        unimodal problem."""
+        problem, opt = _initialized(name, q=2, n0=12)
+        start = opt.best_f
+        for _ in range(5):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        assert opt.best_f < start
+
+    def test_seeded_reproducibility(self, name):
+        problem, opt_a = _initialized(name, q=2, seed=7)
+        _, opt_b = _initialized(name, q=2, seed=7)
+        Xa = opt_a.propose().X
+        Xb = opt_b.propose().X
+        np.testing.assert_allclose(Xa, Xb)
+
+
+class TestRegistry:
+    def test_paper_aliases_resolve(self):
+        for alias in ["KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO",
+                      "TuRBO", "Random"]:
+            problem = get_benchmark("sphere", dim=3)
+            opt = make_optimizer(alias, problem, 2, seed=0)
+            assert opt.n_batch == 2
+
+    def test_unknown_raises(self):
+        from repro.util import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_optimizer("cma-es", get_benchmark("sphere", dim=3), 2)
+
+    def test_registry_names_consistent(self):
+        for alias, cls in ALGORITHMS.items():
+            assert isinstance(cls.name, str) and cls.name

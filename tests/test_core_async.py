@@ -1,0 +1,99 @@
+"""Tests for the asynchronous (steady-state) driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.async_driver import run_async_optimization
+from repro.problems import CountingProblem, get_benchmark
+from repro.util import ConfigurationError
+
+FAST = {
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15},
+}
+
+
+def _run(budget=60.0, n_workers=3, time_scale=0.0, **kwargs):
+    problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+    return run_async_optimization(
+        problem, n_workers, budget, n_initial=8, seed=0,
+        time_scale=time_scale, **FAST, **kwargs,
+    )
+
+
+class TestSteadyState:
+    def test_result_basics(self):
+        res = _run()
+        assert res.n_workers == 3
+        assert res.n_initial == 8
+        assert res.n_simulations > 0
+        assert res.best_value <= res.initial_best
+        assert np.all(res.best_x >= -5.0) and np.all(res.best_x <= 10.0)
+
+    def test_workers_desynchronize(self):
+        """Dispatch times must interleave, not proceed in lockstep —
+        the defining feature of the steady-state scheme."""
+        res = _run(budget=120.0)
+        finishes = sorted(rec.t_finish for rec in res.history)
+        gaps = np.diff(finishes)
+        # synchronized batches would produce gaps of ~0 then ~10s;
+        # the jittered async schedule has intermediate gaps
+        assert np.any((gaps > 0.2) & (gaps < 9.0))
+
+    def test_throughput_near_full_utilization(self):
+        """With free acquisition, n workers complete ~n·budget/sim_time
+        simulations — no synchronization barrier."""
+        res = _run(budget=100.0, n_workers=4)
+        ideal = 4 * 100.0 / 10.0
+        assert res.n_simulations >= 0.75 * ideal
+
+    def test_no_dispatch_after_budget(self):
+        res = _run(budget=50.0)
+        assert all(rec.t_dispatch <= res.budget + 1e-9 for rec in res.history)
+
+    def test_all_dispatches_evaluated(self):
+        problem = CountingProblem(get_benchmark("sphere", dim=3,
+                                                sim_time=10.0))
+        res = run_async_optimization(
+            problem, 2, 40.0, n_initial=6, seed=0, time_scale=0.0, **FAST
+        )
+        assert problem.n_evals == res.n_initial + res.n_simulations
+
+    def test_improves_over_initial(self):
+        res = _run(budget=100.0)
+        assert res.best_value < res.initial_best
+
+    def test_trajectory_length_matches_history(self):
+        res = _run()
+        assert len(res.trajectory) == len(res.history)
+
+
+class TestConfiguration:
+    def test_invalid_workers(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_async_optimization(problem, 0, 10.0)
+
+    def test_invalid_budget(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_async_optimization(problem, 2, 0.0)
+
+    def test_invalid_refit(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_async_optimization(problem, 2, 10.0, refit_every=0)
+
+    def test_refit_deferral_runs(self):
+        res = _run(budget=60.0, refit_every=4)
+        assert res.n_simulations > 0
+
+    def test_maximization_orientation(self):
+        from repro.uphes import UPHESSimulator
+
+        sim = UPHESSimulator(seed=0, sim_time=10.0)
+        res = run_async_optimization(
+            sim, 2, 40.0, n_initial=8, seed=0, time_scale=0.0, **FAST
+        )
+        assert res.maximize
+        assert res.best_value >= res.initial_best

@@ -1,0 +1,84 @@
+"""Tests for the BatchOptimizer base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import BatchOptimizer, Proposal
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def problem():
+    return get_benchmark("sphere", dim=3)
+
+
+@pytest.fixture
+def opt(problem):
+    o = BatchOptimizer(problem, n_batch=2, seed=0)
+    X0 = latin_hypercube(8, problem.bounds, seed=0)
+    o.initialize(X0, problem(X0))
+    return o
+
+
+class TestDataManagement:
+    def test_invalid_batch_size(self, problem):
+        with pytest.raises(ConfigurationError):
+            BatchOptimizer(problem, n_batch=0)
+
+    def test_best_requires_data(self, problem):
+        o = BatchOptimizer(problem, n_batch=1)
+        with pytest.raises(ConfigurationError):
+            _ = o.best_f
+
+    def test_best_tracks_minimum(self, opt, problem, rng):
+        before = opt.best_f
+        x_good = np.zeros((1, 3))
+        opt.update(x_good, problem(x_good))
+        assert opt.best_f <= before
+        assert opt.best_f == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(opt.best_x, 0.0, atol=1e-12)
+
+    def test_update_appends(self, opt, rng):
+        n = opt.X.shape[0]
+        opt.update(rng.random((3, 3)), rng.random(3))
+        assert opt.X.shape[0] == n + 3
+        assert opt.y.shape[0] == n + 3
+
+    def test_propose_abstract(self, opt):
+        with pytest.raises(NotImplementedError):
+            opt.propose()
+
+
+class TestFitGp:
+    def test_fit_returns_timed_gp(self, opt):
+        gp, dt = opt._fit_gp()
+        assert gp.n_train == opt.X.shape[0]
+        assert dt > 0.0
+        assert opt.gp is gp
+
+
+class TestDedupe:
+    def test_distinct_point_untouched(self, opt):
+        x = np.array([1.0, 2.0, 3.0])
+        out = opt._dedupe(x, [np.array([-4.0, -4.0, -4.0])])
+        np.testing.assert_array_equal(out, x)
+
+    def test_duplicate_nudged_within_bounds(self, opt, problem):
+        x = np.array([1.0, 2.0, 3.0])
+        out = opt._dedupe(x, [x.copy()])
+        assert not np.allclose(out, x)
+        assert np.all(out >= problem.lower) and np.all(out <= problem.upper)
+
+    def test_empty_batch_noop(self, opt):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(opt._dedupe(x, []), x)
+
+
+class TestProposal:
+    def test_defaults(self):
+        p = Proposal(X=np.zeros((2, 3)))
+        assert p.fit_time == 0.0 and p.acq_time == 0.0
+        assert p.acq_durations is None
+        assert p.info == {}

@@ -1,0 +1,89 @@
+"""Tests specific to BSP-EGO's partition machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSPEGO
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+def _bsp(q=2, seed=0, regions_per_worker=2):
+    problem = get_benchmark("sphere", dim=3)
+    opt = BSPEGO(problem, q, seed=seed, regions_per_worker=regions_per_worker,
+                 acq_options={"n_restarts": 2, "raw_samples": 32, "maxiter": 15},
+                 gp_options={"n_restarts": 0, "maxiter": 20})
+    X0 = latin_hypercube(10, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+def _partition_is_exact(opt, rng, n_probe=500):
+    """Every probe point lies in exactly one leaf box."""
+    problem = opt.problem
+    probes = rng.uniform(problem.lower, problem.upper, (n_probe, problem.dim))
+    leaves = opt.leaves()
+    counts = np.zeros(n_probe, dtype=int)
+    for leaf in leaves:
+        lo, hi = leaf.bounds[:, 0], leaf.bounds[:, 1]
+        inside = np.all((probes >= lo) & (probes <= hi), axis=1)
+        counts += inside
+    # boundary points can be double counted; interior ones must be 1
+    return np.all(counts >= 1) and np.mean(counts == 1) > 0.95
+
+
+class TestPartition:
+    def test_initial_leaf_count(self):
+        _, opt = _bsp(q=4, regions_per_worker=2)
+        assert len(opt.leaves()) == 8
+
+    def test_minimum_two_regions(self):
+        _, opt = _bsp(q=1)
+        assert len(opt.leaves()) == 2
+
+    def test_leaves_cover_domain(self, rng):
+        _, opt = _bsp(q=2)
+        assert _partition_is_exact(opt, rng)
+
+    def test_leaf_count_constant_across_cycles(self, rng):
+        problem, opt = _bsp(q=2)
+        n = len(opt.leaves())
+        for _ in range(4):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+            assert len(opt.leaves()) == n
+            assert _partition_is_exact(opt, rng)
+
+    def test_partition_evolves(self):
+        problem, opt = _bsp(q=2)
+        boxes_before = {tuple(map(tuple, l.bounds)) for l in opt.leaves()}
+        for _ in range(3):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        boxes_after = {tuple(map(tuple, l.bounds)) for l in opt.leaves()}
+        assert boxes_before != boxes_after
+
+    def test_invalid_regions_per_worker(self):
+        problem = get_benchmark("sphere", dim=3)
+        with pytest.raises(ConfigurationError):
+            BSPEGO(problem, 2, regions_per_worker=0)
+
+
+class TestParallelAccounting:
+    def test_durations_reported_per_region(self):
+        _, opt = _bsp(q=2)
+        prop = opt.propose()
+        assert prop.acq_durations is not None
+        assert len(prop.acq_durations) == len(opt.leaves())
+        assert all(d >= 0 for d in prop.acq_durations)
+        assert prop.acq_time == pytest.approx(sum(prop.acq_durations), rel=1e-6)
+
+    def test_scores_assigned_during_propose(self):
+        """Every region is scored during propose; the evolution step
+        then replaces at most three scored leaves (the merged pair's
+        parent and the split winner's two children are fresh)."""
+        _, opt = _bsp(q=2)
+        opt.propose()
+        unscored = sum(1 for l in opt.leaves() if not np.isfinite(l.score))
+        assert unscored <= 3

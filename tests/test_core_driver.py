@@ -1,0 +1,125 @@
+"""Tests for the time-budgeted driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import RandomSearch, make_optimizer, optimize, run_optimization
+from repro.parallel import OverheadModel
+from repro.problems import get_benchmark
+from repro.uphes import UPHESSimulator
+from repro.util import ConfigurationError
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+def _run(algorithm="random", q=2, budget=50.0, sim_time=10.0, **kwargs):
+    problem = get_benchmark("sphere", dim=3, sim_time=sim_time)
+    opt = make_optimizer(algorithm, problem, q, seed=0,
+                         **(FAST if algorithm != "random" else {}))
+    return run_optimization(problem, opt, budget, seed=0, **kwargs)
+
+
+class TestBudgetAccounting:
+    def test_random_cycle_count_matches_budget(self):
+        """With free acquisition and no overhead the cycle count is
+        exactly ceil(budget / sim_time)."""
+        res = _run("random", q=2, budget=50.0,
+                   overhead=OverheadModel(0.0, 0.0))
+        assert res.n_cycles == 5
+        assert res.n_simulations == 10
+        # measured acquisition time of random search is ~µs but nonzero
+        assert res.elapsed == pytest.approx(50.0, abs=0.05)
+
+    def test_overhead_reduces_cycles(self):
+        res = _run("random", q=2, budget=50.0,
+                   overhead=OverheadModel(5.0, 0.0))
+        assert res.n_cycles == 4  # 15 s per cycle
+
+    def test_initial_design_excluded_from_budget(self):
+        res = _run("random", q=2, budget=50.0,
+                   overhead=OverheadModel(0.0, 0.0))
+        assert res.n_initial == 32  # 16 * q, Table 2
+        assert res.n_simulations == res.n_cycles * 2  # initial not counted
+
+    def test_custom_initial_size(self):
+        res = _run("random", q=2, budget=20.0, n_initial=5)
+        assert res.n_initial == 5
+
+    def test_shared_initial_design(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        X0 = np.random.default_rng(0).uniform(-5, 10, (7, 3))
+        opt = RandomSearch(problem, 2, seed=0)
+        res = run_optimization(problem, opt, 20.0, initial_design=X0)
+        assert res.n_initial == 7
+
+    def test_max_cycles_cap(self):
+        res = _run("random", q=1, budget=1000.0, max_cycles=3)
+        assert res.n_cycles == 3
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            _run("random", budget=0.0)
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ConfigurationError):
+            _run("random", time_scale=-1.0)
+
+    def test_time_scale_charges_overhead(self):
+        """A GP-based algorithm with a huge time_scale must complete
+        far fewer cycles than with zero scale."""
+        free = _run("kb-q-ego", q=2, budget=60.0, time_scale=0.0)
+        taxed = _run("kb-q-ego", q=2, budget=60.0, time_scale=3000.0)
+        assert taxed.n_cycles < free.n_cycles
+
+
+class TestRecords:
+    def test_history_consistency(self):
+        res = _run("random", q=2, budget=50.0)
+        assert len(res.history) == res.n_cycles
+        assert res.history[-1].n_evaluations == res.n_initial + res.n_simulations
+        for rec in res.history:
+            assert rec.batch_size == 2
+            assert rec.sim_charged > 0
+
+    def test_trajectory_monotone_for_minimization(self):
+        res = _run("random", q=4, budget=100.0)
+        traj = res.trajectory
+        assert np.all(np.diff(traj) <= 1e-12)
+
+    def test_best_value_matches_trajectory_end(self):
+        res = _run("random", q=2, budget=50.0)
+        assert res.best_value == res.trajectory[-1]
+
+    def test_best_within_bounds(self):
+        res = _run("random", q=2, budget=50.0)
+        assert np.all(res.best_x >= -5.0) and np.all(res.best_x <= 10.0)
+
+
+class TestMaximization:
+    def test_uphes_profit_reported_natively(self):
+        sim = UPHESSimulator(seed=0, sim_time=10.0)
+        opt = RandomSearch(sim, 4, seed=0)
+        res = run_optimization(sim, opt, 80.0, seed=0)
+        assert res.maximize
+        # running best must be non-decreasing for maximization
+        assert np.all(np.diff(res.trajectory) >= -1e-12)
+        assert res.best_value >= res.initial_best
+
+
+class TestConvenienceEntryPoint:
+    def test_optimize_wrapper(self):
+        problem = get_benchmark("ackley", dim=3, sim_time=10.0)
+        res = optimize(problem, algorithm="random", n_batch=2, budget=30.0,
+                       seed=1)
+        assert res.algorithm == "Random"
+        assert res.n_batch == 2
+
+    def test_optimize_improves_with_bo(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        res = optimize(problem, algorithm="turbo", n_batch=2, budget=80.0,
+                       seed=0, time_scale=0.0, **FAST)
+        assert res.best_value < res.initial_best

@@ -1,0 +1,142 @@
+"""Tests for the paper's suggested extensions (Discussion §4/§5).
+
+- mic-TuRBO: the multi-infill-criterion trust-region combination the
+  paper explicitly proposes as future work;
+- subset-of-data GP fitting (``gp_options["max_points"]``), the
+  paper's first remedy against the breaking point;
+- the generalized criteria set of mic-q-EGO.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MicQEGO, MicTuRBO, make_optimizer
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+def _init(cls_or_name, q, seed=0, **kwargs):
+    problem = get_benchmark("sphere", dim=3)
+    if isinstance(cls_or_name, str):
+        opt = make_optimizer(cls_or_name, problem, q, seed=seed, **FAST,
+                             **kwargs)
+    else:
+        opt = cls_or_name(problem, q, seed=seed, **FAST, **kwargs)
+    X0 = latin_hypercube(10, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+class TestMicTuRBO:
+    def test_registered(self):
+        _, opt = _init("mic-turbo", 2)
+        assert isinstance(opt, MicTuRBO)
+        assert opt.name == "mic-TuRBO"
+
+    def test_batch_within_trust_region(self):
+        problem, opt = _init(MicTuRBO, 4)
+        gp, _ = opt._fit_gp(opt.X_tr, opt.y_tr)
+        center = opt.X_tr[np.argmin(opt.y_tr)]
+        tr = opt.trust_region_bounds(gp, center)
+        prop = opt.propose()
+        # the proposal's own fit may differ slightly; use a loose box
+        # check against the domain-sized trust region
+        assert np.all(prop.X >= problem.lower - 1e-9)
+        assert np.all(prop.X <= problem.upper + 1e-9)
+        assert prop.X.shape == (4, 3)
+
+    def test_inherits_tr_dynamics(self):
+        _, opt = _init(MicTuRBO, 2)
+        opt.n_fail = opt.fail_tol - 1
+        L0 = opt.length
+        opt.update(np.full((2, 3), 4.0), np.array([1e6, 1e6]))
+        assert opt.length == pytest.approx(L0 / 2)
+
+    def test_restart_path_reused(self):
+        _, opt = _init(MicTuRBO, 2)
+        opt._begin_restart()
+        prop = opt.propose()
+        assert prop.info.get("restart")
+
+    def test_improves_on_sphere(self):
+        problem, opt = _init(MicTuRBO, 2)
+        start = opt.best_f
+        for _ in range(5):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        assert opt.best_f < start
+
+
+class TestSubsetOfData:
+    def test_cap_respected(self):
+        _, opt = _init("kb-q-ego", 2)
+        opt.gp_options["max_points"] = 8
+        opt.update(np.random.default_rng(0).uniform(-5, 10, (20, 3)),
+                   np.random.default_rng(0).random(20))
+        gp, _ = opt._fit_gp()
+        assert gp.n_train == 8
+
+    def test_incumbent_always_kept(self):
+        _, opt = _init("kb-q-ego", 2)
+        opt.gp_options["max_points"] = 6
+        rng = np.random.default_rng(0)
+        opt.update(rng.uniform(-5, 10, (30, 3)), rng.random(30) + 1.0)
+        X_sub, y_sub = opt._training_subset(opt.X, opt.y)
+        assert y_sub.min() == opt.y.min()
+
+    def test_most_recent_kept(self):
+        _, opt = _init("kb-q-ego", 2)
+        opt.gp_options["max_points"] = 6
+        rng = np.random.default_rng(0)
+        X_new = rng.uniform(-5, 10, (30, 3))
+        opt.update(X_new, rng.random(30) + 1.0)
+        X_sub, _ = opt._training_subset(opt.X, opt.y)
+        # the very last observation always survives the cap
+        assert any(np.allclose(row, opt.X[-1]) for row in X_sub)
+
+    def test_no_cap_by_default(self):
+        _, opt = _init("kb-q-ego", 2)
+        X_sub, y_sub = opt._training_subset(opt.X, opt.y)
+        assert X_sub.shape[0] == opt.X.shape[0]
+
+    def test_capped_run_still_optimizes(self):
+        problem, opt = _init("turbo", 2)
+        opt.gp_options["max_points"] = 12
+        start = opt.best_f
+        for _ in range(5):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        assert opt.best_f < start
+
+
+class TestMicCriteriaSet:
+    def test_default_pair(self):
+        _, opt = _init(MicQEGO, 2)
+        assert opt.criteria_names == ("ei", "ucb")
+
+    def test_three_criteria(self):
+        _, opt = _init(MicQEGO, 3, criteria=("ei", "ucb", "pi"))
+        gp, _ = opt._fit_gp()
+        assert len(opt._criteria(gp, opt.best_f)) == 3
+        prop = opt.propose()
+        assert prop.X.shape == (3, 3)
+
+    def test_sei_criterion_usable(self):
+        _, opt = _init(MicQEGO, 2, criteria=("ei", "sei"))
+        prop = opt.propose()
+        assert prop.X.shape == (2, 3)
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _init(MicQEGO, 2, criteria=("ei", "entropy"))
+
+    def test_empty_criteria_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _init(MicQEGO, 2, criteria=())

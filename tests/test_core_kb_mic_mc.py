@@ -1,0 +1,114 @@
+"""Algorithm-specific tests for KB-q-EGO, mic-q-EGO and MC-based q-EGO."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import ExpectedImprovement, UpperConfidenceBound
+from repro.core import KBqEGO, MCqEGO, MicQEGO, RandomSearch
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+def _init(cls, q, seed=0, **kwargs):
+    problem = get_benchmark("sphere", dim=3)
+    opt = cls(problem, q, seed=seed, **FAST, **kwargs)
+    X0 = latin_hypercube(10, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+class TestKB:
+    def test_fantasies_do_not_leak_into_data(self):
+        """The KB fantasy observations must never enter the optimizer's
+        real data set."""
+        problem, opt = _init(KBqEGO, q=4)
+        n0 = opt.X.shape[0]
+        opt.propose()
+        assert opt.X.shape[0] == n0
+
+    def test_q1_no_fantasy_needed(self):
+        _, opt = _init(KBqEGO, q=1)
+        prop = opt.propose()
+        assert prop.X.shape == (1, 3)
+
+    def test_acq_time_grows_with_q(self):
+        """The paper's core scalability issue: q sequential updates."""
+        _, opt1 = _init(KBqEGO, q=1)
+        _, opt8 = _init(KBqEGO, q=8)
+        t1 = np.median([opt1.propose().acq_time for _ in range(3)])
+        t8 = np.median([opt8.propose().acq_time for _ in range(3)])
+        assert t8 > t1
+
+
+class TestMic:
+    def test_q1_uses_single_criterion(self):
+        _, opt = _init(MicQEGO, q=1)
+        gp, _ = opt._fit_gp()
+        crits = opt._criteria(gp, opt.best_f)
+        assert len(crits) == 1
+        assert isinstance(crits[0], ExpectedImprovement)
+
+    def test_q2_uses_ei_and_ucb(self):
+        _, opt = _init(MicQEGO, q=2)
+        gp, _ = opt._fit_gp()
+        crits = opt._criteria(gp, opt.best_f)
+        assert isinstance(crits[0], ExpectedImprovement)
+        assert isinstance(crits[1], UpperConfidenceBound)
+
+    def test_odd_batch_size_handled(self):
+        _, opt = _init(MicQEGO, q=3)
+        prop = opt.propose()
+        assert prop.X.shape == (3, 3)
+
+    def test_custom_ucb_beta(self):
+        _, opt = _init(MicQEGO, q=2, ucb_beta=9.0)
+        gp, _ = opt._fit_gp()
+        assert opt._criteria(gp, opt.best_f)[1].beta == 9.0
+
+    def test_fewer_model_updates_than_kb(self):
+        """mic's whole point: half the fantasy updates per cycle, so
+        its acquisition should not be slower than KB's at same q."""
+        _, kb = _init(KBqEGO, q=8)
+        _, mic = _init(MicQEGO, q=8)
+        t_kb = np.median([kb.propose().acq_time for _ in range(3)])
+        t_mic = np.median([mic.propose().acq_time for _ in range(3)])
+        assert t_mic < t_kb * 1.5
+
+
+class TestMC:
+    def test_q1_uses_analytic_ei(self):
+        _, opt = _init(MCqEGO, q=1)
+        prop = opt.propose()
+        assert prop.X.shape == (1, 3)
+
+    def test_joint_batch(self):
+        _, opt = _init(MCqEGO, q=4)
+        prop = opt.propose()
+        assert prop.X.shape == (4, 3)
+
+
+class TestRandom:
+    def test_uniform_in_bounds(self):
+        problem = get_benchmark("schwefel", dim=4)
+        opt = RandomSearch(problem, 8, seed=0)
+        opt.initialize(np.zeros((1, 4)), problem(np.zeros((1, 4))))
+        prop = opt.propose()
+        assert prop.X.shape == (8, 4)
+        assert np.all(prop.X >= problem.lower) and np.all(prop.X <= problem.upper)
+
+    def test_negligible_acquisition_cost(self):
+        problem = get_benchmark("sphere", dim=3)
+        opt = RandomSearch(problem, 4, seed=0)
+        opt.initialize(np.zeros((1, 3)), problem(np.zeros((1, 3))))
+        prop = opt.propose()
+        assert prop.fit_time == 0.0
+        assert prop.acq_time < 0.05
+
+    def test_does_not_use_surrogate(self):
+        assert not RandomSearch.uses_surrogate

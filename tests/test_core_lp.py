@@ -1,0 +1,129 @@
+"""Tests for the local-penalization batch AP (LP-EGO)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core import LPEGO, make_optimizer
+from repro.core.lp_ego import _PenalizedEI
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 48, "maxiter": 15},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+def _init(q=3, seed=0, **kwargs):
+    problem = get_benchmark("sphere", dim=3)
+    opt = LPEGO(problem, q, seed=seed, **FAST, **kwargs)
+    X0 = latin_hypercube(12, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+class TestPenalizer:
+    def test_shadow_reduces_nearby_acquisition(self):
+        """A selected point must suppress the criterion around itself
+        more than far away."""
+        from repro.acquisition import ExpectedImprovement
+
+        problem, opt = _init()
+        gp, _ = opt._fit_gp()
+        ei = ExpectedImprovement(gp, opt.best_f + 1.0)  # positive EI zone
+        center = np.array([0.0, 0.0, 0.0])
+        mu, sigma = gp.predict(center[None, :])
+        pen = _PenalizedEI(
+            ei, np.asarray([center]),
+            [opt.best_f + 1.0 - float(mu[0])],
+            [np.sqrt(2.0) * float(sigma[0])],
+        )
+        pen.lipschitz = 5.0
+        near = center + 0.01
+        far = center + 4.0
+        ratio_near = pen.value(near[None, :])[0] / max(
+            ei.value(near[None, :])[0], 1e-300
+        )
+        ratio_far = pen.value(far[None, :])[0] / max(
+            ei.value(far[None, :])[0], 1e-300
+        )
+        assert ratio_near < ratio_far
+
+    def test_no_centers_is_plain_ei(self):
+        from repro.acquisition import ExpectedImprovement
+
+        _, opt = _init()
+        gp, _ = opt._fit_gp()
+        ei = ExpectedImprovement(gp, opt.best_f)
+        pen = _PenalizedEI(ei, [], [], [])
+        X = np.random.default_rng(0).uniform(-5, 10, (10, 3))
+        np.testing.assert_array_equal(pen.value(X), ei.value(X))
+
+    def test_shadow_matches_formula(self):
+        from repro.acquisition import ExpectedImprovement
+
+        _, opt = _init()
+        gp, _ = opt._fit_gp()
+        ei = ExpectedImprovement(gp, opt.best_f)
+        center = np.array([1.0, 1.0, 1.0])
+        pen = _PenalizedEI(ei, np.asarray([center]), [0.5], [1.2])
+        pen.lipschitz = 2.0
+        x = np.array([[2.0, 1.0, 1.0]])
+        expected = ei.value(x)[0] * norm.cdf((2.0 * 1.0 + 0.5) / 1.2)
+        assert pen.value(x)[0] == pytest.approx(expected, rel=1e-10)
+
+
+class TestLipschitz:
+    def test_estimate_positive(self):
+        _, opt = _init()
+        gp, _ = opt._fit_gp()
+        L = opt._estimate_lipschitz(gp)
+        assert L > 0.0
+
+    def test_steeper_function_larger_estimate(self, rng):
+        from repro.gp import GaussianProcess
+
+        bounds = np.tile([0.0, 1.0], (2, 1))
+        problem = get_benchmark("sphere", dim=2)
+        X = rng.random((30, 2))
+        flat = GaussianProcess(dim=2, input_bounds=bounds).fit(
+            X, 0.01 * X[:, 0], optimize=False
+        )
+        steep = GaussianProcess(dim=2, input_bounds=bounds).fit(
+            X, 50.0 * X[:, 0], optimize=False
+        )
+        opt = LPEGO(problem, 2, seed=0, **FAST)
+        assert opt._estimate_lipschitz(steep) > opt._estimate_lipschitz(flat)
+
+
+class TestAlgorithm:
+    def test_registered(self):
+        problem = get_benchmark("sphere", dim=3)
+        opt = make_optimizer("lp-ego", problem, 2, seed=0)
+        assert isinstance(opt, LPEGO)
+
+    def test_batch_contract(self):
+        problem, opt = _init(q=4)
+        prop = opt.propose()
+        assert prop.X.shape == (4, 3)
+        assert np.all(problem.contains(prop.X))
+        # all distinct
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(prop.X[i], prop.X[j])
+
+    def test_improves_on_sphere(self):
+        problem, opt = _init(q=2)
+        start = opt.best_f
+        for _ in range(5):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        assert opt.best_f < start
+
+    def test_no_fantasy_updates(self):
+        """LP never augments the model — its data stays untouched
+        during propose()."""
+        problem, opt = _init(q=4)
+        prop = opt.propose()
+        assert opt.gp.n_train == opt.X.shape[0]

@@ -1,0 +1,80 @@
+"""Tests for the deterministic AnalyticTimeModel."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticTimeModel, RandomSearch, make_optimizer, run_optimization
+from repro.parallel import OverheadModel
+from repro.problems import get_benchmark
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+class TestModelFormulas:
+    def test_fit_scaling_is_cubic(self):
+        m = AnalyticTimeModel(fit_coeff=1e-6)
+        assert m.fit_time(200) == pytest.approx(8.0 * m.fit_time(100))
+
+    def test_acq_affine_in_q(self):
+        m = AnalyticTimeModel(acq_base=0.5, acq_per_candidate=0.25)
+        assert m.acq_time(4) == pytest.approx(1.5)
+
+    def test_charge_serial(self):
+        from repro.core.base import Proposal
+
+        m = AnalyticTimeModel(fit_coeff=0.0, acq_base=1.0,
+                              acq_per_candidate=1.0)
+        p = Proposal(X=np.zeros((4, 3)))
+        assert m.charge(p, n_train=10, n_workers=4) == pytest.approx(5.0)
+
+    def test_charge_parallel_regions(self):
+        from repro.core.base import Proposal
+
+        m = AnalyticTimeModel(fit_coeff=0.0, acq_base=1.0,
+                              acq_per_candidate=1.0)
+        p = Proposal(X=np.zeros((2, 3)), acq_durations=[0.1] * 4)
+        # 4 regions of (1+1)s on 2 workers -> makespan 4s
+        assert m.charge(p, n_train=10, n_workers=2) == pytest.approx(4.0)
+
+
+class TestDeterministicDriver:
+    def test_cycle_count_machine_independent(self):
+        """With the analytic model the whole run record is exactly
+        reproducible, whatever the host load."""
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        model = AnalyticTimeModel(fit_coeff=1e-6, acq_base=2.0,
+                                  acq_per_candidate=0.5)
+
+        def run():
+            opt = RandomSearch(problem, 2, seed=0)
+            return run_optimization(
+                problem, opt, 60.0, n_initial=4,
+                overhead=OverheadModel(0.0, 0.0), seed=0, time_model=model,
+            )
+
+        a, b = run(), run()
+        assert a.n_cycles == b.n_cycles
+        assert [r.acq_charged for r in a.history] == [
+            r.acq_charged for r in b.history
+        ]
+        # 10s sim + 3s overhead + tiny fit term per cycle -> 5 cycles
+        assert a.n_cycles == 5
+
+    def test_growing_data_slows_cycles(self):
+        """The analytic n³ term reproduces the breaking-point mechanism
+        deterministically: later cycles are charged more."""
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        model = AnalyticTimeModel(fit_coeff=5e-6, acq_base=0.0,
+                                  acq_per_candidate=0.0)
+        opt = make_optimizer("random", problem, 4, seed=0)
+        res = run_optimization(
+            problem, opt, 200.0, n_initial=8,
+            overhead=OverheadModel(0.0, 0.0), seed=0, time_model=model,
+        )
+        charges = [r.acq_charged for r in res.history]
+        assert charges[-1] > charges[0]
+        assert all(np.diff(charges) >= 0)

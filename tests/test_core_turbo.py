@@ -1,0 +1,124 @@
+"""Tests specific to TuRBO's trust-region dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core import TuRBO
+from repro.doe import latin_hypercube
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+def _turbo(q=2, seed=0, **kwargs):
+    problem = get_benchmark("sphere", dim=3)
+    opt = TuRBO(problem, q, seed=seed,
+                acq_options={"n_restarts": 2, "raw_samples": 32,
+                             "maxiter": 15, "n_mc": 64},
+                gp_options={"n_restarts": 0, "maxiter": 20}, **kwargs)
+    X0 = latin_hypercube(10, problem.bounds, seed=seed)
+    opt.initialize(X0, problem(X0))
+    return problem, opt
+
+
+class TestTrustRegion:
+    def test_initial_length(self):
+        _, opt = _turbo()
+        assert opt.length == pytest.approx(0.8)
+
+    def test_region_contains_center_and_respects_domain(self):
+        problem, opt = _turbo()
+        gp, _ = opt._fit_gp(opt.X_tr, opt.y_tr)
+        center = opt.X_tr[np.argmin(opt.y_tr)]
+        tr = opt.trust_region_bounds(gp, center)
+        assert np.all(tr[:, 0] <= center) and np.all(center <= tr[:, 1])
+        assert np.all(tr[:, 0] >= problem.lower - 1e-9)
+        assert np.all(tr[:, 1] <= problem.upper + 1e-9)
+
+    def test_region_volume_tracks_length(self):
+        problem, opt = _turbo()
+        gp, _ = opt._fit_gp(opt.X_tr, opt.y_tr)
+        center = problem.clip(np.full((1, 3), 2.0))[0]
+        opt.length = 0.4
+        small = opt.trust_region_bounds(gp, center)
+        opt.length = 0.8
+        large = opt.trust_region_bounds(gp, center)
+        assert np.prod(large[:, 1] - large[:, 0]) > np.prod(
+            small[:, 1] - small[:, 0]
+        )
+
+    def test_success_expands(self):
+        problem, opt = _turbo()
+        opt.n_succ = opt.succ_tol - 1
+        # a clearly improving batch
+        x = np.zeros((2, 3))
+        opt.update(x, np.array([-100.0, -99.0]))
+        assert opt.length == pytest.approx(1.6)
+
+    def test_failure_shrinks(self):
+        _, opt = _turbo()
+        L0 = opt.length
+        opt.n_fail = opt.fail_tol - 1
+        x = np.full((2, 3), 4.0)
+        opt.update(x, np.array([1e6, 1e6]))  # no improvement
+        assert opt.length == pytest.approx(L0 / 2)
+
+    def test_collapse_triggers_restart(self):
+        _, opt = _turbo()
+        opt.length = opt.length_min * 1.5
+        opt.n_fail = opt.fail_tol - 1
+        opt.update(np.full((2, 3), 4.0), np.array([1e6, 1e6]))
+        assert opt._restart_pending
+        assert opt.length == pytest.approx(opt.length_init)
+        assert opt.n_restarts_done == 1
+        assert opt.X_tr.shape[0] == 0
+
+    def test_restart_proposals_are_space_filling(self):
+        problem, opt = _turbo()
+        opt._begin_restart()
+        prop = opt.propose()
+        assert prop.info.get("restart")
+        assert prop.X.shape == (2, 3)
+        assert prop.fit_time == 0.0
+
+    def test_restart_completes_after_n_init(self):
+        problem, opt = _turbo()
+        opt._begin_restart()
+        needed = opt._n_init
+        for _ in range(int(np.ceil(needed / 2)) + 1):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+            if not opt._restart_pending:
+                break
+        assert not opt._restart_pending
+
+    def test_fail_tol_scales_with_batch(self):
+        problem = get_benchmark("sphere", dim=12)
+        small = TuRBO(problem, 1, seed=0)
+        big = TuRBO(problem, 8, seed=0)
+        assert small.fail_tol > big.fail_tol
+
+    def test_global_data_still_tracked(self):
+        problem, opt = _turbo()
+        n0 = opt.X.shape[0]
+        prop = opt.propose()
+        opt.update(prop.X, problem(prop.X))
+        assert opt.X.shape[0] == n0 + 2
+        assert opt.X_tr.shape[0] == n0 + 2
+
+
+class TestConfiguration:
+    def test_bad_lengths(self):
+        problem = get_benchmark("sphere", dim=3)
+        with pytest.raises(ConfigurationError):
+            TuRBO(problem, 2, length_init=2.0, length_max=1.6)
+
+    def test_bad_acquisition(self):
+        problem = get_benchmark("sphere", dim=3)
+        with pytest.raises(ConfigurationError):
+            TuRBO(problem, 2, acquisition="ei2")
+
+    def test_thompson_variant_proposes(self):
+        problem, opt = _turbo(acquisition="thompson")
+        prop = opt.propose()
+        assert prop.X.shape == (2, 3)
+        assert np.all(prop.X >= problem.lower) and np.all(prop.X <= problem.upper)

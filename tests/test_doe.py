@@ -1,0 +1,77 @@
+"""Tests for the initial designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import latin_hypercube, make_sampler, sobol, uniform_random
+from repro.util import ConfigurationError
+
+BOUNDS = np.array([[-2.0, 3.0], [0.0, 10.0], [5.0, 6.0]])
+
+
+@pytest.mark.parametrize("sampler", [latin_hypercube, sobol, uniform_random])
+class TestCommon:
+    def test_shape(self, sampler):
+        X = sampler(17, BOUNDS, seed=0)
+        assert X.shape == (17, 3)
+
+    def test_within_bounds(self, sampler):
+        X = sampler(64, BOUNDS, seed=1)
+        assert np.all(X >= BOUNDS[:, 0]) and np.all(X <= BOUNDS[:, 1])
+
+    def test_seed_reproducible(self, sampler):
+        np.testing.assert_array_equal(
+            sampler(8, BOUNDS, seed=42), sampler(8, BOUNDS, seed=42)
+        )
+
+    def test_seeds_differ(self, sampler):
+        assert not np.allclose(sampler(8, BOUNDS, seed=1), sampler(8, BOUNDS, seed=2))
+
+    def test_invalid_n(self, sampler):
+        with pytest.raises(ConfigurationError):
+            sampler(0, BOUNDS)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        """Each margin has exactly one point per 1/n slice."""
+        n = 25
+        X = latin_hypercube(n, np.tile([0.0, 1.0], (4, 1)), seed=3)
+        for j in range(4):
+            cells = np.floor(X[:, j] * n).astype(int)
+            assert sorted(cells.tolist()) == list(range(n))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 40), seed=st.integers(0, 1000))
+    def test_stratification_property(self, n, seed):
+        X = latin_hypercube(n, np.tile([0.0, 1.0], (2, 1)), seed=seed)
+        for j in range(2):
+            cells = np.floor(np.clip(X[:, j], 0, 1 - 1e-12) * n).astype(int)
+            assert len(set(cells.tolist())) == n
+
+
+class TestSobol:
+    def test_non_power_of_two_ok(self):
+        X = sobol(10, BOUNDS, seed=0)
+        assert X.shape == (10, 3)
+
+    def test_unscrambled_deterministic(self):
+        a = sobol(8, BOUNDS, seed=0, scramble=False)
+        b = sobol(8, BOUNDS, seed=99, scramble=False)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMakeSampler:
+    @pytest.mark.parametrize(
+        "name,func",
+        [("lhs", latin_hypercube), ("sobol", sobol), ("uniform", uniform_random),
+         ("random", uniform_random), ("latin_hypercube", latin_hypercube)],
+    )
+    def test_lookup(self, name, func):
+        assert make_sampler(name) is func
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler("halton")

@@ -1,0 +1,77 @@
+"""Tests for the driver's parallel-acquisition (BSP) time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_optimization
+from repro.core.base import BatchOptimizer, Proposal
+from repro.parallel import OverheadModel
+from repro.problems import get_benchmark
+
+
+class _FakeParallelAP(BatchOptimizer):
+    """Emits fixed per-region durations to make the makespan checkable."""
+
+    name = "FakeParallelAP"
+
+    def __init__(self, problem, n_batch, durations, **kwargs):
+        super().__init__(problem, n_batch, **kwargs)
+        self.durations = durations
+
+    def propose(self) -> Proposal:
+        X = self.rng.uniform(
+            self.problem.lower, self.problem.upper,
+            (self.n_batch, self.problem.dim),
+        )
+        return Proposal(
+            X=X,
+            fit_time=1.0,
+            acq_time=float(np.sum(self.durations)),
+            acq_durations=list(self.durations),
+        )
+
+
+class _FakeSerialAP(_FakeParallelAP):
+    name = "FakeSerialAP"
+
+    def propose(self) -> Proposal:
+        prop = super().propose()
+        prop.acq_durations = None
+        return prop
+
+
+def _run(cls, durations, q=2, budget=25.0):
+    problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+    opt = cls(problem, q, durations, seed=0)
+    return run_optimization(
+        problem, opt, budget, n_initial=4,
+        overhead=OverheadModel(0.0, 0.0), time_scale=1.0, seed=0,
+    )
+
+
+class TestMakespanCharging:
+    def test_parallel_ap_charged_as_makespan(self):
+        # 4 regions of 3s on 2 workers -> makespan 6s (+1s fit) per cycle
+        res = _run(_FakeParallelAP, [3.0, 3.0, 3.0, 3.0])
+        assert res.history[0].acq_charged == pytest.approx(7.0)
+
+    def test_serial_ap_charged_as_sum(self):
+        res = _run(_FakeSerialAP, [3.0, 3.0, 3.0, 3.0])
+        assert res.history[0].acq_charged == pytest.approx(13.0)
+
+    def test_parallel_ap_buys_more_cycles(self):
+        """The whole point of BSP-EGO's parallel AP: same measured
+        work, fewer virtual seconds, more cycles in the budget."""
+        par = _run(_FakeParallelAP, [3.0, 3.0, 3.0, 3.0], budget=100.0)
+        ser = _run(_FakeSerialAP, [3.0, 3.0, 3.0, 3.0], budget=100.0)
+        assert par.n_cycles > ser.n_cycles
+
+    def test_time_scale_applies_to_durations(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        opt = _FakeParallelAP(problem, 2, [2.0, 2.0], seed=0)
+        res = run_optimization(
+            problem, opt, 25.0, n_initial=4,
+            overhead=OverheadModel(0.0, 0.0), time_scale=10.0, seed=0,
+        )
+        # fit 1s*10 + makespan of two 20s jobs on 2 workers = 30s
+        assert res.history[0].acq_charged == pytest.approx(30.0)

@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts must run as advertised.
+
+The heavier examples (quickstart, uphes_scheduling, batch_size_study)
+exercise code paths the rest of the suite already covers at full
+budget; here they are executed with the smallest budgets that still
+demonstrate their point, through their importable main() entry points
+where possible or as subprocesses for the cheap ones.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args, timeout: int = 600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCheapExamples:
+    def test_plant_tour(self):
+        proc = _run("uphes_plant_tour.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "operating envelopes" in proc.stdout
+        assert "expected profit" in proc.stdout
+
+    def test_mpi_style_parallel(self):
+        proc = _run("mpi_style_parallel.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "match serial evaluation" in proc.stdout
+
+
+@pytest.mark.slow
+class TestOptimizationExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "final best value" in proc.stdout
+
+    def test_batch_size_study_small(self):
+        proc = _run("batch_size_study.py", "turbo", "120")
+        assert proc.returncode == 0, proc.stderr
+        assert "breaking point" in proc.stdout
+
+    def test_uphes_scheduling(self):
+        proc = _run("uphes_scheduling.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "optimized expected profit" in proc.stdout
+
+    def test_rolling_horizon(self):
+        proc = _run("rolling_horizon.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "cumulative expected profit" in proc.stdout
+
+    def test_algorithm_comparison(self):
+        proc = _run("algorithm_comparison.py", "120")
+        assert proc.returncode == 0, proc.stderr
+        assert "winner:" in proc.stdout

@@ -1,0 +1,99 @@
+"""Tests for campaign sweeps and their disk cache."""
+
+import pytest
+
+from repro.experiments import Campaign, Preset
+from repro.util import ConfigurationError
+
+#: A protocol tiny enough to execute inside the test suite.
+TINY = Preset(
+    name="tiny-test",
+    budget=30.0,
+    sim_time=10.0,
+    n_seeds=2,
+    batch_sizes=(1, 2),
+    time_scale=0.0,
+    initial_per_batch=4,
+    algorithms=("Random",),
+    benchmarks=("sphere",),
+    dim=3,
+)
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    return Campaign(TINY, problems=["sphere"], root=tmp_path, verbose=False)
+
+
+class TestSweep:
+    def test_cells_enumeration(self, campaign):
+        cells = campaign.cells()
+        assert len(cells) == 1 * 1 * 2 * 2  # problems*algos*batches*seeds
+
+    def test_ensure_fills_cache(self, campaign):
+        assert len(campaign.missing()) == 4
+        campaign.ensure()
+        assert campaign.missing() == []
+
+    def test_cache_files_written(self, campaign, tmp_path):
+        campaign.ensure()
+        files = list((tmp_path / "tiny-test").glob("*.json"))
+        assert len(files) == 4
+
+    def test_cache_reused_across_instances(self, campaign, tmp_path):
+        campaign.ensure()
+        fresh = Campaign(TINY, problems=["sphere"], root=tmp_path, verbose=False)
+        assert fresh.missing() == []
+        rec = fresh.get("sphere", "Random", 1, 0)
+        assert rec.best_value == campaign.get("sphere", "Random", 1, 0).best_value
+
+    def test_runs_filtering(self, campaign):
+        campaign.ensure()
+        assert len(campaign.runs()) == 4
+        assert len(campaign.runs(n_batch=2)) == 2
+        assert len(campaign.runs(algorithm="Random", n_batch=1)) == 2
+
+    def test_final_values(self, campaign):
+        campaign.ensure()
+        vals = campaign.final_values("sphere", "Random", 1)
+        assert len(vals) == 2
+        assert all(isinstance(v, float) for v in vals)
+
+    def test_seeds_give_different_runs(self, campaign):
+        campaign.ensure()
+        a = campaign.get("sphere", "Random", 1, 0)
+        b = campaign.get("sphere", "Random", 1, 1)
+        assert a.best_value != b.best_value
+
+    def test_empty_problems_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Campaign(TINY, problems=[], root=tmp_path)
+
+    def test_default_problems_from_preset(self, tmp_path):
+        camp = Campaign(TINY, root=tmp_path, verbose=False)
+        assert camp.problems == TINY.benchmarks
+
+
+class TestMetricAggregation:
+    def test_mean_and_sd_by_batch(self, campaign):
+        from repro.experiments.stats import mean_and_sd_by_batch
+
+        campaign.ensure()
+        stats = mean_and_sd_by_batch(campaign, "sphere",
+                                     metric="n_simulations")
+        assert set(stats) == {"Random"}
+        assert set(stats["Random"]) == {1, 2}
+        for q in (1, 2):
+            mean, sd = stats["Random"][q]
+            assert mean > 0
+            assert sd >= 0
+
+    def test_metric_best_value_matches_final_values(self, campaign):
+        import numpy as np
+
+        from repro.experiments.stats import mean_and_sd_by_batch
+
+        campaign.ensure()
+        stats = mean_and_sd_by_batch(campaign, "sphere", metric="best_value")
+        vals = campaign.final_values("sphere", "Random", 1)
+        assert stats["Random"][1][0] == pytest.approx(float(np.mean(vals)))

@@ -1,0 +1,105 @@
+"""Tests for presets and the single-run runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER, QUICK, SMOKE, Preset, get_preset, run_single
+from repro.experiments.runner import initial_design_for, make_problem
+from repro.util import ConfigurationError
+
+TINY = Preset(
+    name="tiny-runner",
+    budget=30.0,
+    sim_time=10.0,
+    n_seeds=1,
+    batch_sizes=(2,),
+    time_scale=0.0,
+    initial_per_batch=4,
+    algorithms=("Random",),
+    dim=3,
+)
+
+
+class TestPresets:
+    def test_paper_matches_table_2(self):
+        assert PAPER.budget == 1200.0
+        assert PAPER.sim_time == 10.0
+        assert PAPER.initial_per_batch == 16
+        assert PAPER.batch_sizes == (1, 2, 4, 8, 16)
+        assert PAPER.n_seeds == 10
+        assert PAPER.time_scale == 1.0
+        assert PAPER.max_cycles_per_run == 120  # the paper's maximum
+
+    def test_paper_algorithm_roster(self):
+        assert set(PAPER.algorithms) == {
+            "KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO", "TuRBO"
+        }
+
+    def test_lookup(self):
+        assert get_preset("paper") is PAPER
+        assert get_preset("QUICK") is QUICK
+        assert get_preset("smoke") is SMOKE
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_preset("gigantic")
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            Preset(name="x", budget=0.0, sim_time=10.0, n_seeds=1,
+                   batch_sizes=(1,), time_scale=1.0)
+
+
+class TestMakeProblem:
+    def test_benchmark(self):
+        p = make_problem("ackley", TINY)
+        assert p.dim == 3
+        assert p.sim_time == TINY.sim_time
+
+    def test_uphes(self):
+        p = make_problem("uphes", TINY)
+        assert p.name == "uphes"
+        assert p.maximize
+        assert p.sim_time == TINY.sim_time
+
+    def test_uphes_scenarios_shared(self, rng):
+        """Every run must see the same plant (fixed scenario seed)."""
+        a = make_problem("uphes", TINY)
+        b = make_problem("uphes", TINY)
+        x = np.zeros((1, 12))
+        x[0, 0] = -7.0
+        assert a(x)[0] == b(x)[0]
+
+
+class TestInitialDesign:
+    def test_size_scales_with_batch(self):
+        p = make_problem("sphere", TINY)
+        X = initial_design_for(p, 4, seed=0, preset=TINY)
+        assert X.shape == (16, 3)
+
+    def test_same_seed_same_design(self):
+        p = make_problem("sphere", TINY)
+        a = initial_design_for(p, 2, seed=3, preset=TINY)
+        b = initial_design_for(p, 2, seed=3, preset=TINY)
+        np.testing.assert_array_equal(a, b)
+
+    def test_algorithm_independent(self):
+        """The design depends only on (seed, n_batch) — the paper uses
+        shared initial sets across algorithms."""
+        p = make_problem("sphere", TINY)
+        a = initial_design_for(p, 2, seed=0, preset=TINY)
+        b = initial_design_for(p, 2, seed=0, preset=TINY)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRunSingle:
+    def test_produces_record(self):
+        rec = run_single("sphere", "Random", 2, seed=0, preset=TINY)
+        assert rec.problem == "sphere"
+        assert rec.preset == "tiny-runner"
+        assert rec.n_initial == 8
+        assert rec.n_cycles >= 1
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            run_single("sphere", "Random", 0, seed=0, preset=TINY)

@@ -1,0 +1,53 @@
+"""Tests for run records and their serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RandomSearch, run_optimization
+from repro.experiments.records import RunRecord, run_key
+from repro.problems import get_benchmark
+
+
+@pytest.fixture
+def record():
+    problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+    opt = RandomSearch(problem, 2, seed=0)
+    result = run_optimization(problem, opt, 40.0, seed=0)
+    return RunRecord.from_result(result, seed=0, preset="smoke")
+
+
+class TestRunRecord:
+    def test_fields_copied(self, record):
+        assert record.problem == "sphere"
+        assert record.algorithm == "Random"
+        assert record.n_batch == 2
+        assert record.preset == "smoke"
+        assert len(record.trajectory) == record.n_cycles
+        assert len(record.best_x) == 3
+
+    def test_json_roundtrip(self, record):
+        blob = json.dumps(record.to_dict())
+        back = RunRecord.from_dict(json.loads(blob))
+        assert back == record
+
+    def test_key_stable(self, record):
+        assert record.key == run_key("sphere", "Random", 2, 0)
+
+    def test_key_filename_safe(self):
+        key = run_key("uphes", "MC-based q-EGO", 16, 3)
+        assert " " not in key and "/" not in key
+        assert key == "uphes__mc-based_q-ego__q16__s3"
+
+    def test_trajectory_is_plain_floats(self, record):
+        assert all(isinstance(v, float) for v in record.trajectory)
+
+    def test_timing_lists_align(self, record):
+        assert (
+            len(record.fit_times)
+            == len(record.acq_times)
+            == len(record.acq_charged)
+            == len(record.evals_after_cycle)
+            == record.n_cycles
+        )

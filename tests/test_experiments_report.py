@@ -1,0 +1,45 @@
+"""Tests for the report CLI module (static-artefact paths)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import build_report, main
+
+
+class TestBuildReport:
+    def test_static_only(self, tmp_path):
+        artefacts = build_report(
+            "quick", root=tmp_path, include_benchmarks=False,
+            include_uphes=False, verbose=False,
+        )
+        assert set(artefacts) == {"table1", "table2", "table3", "figure1"}
+        for name in artefacts:
+            assert (tmp_path / "quick" / "report" / f"{name}.txt").exists()
+
+    def test_artefact_contents(self, tmp_path):
+        artefacts = build_report(
+            "smoke", root=tmp_path, include_benchmarks=False,
+            include_uphes=False, verbose=False,
+        )
+        assert "Rosenbrock" in artefacts["table1"]
+        assert "n_batch" in artefacts["table2"]
+        assert "upper reservoir" in artefacts["figure1"]
+
+
+class TestCLI:
+    def test_main_skips_campaigns(self, tmp_path, capsys):
+        code = main([
+            "--preset", "smoke",
+            "--root", str(tmp_path),
+            "--skip-benchmarks",
+            "--skip-uphes",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "===== table1 =====" in out
+        assert "Schwefel" in out
+
+    def test_main_rejects_bad_preset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--preset", "huge", "--root", str(tmp_path)])

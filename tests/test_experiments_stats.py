@@ -1,0 +1,72 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.experiments import pairwise_ttests, summarize
+from repro.util import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.mean == 2.5
+        assert s.sd == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value_sd_zero(self):
+        assert summarize([5.0]).sd == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestPairwiseTTests:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0, 1, 10).tolist()
+        b = rng.normal(1, 1, 10).tolist()
+        labels, p = pairwise_ttests({"a": a, "b": b})
+        expected = sps.ttest_ind(a, b, equal_var=True).pvalue
+        assert p[0, 1] == pytest.approx(expected)
+
+    def test_symmetry_and_diagonal(self, rng):
+        groups = {k: rng.normal(k_i, 1, 8).tolist()
+                  for k_i, k in enumerate("abc")}
+        labels, p = pairwise_ttests(groups)
+        np.testing.assert_allclose(p, p.T)
+        np.testing.assert_array_equal(np.diag(p), 1.0)
+
+    def test_identical_groups_high_p(self, rng):
+        x = rng.normal(0, 1, 12).tolist()
+        _, p = pairwise_ttests({"a": x, "b": list(x)})
+        assert p[0, 1] == pytest.approx(1.0)
+
+    def test_separated_groups_low_p(self, rng):
+        a = rng.normal(0, 0.1, 10).tolist()
+        b = rng.normal(10, 0.1, 10).tolist()
+        _, p = pairwise_ttests({"a": a, "b": b})
+        assert p[0, 1] < 1e-6
+
+    def test_welch_option(self, rng):
+        a = rng.normal(0, 0.1, 10).tolist()
+        b = rng.normal(0.5, 5.0, 10).tolist()
+        _, p_student = pairwise_ttests({"a": a, "b": b}, equal_var=True)
+        _, p_welch = pairwise_ttests({"a": a, "b": b}, equal_var=False)
+        assert p_student[0, 1] != p_welch[0, 1]
+
+    def test_degenerate_constant_groups(self):
+        _, p = pairwise_ttests({"a": [1.0, 1.0], "b": [1.0, 1.0]})
+        assert p[0, 1] == 1.0
+        _, p = pairwise_ttests({"a": [1.0, 1.0], "b": [2.0, 2.0]})
+        assert p[0, 1] == 0.0
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_ttests({"a": [1.0, 2.0]})
+
+    def test_tiny_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_ttests({"a": [1.0], "b": [1.0, 2.0]})

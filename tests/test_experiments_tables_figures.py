@@ -1,0 +1,122 @@
+"""Tests for the table and figure renderers, on a tiny live campaign."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Campaign, Preset
+from repro.experiments.figures import (
+    figure_1_description,
+    figure_2,
+    figure_3_to_7,
+    figure_8,
+    figure_9,
+    sparkline,
+)
+from repro.experiments.tables import (
+    table_1,
+    table_2,
+    table_3,
+    table_4,
+    table_7,
+)
+
+TINY = Preset(
+    name="tiny-tabfig",
+    budget=30.0,
+    sim_time=10.0,
+    n_seeds=2,
+    batch_sizes=(1, 2),
+    time_scale=0.0,
+    initial_per_batch=4,
+    algorithms=("Random", "TuRBO"),
+    benchmarks=("rosenbrock",),
+    dim=3,
+    gp_options={"n_restarts": 0, "maxiter": 20},
+    acq_options={"n_restarts": 2, "raw_samples": 32, "maxiter": 15, "n_mc": 64},
+)
+
+
+@pytest.fixture(scope="module")
+def camp(tmp_path_factory):
+    root = tmp_path_factory.mktemp("results")
+    c = Campaign(TINY, problems=["rosenbrock"], root=root, verbose=False)
+    c.ensure()
+    return c
+
+
+@pytest.fixture(scope="module")
+def ucamp(tmp_path_factory):
+    root = tmp_path_factory.mktemp("uresults")
+    c = Campaign(TINY, problems=["uphes"], root=root, verbose=False)
+    c.ensure()
+    return c
+
+
+class TestStaticTables:
+    def test_table_1_contains_paper_rows(self):
+        text = table_1()
+        for token in ("Rosenbrock", "Ackley", "Schwefel", "[-500; 500]^12"):
+            assert token in text
+
+    def test_table_2_budget_rows(self):
+        text = table_2(TINY)
+        assert "n_batch" in text
+        assert " 8 " in text  # initial sample for q=2: 4*2
+
+    def test_table_3_acquisitions(self):
+        text = table_3(TINY)
+        assert "EI/UCB (50%)" in text
+        assert "qEI" in text
+
+
+class TestCampaignTables:
+    def test_table_4_shape(self, camp):
+        text = table_4(camp)
+        assert "rosenbrock" in text
+        for algo in TINY.algorithms:
+            assert algo in text
+        # one row per batch size
+        assert text.count("\n1 ") + text.count("\n2 ") >= 2
+
+    def test_table_7_blocks(self, ucamp):
+        text = table_7(ucamp)
+        assert "n_batch = 1" in text and "n_batch = 2" in text
+        assert "min" in text and "mean" in text and "sd" in text
+
+
+class TestFigures:
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert len(sparkline([1, 2, 3])) == 3
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_figure_1_static(self):
+        text = figure_1_description()
+        assert "upper reservoir" in text and "mine" in text
+
+    def test_figure_2(self, camp):
+        data, text = figure_2(camp, "rosenbrock")
+        assert set(data) == set(TINY.algorithms)
+        assert set(data["Random"]) == {1, 2}
+        assert "evaluations" in text
+
+    def test_figure_3_to_7(self, ucamp):
+        series, text = figure_3_to_7(ucamp, 2)
+        for algo in TINY.algorithms:
+            assert "mean" in series[algo]
+            # running best of a maximization problem is non-decreasing
+            m = np.asarray(series[algo]["mean"])
+            assert np.all(np.diff(m) >= -1e-9)
+        assert "n_batch = 2" in text
+
+    def test_figure_8(self, ucamp):
+        data, text = figure_8(ucamp, n_batch=2)
+        p = np.asarray(data["p"])
+        assert p.shape == (2, 2)
+        np.testing.assert_array_equal(np.diag(p), 1.0)
+        assert "p-values" in text
+
+    def test_figure_9(self, ucamp):
+        data, text = figure_9(ucamp)
+        assert set(data) == {"simulations", "cycles"}
+        assert "Figure 9a" in text and "Figure 9b" in text

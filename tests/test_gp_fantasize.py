@@ -1,0 +1,102 @@
+"""Tests for the Kriging-Believer fantasy updates and partial_fit."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess
+from repro.gp.linalg import jittered_cholesky
+
+
+class TestFantasize:
+    def test_default_fantasy_is_posterior_mean(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        xf = rng.random((1, 3))
+        mu_before = gp.predict(xf, return_std=False)
+        g2 = gp.fantasize(xf)
+        # The fantasized model believes its own prediction.
+        mu_after = g2.predict(xf, return_std=False)
+        assert mu_after[0] == pytest.approx(mu_before[0], abs=1e-6)
+
+    def test_variance_shrinks_at_fantasy(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        xf = np.array([[0.42, 0.77, 0.13]])
+        _, s_before = gp.predict(xf)
+        _, s_after = gp.fantasize(xf).predict(xf)
+        assert s_after[0] < s_before[0]
+
+    def test_original_untouched(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        n = gp.n_train
+        gp.fantasize(rng.random((2, 3)))
+        assert gp.n_train == n
+
+    def test_inplace_variant(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        n = gp.n_train
+        gp2 = GaussianProcess(dim=3, input_bounds=gp.input_bounds)
+        gp2.__dict__.update(gp.__dict__)
+        gp2.fantasize_(rng.random((3, 3)))
+        assert gp2.n_train == n + 3
+
+    def test_matches_exact_refactorization(self, fitted_gp, rng):
+        """Extended Cholesky must equal the from-scratch factor of the
+        augmented kernel matrix (same hyperparameters)."""
+        gp, _, _ = fitted_gp
+        xf = rng.random((2, 3))
+        g2 = gp.fantasize(xf)
+        K = gp.kernel(g2.X_)
+        K[np.diag_indices_from(K)] += gp.noise
+        L_exact, _ = jittered_cholesky(K)
+        np.testing.assert_allclose(g2.L_ @ g2.L_.T, L_exact @ L_exact.T,
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_explicit_fantasy_values(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        xf = rng.random((1, 3))
+        g2 = gp.fantasize(xf, y_new=[5.0])
+        assert g2.y_[-1] == 5.0
+
+    def test_chained_fantasies(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        model = gp
+        for _ in range(4):
+            model = model.fantasize(rng.random((1, 3)))
+        assert model.n_train == gp.n_train + 4
+        mu, s = model.predict(rng.random((3, 3)))
+        assert np.all(np.isfinite(mu)) and np.all(np.isfinite(s))
+
+    def test_duplicate_fantasy_survives(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        g2 = gp.fantasize(X[:1])  # duplicates a training point
+        assert np.all(np.isfinite(g2.L_))
+
+
+class TestPartialFit:
+    def test_appends_data(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        n = gp.n_train
+        gp.partial_fit(rng.random((3, 3)), rng.standard_normal(3))
+        assert gp.n_train == n + 3
+
+    def test_no_reopt_keeps_hyperparameters(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        theta = gp.kernel.theta.copy()
+        gp.partial_fit(rng.random((2, 3)), rng.standard_normal(2),
+                       reoptimize=False)
+        np.testing.assert_array_equal(gp.kernel.theta, theta)
+
+    def test_reopt_changes_hyperparameters(self, rng, unit_bounds3):
+        X = rng.random((20, 3))
+        y = np.sin(5 * X[:, 0])
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.fit(X, y, optimize=False)
+        theta = gp.kernel.theta.copy()
+        gp.partial_fit(rng.random((5, 3)), rng.standard_normal(5),
+                       reoptimize=True, maxiter=20)
+        assert not np.allclose(gp.kernel.theta, theta)
+
+    def test_restandardizes(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        y_mean_before = gp._y_mean
+        gp.partial_fit(rng.random((2, 3)), np.array([100.0, 120.0]))
+        assert gp._y_mean != y_mean_before

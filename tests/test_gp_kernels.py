@@ -1,0 +1,158 @@
+"""Tests for kernel values, structure and composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import (
+    RBF,
+    Matern12,
+    Matern32,
+    Matern52,
+    ProductKernel,
+    ScaledKernel,
+    SumKernel,
+    make_kernel,
+)
+from repro.util import ConfigurationError
+
+ALL_STATIONARY = [RBF, Matern12, Matern32, Matern52]
+
+
+def _kernels():
+    out = []
+    for cls in ALL_STATIONARY:
+        out.append(cls(lengthscale=0.7))
+        out.append(cls(lengthscale=[0.5, 1.0, 2.0], ard_dims=3))
+    out.append(ScaledKernel(Matern52(lengthscale=0.4), outputscale=2.5))
+    out.append(SumKernel(RBF(0.5), Matern32(1.0)))
+    out.append(ProductKernel(RBF(0.5), Matern52(1.0)))
+    return out
+
+
+@pytest.mark.parametrize("kernel", _kernels(), ids=lambda k: type(k).__name__ + str(id(k) % 97))
+class TestKernelAxioms:
+    def test_symmetry(self, kernel, rng):
+        X = rng.random((8, 3))
+        K = kernel(X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    def test_psd(self, kernel, rng):
+        X = rng.random((10, 3))
+        eig = np.linalg.eigvalsh(kernel(X))
+        assert eig.min() > -1e-8
+
+    def test_diag_matches_full(self, kernel, rng):
+        X = rng.random((6, 3))
+        np.testing.assert_allclose(kernel.diag(X), np.diag(kernel(X)), atol=1e-12)
+
+    def test_cross_shape(self, kernel, rng):
+        K = kernel(rng.random((4, 3)), rng.random((7, 3)))
+        assert K.shape == (4, 7)
+
+    def test_theta_roundtrip(self, kernel):
+        theta = kernel.theta
+        kernel.theta = theta + 0.1
+        np.testing.assert_allclose(kernel.theta, theta + 0.1)
+        kernel.theta = theta
+
+    def test_theta_bounds_shape(self, kernel):
+        b = kernel.theta_bounds
+        assert b.shape == (kernel.n_params, 2)
+        assert np.all(b[:, 0] < b[:, 1])
+
+    def test_clone_independent(self, kernel):
+        c = kernel.clone()
+        c.theta = c.theta + 1.0
+        assert not np.allclose(c.theta, kernel.theta)
+
+    def test_param_gradient_stack_shape(self, kernel, rng):
+        X = rng.random((5, 3))
+        g = kernel.param_gradients(X)
+        assert g.shape == (kernel.n_params, 5, 5)
+
+    def test_iter_matches_stack(self, kernel, rng):
+        X = rng.random((5, 3))
+        stack = kernel.param_gradients(X)
+        lazy = list(kernel.iter_param_gradients(X))
+        assert len(lazy) == stack.shape[0]
+        for a, b in zip(stack, lazy):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestKnownValues:
+    def test_rbf_value(self):
+        k = RBF(lengthscale=1.0)
+        r2 = 2.0
+        x1 = np.zeros((1, 2))
+        x2 = np.array([[1.0, 1.0]])
+        assert k(x1, x2)[0, 0] == pytest.approx(np.exp(-0.5 * r2))
+
+    def test_matern12_value(self):
+        k = Matern12(lengthscale=2.0)
+        x1, x2 = np.zeros((1, 1)), np.array([[3.0]])
+        assert k(x1, x2)[0, 0] == pytest.approx(np.exp(-1.5))
+
+    def test_matern52_unit_diagonal(self, rng):
+        k = Matern52(lengthscale=0.3)
+        X = rng.random((4, 2))
+        np.testing.assert_allclose(np.diag(k(X)), 1.0)
+
+    def test_scaled_kernel_scales(self, rng):
+        inner = Matern52(0.5)
+        k = ScaledKernel(inner, outputscale=3.0)
+        X = rng.random((4, 2))
+        np.testing.assert_allclose(k(X), 3.0 * inner(X))
+
+    def test_sum_and_product_operators(self, rng):
+        a, b = RBF(0.5), Matern32(1.0)
+        X = rng.random((4, 2))
+        np.testing.assert_allclose((a + b)(X), a(X) + b(X))
+        np.testing.assert_allclose((a * b)(X), a(X) * b(X))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ls=st.floats(0.05, 10.0),
+        dist=st.floats(0.0, 5.0),
+    )
+    def test_stationary_decreasing_in_distance(self, ls, dist):
+        k = Matern52(lengthscale=ls)
+        x0 = np.zeros((1, 1))
+        near = k(x0, np.array([[dist]]))[0, 0]
+        far = k(x0, np.array([[dist + 0.5]]))[0, 0]
+        assert far <= near + 1e-12
+
+
+class TestConfiguration:
+    def test_bad_lengthscale(self):
+        with pytest.raises(ConfigurationError):
+            Matern52(lengthscale=-1.0)
+
+    def test_ard_dims_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Matern52(lengthscale=[1.0, 2.0], ard_dims=3)
+
+    def test_scalar_broadcast_to_ard(self):
+        k = Matern52(lengthscale=0.5, ard_dims=4)
+        assert k.lengthscale.shape == (4,)
+        assert k.ard
+
+    def test_make_kernel_default(self):
+        k = make_kernel("matern52", dim=5)
+        assert isinstance(k, ScaledKernel)
+        assert isinstance(k.inner, Matern52)
+        assert k.inner.lengthscale.shape == (5,)
+
+    def test_make_kernel_requires_dim_for_ard(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel("rbf")
+
+    def test_make_kernel_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel("periodic", dim=2)
+
+    def test_theta_wrong_length(self):
+        k = Matern52(lengthscale=[1.0, 1.0], ard_dims=2)
+        with pytest.raises(ConfigurationError):
+            k.theta = np.zeros(5)

@@ -1,0 +1,122 @@
+"""Tests for the Cholesky helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.linalg import (
+    cholesky_adjoint,
+    cholesky_append,
+    jittered_cholesky,
+    log_det_from_cholesky,
+    solve_cholesky,
+    solve_lower,
+)
+from repro.util import NumericalError
+
+
+def _spd(rng, n):
+    A = rng.standard_normal((n, n))
+    return A @ A.T + n * np.eye(n)
+
+
+class TestJitteredCholesky:
+    def test_spd_exact(self, rng):
+        K = _spd(rng, 6)
+        L, jit = jittered_cholesky(K)
+        assert jit == 0.0
+        np.testing.assert_allclose(L @ L.T, K, rtol=1e-10)
+
+    def test_semidefinite_gets_jitter(self, rng):
+        v = rng.standard_normal(5)
+        K = np.outer(v, v)  # rank 1: singular
+        L, jit = jittered_cholesky(K)
+        assert jit > 0.0
+        assert np.all(np.isfinite(L))
+
+    def test_indefinite_raises(self):
+        K = np.diag([1.0, -5.0])
+        with pytest.raises(NumericalError):
+            jittered_cholesky(K)
+
+    def test_lower_triangular(self, rng):
+        L, _ = jittered_cholesky(_spd(rng, 4))
+        assert np.allclose(L, np.tril(L))
+
+
+class TestSolves:
+    def test_solve_lower(self, rng):
+        K = _spd(rng, 5)
+        L, _ = jittered_cholesky(K)
+        b = rng.standard_normal(5)
+        np.testing.assert_allclose(L @ solve_lower(L, b), b, rtol=1e-10)
+
+    def test_solve_cholesky(self, rng):
+        K = _spd(rng, 5)
+        L, _ = jittered_cholesky(K)
+        b = rng.standard_normal(5)
+        np.testing.assert_allclose(K @ solve_cholesky(L, b), b, rtol=1e-8)
+
+    def test_log_det(self, rng):
+        K = _spd(rng, 5)
+        L, _ = jittered_cholesky(K)
+        assert log_det_from_cholesky(L) == pytest.approx(
+            np.linalg.slogdet(K)[1], rel=1e-10
+        )
+
+
+class TestCholeskyAppend:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 8), m=st.integers(1, 4), seed=st.integers(0, 500))
+    def test_matches_full_factorization(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        K_full = _spd(rng, n + m)
+        K = K_full[:n, :n]
+        L, _ = jittered_cholesky(K)
+        L_ext = cholesky_append(L, K_full[:n, n:], K_full[n:, n:])
+        np.testing.assert_allclose(L_ext @ L_ext.T, K_full, rtol=1e-8, atol=1e-8)
+
+    def test_duplicate_point_survives(self, rng):
+        """Appending an exact duplicate makes the Schur complement
+        singular; the jitter ladder must absorb it."""
+        K = _spd(rng, 4)
+        L, _ = jittered_cholesky(K)
+        # new point identical to point 0 -> cross column = K[:, 0],
+        # new diagonal = K[0, 0]
+        L_ext = cholesky_append(L, K[:, [0]], K[[0], [0]])
+        assert np.all(np.isfinite(L_ext))
+        assert L_ext.shape == (5, 5)
+
+
+class TestCholeskyAdjoint:
+    @settings(max_examples=20, deadline=None)
+    @given(q=st.integers(2, 6), seed=st.integers(0, 500))
+    def test_matches_finite_differences(self, q, seed):
+        rng = np.random.default_rng(seed)
+        S = _spd(rng, q)
+        C = np.linalg.cholesky(S)
+        C_bar = np.tril(rng.standard_normal((q, q)))
+
+        def loss(Sm):
+            return float(np.sum(np.linalg.cholesky(Sm) * C_bar))
+
+        S_bar = cholesky_adjoint(C, C_bar)
+        # FD with a symmetric perturbation corresponds to
+        # S_bar + S_bar.T off-diagonal, S_bar on the diagonal.
+        pred = S_bar + S_bar.T - np.diag(np.diag(S_bar))
+        h = 1e-6
+        for a in range(q):
+            for b in range(a + 1):
+                Sp = S.copy()
+                Sp[a, b] += h
+                if a != b:
+                    Sp[b, a] += h
+                fd = (loss(Sp) - loss(S)) / h
+                assert fd == pytest.approx(pred[a, b], rel=2e-4, abs=1e-6)
+
+    def test_symmetric_output(self, rng):
+        S = _spd(rng, 4)
+        C = np.linalg.cholesky(S)
+        out = cholesky_adjoint(C, np.tril(rng.standard_normal((4, 4))))
+        np.testing.assert_allclose(out, out.T)

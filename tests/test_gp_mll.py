@@ -1,0 +1,82 @@
+"""Tests for the marginal likelihood and its gradient."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.gp import make_kernel
+from repro.gp.linalg import jittered_cholesky
+from repro.gp.mll import mll_value, mll_value_and_grad, profiled_mean
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.random((20, 3))
+    y = np.sin(4 * X[:, 0]) - X[:, 2] + 0.05 * rng.standard_normal(20)
+    z = (y - y.mean()) / y.std()
+    return X, z
+
+
+class TestValue:
+    def test_matches_gaussian_logpdf_zero_mean(self, data):
+        """With a zero mean the MLL is exactly a multivariate normal
+        log-density — cross-check against scipy."""
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        log_noise = np.log(0.1)
+        K = k(X) + 0.1 * np.eye(len(z))
+        expected = sps.multivariate_normal(np.zeros(len(z)), K).logpdf(z)
+        got = mll_value(k, log_noise, X, z, mean_mode="zero")
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_constant_mean_never_worse_than_zero(self, data):
+        """Profiling the mean maximizes over one more parameter."""
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        z_off = z + 2.0
+        v_const = mll_value(k, np.log(0.1), X, z_off, "constant")
+        v_zero = mll_value(k, np.log(0.1), X, z_off, "zero")
+        assert v_const >= v_zero - 1e-9
+
+    def test_profiled_mean_is_gls(self, data):
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        K = k(X) + 0.1 * np.eye(len(z))
+        L, _ = jittered_cholesky(K)
+        m = profiled_mean(L, z, "constant")
+        Kinv = np.linalg.inv(K)
+        ones = np.ones(len(z))
+        expected = (ones @ Kinv @ z) / (ones @ Kinv @ ones)
+        assert m == pytest.approx(expected, rel=1e-8)
+
+    def test_zero_mode_mean_is_zero(self, data):
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        K = k(X) + 0.1 * np.eye(len(z))
+        L, _ = jittered_cholesky(K)
+        assert profiled_mean(L, z, "zero") == 0.0
+
+
+class TestGradient:
+    @pytest.mark.parametrize("mean_mode", ["zero", "constant"])
+    def test_against_fd(self, data, mean_mode):
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        log_noise = np.log(0.05)
+        p0 = np.concatenate([k.theta, [log_noise]])
+        v0, g = mll_value_and_grad(k, log_noise, X, z, mean_mode)
+        h = 1e-6
+        for j in range(len(p0)):
+            p = p0.copy()
+            p[j] += h
+            k.theta = p[:-1]
+            v1 = mll_value(k, p[-1], X, z, mean_mode)
+            k.theta = p0[:-1]
+            fd = (v1 - v0) / h
+            assert g[j] == pytest.approx(fd, rel=5e-3, abs=1e-5)
+
+    def test_gradient_length(self, data):
+        X, z = data
+        k = make_kernel("matern52", dim=3)
+        _, g = mll_value_and_grad(k, np.log(0.1), X, z)
+        assert g.shape == (k.n_params + 1,)

@@ -1,0 +1,145 @@
+"""End-to-end tests of GaussianProcess regression."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess, make_kernel
+from repro.util import ConfigurationError
+
+
+class TestFitPredict:
+    def test_interpolates_smooth_data(self, fitted_gp):
+        gp, X, y = fitted_gp
+        mu, sigma = gp.predict(X)
+        assert np.sqrt(np.mean((mu - y) ** 2)) < 0.15
+        assert np.all(sigma >= 0)
+
+    def test_fit_improves_mll(self, rng, unit_bounds3):
+        X = rng.random((25, 3))
+        y = np.cos(5 * X[:, 0]) + X[:, 1]
+        gp0 = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp0.fit(X, y, optimize=False)
+        before = gp0.log_marginal_likelihood()
+        gp1 = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp1.fit(X, y, n_restarts=1, maxiter=60, seed=0)
+        assert gp1.log_marginal_likelihood() >= before - 1e-6
+
+    def test_uncertainty_grows_away_from_data(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        _, s_at = gp.predict(X[:1])
+        _, s_far = gp.predict(np.array([[0.5, 0.5, 3.0]]))  # outside cube
+        assert s_far[0] > s_at[0]
+
+    def test_predict_mean_only(self, fitted_gp):
+        gp, X, _ = fitted_gp
+        mu = gp.predict(X[:3], return_std=False)
+        assert mu.shape == (3,)
+
+    def test_standardization_invariance(self, rng, unit_bounds3):
+        """Predictions should be equivariant under target shift/scale."""
+        X = rng.random((20, 3))
+        y = np.sin(3 * X[:, 0])
+        Xq = rng.random((5, 3))
+        gp_a = GaussianProcess(dim=3, input_bounds=unit_bounds3).fit(
+            X, y, optimize=False
+        )
+        gp_b = GaussianProcess(dim=3, input_bounds=unit_bounds3).fit(
+            X, 100.0 + 5.0 * y, optimize=False
+        )
+        mu_a, s_a = gp_a.predict(Xq)
+        mu_b, s_b = gp_b.predict(Xq)
+        np.testing.assert_allclose(mu_b, 100.0 + 5.0 * mu_a, rtol=1e-8)
+        np.testing.assert_allclose(s_b, 5.0 * s_a, rtol=1e-8)
+
+    def test_constant_data_handled(self, unit_bounds3, rng):
+        X = rng.random((10, 3))
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.fit(X, np.full(10, 3.0), optimize=False)
+        mu, sigma = gp.predict(X[:2])
+        assert np.all(np.isfinite(mu)) and np.all(np.isfinite(sigma))
+        np.testing.assert_allclose(mu, 3.0, atol=1e-6)
+
+    def test_noise_recovered_roughly(self, rng, unit_bounds3):
+        X = rng.random((80, 3))
+        f = np.sin(3 * X[:, 0])
+        y = f + 0.3 * rng.standard_normal(80)
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.fit(X, y, n_restarts=1, maxiter=80, seed=0)
+        # standardized noise var * y_std^2 should be near 0.09
+        noise_orig = gp.noise * gp._y_std**2
+        assert 0.02 < noise_orig < 0.4
+
+
+class TestConfiguration:
+    def test_needs_dim_or_kernel(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess()
+
+    def test_dim_bounds_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess(dim=2, input_bounds=np.tile([0, 1], (3, 1)))
+
+    def test_invalid_mean_mode(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess(dim=2, mean="linear")
+
+    def test_noise_outside_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess(dim=2, noise=10.0, noise_bounds=(1e-6, 1.0))
+
+    def test_predict_before_fit_raises(self):
+        gp = GaussianProcess(dim=2)
+        with pytest.raises(ConfigurationError):
+            gp.predict(np.zeros((1, 2)))
+
+    def test_custom_kernel_used(self, rng):
+        k = make_kernel("rbf", dim=2)
+        gp = GaussianProcess(kernel=k, dim=2)
+        X = rng.random((10, 2))
+        gp.fit(X, X[:, 0], optimize=False)
+        assert gp.kernel is k
+
+
+class TestGradientsPublicAPI:
+    def test_mean_std_grad_matches_fd(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        x = rng.random(3)
+        mu, sigma, dmu, dsigma = gp.mean_std_grad(x)
+        h = 1e-6
+        for j in range(3):
+            xp = x.copy()
+            xp[j] += h
+            mu2, s2 = gp.predict(xp[None, :])
+            assert dmu[j] == pytest.approx((mu2[0] - mu) / h, abs=2e-3)
+            assert dsigma[j] == pytest.approx((s2[0] - sigma) / h, abs=2e-3)
+
+    def test_joint_posterior_consistent_with_predict(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        Xq = rng.random((4, 3))
+        post = gp.joint_posterior(Xq)
+        mu, sigma = gp.predict(Xq)
+        np.testing.assert_allclose(post.mean, mu, rtol=1e-10)
+        np.testing.assert_allclose(
+            np.sqrt(np.clip(np.diag(post.cov), 0, None)), sigma, atol=1e-8
+        )
+
+    def test_joint_posterior_backward_matches_fd(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        Xq = rng.random((3, 3))
+        a = rng.standard_normal(3)
+        B = rng.standard_normal((3, 3))
+        B = 0.5 * (B + B.T)
+
+        def loss(Xq_):
+            p = gp.joint_posterior(Xq_)
+            return float(a @ p.mean + np.sum(B * p.cov))
+
+        post = gp.joint_posterior(Xq)
+        g = gp.joint_posterior_backward(post, a, B)
+        f0 = loss(Xq)
+        h = 1e-6
+        for i in range(3):
+            for j in range(3):
+                Xp = Xq.copy()
+                Xp[i, j] += h
+                assert g[i, j] == pytest.approx((loss(Xp) - f0) / h, abs=5e-4)

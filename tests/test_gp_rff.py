@@ -1,0 +1,157 @@
+"""Tests for the random-Fourier-features GP backend."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import KBqEGO
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess, RFFGaussianProcess, make_kernel
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.random((60, 3))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2 - X[:, 2]
+    return X, y
+
+
+@pytest.fixture
+def rff(data, unit_bounds3):
+    X, y = data
+    gp = RFFGaussianProcess(dim=3, n_features=512, input_bounds=unit_bounds3,
+                            seed=0)
+    gp.fit(X, y, n_restarts=1, maxiter=60, seed=0)
+    return gp
+
+
+class TestKernelApproximation:
+    @pytest.mark.parametrize("kernel", ["rbf", "matern32", "matern52"])
+    def test_feature_inner_product_approximates_kernel(self, kernel, rng):
+        """φ(x)ᵀφ(x') must converge to k(x, x') in D."""
+        gp = RFFGaussianProcess(dim=2, n_features=8192, kernel=kernel, seed=0)
+        gp.log_lengthscale = np.log([0.5, 0.8])
+        gp.log_outputscale = 0.0
+        exact = make_kernel(kernel, dim=2, ard=True, lengthscale=1.0)
+        exact.theta = np.concatenate([[0.0], np.log([0.5, 0.8])])
+        X = rng.random((20, 2))
+        K_approx = gp._features(X) @ gp._features(X).T
+        K_exact = exact(X)
+        assert np.max(np.abs(K_approx - K_exact)) < 0.08
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ConfigurationError):
+            RFFGaussianProcess(dim=2, kernel="periodic")
+
+    def test_frozen_features_deterministic(self, rng):
+        a = RFFGaussianProcess(dim=2, n_features=64, seed=3)
+        b = RFFGaussianProcess(dim=2, n_features=64, seed=3)
+        X = rng.random((5, 2))
+        np.testing.assert_array_equal(a._features(X), b._features(X))
+
+
+class TestRegression:
+    def test_fits_smooth_function(self, rff, data):
+        X, y = data
+        mu, sigma = rff.predict(X)
+        assert np.sqrt(np.mean((mu - y) ** 2)) < 0.2
+        assert np.all(sigma >= 0)
+
+    def test_agrees_with_exact_gp_off_data(self, data, unit_bounds3, rng):
+        X, y = data
+        exact = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        exact.fit(X, y, n_restarts=1, maxiter=60, seed=0)
+        rff = RFFGaussianProcess(dim=3, n_features=1024,
+                                 input_bounds=unit_bounds3, seed=0)
+        rff.fit(X, y, n_restarts=1, maxiter=60, seed=0)
+        Xq = rng.random((30, 3))
+        mu_e = exact.predict(Xq, return_std=False)
+        mu_r = rff.predict(Xq, return_std=False)
+        spread = np.std(y)
+        assert np.mean(np.abs(mu_e - mu_r)) < 0.35 * spread
+
+    def test_uncertainty_grows_off_data(self, rff, data):
+        X, _ = data
+        _, s_on = rff.predict(X[:1])
+        _, s_off = rff.predict(np.array([[0.5, 0.5, 3.0]]))
+        assert s_off[0] > s_on[0]
+
+    def test_mean_std_grad_matches_fd(self, rff, rng):
+        x = rng.random(3)
+        mu, sigma, dmu, dsigma = rff.mean_std_grad(x)
+        h = 1e-6
+        for j in range(3):
+            xp = x.copy()
+            xp[j] += h
+            mu2, s2 = rff.predict(xp[None, :])
+            assert dmu[j] == pytest.approx((mu2[0] - mu) / h, abs=5e-3)
+            assert dsigma[j] == pytest.approx((s2[0] - sigma) / h, abs=5e-3)
+
+    def test_fantasize_shrinks_variance(self, rff, rng):
+        xf = rng.random((1, 3)) + np.array([[0.0, 0.0, 1.5]])
+        _, s_before = rff.predict(xf)
+        clone = rff.fantasize(xf)
+        _, s_after = clone.predict(xf)
+        assert s_after[0] < s_before[0]
+        assert rff.n_train == clone.n_train - 1
+
+    def test_joint_posterior_rejected(self, rff, rng):
+        with pytest.raises(ConfigurationError):
+            rff.joint_posterior(rng.random((2, 3)))
+
+    def test_predict_before_fit(self):
+        gp = RFFGaussianProcess(dim=2)
+        with pytest.raises(ConfigurationError):
+            gp.predict(np.zeros((1, 2)))
+
+
+class TestScaling:
+    def test_fit_time_sublinear_vs_exact_on_large_n(self):
+        """The point of the backend: on n = 900 the low-rank fit must
+        be clearly cheaper than the exact O(n³) fit."""
+        rng = np.random.default_rng(0)
+        X = rng.random((900, 3))
+        y = np.sin(4 * X[:, 0]) + X[:, 1]
+        bounds = np.tile([0.0, 1.0], (3, 1))
+
+        t0 = time.perf_counter()
+        RFFGaussianProcess(dim=3, n_features=128, input_bounds=bounds,
+                           seed=0).fit(X, y, n_restarts=0, maxiter=15)
+        t_rff = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        GaussianProcess(dim=3, input_bounds=bounds).fit(
+            X, y, n_restarts=0, maxiter=15
+        )
+        t_exact = time.perf_counter() - t0
+        assert t_rff < t_exact
+
+
+class TestBackendIntegration:
+    def test_kb_runs_on_rff_backend(self):
+        problem = get_benchmark("sphere", dim=3)
+        opt = KBqEGO(
+            problem, 2, seed=0,
+            gp_options={"n_restarts": 0, "maxiter": 20, "backend": "rff",
+                        "n_features": 128},
+            acq_options={"n_restarts": 2, "raw_samples": 32, "maxiter": 15},
+        )
+        X0 = latin_hypercube(10, problem.bounds, seed=0)
+        opt.initialize(X0, problem(X0))
+        start = opt.best_f
+        for _ in range(4):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        assert opt.best_f < start
+        assert isinstance(opt.gp, RFFGaussianProcess)
+
+    def test_unknown_backend_rejected(self):
+        problem = get_benchmark("sphere", dim=3)
+        opt = KBqEGO(problem, 2, seed=0, gp_options={"backend": "vae"})
+        X0 = latin_hypercube(6, problem.bounds, seed=0)
+        opt.initialize(X0, problem(X0))
+        with pytest.raises(ConfigurationError):
+            opt.propose()

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_optimizer, optimize, run_optimization
+from repro.experiments import Campaign, Preset
+from repro.experiments.report import build_report
+from repro.problems import CountingProblem, get_benchmark
+from repro.uphes import UPHESSimulator
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 48, "maxiter": 20,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 25},
+}
+
+
+class TestBOAddsValue:
+    """The core scientific claim at miniature scale: every surrogate
+    algorithm beats random search on an easy problem, evaluation count
+    held equal."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["kb-q-ego", "mic-q-ego", "mc-q-ego", "bsp-ego", "turbo"]
+    )
+    def test_beats_random_on_sphere(self, algorithm):
+        problem = get_benchmark("sphere", dim=4, sim_time=10.0)
+        kwargs = dict(n_batch=2, budget=120.0, seed=3, time_scale=0.0)
+        bo = optimize(problem, algorithm=algorithm, **kwargs, **FAST)
+        rnd = optimize(problem, algorithm="random", **kwargs)
+        assert bo.n_simulations == rnd.n_simulations
+        assert bo.best_value < rnd.best_value
+
+    def test_uphes_bo_beats_its_initial_design(self):
+        sim = UPHESSimulator(seed=0, sim_time=10.0)
+        res = optimize(sim, algorithm="turbo", n_batch=4, budget=150.0,
+                       seed=0, time_scale=0.0, **FAST)
+        assert res.best_value > res.initial_best
+
+
+class TestEvaluationAccounting:
+    def test_counting_problem_agrees_with_driver(self):
+        inner = get_benchmark("ackley", dim=4, sim_time=10.0)
+        problem = CountingProblem(inner)
+        opt = make_optimizer("turbo", problem, 2, seed=0, **FAST)
+        res = run_optimization(problem, opt, 60.0, time_scale=0.0, seed=0)
+        assert problem.n_evals == res.n_initial + res.n_simulations
+
+    def test_batch_size_respected_every_cycle(self):
+        problem = get_benchmark("ackley", dim=4, sim_time=10.0)
+        opt = make_optimizer("mic-q-ego", problem, 3, seed=0, **FAST)
+        res = run_optimization(problem, opt, 50.0, time_scale=0.0, seed=0)
+        assert all(r.batch_size == 3 for r in res.history)
+
+    def test_deterministic_replay(self):
+        """Identical seeds and configuration give identical runs —
+        the reproducibility the virtual clock exists for."""
+        problem = get_benchmark("ackley", dim=4, sim_time=10.0)
+
+        def run():
+            opt = make_optimizer("turbo", problem, 2, seed=11, **FAST)
+            return run_optimization(problem, opt, 60.0, time_scale=0.0,
+                                    seed=11)
+
+        a, b = run(), run()
+        assert a.best_value == b.best_value
+        np.testing.assert_array_equal(a.best_x, b.best_x)
+        assert a.n_cycles == b.n_cycles
+        assert [r.best_value for r in a.history] == [
+            r.best_value for r in b.history
+        ]
+
+
+class TestReportPipeline:
+    def test_build_report_smoke_scale(self, tmp_path):
+        preset = Preset(
+            name="itest",
+            budget=25.0,
+            sim_time=10.0,
+            n_seeds=2,
+            batch_sizes=(1, 2),
+            time_scale=0.0,
+            initial_per_batch=4,
+            algorithms=("Random", "TuRBO"),
+            benchmarks=("ackley",),
+            dim=3,
+            gp_options={"n_restarts": 0, "maxiter": 20},
+            acq_options={"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                         "n_mc": 64},
+        )
+        bench = Campaign(preset, root=tmp_path, verbose=False).ensure()
+        uphes = Campaign(preset, problems=["uphes"], root=tmp_path,
+                         verbose=False).ensure()
+        # All renderers must work off these live campaigns.
+        from repro.experiments.figures import figure_2, figure_8, figure_9
+        from repro.experiments.tables import table_5, table_7
+
+        assert "ackley" in table_5(bench)
+        assert "n_batch = 2" in table_7(uphes)
+        for fn, camp, args in (
+            (figure_2, bench, ("ackley",)),
+            (figure_8, uphes, (2,)),
+            (figure_9, uphes, ()),
+        ):
+            data, text = fn(camp, *args)
+            assert text
+
+    def test_report_writes_static_artefacts(self, tmp_path):
+        artefacts = build_report(
+            "smoke", root=tmp_path, include_benchmarks=False,
+            include_uphes=False, verbose=False,
+        )
+        assert set(artefacts) >= {"table1", "table2", "table3", "figure1"}
+        report_dir = tmp_path / "smoke" / "report"
+        assert (report_dir / "table1.txt").exists()

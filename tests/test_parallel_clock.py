@@ -1,0 +1,58 @@
+"""Tests for the clocks."""
+
+import pytest
+
+from repro.parallel import VirtualClock, WallClock
+from repro.util import ValidationError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(3.0)
+        c.advance(0.5)
+        assert c.now == 3.5
+
+    def test_no_spontaneous_flow(self):
+        import time
+
+        c = VirtualClock()
+        time.sleep(0.01)
+        assert c.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValidationError):
+            VirtualClock().advance(-1.0)
+
+    def test_reset(self):
+        c = VirtualClock()
+        c.advance(10.0)
+        c.reset()
+        assert c.now == 0.0
+        c.reset(2.0)
+        assert c.now == 2.0
+
+
+class TestWallClock:
+    def test_flows(self):
+        import time
+
+        c = WallClock()
+        time.sleep(0.02)
+        assert c.now >= 0.015
+
+    def test_advance_sleeps(self):
+        c = WallClock()
+        t0 = c.now
+        c.advance(0.03)
+        assert c.now - t0 >= 0.025
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValidationError):
+            WallClock().advance(-0.1)

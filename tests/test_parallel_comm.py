@@ -1,0 +1,177 @@
+"""Tests for the in-process MPI-style communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Communicator, MasterWorkerEvaluator, run_mpi
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(view):
+            if view.rank == 0:
+                view.send({"a": 7}, dest=1)
+                return None
+            return view.recv(source=0)
+
+        results = run_mpi(prog, 2)
+        assert results[1] == {"a": 7}
+
+    def test_message_ordering_per_pair(self):
+        def prog(view):
+            if view.rank == 0:
+                for i in range(10):
+                    view.send(i, dest=1)
+                return None
+            return [view.recv(source=0) for _ in range(10)]
+
+        results = run_mpi(prog, 2)
+        assert results[1] == list(range(10))
+
+    def test_any_source(self):
+        def prog(view):
+            if view.rank == 0:
+                got = {view.recv() for _ in range(2)}
+                return got
+            view.send(view.rank, dest=0)
+            return None
+
+        results = run_mpi(prog, 3)
+        assert results[0] == {1, 2}
+
+    def test_tags_isolate_channels(self):
+        def prog(view):
+            if view.rank == 0:
+                view.send("on-5", dest=1, tag=5)
+                view.send("on-9", dest=1, tag=9)
+                return None
+            late = view.recv(source=0, tag=9)
+            early = view.recv(source=0, tag=5)
+            return (early, late)
+
+        results = run_mpi(prog, 2)
+        assert results[1] == ("on-5", "on-9")
+
+    def test_recv_timeout(self):
+        comm = Communicator(2)
+        with pytest.raises(TimeoutError):
+            comm.rank_view(0).recv(source=1, timeout=0.05)
+
+    def test_invalid_dest(self):
+        comm = Communicator(2)
+        with pytest.raises(ConfigurationError):
+            comm.rank_view(0).send("x", dest=5)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        results = run_mpi(
+            lambda v: v.bcast([1, 2, 3] if v.rank == 0 else None), 4
+        )
+        assert all(r == [1, 2, 3] for r in results)
+
+    def test_bcast_nonzero_root(self):
+        results = run_mpi(
+            lambda v: v.bcast("hi" if v.rank == 2 else None, root=2), 3
+        )
+        assert all(r == "hi" for r in results)
+
+    def test_scatter(self):
+        def prog(view):
+            chunks = list(range(view.size)) if view.rank == 0 else None
+            return view.scatter(chunks)
+
+        assert run_mpi(prog, 4) == [0, 1, 2, 3]
+
+    def test_scatter_wrong_chunks(self):
+        def prog(view):
+            chunks = [1, 2] if view.rank == 0 else None
+            return view.scatter(chunks)
+
+        with pytest.raises(ConfigurationError):
+            run_mpi(prog, 3)
+
+    def test_gather(self):
+        def prog(view):
+            return view.gather(view.rank**2)
+
+        results = run_mpi(prog, 4)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_barrier_synchronizes(self):
+        import time
+
+        stamps = {}
+
+        def prog(view):
+            if view.rank == 0:
+                time.sleep(0.05)
+            view.barrier()
+            stamps[view.rank] = time.perf_counter()
+            return None
+
+        run_mpi(prog, 3)
+        assert max(stamps.values()) - min(stamps.values()) < 0.05
+
+
+class TestRunMpi:
+    def test_exception_propagates(self):
+        def prog(view):
+            if view.rank == 1:
+                raise RuntimeError("boom")
+            return view.rank
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_mpi(prog, 2)
+
+    def test_size_one(self):
+        assert run_mpi(lambda v: v.size, 1) == [1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Communicator(0)
+
+
+class TestMasterWorker:
+    def test_matches_serial(self, rng):
+        p = get_benchmark("griewank", dim=3)
+        X = rng.uniform(-10, 10, (11, 3))
+        with MasterWorkerEvaluator(p, n_workers=3) as ev:
+            np.testing.assert_allclose(ev.evaluate(X), p(X))
+
+    def test_order_preserved_with_uneven_work(self, rng):
+        import time
+
+        from repro.problems import FunctionProblem
+
+        def slow_on_first(X):
+            if X[0, 0] < 0.1:
+                time.sleep(0.02)
+            return X[:, 0]
+
+        p = FunctionProblem(slow_on_first, np.tile([0.0, 1.0], (2, 1)))
+        X = rng.random((8, 2))
+        X[0, 0] = 0.05  # the first task is the slowest
+        with MasterWorkerEvaluator(p, n_workers=4) as ev:
+            np.testing.assert_allclose(ev.evaluate(X), X[:, 0])
+
+    def test_single_row(self, rng):
+        p = get_benchmark("sphere", dim=2)
+        with MasterWorkerEvaluator(p, n_workers=2) as ev:
+            y = ev.evaluate(rng.random(2))
+            assert y.shape == (1,)
+
+    def test_repeated_batches(self, rng):
+        p = get_benchmark("sphere", dim=2)
+        with MasterWorkerEvaluator(p, n_workers=2) as ev:
+            for _ in range(3):
+                X = rng.random((5, 2))
+                np.testing.assert_allclose(ev.evaluate(X), p(X))
+
+    def test_invalid_workers(self):
+        p = get_benchmark("sphere", dim=2)
+        with pytest.raises(ConfigurationError):
+            MasterWorkerEvaluator(p, n_workers=0)

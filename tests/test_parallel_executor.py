@@ -1,0 +1,61 @@
+"""Tests for the real executors."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def problem():
+    return get_benchmark("rastrigin", dim=4)
+
+
+class TestSerial:
+    def test_matches_direct(self, problem, rng):
+        X = rng.uniform(-5, 5, (7, 4))
+        np.testing.assert_array_equal(
+            SerialExecutor().evaluate(problem, X), problem(X)
+        )
+
+    def test_n_workers(self):
+        assert SerialExecutor().n_workers == 1
+
+
+class TestThread:
+    def test_matches_direct(self, problem, rng):
+        X = rng.uniform(-5, 5, (9, 4))
+        with ThreadExecutor(3) as ex:
+            np.testing.assert_allclose(ex.evaluate(problem, X), problem(X))
+
+    def test_single_point(self, problem, rng):
+        X = rng.uniform(-5, 5, (1, 4))
+        with ThreadExecutor(2) as ex:
+            assert ex.evaluate(problem, X).shape == (1,)
+
+    def test_reuse_after_evaluate(self, problem, rng):
+        ex = ThreadExecutor(2)
+        try:
+            a = ex.evaluate(problem, rng.uniform(-5, 5, (4, 4)))
+            b = ex.evaluate(problem, rng.uniform(-5, 5, (4, 4)))
+            assert a.shape == b.shape == (4,)
+        finally:
+            ex.shutdown()
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ThreadExecutor(0)
+
+    def test_shutdown_idempotent(self):
+        ex = ThreadExecutor(2)
+        ex.shutdown()
+        ex.shutdown()
+
+
+class TestProcess:
+    def test_matches_direct(self, problem, rng):
+        X = rng.uniform(-5, 5, (4, 4))
+        with ProcessExecutor(2) as ex:
+            np.testing.assert_allclose(ex.evaluate(problem, X), problem(X))

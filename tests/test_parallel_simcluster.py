@@ -1,0 +1,114 @@
+"""Tests for the virtual-clock cluster and LPT scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import OverheadModel, SimulatedCluster, VirtualClock, lpt_makespan
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+
+class TestOverheadModel:
+    def test_affine(self):
+        m = OverheadModel(0.5, 0.1)
+        assert m(4) == pytest.approx(0.9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(-1.0, 0.0)
+
+
+class TestLPT:
+    def test_single_worker_sums(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_workers_takes_max(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_known_schedule(self):
+        # LPT on 2 workers: [5,4,3,3,2,2,1] -> loads 10/10
+        assert lpt_makespan([5, 4, 3, 3, 2, 2, 1], 2) == 10.0
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lpt_makespan([1.0, -1.0], 2)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            lpt_makespan([1.0], 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+        workers=st.integers(1, 8),
+    )
+    def test_bounds_property(self, durations, workers):
+        """max(job) <= makespan <= sum(jobs); and >= sum/workers."""
+        ms = lpt_makespan(durations, workers)
+        assert ms >= max(durations) - 1e-9
+        assert ms <= sum(durations) + 1e-9
+        assert ms >= sum(durations) / workers - 1e-9
+
+
+class TestSimulatedCluster:
+    def test_full_batch_one_wave(self):
+        clock = VirtualClock()
+        cl = SimulatedCluster(4, clock=clock, overhead=OverheadModel(0.5, 0.05))
+        p = get_benchmark("sphere", dim=3, sim_time=10.0)
+        cl.evaluate(p, np.zeros((4, 3)))
+        assert clock.now == pytest.approx(10.0 + 0.5 + 0.2)
+
+    def test_two_waves(self):
+        clock = VirtualClock()
+        cl = SimulatedCluster(4, clock=clock, overhead=OverheadModel(0.0, 0.0))
+        p = get_benchmark("sphere", dim=3, sim_time=10.0)
+        cl.evaluate(p, np.zeros((5, 3)))  # 5 points on 4 workers
+        assert clock.now == pytest.approx(20.0)
+
+    def test_zero_sim_time_free(self):
+        clock = VirtualClock()
+        cl = SimulatedCluster(2, clock=clock)
+        p = get_benchmark("sphere", dim=3, sim_time=0.0)
+        cl.evaluate(p, np.zeros((2, 3)))
+        assert clock.now == 0.0
+
+    def test_counters(self):
+        cl = SimulatedCluster(2)
+        p = get_benchmark("sphere", dim=3, sim_time=1.0)
+        cl.evaluate(p, np.zeros((2, 3)))
+        cl.evaluate(p, np.zeros((4, 3)))
+        assert cl.n_evaluations == 6
+        assert cl.n_batches == 2
+
+    def test_values_correct(self, rng):
+        cl = SimulatedCluster(3)
+        p = get_benchmark("ackley", dim=4, sim_time=1.0)
+        X = rng.uniform(-5, 10, (6, 4))
+        np.testing.assert_array_equal(cl.evaluate(p, X), p(X))
+
+    def test_charge_parallel_uses_makespan(self):
+        clock = VirtualClock()
+        cl = SimulatedCluster(2, clock=clock)
+        charged = cl.charge_parallel([3.0, 3.0, 2.0, 2.0])
+        assert charged == pytest.approx(5.0)
+        assert clock.now == pytest.approx(5.0)
+
+    def test_charge_serial(self):
+        clock = VirtualClock()
+        cl = SimulatedCluster(2, clock=clock)
+        cl.charge(7.5)
+        assert clock.now == 7.5
+
+    def test_batch_duration_validation(self):
+        cl = SimulatedCluster(2)
+        with pytest.raises(ConfigurationError):
+            cl.batch_duration(0, 10.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedCluster(0)

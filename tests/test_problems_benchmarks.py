@@ -1,0 +1,106 @@
+"""Tests for the benchmark functions (paper Table 1 + extras)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.problems import (
+    BENCHMARKS,
+    ackley,
+    get_benchmark,
+    griewank,
+    levy,
+    rastrigin,
+    rosenbrock,
+    schwefel,
+    sphere,
+)
+from repro.util import ConfigurationError
+
+
+class TestKnownOptima:
+    def test_rosenbrock_at_ones(self):
+        assert rosenbrock(np.ones((1, 12)))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ackley_at_origin(self):
+        assert ackley(np.zeros((1, 12)))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_schwefel_at_known_minimizer(self):
+        x = np.full((1, 12), 420.9687463)
+        assert schwefel(x)[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_sphere_at_origin(self):
+        assert sphere(np.zeros((1, 5)))[0] == 0.0
+
+    def test_rastrigin_at_origin(self):
+        assert rastrigin(np.zeros((1, 7)))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_griewank_at_origin(self):
+        assert griewank(np.zeros((1, 4)))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_levy_at_ones(self):
+        assert levy(np.ones((1, 6)))[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestVectorization:
+    @pytest.mark.parametrize("func", [rosenbrock, ackley, schwefel, sphere,
+                                      rastrigin, griewank, levy])
+    def test_batch_matches_rowwise(self, func, rng):
+        X = rng.uniform(-4, 4, (10, 6))
+        batch = func(X)
+        rows = np.array([func(x[None, :])[0] for x in X])
+        np.testing.assert_allclose(batch, rows, rtol=1e-12)
+
+    @pytest.mark.parametrize("func", [rosenbrock, ackley, schwefel])
+    def test_output_shape(self, func, rng):
+        X = rng.uniform(-1, 1, (7, 12))
+        assert func(X).shape == (7,)
+
+
+class TestNonNegativity:
+    """All registered benchmarks have f_min = 0 -> values are >= ~0."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        X=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(2, 12)),
+            elements=st.floats(-500, 500),
+        )
+    )
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_never_below_optimum(self, name, X):
+        func, (lo, hi), fmin = BENCHMARKS[name]
+        Xc = np.clip(X, lo, hi)
+        vals = func(Xc)
+        assert np.all(vals >= fmin - 1e-6)
+
+
+class TestGetBenchmark:
+    def test_default_dim_is_12(self):
+        p = get_benchmark("ackley")
+        assert p.dim == 12
+
+    def test_paper_domains(self):
+        assert get_benchmark("rosenbrock").bounds[0].tolist() == [-5.0, 10.0]
+        assert get_benchmark("ackley").bounds[0].tolist() == [-5.0, 10.0]
+        assert get_benchmark("schwefel").bounds[0].tolist() == [-500.0, 500.0]
+
+    def test_sim_time_propagated(self):
+        assert get_benchmark("ackley", sim_time=10.0).sim_time == 10.0
+
+    def test_case_insensitive(self):
+        assert get_benchmark("AckLey").name == "ackley"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_benchmark("nope")
+
+    def test_too_small_dim_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_benchmark("ackley", dim=1)
+
+    def test_optimum_recorded(self):
+        assert get_benchmark("schwefel").optimum == 0.0

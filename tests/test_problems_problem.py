@@ -1,0 +1,68 @@
+"""Tests for the Problem abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.problems import FunctionProblem, Problem
+from repro.util import ValidationError
+
+
+@pytest.fixture
+def prob():
+    return FunctionProblem(
+        lambda X: np.sum(X**2, axis=1),
+        bounds=[[-1, 2], [0, 4]],
+        name="quad",
+        sim_time=3.0,
+        optimum=0.0,
+    )
+
+
+class TestBasics:
+    def test_dim_and_bounds(self, prob):
+        assert prob.dim == 2
+        np.testing.assert_array_equal(prob.lower, [-1, 0])
+        np.testing.assert_array_equal(prob.upper, [2, 4])
+
+    def test_call_single_row(self, prob):
+        assert prob([[1.0, 2.0]])[0] == 5.0
+
+    def test_call_1d_promoted(self, prob):
+        assert prob([1.0, 2.0])[0] == 5.0
+
+    def test_wrong_cols_rejected(self, prob):
+        with pytest.raises(ValidationError):
+            prob(np.zeros((1, 3)))
+
+    def test_negative_sim_time_rejected(self):
+        with pytest.raises(ValidationError):
+            FunctionProblem(lambda X: X[:, 0], [[0, 1]], sim_time=-1.0)
+
+    def test_bad_return_shape_detected(self):
+        bad = FunctionProblem(lambda X: np.zeros((2, 2)), [[0, 1], [0, 1]])
+        with pytest.raises(ValidationError):
+            bad(np.zeros((3, 2)))
+
+    def test_evaluate_not_implemented_on_base(self):
+        base = Problem([[0, 1]])
+        with pytest.raises(NotImplementedError):
+            base(np.zeros((1, 1)))
+
+
+class TestGeometry:
+    def test_clip(self, prob):
+        out = prob.clip([[-5.0, 10.0]])
+        np.testing.assert_array_equal(out, [[-1.0, 4.0]])
+
+    def test_contains(self, prob):
+        mask = prob.contains([[0.0, 1.0], [3.0, 1.0]])
+        assert mask.tolist() == [True, False]
+
+    def test_normalize_denormalize_roundtrip(self, prob, rng):
+        X = rng.uniform(prob.lower, prob.upper, (20, 2))
+        back = prob.denormalize(prob.normalize(X))
+        np.testing.assert_allclose(back, X, rtol=1e-12)
+
+    def test_normalize_maps_corners(self, prob):
+        u = prob.normalize([prob.lower, prob.upper])
+        np.testing.assert_allclose(u, [[0, 0], [1, 1]])

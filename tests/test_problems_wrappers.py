@@ -1,0 +1,73 @@
+"""Tests for problem wrappers (counting, noise, shift)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import CountingProblem, NoisyProblem, ShiftedProblem, get_benchmark
+
+
+@pytest.fixture
+def base():
+    return get_benchmark("sphere", dim=3, sim_time=2.0)
+
+
+class TestCounting:
+    def test_counts(self, base, rng):
+        cp = CountingProblem(base)
+        cp(rng.random((4, 3)))
+        cp(rng.random((2, 3)))
+        assert cp.n_calls == 2
+        assert cp.n_evals == 6
+
+    def test_values_unchanged(self, base, rng):
+        cp = CountingProblem(base)
+        X = rng.random((5, 3))
+        np.testing.assert_array_equal(cp(X), base(X))
+
+    def test_metadata_forwarded(self, base):
+        cp = CountingProblem(base)
+        assert cp.sim_time == base.sim_time
+        assert cp.dim == base.dim
+        assert cp.maximize == base.maximize
+
+    def test_record_history(self, base, rng):
+        cp = CountingProblem(base, record=True)
+        X = rng.random((3, 3))
+        cp(X)
+        assert len(cp.history) == 1
+        np.testing.assert_array_equal(cp.history[0][0], X)
+
+    def test_reset(self, base, rng):
+        cp = CountingProblem(base, record=True)
+        cp(rng.random((3, 3)))
+        cp.reset()
+        assert cp.n_calls == 0 and cp.n_evals == 0 and not cp.history
+
+
+class TestNoisy:
+    def test_noise_added(self, base, rng):
+        noisy = NoisyProblem(base, noise_std=0.5, seed=0)
+        X = rng.random((50, 3))
+        diff = noisy(X) - base(X)
+        assert np.std(diff) == pytest.approx(0.5, rel=0.4)
+
+    def test_seeded_reproducible(self, base, rng):
+        X = rng.random((10, 3))
+        a = NoisyProblem(base, 0.3, seed=7)(X)
+        b = NoisyProblem(base, 0.3, seed=7)(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_std_rejected(self, base):
+        with pytest.raises(Exception):
+            NoisyProblem(base, noise_std=0.0)
+
+
+class TestShifted:
+    def test_optimum_moves(self, base):
+        shift = np.array([0.5, -0.5, 1.0])
+        sp = ShiftedProblem(base, shift)
+        assert sp(shift[None, :])[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_shift_length(self, base):
+        with pytest.raises(ValueError):
+            ShiftedProblem(base, [1.0, 2.0])

@@ -1,0 +1,106 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSPEGO
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.parallel import run_mpi
+from repro.problems import get_benchmark
+
+
+class TestBSPPartitionProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(q=st.integers(1, 4), n_cycles=st.integers(1, 4),
+           seed=st.integers(0, 100))
+    def test_partition_stays_exact_under_evolution(self, q, n_cycles, seed):
+        """However the partition evolves, the leaves always tile the
+        domain: every interior point lies in exactly one box and the
+        total volume is conserved."""
+        problem = get_benchmark("sphere", dim=2)
+        opt = BSPEGO(
+            problem, q, seed=seed,
+            acq_options={"n_restarts": 1, "raw_samples": 16, "maxiter": 8},
+            gp_options={"n_restarts": 0, "maxiter": 10},
+        )
+        X0 = latin_hypercube(6, problem.bounds, seed=seed)
+        opt.initialize(X0, problem(X0))
+        rng = np.random.default_rng(seed)
+        for _ in range(n_cycles):
+            prop = opt.propose()
+            opt.update(prop.X, problem(prop.X))
+        leaves = opt.leaves()
+        total = sum(
+            float(np.prod(l.bounds[:, 1] - l.bounds[:, 0])) for l in leaves
+        )
+        domain = float(np.prod(problem.upper - problem.lower))
+        assert total == pytest.approx(domain, rel=1e-9)
+        probes = rng.uniform(problem.lower, problem.upper, (200, 2))
+        counts = np.zeros(200, dtype=int)
+        for leaf in leaves:
+            inside = np.all(
+                (probes >= leaf.bounds[:, 0]) & (probes <= leaf.bounds[:, 1]),
+                axis=1,
+            )
+            counts += inside
+        assert np.all(counts >= 1)
+
+
+class TestGPPosteriorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), m=st.integers(1, 6))
+    def test_posterior_variance_nonnegative_and_bounded(self, seed, m):
+        """0 <= σ²(x) <= prior variance, for any query set."""
+        rng = np.random.default_rng(seed)
+        X = rng.random((15, 2))
+        y = np.sin(5 * X[:, 0]) + X[:, 1]
+        gp = GaussianProcess(dim=2, input_bounds=np.tile([0.0, 1.0], (2, 1)))
+        gp.fit(X, y, optimize=False)
+        Xq = rng.random((m, 2)) * 2.0 - 0.5  # includes out-of-box points
+        _, sigma = gp.predict(Xq)
+        prior_sd = gp._y_std * np.sqrt(
+            gp.kernel.diag(gp._normalize_x(Xq))
+        )
+        assert np.all(sigma >= 0.0)
+        assert np.all(sigma <= prior_sd + 1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_conditioning_never_increases_variance(self, seed):
+        """Adding a (fantasy) observation cannot increase posterior
+        variance anywhere — checked on a random probe set."""
+        rng = np.random.default_rng(seed)
+        X = rng.random((12, 2))
+        y = X[:, 0] ** 2
+        gp = GaussianProcess(dim=2, input_bounds=np.tile([0.0, 1.0], (2, 1)))
+        gp.fit(X, y, optimize=False)
+        x_new = rng.random((1, 2))
+        augmented = gp.fantasize(x_new)
+        probes = rng.random((30, 2))
+        _, s_before = gp.predict(probes)
+        _, s_after = augmented.predict(probes)
+        assert np.all(s_after <= s_before + 1e-7)
+
+
+class TestCommProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(n_msgs=st.integers(1, 30), size=st.integers(2, 4))
+    def test_fifo_per_pair_under_fanout(self, n_msgs, size):
+        """Messages from rank 0 to each peer arrive in send order,
+        whatever the interleaving across peers."""
+
+        def prog(view):
+            if view.rank == 0:
+                for i in range(n_msgs):
+                    for dst in range(1, view.size):
+                        view.send((dst, i), dest=dst)
+                return None
+            got = [view.recv(source=0) for _ in range(n_msgs)]
+            return got
+
+        results = run_mpi(prog, size)
+        for rank in range(1, size):
+            assert results[rank] == [(rank, i) for i in range(n_msgs)]

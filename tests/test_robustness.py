@@ -1,0 +1,124 @@
+"""Failure-injection and robustness tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_optimizer, run_optimization
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.problems import FunctionProblem, get_benchmark
+from repro.util import ValidationError
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 64},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+class TestNonFiniteGuards:
+    def test_gp_rejects_nan_targets(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        y = rng.random(10)
+        y[3] = np.nan
+        with pytest.raises(ValidationError):
+            gp.fit(rng.random((10, 3)), y, optimize=False)
+
+    def test_gp_rejects_inf_inputs(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        X = rng.random((10, 3))
+        X[0, 0] = np.inf
+        with pytest.raises(ValidationError):
+            gp.fit(X, rng.random(10), optimize=False)
+
+    def test_optimizer_rejects_nan_observations(self, rng):
+        problem = get_benchmark("sphere", dim=3)
+        opt = make_optimizer("turbo", problem, 2, seed=0, **FAST)
+        X0 = latin_hypercube(8, problem.bounds, seed=0)
+        y0 = problem(X0)
+        y0[0] = np.nan
+        with pytest.raises(ValidationError):
+            opt.initialize(X0, y0)
+
+    def test_driver_surfaces_nan_simulator(self):
+        """A simulator that goes NaN mid-run must fail loudly, not
+        corrupt the surrogate silently."""
+        calls = {"n": 0}
+
+        def flaky(X):
+            calls["n"] += 1
+            y = np.sum(X**2, axis=1)
+            if calls["n"] > 3:
+                y[0] = np.nan
+            return y
+
+        problem = FunctionProblem(flaky, np.tile([0.0, 1.0], (3, 1)),
+                                  sim_time=10.0)
+        opt = make_optimizer("random", problem, 2, seed=0)
+        with pytest.raises(ValidationError):
+            run_optimization(problem, opt, 200.0, seed=0)
+
+
+class TestDegenerateData:
+    def test_gp_with_two_points(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.fit(rng.random((2, 3)), rng.random(2), n_restarts=0, maxiter=10)
+        mu, s = gp.predict(rng.random((4, 3)))
+        assert np.all(np.isfinite(mu)) and np.all(np.isfinite(s))
+
+    def test_gp_with_duplicated_inputs(self, rng, unit_bounds3):
+        x = rng.random((1, 3))
+        X = np.repeat(x, 5, axis=0)
+        y = rng.random(5)
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.fit(X, y, n_restarts=0, maxiter=20)
+        mu, s = gp.predict(x)
+        assert np.isfinite(mu[0]) and np.isfinite(s[0])
+
+    def test_optimizer_with_constant_objective(self):
+        """A flat landscape must not crash the acquisition loop."""
+        problem = FunctionProblem(
+            lambda X: np.full(X.shape[0], 7.0), np.tile([0.0, 1.0], (3, 1))
+        )
+        opt = make_optimizer("kb-q-ego", problem, 2, seed=0, **FAST)
+        X0 = latin_hypercube(8, problem.bounds, seed=0)
+        opt.initialize(X0, problem(X0))
+        prop = opt.propose()
+        assert np.all(np.isfinite(prop.X))
+
+    def test_turbo_on_tiny_initial_design(self):
+        problem = get_benchmark("sphere", dim=3)
+        opt = make_optimizer("turbo", problem, 2, seed=0, **FAST)
+        X0 = latin_hypercube(3, problem.bounds, seed=0)
+        opt.initialize(X0, problem(X0))
+        prop = opt.propose()
+        assert prop.X.shape == (2, 3)
+
+
+class TestSampleF:
+    def test_shape(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        s = gp.sample_f(rng.random((6, 3)), n_samples=4, seed=0)
+        assert s.shape == (4, 6)
+
+    def test_mean_converges(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        X = rng.random((3, 3))
+        s = gp.sample_f(X, n_samples=4000, seed=0)
+        mu, _ = gp.predict(X)
+        np.testing.assert_allclose(s.mean(axis=0), mu, atol=0.1)
+
+    def test_seeded(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        X = rng.random((3, 3))
+        a = gp.sample_f(X, 5, seed=9)
+        b = gp.sample_f(X, 5, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_interpolates_training_data(self, fitted_gp):
+        gp, X, y = fitted_gp
+        s = gp.sample_f(X[:4], n_samples=500, seed=1)
+        spread = s.std(axis=0)
+        # posterior samples at training points have small spread
+        _, s_pred = gp.predict(X[:4])
+        np.testing.assert_allclose(spread, s_pred, rtol=0.3, atol=0.02)

@@ -1,0 +1,80 @@
+"""Tests for the UPHES configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.uphes import (
+    GroundwaterConfig,
+    MachineConfig,
+    MarketConfig,
+    ReservoirConfig,
+    UPHESConfig,
+)
+from repro.util import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_machine_ranges(self):
+        m = MachineConfig()
+        assert (m.p_turb_min, m.p_turb_max) == (4.0, 8.0)
+        assert (m.p_pump_min, m.p_pump_max) == (6.0, 8.0)
+
+    def test_dimension_is_12(self):
+        assert UPHESConfig().dim == 12
+
+    def test_96_steps(self):
+        assert UPHESConfig().n_steps == 96
+
+    def test_bounds_layout(self):
+        b = UPHESConfig().bounds()
+        assert b.shape == (12, 2)
+        # energy blocks signed, reserve blocks non-negative
+        assert np.all(b[:8, 0] == -8.0) and np.all(b[:8, 1] == 8.0)
+        assert np.all(b[8:, 0] == 0.0) and np.all(b[8:, 1] == 4.0)
+
+    def test_energy_capacity_about_80mwh(self):
+        """The configured volume at nominal head holds ≈ 80 MWh."""
+        cfg = UPHESConfig()
+        mwh = (
+            cfg.upper.v_max
+            * 1000.0
+            * 9.81
+            * cfg.machine.head_nominal
+            * cfg.machine.eta_turb_peak
+            / 3.6e9
+        )
+        assert 60.0 < mwh < 100.0
+
+
+class TestValidation:
+    def test_reservoir_bad_volume(self):
+        with pytest.raises(ConfigurationError):
+            ReservoirConfig(v_max=-1.0, z_floor=0.0, depth=1.0, shape=1.0)
+
+    def test_machine_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(p_turb_min=9.0, p_turb_max=8.0)
+
+    def test_machine_bad_heads(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(head_min_turb=100.0, head_nominal=90.0)
+
+    def test_groundwater_negative(self):
+        with pytest.raises(ConfigurationError):
+            GroundwaterConfig(conductance=-0.1)
+
+    def test_market_imbalance_below_one(self):
+        with pytest.raises(ConfigurationError):
+            MarketConfig(imbalance_multiplier=0.5)
+
+    def test_dt_must_divide_horizon(self):
+        with pytest.raises(ConfigurationError):
+            UPHESConfig(horizon_hours=24.0, dt_hours=0.7)
+
+    def test_fill_fraction_range(self):
+        with pytest.raises(ConfigurationError):
+            UPHESConfig(upper_fill0=1.5)
+
+    def test_scenarios_positive(self):
+        with pytest.raises(ConfigurationError):
+            UPHESConfig(n_scenarios=0)

@@ -1,0 +1,49 @@
+"""Tests for the groundwater exchange model."""
+
+import numpy as np
+import pytest
+
+from repro.uphes import GroundwaterConfig, GroundwaterExchange
+
+
+@pytest.fixture
+def gw():
+    return GroundwaterExchange(GroundwaterConfig(z_table=-80.0, conductance=0.05))
+
+
+class TestFlow:
+    def test_inflow_below_table(self, gw):
+        assert gw.flow(-95.0) > 0  # pit level below table: seeps in
+
+    def test_outflow_above_table(self, gw):
+        assert gw.flow(-70.0) < 0  # pit level above table: leaks out
+
+    def test_equilibrium_at_table(self, gw):
+        assert gw.flow(-80.0) == 0.0
+
+    def test_linear_in_difference(self, gw):
+        assert gw.flow(-90.0) == pytest.approx(0.05 * 10.0)
+
+    def test_vectorized(self, gw):
+        levels = np.array([-95.0, -80.0, -70.0])
+        f = gw.flow(levels)
+        assert f.shape == (3,)
+        assert f[0] > 0 and f[1] == 0 and f[2] < 0
+
+    def test_scenario_table_override(self, gw):
+        tables = np.array([-78.0, -82.0])
+        f = gw.flow(-80.0, z_table=tables)
+        assert f[0] > 0 and f[1] < 0
+
+
+class TestSampling:
+    def test_sample_shape_and_spread(self, gw, rng):
+        z = gw.sample_table(rng, 500)
+        assert z.shape == (500,)
+        assert abs(z.mean() - (-80.0)) < 0.5
+        assert 1.0 < z.std() < 3.0
+
+    def test_zero_noise_degenerate(self, rng):
+        gw = GroundwaterExchange(GroundwaterConfig(table_noise_std=0.0))
+        z = gw.sample_table(rng, 10)
+        np.testing.assert_array_equal(z, gw.config.z_table)

@@ -1,0 +1,112 @@
+"""Tests for the pump-turbine model (envelopes, hill curves, flows)."""
+
+import numpy as np
+import pytest
+
+from repro.uphes import MachineConfig, PumpTurbine
+from repro.uphes.config import RHO_G
+
+
+@pytest.fixture
+def machine():
+    return PumpTurbine(MachineConfig())
+
+
+H0 = MachineConfig().head_nominal
+
+
+class TestEnvelopes:
+    def test_nominal_turbine_range(self, machine):
+        p_min, p_max = machine.turbine_limits(H0)
+        assert p_min == pytest.approx(4.0)
+        assert p_max == pytest.approx(8.0)
+
+    def test_turbine_unavailable_below_min_head(self, machine):
+        p_min, p_max = machine.turbine_limits(60.0)
+        assert np.isinf(p_min) and p_max == 0.0
+
+    def test_forbidden_zone_grows_at_low_head(self, machine):
+        p_min_lo, _ = machine.turbine_limits(70.0)
+        p_min_hi, _ = machine.turbine_limits(H0)
+        assert p_min_lo > p_min_hi
+
+    def test_turbine_max_drops_with_head(self, machine):
+        _, p_max_lo = machine.turbine_limits(70.0)
+        _, p_max_hi = machine.turbine_limits(H0)
+        assert p_max_lo < p_max_hi
+
+    def test_pump_range_nominal(self, machine):
+        p_min, p_max = machine.pump_limits(H0)
+        assert (p_min, p_max) == (6.0, 8.0)
+
+    def test_pump_unavailable_above_max_lift(self, machine):
+        p_min, p_max = machine.pump_limits(120.0)
+        assert np.isinf(p_min) and p_max == 0.0
+
+    def test_vectorized_over_heads(self, machine):
+        heads = np.array([60.0, 80.0, 100.0])
+        p_min, p_max = machine.turbine_limits(heads)
+        assert p_min.shape == p_max.shape == (3,)
+
+
+class TestHillCurves:
+    def test_efficiency_within_bounds(self, machine, rng):
+        P = rng.uniform(0, 10, 50)
+        H = rng.uniform(60, 120, 50)
+        cfg = machine.config
+        eta_t = machine.turbine_efficiency(P, H)
+        eta_p = machine.pump_efficiency(P, H)
+        assert np.all(eta_t >= cfg.eta_floor) and np.all(eta_t <= cfg.eta_turb_peak)
+        assert np.all(eta_p >= cfg.eta_floor) and np.all(eta_p <= cfg.eta_pump_peak)
+
+    def test_peak_near_bep(self, machine):
+        """Efficiency at the best-efficiency point beats off-design."""
+        at_bep = machine.turbine_efficiency(6.0, H0)
+        off = machine.turbine_efficiency(8.0, H0)
+        assert at_bep > off
+
+    def test_head_deviation_costs_efficiency(self, machine):
+        nominal = machine.turbine_efficiency(6.0, H0)
+        off_head = machine.turbine_efficiency(6.0, H0 - 25.0)
+        assert off_head < nominal
+
+    def test_non_constant_over_power(self, machine):
+        P = np.linspace(4, 8, 20)
+        eta = machine.turbine_efficiency(P, H0)
+        assert np.ptp(eta) > 0.01
+
+
+class TestFlows:
+    def test_turbine_energy_balance(self, machine):
+        """P = ρ g Q H η must hold by construction."""
+        P, H = 6.0, 95.0
+        Q = machine.turbine_flow(P, H)
+        eta = machine.turbine_efficiency(P, H)
+        assert RHO_G * Q * H * eta / 1e6 == pytest.approx(P, rel=1e-12)
+
+    def test_pump_energy_balance(self, machine):
+        P, H = 7.0, 85.0
+        Q = machine.pump_flow(P, H)
+        eta = machine.pump_efficiency(P, H)
+        assert P * eta * 1e6 / (RHO_G * H) == pytest.approx(Q, rel=1e-12)
+
+    def test_round_trip_efficiency_below_one(self, machine):
+        """Pump water up, turbine it down: must lose energy."""
+        H = H0
+        p_pump = 7.0
+        q_up = machine.pump_flow(p_pump, H)  # m³/s lifted per second
+        # Energy to generate from that same flow:
+        p_gen = machine.turbine_power_from_flow(q_up, H)
+        assert p_gen < p_pump
+        assert p_gen / p_pump > 0.5  # but not absurdly lossy
+
+    def test_higher_head_needs_less_flow(self, machine):
+        q_lo = machine.turbine_flow(6.0, 75.0)
+        q_hi = machine.turbine_flow(6.0, 110.0)
+        assert q_hi < q_lo
+
+    def test_power_from_flow_approx_inverse(self, machine):
+        P, H = 5.5, 92.0
+        Q = machine.turbine_flow(P, H)
+        P_back = machine.turbine_power_from_flow(Q, H)
+        assert P_back == pytest.approx(P, rel=0.05)

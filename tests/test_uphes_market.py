@@ -1,0 +1,71 @@
+"""Tests for the market scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.uphes import MarketConfig, MarketScenarios, daily_price_shape
+
+
+@pytest.fixture
+def scenarios():
+    return MarketScenarios(MarketConfig(), n_steps=96, dt_hours=0.25,
+                           n_scenarios=16, seed=3)
+
+
+class TestDailyShape:
+    def test_evening_peak_is_daily_max(self):
+        hours = np.linspace(0, 24, 97)
+        shape = daily_price_shape(hours, MarketConfig())
+        assert 17.0 < hours[np.argmax(shape)] < 21.0
+
+    def test_night_valley_is_daily_min(self):
+        hours = np.linspace(0, 24, 97)
+        shape = daily_price_shape(hours, MarketConfig())
+        assert 1.0 < hours[np.argmin(shape)] < 6.5
+
+    def test_morning_peak_exists(self):
+        cfg = MarketConfig()
+        hours = np.linspace(0, 24, 97)
+        shape = daily_price_shape(hours, cfg)
+        morning = shape[(hours > 6) & (hours < 10)].max()
+        midday = shape[(hours > 11) & (hours < 15)].max()
+        assert morning > midday
+
+
+class TestScenarios:
+    def test_shapes(self, scenarios):
+        assert scenarios.energy_price.shape == (16, 96)
+        assert scenarios.reserve_price.shape == (16, 4)
+
+    def test_price_floor_respected(self, scenarios):
+        assert np.all(scenarios.energy_price >= MarketConfig().min_price)
+        assert np.all(scenarios.reserve_price >= 0.0)
+
+    def test_seed_reproducible(self):
+        a = MarketScenarios(MarketConfig(), 96, 0.25, 4, seed=11)
+        b = MarketScenarios(MarketConfig(), 96, 0.25, 4, seed=11)
+        np.testing.assert_array_equal(a.energy_price, b.energy_price)
+        np.testing.assert_array_equal(a.reserve_price, b.reserve_price)
+
+    def test_scenarios_differ(self, scenarios):
+        assert not np.allclose(scenarios.energy_price[0], scenarios.energy_price[1])
+
+    def test_mean_tracks_base_shape(self, scenarios):
+        """Scenario mean should follow the deterministic curve."""
+        hours = (np.arange(96) + 0.5) * 0.25
+        base = daily_price_shape(hours, MarketConfig())
+        mean = scenarios.energy_price.mean(axis=0)
+        corr = np.corrcoef(base, mean)[0, 1]
+        assert corr > 0.9
+
+    def test_ar1_noise_autocorrelated(self, scenarios):
+        hours = (np.arange(96) + 0.5) * 0.25
+        base = daily_price_shape(hours, MarketConfig())
+        noise = scenarios.energy_price - base[None, :]
+        lagged = np.mean(
+            [np.corrcoef(n[:-1], n[1:])[0, 1] for n in noise]
+        )
+        assert lagged > 0.6
+
+    def test_mean_price_scalar(self, scenarios):
+        assert 20.0 < scenarios.mean_price < 90.0

@@ -1,0 +1,91 @@
+"""Property-based tests of the UPHES simulator's economics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.uphes import MarketConfig, UPHESConfig, UPHESSimulator
+
+#: One shared simulator (expensive to construct per example).
+SIM = UPHESSimulator(seed=0, sim_time=0.0)
+
+
+def _decision_arrays():
+    energy = hnp.arrays(np.float64, (8,), elements=st.floats(-8.0, 8.0))
+    reserve = hnp.arrays(np.float64, (4,), elements=st.floats(0.0, 4.0))
+    return st.tuples(energy, reserve).map(lambda t: np.concatenate(t))
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(x=_decision_arrays())
+    def test_profit_always_finite(self, x):
+        assert np.isfinite(SIM(x[None, :])[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(x=_decision_arrays())
+    def test_profit_bounded_by_gross_revenue(self, x):
+        """Profit can never exceed selling the full committed energy
+        plus full reserve at the most optimistic prices."""
+        p_max = float(SIM.market.energy_price.max())
+        r_max = float(SIM.market.reserve_price.max())
+        gross = (
+            np.sum(np.abs(x[:8])) * 3.0 * p_max
+            + np.sum(x[8:]) * 6.0 * r_max
+            + 100.0 * p_max  # generous cap on the terminal water value
+        )
+        assert SIM(x[None, :])[0] <= gross + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=_decision_arrays(), extra=st.floats(0.1, 3.9))
+    def test_more_unbacked_reserve_never_helps_a_tripped_plant(
+        self, x, extra
+    ):
+        """On a schedule whose energy blocks all trip (tiny commitments
+        in the forbidden band), adding reserve on top can only reduce
+        profit net of the capacity payment upper bound."""
+        x = x.copy()
+        x[:8] = np.sign(x[:8] + 1e-9) * 1.0  # 1 MW: inside every band gap
+        base = x.copy()
+        base[8:] = 0.0
+        more = x.copy()
+        more[8:] = np.minimum(base[8:] + extra, 4.0)
+        cap_upper_bound = float(
+            np.sum(more[8:] - base[8:]) * 6.0 * SIM.market.reserve_price.max()
+        )
+        assert SIM(more[None])[0] <= SIM(base[None])[0] + cap_upper_bound + 1e-6
+
+
+class TestPenaltyMonotonicity:
+    @pytest.mark.parametrize("mult", [1.5, 3.5, 6.0])
+    def test_harsher_imbalance_never_raises_profit(self, mult, rng):
+        """The imbalance term is a non-negative cost scaled by the
+        multiplier, so profits are non-increasing in it."""
+        base = UPHESSimulator(
+            UPHESConfig(market=MarketConfig(imbalance_multiplier=1.0)),
+            seed=0, sim_time=0.0,
+        )
+        harsh = UPHESSimulator(
+            UPHESConfig(market=MarketConfig(imbalance_multiplier=mult)),
+            seed=0, sim_time=0.0,
+        )
+        X = rng.uniform(SIM.lower, SIM.upper, (50, 12))
+        assert np.all(harsh(X) <= base(X) + 1e-9)
+
+    def test_feasible_schedule_immune_to_penalties(self):
+        """A schedule that never trips pays no imbalance whatever the
+        multiplier."""
+        x = np.zeros((1, 12))
+        x[0, 0] = -7.0
+        x[0, 6] = 6.0
+        a = UPHESSimulator(
+            UPHESConfig(market=MarketConfig(imbalance_multiplier=1.0)),
+            seed=0, sim_time=0.0,
+        )(x)[0]
+        b = UPHESSimulator(
+            UPHESConfig(market=MarketConfig(imbalance_multiplier=8.0)),
+            seed=0, sim_time=0.0,
+        )(x)[0]
+        assert a == pytest.approx(b, rel=1e-12)

@@ -1,0 +1,83 @@
+"""Tests for reservoir geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uphes import Reservoir, ReservoirConfig, UPHESConfig, net_head
+
+
+@pytest.fixture
+def pit():
+    return Reservoir(ReservoirConfig(v_max=1e5, z_floor=-100.0, depth=30.0, shape=0.7))
+
+
+@pytest.fixture
+def basin():
+    return Reservoir(ReservoirConfig(v_max=1e5, z_floor=5.0, depth=10.0, shape=0.95))
+
+
+class TestLevelVolume:
+    def test_empty_at_floor(self, pit):
+        assert pit.level(0.0) == pytest.approx(-100.0)
+
+    def test_full_at_floor_plus_depth(self, pit):
+        assert pit.level(1e5) == pytest.approx(-70.0)
+
+    def test_monotone_increasing(self, pit):
+        v = np.linspace(0, 1e5, 50)
+        lv = pit.level(v)
+        assert np.all(np.diff(lv) > 0)
+
+    def test_pit_shape_steep_when_empty(self, pit):
+        """shape < 1: the level rises faster per m³ near the bottom."""
+        dv = 1e3
+        rise_low = pit.level(dv) - pit.level(0.0)
+        rise_high = pit.level(1e5) - pit.level(1e5 - dv)
+        assert rise_low > rise_high
+
+    @settings(max_examples=30, deadline=None)
+    @given(frac=st.floats(0.0, 1.0))
+    def test_roundtrip(self, frac):
+        # built inline: hypothesis reuses the test across examples,
+        # so a function-scoped fixture would trip its health check
+        res = Reservoir(
+            ReservoirConfig(v_max=1e5, z_floor=-100.0, depth=30.0, shape=0.7)
+        )
+        v = frac * res.v_max
+        assert res.volume_from_level(res.level(v)) == pytest.approx(
+            v, rel=1e-9, abs=1e-6
+        )
+
+    def test_clamp(self, pit):
+        np.testing.assert_array_equal(
+            pit.clamp(np.array([-5.0, 2e5])), [0.0, 1e5]
+        )
+
+    def test_headroom(self, pit):
+        assert pit.headroom(3e4) == pytest.approx(7e4)
+
+    def test_overfull_level_saturates(self, pit):
+        assert pit.level(5e5) == pytest.approx(pit.level(1e5))
+
+
+class TestNetHead:
+    def test_positive_for_separated_reservoirs(self, pit, basin):
+        h = net_head(basin, 5e4, pit, 5e4)
+        assert h > 0
+
+    def test_head_drops_as_upper_empties(self, pit, basin):
+        h_full = net_head(basin, 1e5, pit, 0.0)
+        h_empty = net_head(basin, 0.0, pit, 1e5)
+        assert h_full > h_empty
+
+    def test_default_plant_head_range(self):
+        """The default plant's head stays in the modelled 60–130 m."""
+        cfg = UPHESConfig()
+        up = Reservoir(cfg.upper)
+        low = Reservoir(cfg.lower)
+        for fu in (0.0, 0.5, 1.0):
+            for fl in (0.0, 0.5, 1.0):
+                h = net_head(up, fu * up.v_max, low, fl * low.v_max)
+                assert 60.0 < h < 135.0

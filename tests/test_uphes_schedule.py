@@ -1,0 +1,54 @@
+"""Tests for the decision-vector decoder."""
+
+import numpy as np
+import pytest
+
+from repro.uphes import UPHESConfig, block_hours, decode_schedule, reserve_block_index
+from repro.util import ValidationError
+
+CFG = UPHESConfig()
+
+
+class TestDecode:
+    def test_shapes(self):
+        p, r = decode_schedule(np.zeros(12), CFG)
+        assert p.shape == (96,) and r.shape == (96,)
+
+    def test_block_expansion(self):
+        x = np.zeros(12)
+        x[0] = -7.0  # first 3-hour block: steps 0..11
+        x[7] = 5.0  # last energy block: steps 84..95
+        x[8] = 2.0  # first reserve block: steps 0..23
+        p, r = decode_schedule(x, CFG)
+        assert np.all(p[:12] == -7.0) and np.all(p[12:84] == 0.0)
+        assert np.all(p[84:] == 5.0)
+        assert np.all(r[:24] == 2.0) and np.all(r[24:] == 0.0)
+
+    def test_energy_block_is_3_hours(self):
+        eh, rh = block_hours(CFG)
+        assert eh == 3.0 and rh == 6.0
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_schedule(np.zeros(11), CFG)
+
+    def test_negative_reserve_rejected(self):
+        x = np.zeros(12)
+        x[9] = -1.0
+        with pytest.raises(ValidationError):
+            decode_schedule(x, CFG)
+
+    def test_tiny_negative_reserve_tolerated(self):
+        """Round-off negatives from optimizers are clipped to zero."""
+        x = np.zeros(12)
+        x[9] = -1e-12
+        _, r = decode_schedule(x, CFG)
+        assert np.all(r >= 0.0)
+
+
+class TestReserveIndex:
+    def test_mapping(self):
+        idx = reserve_block_index(CFG)
+        assert idx.shape == (96,)
+        assert idx[0] == 0 and idx[24] == 1 and idx[95] == 3
+        assert np.all(np.diff(idx) >= 0)

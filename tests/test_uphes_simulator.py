@@ -1,0 +1,192 @@
+"""Tests for the UPHES expected-profit simulator.
+
+These pin the qualitative landscape properties the paper attributes to
+its black box: discontinuity at forbidden-zone edges, penalty-dominated
+random schedules, positive profit for structured arbitrage schedules,
+determinism, and internal physical consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.uphes import UPHESConfig, UPHESSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return UPHESSimulator(seed=0, sim_time=0.0)
+
+
+#: A sensible day: pump through the night valley, sell the peaks.
+GOOD_SCHEDULE = np.array(
+    [-7.5, -7.5, 0.0, 0.0, 0.0, 5.5, 7.5, 0.0, 0.0, 0.0, 1.0, 0.5]
+)
+
+
+class TestInterface:
+    def test_is_maximization_problem(self, sim):
+        assert sim.maximize
+
+    def test_dim_and_bounds(self, sim):
+        assert sim.dim == 12
+        assert sim.bounds.shape == (12, 2)
+
+    def test_sim_time_default_10s(self):
+        assert UPHESSimulator(seed=0).sim_time == 10.0
+
+    def test_batch_matches_rowwise(self, sim, rng):
+        X = rng.uniform(sim.lower, sim.upper, (6, 12))
+        batch = sim(X)
+        rows = np.array([sim(x[None, :])[0] for x in X])
+        np.testing.assert_allclose(batch, rows, rtol=1e-12)
+
+    def test_deterministic_same_seed(self, rng):
+        X = rng.uniform(-8, 8, (3, 12)).clip(min=None)
+        X[:, 8:] = np.abs(X[:, 8:]) % 4
+        a = UPHESSimulator(seed=5, sim_time=0.0)(X)
+        b = UPHESSimulator(seed=5, sim_time=0.0)(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_scenario_seeds_differ(self, rng):
+        x = GOOD_SCHEDULE[None, :]
+        a = UPHESSimulator(seed=1, sim_time=0.0)(x)[0]
+        b = UPHESSimulator(seed=2, sim_time=0.0)(x)[0]
+        assert a != b
+
+
+class TestLandscape:
+    def test_idle_is_exactly_zero(self, sim):
+        assert sim(np.zeros((1, 12)))[0] == 0.0
+
+    def test_good_schedule_earns(self, sim):
+        assert sim(GOOD_SCHEDULE[None, :])[0] > 500.0
+
+    def test_random_schedules_lose(self, sim, rng):
+        """Paper §4: random sampling plateaus deep in the red."""
+        X = rng.uniform(sim.lower, sim.upper, (2000, 12))
+        y = sim(X)
+        assert y.max() < 0.0
+        assert y.mean() < -3000.0
+
+    def test_forbidden_zone_discontinuity(self, sim):
+        """Committing just inside vs just outside the turbine band
+        changes the profit discontinuously (trip + penalties)."""
+        inside = np.zeros(12)
+        inside[5] = 4.5  # valid turbine power at nominal head
+        outside = np.zeros(12)
+        outside[5] = 3.0  # below p_turb_min: trips
+        gap = sim(inside[None])[0] - sim(outside[None])[0]
+        assert gap > 300.0
+
+    def test_small_pump_is_infeasible(self, sim):
+        """Pumping below 6 MW is a forbidden commitment."""
+        x = np.zeros(12)
+        x[2] = -3.0
+        assert sim(x[None])[0] < -300.0
+
+    def test_unbacked_reserve_penalized(self, sim):
+        """Offering reserve with an empty upper basin at night while
+        tripped must cost more than the capacity revenue."""
+        x = np.zeros(12)
+        x[2] = -3.0  # tripped pump block (steps 24..35)
+        x[9] = 4.0  # reserve offered over the same window
+        with_reserve = sim(x[None])[0]
+        x_no_res = x.copy()
+        x_no_res[9] = 0.0
+        assert with_reserve < sim(x_no_res[None])[0] + 4.0 * 6.0 * 20.0
+
+    def test_backed_reserve_is_profitable(self, sim):
+        """Reserve on top of a feasible idle plant with a half-full
+        upper basin is nearly free money."""
+        x = np.zeros(12)
+        x[10] = 1.0
+        assert sim(x[None])[0] > 0.0
+
+    def test_buying_at_peak_is_bad(self, sim):
+        """Pumping through the evening peak must underperform pumping
+        through the night valley."""
+        night = np.zeros(12)
+        night[0] = -7.0  # 00:00–03:00
+        peak = np.zeros(12)
+        peak[6] = -7.0  # 18:00–21:00
+        assert sim(night[None])[0] > sim(peak[None])[0]
+
+    def test_selling_at_peak_beats_valley(self, sim):
+        peak = np.zeros(12)
+        peak[6] = 6.0
+        valley = np.zeros(12)
+        valley[1] = 6.0
+        assert sim(peak[None])[0] > sim(valley[None])[0]
+
+
+class TestPhysicalConsistency:
+    def test_trace_matches_profit(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        assert tr.profit == pytest.approx(sim(GOOD_SCHEDULE[None])[0], rel=1e-12)
+
+    def test_trace_shapes(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        n = sim.config.n_steps
+        for arr in (tr.hours, tr.committed_power, tr.delivered_power,
+                    tr.head, tr.upper_volume, tr.lower_volume,
+                    tr.energy_price):
+            assert np.asarray(arr).shape == (n,)
+
+    def test_volumes_stay_physical(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        assert np.all(tr.upper_volume >= -1e-6)
+        assert np.all(tr.upper_volume <= sim.config.upper.v_max + 1e-6)
+        assert np.all(tr.lower_volume >= -1e-6)
+        assert np.all(tr.lower_volume <= sim.config.lower.v_max + 1e-6)
+
+    def test_pumping_raises_upper_volume(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        # blocks 0-1 pump: upper volume must rise over the first 6 h
+        assert tr.upper_volume[23] > tr.upper_volume[0]
+
+    def test_generation_draws_upper_volume(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        # blocks 5-6 generate (15:00–21:00 = steps 60..83)
+        assert tr.upper_volume[83] < tr.upper_volume[60]
+
+    def test_head_moves_with_volumes(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        assert np.ptp(tr.head) > 1.0  # head effects are material
+
+    def test_delivered_matches_committed_when_feasible(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        feasible = np.abs(tr.committed_power) > 0
+        np.testing.assert_allclose(
+            tr.delivered_power[feasible], tr.committed_power[feasible],
+            rtol=1e-9,
+        )
+
+    def test_breakdown_keys(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        for key in ("energy_revenue", "reserve_revenue", "terminal_value",
+                    "imbalance_cost", "unsafe_cost",
+                    "reserve_shortfall_cost", "start_cost"):
+            assert key in tr.breakdown
+
+    def test_breakdown_sums_to_profit(self, sim):
+        tr = sim.simulate_detailed(GOOD_SCHEDULE)
+        b = tr.breakdown
+        total = (
+            b["energy_revenue"] + b["reserve_revenue"] + b["terminal_value"]
+            - b["imbalance_cost"] - b["unsafe_cost"]
+            - b["reserve_shortfall_cost"] - b["start_cost"]
+        )
+        assert total == pytest.approx(tr.profit, rel=1e-9, abs=1e-6)
+
+    def test_groundwater_affects_profit(self):
+        from repro.uphes import GroundwaterConfig
+
+        base = UPHESSimulator(seed=0, sim_time=0.0)
+        sealed = UPHESSimulator(
+            UPHESConfig(groundwater=GroundwaterConfig(conductance=0.0,
+                                                      table_noise_std=0.0)),
+            seed=0,
+            sim_time=0.0,
+        )
+        x = GOOD_SCHEDULE[None, :]
+        assert base(x)[0] != sealed(x)[0]

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util import (
+    BudgetExhausted,
+    ConfigurationError,
+    NumericalError,
+    ReproError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigurationError, ValidationError, NumericalError, BudgetExhausted]
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    # API users should be able to catch ValueError for bad arguments.
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_numerical_error_is_arithmetic_error():
+    assert issubclass(NumericalError, ArithmeticError)
+
+
+def test_budget_exhausted_is_runtime_error():
+    assert issubclass(BudgetExhausted, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise ValidationError("x")

@@ -1,0 +1,59 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_numpy_integer_accepted(self):
+        g = as_generator(np.int64(5))
+        assert isinstance(g, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_from_int_seed(self):
+        a1, a2 = spawn_generators(3, 2)
+        b1, b2 = spawn_generators(3, 2)
+        np.testing.assert_array_equal(a1.random(5), b1.random(5))
+        np.testing.assert_array_equal(a2.random(5), b2.random(5))
+
+    def test_from_generator_parent(self):
+        parent = np.random.default_rng(0)
+        kids = spawn_generators(parent, 3)
+        assert len(kids) == 3
+        assert not np.allclose(kids[0].random(5), kids[1].random(5))
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)

@@ -1,0 +1,113 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    ValidationError,
+    check_bounds,
+    check_finite,
+    check_matrix,
+    check_positive,
+    check_vector,
+)
+
+
+class TestCheckVector:
+    def test_list_converted(self):
+        v = check_vector([1, 2, 3])
+        assert v.dtype == np.float64
+        assert v.shape == (3,)
+
+    def test_dim_enforced(self):
+        with pytest.raises(ValidationError):
+            check_vector([1.0, 2.0], dim=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_vector(np.zeros((2, 2)))
+
+
+class TestCheckMatrix:
+    def test_1d_promoted_to_row(self):
+        m = check_matrix([1.0, 2.0])
+        assert m.shape == (1, 2)
+
+    def test_cols_enforced(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((3, 2)), cols=4)
+
+    def test_empty_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((0, 3)))
+
+    def test_empty_allowed_when_opted_in(self):
+        m = check_matrix(np.zeros((0, 3)), allow_empty=True)
+        assert m.shape == (0, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_contiguous_output(self):
+        m = check_matrix(np.asfortranarray(np.ones((4, 3))))
+        assert m.flags["C_CONTIGUOUS"]
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        check_finite([1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValidationError):
+            check_finite([1.0, bad])
+
+
+class TestCheckPositive:
+    def test_positive_ok(self):
+        assert check_positive(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad)
+
+
+class TestCheckBounds:
+    def test_basic(self):
+        b = check_bounds([[0, 1], [-1, 2]])
+        assert b.shape == (2, 2)
+
+    def test_transposed_convention_accepted(self):
+        b = check_bounds(np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]]))
+        assert b.shape == (3, 2)
+        np.testing.assert_array_equal(b[:, 0], [0, 0, 0])
+
+    def test_dim_enforced(self):
+        with pytest.raises(ValidationError):
+            check_bounds([[0, 1]], dim=2)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValidationError):
+            check_bounds([[1.0, 1.0]])
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            check_bounds([[2.0, 1.0]])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            check_bounds([[0.0, np.inf]])
+
+    @given(
+        lo=st.floats(-1e6, 1e6 - 1),
+        width=st.floats(1e-6, 1e6),
+        d=st.integers(1, 8),
+    )
+    def test_property_roundtrip(self, lo, width, d):
+        b = check_bounds(np.tile([lo, lo + width], (d, 1)))
+        assert b.shape == (d, 2)
+        assert np.all(b[:, 0] < b[:, 1])
