@@ -6,11 +6,16 @@ Usage::
                     --budget 1200 --seed 0 [--json out.json]
 
     python -m repro --problem ackley --algorithm turbo --n-batch 8 \
-                    --budget 300 --time-scale 15
+                    --budget 300 --time-scale 15 --journal run.jsonl
+
+    python -m repro resume run.jsonl
 
 Runs one time-budgeted optimization under the paper's protocol and
 prints a human-readable summary (or writes the full run record as JSON
-with ``--json``).
+with ``--json``). With ``--journal`` the run appends a crash-safe JSONL
+event log; the ``resume`` subcommand continues an interrupted journaled
+run under its remaining budget. ``--crash-rate`` / ``--timeout-rate`` /
+``--nan-rate`` inject evaluation faults (see ``repro.resilience``).
 """
 
 from __future__ import annotations
@@ -58,6 +63,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the full run record as JSON")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the cycle table")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append a crash-safe JSONL event log; an "
+                             "interrupted run continues with "
+                             "'python -m repro resume PATH'")
+    parser.add_argument("--crash-rate", type=float, default=0.0,
+                        help="injected probability a simulation crashes")
+    parser.add_argument("--timeout-rate", type=float, default=0.0,
+                        help="injected probability a simulation hangs")
+    parser.add_argument("--nan-rate", type=float, default=0.0,
+                        help="injected probability a simulation returns NaN")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="evaluation attempts per point under faults")
+    parser.add_argument("--fallback", default="impute",
+                        choices=("impute", "fantasy", "drop", "raise"),
+                        help="action for points failed after all attempts")
+    return parser
+
+
+def build_resume_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resume",
+        description="Continue an interrupted journaled run "
+                    "under its remaining budget.",
+    )
+    parser.add_argument("journal", help="JSONL run journal of the killed run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full run record as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the cycle table")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip per-event fsync while continuing")
     return parser
 
 
@@ -70,12 +106,71 @@ def make_problem(args):
     return get_benchmark(args.problem, dim=args.dim, sim_time=args.sim_time)
 
 
+def _report(result, seed, *, quiet: bool, json_path: str | None) -> None:
+    """The human-readable summary shared by the run and resume paths."""
+    direction = "profit" if result.maximize else "cost"
+    print(f"problem      : {result.problem} (d={len(result.best_x)}, "
+          f"sim={result.sim_time:g}s)")
+    print(f"algorithm    : {result.algorithm}, n_batch={result.n_batch}, "
+          f"seed={seed}")
+    print(f"initial      : {result.n_initial} points, best {direction} "
+          f"{result.initial_best:.3f}")
+    print(f"cycles/sims  : {result.n_cycles} / {result.n_simulations} "
+          f"in {result.elapsed:.0f}/{result.budget:.0f} virtual s")
+    print(f"final best   : {result.best_value:.3f}")
+    if not quiet:
+        print("\ncycle  t_start  fit[s]  acq[s]  best")
+        step = max(1, len(result.history) // 12)
+        for rec in result.history[::step]:
+            print(f"{rec.cycle:5d}  {rec.t_start:7.1f}  {rec.fit_time:6.3f}"
+                  f"  {rec.acq_time:6.3f}  {rec.best_value:10.3f}")
+
+    if json_path:
+        record = RunRecord.from_result(result, seed=seed, preset="cli")
+        with open(json_path, "w") as fh:
+            json.dump(record.to_dict(), fh, indent=2)
+        print(f"\nrun record written to {json_path}")
+
+
+def main_resume(argv=None) -> int:
+    args = build_resume_parser().parse_args(argv)
+    from repro.resilience import resume_run
+
+    result = resume_run(args.journal, fsync=not args.no_fsync)
+    _report(result, result.seed, quiet=args.quiet, json_path=args.json)
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "resume":
+        return main_resume(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(
         args.algorithm, problem, args.n_batch, seed=args.seed
     )
+
+    journal = None
+    if args.journal:
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(args.journal)
+    faults = retry = None
+    if args.crash_rate or args.timeout_rate or args.nan_rate:
+        from repro.resilience import FaultSpec, RetryPolicy
+
+        faults = FaultSpec(
+            crash_rate=args.crash_rate,
+            timeout_rate=args.timeout_rate,
+            nan_rate=args.nan_rate,
+            seed=args.seed,
+        )
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts, fallback=args.fallback
+        )
+
     result = run_optimization(
         problem,
         optimizer,
@@ -83,30 +178,11 @@ def main(argv=None) -> int:
         n_initial=args.n_initial,
         time_scale=args.time_scale,
         seed=args.seed,
+        journal=journal,
+        faults=faults,
+        retry=retry,
     )
-
-    direction = "profit" if problem.maximize else "cost"
-    print(f"problem      : {result.problem} (d={problem.dim}, "
-          f"sim={problem.sim_time:g}s)")
-    print(f"algorithm    : {result.algorithm}, n_batch={result.n_batch}, "
-          f"seed={args.seed}")
-    print(f"initial      : {result.n_initial} points, best {direction} "
-          f"{result.initial_best:.3f}")
-    print(f"cycles/sims  : {result.n_cycles} / {result.n_simulations} "
-          f"in {result.elapsed:.0f}/{result.budget:.0f} virtual s")
-    print(f"final best   : {result.best_value:.3f}")
-    if not args.quiet:
-        print("\ncycle  t_start  fit[s]  acq[s]  best")
-        step = max(1, len(result.history) // 12)
-        for rec in result.history[::step]:
-            print(f"{rec.cycle:5d}  {rec.t_start:7.1f}  {rec.fit_time:6.3f}"
-                  f"  {rec.acq_time:6.3f}  {rec.best_value:10.3f}")
-
-    if args.json:
-        record = RunRecord.from_result(result, seed=args.seed, preset="cli")
-        with open(args.json, "w") as fh:
-            json.dump(record.to_dict(), fh, indent=2)
-        print(f"\nrun record written to {args.json}")
+    _report(result, args.seed, quiet=args.quiet, json_path=args.json)
     return 0
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -81,6 +82,8 @@ def run_async_optimization(
     gp_options: dict | None = None,
     acq_options: dict | None = None,
     max_dispatches: int = 100_000,
+    journal=None,
+    on_nonfinite: str = "impute",
 ) -> AsyncResult:
     """Steady-state asynchronous BO under a virtual wall-clock budget.
 
@@ -102,13 +105,27 @@ def run_async_optimization(
     time_scale:
         Multiplier on the measured fit/acquisition time charged to the
         master timeline.
+    journal:
+        Optional :class:`~repro.resilience.RunJournal` recording the
+        run's dispatch/completion events. Asynchronous journals are for
+        observability (tail a live run, post-mortem a crashed one);
+        resume is a synchronous-driver feature.
+    on_nonfinite:
+        Fallback for NaN/inf objective values (see
+        :data:`repro.core.driver.NONFINITE_ACTIONS`).
     """
+    from repro.core.driver import NONFINITE_ACTIONS, _guard_nonfinite
+
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
     if budget <= 0:
         raise ConfigurationError(f"budget must be positive, got {budget}")
     if refit_every < 1:
         raise ConfigurationError(f"refit_every must be >= 1, got {refit_every}")
+    if on_nonfinite not in NONFINITE_ACTIONS:
+        raise ConfigurationError(
+            f"on_nonfinite must be one of {NONFINITE_ACTIONS}, got {on_nonfinite!r}"
+        )
     rng = as_generator(seed)
     gp_opts = {**_GP_DEFAULTS, **(gp_options or {})}
     acq_opts = {**_ACQ_DEFAULTS, **(acq_options or {})}
@@ -116,8 +133,40 @@ def run_async_optimization(
 
     # Initial design, outside the budget.
     n0 = n_initial if n_initial is not None else 16 * n_workers
+    if journal is not None:
+        journal.record(
+            "run_started",
+            config={
+                "mode": "async",
+                "problem": problem.name,
+                "dim": int(problem.dim),
+                "sim_time": float(problem.sim_time),
+                "maximize": bool(problem.maximize),
+                "n_workers": int(n_workers),
+                "budget": float(budget),
+                "time_scale": float(time_scale),
+                "seed": seed if isinstance(seed, (int, type(None))) else None,
+                "n_initial": int(n0),
+                "refit_every": int(refit_every),
+                "on_nonfinite": on_nonfinite,
+            },
+        )
     X = latin_hypercube(n0, problem.bounds, seed=rng)
-    y = sign * problem(X)
+    y_raw = sign * np.asarray(problem(X), dtype=np.float64).reshape(-1)
+    X, y = _guard_nonfinite(X, y_raw, None, on_nonfinite, journal=journal)
+    if y.size == 0:
+        raise ConfigurationError(
+            "the entire initial design evaluated non-finite; nothing to model"
+        )
+    if journal is not None:
+        from repro.util import to_jsonable
+
+        journal.record(
+            "initial_design",
+            X=to_jsonable(X),
+            y_raw=to_jsonable(sign * y_raw),
+            y_used=to_jsonable(sign * y),
+        )
     initial_best = float(sign * np.min(y))
 
     gp = GaussianProcess(dim=problem.dim, input_bounds=problem.bounds)
@@ -167,6 +216,16 @@ def run_async_optimization(
                 best_value=float(sign * np.min(y)),
             )
         )
+        if journal is not None:
+            journal.record(
+                "dispatch",
+                index=counter,
+                worker=worker,
+                t_dispatch=now,
+                t_finish=finish,
+                acq_time=acq_time,
+                x=x_next.tolist(),
+            )
 
     # Fill every worker once, then steady-state: one completion -> one
     # (possibly deferred) refit -> one dispatch.
@@ -178,10 +237,32 @@ def run_async_optimization(
     while pending:
         finish, _, worker, x_done = heapq.heappop(pending)
         now = max(now, finish)
-        y_new = sign * problem(x_done[None, :])
-        X = np.vstack([X, x_done[None, :]])
-        y = np.concatenate([y, y_new])
+        y_new_raw = sign * np.asarray(
+            problem(x_done[None, :]), dtype=np.float64
+        ).reshape(-1)
+        X_new, y_new = _guard_nonfinite(
+            x_done[None, :],
+            y_new_raw,
+            SimpleNamespace(y=y, gp=gp),
+            on_nonfinite,
+            journal=journal,
+        )
         n_done += 1
+        if journal is not None:
+            journal.record(
+                "completion",
+                index=n_done,
+                worker=worker,
+                t=now,
+                y_raw=(sign * y_new_raw).tolist(),
+                y_used=(sign * y_new).tolist(),
+            )
+        if y_new.size == 0:  # on_nonfinite="drop" discarded the point
+            if now < budget and counter < max_dispatches:
+                dispatch(worker)
+            continue
+        X = np.vstack([X, X_new])
+        y = np.concatenate([y, y_new])
 
         t0 = time.perf_counter()
         if n_done % refit_every == 0:
@@ -197,6 +278,14 @@ def run_async_optimization(
             dispatch(worker)
 
     best_idx = int(np.argmin(y))
+    if journal is not None:
+        journal.record(
+            "run_completed",
+            best_x=X[best_idx].tolist(),
+            best_value=float(sign * y[best_idx]),
+            n_simulations=n_done,
+            elapsed=now,
+        )
     return AsyncResult(
         problem=problem.name,
         n_workers=n_workers,

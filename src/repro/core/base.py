@@ -26,9 +26,13 @@ from repro.util import (
     ConfigurationError,
     RandomState,
     as_generator,
+    capture_rng,
     check_finite,
     check_matrix,
     check_vector,
+    from_jsonable,
+    restore_rng,
+    to_jsonable,
 )
 
 #: Default inner-optimization configuration (BoTorch-like multi-start).
@@ -108,6 +112,13 @@ class BatchOptimizer:
     name = "base"
     uses_surrogate = True
 
+    #: Attribute names that make up the algorithm-specific mid-run
+    #: state beyond (X, y, rng). Subclasses whose state is plain
+    #: scalars/arrays list them here and inherit JSON (de)serialization
+    #: through :meth:`get_state` / :meth:`set_state` for free;
+    #: structured state (e.g. BSP-EGO's tree) overrides those methods.
+    _state_attrs: tuple[str, ...] = ()
+
     def __init__(
         self,
         problem,
@@ -163,6 +174,37 @@ class BatchOptimizer:
 
     def propose(self) -> Proposal:
         raise NotImplementedError
+
+    # -- checkpointing ---------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-serializable snapshot of the mid-run algorithm state.
+
+        Covers the RNG stream and every attribute in
+        :attr:`_state_attrs`; the observation history (X, y) is *not*
+        included — the run journal already carries it cycle by cycle,
+        and resume reinstalls it separately. Together with (X, y), the
+        snapshot makes :meth:`propose` deterministic again after a
+        restore.
+        """
+        state: dict = {"rng": capture_rng(self.rng)}
+        for attr in self._state_attrs:
+            state[attr] = to_jsonable(getattr(self, attr))
+        return state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`get_state` in place.
+
+        The optimizer must already hold the observation history the
+        snapshot was taken with (see
+        :func:`repro.resilience.resume.resume_run`).
+        """
+        self.rng = restore_rng(self.rng, state["rng"])
+        for attr in self._state_attrs:
+            if attr not in state:
+                raise ConfigurationError(
+                    f"state snapshot lacks {attr!r} for {type(self).__name__}"
+                )
+            setattr(self, attr, from_jsonable(state[attr]))
 
     # ------------------------------------------------------------------
     def _training_subset(self, X: np.ndarray, y: np.ndarray):

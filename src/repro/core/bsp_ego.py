@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.acquisition import ExpectedImprovement, optimize_acqf
 from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
-from repro.util import ConfigurationError, RandomState
+from repro.util import ConfigurationError, RandomState, from_jsonable, to_jsonable
 
 
 class _Node:
@@ -139,6 +139,38 @@ class BSPEGO(BatchOptimizer):
         # else: the only mergeable pair contains the winner; splitting
         # after merging it would just recreate the same boxes — keep the
         # partition for this cycle (only possible at n_regions = 2).
+
+    # -- checkpointing ----------------------------------------------------
+    @staticmethod
+    def _node_to_dict(node: _Node) -> dict:
+        return {
+            "bounds": to_jsonable(node.bounds),
+            "score": None if node.score == -np.inf else float(node.score),
+            "children": (
+                None
+                if node.is_leaf
+                else [BSPEGO._node_to_dict(c) for c in node.children]
+            ),
+        }
+
+    @staticmethod
+    def _node_from_dict(data: dict, parent: "_Node | None" = None) -> _Node:
+        node = _Node(from_jsonable(data["bounds"]), parent)
+        node.score = -np.inf if data["score"] is None else float(data["score"])
+        if data["children"] is not None:
+            node.children = tuple(
+                BSPEGO._node_from_dict(c, node) for c in data["children"]
+            )
+        return node
+
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["tree"] = self._node_to_dict(self.root)
+        return state
+
+    def set_state(self, state: dict) -> None:
+        super().set_state(state)
+        self.root = self._node_from_dict(state["tree"])
 
     # -- proposal -----------------------------------------------------------
     def propose(self) -> Proposal:

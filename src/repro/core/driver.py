@@ -21,6 +21,7 @@ orientation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,7 +29,13 @@ import numpy as np
 from repro.core.base import BatchOptimizer, Proposal
 from repro.doe import latin_hypercube
 from repro.parallel import OverheadModel, SimulatedCluster, VirtualClock, lpt_makespan
-from repro.util import ConfigurationError, RandomState, as_generator
+from repro.util import (
+    ConfigurationError,
+    EvaluationError,
+    RandomState,
+    as_generator,
+    to_jsonable,
+)
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,89 @@ class OptimizationResult:
         return np.asarray([rec.best_value for rec in self.history])
 
 
+@dataclass
+class ResumeState:
+    """Mid-run driver state, reconstructed from a run journal.
+
+    Built by :func:`repro.resilience.resume.load_checkpoint`; when
+    passed to :func:`run_optimization` (whose ``optimizer`` must
+    already hold the restored history and algorithm state), the run
+    continues from the recorded virtual-clock instant under the
+    *remaining* budget instead of restarting.
+    """
+
+    clock_start: float
+    cycle_start: int
+    n_initial: int
+    initial_best: float
+    n_evaluations: int
+    n_batches: int
+    history: list[CycleRecord] = field(default_factory=list)
+
+
+#: Valid non-finite-objective fallbacks (see :func:`run_optimization`).
+NONFINITE_ACTIONS = ("impute", "fantasy", "drop", "raise")
+
+
+def _guard_nonfinite(
+    X: np.ndarray,
+    y_internal: np.ndarray,
+    optimizer: BatchOptimizer | None,
+    fallback: str,
+    journal=None,
+    cycle: int | None = None,
+):
+    """Keep NaN/inf evaluations away from the GP fit.
+
+    Returns the ``(X_used, y_used)`` pair actually fed to the
+    optimizer: non-finite entries are imputed with the worst observed
+    value (``"impute"``), replaced by the surrogate's posterior mean
+    (``"fantasy"``), removed (``"drop"``), or fatal (``"raise"``).
+    Always warns — a silent imputation would mask a broken simulator.
+    """
+    y_internal = np.asarray(y_internal, dtype=np.float64).reshape(-1)
+    bad = ~np.isfinite(y_internal)
+    if not bad.any():
+        return X, y_internal
+    n_bad = int(bad.sum())
+    warnings.warn(
+        f"{n_bad} non-finite objective value(s) in a batch of "
+        f"{y_internal.size}; applying {fallback!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if journal is not None:
+        journal.record(
+            "nonfinite",
+            cycle=cycle,
+            indices=np.flatnonzero(bad).tolist(),
+            action=fallback,
+        )
+    if fallback == "raise":
+        raise EvaluationError(
+            f"{n_bad} non-finite objective value(s) and fallback='raise'"
+        )
+    if fallback == "drop":
+        return X[~bad], y_internal[~bad]
+    finite_pool = y_internal[~bad]
+    if optimizer is not None and optimizer.y.size:
+        finite_pool = np.concatenate([finite_pool, optimizer.y])
+    if finite_pool.size == 0:
+        raise EvaluationError(
+            "every objective value observed so far is non-finite; "
+            "nothing to impute from"
+        )
+    worst = float(np.max(finite_pool))
+    y_used = y_internal.copy()
+    gp = getattr(optimizer, "gp", None)
+    if fallback == "fantasy" and gp is not None:
+        mu, _ = gp.predict(np.asarray(X)[bad])
+        y_used[bad] = np.asarray(mu, dtype=np.float64).reshape(-1)
+    else:
+        y_used[bad] = worst
+    return X, y_used
+
+
 def run_optimization(
     problem,
     optimizer: BatchOptimizer,
@@ -121,6 +211,12 @@ def run_optimization(
     seed: RandomState = None,
     max_cycles: int = 100_000,
     time_model: AnalyticTimeModel | None = None,
+    journal=None,
+    faults=None,
+    retry=None,
+    checkpoint_every: int = 1,
+    on_nonfinite: str = "impute",
+    resume_state: ResumeState | None = None,
 ) -> OptimizationResult:
     """Run one time-budgeted optimization; returns the full record.
 
@@ -155,38 +251,118 @@ def run_optimization(
         Optional :class:`AnalyticTimeModel` replacing the *measured*
         fit/acquisition durations with deterministic analytic costs
         (``time_scale`` is then ignored for the overhead charge).
+    journal:
+        Optional :class:`repro.resilience.RunJournal`: every event of
+        the run (config, initial design, cycles with periodic optimizer
+        state snapshots, faults, completion) is appended durably, so a
+        killed run can be resumed via
+        :func:`repro.resilience.resume.resume_run`.
+    faults / retry:
+        Optional :class:`repro.resilience.FaultSpec` /
+        :class:`repro.resilience.RetryPolicy`: evaluations then go
+        through a :class:`repro.resilience.FaultySimulatedCluster`
+        which injects crash/timeout/NaN failures and charges the retry
+        waiting to the virtual clock.
+    checkpoint_every:
+        Embed the full optimizer state snapshot in every k-th journaled
+        cycle (default: every cycle). Larger values shrink the journal;
+        resume restarts from the last snapshot, deterministically
+        re-running at most ``k - 1`` cycles.
+    on_nonfinite:
+        What to do with NaN/inf objective values when no retry policy
+        dictates it: ``"impute"`` (worst observed value, the default),
+        ``"fantasy"`` (surrogate posterior mean), ``"drop"``, or
+        ``"raise"``. Non-finite values never reach the GP fit.
+    resume_state:
+        Internal hook used by :func:`repro.resilience.resume.resume_run`:
+        a :class:`ResumeState` whose optimizer has already been
+        restored. Skips the initial design and continues the journal's
+        run under the remaining budget.
     """
     if budget <= 0:
         raise ConfigurationError(f"budget must be positive, got {budget}")
     if time_scale < 0:
         raise ConfigurationError(f"time_scale must be >= 0, got {time_scale}")
+    if checkpoint_every < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if on_nonfinite not in NONFINITE_ACTIONS:
+        raise ConfigurationError(
+            f"on_nonfinite must be one of {NONFINITE_ACTIONS}, got {on_nonfinite!r}"
+        )
     rng = as_generator(seed)
     q = optimizer.n_batch
     clock = VirtualClock()
-    cluster = SimulatedCluster(q, clock=clock, overhead=overhead)
+    if faults is not None:
+        from repro.resilience.faults import FaultySimulatedCluster, RetryPolicy
 
-    # --- initial design (outside the budget, per Table 2) -------------
-    if initial_design is not None:
-        X0 = np.asarray(initial_design, dtype=np.float64)
-    else:
-        X0 = latin_hypercube(
-            n_initial if n_initial is not None else 16 * q,
-            problem.bounds,
-            seed=rng,
+        retry = retry if retry is not None else RetryPolicy()
+        cluster = FaultySimulatedCluster(
+            q,
+            clock=clock,
+            overhead=overhead,
+            spec=faults,
+            retry=retry,
+            journal=journal,
         )
-    y0_native = problem(X0)
+    else:
+        cluster = SimulatedCluster(q, clock=clock, overhead=overhead)
+    fallback = retry.fallback if retry is not None else on_nonfinite
     sign = -1.0 if problem.maximize else 1.0
-    optimizer.initialize(X0, sign * y0_native)
-    clock.reset()  # the budget starts after the initial sampling
-    cluster.n_evaluations = 0
-    cluster.n_batches = 0
 
     def native_best() -> float:
         return sign * optimizer.best_f
 
-    initial_best = native_best()
-    history: list[CycleRecord] = []
-    cycle = 0
+    if resume_state is None:
+        # --- initial design (outside the budget, per Table 2) ---------
+        if initial_design is not None:
+            X0 = np.asarray(initial_design, dtype=np.float64)
+        else:
+            X0 = latin_hypercube(
+                n_initial if n_initial is not None else 16 * q,
+                problem.bounds,
+                seed=rng,
+            )
+        y0_native = np.asarray(problem(X0), dtype=np.float64).reshape(-1)
+        X0_used, y0_used = _guard_nonfinite(
+            X0, sign * y0_native, None, fallback, journal=journal, cycle=0
+        )
+        if y0_used.size == 0:
+            raise EvaluationError(
+                "the entire initial design evaluated non-finite"
+            )
+        if journal is not None:
+            journal.record("run_started", config=_run_config(
+                problem, optimizer, budget, time_scale, seed, X0.shape[0],
+                overhead, time_model, checkpoint_every, fallback,
+                faults, retry,
+            ))
+            journal.record(
+                "initial_design",
+                X=to_jsonable(X0),
+                y_raw=to_jsonable(y0_native),
+                X_used=to_jsonable(np.asarray(X0_used)),
+                y_used=to_jsonable(sign * y0_used),
+            )
+        optimizer.initialize(X0_used, y0_used)
+        clock.reset()  # the budget starts after the initial sampling
+        cluster.n_evaluations = 0
+        cluster.n_batches = 0
+        initial_best = native_best()
+        history: list[CycleRecord] = []
+        cycle = 0
+        n_initial_pts = X0.shape[0]
+    else:
+        # --- continue an interrupted run from its journal -------------
+        clock.reset(resume_state.clock_start)
+        cluster.n_evaluations = resume_state.n_evaluations
+        cluster.n_batches = resume_state.n_batches
+        initial_best = resume_state.initial_best
+        history = list(resume_state.history)
+        cycle = resume_state.cycle_start
+        n_initial_pts = resume_state.n_initial
+
     while clock.now < budget and cycle < max_cycles:
         t_start = clock.now
         proposal = optimizer.propose()
@@ -206,9 +382,16 @@ def run_optimization(
         cluster.charge(acq_charged)
 
         t_before_sim = clock.now
-        y_native = cluster.evaluate(problem, proposal.X)
+        y_native = np.asarray(
+            cluster.evaluate(problem, proposal.X), dtype=np.float64
+        ).reshape(-1)
         sim_charged = clock.now - t_before_sim
-        optimizer.update(proposal.X, sign * y_native)
+        X_used, y_used = _guard_nonfinite(
+            proposal.X, sign * y_native, optimizer, fallback,
+            journal=journal, cycle=cycle + 1,
+        )
+        if y_used.size > 0:
+            optimizer.update(X_used, y_used)
 
         cycle += 1
         history.append(
@@ -221,11 +404,35 @@ def run_optimization(
                 sim_charged=sim_charged,
                 batch_size=proposal.X.shape[0],
                 best_value=native_best(),
-                n_evaluations=X0.shape[0] + cluster.n_evaluations,
+                n_evaluations=n_initial_pts + cluster.n_evaluations,
             )
         )
+        if journal is not None:
+            snapshot = (
+                optimizer.get_state()
+                if cycle % checkpoint_every == 0
+                else None
+            )
+            journal.record(
+                "cycle",
+                cycle=cycle,
+                t_start=t_start,
+                clock=clock.now,
+                fit_time=proposal.fit_time,
+                acq_time=proposal.acq_time,
+                acq_charged=acq_charged,
+                sim_charged=sim_charged,
+                X=to_jsonable(np.asarray(proposal.X, dtype=np.float64)),
+                y_raw=to_jsonable(y_native),
+                X_used=to_jsonable(np.asarray(X_used, dtype=np.float64)),
+                y_used=to_jsonable(sign * y_used),
+                best_value=native_best(),
+                n_evaluations=n_initial_pts + cluster.n_evaluations,
+                n_batches=cluster.n_batches,
+                state=snapshot,
+            )
 
-    return OptimizationResult(
+    result = OptimizationResult(
         problem=problem.name,
         algorithm=optimizer.name,
         n_batch=q,
@@ -237,9 +444,77 @@ def run_optimization(
         best_x=optimizer.best_x,
         best_value=native_best(),
         initial_best=initial_best,
-        n_initial=X0.shape[0],
+        n_initial=n_initial_pts,
         n_cycles=cycle,
         n_simulations=cluster.n_evaluations,
         elapsed=clock.now,
         history=history,
     )
+    if journal is not None:
+        journal.record(
+            "run_completed",
+            best_value=result.best_value,
+            best_x=to_jsonable(np.asarray(result.best_x)),
+            n_cycles=result.n_cycles,
+            n_simulations=result.n_simulations,
+            elapsed=result.elapsed,
+        )
+    return result
+
+
+def _run_config(
+    problem, optimizer, budget, time_scale, seed, n_initial,
+    overhead, time_model, checkpoint_every, fallback, faults, retry,
+) -> dict:
+    """The ``run_started`` journal payload: everything resume needs."""
+
+    def _int_or_none(value):
+        return int(value) if isinstance(value, (int, np.integer)) else None
+
+    return {
+        "problem": problem.name,
+        "dim": int(problem.dim),
+        "sim_time": float(problem.sim_time),
+        "maximize": bool(problem.maximize),
+        "algorithm": optimizer.name,
+        "n_batch": int(optimizer.n_batch),
+        "budget": float(budget),
+        "time_scale": float(time_scale),
+        "seed": _int_or_none(seed),
+        "n_initial": int(n_initial),
+        "overhead": (
+            None if overhead is None else {"o0": overhead.o0, "o1": overhead.o1}
+        ),
+        "time_model": (
+            None
+            if time_model is None
+            else {
+                "fit_coeff": time_model.fit_coeff,
+                "acq_base": time_model.acq_base,
+                "acq_per_candidate": time_model.acq_per_candidate,
+            }
+        ),
+        "checkpoint_every": int(checkpoint_every),
+        "on_nonfinite": fallback,
+        "faults": (
+            None
+            if faults is None
+            else {
+                "crash_rate": faults.crash_rate,
+                "timeout_rate": faults.timeout_rate,
+                "nan_rate": faults.nan_rate,
+                "timeout": faults.timeout,
+                "seed": _int_or_none(faults.seed),
+            }
+        ),
+        "retry": (
+            None
+            if retry is None
+            else {
+                "max_attempts": retry.max_attempts,
+                "base_delay": retry.base_delay,
+                "backoff": retry.backoff,
+                "fallback": retry.fallback,
+            }
+        ),
+    }

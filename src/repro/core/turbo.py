@@ -36,6 +36,18 @@ class TuRBO(BatchOptimizer):
 
     name = "TuRBO"
 
+    #: Trust-region dynamics snapshotted for checkpoint/resume.
+    _state_attrs = (
+        "length",
+        "n_succ",
+        "n_fail",
+        "n_restarts_done",
+        "X_tr",
+        "y_tr",
+        "_restart_pending",
+        "_restart_remaining",
+    )
+
     def __init__(
         self,
         problem,

@@ -27,7 +27,7 @@ from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
 from repro.doe import latin_hypercube
 from repro.gp import GaussianProcess
 from repro.gp.linalg import jittered_cholesky
-from repro.util import ConfigurationError, RandomState
+from repro.util import ConfigurationError, RandomState, from_jsonable, to_jsonable
 
 
 @dataclass
@@ -111,6 +111,44 @@ class TuRBOm(BatchOptimizer):
                     y=self.y[idx].copy(),
                 )
             )
+
+    # -- checkpointing ---------------------------------------------------
+    def get_state(self) -> dict:
+        # The local GPs are rebuilt from (X, y) at every propose(), so
+        # each region serializes to its plain counters and history.
+        state = super().get_state()
+        state["regions"] = [
+            {
+                "index": r.index,
+                "length": r.length,
+                "X": to_jsonable(r.X),
+                "y": to_jsonable(r.y),
+                "n_succ": r.n_succ,
+                "n_fail": r.n_fail,
+                "restart_remaining": r.restart_remaining,
+                "n_restarts": r.n_restarts,
+            }
+            for r in self.regions
+        ]
+        state["assignment"] = list(self._assignment)
+        return state
+
+    def set_state(self, state: dict) -> None:
+        super().set_state(state)
+        self.regions = [
+            _Region(
+                index=int(r["index"]),
+                length=float(r["length"]),
+                X=from_jsonable(r["X"]),
+                y=from_jsonable(r["y"]),
+                n_succ=int(r["n_succ"]),
+                n_fail=int(r["n_fail"]),
+                restart_remaining=int(r["restart_remaining"]),
+                n_restarts=int(r["n_restarts"]),
+            )
+            for r in state["regions"]
+        ]
+        self._assignment = [int(a) for a in state["assignment"]]
 
     # ------------------------------------------------------------------
     def _region_bounds(self, region: _Region) -> np.ndarray:

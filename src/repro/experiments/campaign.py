@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+import warnings
 from pathlib import Path
 
 from repro.experiments.presets import Preset
@@ -36,6 +37,12 @@ class Campaign:
         Cache directory root (``results/`` by default).
     verbose:
         Print one progress line per executed run.
+    journal:
+        Journal every executed run under ``<root>/<preset>/journals/``
+        and, when a cell's cache entry is missing but its journal shows
+        an interrupted run, continue that run from its checkpoint
+        instead of restarting it — a killed sweep loses at most the
+        in-flight cycle.
     """
 
     def __init__(
@@ -44,6 +51,7 @@ class Campaign:
         problems=None,
         root: str | Path = DEFAULT_ROOT,
         verbose: bool = True,
+        journal: bool = False,
     ):
         self.preset = preset
         self.problems = (
@@ -53,25 +61,42 @@ class Campaign:
             raise ConfigurationError("campaign needs at least one problem")
         self.root = Path(root) / preset.name
         self.verbose = verbose
+        self.journal = journal
         self._cache: dict[str, RunRecord] = {}
 
     # -- cache ------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _journal_path(self, key: str) -> Path:
+        return self.root / "journals" / f"{key}.jsonl"
+
     def _load(self, key: str) -> RunRecord | None:
         if key in self._cache:
             return self._cache[key]
         path = self._path(key)
         if path.exists():
-            record = RunRecord.from_dict(json.loads(path.read_text()))
+            try:
+                record = RunRecord.from_dict(json.loads(path.read_text()))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # Pre-atomic caches could be torn by a kill mid-write;
+                # treat the cell as missing and re-run it.
+                warnings.warn(
+                    f"discarding corrupt campaign cache entry {path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                path.unlink()
+                return None
             self._cache[key] = record
             return record
         return None
 
     def _store(self, record: RunRecord) -> None:
+        from repro.resilience import atomic_write_json
+
         self.root.mkdir(parents=True, exist_ok=True)
-        self._path(record.key).write_text(json.dumps(record.to_dict()))
+        atomic_write_json(self._path(record.key), record.to_dict())
         self._cache[record.key] = record
 
     # -- execution ----------------------------------------------------------
@@ -90,13 +115,54 @@ class Campaign:
             cell for cell in self.cells() if self._load(run_key(*cell)) is None
         ]
 
+    def _resume_cell(self, key: str, seed: int) -> RunRecord | None:
+        """Continue an interrupted journaled run, if one exists."""
+        jpath = self._journal_path(key)
+        if not jpath.exists():
+            return None
+        from repro.resilience import resume_run
+
+        try:
+            result = resume_run(
+                jpath,
+                optimizer_kwargs={
+                    "gp_options": dict(self.preset.gp_options) or None,
+                    "acq_options": dict(self.preset.acq_options) or None,
+                },
+            )
+        except ConfigurationError as exc:
+            warnings.warn(
+                f"could not resume {jpath} ({exc}); restarting the run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if self.verbose:
+            print(
+                f"[campaign {self.preset.name}] {key}: resumed from journal",
+                file=sys.stderr,
+            )
+        return RunRecord.from_result(result, seed=seed, preset=self.preset.name)
+
     def get(self, problem: str, algorithm: str, n_batch: int, seed: int) -> RunRecord:
         """Fetch one cell, running it if not cached."""
         key = run_key(problem, algorithm, n_batch, seed)
         record = self._load(key)
         if record is None:
             t0 = time.perf_counter()
-            record = run_single(problem, algorithm, n_batch, seed, self.preset)
+            if self.journal:
+                record = self._resume_cell(key, seed)
+                if record is None:
+                    record = run_single(
+                        problem,
+                        algorithm,
+                        n_batch,
+                        seed,
+                        self.preset,
+                        journal=self._journal_path(key),
+                    )
+            else:
+                record = run_single(problem, algorithm, n_batch, seed, self.preset)
             self._store(record)
             if self.verbose:
                 print(

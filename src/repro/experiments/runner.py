@@ -43,10 +43,24 @@ def run_single(
     n_batch: int,
     seed: int,
     preset: Preset,
+    *,
+    journal=None,
+    faults=None,
+    retry=None,
 ) -> RunRecord:
-    """Run one (problem, algorithm, n_batch, seed) cell of the sweep."""
+    """Run one (problem, algorithm, n_batch, seed) cell of the sweep.
+
+    ``journal`` (a path or a :class:`~repro.resilience.RunJournal`),
+    ``faults`` and ``retry`` are passed through to
+    :func:`~repro.core.run_optimization` — a journaled cell that dies
+    mid-run can be continued with :func:`repro.resilience.resume_run`.
+    """
     if n_batch < 1:
         raise ConfigurationError(f"n_batch must be >= 1, got {n_batch}")
+    if journal is not None and not hasattr(journal, "record"):
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(journal)
     problem = make_problem(problem_name, preset)
     optimizer = make_optimizer(
         algorithm,
@@ -63,5 +77,8 @@ def run_single(
         initial_design=initial_design_for(problem, n_batch, seed, preset),
         time_scale=preset.time_scale,
         seed=seed,
+        journal=journal,
+        faults=faults,
+        retry=retry,
     )
     return RunRecord.from_result(result, seed=seed, preset=preset.name)

@@ -29,20 +29,39 @@ class SerialExecutor:
     def shutdown(self) -> None:
         """Nothing to release."""
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
 
 class _PoolExecutor:
-    """Shared logic for thread/process pools: one row per task."""
+    """Shared logic for thread/process pools: one row per task.
+
+    The pool is created lazily on first :meth:`evaluate` and released
+    by :meth:`shutdown`; a shut-down executor is dead — evaluating on
+    it raises instead of silently spinning up a fresh pool behind the
+    caller's back (a leak magnet in ``with``-managed code).
+    """
 
     def __init__(self, n_workers: int):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
         self._pool = None
+        self._closed = False
 
     def _make_pool(self):
         raise NotImplementedError
 
     def evaluate(self, problem, X) -> np.ndarray:
+        if self._closed:
+            raise ConfigurationError(
+                f"{type(self).__name__} has been shut down; create a new "
+                "executor instead of reusing a closed one"
+            )
         X = check_matrix(X, "X", cols=problem.dim)
         if self._pool is None:
             self._pool = self._make_pool()
@@ -51,6 +70,7 @@ class _PoolExecutor:
         return np.concatenate([np.atleast_1d(r) for r in results])
 
     def shutdown(self) -> None:
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

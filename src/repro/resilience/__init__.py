@@ -1,0 +1,48 @@
+"""Crash safety: run journal, checkpoint/resume, fault injection.
+
+The paper's regime — a hard 20-minute budget over expensive parallel
+simulations — is exactly where a crashed worker or a killed master
+wastes an unrecoverable budget. This package makes every run
+crash-safe and failure-tolerant:
+
+- :mod:`repro.resilience.atomic` — write-temp-then-``os.replace`` and
+  fsynced-append primitives shared by every durable artifact;
+- :mod:`repro.resilience.journal` — the append-only JSONL run journal
+  (:class:`RunJournal`) recording every event of a run;
+- :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.resume`
+  — reconstruct a mid-run driver + optimizer state from the journal
+  and continue under the remaining virtual budget
+  (:func:`resume_run`);
+- :mod:`repro.resilience.faults` — crash / timeout / NaN-result
+  injection (:class:`FaultSpec`) with retries and backoff charged to
+  the virtual clock (:class:`RetryPolicy`,
+  :class:`FaultySimulatedCluster`, :class:`FaultyExecutor`).
+"""
+
+from repro.resilience.atomic import append_line, atomic_write_json, atomic_write_text
+from repro.resilience.checkpoint import RunCheckpoint, load_checkpoint
+from repro.resilience.faults import (
+    FaultSpec,
+    FaultyExecutor,
+    FaultySimulatedCluster,
+    RetryPolicy,
+)
+from repro.resilience.journal import RunJournal, read_events
+from repro.resilience.resume import rebuild_optimizer, rebuild_problem, resume_run
+
+__all__ = [
+    "FaultSpec",
+    "FaultyExecutor",
+    "FaultySimulatedCluster",
+    "RetryPolicy",
+    "RunCheckpoint",
+    "RunJournal",
+    "append_line",
+    "atomic_write_json",
+    "atomic_write_text",
+    "load_checkpoint",
+    "read_events",
+    "rebuild_optimizer",
+    "rebuild_problem",
+    "resume_run",
+]

@@ -1,0 +1,89 @@
+"""Atomic file-write primitives for crash-safe persistence.
+
+Every durable artifact of this package — campaign cache entries, run
+checkpoints, journal lines — goes through one of these helpers so that
+a process killed at any instant leaves either the old content or the
+new content on disk, never a truncated hybrid:
+
+- whole files are written to a temporary sibling, flushed, fsynced, and
+  moved into place with :func:`os.replace` (atomic on POSIX and NT);
+- journal lines are appended as one ``write`` call ending in a newline
+  and fsynced, so a reader sees only whole lines (a torn final line,
+  possible only on a mid-``write`` power cut, is detected and skipped
+  by the journal reader).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.util.errors import ValidationError
+
+
+def fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str, *, fsync: bool = True) -> None:
+    """Replace ``path``'s content with ``text`` atomically.
+
+    The text is written to a temporary file in the same directory (so
+    the final :func:`os.replace` never crosses filesystems), flushed
+    and optionally fsynced, then moved over ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+        if fsync:
+            fsync_directory(path.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str | Path, obj, *, fsync: bool = True, **dumps_kwargs) -> None:
+    """Serialize ``obj`` as JSON and atomically write it to ``path``."""
+    atomic_write_text(path, json.dumps(obj, **dumps_kwargs), fsync=fsync)
+
+
+def append_line(path: str | Path, line: str, *, fsync: bool = True) -> None:
+    """Append one newline-terminated line to ``path`` durably.
+
+    The line is emitted as a single ``write`` call; with ``fsync`` the
+    data is forced to stable storage before returning, which is what
+    makes the run journal a trustworthy crash record.
+    """
+    if "\n" in line:
+        raise ValidationError("journal lines must not contain newlines")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())

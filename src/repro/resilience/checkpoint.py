@@ -1,0 +1,161 @@
+"""Reconstructing a mid-run driver state from a journal.
+
+:func:`load_checkpoint` parses the JSONL event stream written by
+:func:`repro.core.run_optimization` into a :class:`RunCheckpoint`: the
+run's full configuration, the observation history actually fed to the
+optimizer, the last embedded optimizer state snapshot, and the
+driver-level :class:`~repro.core.driver.ResumeState` that lets the run
+continue under its remaining virtual budget.
+
+Resume semantics: the run restarts from the *last cycle carrying a
+state snapshot* (``checkpoint_every`` controls their cadence). Cycles
+journaled after that snapshot are discarded and re-run — which is
+exact, because the snapshot contains the optimizer's RNG stream and
+every run-state variable, so the re-run reproduces them. A journal may
+also contain several generations of cycles (a run resumed more than
+once); later generations supersede earlier ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.driver import CycleRecord, ResumeState
+from repro.resilience.journal import read_events
+from repro.util import ConfigurationError, from_jsonable
+
+
+@dataclass
+class RunCheckpoint:
+    """Everything a journal says about one (possibly unfinished) run."""
+
+    config: dict  # the run_started payload
+    X: np.ndarray  # observation history at the checkpoint (design matrix)
+    y_internal: np.ndarray  # matching values, minimization orientation
+    state: dict | None  # optimizer snapshot at the checkpoint cycle
+    resume: ResumeState  # driver-level state at the checkpoint cycle
+    cycles: list[dict]  # every superseding cycle event, in order
+    completed: bool
+    final: dict | None  # the run_completed payload, if any
+
+    @property
+    def remaining_budget(self) -> float:
+        return max(0.0, float(self.config["budget"]) - self.resume.clock_start)
+
+
+def _cycle_record(ev: dict) -> CycleRecord:
+    return CycleRecord(
+        cycle=int(ev["cycle"]),
+        t_start=float(ev["t_start"]),
+        fit_time=float(ev["fit_time"]),
+        acq_time=float(ev["acq_time"]),
+        acq_charged=float(ev["acq_charged"]),
+        sim_charged=float(ev["sim_charged"]),
+        batch_size=int(np.asarray(from_jsonable(ev["X"])).shape[0]),
+        best_value=float(ev["best_value"]),
+        n_evaluations=int(ev["n_evaluations"]),
+    )
+
+
+def load_checkpoint(path) -> RunCheckpoint:
+    """Parse a run journal into its latest resumable state."""
+    events = read_events(path)
+    if not events or events[0]["event"] != "run_started":
+        raise ConfigurationError(
+            f"{path}: journal does not start with a run_started event"
+        )
+    config = events[0]["config"]
+    if config.get("mode") == "async":
+        raise ConfigurationError(
+            f"{path}: asynchronous run journals are observability-only; "
+            "resume supports the synchronous driver"
+        )
+
+    initial = None
+    cycles: list[dict] = []
+    final = None
+    for ev in events[1:]:
+        kind = ev["event"]
+        if kind == "initial_design":
+            initial = ev
+        elif kind == "cycle":
+            # A later generation (after a resume) supersedes any
+            # previously journaled cycle with the same or higher index.
+            c = int(ev["cycle"])
+            while cycles and int(cycles[-1]["cycle"]) >= c:
+                cycles.pop()
+            cycles.append(ev)
+        elif kind == "resumed":
+            c = int(ev["from_cycle"])
+            while cycles and int(cycles[-1]["cycle"]) > c:
+                cycles.pop()
+        elif kind == "run_completed":
+            final = ev
+    if initial is None:
+        raise ConfigurationError(
+            f"{path}: the run crashed during the initial design — "
+            "nothing to resume; start a fresh run"
+        )
+    completed = final is not None
+
+    maximize = bool(config["maximize"])
+    sign = -1.0 if maximize else 1.0
+    X0 = np.asarray(from_jsonable(initial["X_used"]), dtype=np.float64)
+    y0_native = np.asarray(
+        from_jsonable(initial["y_used"]), dtype=np.float64
+    ).reshape(-1)
+
+    # The checkpoint cycle: last cycle carrying a state snapshot.
+    ckpt_idx = None
+    for i in range(len(cycles) - 1, -1, -1):
+        if cycles[i].get("state") is not None:
+            ckpt_idx = i
+            break
+    kept = cycles[: ckpt_idx + 1] if ckpt_idx is not None else []
+    state = kept[-1]["state"] if kept else None
+
+    X_parts = [X0] + [
+        np.asarray(from_jsonable(ev["X_used"]), dtype=np.float64) for ev in kept
+    ]
+    y_parts = [sign * y0_native] + [
+        sign * np.asarray(from_jsonable(ev["y_used"]), dtype=np.float64).reshape(-1)
+        for ev in kept
+    ]
+    X = np.vstack(X_parts)
+    y_internal = np.concatenate(y_parts)
+
+    n_initial = int(config["n_initial"])
+    initial_best = float(np.max(y0_native) if maximize else np.min(y0_native))
+    if kept:
+        last = kept[-1]
+        resume = ResumeState(
+            clock_start=float(last["clock"]),
+            cycle_start=int(last["cycle"]),
+            n_initial=n_initial,
+            initial_best=initial_best,
+            n_evaluations=int(last["n_evaluations"]) - n_initial,
+            n_batches=int(last["n_batches"]),
+            history=[_cycle_record(ev) for ev in kept],
+        )
+    else:
+        resume = ResumeState(
+            clock_start=0.0,
+            cycle_start=0,
+            n_initial=n_initial,
+            initial_best=initial_best,
+            n_evaluations=0,
+            n_batches=0,
+            history=[],
+        )
+    return RunCheckpoint(
+        config=config,
+        X=X,
+        y_internal=y_internal,
+        state=state,
+        resume=resume,
+        cycles=cycles,
+        completed=completed,
+        final=final,
+    )

@@ -1,0 +1,291 @@
+"""Fault injection and retry for black-box evaluation.
+
+Massively parallel BO deployments treat evaluation failure as the norm:
+on a real cluster a 10-second simulation can crash, hang past its
+scheduler limit, or return garbage. This module makes those failure
+modes first-class in both evaluation paths of the package:
+
+- :class:`FaultySimulatedCluster` wraps the virtual-clock batch
+  evaluator with configurable crash / timeout / NaN-result injection
+  and a :class:`RetryPolicy` whose waiting (exponential backoff, hung
+  simulations held until their timeout) is *charged to the virtual
+  clock* — so fault-tolerance experiments measure the true budget cost
+  of failures, reproducibly;
+- :class:`FaultyExecutor` applies the same injection and retry to the
+  real (serial / thread / process) executors, sleeping real delays.
+
+Both return NaN for points that remain failed after the retry budget;
+the driver's non-finite guard then applies the policy's fallback
+(impute the worst observed value, fantasy-impute from the surrogate,
+drop the point, or raise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.simcluster import SimulatedCluster
+from repro.util import (
+    ConfigurationError,
+    EvaluationError,
+    RandomState,
+    as_generator,
+    check_matrix,
+)
+
+#: Fallback actions once the retry budget is exhausted.
+FALLBACKS = ("impute", "fantasy", "drop", "raise")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure-injection configuration for one evaluation path.
+
+    Per simulation attempt, mutually exclusive outcomes are drawn from
+    an independent fault stream (``seed``): crash with probability
+    ``crash_rate``, hang until ``timeout`` virtual seconds with
+    probability ``timeout_rate``, return NaN with probability
+    ``nan_rate``, complete normally otherwise.
+    """
+
+    crash_rate: float = 0.0
+    timeout_rate: float = 0.0
+    nan_rate: float = 0.0
+    timeout: float = 60.0  # virtual seconds a hung simulation wastes
+    seed: RandomState = 0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "timeout_rate", "nan_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.crash_rate + self.timeout_rate + self.nan_rate > 1.0:
+            raise ConfigurationError("fault rates must sum to <= 1")
+        if self.timeout < 0:
+            raise ConfigurationError(f"timeout must be >= 0, got {self.timeout}")
+
+    @property
+    def total_rate(self) -> float:
+        return self.crash_rate + self.timeout_rate + self.nan_rate
+
+    def draw(self, rng: np.random.Generator) -> str | None:
+        """One attempt's outcome: 'crash' | 'timeout' | 'nan' | None (ok)."""
+        u = float(rng.random())
+        if u < self.crash_rate:
+            return "crash"
+        if u < self.crash_rate + self.timeout_rate:
+            return "timeout"
+        if u < self.total_rate:
+            return "nan"
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What to do when an evaluation attempt fails.
+
+    Each point gets ``max_attempts`` tries in total; before retry round
+    ``k`` (1-based) the evaluator waits ``base_delay · backoff^(k-1)``
+    seconds — virtual seconds on the simulated cluster, real sleep on
+    the executors. Points still failed afterwards fall back to:
+
+    - ``"impute"`` — replace with the worst objective value observed so
+      far (pessimistic, keeps the GP away from the failing region);
+    - ``"fantasy"`` — replace with the surrogate's posterior mean at
+      the failed point (falls back to ``"impute"`` with no surrogate);
+    - ``"drop"`` — discard the point entirely;
+    - ``"raise"`` — abort the run with :class:`EvaluationError`.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 1.0
+    backoff: float = 2.0
+    fallback: str = "impute"
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.backoff < 1.0:
+            raise ConfigurationError("need base_delay >= 0 and backoff >= 1")
+        if self.fallback not in FALLBACKS:
+            raise ConfigurationError(
+                f"fallback must be one of {FALLBACKS}, got {self.fallback!r}"
+            )
+
+    def delay(self, retry_round: int) -> float:
+        """Backoff before 1-based retry round ``retry_round``."""
+        if retry_round < 1:
+            raise ConfigurationError(f"retry_round must be >= 1, got {retry_round}")
+        return self.base_delay * self.backoff ** (retry_round - 1)
+
+
+class FaultySimulatedCluster(SimulatedCluster):
+    """A :class:`SimulatedCluster` whose simulations can fail.
+
+    Evaluation proceeds in rounds: the full batch is attempted in
+    parallel; failed points are resubmitted together after the policy's
+    backoff, up to ``retry.max_attempts`` attempts per point. Every
+    wasted second — hung simulations held to ``spec.timeout``, backoff
+    waits, resubmitted waves — is charged to the virtual clock, so a
+    faulty run consumes its budget exactly as a real faulty campaign
+    would. Points failed for good come back as NaN (the driver's
+    non-finite guard applies the fallback).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        clock=None,
+        overhead=None,
+        *,
+        spec: FaultSpec,
+        retry: RetryPolicy | None = None,
+        journal=None,
+    ):
+        super().__init__(n_workers, clock=clock, overhead=overhead)
+        self.spec = spec
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
+        self.fault_rng = as_generator(spec.seed)
+        self.n_faults = 0
+        self.n_retried = 0
+        self.time_wasted = 0.0
+
+    def _round_duration(self, k: int, sim_time: float, timed_out: bool) -> float:
+        """Virtual seconds one attempt round of ``k`` points occupies."""
+        duration = self.batch_duration(k, sim_time)
+        if timed_out:
+            # The synchronous master waits for the slowest slot, which
+            # is a simulation hung until its timeout limit.
+            duration += max(0.0, self.spec.timeout - float(sim_time))
+        return duration
+
+    def _record_fault(self, kind: str, index: int, attempt: int, action: str) -> None:
+        self.n_faults += 1
+        if self.journal is not None:
+            self.journal.record(
+                "fault",
+                kind=kind,
+                index=int(index),
+                attempt=int(attempt),
+                action=action,
+                t=float(self.clock.now),
+            )
+
+    def evaluate(self, problem, X) -> np.ndarray:
+        X = check_matrix(X, "X", cols=problem.dim)
+        y_true = np.asarray(problem(X), dtype=np.float64).reshape(-1)
+        n = X.shape[0]
+        y_out = np.full(n, np.nan)
+        pending = list(range(n))
+        attempt = 0
+        while pending and attempt < self.retry.max_attempts:
+            attempt += 1
+            if attempt > 1:
+                wait = self.retry.delay(attempt - 1)
+                self.clock.advance(wait)
+                self.time_wasted += wait
+                self.n_retried += len(pending)
+            failed: list[int] = []
+            timed_out = False
+            for i in pending:
+                kind = self.spec.draw(self.fault_rng)
+                if kind is None:
+                    y_out[i] = y_true[i]
+                    continue
+                if kind == "timeout":
+                    timed_out = True
+                exhausted = attempt >= self.retry.max_attempts
+                action = self.retry.fallback if exhausted else "resubmit"
+                self._record_fault(kind, i, attempt, action)
+                failed.append(i)
+            duration = self._round_duration(
+                len(pending), problem.sim_time, timed_out
+            )
+            self.clock.advance(duration)
+            if attempt > 1:
+                self.time_wasted += duration
+            self.time_simulating += duration
+            self.n_evaluations += len(pending)
+            pending = failed
+        self.n_batches += 1
+        if pending and self.retry.fallback == "raise":
+            raise EvaluationError(
+                f"{len(pending)} evaluation(s) still failed after "
+                f"{self.retry.max_attempts} attempts"
+            )
+        return y_out
+
+
+class FaultyExecutor:
+    """Fault injection + retry around a real executor.
+
+    Wraps any object with the executor protocol (``n_workers``,
+    ``evaluate``, ``shutdown``, context management) — typically
+    :class:`~repro.parallel.SerialExecutor` or the pool executors. The
+    same :class:`FaultSpec` outcomes are drawn per point and attempt;
+    backoff waits call ``sleep`` (injectable for tests). Permanently
+    failed points return NaN, or raise under ``fallback="raise"``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: FaultSpec,
+        retry: RetryPolicy | None = None,
+        sleep=None,
+    ):
+        import time
+
+        self.inner = inner
+        self.spec = spec
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.sleep = sleep if sleep is not None else time.sleep
+        self.fault_rng = as_generator(spec.seed)
+        self.n_faults = 0
+
+    @property
+    def n_workers(self) -> int:
+        return self.inner.n_workers
+
+    def evaluate(self, problem, X) -> np.ndarray:
+        X = check_matrix(X, "X", cols=problem.dim)
+        n = X.shape[0]
+        y_out = np.full(n, np.nan)
+        pending = list(range(n))
+        attempt = 0
+        while pending and attempt < self.retry.max_attempts:
+            attempt += 1
+            if attempt > 1:
+                self.sleep(self.retry.delay(attempt - 1))
+            y_round = np.asarray(
+                self.inner.evaluate(problem, X[pending]), dtype=np.float64
+            ).reshape(-1)
+            failed: list[int] = []
+            for j, i in enumerate(pending):
+                if self.spec.draw(self.fault_rng) is None:
+                    y_out[i] = y_round[j]
+                else:
+                    self.n_faults += 1
+                    failed.append(i)
+            pending = failed
+        if pending and self.retry.fallback == "raise":
+            raise EvaluationError(
+                f"{len(pending)} evaluation(s) still failed after "
+                f"{self.retry.max_attempts} attempts"
+            )
+        return y_out
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False

@@ -1,0 +1,118 @@
+"""Append-only JSONL run journal.
+
+One optimization run writes one journal file: a sequence of JSON
+objects, one per line, each describing an event of the run in the
+order it happened. The format is deliberately human-readable (à la
+PA-Maliboo's on-disk campaign state): ``grep``-able during a live run,
+and sufficient on its own to reconstruct the run mid-flight — see
+:mod:`repro.resilience.resume`.
+
+Event vocabulary (``"event"`` field):
+
+``run_started``
+    Full run configuration: problem name / dim / sim_time, algorithm,
+    ``n_batch``, budget, ``time_scale``, overhead and analytic-time
+    models, seed, orientation. Always the first line.
+``initial_design``
+    The initial design ``X`` with raw (``y_raw``) and guarded
+    (``y_used``) native objective values.
+``cycle``
+    One fit/acquire/evaluate cycle: virtual-clock interval, charged
+    durations, the proposed batch, raw and guarded values, the running
+    incumbent, and (every ``checkpoint_every`` cycles) the complete
+    optimizer state snapshot — RNG stream included — that resume
+    restarts from.
+``fault``
+    One injected or observed evaluation failure with the retry action
+    taken and the virtual seconds it cost.
+``run_completed``
+    Final summary (best point/value, cycle and simulation counts).
+    Its absence marks an interrupted run.
+
+Lines are appended atomically with fsync (:mod:`repro.resilience.atomic`),
+so a crash can at worst tear the final line — which the reader skips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.resilience.atomic import append_line
+from repro.util import ConfigurationError
+
+#: Journal schema version, bumped on incompatible format changes.
+SCHEMA_VERSION = 1
+
+
+class RunJournal:
+    """Append-only event log of one optimization run.
+
+    Parameters
+    ----------
+    path:
+        The journal file (conventionally ``*.jsonl``).
+    overwrite:
+        Start a fresh journal, truncating an existing file. A fresh run
+        must pass ``True`` (the default); resume opens with ``False``
+        to keep appending to the interrupted run's history.
+    fsync:
+        Force every event to stable storage (default). Disable only
+        for tests or throwaway runs where durability doesn't matter.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        overwrite: bool = True,
+        fsync: bool = True,
+    ):
+        self.path = Path(path)
+        self.fsync = fsync
+        if overwrite and self.path.exists():
+            self.path.unlink()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, event: str, **payload) -> dict:
+        """Append one event; returns the full record written."""
+        if not event or not isinstance(event, str):
+            raise ConfigurationError(f"event must be a non-empty str, got {event!r}")
+        record = {"event": event, "schema": SCHEMA_VERSION, **payload}
+        append_line(self.path, json.dumps(record), fsync=self.fsync)
+        return record
+
+    def events(self) -> list[dict]:
+        """Read back every intact event in order (torn tail skipped)."""
+        return read_events(self.path)
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a journal file into its event dictionaries.
+
+    A truncated final line (the one crash artifact the append protocol
+    permits) is silently dropped; a malformed line anywhere *else*
+    means the file is not a journal and raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"journal not found: {path}")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    events: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a mid-write crash
+            raise ConfigurationError(
+                f"{path}: line {i + 1} is not valid JSON — not a run journal?"
+            )
+        if not isinstance(record, dict) or "event" not in record:
+            raise ConfigurationError(
+                f"{path}: line {i + 1} lacks an 'event' field — not a run journal?"
+            )
+        events.append(record)
+    return events

@@ -1,0 +1,175 @@
+"""Resuming an interrupted optimization run from its journal.
+
+The contract: a run started with ``journal=RunJournal(path)`` and
+killed at any instant can be continued with ``resume_run(path)`` — the
+optimizer's observation history, algorithm state, RNG stream, and the
+virtual clock are all restored from the last journaled checkpoint, so
+the continued run spends only the *remaining* budget and (for a
+deterministic time model) reaches exactly the incumbent an
+uninterrupted run would have reached.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.checkpoint import RunCheckpoint, load_checkpoint
+from repro.resilience.faults import FaultSpec, RetryPolicy
+from repro.resilience.journal import RunJournal
+from repro.util import ConfigurationError, from_jsonable
+
+
+def rebuild_problem(config: dict):
+    """Instantiate the journaled problem by name (benchmarks / uphes)."""
+    name = str(config["problem"]).strip().lower()
+    sim_time = float(config["sim_time"])
+    if name == "uphes":
+        from repro.uphes import UPHESSimulator
+
+        return UPHESSimulator(seed=0, sim_time=sim_time)
+    from repro.problems import get_benchmark
+
+    return get_benchmark(name, dim=int(config["dim"]), sim_time=sim_time)
+
+
+def rebuild_optimizer(config: dict, problem, ckpt: RunCheckpoint, **kwargs):
+    """Reconstruct the optimizer at the journal's checkpoint cycle."""
+    from repro.core.registry import make_optimizer
+
+    optimizer = make_optimizer(
+        config["algorithm"],
+        problem,
+        int(config["n_batch"]),
+        seed=config.get("seed"),
+        **kwargs,
+    )
+    optimizer.initialize(ckpt.X, ckpt.y_internal)
+    if ckpt.state is not None:
+        optimizer.set_state(ckpt.state)
+    return optimizer
+
+
+def _completed_result(ckpt: RunCheckpoint):
+    """Rebuild the final OptimizationResult of an already-finished run."""
+    from repro.core.driver import OptimizationResult
+    from repro.resilience.checkpoint import _cycle_record
+
+    config, final = ckpt.config, ckpt.final
+    return OptimizationResult(
+        problem=config["problem"],
+        algorithm=config["algorithm"],
+        n_batch=int(config["n_batch"]),
+        budget=float(config["budget"]),
+        sim_time=float(config["sim_time"]),
+        time_scale=float(config["time_scale"]),
+        seed=config.get("seed"),
+        maximize=bool(config["maximize"]),
+        best_x=np.asarray(from_jsonable(final["best_x"]), dtype=np.float64),
+        best_value=float(final["best_value"]),
+        initial_best=ckpt.resume.initial_best,
+        n_initial=int(config["n_initial"]),
+        n_cycles=int(final["n_cycles"]),
+        n_simulations=int(final["n_simulations"]),
+        elapsed=float(final["elapsed"]),
+        history=[_cycle_record(ev) for ev in ckpt.cycles],
+    )
+
+
+def resume_run(
+    journal_path,
+    *,
+    problem=None,
+    optimizer=None,
+    journal: bool = True,
+    fsync: bool = True,
+    max_cycles: int = 100_000,
+    optimizer_kwargs: dict | None = None,
+):
+    """Continue an interrupted run; returns its OptimizationResult.
+
+    Parameters
+    ----------
+    journal_path:
+        The JSONL journal of the interrupted run.
+    problem:
+        Override the journaled problem (required for custom problem
+        objects that cannot be rebuilt by name; must match the
+        journaled dimension and orientation).
+    optimizer:
+        Override the reconstructed optimizer (advanced use; must
+        already hold the checkpoint history and state).
+    journal:
+        Keep appending to the same journal while continuing (default),
+        so a resumed run can itself be killed and resumed again.
+    fsync:
+        Durability of the continued journal's appends.
+    optimizer_kwargs:
+        Extra constructor arguments for the rebuilt algorithm (the
+        journal does not record non-default constructor options).
+
+    A journal that already ends in ``run_completed`` is not re-run:
+    its recorded final result is reconstructed and returned, making
+    resume idempotent.
+    """
+    from repro.core.driver import AnalyticTimeModel, run_optimization
+    from repro.parallel import OverheadModel
+
+    journal_path = Path(journal_path)
+    ckpt = load_checkpoint(journal_path)
+    config = ckpt.config
+    if ckpt.completed:
+        return _completed_result(ckpt)
+
+    if problem is None:
+        problem = rebuild_problem(config)
+    if bool(problem.maximize) != bool(config["maximize"]) or int(
+        problem.dim
+    ) != int(config["dim"]):
+        raise ConfigurationError(
+            "the provided problem does not match the journaled run "
+            f"(dim {problem.dim} vs {config['dim']}, "
+            f"maximize {problem.maximize} vs {config['maximize']})"
+        )
+    if optimizer is None:
+        optimizer = rebuild_optimizer(
+            config, problem, ckpt, **(optimizer_kwargs or {})
+        )
+
+    run_journal = None
+    if journal:
+        run_journal = RunJournal(journal_path, overwrite=False, fsync=fsync)
+        run_journal.record(
+            "resumed",
+            from_cycle=ckpt.resume.cycle_start,
+            clock=ckpt.resume.clock_start,
+        )
+
+    overhead = (
+        OverheadModel(**config["overhead"]) if config.get("overhead") else None
+    )
+    time_model = (
+        AnalyticTimeModel(**config["time_model"])
+        if config.get("time_model")
+        else None
+    )
+    faults = FaultSpec(**config["faults"]) if config.get("faults") else None
+    retry = RetryPolicy(**config["retry"]) if config.get("retry") else None
+
+    return run_optimization(
+        problem,
+        optimizer,
+        float(config["budget"]),
+        time_scale=float(config["time_scale"]),
+        overhead=overhead,
+        seed=config.get("seed"),
+        max_cycles=max_cycles,
+        time_model=time_model,
+        journal=run_journal,
+        faults=faults,
+        retry=retry,
+        checkpoint_every=int(config.get("checkpoint_every", 1)),
+        on_nonfinite=config.get("on_nonfinite", "impute"),
+        resume_state=ckpt.resume,
+    )

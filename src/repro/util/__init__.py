@@ -3,11 +3,13 @@
 from repro.util.errors import (
     BudgetExhausted,
     ConfigurationError,
+    EvaluationError,
     NumericalError,
     ReproError,
     ValidationError,
 )
 from repro.util.rng import RandomState, as_generator, spawn_generators
+from repro.util.serial import capture_rng, from_jsonable, restore_rng, to_jsonable
 from repro.util.validation import (
     check_bounds,
     check_finite,
@@ -19,15 +21,20 @@ from repro.util.validation import (
 __all__ = [
     "BudgetExhausted",
     "ConfigurationError",
+    "EvaluationError",
     "NumericalError",
     "RandomState",
     "ReproError",
     "ValidationError",
     "as_generator",
+    "capture_rng",
     "check_bounds",
     "check_finite",
     "check_matrix",
     "check_positive",
     "check_vector",
+    "from_jsonable",
+    "restore_rng",
     "spawn_generators",
+    "to_jsonable",
 ]

@@ -29,6 +29,16 @@ class NumericalError(ReproError, ArithmeticError):
     """
 
 
+class EvaluationError(ReproError, RuntimeError):
+    """A black-box evaluation failed beyond what the run can absorb.
+
+    Raised when a simulation crashes (or keeps crashing past the retry
+    budget) and the configured fallback is ``"raise"``, or when every
+    value of a batch / initial design is non-finite so nothing usable
+    can be imputed.
+    """
+
+
 class BudgetExhausted(ReproError, RuntimeError):
     """The optimization time budget ran out mid-operation.
 

@@ -1,0 +1,114 @@
+"""JSON-friendly state serialization for checkpoints and journals.
+
+The resilience subsystem persists mid-run optimizer state to
+human-readable JSON (journals, checkpoints). These helpers convert the
+two state kinds that plain ``json`` cannot carry — NumPy arrays and
+``numpy.random.Generator`` streams — to and from plain dictionaries,
+losslessly:
+
+- arrays become ``{"__ndarray__": <shape>, "data": <flat list>}`` so
+  even empty ``(0, d)`` arrays round-trip with their shape;
+- generator state is the ``bit_generator.state`` dict (arbitrary-size
+  ints, which Python's ``json`` handles exactly) plus the seed-sequence
+  lineage. The lineage matters: SciPy's scrambled QMC engines seeded
+  with a ``Generator`` *spawn* from its ``SeedSequence``, and the spawn
+  counter lives outside ``bit_generator.state`` — restoring the state
+  alone would replay a different scramble stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+_ND_KEY = "__ndarray__"
+
+
+def to_jsonable(value):
+    """Recursively convert ``value`` into plain JSON-serializable data.
+
+    Supports the types optimizer state is made of: ``None``, bools,
+    ints, floats, strings, NumPy scalars/arrays, and (possibly nested)
+    lists / tuples / dicts thereof.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {_ND_KEY: list(value.shape), "data": value.ravel().tolist()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    raise ValidationError(
+        f"cannot serialize {type(value).__name__} to JSON state"
+    )
+
+
+def from_jsonable(value):
+    """Inverse of :func:`to_jsonable` (arrays are restored as float64)."""
+    if isinstance(value, dict):
+        if _ND_KEY in value:
+            shape = tuple(value[_ND_KEY])
+            return np.asarray(value["data"], dtype=np.float64).reshape(shape)
+        return {k: from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    return value
+
+
+def capture_rng(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's full stream state (JSON-serializable)."""
+    snapshot = {
+        "bit_generator": type(rng.bit_generator).__name__,
+        "state": rng.bit_generator.state,
+    }
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        snapshot["seed_seq"] = {
+            "entropy": to_jsonable(seed_seq.entropy),
+            "spawn_key": to_jsonable(list(seed_seq.spawn_key)),
+            "pool_size": int(seed_seq.pool_size),
+            "n_children_spawned": int(seed_seq.n_children_spawned),
+        }
+    return snapshot
+
+
+def restore_rng(
+    rng: np.random.Generator, snapshot: dict
+) -> np.random.Generator:
+    """Restore a stream snapshot taken by :func:`capture_rng`.
+
+    Returns the restored generator; callers must use the return value,
+    because restoring the seed-sequence lineage (spawn counter included)
+    requires rebuilding the bit generator rather than mutating ``rng``.
+    """
+    expected = type(rng.bit_generator).__name__
+    recorded = snapshot.get("bit_generator", expected)
+    if recorded != expected:
+        raise ValidationError(
+            f"cannot restore {recorded} state into a {expected} generator"
+        )
+    info = snapshot.get("seed_seq")
+    if info is None:
+        rng.bit_generator.state = snapshot["state"]
+        return rng
+    entropy = info["entropy"]
+    seed_seq = np.random.SeedSequence(
+        entropy=entropy if isinstance(entropy, int) else list(entropy),
+        spawn_key=tuple(int(k) for k in info["spawn_key"]),
+        pool_size=int(info["pool_size"]),
+    )
+    if int(info["n_children_spawned"]) > 0:
+        # n_children_spawned is read-only; spawning (and discarding)
+        # that many children advances the counter to the captured value.
+        seed_seq.spawn(int(info["n_children_spawned"]))
+    bit_generator = getattr(np.random, recorded)(seed_seq)
+    bit_generator.state = snapshot["state"]
+    return np.random.Generator(bit_generator)

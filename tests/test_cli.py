@@ -79,3 +79,40 @@ class TestMain:
 
         with pytest.raises(ConfigurationError):
             main(["--problem", "sphere", "--algorithm", "annealing"])
+
+
+class TestResilienceFlags:
+    ARGS = [
+        "--problem", "sphere", "--algorithm", "random",
+        "--n-batch", "2", "--budget", "50", "--dim", "3",
+        "--n-initial", "6", "--quiet",
+    ]
+
+    def test_journal_flag_writes_jsonl(self, tmp_path, capsys):
+        from repro.resilience import read_events
+
+        path = tmp_path / "run.jsonl"
+        assert main([*self.ARGS, "--journal", str(path)]) == 0
+        events = read_events(path)
+        assert events[0]["event"] == "run_started"
+        assert events[-1]["event"] == "run_completed"
+
+    def test_resume_subcommand_replays_completed_run(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main([*self.ARGS, "--journal", str(path)])
+        first = capsys.readouterr().out
+        assert main(["resume", str(path), "--quiet"]) == 0
+        second = capsys.readouterr().out
+        line = next(l for l in first.splitlines() if "final best" in l)
+        assert line in second
+
+    def test_resume_missing_journal_raises(self, tmp_path):
+        from repro.util import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["resume", str(tmp_path / "absent.jsonl")])
+
+    def test_fault_flags_run_to_completion(self, capsys):
+        code = main([*self.ARGS, "--nan-rate", "0.2", "--max-attempts", "2"])
+        assert code == 0
+        assert "final best" in capsys.readouterr().out

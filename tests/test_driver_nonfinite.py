@@ -1,0 +1,111 @@
+"""Regression tests: drivers must never feed NaN/inf to the GP fit."""
+
+import numpy as np
+import pytest
+
+from repro.core.async_driver import run_async_optimization
+from repro.core.driver import AnalyticTimeModel, run_optimization
+from repro.core.registry import make_optimizer
+from repro.problems import get_benchmark
+from repro.resilience import RunJournal, read_events
+from repro.util import ConfigurationError, EvaluationError
+
+
+class NaNSubregion:
+    """Sphere that returns NaN on the subregion x0 > threshold."""
+
+    def __init__(self, threshold=0.5, dim=2, sim_time=10.0):
+        self.inner = get_benchmark("sphere", dim=dim, sim_time=sim_time)
+        self.threshold = threshold
+
+    def __call__(self, X):
+        X = np.atleast_2d(X)
+        y = np.asarray(self.inner(X), dtype=np.float64)
+        y[X[:, 0] > self.threshold] = np.nan
+        return y
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def _run(problem, algo="kb_qego", **kwargs):
+    optimizer = make_optimizer(algo, problem, 2, seed=0)
+    return run_optimization(
+        problem,
+        optimizer,
+        120.0,
+        n_initial=8,
+        seed=0,
+        time_model=AnalyticTimeModel(),
+        **kwargs,
+    )
+
+
+class TestSyncDriverGuard:
+    def test_nan_subregion_completes_with_warning(self):
+        problem = NaNSubregion()
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = _run(problem)
+        assert np.isfinite(result.best_value)
+        # The incumbent cannot be one of the imputed (worst-value) points.
+        assert result.best_x[0] <= problem.threshold
+
+    @pytest.mark.parametrize("action", ["impute", "fantasy", "drop"])
+    def test_all_fallbacks_keep_history_finite(self, action):
+        problem = NaNSubregion()
+        with pytest.warns(RuntimeWarning):
+            result = _run(problem, on_nonfinite=action)
+        assert np.isfinite(result.best_value)
+        assert result.n_cycles >= 1
+
+    def test_raise_fallback_aborts(self):
+        problem = NaNSubregion(threshold=-10.0)  # everything NaN
+        with pytest.raises(EvaluationError):
+            with pytest.warns(RuntimeWarning):
+                _run(problem, on_nonfinite="raise")
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _run(get_benchmark("sphere", dim=2), on_nonfinite="ignore")
+
+    def test_guard_events_journaled(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.warns(RuntimeWarning):
+            _run(NaNSubregion(), journal=RunJournal(path, fsync=False))
+        guarded = [e for e in read_events(path) if e["event"] == "nonfinite"]
+        assert guarded
+        assert all(e["action"] == "impute" for e in guarded)
+        # Journaled y_used never contains non-finite values.
+        for ev in read_events(path):
+            if ev["event"] in ("initial_design", "cycle"):
+                y_used = np.asarray(ev["y_used"]["data"], dtype=np.float64)
+                assert np.isfinite(y_used).all()
+
+    def test_random_search_with_nans_completes(self):
+        with pytest.warns(RuntimeWarning):
+            result = _run(NaNSubregion(), algo="random")
+        assert np.isfinite(result.best_value)
+
+
+class TestAsyncDriverGuard:
+    def test_nan_subregion_completes(self):
+        problem = NaNSubregion(sim_time=5.0)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = run_async_optimization(
+                problem, 2, 40.0, n_initial=8, seed=0
+            )
+        assert np.isfinite(result.best_value)
+
+    def test_drop_discards_points(self):
+        problem = NaNSubregion(sim_time=5.0)
+        with pytest.warns(RuntimeWarning):
+            result = run_async_optimization(
+                problem, 2, 40.0, n_initial=8, seed=0, on_nonfinite="drop"
+            )
+        assert np.isfinite(result.best_value)
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_async_optimization(
+                get_benchmark("sphere", dim=2), 2, 20.0, on_nonfinite="ignore"
+            )

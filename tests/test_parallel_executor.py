@@ -23,6 +23,11 @@ class TestSerial:
     def test_n_workers(self):
         assert SerialExecutor().n_workers == 1
 
+    def test_context_manager(self, problem, rng):
+        X = rng.uniform(-5, 5, (3, 4))
+        with SerialExecutor() as ex:
+            np.testing.assert_array_equal(ex.evaluate(problem, X), problem(X))
+
 
 class TestThread:
     def test_matches_direct(self, problem, rng):
@@ -52,6 +57,19 @@ class TestThread:
         ex = ThreadExecutor(2)
         ex.shutdown()
         ex.shutdown()
+
+    def test_evaluate_after_shutdown_raises(self, problem, rng):
+        ex = ThreadExecutor(2)
+        ex.evaluate(problem, rng.uniform(-5, 5, (2, 4)))
+        ex.shutdown()
+        with pytest.raises(ConfigurationError, match="shut down"):
+            ex.evaluate(problem, rng.uniform(-5, 5, (2, 4)))
+
+    def test_exiting_context_kills_executor(self, problem, rng):
+        with ThreadExecutor(2) as ex:
+            ex.evaluate(problem, rng.uniform(-5, 5, (2, 4)))
+        with pytest.raises(ConfigurationError, match="shut down"):
+            ex.evaluate(problem, rng.uniform(-5, 5, (2, 4)))
 
 
 class TestProcess:

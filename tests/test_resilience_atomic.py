@@ -1,0 +1,64 @@
+"""Tests for the atomic write/append primitives."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import append_line, atomic_write_json, atomic_write_text
+from repro.util import ValidationError
+
+
+class TestAtomicWriteText:
+    def test_creates_file_with_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x" * 10_000)
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "deep")
+        assert path.read_text() == "deep"
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.json"
+        payload = {"a": [1, 2.5, None], "b": "text"}
+        atomic_write_json(path, payload)
+        assert json.loads(path.read_text()) == payload
+
+    def test_replaces_corrupt_file(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text('{"truncat')
+        atomic_write_json(path, {"ok": True})
+        assert json.loads(path.read_text()) == {"ok": True}
+
+
+class TestAppendLine:
+    def test_appends_in_order(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, "one")
+        append_line(path, "two")
+        append_line(path, "three")
+        assert path.read_text().splitlines() == ["one", "two", "three"]
+
+    def test_rejects_embedded_newline(self, tmp_path):
+        with pytest.raises(ValidationError):
+            append_line(tmp_path / "log.jsonl", "bad\nline")
+
+    def test_no_fsync_still_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, "fast", fsync=False)
+        assert path.read_text() == "fast\n"

@@ -1,0 +1,183 @@
+"""Tests for fault injection, retry policies, and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import AnalyticTimeModel, run_optimization
+from repro.core.registry import PAPER_ALGORITHMS, make_optimizer
+from repro.parallel import SerialExecutor, VirtualClock
+from repro.problems import get_benchmark
+from repro.resilience import (
+    FaultSpec,
+    FaultyExecutor,
+    FaultySimulatedCluster,
+    RetryPolicy,
+    RunJournal,
+    read_events,
+)
+from repro.util import ConfigurationError, EvaluationError
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(crash_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(crash_rate=0.6, timeout_rate=0.6)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(timeout=-1.0)
+
+    def test_draw_outcomes_follow_rates(self):
+        spec = FaultSpec(crash_rate=0.2, timeout_rate=0.2, nan_rate=0.2)
+        rng = np.random.default_rng(0)
+        outcomes = [spec.draw(rng) for _ in range(4000)]
+        for kind in ("crash", "timeout", "nan"):
+            frac = outcomes.count(kind) / len(outcomes)
+            assert 0.15 < frac < 0.25
+        assert outcomes.count(None) / len(outcomes) > 0.3
+
+    def test_zero_rates_never_fault(self):
+        spec = FaultSpec()
+        rng = np.random.default_rng(0)
+        assert all(spec.draw(rng) is None for _ in range(100))
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(base_delay=1.5, backoff=2.0)
+        assert policy.delay(1) == 1.5
+        assert policy.delay(2) == 3.0
+        assert policy.delay(3) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(fallback="shrug")
+
+
+class TestFaultySimulatedCluster:
+    def _cluster(self, spec, retry=None, journal=None):
+        from repro.parallel import OverheadModel
+
+        return FaultySimulatedCluster(
+            4,
+            clock=VirtualClock(),
+            overhead=OverheadModel(0.0, 0.0),
+            spec=spec,
+            retry=retry,
+            journal=journal,
+        )
+
+    def test_no_faults_matches_plain_cluster(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        X = np.random.default_rng(0).random((4, 2))
+        cluster = self._cluster(FaultSpec())
+        y = cluster.evaluate(problem, X)
+        assert np.allclose(y, problem(X))
+        assert cluster.n_faults == 0
+        assert cluster.clock.now == pytest.approx(10.0)
+
+    def test_retries_recover_and_charge_clock(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        X = np.random.default_rng(0).random((8, 2))
+        spec = FaultSpec(crash_rate=0.4, seed=5)
+        cluster = self._cluster(spec, RetryPolicy(max_attempts=5, base_delay=2.0))
+        y = cluster.evaluate(problem, X)
+        assert np.isfinite(y).all()
+        assert cluster.n_faults > 0
+        assert cluster.time_wasted > 0.0
+        # Clock charged beyond one clean batch round.
+        assert cluster.clock.now > 10.0
+
+    def test_timeout_charges_full_limit(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        X = np.zeros((1, 2))
+        spec = FaultSpec(timeout_rate=1.0, timeout=50.0, seed=0)
+        cluster = self._cluster(spec, RetryPolicy(max_attempts=1))
+        y = cluster.evaluate(problem, X)
+        assert np.isnan(y).all()
+        assert cluster.clock.now == pytest.approx(50.0)
+
+    def test_exhausted_points_return_nan(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        spec = FaultSpec(crash_rate=1.0, seed=0)
+        cluster = self._cluster(spec, RetryPolicy(max_attempts=3))
+        y = cluster.evaluate(problem, np.zeros((2, 2)))
+        assert np.isnan(y).all()
+
+    def test_raise_fallback(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        spec = FaultSpec(crash_rate=1.0, seed=0)
+        cluster = self._cluster(
+            spec, RetryPolicy(max_attempts=2, fallback="raise")
+        )
+        with pytest.raises(EvaluationError):
+            cluster.evaluate(problem, np.zeros((2, 2)))
+
+    def test_faults_journaled(self, tmp_path):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        journal = RunJournal(tmp_path / "j.jsonl", fsync=False)
+        spec = FaultSpec(crash_rate=1.0, seed=0)
+        cluster = self._cluster(spec, RetryPolicy(max_attempts=2), journal)
+        cluster.evaluate(problem, np.zeros((1, 2)))
+        faults = [e for e in read_events(journal.path) if e["event"] == "fault"]
+        assert [f["action"] for f in faults] == ["resubmit", "impute"]
+
+    def test_fault_stream_reproducible(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        X = np.random.default_rng(1).random((6, 2))
+        spec = FaultSpec(crash_rate=0.5, nan_rate=0.2, seed=9)
+        y1 = self._cluster(spec).evaluate(problem, X)
+        y2 = self._cluster(spec).evaluate(problem, X)
+        assert np.array_equal(y1, y2, equal_nan=True)
+
+
+class TestFaultyExecutor:
+    def test_retries_with_real_executor(self):
+        problem = get_benchmark("sphere", dim=2, sim_time=0.0)
+        sleeps = []
+        executor = FaultyExecutor(
+            SerialExecutor(),
+            FaultSpec(crash_rate=0.5, seed=2),
+            RetryPolicy(max_attempts=6, base_delay=0.5),
+            sleep=sleeps.append,
+        )
+        X = np.random.default_rng(0).random((6, 2))
+        y = executor.evaluate(problem, X)
+        assert np.isfinite(y).all()
+        assert np.allclose(y, problem(X))
+        assert sleeps and sleeps[0] == 0.5
+
+    def test_context_manager_shuts_down_inner(self):
+        class Recording(SerialExecutor):
+            closed = False
+
+            def shutdown(self):
+                self.closed = True
+
+        inner = Recording()
+        with FaultyExecutor(inner, FaultSpec()) as executor:
+            executor.evaluate(get_benchmark("sphere", dim=2), np.zeros((1, 2)))
+        assert inner.closed
+
+
+@pytest.mark.parametrize("algo", PAPER_ALGORITHMS)
+def test_all_paper_algorithms_survive_faulty_runs(algo):
+    """Acceptance: crash rate 0.2 and every algorithm finishes its budget."""
+    problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+    optimizer = make_optimizer(algo, problem, 2, seed=0)
+    result = run_optimization(
+        problem,
+        optimizer,
+        150.0,
+        n_initial=8,
+        seed=0,
+        time_model=AnalyticTimeModel(),
+        faults=FaultSpec(crash_rate=0.2, seed=0),
+        retry=RetryPolicy(max_attempts=3),
+    )
+    assert np.isfinite(result.best_value)
+    assert result.n_cycles >= 1

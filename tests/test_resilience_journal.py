@@ -1,0 +1,121 @@
+"""Tests for the JSONL run journal and its driver integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.driver import AnalyticTimeModel, run_optimization
+from repro.core.registry import make_optimizer
+from repro.problems import get_benchmark
+from repro.resilience import RunJournal, read_events
+from repro.util import ConfigurationError
+
+
+def _problem():
+    return get_benchmark("sphere", dim=2, sim_time=10.0)
+
+
+def _run(journal=None):
+    problem = _problem()
+    optimizer = make_optimizer("random", problem, 2, seed=7)
+    return run_optimization(
+        problem,
+        optimizer,
+        80.0,
+        n_initial=6,
+        seed=7,
+        time_model=AnalyticTimeModel(),
+        journal=journal,
+    )
+
+
+class TestRunJournal:
+    def test_record_and_read_back(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.record("run_started", config={"n": 1})
+        journal.record("cycle", cycle=1, clock=12.5)
+        events = journal.events()
+        assert [e["event"] for e in events] == ["run_started", "cycle"]
+        assert events[1]["clock"] == 12.5
+        assert all(e["schema"] == 1 for e in events)
+
+    def test_overwrite_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, fsync=False).record("run_started", config={})
+        fresh = RunJournal(path, fsync=False)
+        fresh.record("run_started", config={"second": True})
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["config"] == {"second": True}
+
+    def test_append_mode_keeps_history(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, fsync=False).record("run_started", config={})
+        RunJournal(path, overwrite=False, fsync=False).record("resumed", from_cycle=3)
+        assert [e["event"] for e in read_events(path)] == ["run_started", "resumed"]
+
+    def test_empty_event_name_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl", fsync=False)
+        with pytest.raises(ConfigurationError):
+            journal.record("")
+
+
+class TestReadEvents:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_events(tmp_path / "absent.jsonl")
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "run_started", "config": {}}\n{"event": "cy')
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["run_started"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"event": "run_started"}\nnot json at all\n{"event": "cycle"}\n'
+        )
+        with pytest.raises(ConfigurationError):
+            read_events(path)
+
+    def test_non_journal_json_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"no_event_field": 1}\n{"x": 2}\n')
+        with pytest.raises(ConfigurationError):
+            read_events(path)
+
+
+class TestDriverJournaling:
+    def test_event_sequence_of_a_full_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = _run(journal=RunJournal(path, fsync=False))
+        kinds = [e["event"] for e in read_events(path)]
+        assert kinds[0] == "run_started"
+        assert kinds[1] == "initial_design"
+        assert kinds[-1] == "run_completed"
+        assert kinds[2:-1] == ["cycle"] * result.n_cycles
+
+    def test_journal_replays_incumbent_trajectory(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = _run(journal=RunJournal(path, fsync=False))
+        cycles = [e for e in read_events(path) if e["event"] == "cycle"]
+        assert [c["best_value"] for c in cycles] == [
+            rec.best_value for rec in result.history
+        ]
+        final = read_events(path)[-1]
+        assert final["best_value"] == result.best_value
+
+    def test_journaling_is_behavior_neutral(self, tmp_path):
+        plain = _run()
+        journaled = _run(journal=RunJournal(tmp_path / "run.jsonl", fsync=False))
+        assert journaled.best_value == plain.best_value
+        assert journaled.n_cycles == plain.n_cycles
+        assert np.array_equal(journaled.best_x, plain.best_x)
+
+    def test_journal_lines_are_plain_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _run(journal=RunJournal(path, fsync=False))
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)

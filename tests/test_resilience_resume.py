@@ -1,0 +1,216 @@
+"""Kill-and-resume equivalence tests.
+
+The acceptance property of the resilience subsystem: a run killed at an
+arbitrary instant resumes from its journal and reaches exactly the
+final incumbent of an uninterrupted run with the same seed. The virtual
+clock uses :class:`AnalyticTimeModel` so charged durations (and hence
+cycle counts) are machine-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import AnalyticTimeModel, run_optimization
+from repro.core.registry import make_optimizer
+from repro.problems import get_benchmark
+from repro.resilience import RunJournal, load_checkpoint, resume_run
+from repro.util import ConfigurationError
+
+
+class KillSwitch:
+    """Problem wrapper raising once after ``n_calls`` evaluations."""
+
+    def __init__(self, inner, n_calls):
+        self.inner = inner
+        self.n_calls = n_calls
+        self.calls = 0
+
+    def __call__(self, X):
+        self.calls += np.atleast_2d(X).shape[0]
+        if self.calls > self.n_calls:
+            raise KeyboardInterrupt("simulated kill")
+        return self.inner(X)
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def _problem():
+    return get_benchmark("ackley", dim=2, sim_time=10.0)
+
+
+def _reference(algo, budget=250.0):
+    optimizer = make_optimizer(algo, _problem(), 4, seed=3)
+    return run_optimization(
+        _problem(), optimizer, budget, seed=3, time_model=AnalyticTimeModel()
+    )
+
+
+def _killed_run(algo, path, kill_after, budget=250.0):
+    killer = KillSwitch(_problem(), kill_after)
+    optimizer = make_optimizer(algo, killer, 4, seed=3)
+    with pytest.raises(KeyboardInterrupt):
+        run_optimization(
+            killer,
+            optimizer,
+            budget,
+            seed=3,
+            time_model=AnalyticTimeModel(),
+            journal=RunJournal(path, fsync=False),
+        )
+
+
+@pytest.mark.parametrize("algo", ["kb_qego", "turbo"])
+class TestKillAndResumeEquivalence:
+    def test_same_final_incumbent_and_trajectory(self, algo, tmp_path):
+        reference = _reference(algo)
+        path = tmp_path / "run.jsonl"
+        # The 64-point initial design plus a few cycles of 4, then kill.
+        _killed_run(algo, path, kill_after=80)
+        resumed = resume_run(path, problem=_problem(), fsync=False)
+
+        assert resumed.best_value == reference.best_value
+        assert resumed.n_cycles == reference.n_cycles
+        assert np.array_equal(resumed.best_x, reference.best_x)
+        assert [(r.cycle, r.best_value) for r in resumed.history] == [
+            (r.cycle, r.best_value) for r in reference.history
+        ]
+
+    def test_double_kill_still_converges(self, algo, tmp_path):
+        reference = _reference(algo)
+        path = tmp_path / "run.jsonl"
+        _killed_run(algo, path, kill_after=70)
+        # Kill the *resumed* run too, then resume again.
+        killer = KillSwitch(_problem(), 12)
+        with pytest.raises(KeyboardInterrupt):
+            resume_run(path, problem=killer, fsync=False)
+        resumed = resume_run(path, problem=_problem(), fsync=False)
+        assert resumed.best_value == reference.best_value
+        assert resumed.n_cycles == reference.n_cycles
+
+
+class TestResumeMechanics:
+    def test_completed_journal_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        problem = _problem()
+        optimizer = make_optimizer("random", problem, 2, seed=1)
+        result = run_optimization(
+            problem,
+            optimizer,
+            60.0,
+            n_initial=6,
+            seed=1,
+            time_model=AnalyticTimeModel(),
+            journal=RunJournal(path, fsync=False),
+        )
+        replayed = resume_run(path, fsync=False)
+        assert replayed.best_value == result.best_value
+        assert replayed.n_cycles == result.n_cycles
+        assert np.array_equal(replayed.best_x, result.best_x)
+
+    def test_kill_during_initial_design_is_unresumable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path, fsync=False)
+        journal.record("run_started", config={"n_initial": 8})
+        with pytest.raises(ConfigurationError, match="initial design"):
+            resume_run(path, fsync=False)
+
+    def test_checkpoint_reports_remaining_budget(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _killed_run("turbo", path, kill_after=80, budget=250.0)
+        ckpt = load_checkpoint(path)
+        assert not ckpt.completed
+        assert 0.0 < ckpt.resume.clock_start < 250.0
+        assert ckpt.remaining_budget == pytest.approx(
+            250.0 - ckpt.resume.clock_start
+        )
+        # History carried to the optimizer: initial design + kept cycles.
+        assert ckpt.X.shape[0] == ckpt.y_internal.size
+        assert ckpt.X.shape[0] >= 64
+
+    def test_sparse_checkpoints_still_equivalent(self, tmp_path):
+        """checkpoint_every > 1 discards trailing cycles and re-runs them."""
+        reference = _reference("turbo")
+        path = tmp_path / "run.jsonl"
+        killer = KillSwitch(_problem(), 80)
+        optimizer = make_optimizer("turbo", killer, 4, seed=3)
+        with pytest.raises(KeyboardInterrupt):
+            run_optimization(
+                killer,
+                optimizer,
+                250.0,
+                seed=3,
+                time_model=AnalyticTimeModel(),
+                journal=RunJournal(path, fsync=False),
+                checkpoint_every=3,
+            )
+        resumed = resume_run(path, problem=_problem(), fsync=False)
+        assert resumed.best_value == reference.best_value
+        assert resumed.n_cycles == reference.n_cycles
+
+    def test_async_journal_refused(self, tmp_path):
+        from repro.core.async_driver import run_async_optimization
+
+        path = tmp_path / "async.jsonl"
+        run_async_optimization(
+            get_benchmark("sphere", dim=2, sim_time=5.0),
+            2,
+            30.0,
+            seed=1,
+            journal=RunJournal(path, fsync=False),
+        )
+        with pytest.raises(ConfigurationError, match="async"):
+            resume_run(path, fsync=False)
+
+
+class TestCampaignResume:
+    def test_journaled_campaign_cell_resumes(self, tmp_path, monkeypatch):
+        from repro.experiments.campaign import Campaign
+        from repro.experiments.presets import Preset
+
+        preset = Preset(
+            name="resume-test",
+            budget=120.0,
+            sim_time=10.0,
+            n_seeds=1,
+            batch_sizes=(2,),
+            time_scale=1.0,
+            initial_per_batch=3,
+            algorithms=("random",),
+            benchmarks=("sphere",),
+            dim=2,
+        )
+        campaign = Campaign(
+            preset, root=tmp_path, verbose=False, journal=True
+        )
+        record = campaign.get("sphere", "random", 2, 0)
+        # The journal of the completed cell exists and replays the result.
+        jpath = campaign._journal_path(record.key)
+        assert jpath.exists()
+        replayed = resume_run(jpath, fsync=False)
+        assert replayed.best_value == record.best_value
+
+    def test_corrupt_cache_entry_discarded(self, tmp_path):
+        from repro.experiments.campaign import Campaign
+        from repro.experiments.presets import Preset
+
+        preset = Preset(
+            name="corrupt-test",
+            budget=80.0,
+            sim_time=10.0,
+            n_seeds=1,
+            batch_sizes=(2,),
+            time_scale=1.0,
+            initial_per_batch=3,
+            algorithms=("random",),
+            benchmarks=("sphere",),
+            dim=2,
+        )
+        campaign = Campaign(preset, root=tmp_path, verbose=False)
+        record = campaign.get("sphere", "random", 2, 0)
+        # Corrupt the cache entry as a pre-atomic torn write would.
+        path = campaign._path(record.key)
+        path.write_text('{"problem": "sphere", "algo')
+        fresh = Campaign(preset, root=tmp_path, verbose=False)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert fresh.missing() == [("sphere", "random", 2, 0)]

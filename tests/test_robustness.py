@@ -41,22 +41,37 @@ class TestNonFiniteGuards:
             opt.initialize(X0, y0)
 
     def test_driver_surfaces_nan_simulator(self):
-        """A simulator that goes NaN mid-run must fail loudly, not
-        corrupt the surrogate silently."""
-        calls = {"n": 0}
+        """A simulator that goes NaN mid-run must be surfaced loudly —
+        warned about and guarded, never fed to the surrogate silently
+        (and fatal when the run opts into ``on_nonfinite="raise"``)."""
 
-        def flaky(X):
-            calls["n"] += 1
-            y = np.sum(X**2, axis=1)
-            if calls["n"] > 3:
-                y[0] = np.nan
-            return y
+        def make_flaky():
+            calls = {"n": 0}
 
-        problem = FunctionProblem(flaky, np.tile([0.0, 1.0], (3, 1)),
-                                  sim_time=10.0)
+            def flaky(X):
+                calls["n"] += 1
+                y = np.sum(X**2, axis=1)
+                if calls["n"] > 3:
+                    y[0] = np.nan
+                return y
+
+            return flaky
+
+        bounds = np.tile([0.0, 1.0], (3, 1))
+        problem = FunctionProblem(make_flaky(), bounds, sim_time=10.0)
         opt = make_optimizer("random", problem, 2, seed=0)
-        with pytest.raises(ValidationError):
-            run_optimization(problem, opt, 200.0, seed=0)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = run_optimization(problem, opt, 200.0, seed=0)
+        assert np.isfinite(result.best_value)
+
+        from repro.util import EvaluationError
+
+        problem = FunctionProblem(make_flaky(), bounds, sim_time=10.0)
+        opt = make_optimizer("random", problem, 2, seed=0)
+        with pytest.raises(EvaluationError):
+            with pytest.warns(RuntimeWarning, match="non-finite"):
+                run_optimization(problem, opt, 200.0, seed=0,
+                                 on_nonfinite="raise")
 
 
 class TestDegenerateData:
