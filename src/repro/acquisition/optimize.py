@@ -12,6 +12,14 @@ for both single-point criteria and joint ``(q, d)`` batches:
 
 All candidates are generated and clipped inside the given box, so the
 returned points always satisfy the bounds.
+
+The optimizer never raises on a sick model: non-finite acquisition
+values (or a criterion that throws) demote the affected samples, failed
+polish steps fall back to the best raw sample, and — when ``avoid`` is
+given — a winning candidate that near-duplicates an already-evaluated
+point is replaced by the best non-duplicate raw sample, or a random
+in-bounds draw as the last resort. A degenerate surrogate therefore
+degrades the search toward random sampling instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -26,6 +34,12 @@ from repro.util import (
     check_bounds,
 )
 
+#: Sentinel for a failed/non-finite objective evaluation inside L-BFGS-B.
+_FAILED_VALUE = 1e25
+
+#: Span-normalized max-norm tolerance for the ``avoid`` duplicate check.
+DEDUP_TOL = 1e-9
+
 
 def optimize_acqf(
     acq,
@@ -36,6 +50,8 @@ def optimize_acqf(
     maxiter: int = 60,
     seed: RandomState = None,
     initial_points=None,
+    avoid=None,
+    dedup_tol: float = DEDUP_TOL,
 ) -> tuple[np.ndarray, float]:
     """Maximize an acquisition function within a box.
 
@@ -54,24 +70,41 @@ def optimize_acqf(
         Multi-start configuration.
     initial_points:
         Extra warm-start points: ``(m, d)`` for ``q == 1``, or a list
-        of ``(q, d)`` batches for joint mode.
+        of ``(q, d)`` batches for joint mode. Warm starts are validated
+        before use — non-finite rows (a fantasy loop gone NaN) are
+        dropped and out-of-box rows are clipped into the bounds.
+    avoid:
+        Optional ``(m, d)`` array of already-evaluated points. A
+        candidate that near-duplicates one of them (span-normalized
+        max-norm distance below ``dedup_tol``) wastes a parallel
+        evaluation; it is replaced by the best raw sample that is not a
+        duplicate, or a random in-bounds point when every sample
+        duplicates.
+    dedup_tol:
+        Tolerance of the ``avoid`` duplicate check.
 
     Returns
     -------
     (x, value):
         ``x`` has shape ``(d,)`` for ``q == 1`` and ``(q, d)`` in joint
-        mode; ``value`` is the acquisition value at ``x``.
+        mode; ``value`` is the acquisition value at ``x``. When every
+        acquisition evaluation is non-finite the returned value is
+        ``-inf`` and ``x`` is a random in-bounds point (batch).
     """
     bounds = check_bounds(bounds)
     if q < 1:
         raise ConfigurationError(f"q must be >= 1, got {q}")
     rng = as_generator(seed)
+    if avoid is not None:
+        avoid = np.asarray(avoid, dtype=np.float64).reshape(-1, bounds.shape[0])
     if q == 1:
         return _optimize_single(
-            acq, bounds, n_restarts, raw_samples, maxiter, rng, initial_points
+            acq, bounds, n_restarts, raw_samples, maxiter, rng,
+            initial_points, avoid, dedup_tol,
         )
     return _optimize_joint(
-        acq, bounds, q, n_restarts, raw_samples, maxiter, rng, initial_points
+        acq, bounds, q, n_restarts, raw_samples, maxiter, rng,
+        initial_points, avoid, dedup_tol,
     )
 
 
@@ -81,45 +114,123 @@ def _uniform(rng: np.random.Generator, n: int, bounds: np.ndarray) -> np.ndarray
     )
 
 
-def _optimize_single(
-    acq, bounds, n_restarts, raw_samples, maxiter, rng, initial_points
+def _sanitize_warm_starts(points, bounds: np.ndarray) -> np.ndarray:
+    """Validate warm starts: drop non-finite rows, clip into the box."""
+    extra = np.asarray(points, dtype=np.float64).reshape(-1, bounds.shape[0])
+    extra = extra[np.all(np.isfinite(extra), axis=1)]
+    return np.clip(extra, bounds[:, 0], bounds[:, 1])
+
+
+def _finite_values(acq, X: np.ndarray) -> np.ndarray:
+    """Acquisition values over rows of ``X``; failures become ``-inf``."""
+    try:
+        vals = np.asarray(acq.value(X), dtype=np.float64).reshape(-1)
+        if vals.shape[0] != X.shape[0]:
+            return np.full(X.shape[0], -np.inf)
+    except Exception:
+        return np.full(X.shape[0], -np.inf)
+    return np.where(np.isfinite(vals), vals, -np.inf)
+
+
+def _is_duplicate(x: np.ndarray, avoid: np.ndarray, span: np.ndarray,
+                  tol: float) -> bool:
+    if avoid is None or avoid.size == 0:
+        return False
+    return bool(
+        np.any(np.max(np.abs(avoid - x) / span, axis=1) < tol)
+    )
+
+
+def _nonduplicate_fallback(
+    raw: np.ndarray,
+    raw_vals: np.ndarray,
+    avoid: np.ndarray,
+    bounds: np.ndarray,
+    rng: np.random.Generator,
+    tol: float,
 ) -> tuple[np.ndarray, float]:
-    d = bounds.shape[0]
+    """Best raw sample that is not a duplicate, else a random point."""
+    span = np.maximum(bounds[:, 1] - bounds[:, 0], 1e-300)
+    for i in np.argsort(raw_vals)[::-1]:
+        if not _is_duplicate(raw[i], avoid, span, tol):
+            return raw[i].copy(), float(raw_vals[i])
+    x = _uniform(rng, 1, bounds)[0]
+    for _ in range(32):
+        if not _is_duplicate(x, avoid, span, tol):
+            break
+        x = _uniform(rng, 1, bounds)[0]
+    return x, float("-inf")
+
+
+def _optimize_single(
+    acq, bounds, n_restarts, raw_samples, maxiter, rng,
+    initial_points, avoid, dedup_tol,
+) -> tuple[np.ndarray, float]:
     raw = _uniform(rng, max(raw_samples, n_restarts), bounds)
     if initial_points is not None:
-        extra = np.asarray(initial_points, dtype=np.float64).reshape(-1, d)
-        raw = np.vstack([np.clip(extra, bounds[:, 0], bounds[:, 1]), raw])
-    raw_vals = np.asarray(acq.value(raw), dtype=np.float64)
+        extra = _sanitize_warm_starts(initial_points, bounds)
+        if extra.size:
+            raw = np.vstack([extra, raw])
+    raw_vals = _finite_values(acq, raw)
+    if not np.any(np.isfinite(raw_vals)):
+        # The acquisition is unusable everywhere (NaN posterior, dead
+        # criterion): degrade to a random in-bounds candidate.
+        x = _uniform(rng, 1, bounds)[0]
+        if avoid is not None:
+            x, _ = _nonduplicate_fallback(
+                raw, raw_vals, avoid, bounds, rng, dedup_tol
+            )
+        return x, float("-inf")
     order = np.argsort(raw_vals)[::-1]
     starts = raw[order[:n_restarts]]
 
     use_grad = getattr(acq, "has_analytic_grad", False)
 
     def negated(x: np.ndarray):
-        if use_grad:
-            v, g = acq.value_and_grad(x)
-            return -v, -g
-        return -float(acq.value(x[None, :])[0])
+        try:
+            if use_grad:
+                v, g = acq.value_and_grad(x)
+                if not np.isfinite(v) or not np.all(np.isfinite(g)):
+                    return _FAILED_VALUE, np.zeros_like(x)
+                return -v, -g
+            v = float(acq.value(x[None, :])[0])
+        except Exception:
+            return (_FAILED_VALUE, np.zeros_like(x)) if use_grad else _FAILED_VALUE
+        return -v if np.isfinite(v) else _FAILED_VALUE
 
     best_x = starts[0]
     best_val = float(raw_vals[order[0]])
     for x0 in starts:
-        result = minimize(
-            negated,
-            x0,
-            jac=use_grad,
-            method="L-BFGS-B",
-            bounds=bounds,
-            options={"maxiter": maxiter},
-        )
-        if np.isfinite(result.fun) and -result.fun > best_val:
+        try:
+            result = minimize(
+                negated,
+                x0,
+                jac=use_grad,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": maxiter},
+            )
+        except Exception:
+            continue  # a failed polish falls back to the raw sample
+        if (
+            np.isfinite(result.fun)
+            and -result.fun > best_val
+            and np.all(np.isfinite(result.x))
+        ):
             best_val = float(-result.fun)
             best_x = np.clip(result.x, bounds[:, 0], bounds[:, 1])
+    if avoid is not None:
+        span = np.maximum(bounds[:, 1] - bounds[:, 0], 1e-300)
+        if _is_duplicate(best_x, avoid, span, dedup_tol):
+            best_x, best_val = _nonduplicate_fallback(
+                raw, raw_vals, avoid, bounds, rng, dedup_tol
+            )
     return np.asarray(best_x, dtype=np.float64), best_val
 
 
 def _optimize_joint(
-    acq, bounds, q, n_restarts, raw_samples, maxiter, rng, initial_points
+    acq, bounds, q, n_restarts, raw_samples, maxiter, rng,
+    initial_points, avoid, dedup_tol,
 ) -> tuple[np.ndarray, float]:
     d = bounds.shape[0]
     # Joint raw scoring is expensive: use a modest number of raw batches.
@@ -127,9 +238,21 @@ def _optimize_joint(
     raw_batches = [_uniform(rng, q, bounds) for _ in range(n_raw)]
     if initial_points is not None:
         for batch in initial_points:
-            batch = np.asarray(batch, dtype=np.float64).reshape(q, d)
-            raw_batches.insert(0, np.clip(batch, bounds[:, 0], bounds[:, 1]))
-    raw_vals = np.asarray([acq.value(b) for b in raw_batches])
+            batch = _sanitize_warm_starts(batch, bounds)
+            if batch.shape[0] == q:
+                raw_batches.insert(0, batch)
+
+    def batch_value(b: np.ndarray) -> float:
+        try:
+            v = float(acq.value(b))
+        except Exception:
+            return -np.inf
+        return v if np.isfinite(v) else -np.inf
+
+    raw_vals = np.asarray([batch_value(b) for b in raw_batches])
+    if not np.any(np.isfinite(raw_vals)):
+        X = _uniform(rng, q, bounds)
+        return _repair_batch(X, avoid, bounds, rng, dedup_tol), float("-inf")
     order = np.argsort(raw_vals)[::-1]
     starts = [raw_batches[i] for i in order[:n_restarts]]
 
@@ -138,25 +261,67 @@ def _optimize_joint(
 
     def negated(flat: np.ndarray):
         Xq = flat.reshape(q, d)
-        if use_grad:
-            v, g = acq.value_and_grad(Xq)
-            return -v, -g.reshape(-1)
-        return -float(acq.value(Xq))
+        try:
+            if use_grad:
+                v, g = acq.value_and_grad(Xq)
+                if not np.isfinite(v) or not np.all(np.isfinite(g)):
+                    return _FAILED_VALUE, np.zeros_like(flat)
+                return -v, -g.reshape(-1)
+            v = float(acq.value(Xq))
+        except Exception:
+            return (_FAILED_VALUE, np.zeros_like(flat)) if use_grad else _FAILED_VALUE
+        return -v if np.isfinite(v) else _FAILED_VALUE
 
     best_x = starts[0]
     best_val = float(raw_vals[order[0]])
     for X0 in starts:
-        result = minimize(
-            negated,
-            X0.reshape(-1),
-            jac=use_grad,
-            method="L-BFGS-B",
-            bounds=flat_bounds,
-            options={"maxiter": maxiter},
-        )
-        if np.isfinite(result.fun) and -result.fun > best_val:
+        try:
+            result = minimize(
+                negated,
+                X0.reshape(-1),
+                jac=use_grad,
+                method="L-BFGS-B",
+                bounds=flat_bounds,
+                options={"maxiter": maxiter},
+            )
+        except Exception:
+            continue
+        if (
+            np.isfinite(result.fun)
+            and -result.fun > best_val
+            and np.all(np.isfinite(result.x))
+        ):
             best_val = float(-result.fun)
             best_x = np.clip(
                 result.x.reshape(q, d), bounds[:, 0], bounds[:, 1]
             )
-    return np.asarray(best_x, dtype=np.float64), best_val
+    best_x = _repair_batch(
+        np.asarray(best_x, dtype=np.float64), avoid, bounds, rng, dedup_tol
+    )
+    return best_x, best_val
+
+
+def _repair_batch(
+    X: np.ndarray, avoid, bounds: np.ndarray, rng: np.random.Generator,
+    tol: float,
+) -> np.ndarray:
+    """Replace batch rows that duplicate an already-evaluated point.
+
+    The reported acquisition value is the pre-repair one; repairs only
+    happen on degenerate landscapes where the value carries no ranking
+    information anyway.
+    """
+    if avoid is None or avoid.size == 0:
+        return X
+    span = np.maximum(bounds[:, 1] - bounds[:, 0], 1e-300)
+    X = X.copy()
+    for k in range(X.shape[0]):
+        if not _is_duplicate(X[k], avoid, span, tol):
+            continue
+        x = _uniform(rng, 1, bounds)[0]
+        for _ in range(32):
+            if not _is_duplicate(x, avoid, span, tol):
+                break
+            x = _uniform(rng, 1, bounds)[0]
+        X[k] = x
+    return X

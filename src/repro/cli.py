@@ -73,11 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="injected probability a simulation hangs")
     parser.add_argument("--nan-rate", type=float, default=0.0,
                         help="injected probability a simulation returns NaN")
+    parser.add_argument("--death-rate", type=float, default=0.0,
+                        help="injected per-batch probability each worker "
+                             "dies permanently (the batch shrinks "
+                             "elastically to the survivors)")
+    parser.add_argument("--adaptive-timeout", action="store_true",
+                        help="learn the hung-simulation limit from observed "
+                             "runtime quantiles instead of the static one")
     parser.add_argument("--max-attempts", type=int, default=3,
                         help="evaluation attempts per point under faults")
     parser.add_argument("--fallback", default="impute",
                         choices=("impute", "fantasy", "drop", "raise"),
                         help="action for points failed after all attempts")
+    parser.add_argument("--max-sick-cycles", type=int, default=3,
+                        help="consecutive degraded cycles before the "
+                             "supervisor quarantines the surrogate behind "
+                             "random-search proposals")
+    parser.add_argument("--quarantine-cycles", type=int, default=5,
+                        help="random-search cycles served per quarantine "
+                             "before the surrogate is retried")
     return parser
 
 
@@ -158,7 +172,8 @@ def main(argv=None) -> int:
 
         journal = RunJournal(args.journal)
     faults = retry = None
-    if args.crash_rate or args.timeout_rate or args.nan_rate:
+    if (args.crash_rate or args.timeout_rate or args.nan_rate
+            or args.death_rate):
         from repro.resilience import FaultSpec, RetryPolicy
 
         faults = FaultSpec(
@@ -166,10 +181,18 @@ def main(argv=None) -> int:
             timeout_rate=args.timeout_rate,
             nan_rate=args.nan_rate,
             seed=args.seed,
+            death_rate=args.death_rate,
+            adaptive_timeout=args.adaptive_timeout,
         )
         retry = RetryPolicy(
             max_attempts=args.max_attempts, fallback=args.fallback
         )
+    from repro.core import SupervisorConfig
+
+    supervisor = SupervisorConfig(
+        max_sick_cycles=args.max_sick_cycles,
+        quarantine_cycles=args.quarantine_cycles,
+    )
 
     result = run_optimization(
         problem,
@@ -181,6 +204,7 @@ def main(argv=None) -> int:
         journal=journal,
         faults=faults,
         retry=retry,
+        supervisor=supervisor,
     )
     _report(result, args.seed, quiet=args.quiet, json_path=args.json)
     return 0

@@ -32,6 +32,7 @@ from repro.core.mic_qego import MicQEGO
 from repro.core.mic_turbo import MicTuRBO
 from repro.core.random_search import RandomSearch
 from repro.core.registry import ALGORITHMS, PAPER_ALGORITHMS, make_optimizer, optimize
+from repro.core.supervision import CycleSupervisor, SupervisorConfig
 from repro.core.turbo import TuRBO
 from repro.core.turbo_m import TuRBOm
 
@@ -42,6 +43,7 @@ __all__ = [
     "BSPEGO",
     "BatchOptimizer",
     "CycleRecord",
+    "CycleSupervisor",
     "KBqEGO",
     "LPEGO",
     "MCqEGO",
@@ -51,6 +53,7 @@ __all__ = [
     "PAPER_ALGORITHMS",
     "Proposal",
     "RandomSearch",
+    "SupervisorConfig",
     "TuRBO",
     "TuRBOm",
     "make_optimizer",

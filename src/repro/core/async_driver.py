@@ -29,7 +29,8 @@ import numpy as np
 from repro.acquisition import ExpectedImprovement, optimize_acqf
 from repro.doe import latin_hypercube
 from repro.gp import GaussianProcess
-from repro.util import ConfigurationError, RandomState, as_generator
+from repro.gp.safe_fit import safe_fit
+from repro.util import ConfigurationError, ModelError, RandomState, as_generator
 
 #: Inner-optimization defaults (match the synchronous algorithms).
 _ACQ_DEFAULTS = {"n_restarts": 4, "raw_samples": 256, "maxiter": 50}
@@ -169,9 +170,19 @@ def run_async_optimization(
         )
     initial_best = float(sign * np.min(y))
 
+    def _journal_degradations(report, index: int) -> None:
+        if journal is not None:
+            for ev in report.events():
+                journal.record("degradation", index=index, **ev)
+
     gp = GaussianProcess(dim=problem.dim, input_bounds=problem.bounds)
-    gp.fit(X, y, n_restarts=gp_opts["n_restarts"],
-           maxiter=gp_opts["maxiter"], seed=rng)
+    gp, report = safe_fit(
+        gp, X, y,
+        n_restarts=gp_opts["n_restarts"],
+        maxiter=gp_opts["maxiter"],
+        seed=rng,
+    )
+    _journal_degradations(report, 0)
 
     # Event queue of running simulations: (finish_time, counter, worker, x).
     now = 0.0
@@ -188,18 +199,34 @@ def run_async_optimization(
     def dispatch(worker: int) -> None:
         nonlocal now, counter
         t0 = time.perf_counter()
-        busy = np.asarray([x for _, _, _, x in pending])
-        model = gp.fantasize(busy) if busy.size else gp
-        best_f = float(np.min(y))
-        acq = ExpectedImprovement(model, best_f)
-        x_next, _ = optimize_acqf(
-            acq,
-            problem.bounds,
-            n_restarts=acq_opts["n_restarts"],
-            raw_samples=acq_opts["raw_samples"],
-            maxiter=acq_opts["maxiter"],
-            seed=rng,
-        )
+        try:
+            busy = np.asarray([x for _, _, _, x in pending])
+            model = gp.fantasize(busy) if busy.size else gp
+            best_f = float(np.min(y))
+            acq = ExpectedImprovement(model, best_f)
+            x_next, _ = optimize_acqf(
+                acq,
+                problem.bounds,
+                n_restarts=acq_opts["n_restarts"],
+                raw_samples=acq_opts["raw_samples"],
+                maxiter=acq_opts["maxiter"],
+                seed=rng,
+                avoid=X,
+            )
+        except Exception as exc:
+            # A sick fantasy model must not idle the freed worker: the
+            # dispatch degrades to a random in-bounds candidate.
+            lo, hi = problem.bounds[:, 0], problem.bounds[:, 1]
+            x_next = lo + rng.random(problem.dim) * (hi - lo)
+            if journal is not None:
+                journal.record(
+                    "degradation",
+                    index=counter + 1,
+                    stage="model",
+                    kind=f"dispatch_failed:{type(exc).__name__}",
+                    action="random_candidate",
+                    detail=str(exc)[:500],
+                )
         acq_time = (time.perf_counter() - t0) * time_scale
         now += acq_time  # the master's selection blocks the timeline
         finish = now + sim_duration()
@@ -266,9 +293,18 @@ def run_async_optimization(
 
         t0 = time.perf_counter()
         if n_done % refit_every == 0:
-            gp.fit(X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng)
+            gp, report = safe_fit(
+                gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
+            )
+            _journal_degradations(report, n_done)
         else:
-            gp.fit(X, y, optimize=False)
+            try:
+                gp.fit(X, y, optimize=False)
+            except ModelError:
+                gp, report = safe_fit(
+                    gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
+                )
+                _journal_degradations(report, n_done)
         fit_time = (time.perf_counter() - t0) * time_scale
         now += fit_time
         if history:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.gp import GaussianProcess
+from repro.gp.safe_fit import safe_fit
 from repro.util import (
     ConfigurationError,
     RandomState,
@@ -137,6 +138,16 @@ class BatchOptimizer:
         self.X = np.empty((0, problem.dim))
         self.y = np.empty(0)  # minimization orientation
         self.gp: GaussianProcess | None = None
+        # Degradation events observed during the current propose() call
+        # (surrogate ladder rungs, passive health flags); the driver
+        # supervisor drains them into the run journal each cycle.
+        self._degradations: list[dict] = []
+
+    def drain_degradations(self) -> list[dict]:
+        """Return and clear the degradations of the last propose()."""
+        events = self._degradations
+        self._degradations = []
+        return events
 
     # ------------------------------------------------------------------
     @property
@@ -247,14 +258,21 @@ class BatchOptimizer:
         )
 
     def _fit_gp(self, X=None, y=None) -> tuple[GaussianProcess, float]:
-        """Full surrogate fit on (X, y) (defaults: all data); timed."""
+        """Full surrogate fit on (X, y) (defaults: all data); timed.
+
+        The fit goes through :func:`repro.gp.safe_fit.safe_fit`: on the
+        healthy path this is the plain fit, but a degenerate design or
+        a diverged hyperparameter search walks the self-healing ladder
+        instead of raising, and everything observed lands in
+        :meth:`drain_degradations` for the driver to journal.
+        """
         X = self.X if X is None else X
         y = self.y if y is None else y
         X, y = self._training_subset(X, y)
         sw = _Stopwatch()
         with sw:
-            gp = self._make_surrogate()
-            gp.fit(
+            gp, report = safe_fit(
+                self._make_surrogate(),
                 X,
                 y,
                 n_restarts=self.gp_options["n_restarts"],
@@ -262,6 +280,7 @@ class BatchOptimizer:
                 seed=self.rng,
             )
         self.gp = gp
+        self._degradations.extend(report.events())
         return gp, sw.total
 
     def _dedupe(self, x: np.ndarray, batch: list[np.ndarray]) -> np.ndarray:

@@ -197,6 +197,7 @@ class BSPEGO(BatchOptimizer):
                     raw_samples=region_raw,
                     maxiter=opts["maxiter"],
                     seed=self.rng,
+                    avoid=self.X,
                 )
             durations.append(sw.total)
             leaf.score = float(val)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.base import BatchOptimizer, Proposal
+from repro.core.supervision import CycleSupervisor, SupervisorConfig
 from repro.doe import latin_hypercube
 from repro.parallel import OverheadModel, SimulatedCluster, VirtualClock, lpt_makespan
 from repro.util import (
@@ -134,6 +135,10 @@ class ResumeState:
     n_evaluations: int
     n_batches: int
     history: list[CycleRecord] = field(default_factory=list)
+    #: Supervisor counters (fail streak, quarantine, batch size, alive
+    #: workers) journaled with the checkpoint cycle; None for journals
+    #: written before supervision existed.
+    supervisor: dict | None = None
 
 
 #: Valid non-finite-objective fallbacks (see :func:`run_optimization`).
@@ -191,11 +196,16 @@ def _guard_nonfinite(
     worst = float(np.max(finite_pool))
     y_used = y_internal.copy()
     gp = getattr(optimizer, "gp", None)
+    y_used[bad] = worst
     if fallback == "fantasy" and gp is not None:
-        mu, _ = gp.predict(np.asarray(X)[bad])
-        y_used[bad] = np.asarray(mu, dtype=np.float64).reshape(-1)
-    else:
-        y_used[bad] = worst
+        try:
+            mu = np.asarray(
+                gp.predict(np.asarray(X)[bad])[0], dtype=np.float64
+            ).reshape(-1)
+            if np.all(np.isfinite(mu)):
+                y_used[bad] = mu
+        except Exception:
+            pass  # a sick surrogate degrades fantasy to worst-value imputation
     return X, y_used
 
 
@@ -216,6 +226,7 @@ def run_optimization(
     retry=None,
     checkpoint_every: int = 1,
     on_nonfinite: str = "impute",
+    supervisor: SupervisorConfig | None = None,
     resume_state: ResumeState | None = None,
 ) -> OptimizationResult:
     """Run one time-budgeted optimization; returns the full record.
@@ -273,6 +284,14 @@ def run_optimization(
         dictates it: ``"impute"`` (worst observed value, the default),
         ``"fantasy"`` (surrogate posterior mean), ``"drop"``, or
         ``"raise"``. Non-finite values never reach the GP fit.
+    supervisor:
+        Degraded-mode policy (:class:`~repro.core.supervision.SupervisorConfig`)
+        of the always-on cycle supervisor; defaults to
+        ``SupervisorConfig()``. The supervisor journals every model
+        fallback as a ``degradation`` event, quarantines a persistently
+        sick surrogate behind random-search proposals, and shrinks the
+        batch when the cluster reports permanently dead workers. On a
+        healthy run it consumes no randomness and changes nothing.
     resume_state:
         Internal hook used by :func:`repro.resilience.resume.resume_run`:
         a :class:`ResumeState` whose optimizer has already been
@@ -309,6 +328,12 @@ def run_optimization(
     else:
         cluster = SimulatedCluster(q, clock=clock, overhead=overhead)
     fallback = retry.fallback if retry is not None else on_nonfinite
+    sup = CycleSupervisor(
+        supervisor if supervisor is not None else SupervisorConfig(),
+        problem,
+        optimizer,
+        journal=journal,
+    )
     sign = -1.0 if problem.maximize else 1.0
 
     def native_best() -> float:
@@ -336,7 +361,7 @@ def run_optimization(
             journal.record("run_started", config=_run_config(
                 problem, optimizer, budget, time_scale, seed, X0.shape[0],
                 overhead, time_model, checkpoint_every, fallback,
-                faults, retry,
+                faults, retry, sup.config,
             ))
             journal.record(
                 "initial_design",
@@ -362,19 +387,26 @@ def run_optimization(
         history = list(resume_state.history)
         cycle = resume_state.cycle_start
         n_initial_pts = resume_state.n_initial
+        if resume_state.supervisor is not None:
+            sup.restore(resume_state.supervisor)
+            alive = resume_state.supervisor.get("alive")
+            if alive is not None:
+                cluster.alive_workers = max(1, min(q, int(alive)))
 
     while clock.now < budget and cycle < max_cycles:
         t_start = clock.now
-        proposal = optimizer.propose()
+        sup.adapt_workers(cluster.alive_workers, cycle + 1)
+        q_now = optimizer.n_batch
+        proposal = sup.propose(cycle + 1)
         if time_model is not None:
             acq_charged = time_model.charge(
-                proposal, optimizer.X.shape[0], q
+                proposal, optimizer.X.shape[0], q_now
             )
         elif proposal.acq_durations is not None:
             # Parallel acquisition (BSP-EGO): charge the makespan of
             # the per-region durations spread over the workers.
             acq_wall = lpt_makespan(
-                [d * time_scale for d in proposal.acq_durations], q
+                [d * time_scale for d in proposal.acq_durations], q_now
             )
             acq_charged = proposal.fit_time * time_scale + acq_wall
         else:
@@ -429,6 +461,7 @@ def run_optimization(
                 best_value=native_best(),
                 n_evaluations=n_initial_pts + cluster.n_evaluations,
                 n_batches=cluster.n_batches,
+                supervisor={**sup.state(), "alive": int(cluster.alive_workers)},
                 state=snapshot,
             )
 
@@ -465,6 +498,7 @@ def run_optimization(
 def _run_config(
     problem, optimizer, budget, time_scale, seed, n_initial,
     overhead, time_model, checkpoint_every, fallback, faults, retry,
+    supervisor=None,
 ) -> dict:
     """The ``run_started`` journal payload: everything resume needs."""
 
@@ -505,6 +539,16 @@ def _run_config(
                 "nan_rate": faults.nan_rate,
                 "timeout": faults.timeout,
                 "seed": _int_or_none(faults.seed),
+                "death_rate": faults.death_rate,
+                "adaptive_timeout": faults.adaptive_timeout,
+            }
+        ),
+        "supervisor": (
+            None
+            if supervisor is None
+            else {
+                "max_sick_cycles": supervisor.max_sick_cycles,
+                "quarantine_cycles": supervisor.quarantine_cycles,
             }
         ),
         "retry": (

@@ -43,6 +43,7 @@ class KBqEGO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     initial_points=self.best_x[None, :],
+                    avoid=self.X,
                 )
                 x = self._dedupe(x, batch)
                 batch.append(x)

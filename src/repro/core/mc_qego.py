@@ -39,6 +39,7 @@ class MCqEGO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     initial_points=self.best_x[None, :],
+                    avoid=self.X,
                 )
                 X = x[None, :]
             else:
@@ -67,5 +68,6 @@ class MCqEGO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     initial_points=[warm],
+                    avoid=self.X,
                 )
         return Proposal(X=np.asarray(X), fit_time=fit_time, acq_time=sw.total)

@@ -95,6 +95,7 @@ class MicQEGO(BatchOptimizer):
                         maxiter=opts["maxiter"],
                         seed=self.rng,
                         initial_points=self.best_x[None, :],
+                        avoid=self.X,
                     )
                     x = self._dedupe(x, batch)
                     batch.append(x)

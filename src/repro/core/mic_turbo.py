@@ -76,6 +76,7 @@ class MicTuRBO(TuRBO):
                         maxiter=opts["maxiter"],
                         seed=self.rng,
                         initial_points=center[None, :],
+                        avoid=self.X,
                     )
                     x = self._dedupe(x, batch)
                     batch.append(x)

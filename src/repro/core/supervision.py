@@ -1,0 +1,205 @@
+"""Driver-level supervision of the model/acquisition layer.
+
+The synchronous driver runs fit → acquire → evaluate cycles under a
+hard virtual wall-clock budget; one unhandled model failure used to
+forfeit the run. :class:`CycleSupervisor` wraps the acquisition step so
+the run *always* completes:
+
+- every degradation the surrogate ladder reports
+  (:meth:`~repro.core.base.BatchOptimizer.drain_degradations`) is
+  recorded as a ``degradation`` event in the run journal;
+- a ``propose()`` that raises is absorbed: the cycle falls back to a
+  space-filling random batch (drawn from the optimizer's own RNG
+  stream, so checkpoint/resume stays bit-exact) and the failure is
+  journaled;
+- a *persistently* sick model — ``max_sick_cycles`` consecutive
+  failed/degraded cycles — is quarantined: for ``quarantine_cycles``
+  cycles the model layer is skipped entirely and random-search
+  proposals are dispatched, after which the surrogate gets another
+  chance and the run recovers if it heals;
+- when the executor reports permanently dead workers the batch size is
+  elastically shrunk to the surviving slots (and journaled), so the
+  run keeps its remaining parallelism instead of stalling.
+
+The supervisor's counters are embedded in every journaled cycle and
+restored on resume, keeping kill-and-resume equivalence intact with
+supervision enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Proposal
+from repro.doe import latin_hypercube
+from repro.util import BudgetExhausted, ConfigurationError
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Degraded-mode policy of the cycle supervisor.
+
+    ``max_sick_cycles`` consecutive sick cycles (a raised ``propose()``
+    or a surrogate fit that needed a fallback rung) trigger quarantine:
+    ``quarantine_cycles`` cycles of pure random-search proposals before
+    the model layer is retried.
+    """
+
+    max_sick_cycles: int = 3
+    quarantine_cycles: int = 5
+
+    def __post_init__(self):
+        if self.max_sick_cycles < 1:
+            raise ConfigurationError(
+                f"max_sick_cycles must be >= 1, got {self.max_sick_cycles}"
+            )
+        if self.quarantine_cycles < 0:
+            raise ConfigurationError(
+                f"quarantine_cycles must be >= 0, got {self.quarantine_cycles}"
+            )
+
+
+class CycleSupervisor:
+    """Self-healing wrapper around one optimizer's propose() cycle."""
+
+    def __init__(self, config: SupervisorConfig, problem, optimizer, journal=None):
+        self.config = config
+        self.problem = problem
+        self.optimizer = optimizer
+        self.journal = journal
+        self.fail_streak = 0
+        self.quarantine_remaining = 0
+        self.n_degradations = 0
+
+    # -- checkpointing --------------------------------------------------
+    def state(self) -> dict:
+        """Per-cycle snapshot embedded in the journal's cycle events."""
+        return {
+            "fail_streak": int(self.fail_streak),
+            "quarantine": int(self.quarantine_remaining),
+            "q": int(self.optimizer.n_batch),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a snapshot taken by :meth:`state` (resume path)."""
+        self.fail_streak = int(state.get("fail_streak", 0))
+        self.quarantine_remaining = int(state.get("quarantine", 0))
+        q = state.get("q")
+        if q is not None:
+            self.optimizer.n_batch = int(q)
+
+    # -- journaling -----------------------------------------------------
+    def _record(self, cycle: int, **payload) -> None:
+        self.n_degradations += 1
+        if self.journal is not None:
+            self.journal.record("degradation", cycle=cycle, **payload)
+
+    # -- executor supervision -------------------------------------------
+    def adapt_workers(self, alive: int, cycle: int) -> None:
+        """Elastic batch shrink after permanent worker deaths."""
+        alive = max(1, int(alive))
+        if alive < self.optimizer.n_batch:
+            old = int(self.optimizer.n_batch)
+            self.optimizer.n_batch = alive
+            self._record(
+                cycle,
+                stage="executor",
+                kind="worker_death",
+                action="shrink_batch",
+                q_from=old,
+                q_to=alive,
+            )
+
+    # -- model supervision ----------------------------------------------
+    def _random_proposal(self, reason: str) -> Proposal:
+        X = latin_hypercube(
+            self.optimizer.n_batch, self.problem.bounds, seed=self.optimizer.rng
+        )
+        return Proposal(X=X, fit_time=0.0, acq_time=0.0, info={"fallback": reason})
+
+    def _sanitize(self, proposal: Proposal, cycle: int) -> Proposal:
+        """Clip the batch into the box; replace non-finite rows."""
+        X = np.asarray(proposal.X, dtype=np.float64)
+        bad = ~np.all(np.isfinite(X), axis=1)
+        if bad.any():
+            lo = self.problem.lower
+            hi = self.problem.upper
+            X = X.copy()
+            X[bad] = lo + self.optimizer.rng.random(
+                (int(bad.sum()), self.problem.dim)
+            ) * (hi - lo)
+            self._record(
+                cycle,
+                stage="model",
+                kind="nonfinite_candidates",
+                action="random_replace",
+                indices=np.flatnonzero(bad).tolist(),
+            )
+            proposal.X = X
+        bounds = self.problem.bounds
+        proposal.X = np.clip(np.asarray(proposal.X), bounds[:, 0], bounds[:, 1])
+        return proposal
+
+    def _enter_quarantine_if_sick(self, cycle: int) -> None:
+        if self.fail_streak >= self.config.max_sick_cycles:
+            self.quarantine_remaining = self.config.quarantine_cycles
+            self.fail_streak = 0
+            if self.quarantine_remaining > 0:
+                self._record(
+                    cycle,
+                    stage="model",
+                    kind="quarantine_entered",
+                    action="random_search",
+                    cycles=self.config.quarantine_cycles,
+                )
+
+    def propose(self, cycle: int) -> Proposal:
+        """One supervised acquisition step; never raises on model bugs.
+
+        ``KeyboardInterrupt`` / ``SystemExit`` (a genuine kill) and
+        :class:`~repro.util.BudgetExhausted` still propagate.
+        """
+        if self.quarantine_remaining > 0:
+            self.quarantine_remaining -= 1
+            self._record(
+                cycle,
+                stage="model",
+                kind="quarantine",
+                action="random_search",
+                remaining=int(self.quarantine_remaining),
+            )
+            return self._random_proposal("quarantine")
+
+        try:
+            proposal = self.optimizer.propose()
+        except (KeyboardInterrupt, SystemExit, BudgetExhausted):
+            raise
+        except Exception as exc:
+            for ev in self._drain():
+                self._record(cycle, **ev)
+            self.fail_streak += 1
+            self._record(
+                cycle,
+                stage="model",
+                kind=f"propose_failed:{type(exc).__name__}",
+                action="random_search",
+                detail=str(exc)[:500],
+                fail_streak=int(self.fail_streak),
+            )
+            self._enter_quarantine_if_sick(cycle)
+            return self._random_proposal("propose_failed")
+
+        sick = False
+        for ev in self._drain():
+            if ev.get("kind") == "fit_failed":
+                sick = True
+            self._record(cycle, **ev)
+        self.fail_streak = self.fail_streak + 1 if sick else 0
+        self._enter_quarantine_if_sick(cycle)
+        return self._sanitize(proposal, cycle)
+
+    def _drain(self) -> list[dict]:
+        drain = getattr(self.optimizer, "drain_degradations", None)
+        return drain() if drain is not None else []

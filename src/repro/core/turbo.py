@@ -199,6 +199,7 @@ class TuRBO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     initial_points=center[None, :],
+                    avoid=self.X,
                 )
                 X = x[None, :]
             else:
@@ -223,6 +224,7 @@ class TuRBO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     initial_points=[warm],
+                    avoid=self.X,
                 )
         return Proposal(
             X=np.asarray(X),

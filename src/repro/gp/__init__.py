@@ -25,11 +25,14 @@ from repro.gp.linalg import (
     solve_lower,
 )
 from repro.gp.rff import RFFGaussianProcess
+from repro.gp.safe_fit import SafeFitReport, safe_fit
 
 __all__ = [
     "GPPosterior",
     "GaussianProcess",
     "Kernel",
+    "SafeFitReport",
+    "safe_fit",
     "Matern12",
     "Matern32",
     "Matern52",

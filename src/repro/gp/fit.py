@@ -13,7 +13,12 @@ from scipy.optimize import minimize
 
 from repro.gp.kernels import Kernel
 from repro.gp.mll import mll_value_and_grad
-from repro.util import RandomState, as_generator
+from repro.util import FitFailedError, RandomState, as_generator
+
+#: Sentinel objective value standing in for a non-finite / failed MLL
+#: evaluation. A "best" value that never improves on this means every
+#: start was pathological — the fit failed, it did not converge.
+_FAILED_MLL = 1e25
 
 
 def fit_hyperparameters(
@@ -33,10 +38,16 @@ def fit_hyperparameters(
     (warm start across BO cycles); ``n_restarts`` additional random
     starts are drawn uniformly in the log-space box. The kernel is
     mutated to the best parameters found.
+
+    Raises :class:`~repro.util.FitFailedError` when *every* start —
+    the warm-started incumbent included — evaluates to a non-finite
+    MLL; the kernel is restored to its incoming hyperparameters first,
+    so the caller can retry at the last good point (``optimize=False``).
     """
     rng = as_generator(seed)
+    theta_in = kernel.theta
     bounds = np.vstack([kernel.theta_bounds, np.log(np.asarray([noise_bounds]))])
-    p0 = np.concatenate([kernel.theta, [log_noise]])
+    p0 = np.concatenate([theta_in, [log_noise]])
     p0 = np.clip(p0, bounds[:, 0], bounds[:, 1])
 
     def objective(p: np.ndarray) -> tuple[float, np.ndarray]:
@@ -46,9 +57,9 @@ def fit_hyperparameters(
         except Exception:
             # A pathological point (e.g. Cholesky failure at extreme
             # hyperparameters): report a very bad value, zero gradient.
-            return 1e25, np.zeros_like(p)
+            return _FAILED_MLL, np.zeros_like(p)
         if not np.isfinite(value):
-            return 1e25, np.zeros_like(p)
+            return _FAILED_MLL, np.zeros_like(p)
         return -value, -grad
 
     starts = [p0]
@@ -70,5 +81,15 @@ def fit_hyperparameters(
             best_val = float(result.fun)
             best_p = np.asarray(result.x, dtype=np.float64)
 
+    if not np.isfinite(best_val) or best_val >= _FAILED_MLL:
+        # Every start (incumbent included) was pathological. The
+        # objective mutated the kernel while probing; put the incoming
+        # hyperparameters back and make the failure explicit instead of
+        # silently installing the clipped incumbent as if it had won.
+        kernel.theta = theta_in
+        raise FitFailedError(
+            f"all {len(starts)} hyperparameter starts evaluated to a "
+            "non-finite marginal likelihood"
+        )
     kernel.theta = best_p[:-1]
     return float(best_p[-1]), -best_val

@@ -14,7 +14,7 @@ performance-critical pieces are:
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.linalg import LinAlgError, cho_solve, cholesky, solve_triangular
 
 from repro.util import NumericalError
 
@@ -38,11 +38,9 @@ def jittered_cholesky(K: np.ndarray, jitters=JITTERS) -> tuple[np.ndarray, float
         try:
             L = cholesky(K + (jitter * diag_scale) * np.eye(n), lower=True)
             return L, jitter * diag_scale
-        except np.linalg.LinAlgError as exc:  # pragma: no cover - scipy raises below
-            last_error = exc
-        except ValueError as exc:
-            last_error = exc
-        except Exception as exc:  # scipy raises LinAlgError subclass
+        except (LinAlgError, ValueError) as exc:
+            # scipy raises LinAlgError (= numpy's) for indefinite
+            # matrices and ValueError for NaN/inf entries.
             last_error = exc
     raise NumericalError(
         f"Cholesky failed for {n}x{n} matrix even with jitter "

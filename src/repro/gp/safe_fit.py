@@ -1,0 +1,301 @@
+"""Self-healing surrogate fitting: health checks plus a fallback ladder.
+
+Under the paper's hard wall-clock budget a single unhandled model
+failure forfeits the whole run, so the surrogate fit is guarded the way
+BoTorch/TuRBO deployments guard theirs: diagnose the training data and
+the fitted model, and when the straight fit fails walk a ladder of
+increasingly drastic fallbacks instead of raising —
+
+rung 0
+    the normal multi-start MLL fit (identical to calling ``gp.fit``);
+rung 1
+    reuse the last good hyperparameters (``optimize=False``) — the
+    warm-started incumbent survived earlier cycles, so its posterior is
+    usually still usable even when re-optimization diverges;
+rung 2
+    repair the data — drop near-duplicate training rows (the classic
+    cause of indefinite kernel matrices), or jitter the inputs when no
+    duplicates are found — and refit;
+rung 3
+    reset every hyperparameter to its prior midpoint and rebuild the
+    posterior without optimization.
+
+Only when rung 3 also fails does :func:`safe_fit` raise
+(:class:`~repro.util.SurrogateUnavailableError`); the driver-level
+supervisor then degrades the run to random-search proposals.
+
+Every rung taken and every passive health flag (near-duplicate rows,
+flat targets, variance collapse, hyperparameters pinned at their
+bounds) is reported through :class:`SafeFitReport`, which the driver
+turns into journal ``degradation`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import (
+    ModelError,
+    RandomState,
+    SurrogateUnavailableError,
+    as_generator,
+)
+
+#: Span-normalized max-norm distance under which two training rows
+#: count as near-duplicates.
+DUPLICATE_TOL = 1e-8
+
+#: Relative target range under which the objective counts as flat.
+FLAT_TOL = 1e-12
+
+#: Log-space margin within which a hyperparameter counts as pinned.
+PINNED_TOL = 1e-6
+
+#: Ladder rung -> the action it takes.
+LADDER_ACTIONS = ("fit", "reuse_hypers", "dedupe_refit", "reset_priors")
+
+
+@dataclass
+class SafeFitReport:
+    """What :func:`safe_fit` did and what it observed.
+
+    ``level`` is the ladder rung that produced the returned model
+    (0 = the straight fit succeeded); ``issues`` are passive health
+    flags that do not change the fit but deserve journaling;
+    ``errors`` records the stringified exception of every failed rung.
+    """
+
+    level: int = 0
+    issues: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    n_dropped: int = 0
+
+    @property
+    def action(self) -> str:
+        """Name of the ladder rung that produced the model."""
+        return LADDER_ACTIONS[self.level]
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback rung (not the straight fit) was used."""
+        return self.level > 0
+
+    def events(self) -> list[dict]:
+        """Journal ``degradation`` payloads for this fit."""
+        out = [
+            {"stage": "surrogate", "kind": kind, "action": "monitor"}
+            for kind in self.issues
+        ]
+        if self.degraded:
+            out.append(
+                {
+                    "stage": "surrogate",
+                    "kind": "fit_failed",
+                    "action": self.action,
+                    "level": self.level,
+                    "errors": self.errors,
+                    "n_dropped": self.n_dropped,
+                }
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Health checks
+# ----------------------------------------------------------------------
+def _span(gp, X: np.ndarray) -> np.ndarray:
+    """Per-dimension scale used to normalize row distances."""
+    bounds = getattr(gp, "input_bounds", None)
+    if bounds is not None:
+        return np.maximum(bounds[:, 1] - bounds[:, 0], 1e-300)
+    ptp = np.ptp(X, axis=0)
+    return np.where(ptp > 0, ptp, 1.0)
+
+
+def duplicate_row_groups(X: np.ndarray, span, tol: float = DUPLICATE_TOL):
+    """Indices of rows that near-duplicate an earlier row.
+
+    Returns ``(keep, drop)`` index arrays: ``keep`` holds the first
+    occurrence of every distinct row, ``drop`` the near-duplicates of
+    an earlier row (span-normalized max-norm distance below ``tol``).
+    """
+    U = np.asarray(X, dtype=np.float64) / np.asarray(span, dtype=np.float64)
+    n = U.shape[0]
+    keep: list[int] = []
+    drop: list[int] = []
+    for i in range(n):
+        dup = False
+        for j in keep:
+            if np.max(np.abs(U[i] - U[j])) < tol:
+                dup = True
+                break
+        if dup:
+            drop.append(i)
+        else:
+            keep.append(i)
+    return np.asarray(keep, dtype=int), np.asarray(drop, dtype=int)
+
+
+def data_health_issues(gp, X: np.ndarray, y: np.ndarray) -> list[str]:
+    """Passive pre-fit flags: near-duplicate rows, flat targets."""
+    issues: list[str] = []
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    _, dropped = duplicate_row_groups(X, _span(gp, X))
+    if dropped.size:
+        issues.append("near_duplicate_rows")
+    if y.size >= 2 and float(np.ptp(y)) <= FLAT_TOL * max(
+        1.0, float(np.max(np.abs(y)))
+    ):
+        issues.append("flat_targets")
+    return issues
+
+
+def model_health_issues(gp, X: np.ndarray, y: np.ndarray) -> list[str]:
+    """Passive post-fit flags: pinned hyperparameters, variance collapse."""
+    issues: list[str] = []
+    kernel = getattr(gp, "kernel", None)
+    if kernel is not None:
+        theta = np.asarray(kernel.theta, dtype=np.float64)
+        bounds = np.asarray(kernel.theta_bounds, dtype=np.float64)
+        if theta.size and bool(
+            np.any(theta <= bounds[:, 0] + PINNED_TOL)
+            or np.any(theta >= bounds[:, 1] - PINNED_TOL)
+        ):
+            issues.append("pinned_hyperparameters")
+    try:
+        X = np.asarray(X, dtype=np.float64)
+        bounds = getattr(gp, "input_bounds", None)
+        # Deterministic off-data probes (no RNG: resume equivalence):
+        # the box centre plus midpoints of consecutive training rows.
+        # At these points a sane posterior keeps meaningful variance;
+        # sigma ~ 0 everywhere means the acquisition landscape is dead.
+        center = (
+            0.5 * (bounds[:, 0] + bounds[:, 1])
+            if bounds is not None
+            else np.mean(X, axis=0)
+        )
+        mids = 0.5 * (X[:-1] + X[1:])[: min(len(X) - 1, 7)]
+        probe = np.vstack([center[None, :], mids]) if len(mids) else center[None, :]
+        _, sigma = gp.predict(probe)
+        scale = max(float(np.std(np.asarray(y, dtype=np.float64))), 1e-12)
+        if float(np.max(sigma)) <= 1e-9 * scale:
+            issues.append("variance_collapse")
+    except Exception:
+        # The probe is advisory only; a model that cannot even predict
+        # will fail loudly at acquisition time, where it is handled.
+        issues.append("predict_failed")
+    return issues
+
+
+# ----------------------------------------------------------------------
+# Fallback ladder
+# ----------------------------------------------------------------------
+def _dedupe_or_jitter(
+    gp, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Rung-2 data repair: drop near-duplicates, else jitter inputs.
+
+    For each group of near-identical rows the first occurrence is kept
+    with the *best* (smallest) target among the group, so the repaired
+    data keeps the incumbent. When no duplicates exist the degeneracy
+    must come from elsewhere — a tiny input jitter breaks it.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    span = _span(gp, X)
+    keep, drop = duplicate_row_groups(X, span)
+    if drop.size:
+        U = X / span
+        y_kept = y[keep].copy()
+        for i in drop:
+            dists = np.max(np.abs(U[keep] - U[i]), axis=1)
+            j = int(np.argmin(dists))
+            y_kept[j] = min(y_kept[j], y[i])
+        return X[keep], y_kept, int(drop.size)
+    jitter = rng.normal(0.0, 1e-6, size=X.shape) * span
+    return X + jitter, y, 0
+
+
+def _reset_to_priors(gp) -> None:
+    """Rung-3: push every hyperparameter back to its prior midpoint."""
+    kernel = getattr(gp, "kernel", None)
+    if kernel is not None:
+        bounds = np.asarray(kernel.theta_bounds, dtype=np.float64)
+        kernel.theta = 0.5 * (bounds[:, 0] + bounds[:, 1])
+    elif hasattr(gp, "log_lengthscale"):  # RFF surrogate
+        gp.log_lengthscale = np.zeros_like(np.asarray(gp.log_lengthscale))
+        gp.log_outputscale = 0.0
+    lo, hi = gp.noise_bounds
+    gp.log_noise = float(np.log(np.clip(1e-2, lo, hi)))
+
+
+def safe_fit(
+    gp,
+    X,
+    y,
+    *,
+    n_restarts: int = 1,
+    maxiter: int = 50,
+    seed: RandomState = None,
+) -> tuple[object, SafeFitReport]:
+    """Fit ``gp`` on ``(X, y)`` with the self-healing ladder.
+
+    Returns ``(gp, report)``. On the healthy path this is exactly
+    ``gp.fit(X, y, n_restarts=..., maxiter=..., seed=...)`` — same
+    call, same RNG consumption — plus passive health checks, so
+    wrapping an existing fit with :func:`safe_fit` changes nothing
+    until something actually goes wrong.
+
+    Raises :class:`~repro.util.SurrogateUnavailableError` only when
+    every rung of the ladder fails.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    report = SafeFitReport(issues=data_health_issues(gp, X, y))
+
+    try:
+        gp.fit(X, y, n_restarts=n_restarts, maxiter=maxiter, seed=seed)
+    except ModelError as exc:
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+        _ladder(gp, X, y, report, seed)
+    report.issues.extend(model_health_issues(gp, X, y))
+    return gp, report
+
+
+def _ladder(gp, X, y, report: SafeFitReport, seed: RandomState) -> None:
+    """Rungs 1-3, mutating ``gp`` and ``report`` in place."""
+    # Rung 1: the incumbent hyperparameters (restored by the failed
+    # fit) were good enough last cycle — rebuild the posterior there.
+    try:
+        gp.fit(X, y, optimize=False)
+        report.level = 1
+        return
+    except ModelError as exc:
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+
+    # Rung 2: repair the data and retry the full fit.
+    rng = as_generator(seed)
+    X_rep, y_rep, n_dropped = _dedupe_or_jitter(gp, X, y, rng)
+    report.n_dropped = n_dropped
+    try:
+        gp.fit(X_rep, y_rep, n_restarts=0, maxiter=30, seed=rng)
+        report.level = 2
+        return
+    except ModelError as exc:
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+
+    # Rung 3: prior midpoints, no optimization.
+    _reset_to_priors(gp)
+    try:
+        gp.fit(X_rep, y_rep, optimize=False)
+        report.level = 3
+        return
+    except ModelError as exc:
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+        raise SurrogateUnavailableError(
+            "surrogate self-healing ladder exhausted: "
+            + "; ".join(report.errors)
+        ) from exc

@@ -23,6 +23,7 @@ from repro.parallel.executor import (
     ThreadExecutor,
 )
 from repro.parallel.simcluster import OverheadModel, SimulatedCluster, lpt_makespan
+from repro.parallel.supervision import RuntimeQuantiles
 
 __all__ = [
     "Clock",
@@ -30,6 +31,7 @@ __all__ = [
     "MasterWorkerEvaluator",
     "OverheadModel",
     "ProcessExecutor",
+    "RuntimeQuantiles",
     "SerialExecutor",
     "SimulatedCluster",
     "ThreadExecutor",

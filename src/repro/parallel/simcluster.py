@@ -87,6 +87,10 @@ class SimulatedCluster:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
+        # Slots currently able to run simulations. Equal to n_workers
+        # unless a fault model kills workers permanently
+        # (FaultySimulatedCluster); drivers shrink their batches to it.
+        self.alive_workers = int(n_workers)
         self.clock = clock if clock is not None else VirtualClock()
         self.overhead = overhead if overhead is not None else OverheadModel()
         self.n_evaluations = 0
@@ -97,7 +101,7 @@ class SimulatedCluster:
         """Virtual seconds a batch of ``q`` simulations occupies."""
         if q < 1:
             raise ConfigurationError(f"q must be >= 1, got {q}")
-        waves = -(-q // self.n_workers)  # ceil division
+        waves = -(-q // max(1, self.alive_workers))  # ceil division
         cost = waves * float(sim_time)
         if sim_time > 0.0:
             cost += self.overhead(q)

@@ -1,0 +1,92 @@
+"""Executor supervision: adaptive per-evaluation timeouts.
+
+A static timeout limit must be provisioned for the slowest plausible
+simulation, so every hung run wastes that entire worst case. Production
+schedulers instead learn the runtime distribution and kill stragglers a
+small multiple past a high quantile of *observed* runtimes.
+
+:class:`RuntimeQuantiles` is that estimator: feed it every completed
+evaluation's duration and ask :meth:`timeout` for the effective limit —
+``multiplier × quantile`` of the recent window once ``min_samples``
+completions are available, never exceeding the static limit it refines.
+On the virtual-clock cluster the saved waiting is virtual seconds
+returned to the optimization budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+
+class RuntimeQuantiles:
+    """Streaming runtime-quantile tracker for adaptive timeouts.
+
+    Parameters
+    ----------
+    quantile:
+        Runtime quantile the timeout is anchored on (default 0.95).
+    multiplier:
+        Safety factor applied to the quantile (default 3.0): an
+        evaluation is declared hung only when it exceeds several times
+        the typical slow run.
+    min_samples:
+        Completions required before the estimate is trusted; until
+        then :meth:`timeout` returns the static default unchanged.
+    window:
+        Number of most-recent observations kept, so the estimate
+        tracks drift in the runtime distribution.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        multiplier: float = 3.0,
+        min_samples: int = 8,
+        window: int = 256,
+    ):
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {quantile}")
+        if multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {multiplier}"
+            )
+        if min_samples < 1:
+            raise ConfigurationError(
+                f"min_samples must be >= 1, got {min_samples}"
+            )
+        if window < min_samples:
+            raise ConfigurationError(
+                f"window must be >= min_samples, got {window} < {min_samples}"
+            )
+        self.quantile = float(quantile)
+        self.multiplier = float(multiplier)
+        self.min_samples = int(min_samples)
+        self.window = int(window)
+        self._obs: list[float] = []
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._obs)
+
+    def observe(self, duration: float) -> None:
+        """Record one completed evaluation's duration (seconds)."""
+        duration = float(duration)
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0, got {duration}")
+        self._obs.append(duration)
+        if len(self._obs) > self.window:
+            del self._obs[: len(self._obs) - self.window]
+
+    def quantile_value(self) -> float | None:
+        """Current runtime quantile, or None before any observation."""
+        if not self._obs:
+            return None
+        return float(np.quantile(np.asarray(self._obs), self.quantile))
+
+    def timeout(self, default: float) -> float:
+        """Effective timeout: learned limit, capped by the static one."""
+        if len(self._obs) < self.min_samples:
+            return float(default)
+        return min(float(default), self.multiplier * self.quantile_value())

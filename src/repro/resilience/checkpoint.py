@@ -138,6 +138,7 @@ def load_checkpoint(path) -> RunCheckpoint:
             n_evaluations=int(last["n_evaluations"]) - n_initial,
             n_batches=int(last["n_batches"]),
             history=[_cycle_record(ev) for ev in kept],
+            supervisor=last.get("supervisor"),
         )
     else:
         resume = ResumeState(

@@ -48,6 +48,19 @@ class FaultSpec:
     ``crash_rate``, hang until ``timeout`` virtual seconds with
     probability ``timeout_rate``, return NaN with probability
     ``nan_rate``, complete normally otherwise.
+
+    Two supervision-oriented failure modes ride on the same stream:
+
+    - ``death_rate`` — per batch, each currently-alive worker dies
+      *permanently* with this probability (at least one always
+      survives). The cluster's ``alive_workers`` shrinks and the
+      driver-level supervisor elastically shrinks the batch size to
+      match.
+    - ``adaptive_timeout`` — replace the static ``timeout`` limit by a
+      learned one (``RuntimeQuantiles``: a multiple of a high quantile
+      of observed runtimes, never above the static limit), so hung
+      simulations are cut off sooner once the runtime distribution is
+      known.
     """
 
     crash_rate: float = 0.0
@@ -55,9 +68,11 @@ class FaultSpec:
     nan_rate: float = 0.0
     timeout: float = 60.0  # virtual seconds a hung simulation wastes
     seed: RandomState = 0
+    death_rate: float = 0.0
+    adaptive_timeout: bool = False
 
     def __post_init__(self):
-        for name in ("crash_rate", "timeout_rate", "nan_rate"):
+        for name in ("crash_rate", "timeout_rate", "nan_rate", "death_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
@@ -153,7 +168,20 @@ class FaultySimulatedCluster(SimulatedCluster):
         self.fault_rng = as_generator(spec.seed)
         self.n_faults = 0
         self.n_retried = 0
+        self.n_worker_deaths = 0
         self.time_wasted = 0.0
+        if spec.adaptive_timeout:
+            from repro.parallel.supervision import RuntimeQuantiles
+
+            self.timeouts = RuntimeQuantiles()
+        else:
+            self.timeouts = None
+
+    def effective_timeout(self) -> float:
+        """Current hung-simulation limit (learned if adaptive)."""
+        if self.timeouts is None:
+            return float(self.spec.timeout)
+        return self.timeouts.timeout(self.spec.timeout)
 
     def _round_duration(self, k: int, sim_time: float, timed_out: bool) -> float:
         """Virtual seconds one attempt round of ``k`` points occupies."""
@@ -161,8 +189,35 @@ class FaultySimulatedCluster(SimulatedCluster):
         if timed_out:
             # The synchronous master waits for the slowest slot, which
             # is a simulation hung until its timeout limit.
-            duration += max(0.0, self.spec.timeout - float(sim_time))
+            duration += max(0.0, self.effective_timeout() - float(sim_time))
         return duration
+
+    def _kill_workers(self) -> None:
+        """Permanent worker deaths, drawn once per batch.
+
+        Only touches the fault stream when ``death_rate > 0``, so
+        death-free configurations reproduce their exact pre-existing
+        fault sequences. The last worker never dies — a cluster with
+        zero slots is an aborted campaign, not a degraded one.
+        """
+        if self.spec.death_rate <= 0.0:
+            return
+        deaths = 0
+        for _ in range(self.alive_workers):
+            if self.alive_workers - deaths <= 1:
+                break
+            if float(self.fault_rng.random()) < self.spec.death_rate:
+                deaths += 1
+        if deaths:
+            self.alive_workers -= deaths
+            self.n_worker_deaths += deaths
+            if self.journal is not None:
+                self.journal.record(
+                    "worker_death",
+                    n=deaths,
+                    alive=int(self.alive_workers),
+                    t=float(self.clock.now),
+                )
 
     def _record_fault(self, kind: str, index: int, attempt: int, action: str) -> None:
         self.n_faults += 1
@@ -181,6 +236,7 @@ class FaultySimulatedCluster(SimulatedCluster):
         y_true = np.asarray(problem(X), dtype=np.float64).reshape(-1)
         n = X.shape[0]
         y_out = np.full(n, np.nan)
+        self._kill_workers()
         pending = list(range(n))
         attempt = 0
         while pending and attempt < self.retry.max_attempts:
@@ -206,6 +262,10 @@ class FaultySimulatedCluster(SimulatedCluster):
             duration = self._round_duration(
                 len(pending), problem.sim_time, timed_out
             )
+            if self.timeouts is not None:
+                for i in pending:
+                    if i not in failed:
+                        self.timeouts.observe(float(problem.sim_time))
             self.clock.advance(duration)
             if attempt > 1:
                 self.time_wasted += duration

@@ -25,6 +25,21 @@ Event vocabulary (``"event"`` field):
 ``fault``
     One injected or observed evaluation failure with the retry action
     taken and the virtual seconds it cost.
+``degradation``
+    One self-healing fallback of the model/acquisition layer or the
+    executor: the surrogate ladder rung taken (``reuse_hypers`` /
+    ``dedupe_refit`` / ``reset_priors``), a passive health flag
+    (``near_duplicate_rows``, ``flat_targets``, ``variance_collapse``,
+    ``pinned_hyperparameters``), a failed ``propose()`` replaced by a
+    random batch, quarantine entry/progress, or an elastic batch
+    shrink after permanent worker deaths. Fields: ``cycle`` (or
+    ``index`` for asynchronous runs), ``stage``
+    (``surrogate`` / ``model`` / ``executor``), ``kind``, ``action``,
+    plus kind-specific details.
+``worker_death``
+    Permanent loss of one or more simulation slots (fault injection
+    with ``death_rate > 0``): the number of deaths and the surviving
+    ``alive`` count.
 ``run_completed``
     Final summary (best point/value, cycle and simulation counts).
     Its absence marks an interrupted run.

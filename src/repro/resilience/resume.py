@@ -114,6 +114,7 @@ def resume_run(
     resume idempotent.
     """
     from repro.core.driver import AnalyticTimeModel, run_optimization
+    from repro.core.supervision import SupervisorConfig
     from repro.parallel import OverheadModel
 
     journal_path = Path(journal_path)
@@ -156,6 +157,11 @@ def resume_run(
     )
     faults = FaultSpec(**config["faults"]) if config.get("faults") else None
     retry = RetryPolicy(**config["retry"]) if config.get("retry") else None
+    supervisor = (
+        SupervisorConfig(**config["supervisor"])
+        if config.get("supervisor")
+        else None
+    )
 
     return run_optimization(
         problem,
@@ -171,5 +177,6 @@ def resume_run(
         retry=retry,
         checkpoint_every=int(config.get("checkpoint_every", 1)),
         on_nonfinite=config.get("on_nonfinite", "impute"),
+        supervisor=supervisor,
         resume_state=ckpt.resume,
     )

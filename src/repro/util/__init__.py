@@ -1,11 +1,15 @@
 """Shared utilities: errors, RNG handling, validation helpers."""
 
 from repro.util.errors import (
+    AcquisitionError,
     BudgetExhausted,
     ConfigurationError,
     EvaluationError,
+    FitFailedError,
+    ModelError,
     NumericalError,
     ReproError,
+    SurrogateUnavailableError,
     ValidationError,
 )
 from repro.util.rng import RandomState, as_generator, spawn_generators
@@ -19,10 +23,14 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "AcquisitionError",
     "BudgetExhausted",
     "ConfigurationError",
     "EvaluationError",
+    "FitFailedError",
+    "ModelError",
     "NumericalError",
+    "SurrogateUnavailableError",
     "RandomState",
     "ReproError",
     "ValidationError",

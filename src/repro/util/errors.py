@@ -21,11 +21,52 @@ class ValidationError(ReproError, ValueError):
     """An array argument failed shape / dtype / range validation."""
 
 
-class NumericalError(ReproError, ArithmeticError):
+class ModelError(ReproError):
+    """The surrogate/acquisition layer failed for the current data.
+
+    Base of the model-side failure taxonomy. Everything below it is
+    *recoverable in principle*: the self-healing ladder
+    (:func:`repro.gp.safe_fit.safe_fit`) and the driver supervisor
+    catch these, degrade gracefully (reuse hyperparameters, refit on
+    repaired data, fall back to random proposals) and journal the
+    degradation instead of crashing the run.
+    """
+
+
+class NumericalError(ModelError, ArithmeticError):
     """A numerical routine failed beyond recovery.
 
     Raised e.g. when a kernel matrix stays indefinite after the maximum
     jitter has been added to its diagonal.
+    """
+
+
+class FitFailedError(ModelError):
+    """Hyperparameter fitting found no usable point.
+
+    Raised by :func:`repro.gp.fit.fit_hyperparameters` when *every*
+    L-BFGS-B start — the warm-started incumbent included — evaluates to
+    a non-finite marginal likelihood. The kernel is restored to its
+    incoming hyperparameters before raising, so callers can retry with
+    ``optimize=False`` (the first rung of the self-healing ladder).
+    """
+
+
+class SurrogateUnavailableError(ModelError):
+    """Every rung of the surrogate self-healing ladder failed.
+
+    The model layer cannot produce any usable posterior for the current
+    training data; the driver supervisor answers with random-search
+    proposals until the surrogate heals.
+    """
+
+
+class AcquisitionError(ModelError):
+    """The acquisition optimization produced nothing usable.
+
+    Raised only when even the random-candidate fallback of
+    :func:`repro.acquisition.optimize.optimize_acqf` cannot return a
+    finite in-bounds point (e.g. unusable bounds).
     """
 
 

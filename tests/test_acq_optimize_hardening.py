@@ -1,0 +1,151 @@
+"""Regression tests for the hardened inner acquisition optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition import ExpectedImprovement, optimize_acqf
+from repro.gp import GaussianProcess
+
+BOUNDS = np.tile([0.0, 1.0], (2, 1))
+
+
+class _QuadraticAcq:
+    """Deterministic smooth test acquisition: peak at (0.5, 0.5)."""
+
+    has_analytic_grad = False
+
+    def value(self, X):
+        X = np.atleast_2d(X)
+        return -np.sum((X - 0.5) ** 2, axis=1)
+
+
+class _NaNAcq:
+    has_analytic_grad = False
+
+    def value(self, X):
+        return np.full(np.atleast_2d(X).shape[0], np.nan)
+
+
+class _RaisingAcq:
+    has_analytic_grad = False
+
+    def value(self, X):
+        raise FloatingPointError("posterior collapsed")
+
+
+class _NaNJointAcq:
+    has_analytic_grad = False
+
+    def value(self, Xq):
+        return float("nan")
+
+
+class TestWarmStartValidation:
+    def test_nan_warm_start_is_dropped(self):
+        # Regression: a NaN warm start used to sort first (NaN > all in
+        # argsort) and be returned verbatim as the "best" candidate.
+        x, val = optimize_acqf(
+            _QuadraticAcq(), BOUNDS, seed=0, maxiter=10,
+            initial_points=np.array([[np.nan, np.nan]]),
+        )
+        assert np.all(np.isfinite(x))
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+        assert np.isfinite(val)
+
+    def test_out_of_box_warm_start_is_clipped(self):
+        x, _ = optimize_acqf(
+            _QuadraticAcq(), BOUNDS, seed=0, maxiter=10,
+            initial_points=np.array([[5.0, -3.0]]),
+        )
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+    def test_joint_warm_start_with_nan_rows_is_ignored(self):
+        gp = GaussianProcess(dim=2, input_bounds=BOUNDS)
+        rng = np.random.default_rng(0)
+        X = rng.random((10, 2))
+        gp.fit(X, np.sum(X**2, axis=1), n_restarts=0, maxiter=15, seed=0)
+        from repro.acquisition import qExpectedImprovement
+
+        acq = qExpectedImprovement(gp, 0.1, q=2, n_mc=16, seed=0)
+        warm = np.array([[np.nan, 0.2], [0.3, 0.4]])
+        Xq, _ = optimize_acqf(
+            acq, BOUNDS, q=2, n_restarts=2, raw_samples=16, maxiter=10,
+            seed=0, initial_points=[warm],
+        )
+        assert Xq.shape == (2, 2)
+        assert np.all(np.isfinite(Xq))
+
+
+class TestSickAcquisition:
+    def test_all_nan_values_degrade_to_random_candidate(self):
+        x, val = optimize_acqf(_NaNAcq(), BOUNDS, seed=0, maxiter=10)
+        assert np.all(np.isfinite(x))
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+        assert val == float("-inf")
+
+    def test_raising_acquisition_degrades_to_random_candidate(self):
+        x, val = optimize_acqf(_RaisingAcq(), BOUNDS, seed=0, maxiter=10)
+        assert np.all(np.isfinite(x))
+        assert val == float("-inf")
+
+    def test_joint_all_nan_returns_random_batch(self):
+        Xq, val = optimize_acqf(
+            _NaNJointAcq(), BOUNDS, q=3, n_restarts=2, raw_samples=16,
+            maxiter=10, seed=0,
+        )
+        assert Xq.shape == (3, 2)
+        assert np.all(np.isfinite(Xq))
+        assert val == float("-inf")
+
+    def test_collapsed_gp_ei_still_returns_in_bounds_point(self):
+        gp = GaussianProcess(dim=2, input_bounds=BOUNDS)
+        X = np.tile([0.5, 0.5], (8, 1))
+        gp.fit(X, np.zeros(8), optimize=False)
+        acq = ExpectedImprovement(gp, 0.0)
+        x, _ = optimize_acqf(acq, BOUNDS, seed=0, maxiter=10)
+        assert np.all(np.isfinite(x))
+        assert np.all(x >= 0.0) and np.all(x <= 1.0)
+
+
+class TestAvoidDuplicates:
+    def test_winning_duplicate_is_replaced(self):
+        # The acquisition's argmax is exactly an already-evaluated
+        # point; re-proposing it would waste a parallel evaluation.
+        avoid = np.array([[0.5, 0.5]])
+        x, _ = optimize_acqf(
+            _QuadraticAcq(), BOUNDS, seed=0, maxiter=40, n_restarts=4,
+            raw_samples=64, avoid=avoid, dedup_tol=1e-3,
+        )
+        assert np.max(np.abs(x - 0.5)) > 1e-3
+
+    def test_no_avoid_keeps_the_true_argmax(self):
+        x, _ = optimize_acqf(
+            _QuadraticAcq(), BOUNDS, seed=0, maxiter=40, n_restarts=4,
+            raw_samples=64,
+        )
+        np.testing.assert_allclose(x, [0.5, 0.5], atol=1e-4)
+
+    def test_joint_batch_rows_avoid_history(self):
+        avoid = np.array([[0.5, 0.5]])
+
+        class _PeakJointAcq:
+            has_analytic_grad = False
+
+            def value(self, Xq):
+                return -float(np.sum((np.atleast_2d(Xq) - 0.5) ** 2))
+
+        Xq, _ = optimize_acqf(
+            _PeakJointAcq(), BOUNDS, q=2, n_restarts=2, raw_samples=32,
+            maxiter=40, seed=0, avoid=avoid, dedup_tol=1e-3,
+        )
+        for row in Xq:
+            assert np.max(np.abs(row - 0.5)) > 1e-3
+
+    def test_nonfinite_with_avoid_returns_nonduplicate(self):
+        avoid = np.array([[0.25, 0.75]])
+        x, val = optimize_acqf(
+            _NaNAcq(), BOUNDS, seed=0, maxiter=10, avoid=avoid
+        )
+        assert np.all(np.isfinite(x))
+        assert np.max(np.abs(x - avoid[0])) > 1e-9
+        assert val == float("-inf")

@@ -1,0 +1,110 @@
+"""Chaos matrix: every paper algorithm under hostile conditions.
+
+Three scenarios that historically crash batch-BO stacks — a perfectly
+flat objective (zero target variance), an all-duplicate initial design
+(singular kernel matrix), and permanent worker death mid-run — are run
+against each of the five paper algorithms. The acceptance property is
+identical everywhere: the run completes without raising, the result is
+finite, and the journal records the degradations the supervisor
+absorbed along the way.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import make_optimizer, run_optimization
+from repro.core.driver import AnalyticTimeModel
+from repro.problems import FunctionProblem
+from repro.resilience import FaultSpec, RunJournal
+
+ALGORITHMS = ["kb_qego", "mic_qego", "mc_qego", "bsp_ego", "turbo"]
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 16},
+    "gp_options": {"n_restarts": 0, "maxiter": 15},
+}
+
+BOUNDS = np.tile([0.0, 1.0], (2, 1))
+
+
+def _flat_problem():
+    return FunctionProblem(
+        lambda X: np.zeros(np.atleast_2d(X).shape[0]), BOUNDS, sim_time=10.0
+    )
+
+
+def _quadratic_problem():
+    return FunctionProblem(
+        lambda X: np.sum(np.atleast_2d(X) ** 2, axis=1), BOUNDS, sim_time=10.0
+    )
+
+
+def _run(problem, algo, path, *, initial_design=None, faults=None,
+         budget=120.0):
+    optimizer = make_optimizer(algo, problem, 2, seed=3, **FAST)
+    return run_optimization(
+        problem,
+        optimizer,
+        budget,
+        n_initial=6,
+        initial_design=initial_design,
+        seed=0,
+        time_model=AnalyticTimeModel(),
+        journal=RunJournal(path, fsync=False),
+        faults=faults,
+    )
+
+
+def _events(path):
+    return [json.loads(line) for line in open(path)]
+
+
+def _assert_completed_with_degradations(path, result):
+    events = _events(path)
+    assert events[-1]["event"] == "run_completed"
+    degradations = [ev for ev in events if ev["event"] == "degradation"]
+    assert degradations, "a chaos run must journal its degradations"
+    assert np.isfinite(result.best_value)
+    assert result.n_cycles > 0
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS)
+class TestChaosMatrix:
+    def test_flat_objective(self, algo, tmp_path):
+        """Zero target variance: EI is identically zero, the GP's
+        standardization hits its floor — the run must still finish."""
+        path = tmp_path / "flat.jsonl"
+        result = _run(_flat_problem(), algo, path)
+        _assert_completed_with_degradations(path, result)
+        assert result.best_value == 0.0
+
+    def test_all_duplicate_initial_design(self, algo, tmp_path):
+        """Every initial point identical: the kernel matrix is rank
+        one and the incumbent is ambiguous."""
+        path = tmp_path / "dup.jsonl"
+        design = np.tile([0.4, 0.6], (6, 1))
+        result = _run(
+            _quadratic_problem(), algo, path, initial_design=design
+        )
+        _assert_completed_with_degradations(path, result)
+
+    def test_permanent_worker_death(self, algo, tmp_path):
+        """Workers die for good mid-run: the batch must shrink
+        elastically and the run must complete on the survivors."""
+        path = tmp_path / "death.jsonl"
+        result = _run(
+            _quadratic_problem(), algo, path,
+            faults=FaultSpec(death_rate=0.5, seed=1),
+        )
+        _assert_completed_with_degradations(path, result)
+        events = _events(path)
+        assert any(ev["event"] == "worker_death" for ev in events)
+        shrinks = [
+            ev for ev in events
+            if ev["event"] == "degradation"
+            and ev.get("kind") == "worker_death"
+        ]
+        assert shrinks and shrinks[0]["q_to"] < shrinks[0]["q_from"]

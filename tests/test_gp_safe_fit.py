@@ -1,0 +1,146 @@
+"""Surrogate self-healing: health checks, fallback ladder, fit failure."""
+
+import numpy as np
+import pytest
+
+from repro.gp import GaussianProcess, safe_fit
+from repro.gp.fit import fit_hyperparameters
+from repro.gp.safe_fit import (
+    SafeFitReport,
+    data_health_issues,
+    duplicate_row_groups,
+    model_health_issues,
+)
+from repro.util import FitFailedError, ModelError, SurrogateUnavailableError
+
+
+def _smooth_data(rng, n=20):
+    X = rng.random((n, 3))
+    y = np.sin(3.0 * X[:, 0]) + X[:, 1] ** 2 - 0.5 * X[:, 2]
+    return X, y
+
+
+class TestHealthChecks:
+    def test_duplicate_row_groups_finds_repeats(self):
+        X = np.array([[0.1, 0.2], [0.5, 0.5], [0.1, 0.2], [0.5, 0.5]])
+        keep, drop = duplicate_row_groups(X, span=np.ones(2))
+        assert keep.tolist() == [0, 1]
+        assert drop.tolist() == [2, 3]
+
+    def test_distinct_rows_are_all_kept(self, rng):
+        X = rng.random((15, 3))
+        keep, drop = duplicate_row_groups(X, span=np.ones(3))
+        assert keep.size == 15
+        assert drop.size == 0
+
+    def test_flat_targets_flagged(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        X = rng.random((10, 3))
+        issues = data_health_issues(gp, X, np.full(10, 3.7))
+        assert "flat_targets" in issues
+
+    def test_near_duplicate_rows_flagged(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        X = rng.random((10, 3))
+        X[7] = X[2] + 1e-12
+        issues = data_health_issues(gp, X, rng.random(10))
+        assert "near_duplicate_rows" in issues
+
+    def test_healthy_data_has_no_issues(self, rng, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        X, y = _smooth_data(rng)
+        assert data_health_issues(gp, X, y) == []
+
+    def test_healthy_model_has_no_variance_collapse(self, fitted_gp):
+        gp, X, y = fitted_gp
+        assert "variance_collapse" not in model_health_issues(gp, X, y)
+
+
+class TestSafeFit:
+    def test_healthy_fit_matches_plain_fit(self, rng, unit_bounds3):
+        X, y = _smooth_data(rng)
+        plain = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        plain.fit(X, y, n_restarts=1, maxiter=40, seed=7)
+        guarded = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        guarded, report = safe_fit(guarded, X, y, n_restarts=1, maxiter=40, seed=7)
+        assert report.level == 0
+        assert not report.degraded
+        np.testing.assert_allclose(guarded.kernel.theta, plain.kernel.theta)
+        np.testing.assert_allclose(guarded.log_noise, plain.log_noise)
+
+    def test_degenerate_design_still_yields_model(self, unit_bounds3):
+        # Every row identical: the straight fit's kernel matrix is
+        # maximally ill-conditioned, yet safe_fit must return a model
+        # able to predict.
+        X = np.tile([0.3, 0.6, 0.9], (12, 1))
+        y = np.zeros(12)
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp, report = safe_fit(gp, X, y, n_restarts=1, maxiter=30, seed=0)
+        mu, sigma = gp.predict(np.array([[0.5, 0.5, 0.5]]))
+        assert np.all(np.isfinite(mu)) and np.all(np.isfinite(sigma))
+        assert "near_duplicate_rows" in report.issues
+
+    def test_report_events_cover_issues_and_fallbacks(self):
+        report = SafeFitReport(
+            level=2, issues=["flat_targets"], errors=["NumericalError: x"],
+            n_dropped=3,
+        )
+        events = report.events()
+        kinds = {ev["kind"] for ev in events}
+        assert kinds == {"flat_targets", "fit_failed"}
+        fallback = next(ev for ev in events if ev["kind"] == "fit_failed")
+        assert fallback["action"] == "dedupe_refit"
+        assert fallback["n_dropped"] == 3
+
+    def test_ladder_exhaustion_raises_surrogate_unavailable(
+        self, rng, unit_bounds3
+    ):
+        class AlwaysSickGP(GaussianProcess):
+            def fit(self, *args, **kwargs):
+                raise ModelError("forced failure")
+
+        gp = AlwaysSickGP(dim=3, input_bounds=unit_bounds3)
+        X, y = _smooth_data(rng)
+        with pytest.raises(SurrogateUnavailableError):
+            safe_fit(gp, X, y, seed=0)
+
+    def test_ladder_rung_one_reuses_incumbent_hypers(self, rng, unit_bounds3):
+        class FlakyFitGP(GaussianProcess):
+            def fit(self, X, y, *, optimize=True, **kwargs):
+                if optimize and kwargs.get("n_restarts") is not None:
+                    raise ModelError("hyperparameter search diverged")
+                return super().fit(X, y, optimize=False)
+
+        gp = FlakyFitGP(dim=3, input_bounds=unit_bounds3)
+        X, y = _smooth_data(rng)
+        gp2, report = safe_fit(gp, X, y, n_restarts=1, maxiter=30, seed=0)
+        assert report.level == 1
+        assert report.action == "reuse_hypers"
+        mu, _ = gp2.predict(X[:3])
+        assert np.all(np.isfinite(mu))
+
+
+class TestFitHyperparameters:
+    def test_all_nonfinite_starts_raise_and_restore_theta(
+        self, rng, unit_bounds3, monkeypatch
+    ):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        X, y = _smooth_data(rng)
+        gp.fit(X, y, optimize=False)
+        kernel = gp.kernel
+        theta_before = np.asarray(kernel.theta).copy()
+
+        import repro.gp.fit as fit_mod
+
+        monkeypatch.setattr(
+            fit_mod,
+            "mll_value_and_grad",
+            lambda *args, **kwargs: (np.nan, np.zeros(theta_before.size + 1)),
+        )
+        with pytest.raises(FitFailedError):
+            fit_hyperparameters(
+                kernel, gp.log_noise, gp.noise_bounds, X, y,
+                n_restarts=1, maxiter=10, seed=0,
+            )
+        # The failed search must not leave a clipped/garbage theta behind.
+        np.testing.assert_array_equal(np.asarray(kernel.theta), theta_before)

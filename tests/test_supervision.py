@@ -1,0 +1,307 @@
+"""Driver supervisor, worker death, and adaptive-timeout tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SupervisorConfig, make_optimizer, run_optimization
+from repro.core.driver import AnalyticTimeModel
+from repro.core.supervision import CycleSupervisor
+from repro.parallel import RuntimeQuantiles, SimulatedCluster, VirtualClock
+from repro.problems import get_benchmark
+from repro.resilience import FaultSpec, RunJournal
+from repro.util import ConfigurationError
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 16},
+    "gp_options": {"n_restarts": 0, "maxiter": 15},
+}
+
+
+def _events(path):
+    return [json.loads(line) for line in open(path)]
+
+
+class TestSupervisorConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(max_sick_cycles=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(quarantine_cycles=-1)
+
+
+class TestCycleSupervisor:
+    def _supervisor(self, config=None, journal=None):
+        problem = get_benchmark("sphere", dim=2)
+        optimizer = make_optimizer("kb_qego", problem, 2, seed=0, **FAST)
+        return CycleSupervisor(
+            config or SupervisorConfig(), problem, optimizer, journal=journal
+        )
+
+    def test_healthy_propose_passes_through_and_consumes_no_extra_rng(self):
+        problem = get_benchmark("sphere", dim=2)
+
+        def make(seed):
+            opt = make_optimizer("kb_qego", problem, 2, seed=seed, **FAST)
+            X0 = np.random.default_rng(5).random((8, 2))
+            opt.initialize(X0, problem(X0))
+            return opt
+
+        plain = make(0)
+        supervised = make(0)
+        sup = CycleSupervisor(SupervisorConfig(), problem, supervised)
+        X_plain = plain.propose().X
+        X_sup = sup.propose(1).X
+        np.testing.assert_array_equal(X_plain, X_sup)
+        assert sup.fail_streak == 0
+        # The RNG streams must remain in lockstep after supervision.
+        assert plain.rng.bit_generator.state == supervised.rng.bit_generator.state
+
+    def test_failing_propose_degrades_to_random_batch(self):
+        sup = self._supervisor()
+        sup.optimizer.propose = lambda: (_ for _ in ()).throw(
+            RuntimeError("model exploded")
+        )
+        proposal = sup.propose(1)
+        assert proposal.X.shape == (2, 2)
+        assert proposal.info["fallback"] == "propose_failed"
+        assert sup.fail_streak == 1
+        assert np.all(np.isfinite(proposal.X))
+
+    def test_persistent_sickness_triggers_quarantine_then_recovery(self):
+        config = SupervisorConfig(max_sick_cycles=2, quarantine_cycles=3)
+        sup = self._supervisor(config)
+        sup.optimizer.propose = lambda: (_ for _ in ()).throw(
+            RuntimeError("still sick")
+        )
+        sup.propose(1)
+        sup.propose(2)  # second failure -> quarantine armed
+        assert sup.quarantine_remaining == 3
+        for cycle in range(3, 6):
+            proposal = sup.propose(cycle)
+            assert proposal.info["fallback"] == "quarantine"
+        assert sup.quarantine_remaining == 0
+
+        # After quarantine the (healed) model is trusted again.
+        problem = sup.problem
+        X0 = np.random.default_rng(1).random((8, 2))
+        sup.optimizer.initialize(X0, problem(X0))
+        del sup.optimizer.propose  # restore the real method
+        proposal = sup.propose(6)
+        assert "fallback" not in proposal.info
+        assert sup.fail_streak == 0
+
+    def test_adapt_workers_shrinks_batch_and_journals(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, fsync=False)
+        sup = self._supervisor(journal=journal)
+        sup.adapt_workers(alive=1, cycle=4)
+        assert sup.optimizer.n_batch == 1
+        ev = _events(path)[0]
+        assert ev["event"] == "degradation"
+        assert ev["kind"] == "worker_death"
+        assert ev["q_from"] == 2 and ev["q_to"] == 1
+
+    def test_adapt_workers_noop_when_all_alive(self):
+        sup = self._supervisor()
+        sup.adapt_workers(alive=2, cycle=1)
+        assert sup.optimizer.n_batch == 2
+        assert sup.n_degradations == 0
+
+    def test_state_roundtrip(self):
+        sup = self._supervisor()
+        sup.fail_streak = 2
+        sup.quarantine_remaining = 4
+        sup.optimizer.n_batch = 1
+        state = sup.state()
+        other = self._supervisor()
+        other.restore(state)
+        assert other.fail_streak == 2
+        assert other.quarantine_remaining == 4
+        assert other.optimizer.n_batch == 1
+
+
+class TestWorkerDeath:
+    def test_cluster_loses_workers_permanently(self):
+        from repro.resilience.faults import FaultySimulatedCluster
+
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        cluster = FaultySimulatedCluster(
+            4, clock=VirtualClock(),
+            spec=FaultSpec(death_rate=0.9, seed=0),
+        )
+        X = np.random.default_rng(0).random((4, 2))
+        cluster.evaluate(problem, X)
+        assert 1 <= cluster.alive_workers < 4
+        alive_after_first = cluster.alive_workers
+        for _ in range(5):
+            cluster.evaluate(problem, X)
+        assert cluster.alive_workers <= alive_after_first
+        assert cluster.alive_workers >= 1  # the last worker never dies
+
+    def test_dead_workers_slow_the_batch(self):
+        cluster = SimulatedCluster(4, clock=VirtualClock())
+        full = cluster.batch_duration(4, 10.0)
+        cluster.alive_workers = 1
+        degraded = cluster.batch_duration(4, 10.0)
+        assert degraded > full  # 4 serial waves instead of 1
+
+    def test_zero_death_rate_preserves_fault_stream(self):
+        # The death draw must not consume fault randomness when
+        # disabled, or existing fault-injection runs would change.
+        from repro.resilience.faults import FaultySimulatedCluster
+
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        X = np.random.default_rng(0).random((4, 2))
+
+        def run(spec):
+            cluster = FaultySimulatedCluster(
+                4, clock=VirtualClock(), spec=spec
+            )
+            for _ in range(3):
+                cluster.evaluate(problem, X)
+            return cluster.n_faults, cluster.fault_rng.bit_generator.state
+
+        old = run(FaultSpec(nan_rate=0.3, seed=7))
+        new = run(FaultSpec(nan_rate=0.3, seed=7, death_rate=0.0))
+        assert old == new
+
+    def test_elastic_shrink_in_full_run(self, tmp_path):
+        problem = get_benchmark("ackley", dim=2, sim_time=10.0)
+        optimizer = make_optimizer("kb_qego", problem, 3, seed=3, **FAST)
+        path = tmp_path / "run.jsonl"
+        result = run_optimization(
+            problem, optimizer, 150.0, n_initial=6, seed=0,
+            time_model=AnalyticTimeModel(),
+            journal=RunJournal(path, fsync=False),
+            faults=FaultSpec(death_rate=0.5, seed=2),
+        )
+        assert result.n_cycles > 0
+        events = _events(path)
+        shrinks = [
+            ev for ev in events
+            if ev["event"] == "degradation" and ev.get("kind") == "worker_death"
+        ]
+        assert shrinks, "worker deaths must journal an elastic shrink"
+        assert optimizer.n_batch < 3
+        assert events[-1]["event"] == "run_completed"
+
+
+class TestSupervisedResume:
+    def test_kill_and_resume_equivalence_on_degraded_run(self, tmp_path):
+        """PR-1's acceptance property must survive supervision: a run
+        whose every cycle journals degradations (flat objective ->
+        passive health flags) resumes bit-exactly."""
+        from repro.problems import FunctionProblem
+        from repro.resilience import resume_run
+
+        bounds = np.tile([0.0, 1.0], (2, 1))
+
+        def flat(X):
+            return np.zeros(np.atleast_2d(X).shape[0])
+
+        def make_problem():
+            return FunctionProblem(flat, bounds, sim_time=10.0)
+
+        def make_opt(problem):
+            return make_optimizer("kb_qego", problem, 2, seed=3, **FAST)
+
+        problem = make_problem()
+        reference = run_optimization(
+            problem, make_opt(problem), 150.0, n_initial=6, seed=0,
+            time_model=AnalyticTimeModel(),
+        )
+
+        class KillSwitch:
+            def __init__(self, inner, n_calls):
+                self.inner = inner
+                self.n_calls = n_calls
+                self.calls = 0
+
+            def __call__(self, X):
+                self.calls += np.atleast_2d(X).shape[0]
+                if self.calls > self.n_calls:
+                    raise KeyboardInterrupt("simulated kill")
+                return self.inner(X)
+
+            def __getattr__(self, attr):
+                return getattr(self.inner, attr)
+
+        path = tmp_path / "run.jsonl"
+        killer = KillSwitch(make_problem(), 14)
+        with pytest.raises(KeyboardInterrupt):
+            run_optimization(
+                killer, make_opt(killer), 150.0, n_initial=6, seed=0,
+                time_model=AnalyticTimeModel(),
+                journal=RunJournal(path, fsync=False),
+            )
+        resumed = resume_run(
+            path, problem=make_problem(), fsync=False,
+            optimizer_kwargs=FAST,
+        )
+        assert resumed.n_cycles == reference.n_cycles
+        assert resumed.best_value == reference.best_value
+        assert np.array_equal(resumed.best_x, reference.best_x)
+        # The degraded cycles were journaled before and after the kill.
+        degradations = [
+            ev for ev in _events(path) if ev["event"] == "degradation"
+        ]
+        assert degradations
+
+
+class TestRuntimeQuantiles:
+    def test_returns_default_until_min_samples(self):
+        rq = RuntimeQuantiles(min_samples=5)
+        for _ in range(4):
+            rq.observe(10.0)
+        assert rq.timeout(default=60.0) == 60.0
+
+    def test_learns_tighter_timeout(self):
+        rq = RuntimeQuantiles(quantile=0.95, multiplier=3.0, min_samples=5)
+        for _ in range(10):
+            rq.observe(10.0)
+        assert rq.timeout(default=60.0) == pytest.approx(30.0)
+
+    def test_never_exceeds_static_limit(self):
+        rq = RuntimeQuantiles(min_samples=2)
+        for _ in range(5):
+            rq.observe(100.0)
+        assert rq.timeout(default=60.0) == 60.0
+
+    def test_window_tracks_drift(self):
+        rq = RuntimeQuantiles(min_samples=2, window=4)
+        for _ in range(10):
+            rq.observe(50.0)
+        for _ in range(4):
+            rq.observe(1.0)
+        assert rq.quantile_value() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeQuantiles(quantile=1.5)
+        with pytest.raises(ConfigurationError):
+            RuntimeQuantiles(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RuntimeQuantiles(window=2, min_samples=8)
+        with pytest.raises(ConfigurationError):
+            RuntimeQuantiles().observe(-1.0)
+
+    def test_adaptive_timeout_cuts_hung_simulations_sooner(self):
+        from repro.resilience.faults import FaultySimulatedCluster, RetryPolicy
+
+        problem = get_benchmark("sphere", dim=2, sim_time=10.0)
+        spec = FaultSpec(timeout_rate=0.3, timeout=60.0, seed=0,
+                         adaptive_timeout=True)
+
+        cluster = FaultySimulatedCluster(
+            4, clock=VirtualClock(), spec=spec,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        X = np.random.default_rng(0).random((4, 2))
+        # Warm up the runtime estimate past min_samples.
+        for _ in range(4):
+            cluster.evaluate(problem, X)
+        assert cluster.effective_timeout() == pytest.approx(30.0)
+        assert cluster.effective_timeout() < spec.timeout
