@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize
 
+from repro.obs.tracer import trace_span
 from repro.util import (
     ConfigurationError,
     RandomState,
@@ -97,15 +98,25 @@ def optimize_acqf(
     rng = as_generator(seed)
     if avoid is not None:
         avoid = np.asarray(avoid, dtype=np.float64).reshape(-1, bounds.shape[0])
-    if q == 1:
-        return _optimize_single(
-            acq, bounds, n_restarts, raw_samples, maxiter, rng,
-            initial_points, avoid, dedup_tol,
-        )
-    return _optimize_joint(
-        acq, bounds, q, n_restarts, raw_samples, maxiter, rng,
-        initial_points, avoid, dedup_tol,
-    )
+    with trace_span(
+        "acq_optimize",
+        q=q,
+        acq=type(acq).__name__,
+        n_restarts=n_restarts,
+        raw_samples=raw_samples,
+    ) as sp:
+        if q == 1:
+            x, value = _optimize_single(
+                acq, bounds, n_restarts, raw_samples, maxiter, rng,
+                initial_points, avoid, dedup_tol,
+            )
+        else:
+            x, value = _optimize_joint(
+                acq, bounds, q, n_restarts, raw_samples, maxiter, rng,
+                initial_points, avoid, dedup_tol,
+            )
+        sp.set(value=float(value))
+    return x, value
 
 
 def _uniform(rng: np.random.Generator, n: int, bounds: np.ndarray) -> np.ndarray:

@@ -92,7 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quarantine-cycles", type=int, default=5,
                         help="random-search cycles served per quarantine "
                              "before the surrogate is retried")
+    _add_obs_arguments(parser)
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags, shared by the run and resume parsers."""
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable span tracing and write the JSONL "
+                             "trace (fit/acq/evaluate/checkpoint spans, "
+                             "wall + virtual clocks, correlated to the "
+                             "journal by cycle id) to PATH; also prints "
+                             "a per-phase wall-time table")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable metrics collection and write the "
+                             "counters/gauges/histogram snapshot as JSON "
+                             "to PATH")
 
 
 def build_resume_parser() -> argparse.ArgumentParser:
@@ -108,7 +123,44 @@ def build_resume_parser() -> argparse.ArgumentParser:
                         help="suppress the cycle table")
     parser.add_argument("--no-fsync", action="store_true",
                         help="skip per-event fsync while continuing")
+    _add_obs_arguments(parser)
     return parser
+
+
+def _setup_obs(args):
+    """Install the tracer/metrics requested on the command line.
+
+    Returns ``(tracer, metrics)`` — either may be ``None`` when the
+    corresponding flag is absent, leaving the shared null objects in
+    place (the strict no-op fast path).
+    """
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, set_metrics
+
+        metrics = MetricsRegistry()
+        set_metrics(metrics)
+    return tracer, metrics
+
+
+def _export_obs(args, tracer, metrics, *, quiet: bool) -> None:
+    """Write the trace/metrics artefacts and print the phase table."""
+    if tracer is not None:
+        from repro.obs import phase_summary, summary_markdown, write_trace_jsonl
+
+        path = write_trace_jsonl(tracer, args.trace)
+        print(f"\ntrace written to {path} ({len(tracer.spans)} spans)")
+        if not quiet:
+            print("\n" + summary_markdown(phase_summary(tracer.spans)))
+    if metrics is not None:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(metrics.snapshot(), fh, indent=2)
+        print(f"metrics written to {args.metrics_out}")
 
 
 def make_problem(args):
@@ -150,8 +202,10 @@ def main_resume(argv=None) -> int:
     args = build_resume_parser().parse_args(argv)
     from repro.resilience import resume_run
 
+    tracer, metrics = _setup_obs(args)
     result = resume_run(args.journal, fsync=not args.no_fsync)
     _report(result, result.seed, quiet=args.quiet, json_path=args.json)
+    _export_obs(args, tracer, metrics, quiet=args.quiet)
     return 0
 
 
@@ -193,6 +247,7 @@ def main(argv=None) -> int:
         max_sick_cycles=args.max_sick_cycles,
         quarantine_cycles=args.quarantine_cycles,
     )
+    tracer, metrics = _setup_obs(args)
 
     result = run_optimization(
         problem,
@@ -207,6 +262,7 @@ def main(argv=None) -> int:
         supervisor=supervisor,
     )
     _report(result, args.seed, quiet=args.quiet, json_path=args.json)
+    _export_obs(args, tracer, metrics, quiet=args.quiet)
     return 0
 
 

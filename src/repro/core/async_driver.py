@@ -30,6 +30,8 @@ from repro.acquisition import ExpectedImprovement, optimize_acqf
 from repro.doe import latin_hypercube
 from repro.gp import GaussianProcess
 from repro.gp.safe_fit import safe_fit
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import trace_span
 from repro.util import ConfigurationError, ModelError, RandomState, as_generator
 
 #: Inner-optimization defaults (match the synchronous algorithms).
@@ -198,61 +200,67 @@ def run_async_optimization(
 
     def dispatch(worker: int) -> None:
         nonlocal now, counter
-        t0 = time.perf_counter()
-        try:
-            busy = np.asarray([x for _, _, _, x in pending])
-            model = gp.fantasize(busy) if busy.size else gp
-            best_f = float(np.min(y))
-            acq = ExpectedImprovement(model, best_f)
-            x_next, _ = optimize_acqf(
-                acq,
-                problem.bounds,
-                n_restarts=acq_opts["n_restarts"],
-                raw_samples=acq_opts["raw_samples"],
-                maxiter=acq_opts["maxiter"],
-                seed=rng,
-                avoid=X,
+        with trace_span("dispatch", index=counter + 1, worker=worker) as sp:
+            t0 = time.perf_counter()
+            try:
+                busy = np.asarray([x for _, _, _, x in pending])
+                model = gp.fantasize(busy) if busy.size else gp
+                best_f = float(np.min(y))
+                acq = ExpectedImprovement(model, best_f)
+                x_next, _ = optimize_acqf(
+                    acq,
+                    problem.bounds,
+                    n_restarts=acq_opts["n_restarts"],
+                    raw_samples=acq_opts["raw_samples"],
+                    maxiter=acq_opts["maxiter"],
+                    seed=rng,
+                    avoid=X,
+                )
+            except Exception as exc:
+                # A sick fantasy model must not idle the freed worker:
+                # the dispatch degrades to a random in-bounds candidate.
+                lo, hi = problem.bounds[:, 0], problem.bounds[:, 1]
+                x_next = lo + rng.random(problem.dim) * (hi - lo)
+                if journal is not None:
+                    journal.record(
+                        "degradation",
+                        index=counter + 1,
+                        stage="model",
+                        kind=f"dispatch_failed:{type(exc).__name__}",
+                        action="random_candidate",
+                        detail=str(exc)[:500],
+                    )
+            acq_time = (time.perf_counter() - t0) * time_scale
+            now += acq_time  # the master's selection blocks the timeline
+            finish = now + sim_duration()
+            heapq.heappush(pending, (finish, counter, worker, x_next))
+            counter += 1
+            sp.set(acq_s=acq_time, t_dispatch=now, t_finish=finish)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.histogram("async.acq_s").observe(acq_time)
+                metrics.counter("async.dispatches_total").inc()
+            history.append(
+                DispatchRecord(
+                    index=counter,
+                    t_dispatch=now,
+                    t_finish=finish,
+                    worker=worker,
+                    acq_time=acq_time,
+                    fit_time=0.0,
+                    best_value=float(sign * np.min(y)),
+                )
             )
-        except Exception as exc:
-            # A sick fantasy model must not idle the freed worker: the
-            # dispatch degrades to a random in-bounds candidate.
-            lo, hi = problem.bounds[:, 0], problem.bounds[:, 1]
-            x_next = lo + rng.random(problem.dim) * (hi - lo)
             if journal is not None:
                 journal.record(
-                    "degradation",
-                    index=counter + 1,
-                    stage="model",
-                    kind=f"dispatch_failed:{type(exc).__name__}",
-                    action="random_candidate",
-                    detail=str(exc)[:500],
+                    "dispatch",
+                    index=counter,
+                    worker=worker,
+                    t_dispatch=now,
+                    t_finish=finish,
+                    acq_time=acq_time,
+                    x=x_next.tolist(),
                 )
-        acq_time = (time.perf_counter() - t0) * time_scale
-        now += acq_time  # the master's selection blocks the timeline
-        finish = now + sim_duration()
-        heapq.heappush(pending, (finish, counter, worker, x_next))
-        counter += 1
-        history.append(
-            DispatchRecord(
-                index=counter,
-                t_dispatch=now,
-                t_finish=finish,
-                worker=worker,
-                acq_time=acq_time,
-                fit_time=0.0,
-                best_value=float(sign * np.min(y)),
-            )
-        )
-        if journal is not None:
-            journal.record(
-                "dispatch",
-                index=counter,
-                worker=worker,
-                t_dispatch=now,
-                t_finish=finish,
-                acq_time=acq_time,
-                x=x_next.tolist(),
-            )
 
     # Fill every worker once, then steady-state: one completion -> one
     # (possibly deferred) refit -> one dispatch.
@@ -292,19 +300,20 @@ def run_async_optimization(
         y = np.concatenate([y, y_new])
 
         t0 = time.perf_counter()
-        if n_done % refit_every == 0:
-            gp, report = safe_fit(
-                gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
-            )
-            _journal_degradations(report, n_done)
-        else:
-            try:
-                gp.fit(X, y, optimize=False)
-            except ModelError:
+        with trace_span("refit", index=n_done, n_train=X.shape[0]):
+            if n_done % refit_every == 0:
                 gp, report = safe_fit(
                     gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
                 )
                 _journal_degradations(report, n_done)
+            else:
+                try:
+                    gp.fit(X, y, optimize=False)
+                except ModelError:
+                    gp, report = safe_fit(
+                        gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
+                    )
+                    _journal_degradations(report, n_done)
         fit_time = (time.perf_counter() - t0) * time_scale
         now += fit_time
         if history:

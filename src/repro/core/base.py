@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.gp import GaussianProcess
 from repro.gp.safe_fit import safe_fit
+from repro.obs.tracer import trace_span
 from repro.util import (
     ConfigurationError,
     RandomState,
@@ -270,7 +271,9 @@ class BatchOptimizer:
         y = self.y if y is None else y
         X, y = self._training_subset(X, y)
         sw = _Stopwatch()
-        with sw:
+        with trace_span(
+            "fit", algorithm=self.name, n_train=X.shape[0]
+        ) as sp, sw:
             gp, report = safe_fit(
                 self._make_surrogate(),
                 X,
@@ -279,6 +282,7 @@ class BatchOptimizer:
                 maxiter=self.gp_options["maxiter"],
                 seed=self.rng,
             )
+        sp.set(degraded=report.degraded)
         self.gp = gp
         self._degradations.extend(report.events())
         return gp, sw.total

@@ -29,6 +29,8 @@ import numpy as np
 from repro.core.base import BatchOptimizer, Proposal
 from repro.core.supervision import CycleSupervisor, SupervisorConfig
 from repro.doe import latin_hypercube
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer, trace_span
 from repro.parallel import OverheadModel, SimulatedCluster, VirtualClock, lpt_makespan
 from repro.util import (
     ConfigurationError,
@@ -313,6 +315,12 @@ def run_optimization(
     rng = as_generator(seed)
     q = optimizer.n_batch
     clock = VirtualClock()
+    # Observability is read-only: spans/metrics never touch an RNG
+    # stream or the journal, so enabling them is bit-neutral (the
+    # golden-trace suite pins this).
+    tracer = get_tracer()
+    tracer.attach_clock(clock)
+    metrics = get_metrics()
     if faults is not None:
         from repro.resilience.faults import FaultySimulatedCluster, RetryPolicy
 
@@ -395,75 +403,110 @@ def run_optimization(
 
     while clock.now < budget and cycle < max_cycles:
         t_start = clock.now
-        sup.adapt_workers(cluster.alive_workers, cycle + 1)
-        q_now = optimizer.n_batch
-        proposal = sup.propose(cycle + 1)
-        if time_model is not None:
-            acq_charged = time_model.charge(
-                proposal, optimizer.X.shape[0], q_now
-            )
-        elif proposal.acq_durations is not None:
-            # Parallel acquisition (BSP-EGO): charge the makespan of
-            # the per-region durations spread over the workers.
-            acq_wall = lpt_makespan(
-                [d * time_scale for d in proposal.acq_durations], q_now
-            )
-            acq_charged = proposal.fit_time * time_scale + acq_wall
-        else:
-            acq_charged = (proposal.fit_time + proposal.acq_time) * time_scale
-        cluster.charge(acq_charged)
+        with trace_span("cycle", cycle=cycle + 1,
+                        algorithm=optimizer.name) as cyc_sp:
+            sup.adapt_workers(cluster.alive_workers, cycle + 1)
+            q_now = optimizer.n_batch
+            with trace_span("propose", cycle=cycle + 1):
+                proposal = sup.propose(cycle + 1)
+            if time_model is not None:
+                acq_charged = time_model.charge(
+                    proposal, optimizer.X.shape[0], q_now
+                )
+            elif proposal.acq_durations is not None:
+                # Parallel acquisition (BSP-EGO): charge the makespan of
+                # the per-region durations spread over the workers.
+                acq_wall = lpt_makespan(
+                    [d * time_scale for d in proposal.acq_durations], q_now
+                )
+                acq_charged = proposal.fit_time * time_scale + acq_wall
+            else:
+                acq_charged = (
+                    proposal.fit_time + proposal.acq_time
+                ) * time_scale
+            cluster.charge(acq_charged)
 
-        t_before_sim = clock.now
-        y_native = np.asarray(
-            cluster.evaluate(problem, proposal.X), dtype=np.float64
-        ).reshape(-1)
-        sim_charged = clock.now - t_before_sim
-        X_used, y_used = _guard_nonfinite(
-            proposal.X, sign * y_native, optimizer, fallback,
-            journal=journal, cycle=cycle + 1,
-        )
-        if y_used.size > 0:
-            optimizer.update(X_used, y_used)
+            t_before_sim = clock.now
+            evals_before = cluster.n_evaluations
+            with trace_span("evaluate", cycle=cycle + 1,
+                            q=proposal.X.shape[0]) as ev_sp:
+                y_native = np.asarray(
+                    cluster.evaluate(problem, proposal.X), dtype=np.float64
+                ).reshape(-1)
+            sim_charged = clock.now - t_before_sim
+            if tracer.enabled or metrics.enabled:
+                # Per-worker busy/idle accounting on the virtual
+                # timeline: the batch occupied alive_workers slots for
+                # sim_charged virtual seconds; only n_evals · sim_time
+                # of that capacity was spent simulating (the rest is
+                # wave slack, parallel-call overhead, and retry backoff
+                # under fault injection).
+                n_evals = cluster.n_evaluations - evals_before
+                busy = n_evals * float(problem.sim_time)
+                idle = max(0.0, cluster.alive_workers * sim_charged - busy)
+                ev_sp.set(n_evals=n_evals, busy_virtual_s=busy,
+                          idle_virtual_s=idle)
+                metrics.counter("cluster.busy_virtual_s").inc(busy)
+                metrics.counter("cluster.idle_virtual_s").inc(idle)
+                metrics.gauge("cluster.alive_workers").set(
+                    cluster.alive_workers
+                )
+            X_used, y_used = _guard_nonfinite(
+                proposal.X, sign * y_native, optimizer, fallback,
+                journal=journal, cycle=cycle + 1,
+            )
+            if y_used.size > 0:
+                optimizer.update(X_used, y_used)
 
-        cycle += 1
-        history.append(
-            CycleRecord(
-                cycle=cycle,
-                t_start=t_start,
-                fit_time=proposal.fit_time,
-                acq_time=proposal.acq_time,
-                acq_charged=acq_charged,
-                sim_charged=sim_charged,
-                batch_size=proposal.X.shape[0],
-                best_value=native_best(),
-                n_evaluations=n_initial_pts + cluster.n_evaluations,
+            cycle += 1
+            history.append(
+                CycleRecord(
+                    cycle=cycle,
+                    t_start=t_start,
+                    fit_time=proposal.fit_time,
+                    acq_time=proposal.acq_time,
+                    acq_charged=acq_charged,
+                    sim_charged=sim_charged,
+                    batch_size=proposal.X.shape[0],
+                    best_value=native_best(),
+                    n_evaluations=n_initial_pts + cluster.n_evaluations,
+                )
             )
-        )
-        if journal is not None:
-            snapshot = (
-                optimizer.get_state()
-                if cycle % checkpoint_every == 0
-                else None
-            )
-            journal.record(
-                "cycle",
-                cycle=cycle,
-                t_start=t_start,
-                clock=clock.now,
-                fit_time=proposal.fit_time,
-                acq_time=proposal.acq_time,
-                acq_charged=acq_charged,
-                sim_charged=sim_charged,
-                X=to_jsonable(np.asarray(proposal.X, dtype=np.float64)),
-                y_raw=to_jsonable(y_native),
-                X_used=to_jsonable(np.asarray(X_used, dtype=np.float64)),
-                y_used=to_jsonable(sign * y_used),
-                best_value=native_best(),
-                n_evaluations=n_initial_pts + cluster.n_evaluations,
-                n_batches=cluster.n_batches,
-                supervisor={**sup.state(), "alive": int(cluster.alive_workers)},
-                state=snapshot,
-            )
+            if journal is not None:
+                snapshot = (
+                    optimizer.get_state()
+                    if cycle % checkpoint_every == 0
+                    else None
+                )
+                with trace_span("checkpoint", cycle=cycle,
+                                snapshot=snapshot is not None):
+                    journal.record(
+                        "cycle",
+                        cycle=cycle,
+                        t_start=t_start,
+                        clock=clock.now,
+                        fit_time=proposal.fit_time,
+                        acq_time=proposal.acq_time,
+                        acq_charged=acq_charged,
+                        sim_charged=sim_charged,
+                        X=to_jsonable(np.asarray(proposal.X, dtype=np.float64)),
+                        y_raw=to_jsonable(y_native),
+                        X_used=to_jsonable(np.asarray(X_used, dtype=np.float64)),
+                        y_used=to_jsonable(sign * y_used),
+                        best_value=native_best(),
+                        n_evaluations=n_initial_pts + cluster.n_evaluations,
+                        n_batches=cluster.n_batches,
+                        supervisor={**sup.state(), "alive": int(cluster.alive_workers)},
+                        state=snapshot,
+                    )
+            if metrics.enabled:
+                metrics.histogram("cycle.fit_s").observe(proposal.fit_time)
+                metrics.histogram("cycle.acq_s").observe(proposal.acq_time)
+                metrics.histogram("cycle.acq_charged_s").observe(acq_charged)
+                metrics.histogram("cycle.sim_charged_s").observe(sim_charged)
+                metrics.counter("cycles_total").inc()
+            cyc_sp.set(best_value=native_best(),
+                       n_evaluations=n_initial_pts + cluster.n_evaluations)
 
     result = OptimizationResult(
         problem=problem.name,

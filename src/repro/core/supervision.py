@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.core.base import Proposal
 from repro.doe import latin_hypercube
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import trace_event
 from repro.util import BudgetExhausted, ConfigurationError
 
 
@@ -93,6 +95,16 @@ class CycleSupervisor:
     # -- journaling -----------------------------------------------------
     def _record(self, cycle: int, **payload) -> None:
         self.n_degradations += 1
+        # Mirror every degradation into the observability layer (both
+        # are no-ops unless enabled, and neither touches the journal
+        # bytes or any RNG stream).
+        trace_event("degradation", cycle=cycle,
+                    kind=payload.get("kind"), stage=payload.get("stage"))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("degradations_total").inc()
+            stage = payload.get("stage", "unknown")
+            metrics.counter(f"degradations.{stage}").inc()
         if self.journal is not None:
             self.journal.record("degradation", cycle=cycle, **payload)
 

@@ -206,6 +206,30 @@ class Campaign:
             out.append(self.get(prob, algo, q, seed))
         return out
 
+    def cached_runs(
+        self,
+        problem: str | None = None,
+        algorithm: str | None = None,
+        n_batch: int | None = None,
+    ) -> list[RunRecord]:
+        """Like :meth:`runs`, but never executes a missing cell.
+
+        Read-only consumers (the profiling tables) use this so that
+        rendering a partially-cached campaign stays side-effect free.
+        """
+        out = []
+        for prob, algo, q, seed in self.cells():
+            if problem is not None and prob != problem:
+                continue
+            if algorithm is not None and algo != algorithm:
+                continue
+            if n_batch is not None and q != n_batch:
+                continue
+            record = self._load(run_key(prob, algo, q, seed))
+            if record is not None:
+                out.append(record)
+        return out
+
     def final_values(
         self, problem: str, algorithm: str, n_batch: int
     ) -> list[float]:

@@ -1,0 +1,113 @@
+"""Per-phase time-breakdown tables for campaigns and traced runs.
+
+The paper's central argument is about *where the time goes*: as the
+batch size grows, the master's fit/acquisition overhead catches up
+with the simulation time until the breaking point. These renderers
+make that breakdown explicit:
+
+- :func:`record_breakdown` — the per-phase totals of one cached
+  :class:`~repro.experiments.records.RunRecord`;
+- :func:`profiling_table` — the campaign-level table: per algorithm
+  and batch size, median per-cycle fit/acquisition seconds and the
+  share of the virtual budget spent on master overhead;
+- :func:`trace_breakdown_text` — the per-cycle phase table of one
+  JSONL trace produced with ``--trace`` (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.tables import _fmt_table
+from repro.obs.export import CYCLE_PHASES, cycle_breakdown, read_trace
+
+
+def record_breakdown(record) -> dict[str, float]:
+    """Per-phase totals (charged virtual seconds) of one run record.
+
+    ``fit_s`` / ``acq_s`` are the measured master seconds summed over
+    cycles; ``charged_s`` is what the virtual clock was actually
+    charged for fit **plus** acquisition together (the driver's
+    ``acq_charged`` covers both; BSP-EGO's parallel acquisition
+    charges the LPT makespan, so its ``charged_s`` undercuts the
+    serial sum); ``sim_s`` is the remainder of the elapsed budget,
+    i.e. simulation + parallel-call overhead; ``overhead_frac`` is
+    charged master time over the total elapsed.
+    """
+    fit_s = float(np.sum(record.fit_times))
+    acq_s = float(np.sum(record.acq_times))
+    charged = float(np.sum(record.acq_charged))
+    elapsed = float(record.elapsed)
+    return {
+        "fit_s": fit_s,
+        "acq_s": acq_s,
+        "charged_s": charged,
+        "sim_s": max(0.0, elapsed - charged),
+        "overhead_frac": charged / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def profiling_table(campaign: Campaign, problem: str | None = None) -> str:
+    """Per algorithm × batch size: where the virtual budget went.
+
+    Aggregates every cached seed of the campaign (restricted to one
+    problem when given): median per-cycle fit and acquisition seconds,
+    mean charged master-overhead share of the elapsed budget. Reads
+    the cache only — a partially-run campaign renders its cached
+    cells without triggering the missing ones.
+    """
+    preset = campaign.preset
+    problems = (problem,) if problem is not None else campaign.problems
+    rows = []
+    for algo in preset.algorithms:
+        for q in preset.batch_sizes:
+            records = []
+            for prob in problems:
+                records.extend(
+                    campaign.cached_runs(problem=prob, algorithm=algo,
+                                         n_batch=q)
+                )
+            if not records:
+                continue
+            fit = np.concatenate(
+                [np.asarray(r.fit_times, dtype=float) for r in records]
+            ) if any(r.fit_times for r in records) else np.zeros(1)
+            acq = np.concatenate(
+                [np.asarray(r.acq_times, dtype=float) for r in records]
+            ) if any(r.acq_times for r in records) else np.zeros(1)
+            frac = np.mean([record_breakdown(r)["overhead_frac"]
+                            for r in records])
+            rows.append([
+                algo,
+                str(q),
+                str(len(records)),
+                f"{np.median(fit):.3f}",
+                f"{np.median(acq):.3f}",
+                f"{100.0 * frac:.1f}%",
+            ])
+    title = "Per-phase time breakdown"
+    if problem is not None:
+        title += f" — {problem}"
+    title += f" ({preset.name} preset)"
+    if not rows:
+        return title + "\n(no cached runs)"
+    return _fmt_table(
+        ["Algorithm", "n_batch", "runs", "fit med [s/cycle]",
+         "acq med [s/cycle]", "overhead share"],
+        rows,
+        title,
+    )
+
+
+def trace_breakdown_text(trace_path, phases=CYCLE_PHASES) -> str:
+    """Per-cycle wall-second phase table of one ``--trace`` JSONL file."""
+    rows = cycle_breakdown(read_trace(trace_path), phases=phases)
+    if not rows:
+        return "trace contains no cycle-correlated phase spans"
+    header = ["cycle"] + [f"{p} [s]" for p in phases]
+    body = [
+        [str(row["cycle"])] + [f"{row.get(f'{p}_s', 0.0):.4f}" for p in phases]
+        for row in rows
+    ]
+    return _fmt_table(header, body, "Per-cycle phase breakdown (wall seconds)")

@@ -24,6 +24,7 @@ from repro.experiments.figures import (
     figure_9,
 )
 from repro.experiments.presets import get_preset
+from repro.experiments.profiling import profiling_table
 from repro.experiments.tables import (
     table_1,
     table_2,
@@ -60,6 +61,7 @@ def build_report(
         artefacts["table4"] = table_4(bench)
         artefacts["table5"] = table_5(bench)
         artefacts["table6"] = table_6(bench)
+        artefacts["profiling_benchmarks"] = profiling_table(bench)
         for problem in preset.benchmarks:
             _, text = figure_2(bench, problem)
             artefacts[f"figure2_{problem}"] = text
@@ -68,6 +70,7 @@ def build_report(
         uphes = Campaign(preset, problems=["uphes"], root=root,
                          verbose=verbose).ensure()
         artefacts["table7"] = table_7(uphes)
+        artefacts["profiling_uphes"] = profiling_table(uphes, problem="uphes")
         for q in preset.batch_sizes:
             fig_no = {1: 3, 2: 4, 4: 5, 8: 6, 16: 7}.get(q, f"conv_q{q}")
             _, text = figure_3_to_7(uphes, q)

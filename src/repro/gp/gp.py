@@ -33,6 +33,7 @@ from repro.gp.fit import fit_hyperparameters
 from repro.gp.kernels import Kernel, make_kernel
 from repro.gp.linalg import cholesky_append, jittered_cholesky, solve_cholesky, solve_lower
 from repro.gp.mll import mll_value, profiled_mean
+from repro.obs.tracer import trace_span
 from repro.util import (
     ConfigurationError,
     RandomState,
@@ -184,28 +185,32 @@ class GaussianProcess:
         X = check_finite(check_matrix(X, "X", cols=self._dim), "X")
         self._dim = X.shape[1]
         y = check_finite(check_vector(y, "y", dim=X.shape[0]), "y")
-        self.X_ = self._normalize_x(X)
-        self.y_ = y.copy()
-        if self.standardize_y:
-            self._y_mean = float(np.mean(y))
-            self._y_std = max(float(np.std(y)), _MIN_Y_STD)
-        else:
-            self._y_mean, self._y_std = 0.0, 1.0
-        self._z = (y - self._y_mean) / self._y_std
+        with trace_span(
+            "gp_fit", n_train=X.shape[0], optimize=bool(optimize)
+        ) as sp:
+            self.X_ = self._normalize_x(X)
+            self.y_ = y.copy()
+            if self.standardize_y:
+                self._y_mean = float(np.mean(y))
+                self._y_std = max(float(np.std(y)), _MIN_Y_STD)
+            else:
+                self._y_mean, self._y_std = 0.0, 1.0
+            self._z = (y - self._y_mean) / self._y_std
 
-        if optimize:
-            self.log_noise, self.last_mll_ = fit_hyperparameters(
-                self.kernel,
-                self.log_noise,
-                self.noise_bounds,
-                self.X_,
-                self._z,
-                mean_mode=self.mean_mode,
-                n_restarts=n_restarts,
-                maxiter=maxiter,
-                seed=seed,
-            )
-        self._rebuild_cache()
+            if optimize:
+                self.log_noise, self.last_mll_ = fit_hyperparameters(
+                    self.kernel,
+                    self.log_noise,
+                    self.noise_bounds,
+                    self.X_,
+                    self._z,
+                    mean_mode=self.mean_mode,
+                    n_restarts=n_restarts,
+                    maxiter=maxiter,
+                    seed=seed,
+                )
+                sp.set(mll=self.last_mll_)
+            self._rebuild_cache()
         return self
 
     def _rebuild_cache(self) -> None:
@@ -341,33 +346,41 @@ class GaussianProcess:
         in O(n²·m). The returned GP references this GP's kernel — it is
         meant to live only within one acquisition cycle.
         """
+        clone = object.__new__(GaussianProcess)
+        clone.__dict__.update(self.__dict__)
+        # fantasize_ rebinds (never mutates) the fitted-state arrays,
+        # so the shallow copy leaves this GP untouched.
+        return clone.fantasize_(X_new, y_new)
+
+    def fantasize_(self, X_new, y_new=None) -> "GaussianProcess":
+        """In-place :meth:`fantasize`: extends this GP, returns ``self``.
+
+        Appends the fantasy block directly to the fitted state — the
+        only factorization work is the O(m³) Schur complement inside
+        :func:`~repro.gp.linalg.cholesky_append`; no (n+m)×(n+m)
+        Cholesky is ever formed from scratch and no intermediate model
+        copy is allocated (the test suite pins both).
+        """
         self._require_fitted()
         X_new = check_matrix(X_new, "X_new", cols=self.dim)
         if y_new is None:
             y_new = self.predict(X_new, return_std=False)
         y_new = check_vector(np.atleast_1d(y_new), "y_new", dim=X_new.shape[0])
 
-        U_new = self._normalize_x(X_new)
-        z_new = (y_new - self._y_mean) / self._y_std
+        with trace_span("fantasy_update", n_train=self.n_train,
+                        m=X_new.shape[0]):
+            U_new = self._normalize_x(X_new)
+            z_new = (y_new - self._y_mean) / self._y_std
 
-        clone = object.__new__(GaussianProcess)
-        clone.__dict__.update(self.__dict__)
-        clone.X_ = np.vstack([self.X_, U_new])
-        clone.y_ = np.concatenate([self.y_, y_new])
-        clone._z = np.concatenate([self._z, z_new])
-
-        K_cross = self.kernel(self.X_, U_new)  # (n, m)
-        K_new = self.kernel(U_new)
-        K_new[np.diag_indices_from(K_new)] += self.noise
-        clone.L_ = cholesky_append(self.L_, K_cross, K_new)
-        # Keep the trend frozen (no re-estimation inside a cycle).
-        clone.alpha_ = solve_cholesky(clone.L_, clone._z - self._gls_mean)
-        return clone
-
-    def fantasize_(self, X_new, y_new=None) -> "GaussianProcess":
-        """In-place variant of :meth:`fantasize` (returns ``self``)."""
-        updated = self.fantasize(X_new, y_new)
-        self.__dict__.update(updated.__dict__)
+            K_cross = self.kernel(self.X_, U_new)  # (n, m)
+            K_new = self.kernel(U_new)
+            K_new[np.diag_indices_from(K_new)] += self.noise
+            self.L_ = cholesky_append(self.L_, K_cross, K_new)
+            self.X_ = np.vstack([self.X_, U_new])
+            self.y_ = np.concatenate([self.y_, y_new])
+            self._z = np.concatenate([self._z, z_new])
+            # Keep the trend frozen (no re-estimation inside a cycle).
+            self.alpha_ = solve_cholesky(self.L_, self._z - self._gls_mean)
         return self
 
     def partial_fit(

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import trace_span
 from repro.util import (
     ModelError,
     RandomState,
@@ -254,14 +255,17 @@ def safe_fit(
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).reshape(-1)
-    report = SafeFitReport(issues=data_health_issues(gp, X, y))
+    with trace_span("safe_fit", n_train=X.shape[0]) as sp:
+        report = SafeFitReport(issues=data_health_issues(gp, X, y))
 
-    try:
-        gp.fit(X, y, n_restarts=n_restarts, maxiter=maxiter, seed=seed)
-    except ModelError as exc:
-        report.errors.append(f"{type(exc).__name__}: {exc}")
-        _ladder(gp, X, y, report, seed)
-    report.issues.extend(model_health_issues(gp, X, y))
+        try:
+            gp.fit(X, y, n_restarts=n_restarts, maxiter=maxiter, seed=seed)
+        except ModelError as exc:
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+            _ladder(gp, X, y, report, seed)
+        report.issues.extend(model_health_issues(gp, X, y))
+        sp.set(level=report.level, action=report.action,
+               issues=list(report.issues))
     return gp, report
 
 

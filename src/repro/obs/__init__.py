@@ -1,0 +1,93 @@
+"""``repro.obs`` — tracing, metrics, and per-cycle profiling.
+
+The observability layer of the PBO stack (DESIGN §10):
+
+- :mod:`repro.obs.tracer` — nested spans over every phase of the BO
+  loop (``fit`` / ``acq_optimize`` / ``fantasy_update`` / ``evaluate``
+  / ``checkpoint`` …), with wall- and virtual-clock timestamps and a
+  strict no-op fast path when disabled;
+- :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  streaming quantiles (shared with the executor's adaptive timeouts);
+- :mod:`repro.obs.export` — JSONL traces correlated to the run journal
+  by cycle id, plus per-phase summary tables (markdown / CSV).
+
+Everything is off by default and costs one global read per call site;
+enable with::
+
+    from repro import obs
+    obs.set_tracer(obs.Tracer())
+    obs.set_metrics(obs.MetricsRegistry())
+
+or, from the CLI, ``--trace trace.jsonl --metrics-out metrics.json``.
+Instrumentation never touches any RNG stream: journals and checkpoints
+are bit-identical with tracing on or off (pinned by
+``tests/test_golden_traces.py``).
+"""
+
+from repro.obs.export import (
+    CYCLE_PHASES,
+    breakdown_csv,
+    correlate_with_journal,
+    cycle_breakdown,
+    phase_summary,
+    read_trace,
+    span_to_dict,
+    summary_csv,
+    summary_markdown,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    StreamingQuantiles,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    SPAN_NAMES,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_event,
+    trace_span,
+)
+
+__all__ = [
+    "CYCLE_PHASES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "SPAN_NAMES",
+    "Span",
+    "StreamingQuantiles",
+    "Tracer",
+    "breakdown_csv",
+    "correlate_with_journal",
+    "cycle_breakdown",
+    "get_metrics",
+    "get_tracer",
+    "phase_summary",
+    "read_trace",
+    "set_metrics",
+    "set_tracer",
+    "span_to_dict",
+    "summary_csv",
+    "summary_markdown",
+    "trace_event",
+    "trace_span",
+    "write_trace_jsonl",
+]

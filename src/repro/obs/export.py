@@ -1,0 +1,243 @@
+"""Trace/metrics export: JSONL traces, per-phase summaries, reports.
+
+One traced run exports three artefacts:
+
+- a **JSONL trace** (:func:`write_trace_jsonl`): one span per line,
+  wall- and virtual-clock intervals, parent links, and the ``cycle`` /
+  ``index`` attributes that correlate spans 1:1 with the run journal's
+  ``cycle`` / ``dispatch`` events (PR-1 schema) — ``grep '"cycle": 7'``
+  across both files reconstructs everything that happened in cycle 7;
+- a **per-phase summary** (:func:`phase_summary` →
+  :func:`summary_markdown` / :func:`summary_csv`): per span name, the
+  count and total/mean/median/p95 wall seconds, the quantity behind the
+  paper's overhead-vs-simulation breaking point;
+- a **per-cycle breakdown** (:func:`cycle_breakdown`): for each cycle,
+  wall seconds spent in fit / acquisition / fantasy updates /
+  evaluation / checkpointing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.tracer import Span, Tracer
+
+#: Phases reported by :func:`cycle_breakdown`, in display order.
+CYCLE_PHASES = (
+    "fit",
+    "acq_optimize",
+    "fantasy_update",
+    "evaluate",
+    "checkpoint",
+)
+
+#: Trace file schema version (independent of the journal's).
+TRACE_SCHEMA_VERSION = 1
+
+
+def span_to_dict(span: Span) -> dict:
+    """One span as the JSON object written to the trace file."""
+    record: dict = {
+        "span": span.name,
+        "id": span.id,
+        "parent": span.parent_id,
+        "t_wall": span.t_wall,
+        "wall_s": span.wall_duration,
+    }
+    if span.t_virtual is not None:
+        record["t_virtual"] = span.t_virtual
+        if span.t_virtual_end is not None:
+            record["virtual_s"] = span.t_virtual_end - span.t_virtual
+    if span.attrs:
+        record.update(span.attrs)
+    return record
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write every completed span as one JSON line; returns the path.
+
+    The first line is a ``trace_header`` carrying the schema version
+    and drop counter, so a reader can detect truncated collection.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            json.dumps(
+                {
+                    "span": "trace_header",
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "n_spans": len(tracer.spans),
+                    "n_dropped": tracer.n_dropped,
+                }
+            )
+            + "\n"
+        )
+        for span in tracer.spans:
+            fh.write(json.dumps(span_to_dict(span)) + "\n")
+    return path
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Read a JSONL trace back into span dictionaries (header dropped)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return [r for r in records if r.get("span") != "trace_header"]
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def phase_summary(spans) -> dict[str, dict]:
+    """Per span-name wall-clock statistics.
+
+    Accepts :class:`Span` objects or trace dictionaries. Returns
+    ``{name: {count, total_s, mean_s, median_s, p95_s, max_s}}``
+    ordered by descending total.
+    """
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        if isinstance(span, dict):
+            name, dur = span.get("span"), float(span.get("wall_s", 0.0))
+        else:
+            name, dur = span.name, span.wall_duration
+        durations.setdefault(name, []).append(dur)
+    summary = {}
+    for name, vals in durations.items():
+        arr = np.asarray(vals, dtype=np.float64)
+        summary[name] = {
+            "count": int(arr.size),
+            "total_s": float(arr.sum()),
+            "mean_s": float(arr.mean()),
+            "median_s": float(np.median(arr)),
+            "p95_s": float(np.quantile(arr, 0.95)),
+            "max_s": float(arr.max()),
+        }
+    return dict(
+        sorted(summary.items(), key=lambda kv: kv[1]["total_s"], reverse=True)
+    )
+
+
+def _span_fields(span) -> tuple[str, float, dict, int | None, int | None]:
+    """``(name, wall_s, attrs, id, parent)`` for a Span or trace dict."""
+    if isinstance(span, dict):
+        return (
+            span.get("span"),
+            float(span.get("wall_s", 0.0)),
+            span,
+            span.get("id"),
+            span.get("parent"),
+        )
+    return span.name, span.wall_duration, span.attrs, span.id, span.parent_id
+
+
+def cycle_breakdown(spans, phases=CYCLE_PHASES) -> list[dict]:
+    """Wall seconds per phase for each journal-correlated cycle.
+
+    A phase span that does not carry a ``cycle`` attribute itself
+    (``gp_fit`` nested under ``fit`` nested under ``cycle``) inherits
+    it from its nearest ancestor; async traces use the ``index``
+    attribute as the key instead. Spans correlatable to no cycle are
+    skipped. Returns one row per cycle, sorted by cycle id, with a
+    ``cycle`` key plus one ``<phase>_s`` key per requested phase.
+    """
+    parsed = [_span_fields(s) for s in spans]
+    by_id = {sid: (attrs, parent) for _, _, attrs, sid, parent in parsed
+             if sid is not None}
+
+    def resolve_key(attrs: dict, parent: int | None):
+        for _ in range(64):  # ancestry is shallow; bound it anyway
+            key = attrs.get("cycle", attrs.get("index"))
+            if key is not None:
+                return key
+            if parent is None or parent not in by_id:
+                return None
+            attrs, parent = by_id[parent]
+        return None
+
+    table: dict[int, dict[str, float]] = {}
+    for name, dur, attrs, _, parent in parsed:
+        if name not in phases:
+            continue
+        key = resolve_key(attrs, parent)
+        if key is None:
+            continue
+        row = table.setdefault(int(key), {f"{p}_s": 0.0 for p in phases})
+        row[f"{name}_s"] += dur
+    return [
+        {"cycle": cycle, **row} for cycle, row in sorted(table.items())
+    ]
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def summary_markdown(summary: dict[str, dict], title: str = "Per-phase wall time") -> str:
+    """Render a :func:`phase_summary` as a markdown table."""
+    lines = [
+        f"### {title}",
+        "",
+        "| phase | count | total [s] | mean [s] | median [s] | p95 [s] |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for name, row in summary.items():
+        lines.append(
+            f"| {name} | {row['count']} | {row['total_s']:.4f} "
+            f"| {row['mean_s']:.4f} | {row['median_s']:.4f} "
+            f"| {row['p95_s']:.4f} |"
+        )
+    return "\n".join(lines)
+
+
+def summary_csv(summary: dict[str, dict]) -> str:
+    """Render a :func:`phase_summary` as CSV text."""
+    lines = ["phase,count,total_s,mean_s,median_s,p95_s,max_s"]
+    for name, row in summary.items():
+        lines.append(
+            f"{name},{row['count']},{row['total_s']:.9f},{row['mean_s']:.9f},"
+            f"{row['median_s']:.9f},{row['p95_s']:.9f},{row['max_s']:.9f}"
+        )
+    return "\n".join(lines)
+
+
+def breakdown_csv(rows: list[dict], phases=CYCLE_PHASES) -> str:
+    """Render a :func:`cycle_breakdown` as CSV text."""
+    cols = ["cycle"] + [f"{p}_s" for p in phases]
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                str(row["cycle"]) if c == "cycle" else f"{row.get(c, 0.0):.9f}"
+                for c in cols
+            )
+        )
+    return "\n".join(lines)
+
+
+def correlate_with_journal(spans, journal_events: list[dict]) -> dict[int, dict]:
+    """Join trace spans with journal ``cycle`` events on the cycle id.
+
+    Returns ``{cycle: {"journal": <event>, "phases": {name: wall_s}}}``
+    for every cycle present in *both* sources — the cross-check that
+    the trace and the journal describe the same run.
+    """
+    by_cycle: dict[int, dict[str, float]] = {}
+    for row in cycle_breakdown(spans):
+        by_cycle[row["cycle"]] = {
+            k[: -len("_s")]: v for k, v in row.items() if k != "cycle"
+        }
+    joined = {}
+    for event in journal_events:
+        if event.get("event") != "cycle":
+            continue
+        cycle = int(event["cycle"])
+        if cycle in by_cycle:
+            joined[cycle] = {"journal": event, "phases": by_cycle[cycle]}
+    return joined

@@ -1,0 +1,282 @@
+"""Counters, gauges, and histograms with streaming quantiles.
+
+The metrics layer complements :mod:`repro.obs.tracer`: spans answer
+"where did *this* cycle's time go", metrics answer "what do the
+distributions look like over the whole run" — degradation counts,
+per-phase duration quantiles, worker busy/idle totals.
+
+:class:`StreamingQuantiles` is the windowed quantile estimator shared
+with the executor's adaptive timeouts
+(:class:`repro.parallel.supervision.RuntimeQuantiles` delegates to it),
+so the observability layer and the supervision layer agree on what "the
+p95 runtime" means.
+
+Like the tracer, the metrics registry defaults to a shared null object:
+instrumented code calls :func:`get_metrics` unconditionally and pays
+one global read plus a no-op method call when metrics are off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+
+class StreamingQuantiles:
+    """Windowed streaming quantile estimator over a scalar stream.
+
+    Keeps the ``window`` most recent observations and computes exact
+    quantiles over that window with :func:`numpy.quantile` (linear
+    interpolation — the property suite pins the agreement). A bounded
+    window makes the estimate track drift and caps memory; with the
+    default window of 4096 the cost per query is microseconds at the
+    call rates of a BO loop (a handful of observations per cycle).
+    """
+
+    def __init__(self, window: int = 4096):
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._obs: list[float] = []
+        self.n_total = 0  # observations ever seen, window included
+
+    def __len__(self) -> int:
+        return len(self._obs)
+
+    def observe(self, value: float) -> None:
+        """Add one observation (most recent end of the window)."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ConfigurationError(f"observation must be finite, got {value}")
+        self._obs.append(value)
+        self.n_total += 1
+        if len(self._obs) > self.window:
+            del self._obs[: len(self._obs) - self.window]
+
+    def quantile(self, q) -> float | np.ndarray | None:
+        """Quantile(s) over the current window; None before any data."""
+        if not self._obs:
+            return None
+        result = np.quantile(np.asarray(self._obs, dtype=np.float64), q)
+        return float(result) if np.isscalar(q) else result
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary of the window."""
+        if not self._obs:
+            return {"count": 0}
+        arr = np.asarray(self._obs, dtype=np.float64)
+        q = np.quantile(arr, [0.5, 0.9, 0.95, 0.99])
+        return {
+            "count": int(self.n_total),
+            "window": int(arr.size),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "mean": float(arr.mean()),
+            "p50": float(q[0]),
+            "p90": float(q[1]),
+            "p95": float(q[2]),
+            "p99": float(q[3]),
+        }
+
+
+class Counter:
+    """Monotonically increasing count (events, degradations, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        amount = float(amount)
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value (alive workers, current batch size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values with streaming quantiles.
+
+    Tracks exact running ``count``/``sum``/``min``/``max`` over the
+    whole stream plus windowed quantiles via
+    :class:`StreamingQuantiles`.
+    """
+
+    __slots__ = ("name", "sum", "min", "max", "quantiles")
+
+    def __init__(self, name: str, window: int = 4096):
+        self.name = name
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.quantiles = StreamingQuantiles(window=window)
+
+    @property
+    def count(self) -> int:
+        return self.quantiles.n_total
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.quantiles.observe(value)  # validates finiteness
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def quantile(self, q) -> float | np.ndarray | None:
+        return self.quantiles.quantile(q)
+
+    def snapshot(self) -> dict:
+        snap = self.quantiles.snapshot()
+        snap["sum"] = self.sum
+        if self.min is not None:
+            snap["min"] = self.min  # whole-stream extrema, not windowed
+            snap["max"] = self.max
+        return snap
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind is a bug and raises.
+    """
+
+    enabled = True
+
+    def __init__(self, histogram_window: int = 4096):
+        self.histogram_window = int(histogram_window)
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already exists as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram, window=self.histogram_window)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly snapshot of every instrument."""
+        return {
+            name: {
+                "kind": type(metric).__name__.lower(),
+                **metric.snapshot(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def clear(self) -> None:
+        self._metrics = {}
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled metrics."""
+
+    __slots__ = ()
+    count = 0
+    value = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q):
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every instrument is the shared no-op one."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+#: The one shared disabled registry.
+NULL_METRICS = NullMetrics()
+
+_metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry | NullMetrics:
+    """The installed metrics registry (the shared null one by default)."""
+    return _metrics
+
+
+def set_metrics(
+    registry: MetricsRegistry | NullMetrics | None,
+) -> MetricsRegistry | NullMetrics:
+    """Install a registry process-wide; ``None`` disables metrics.
+
+    Returns the previously installed registry for restoration.
+    """
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+    return previous

@@ -1,0 +1,318 @@
+"""Nested-span tracing for the BO loop, with a strict no-op fast path.
+
+The paper's breaking point is a *wall-clock* phenomenon: past a problem-
+dependent scale, the master's fit + acquisition overhead outweighs what
+parallel evaluation buys back (Fig. 9). Seeing that requires knowing
+where each cycle's time goes — surrogate fit, acquisition optimization,
+fantasy updates, batch evaluation, checkpointing, worker idle — which
+is exactly what these spans record.
+
+Design constraints, in order of importance:
+
+1. **Disabled tracing must cost (almost) nothing and change nothing.**
+   The instrumented call sites run inside every cycle of every
+   algorithm; when no tracer is installed they execute one global read
+   and receive a shared, allocation-free no-op span. No RNG is ever
+   touched, so journals and checkpoints are bit-identical with tracing
+   on, off, or absent (the golden-trace suite pins this).
+2. **Dual timestamps.** Every span carries wall-clock interval(s) from
+   ``time.perf_counter`` and, when a :class:`~repro.parallel.clock.Clock`
+   is attached, the virtual-clock interval — so a trace can be
+   correlated 1:1 with the run journal's virtual timeline.
+3. **Deterministic identity.** Span ids are sequential integers, parent
+   links come from an explicit stack; two traced runs of the same
+   seeded experiment produce structurally identical traces (only the
+   wall-clock durations differ).
+
+Usage::
+
+    from repro.obs import Tracer, set_tracer, trace_span
+
+    set_tracer(Tracer())                  # enable
+    with trace_span("fit", cycle=3, n_train=128) as sp:
+        ...
+        sp.set(mll=-12.3)                 # attach results
+    spans = get_tracer().spans            # -> repro.obs.export
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util import ConfigurationError
+
+#: Span names used by the built-in instrumentation (the span taxonomy;
+#: see DESIGN §10). Call sites are free to add their own names.
+SPAN_NAMES = (
+    "cycle",          # one fit/acquire/evaluate cycle (driver)
+    "propose",        # supervised acquisition step (driver)
+    "fit",            # surrogate fit, optimizer level (core.base)
+    "safe_fit",       # self-healing fit ladder (gp.safe_fit)
+    "gp_fit",         # one raw GP fit (gp.GaussianProcess.fit)
+    "acq_optimize",   # one inner acquisition optimization
+    "fantasy_update", # one Kriging-Believer fantasy extension
+    "evaluate",       # batch evaluation on the (simulated) cluster
+    "checkpoint",     # journal write incl. optimizer state snapshot
+    "dispatch",       # async driver: one candidate selection
+    "refit",          # async driver: model update on completion
+    "executor",       # real-executor batch evaluation
+)
+
+
+class Span:
+    """One traced interval; also usable as a context manager.
+
+    Attributes are plain JSON-friendly values supplied at creation via
+    keyword arguments or later via :meth:`set`. ``t_virtual`` /
+    ``t_virtual_end`` stay ``None`` unless the owning tracer has a
+    clock attached.
+    """
+
+    __slots__ = (
+        "id",
+        "name",
+        "parent_id",
+        "t_wall",
+        "t_wall_end",
+        "t_virtual",
+        "t_virtual_end",
+        "attrs",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str,
+                 parent_id: int | None, attrs: dict):
+        self.id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._tracer = tracer
+        self.t_wall = 0.0
+        self.t_wall_end: float | None = None
+        self.t_virtual: float | None = None
+        self.t_virtual_end: float | None = None
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall seconds between enter and exit (0 while open)."""
+        if self.t_wall_end is None:
+            return 0.0
+        return self.t_wall_end - self.t_wall
+
+    @property
+    def virtual_duration(self) -> float | None:
+        """Virtual seconds covered by the span, if a clock was attached."""
+        if self.t_virtual is None or self.t_virtual_end is None:
+            return None
+        return self.t_virtual_end - self.t_virtual
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> "Span":
+        """Record a point-in-time child event under this span."""
+        self._tracer.event(name, **attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._exit(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.id}, parent={self.parent_id}, "
+            f"wall={self.wall_duration:.6f}s)"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is off.
+
+    Every method returns ``self`` so chained calls stay no-ops; entering
+    and exiting allocates nothing. A single module-level instance backs
+    every disabled call site.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        return self
+
+
+#: The one no-op span shared by every disabled call site.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects nested :class:`Span` records for one run.
+
+    Parameters
+    ----------
+    clock:
+        Optional :class:`~repro.parallel.clock.Clock`; when attached
+        (possibly later, via :meth:`attach_clock` — the driver does so
+        at run start), every span also records virtual-clock
+        timestamps.
+    max_spans:
+        Safety cap: beyond it, new spans are still timed and returned
+        (so call sites never special-case) but not retained. Prevents a
+        forgotten long campaign from exhausting memory.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, max_spans: int = 1_000_000):
+        if max_spans < 1:
+            raise ConfigurationError(f"max_spans must be >= 1, got {max_spans}")
+        self.clock = clock
+        self.max_spans = int(max_spans)
+        self.spans: list[Span] = []
+        self.n_dropped = 0
+        self._next_id = 0
+        self._stack: list[Span] = []
+
+    # -- plumbing -------------------------------------------------------
+    def attach_clock(self, clock) -> None:
+        """Install the virtual clock spans read their second timeline from."""
+        self.clock = clock
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None at top level."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create (but not yet enter) a span; use as a context manager."""
+        span = Span(
+            self,
+            self._next_id,
+            name,
+            self._stack[-1].id if self._stack else None,
+            attrs,
+        )
+        self._next_id += 1
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous event as a zero-length span."""
+        span = self.span(name, **attrs)
+        self._enter(span)
+        self._exit(span)
+
+    def _enter(self, span: Span) -> None:
+        span.t_wall = time.perf_counter()
+        if self.clock is not None:
+            span.t_virtual = self.clock.now
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.t_wall_end = time.perf_counter()
+        if self.clock is not None:
+            span.t_virtual_end = self.clock.now
+        # Tolerate out-of-order exits (a call site that leaks a span
+        # must not corrupt its siblings): pop down to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.n_dropped += 1
+
+    # -- queries --------------------------------------------------------
+    def by_name(self, name: str) -> list[Span]:
+        """Completed spans with the given name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        self.spans = []
+        self._stack = []
+        self.n_dropped = 0
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    This is the default installed tracer, so instrumented code can call
+    :func:`trace_span` unconditionally — the disabled cost is one
+    global read plus one method call returning the shared
+    :data:`NOOP_SPAN`.
+    """
+
+    enabled = False
+    clock = None
+    spans: list = []
+    n_dropped = 0
+
+    def attach_clock(self, clock) -> None:
+        pass
+
+    def span(self, name: str, **attrs):
+        return NOOP_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def by_name(self, name: str) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+#: The one shared disabled tracer.
+NULL_TRACER = NullTracer()
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently installed tracer (the shared null one by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install a tracer process-wide; ``None`` disables tracing.
+
+    Returns the previously installed tracer so callers can restore it
+    (tests do; the CLI installs once per process).
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def trace_span(name: str, **attrs):
+    """Open a span on the installed tracer (no-op when disabled).
+
+    The hot-path helper used by all built-in instrumentation::
+
+        with trace_span("gp_fit", n_train=n) as sp:
+            ...
+
+    Keep the keyword arguments cheap to build — they are evaluated even
+    on the disabled path.
+    """
+    return _tracer.span(name, **attrs)
+
+
+def trace_event(name: str, **attrs) -> None:
+    """Record an instantaneous event on the installed tracer."""
+    _tracer.event(name, **attrs)

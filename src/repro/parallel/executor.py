@@ -14,6 +14,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
+from repro.obs.tracer import trace_span
 from repro.util import ConfigurationError, check_matrix
 
 
@@ -24,7 +25,8 @@ class SerialExecutor:
 
     def evaluate(self, problem, X) -> np.ndarray:
         X = check_matrix(X, "X", cols=problem.dim)
-        return problem(X)
+        with trace_span("executor", kind="serial", q=X.shape[0]):
+            return problem(X)
 
     def shutdown(self) -> None:
         """Nothing to release."""
@@ -65,9 +67,11 @@ class _PoolExecutor:
         X = check_matrix(X, "X", cols=problem.dim)
         if self._pool is None:
             self._pool = self._make_pool()
-        rows = [X[i : i + 1] for i in range(X.shape[0])]
-        results = list(self._pool.map(problem, rows))
-        return np.concatenate([np.atleast_1d(r) for r in results])
+        with trace_span("executor", kind=type(self).__name__,
+                        q=X.shape[0], n_workers=self.n_workers):
+            rows = [X[i : i + 1] for i in range(X.shape[0])]
+            results = list(self._pool.map(problem, rows))
+            return np.concatenate([np.atleast_1d(r) for r in results])
 
     def shutdown(self) -> None:
         self._closed = True

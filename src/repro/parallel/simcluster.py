@@ -96,6 +96,11 @@ class SimulatedCluster:
         self.n_evaluations = 0
         self.n_batches = 0
         self.time_simulating = 0.0
+        # Virtual-clock utilization accounting (healthy path; the
+        # driver derives the same quantities generically for fault-
+        # injecting subclasses that override evaluate()).
+        self.time_busy = 0.0   # worker-seconds actually simulating
+        self.time_idle = 0.0   # worker-seconds of wave slack/overhead
 
     def batch_duration(self, q: int, sim_time: float) -> float:
         """Virtual seconds a batch of ``q`` simulations occupies."""
@@ -116,6 +121,9 @@ class SimulatedCluster:
         self.n_evaluations += X.shape[0]
         self.n_batches += 1
         self.time_simulating += duration
+        busy = X.shape[0] * float(problem.sim_time)
+        self.time_busy += busy
+        self.time_idle += max(0.0, self.alive_workers * duration - busy)
         return y
 
     def charge_parallel(self, durations) -> float:

@@ -11,12 +11,17 @@ evaluation's duration and ask :meth:`timeout` for the effective limit —
 completions are available, never exceeding the static limit it refines.
 On the virtual-clock cluster the saved waiting is virtual seconds
 returned to the optimization budget.
+
+The windowed quantile estimation itself lives in
+:class:`repro.obs.metrics.StreamingQuantiles` — the same estimator the
+observability layer's histograms use — so supervision and metrics agree
+on what "the p95 runtime" means (one implementation, one property
+suite).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.obs.metrics import StreamingQuantiles
 from repro.util import ConfigurationError
 
 
@@ -64,29 +69,25 @@ class RuntimeQuantiles:
         self.multiplier = float(multiplier)
         self.min_samples = int(min_samples)
         self.window = int(window)
-        self._obs: list[float] = []
+        self._stream = StreamingQuantiles(window=self.window)
 
     @property
     def n_samples(self) -> int:
-        return len(self._obs)
+        return len(self._stream)
 
     def observe(self, duration: float) -> None:
         """Record one completed evaluation's duration (seconds)."""
         duration = float(duration)
         if duration < 0:
             raise ConfigurationError(f"duration must be >= 0, got {duration}")
-        self._obs.append(duration)
-        if len(self._obs) > self.window:
-            del self._obs[: len(self._obs) - self.window]
+        self._stream.observe(duration)
 
     def quantile_value(self) -> float | None:
         """Current runtime quantile, or None before any observation."""
-        if not self._obs:
-            return None
-        return float(np.quantile(np.asarray(self._obs), self.quantile))
+        return self._stream.quantile(self.quantile)
 
     def timeout(self, default: float) -> float:
         """Effective timeout: learned limit, capped by the static one."""
-        if len(self._obs) < self.min_samples:
+        if len(self._stream) < self.min_samples:
             return float(default)
         return min(float(default), self.multiplier * self.quantile_value())

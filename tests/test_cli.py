@@ -116,3 +116,65 @@ class TestResilienceFlags:
         code = main([*self.ARGS, "--nan-rate", "0.2", "--max-attempts", "2"])
         assert code == 0
         assert "final best" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    ARGS = [
+        "--problem", "sphere", "--algorithm", "random",
+        "--n-batch", "2", "--budget", "50", "--dim", "3",
+        "--n-initial", "6",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _restore_globals(self):
+        from repro.obs import get_metrics, get_tracer, set_metrics, set_tracer
+
+        tracer, metrics = get_tracer(), get_metrics()
+        yield
+        set_tracer(tracer)
+        set_metrics(metrics)
+
+    def test_trace_flag_writes_jsonl_and_prints_table(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        path = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "Per-phase wall time" in out  # the summary table
+        records = read_trace(path)
+        assert {"cycle", "propose", "evaluate"} <= {r["span"] for r in records}
+        # Dual timestamps: driver-level spans carry the virtual clock.
+        ev = next(r for r in records if r["span"] == "evaluate")
+        assert ev["virtual_s"] > 0.0
+
+    def test_metrics_flag_writes_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main([*self.ARGS, "--quiet", "--metrics-out", str(path)]) == 0
+        snap = json.loads(path.read_text())
+        assert snap["cycles_total"]["kind"] == "counter"
+        assert snap["cycles_total"]["value"] == 5.0
+        assert "cluster.busy_virtual_s" in snap
+
+    def test_quiet_suppresses_phase_table(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([*self.ARGS, "--quiet", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "Per-phase wall time" not in out
+
+    def test_trace_with_journal_correlates(self, tmp_path):
+        from repro.obs import correlate_with_journal, read_trace
+        from repro.resilience import read_events
+
+        trace_path = tmp_path / "trace.jsonl"
+        journal_path = tmp_path / "run.jsonl"
+        assert main([*self.ARGS, "--quiet", "--trace", str(trace_path),
+                     "--journal", str(journal_path)]) == 0
+        joined = correlate_with_journal(
+            read_trace(trace_path), read_events(journal_path)
+        )
+        assert set(joined) == {1, 2, 3, 4, 5}
+        for cycle in joined.values():
+            assert cycle["journal"]["event"] == "cycle"
+            assert cycle["phases"]["evaluate"] >= 0.0

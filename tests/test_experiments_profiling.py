@@ -1,0 +1,104 @@
+"""Tests for the per-phase breakdown tables (repro.experiments.profiling)."""
+
+import pytest
+
+from repro.experiments import Campaign, get_preset
+from repro.experiments.profiling import (
+    profiling_table,
+    record_breakdown,
+    trace_breakdown_text,
+)
+from repro.experiments.records import RunRecord
+
+
+def make_record(algorithm="TuRBO", n_batch=4, seed=0, problem="ackley",
+                preset="smoke"):
+    return RunRecord(
+        problem=problem,
+        algorithm=algorithm,
+        n_batch=n_batch,
+        seed=seed,
+        preset=preset,
+        maximize=False,
+        best_value=1.0,
+        initial_best=5.0,
+        best_x=[0.0, 0.0],
+        n_initial=8,
+        n_cycles=3,
+        n_simulations=12,
+        elapsed=40.0,
+        budget=40.0,
+        sim_time=10.0,
+        time_scale=1.0,
+        trajectory=[3.0, 2.0, 1.0],
+        fit_times=[0.5, 0.6, 0.7],
+        acq_times=[0.3, 0.3, 0.4],
+        acq_charged=[0.8, 0.9, 1.1],  # fit + acq charged together
+        evals_after_cycle=[12, 16, 20],
+    )
+
+
+class TestRecordBreakdown:
+    def test_totals(self):
+        bd = record_breakdown(make_record())
+        assert bd["fit_s"] == pytest.approx(1.8)
+        assert bd["acq_s"] == pytest.approx(1.0)
+        # Charged master time is acq_charged alone — the driver already
+        # folds the fit charge into it; no double counting.
+        assert bd["charged_s"] == pytest.approx(2.8)
+        assert bd["sim_s"] == pytest.approx(40.0 - 2.8)
+        assert bd["overhead_frac"] == pytest.approx(2.8 / 40.0)
+
+    def test_zero_elapsed(self):
+        rec = make_record()
+        rec.elapsed = 0.0
+        rec.acq_charged = []
+        assert record_breakdown(rec)["overhead_frac"] == 0.0
+
+
+class TestProfilingTable:
+    def test_renders_cached_cells(self, tmp_path):
+        campaign = Campaign(get_preset("smoke"), root=tmp_path,
+                            verbose=False)
+        for algo in ("TuRBO", "KB-q-EGO"):
+            for q in (1, 4):
+                for seed in (0, 1):
+                    campaign._store(
+                        make_record(algorithm=algo, n_batch=q, seed=seed)
+                    )
+        text = profiling_table(campaign, problem="ackley")
+        assert "Per-phase time breakdown — ackley" in text
+        assert "overhead share" in text
+        lines = [ln for ln in text.splitlines() if ln.startswith("TuRBO")]
+        assert len(lines) == 2  # one row per cached batch size
+        assert "7.0%" in lines[0]  # 2.8 / 40.0
+        # Uncached algorithms simply don't appear.
+        assert "BSP-EGO" not in text
+
+    def test_empty_campaign_renders_header_only(self, tmp_path):
+        campaign = Campaign(get_preset("smoke"), root=tmp_path,
+                            verbose=False)
+        text = profiling_table(campaign)
+        assert "Per-phase time breakdown" in text
+
+
+class TestTraceBreakdownText:
+    def test_from_trace_file(self, tmp_path):
+        from repro.obs import Tracer, write_trace_jsonl
+
+        t = Tracer()
+        with t.span("cycle", cycle=1):
+            with t.span("fit"):
+                pass
+            with t.span("evaluate", cycle=1):
+                pass
+        path = write_trace_jsonl(t, tmp_path / "t.jsonl")
+        text = trace_breakdown_text(path)
+        assert text.splitlines()[1].startswith("cycle")
+        assert "1" in text
+
+    def test_empty_trace(self, tmp_path):
+        from repro.obs import Tracer, write_trace_jsonl
+
+        path = write_trace_jsonl(Tracer(), tmp_path / "empty.jsonl")
+        assert "no cycle-correlated" in trace_breakdown_text(path)

@@ -1,0 +1,171 @@
+"""Golden-trace suite: observability is provably bit-neutral.
+
+Each of the five paper algorithms runs a seeded 3-cycle optimization
+on a fast benchmark four times: twice untraced, once with the full
+observability stack (tracer + metrics) enabled, and once untraced
+again after the traced run. The suite pins:
+
+- **determinism** — the same seed yields byte-identical canonical
+  journals and evaluation histories across repetitions;
+- **neutrality** — enabling tracing/metrics changes neither (the
+  instrumentation touches no RNG stream and writes nothing into the
+  journal), so checkpoints/resume behave identically with ``--trace``
+  on or off;
+- **shape** — the traced run actually produced the span taxonomy the
+  docs promise, with every cycle correlated.
+
+Measured wall seconds (``fit_time`` / ``acq_time``) are inherently
+machine-dependent, so journals are canonicalized by dropping exactly
+those fields before hashing; everything else — including the full
+optimizer state snapshots with their RNG streams — must match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticTimeModel, make_optimizer, run_optimization
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    cycle_breakdown,
+    set_metrics,
+    set_tracer,
+)
+from repro.problems import get_benchmark
+from repro.resilience import RunJournal, read_events
+
+ALGORITHMS = ("kb_qego", "mic_qego", "mc_qego", "bsp_ego", "turbo")
+SEED = 1234
+N_CYCLES = 3
+
+#: Measured wall-clock fields: the only journal content allowed to
+#: differ between two runs of the same seed.
+VOLATILE_FIELDS = frozenset({"fit_time", "acq_time"})
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 32},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Never leak a tracer/metrics registry into other tests."""
+    yield
+    set_tracer(NULL_TRACER)
+    set_metrics(NULL_METRICS)
+
+
+def run_golden(algorithm: str, journal_path, *, traced: bool):
+    """One seeded 3-cycle run; returns (result, journal events, tracer)."""
+    tracer = None
+    if traced:
+        tracer = Tracer()
+        set_tracer(tracer)
+        set_metrics(MetricsRegistry())
+    else:
+        set_tracer(NULL_TRACER)
+        set_metrics(NULL_METRICS)
+    try:
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        optimizer = make_optimizer(algorithm, problem, 2, seed=SEED, **FAST)
+        result = run_optimization(
+            problem,
+            optimizer,
+            budget=1e9,
+            n_initial=6,
+            seed=SEED,
+            max_cycles=N_CYCLES,
+            time_model=AnalyticTimeModel(),
+            journal=RunJournal(journal_path, fsync=False),
+        )
+    finally:
+        set_tracer(NULL_TRACER)
+        set_metrics(NULL_METRICS)
+    return result, read_events(journal_path), tracer
+
+
+def canonical_journal(events: list[dict]) -> list[dict]:
+    """Journal events minus the measured-wall-second fields."""
+    return [
+        {k: v for k, v in ev.items() if k not in VOLATILE_FIELDS}
+        for ev in events
+    ]
+
+
+def journal_hash(events: list[dict]) -> str:
+    payload = json.dumps(canonical_journal(events), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def history_hash(result) -> str:
+    """Hash of the run's evaluation history (values + trajectory)."""
+    payload = json.dumps(
+        {
+            "best_x": [float(v) for v in np.asarray(result.best_x).ravel()],
+            "best_value": float(result.best_value),
+            "initial_best": float(result.initial_best),
+            "n_cycles": result.n_cycles,
+            "n_simulations": result.n_simulations,
+            "trajectory": [float(v) for v in result.trajectory],
+            "evals": [int(r.n_evaluations) for r in result.history],
+            "batch_sizes": [int(r.batch_size) for r in result.history],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestGoldenTraces:
+    def test_rerun_determinism(self, algorithm, tmp_path):
+        """Same seed twice (untraced) -> identical canonical journals."""
+        res_a, ev_a, _ = run_golden(
+            algorithm, tmp_path / "a.jsonl", traced=False
+        )
+        res_b, ev_b, _ = run_golden(
+            algorithm, tmp_path / "b.jsonl", traced=False
+        )
+        assert res_a.n_cycles == N_CYCLES
+        assert history_hash(res_a) == history_hash(res_b)
+        assert journal_hash(ev_a) == journal_hash(ev_b)
+
+    def test_tracing_is_bit_neutral(self, algorithm, tmp_path):
+        """Tracing + metrics on -> journal and history bit-identical."""
+        res_off, ev_off, _ = run_golden(
+            algorithm, tmp_path / "off.jsonl", traced=False
+        )
+        res_on, ev_on, tracer = run_golden(
+            algorithm, tmp_path / "on.jsonl", traced=True
+        )
+        assert history_hash(res_off) == history_hash(res_on)
+        assert journal_hash(ev_off) == journal_hash(ev_on)
+        # Not just hash-equal: the canonical event streams match 1:1.
+        assert canonical_journal(ev_off) == canonical_journal(ev_on)
+        assert np.array_equal(res_off.best_x, res_on.best_x)
+        # The traced run really traced: every cycle produced spans.
+        names = {s.name for s in tracer.spans}
+        assert {"cycle", "propose", "evaluate", "fit", "checkpoint"} <= names
+        rows = cycle_breakdown(tracer.spans)
+        assert [row["cycle"] for row in rows] == list(range(1, N_CYCLES + 1))
+
+    def test_trace_does_not_touch_journal(self, algorithm, tmp_path):
+        """The journal schema never grows observability fields."""
+        _, events, _ = run_golden(
+            algorithm, tmp_path / "t.jsonl", traced=True
+        )
+        for ev in events:
+            assert "span" not in ev
+            assert "trace" not in ev
+        kinds = [ev["event"] for ev in events]
+        assert kinds[0] == "run_started"
+        assert kinds[-1] == "run_completed"
+        assert kinds.count("cycle") == N_CYCLES

@@ -70,6 +70,59 @@ class TestFantasize:
         g2 = gp.fantasize(X[:1])  # duplicates a training point
         assert np.all(np.isfinite(g2.L_))
 
+    def test_fantasize_inplace_returns_self(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        n = gp.n_train
+        out = gp.fantasize_(rng.random((2, 3)))
+        assert out is gp  # genuinely in-place, chainable
+        assert gp.n_train == n + 2
+        mu, s = gp.predict(rng.random((4, 3)))
+        assert np.all(np.isfinite(mu)) and np.all(np.isfinite(s))
+
+    def test_fantasize_never_refactorizes_fully(self, fitted_gp, rng,
+                                                monkeypatch):
+        """The update must extend L_, not rebuild it: the only Cholesky
+        taken during a fantasy of m points is the m×m Schur block —
+        never the full (n+m)×(n+m) kernel matrix."""
+        import repro.gp.linalg as linalg
+
+        gp, _, _ = fitted_gp
+        n, m = gp.n_train, 3
+        sizes: list[int] = []
+        real = linalg.jittered_cholesky
+
+        def spy(K, *args, **kwargs):
+            sizes.append(np.asarray(K).shape[0])
+            return real(K, *args, **kwargs)
+
+        monkeypatch.setattr(linalg, "jittered_cholesky", spy)
+        gp.fantasize(rng.random((m, 3)))
+        assert sizes == [m]  # one Schur factorization, nothing bigger
+
+    def test_fantasize_clone_shares_no_fitted_arrays(self, fitted_gp, rng):
+        """fantasize() must not mutate the base model's fitted state
+        even though the clone is shallow — fantasize_ rebinds arrays."""
+        gp, _, _ = fitted_gp
+        X_id, L_id = id(gp.X_), id(gp.L_)
+        X_copy, L_copy = gp.X_.copy(), gp.L_.copy()
+        g2 = gp.fantasize(rng.random((2, 3)))
+        assert g2 is not gp
+        assert id(gp.X_) == X_id and id(gp.L_) == L_id
+        np.testing.assert_array_equal(gp.X_, X_copy)
+        np.testing.assert_array_equal(gp.L_, L_copy)
+        assert g2.X_.shape[0] == gp.X_.shape[0] + 2
+
+    def test_fantasize_inplace_matches_clone(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        xf = rng.random((2, 3))
+        clone = gp.fantasize(xf)
+        gp.fantasize_(xf)
+        xq = rng.random((5, 3))
+        np.testing.assert_allclose(
+            gp.predict(xq)[0], clone.predict(xq)[0], rtol=1e-12
+        )
+        np.testing.assert_array_equal(gp.L_, clone.L_)
+
 
 class TestPartialFit:
     def test_appends_data(self, fitted_gp, rng):

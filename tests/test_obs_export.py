@@ -1,0 +1,172 @@
+"""Unit tests for trace export/aggregation (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    breakdown_csv,
+    correlate_with_journal,
+    cycle_breakdown,
+    phase_summary,
+    read_trace,
+    span_to_dict,
+    summary_csv,
+    summary_markdown,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import Tracer
+from repro.parallel.clock import VirtualClock
+
+
+def make_trace(n_cycles: int = 3) -> Tracer:
+    """A synthetic nested trace shaped like the synchronous driver's."""
+    clock = VirtualClock()
+    t = Tracer()
+    t.attach_clock(clock)
+    for cycle in range(1, n_cycles + 1):
+        with t.span("cycle", cycle=cycle):
+            with t.span("propose", cycle=cycle):
+                with t.span("fit"):       # inherits cycle from ancestors
+                    with t.span("gp_fit", n_train=10 * cycle):
+                        pass
+                with t.span("acq_optimize", q=2):
+                    pass
+                with t.span("fantasy_update", m=1):
+                    pass
+            with t.span("evaluate", cycle=cycle, q=2):
+                clock.advance(10.0)
+            with t.span("checkpoint", cycle=cycle, snapshot=True):
+                pass
+    return t
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        t = make_trace()
+        path = write_trace_jsonl(t, tmp_path / "trace.jsonl")
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["span"] == "trace_header"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["n_spans"] == len(t.spans)
+        assert header["n_dropped"] == 0
+        records = read_trace(path)
+        assert len(records) == len(t.spans)
+        # Every line is valid standalone JSON with the core fields.
+        for rec in records:
+            assert {"span", "id", "parent", "t_wall", "wall_s"} <= set(rec)
+
+    def test_span_to_dict_includes_virtual_interval(self):
+        t = make_trace(1)
+        ev = next(s for s in t.spans if s.name == "evaluate")
+        rec = span_to_dict(ev)
+        assert rec["virtual_s"] == pytest.approx(10.0)
+        assert rec["cycle"] == 1
+        json.dumps(rec)  # JSON-serializable
+
+    def test_creates_parent_dirs(self, tmp_path):
+        t = make_trace(1)
+        path = write_trace_jsonl(t, tmp_path / "deep" / "dir" / "t.jsonl")
+        assert path.exists()
+
+
+class TestPhaseSummary:
+    def test_summary_from_spans_and_dicts_agree(self, tmp_path):
+        t = make_trace()
+        from_spans = phase_summary(t.spans)
+        path = write_trace_jsonl(t, tmp_path / "t.jsonl")
+        from_dicts = phase_summary(read_trace(path))
+        assert set(from_spans) == set(from_dicts)
+        for name in from_spans:
+            assert from_spans[name]["count"] == from_dicts[name]["count"]
+
+    def test_statistics_against_numpy(self):
+        spans = [
+            {"span": "fit", "wall_s": w} for w in (1.0, 2.0, 3.0, 10.0)
+        ]
+        row = phase_summary(spans)["fit"]
+        vals = np.array([1.0, 2.0, 3.0, 10.0])
+        assert row["count"] == 4
+        assert row["total_s"] == vals.sum()
+        assert row["mean_s"] == vals.mean()
+        assert row["median_s"] == np.median(vals)
+        assert row["p95_s"] == pytest.approx(np.quantile(vals, 0.95))
+        assert row["max_s"] == 10.0
+
+    def test_sorted_by_total_descending(self):
+        spans = [
+            {"span": "small", "wall_s": 0.1},
+            {"span": "big", "wall_s": 5.0},
+            {"span": "mid", "wall_s": 1.0},
+        ]
+        assert list(phase_summary(spans)) == ["big", "mid", "small"]
+
+    def test_renderers(self):
+        summary = phase_summary(make_trace().spans)
+        md = summary_markdown(summary)
+        assert md.startswith("### ")
+        assert "| fit |" in md
+        csv = summary_csv(summary)
+        header, *rows = csv.splitlines()
+        assert header == "phase,count,total_s,mean_s,median_s,p95_s,max_s"
+        assert len(rows) == len(summary)
+
+
+class TestCycleBreakdown:
+    def test_nested_spans_inherit_cycle_from_ancestors(self):
+        t = make_trace(3)
+        rows = cycle_breakdown(t.spans)
+        assert [r["cycle"] for r in rows] == [1, 2, 3]
+        for row in rows:
+            # fit has no cycle attr of its own — inherited via parents.
+            assert row["fit_s"] > 0.0
+            assert row["evaluate_s"] > 0.0
+            assert set(row) == {
+                "cycle", "fit_s", "acq_optimize_s", "fantasy_update_s",
+                "evaluate_s", "checkpoint_s",
+            }
+
+    def test_orphan_spans_skipped(self):
+        spans = [{"span": "fit", "wall_s": 1.0, "id": 0, "parent": None}]
+        assert cycle_breakdown(spans) == []
+
+    def test_async_index_key(self):
+        spans = [
+            {"span": "dispatch", "wall_s": 0.0, "id": 0, "parent": None,
+             "index": 4},
+            {"span": "acq_optimize", "wall_s": 0.5, "id": 1, "parent": 0},
+        ]
+        rows = cycle_breakdown(spans)
+        assert rows == [
+            {"cycle": 4, "fit_s": 0.0, "acq_optimize_s": 0.5,
+             "fantasy_update_s": 0.0, "evaluate_s": 0.0,
+             "checkpoint_s": 0.0}
+        ]
+
+    def test_breakdown_csv(self):
+        rows = cycle_breakdown(make_trace(2).spans)
+        text = breakdown_csv(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycle,fit_s,")
+        assert len(lines) == 3
+
+
+class TestJournalCorrelation:
+    def test_join_on_cycle_id(self):
+        t = make_trace(3)
+        journal = [
+            {"event": "run_started"},
+            {"event": "cycle", "cycle": 1, "best_value": 5.0},
+            {"event": "cycle", "cycle": 2, "best_value": 4.0},
+            {"event": "run_completed"},
+        ]
+        joined = correlate_with_journal(t.spans, journal)
+        # Cycle 3 has no journal event; cycles 1-2 join.
+        assert set(joined) == {1, 2}
+        assert joined[1]["journal"]["best_value"] == 5.0
+        assert joined[2]["phases"]["evaluate"] > 0.0

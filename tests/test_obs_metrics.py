@@ -1,0 +1,261 @@
+"""Property suite for the metrics layer (satellite of the obs PR).
+
+The load-bearing claim: :class:`StreamingQuantiles` — and everything
+built on it (histograms, the executor's adaptive-timeout
+:class:`~repro.parallel.supervision.RuntimeQuantiles`) — computes
+*exactly* ``numpy.quantile`` over its window, across sizes,
+distributions, and window overflow. Hypothesis drives the shapes;
+numpy is the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    StreamingQuantiles,
+)
+from repro.parallel.supervision import RuntimeQuantiles
+from repro.util import ConfigurationError
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+quantile_floats = st.floats(min_value=0.0, max_value=1.0)
+
+
+# ----------------------------------------------------------------------
+# StreamingQuantiles vs numpy
+# ----------------------------------------------------------------------
+class TestStreamingQuantilesProperties:
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=200),
+        q=quantile_floats,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_numpy_within_window(self, values, q):
+        sq = StreamingQuantiles(window=256)
+        for v in values:
+            sq.observe(v)
+        expected = float(np.quantile(np.asarray(values, dtype=np.float64), q))
+        assert sq.quantile(q) == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=300),
+        window=st.integers(min_value=1, max_value=64),
+        q=quantile_floats,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_window_overflow_keeps_most_recent(self, values, window, q):
+        sq = StreamingQuantiles(window=window)
+        for v in values:
+            sq.observe(v)
+        tail = np.asarray(values[-window:], dtype=np.float64)
+        assert len(sq) == tail.size
+        assert sq.n_total == len(values)
+        assert sq.quantile(q) == pytest.approx(
+            float(np.quantile(tail, q)), rel=1e-12, abs=1e-12
+        )
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_vector_quantiles(self, values):
+        sq = StreamingQuantiles(window=128)
+        for v in values:
+            sq.observe(v)
+        qs = np.asarray([0.0, 0.25, 0.5, 0.75, 0.9, 1.0])
+        result = sq.quantile(qs)
+        np.testing.assert_allclose(
+            result, np.quantile(np.asarray(values, dtype=np.float64), qs)
+        )
+
+    @given(
+        dist=st.sampled_from(["uniform", "lognormal", "bimodal", "constant"]),
+        n=st.integers(min_value=1, max_value=500),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_distribution_shapes(self, dist, n, seed):
+        rng = np.random.default_rng(seed)
+        if dist == "uniform":
+            values = rng.uniform(-5, 5, size=n)
+        elif dist == "lognormal":
+            values = rng.lognormal(0.0, 2.0, size=n)
+        elif dist == "bimodal":
+            values = np.where(
+                rng.random(n) < 0.5,
+                rng.normal(-10, 1, size=n),
+                rng.normal(10, 1, size=n),
+            )
+        else:
+            values = np.full(n, 3.25)
+        sq = StreamingQuantiles(window=4096)
+        for v in values:
+            sq.observe(float(v))
+        for q in (0.05, 0.5, 0.95, 0.99):
+            assert sq.quantile(q) == pytest.approx(
+                float(np.quantile(values, q)), rel=1e-10, abs=1e-10
+            )
+
+    def test_empty_and_validation(self):
+        sq = StreamingQuantiles()
+        assert sq.quantile(0.5) is None
+        assert sq.snapshot() == {"count": 0}
+        with pytest.raises(ConfigurationError):
+            sq.observe(float("nan"))
+        with pytest.raises(ConfigurationError):
+            sq.observe(float("inf"))
+        with pytest.raises(ConfigurationError):
+            StreamingQuantiles(window=0)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_consistency(self, values):
+        sq = StreamingQuantiles(window=4096)
+        for v in values:
+            sq.observe(v)
+        snap = sq.snapshot()
+        arr = np.asarray(values, dtype=np.float64)
+        assert snap["count"] == len(values)
+        assert snap["min"] == arr.min()
+        assert snap["max"] == arr.max()
+        assert snap["p95"] == pytest.approx(float(np.quantile(arr, 0.95)))
+
+
+# ----------------------------------------------------------------------
+# RuntimeQuantiles rides on the same estimator
+# ----------------------------------------------------------------------
+class TestRuntimeQuantilesUnified:
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_value_matches_numpy(self, durations):
+        rq = RuntimeQuantiles(quantile=0.95, min_samples=1, window=256)
+        for d in durations:
+            rq.observe(d)
+        tail = np.asarray(durations[-256:], dtype=np.float64)
+        assert rq.n_samples == tail.size
+        assert rq.quantile_value() == pytest.approx(
+            float(np.quantile(tail, 0.95)), rel=1e-12, abs=1e-12
+        )
+
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=8,
+            max_size=100,
+        ),
+        default=st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_timeout_never_exceeds_static(self, durations, default):
+        rq = RuntimeQuantiles(min_samples=8)
+        for d in durations:
+            rq.observe(d)
+        limit = rq.timeout(default)
+        assert limit <= default
+        assert limit == pytest.approx(
+            min(default, 3.0 * rq.quantile_value())
+        )
+
+    def test_below_min_samples_uses_default(self):
+        rq = RuntimeQuantiles(min_samples=8)
+        for d in (1.0, 2.0, 3.0):
+            rq.observe(d)
+        assert rq.timeout(123.0) == 123.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeQuantiles().observe(-0.5)
+
+
+# ----------------------------------------------------------------------
+# Histogram / Counter / Gauge / registry
+# ----------------------------------------------------------------------
+class TestHistogram:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_whole_stream_aggregates(self, values):
+        h = Histogram("h", window=32)  # window smaller than the stream
+        for v in values:
+            h.observe(v)
+        arr = np.asarray(values, dtype=np.float64)
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(float(arr.sum()), rel=1e-9, abs=1e-6)
+        # min/max are whole-stream even when the window has rolled.
+        assert h.min == arr.min()
+        assert h.max == arr.max()
+        tail = arr[-32:]
+        assert h.quantile(0.5) == pytest.approx(float(np.median(tail)))
+
+    def test_snapshot_shape(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert {"min", "max", "mean", "p50", "p95"} <= set(snap)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(4)
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestRegistry:
+    def test_name_bound_to_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x")
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_snapshot_round_trips_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(0.25)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["a"] == {"kind": "counter", "value": 2.0}
+        assert snap["b"]["value"] == 1.5
+        assert snap["c"]["kind"] == "histogram"
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_null_registry_is_inert(self):
+        null = NullMetrics()
+        assert not null.enabled
+        assert NULL_METRICS.counter("x") is NULL_METRICS.histogram("y")
+        null.counter("x").inc()
+        null.histogram("y").observe(1.0)
+        null.gauge("z").set(2.0)
+        assert null.snapshot() == {}
+        assert null.names() == []

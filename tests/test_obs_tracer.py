@@ -1,0 +1,186 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    SPAN_NAMES,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_event,
+    trace_span,
+)
+from repro.parallel.clock import VirtualClock
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    previous = get_tracer()
+    yield
+    set_tracer(previous)
+
+
+class TestSpanNesting:
+    def test_parent_links_follow_the_stack(self):
+        t = Tracer()
+        with t.span("cycle", cycle=1) as outer:
+            with t.span("fit") as mid:
+                with t.span("gp_fit") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.id
+        assert inner.parent_id == mid.id
+        # Completion order: innermost first.
+        assert [s.name for s in t.spans] == ["gp_fit", "fit", "cycle"]
+
+    def test_sequential_deterministic_ids(self):
+        t = Tracer()
+        ids = []
+        for _ in range(5):
+            with t.span("x") as sp:
+                ids.append(sp.id)
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_siblings_share_parent(self):
+        t = Tracer()
+        with t.span("cycle") as parent:
+            with t.span("fit") as a:
+                pass
+            with t.span("evaluate") as b:
+                pass
+        assert a.parent_id == parent.id == b.parent_id
+
+    def test_out_of_order_exit_does_not_corrupt_stack(self):
+        t = Tracer()
+        outer = t.span("outer")
+        inner = t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Exiting the outer span first pops the leaked inner one too.
+        outer.__exit__(None, None, None)
+        assert t.current is None
+        with t.span("next") as nxt:
+            assert nxt.parent_id is None
+
+    def test_exception_still_closes_span(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("cycle"):
+                raise ValueError("boom")
+        assert t.current is None
+        assert t.spans[0].t_wall_end is not None
+
+
+class TestTimestamps:
+    def test_wall_duration_positive(self):
+        t = Tracer()
+        with t.span("x") as sp:
+            sum(range(1000))
+        assert sp.wall_duration > 0.0
+        assert sp.wall_duration == sp.t_wall_end - sp.t_wall
+
+    def test_virtual_clock_attached(self):
+        clock = VirtualClock()
+        t = Tracer()
+        t.attach_clock(clock)
+        with t.span("evaluate") as sp:
+            clock.advance(10.0)
+        assert sp.t_virtual == 0.0
+        assert sp.t_virtual_end == 10.0
+        assert sp.virtual_duration == 10.0
+
+    def test_no_clock_means_no_virtual_times(self):
+        t = Tracer()
+        with t.span("x") as sp:
+            pass
+        assert sp.t_virtual is None
+        assert sp.virtual_duration is None
+
+
+class TestAttributesAndEvents:
+    def test_attrs_at_creation_and_via_set(self):
+        t = Tracer()
+        with t.span("fit", n_train=32) as sp:
+            sp.set(mll=-1.5).set(degraded=False)
+        assert sp.attrs == {"n_train": 32, "mll": -1.5, "degraded": False}
+
+    def test_event_is_zero_length_child(self):
+        t = Tracer()
+        with t.span("cycle") as parent:
+            t.event("degradation", kind="variance_collapse")
+        ev = t.by_name("degradation")[0]
+        assert ev.parent_id == parent.id
+        assert ev.t_wall_end is not None
+
+    def test_max_spans_cap_counts_drops(self):
+        t = Tracer(max_spans=2)
+        for _ in range(5):
+            with t.span("x"):
+                pass
+        assert len(t.spans) == 2
+        assert t.n_dropped == 3
+
+    def test_clear(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        t.clear()
+        assert t.spans == [] and t.n_dropped == 0
+
+    def test_invalid_max_spans(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+
+class TestGlobalInstallation:
+    def test_default_is_null(self):
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_trace_span_routes_to_installed(self):
+        t = Tracer()
+        previous = set_tracer(t)
+        assert previous is not None
+        with trace_span("fit", cycle=2) as sp:
+            pass
+        trace_event("tick")
+        assert sp in t.spans
+        assert t.by_name("tick")
+
+    def test_disabled_path_returns_shared_noop(self):
+        set_tracer(None)
+        sp = trace_span("fit", cycle=1)
+        assert sp is NOOP_SPAN
+        # All chainable no-ops; nothing recorded anywhere.
+        with sp as inner:
+            inner.set(a=1).event("x", b=2)
+        assert NULL_TRACER.spans == []
+
+    def test_null_tracer_api_is_inert(self):
+        n = NullTracer()
+        n.attach_clock(VirtualClock())
+        n.event("x")
+        assert n.by_name("x") == []
+        n.clear()
+
+    def test_set_tracer_returns_previous(self):
+        a, b = Tracer(), Tracer()
+        set_tracer(a)
+        assert set_tracer(b) is a
+        assert get_tracer() is b
+
+
+def test_builtin_taxonomy_is_stable():
+    """DESIGN §10 documents these names; renaming breaks trace readers."""
+    assert set(SPAN_NAMES) >= {
+        "cycle", "propose", "fit", "safe_fit", "gp_fit", "acq_optimize",
+        "fantasy_update", "evaluate", "checkpoint", "dispatch", "refit",
+        "executor",
+    }
