@@ -1,0 +1,181 @@
+"""End-to-end smoke test of the ask/tell service over real processes.
+
+What the CI ``service-smoke`` job (and anyone locally) runs:
+
+1. start ``repro serve`` as a subprocess with an on-disk session store;
+2. create an Ackley-12 session with a short ``ask_timeout``;
+3. launch four ``repro worker`` processes; one of them holds every
+   ticket for 60 s (a stalled simulation) and is SIGKILLed mid-run —
+   its outstanding ticket must requeue via the timeout sweep;
+4. assert: the surviving workers finish the budget, **zero tickets are
+   lost** (no pending work left, at least one requeue happened), and
+   the final best improves on the initial design's best;
+5. SIGTERM the server and assert a clean drain (exit code 0);
+6. restart the server on the same store and assert the session resumes
+   with the identical best-so-far.
+
+Exits non-zero on the first violated assertion.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--evals-per-worker N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def request(url: str, method: str, path: str, payload=None, timeout=15):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def wait_ready(url: str, deadline_s: float = 30.0) -> None:
+    t0 = time.time()
+    while time.time() - t0 < deadline_s:
+        try:
+            request(url, "GET", "/status", timeout=2)
+            return
+        except Exception:
+            time.sleep(0.2)
+    raise RuntimeError("server did not become ready")
+
+
+def start_server(store: str, env: dict) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store, "--no-fsync", "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    if "serving on" not in line:
+        proc.kill()
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    url = line.split()[2]
+    wait_ready(url)
+    return proc, url
+
+
+def start_worker(url: str, env: dict, max_evals: int, hold: float = 0.0):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--url", url,
+         "--session", "smoke", "--max-evals", str(max_evals),
+         "--hold", str(hold), "--backoff", "0.1", "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--evals-per-worker", type=int, default=12)
+    parser.add_argument("--ask-timeout", type=float, default=3.0)
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    store = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    checks = 0
+
+    def check(cond: bool, what: str) -> None:
+        nonlocal checks
+        checks += 1
+        status = "ok" if cond else "FAIL"
+        print(f"  [{status}] {what}", flush=True)
+        if not cond:
+            raise SystemExit(f"service smoke failed: {what}")
+
+    print("== starting server ==", flush=True)
+    server, url = start_server(store, env)
+    try:
+        request(url, "POST", "/sessions", {
+            "name": "smoke", "problem": "ackley", "dim": 12,
+            "algorithm": "turbo", "n_batch": 4, "seed": 0, "n_initial": 16,
+            "ask_timeout": args.ask_timeout, "max_pending": 32,
+        })
+
+        print("== 4 workers, one doomed ==", flush=True)
+        victim = start_worker(url, env, max_evals=100, hold=60.0)
+        # Wait until the victim provably holds a ticket...
+        t0 = time.time()
+        while time.time() - t0 < 30:
+            if request(url, "GET", "/sessions/smoke/status")["n_pending"] > 0:
+                break
+            time.sleep(0.2)
+        check(request(url, "GET", "/sessions/smoke/status")["n_pending"] > 0,
+              "victim worker holds a ticket")
+        victim.kill()
+        victim.wait()
+
+        workers = [start_worker(url, env, max_evals=args.evals_per_worker)
+                   for _ in range(3)]
+        for w in workers:
+            out, _ = w.communicate(timeout=600)
+            check(w.returncode == 0, f"worker exited cleanly: {out.strip()!r}")
+
+        status = request(url, "GET", "/sessions/smoke/status")
+        counters = status["counters"]
+        check(counters["requeues"] >= 1,
+              f"killed worker's ticket requeued ({counters['requeues']})")
+        check(status["n_pending"] == 0,
+              "zero tickets lost (nothing pending at the end)")
+        check(counters["tells"] >= 3 * args.evals_per_worker,
+              f"budget completed ({counters['tells']} tells)")
+        best = request(url, "GET", "/sessions/smoke/best")
+        check(status["initialized"] and
+              best["y"] <= status["initial_best"],
+              f"improved on initial design "
+              f"({status['initial_best']:.3f} -> {best['y']:.3f})")
+
+        print("== SIGTERM drain ==", flush=True)
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=60)
+        check(server.returncode == 0, "server drained cleanly on SIGTERM")
+        check("drained cleanly" in out, "drain banner printed")
+        server = None
+    finally:
+        if server is not None:
+            server.kill()
+            server.wait()
+
+    print("== restart from store ==", flush=True)
+    server2, url2 = start_server(store, env)
+    try:
+        best2 = request(url2, "GET", "/sessions/smoke/best")
+        status2 = request(url2, "GET", "/sessions/smoke/status")
+        check(best2["y"] == best["y"] and best2["n_told"] == best["n_told"],
+              "restarted server resumes identical best-so-far")
+        check(status2["n_pending"] == status["n_pending"],
+              "restarted server resumes the pending ledger")
+        server2.send_signal(signal.SIGTERM)
+        server2.communicate(timeout=60)
+        check(server2.returncode == 0, "second drain clean")
+        server2 = None
+    finally:
+        if server2 is not None:
+            server2.kill()
+            server2.wait()
+
+    print(f"\nservice smoke: {checks} checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

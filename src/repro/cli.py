@@ -10,12 +10,21 @@ Usage::
 
     python -m repro resume run.jsonl
 
+    python -m repro serve --port 8751 --store sessions/
+    python -m repro worker --url http://127.0.0.1:8751 --session prod
+
 Runs one time-budgeted optimization under the paper's protocol and
 prints a human-readable summary (or writes the full run record as JSON
 with ``--json``). With ``--journal`` the run appends a crash-safe JSONL
 event log; the ``resume`` subcommand continues an interrupted journaled
 run under its remaining budget. ``--crash-rate`` / ``--timeout-rate`` /
 ``--nan-rate`` inject evaluation faults (see ``repro.resilience``).
+
+The ``serve`` and ``worker`` subcommands run the ask/tell suggestion
+service of :mod:`repro.service`: one long-lived HTTP server hosting
+concurrent optimization sessions, driven by any number of worker
+processes that pull candidates, run the simulator locally, and post
+results back.
 """
 
 from __future__ import annotations
@@ -29,11 +38,29 @@ from repro.experiments.records import RunRecord
 from repro.problems.benchmarks import BENCHMARKS
 from repro.uphes import UPHESSimulator
 
+#: Subcommand names reserved ahead of the default single-run parser.
+SUBCOMMANDS = ("resume", "serve", "worker")
+
+
+def package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Parallel Bayesian optimization (paper protocol), one run.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     parser.add_argument(
         "--problem",
@@ -198,6 +225,110 @@ def _report(result, seed, *, quiet: bool, json_path: str | None) -> None:
         print(f"\nrun record written to {json_path}")
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the ask/tell suggestion server (repro.service).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8751,
+                        help="TCP port (0 picks an ephemeral one)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="session checkpoint directory; sessions "
+                             "survive server restarts when given")
+    parser.add_argument("--max-sessions", type=int, default=64,
+                        help="sessions resident in memory before LRU "
+                             "eviction to the store")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="seconds of inactivity before a session is "
+                             "evicted from memory (state stays on disk)")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on session checkpoints")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logging")
+    return parser
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Run one evaluation worker against an ask/tell server.",
+    )
+    parser.add_argument("--url", required=True,
+                        help="server root, e.g. http://127.0.0.1:8751")
+    parser.add_argument("--session", required=True,
+                        help="session name to evaluate for")
+    parser.add_argument("--max-evals", type=int, default=None,
+                        help="stop after this many completed evaluations")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="stop after this many wall seconds")
+    parser.add_argument("--hold", type=float, default=0.0,
+                        help="extra seconds to hold each ticket before "
+                             "telling (simulates a slow simulation)")
+    parser.add_argument("--backoff", type=float, default=0.2,
+                        help="initial backoff on 429 backpressure")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-evaluation line")
+    return parser
+
+
+def main_serve(argv=None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    import signal
+
+    from repro.obs import MetricsRegistry, get_metrics, set_metrics
+    from repro.service import ServiceServer, SessionManager
+
+    if not get_metrics().enabled:
+        set_metrics(MetricsRegistry())
+    manager = SessionManager(
+        store_dir=args.store,
+        max_sessions=args.max_sessions,
+        idle_timeout=args.idle_timeout,
+        fsync=not args.no_fsync,
+    )
+    server = ServiceServer(
+        manager, host=args.host, port=args.port, quiet=args.quiet
+    )
+    server.start()
+    print(f"serving on {server.url} "
+          f"(store={args.store or 'memory-only'})", flush=True)
+
+    def _request_drain(signum, frame):
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_drain)
+    signal.signal(signal.SIGINT, _request_drain)
+    try:
+        while not server.wait_for_shutdown_request(timeout=1.0):
+            manager.sweep_idle()
+    finally:
+        server.stop()
+    print("drained cleanly", flush=True)
+    return 0
+
+
+def main_worker(argv=None) -> int:
+    args = build_worker_parser().parse_args(argv)
+    from repro.service import run_worker
+
+    if args.max_evals is None and args.deadline is None:
+        build_worker_parser().error("give --max-evals and/or --deadline")
+    stats = run_worker(
+        args.url,
+        args.session,
+        max_evals=args.max_evals,
+        deadline_s=args.deadline,
+        backoff_s=args.backoff,
+        hold_s=args.hold,
+        quiet=args.quiet,
+    )
+    print(f"worker done: asked={stats.n_asked} told={stats.n_told} "
+          f"expired={stats.n_expired} duplicate={stats.n_duplicate} "
+          f"backoffs={stats.n_backoff}", flush=True)
+    return 0
+
+
 def main_resume(argv=None) -> int:
     args = build_resume_parser().parse_args(argv)
     from repro.resilience import resume_run
@@ -214,6 +345,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "resume":
         return main_resume(argv[1:])
+    if argv and argv[0] == "serve":
+        return main_serve(argv[1:])
+    if argv and argv[0] == "worker":
+        return main_worker(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(

@@ -27,6 +27,7 @@ from repro.obs.tracer import trace_span
 from repro.util import (
     ConfigurationError,
     RandomState,
+    UnproposedPointError,
     as_generator,
     capture_rng,
     check_finite,
@@ -143,6 +144,12 @@ class BatchOptimizer:
         # (surrogate ladder rungs, passive health flags); the driver
         # supervisor drains them into the run journal each cycle.
         self._degradations: list[dict] = []
+        #: Opt-in strict update mode: :meth:`update` then accepts only
+        #: points recorded as outstanding via :meth:`note_proposed`.
+        #: The ask/tell service enables this so an external evaluator
+        #: cannot feed back coordinates the optimizer never asked for.
+        self.strict_updates = False
+        self._outstanding = np.empty((0, problem.dim))
 
     def drain_degradations(self) -> list[dict]:
         """Return and clear the degradations of the last propose()."""
@@ -172,17 +179,67 @@ class BatchOptimizer:
         ).copy()
 
     def update(self, X_new, y_new) -> None:
-        """Append exact evaluations of the last proposed batch."""
+        """Append exact evaluations of proposed points.
+
+        Any shape-compatible batch is accepted — it need not be the
+        last proposal, nor a whole one: the ask/tell service feeds
+        evaluations back one point at a time and possibly out of
+        proposal order, and the per-algorithm :meth:`_after_update`
+        hooks handle partial batches. With :attr:`strict_updates`
+        enabled, every row must additionally match an outstanding point
+        recorded via :meth:`note_proposed` (matched rows are consumed
+        from the ledger); an unknown row raises
+        :class:`~repro.util.errors.UnproposedPointError`.
+        """
         X_new = check_matrix(X_new, "X_new", cols=self.problem.dim)
         y_new = check_finite(
             check_vector(y_new, "y_new", dim=X_new.shape[0]), "y_new"
         )
+        if self.strict_updates:
+            self._consume_outstanding(X_new)
         self.X = np.vstack([self.X, X_new])
         self.y = np.concatenate([self.y, y_new])
         self._after_update(X_new, y_new)
 
     def _after_update(self, X_new, y_new) -> None:
         """Hook for per-algorithm state (e.g. TuRBO's counters)."""
+
+    # -- outstanding-proposal ledger (strict update mode) ---------------
+    def note_proposed(self, X) -> None:
+        """Record proposed points as outstanding for strict updates."""
+        X = check_matrix(X, "X", cols=self.problem.dim)
+        self._outstanding = np.vstack([self._outstanding, X])
+
+    def outstanding_proposals(self) -> np.ndarray:
+        """Copy of the outstanding (proposed, not yet updated) points."""
+        return self._outstanding.copy()
+
+    def _consume_outstanding(self, X_new: np.ndarray) -> None:
+        """Match every update row to one ledger row, or raise.
+
+        Matching is exact up to a tiny absolute-in-the-box tolerance
+        (points survive a JSON round trip bit-exactly, but a forgiving
+        epsilon keeps honest binary/decimal conversions from tripping
+        strict mode). Each ledger row satisfies at most one update row.
+        """
+        span = self.problem.upper - self.problem.lower
+        tol = 1e-9 * span
+        pool = self._outstanding
+        taken = np.zeros(pool.shape[0], dtype=bool)
+        for i, row in enumerate(X_new):
+            hit = None
+            for j in range(pool.shape[0]):
+                if not taken[j] and np.all(np.abs(pool[j] - row) <= tol):
+                    hit = j
+                    break
+            if hit is None:
+                raise UnproposedPointError(
+                    f"strict update: row {i} of X_new matches no "
+                    f"outstanding proposal ({pool.shape[0] - taken.sum()} "
+                    "outstanding)"
+                )
+            taken[hit] = True
+        self._outstanding = pool[~taken]
 
     def propose(self) -> Proposal:
         raise NotImplementedError

@@ -1,0 +1,49 @@
+"""``repro.service`` — ask/tell suggestion server (DESIGN §11).
+
+The serving layer that turns the reproduction into a long-lived
+suggestion service driven by external evaluators:
+
+- :mod:`repro.service.engine` — :class:`AskTellEngine`, inverting any
+  registry algorithm's propose/update loop into ask/tell with a
+  pending-ticket ledger, Kriging-Believer fantasies for outstanding
+  asks, timeout requeue, and checkpointable state;
+- :mod:`repro.service.sessions` — :class:`SessionManager`, many named
+  concurrent sessions behind per-session locks with an atomic on-disk
+  store (idle expiry, LRU eviction);
+- :mod:`repro.service.server` — :class:`ServiceServer`, a stdlib
+  ``ThreadingHTTPServer`` JSON API with backpressure, per-endpoint
+  metrics, and graceful drain;
+- :mod:`repro.service.client` / :mod:`repro.service.worker` — the
+  ``urllib`` client and the pull-evaluate-tell worker loop behind
+  ``repro worker``.
+
+Start a server with ``repro serve``, attach workers with
+``repro worker``, or embed everything in-process (see
+``examples/ask_tell_service.py``).
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.engine import AskTellEngine
+from repro.service.server import ServiceServer
+from repro.service.sessions import (
+    Session,
+    SessionManager,
+    build_engine,
+    build_problem,
+    validate_spec,
+)
+from repro.service.worker import WorkerStats, run_worker
+
+__all__ = [
+    "AskTellEngine",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceServer",
+    "Session",
+    "SessionManager",
+    "WorkerStats",
+    "build_engine",
+    "build_problem",
+    "run_worker",
+    "validate_spec",
+]

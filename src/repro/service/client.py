@@ -1,0 +1,152 @@
+"""Thin stdlib client for the ask/tell HTTP service.
+
+Workers and scripts talk to :mod:`repro.service.server` through this
+``urllib``-based client. Transport-level failures (connection refused,
+resets, 5xx/503 responses) are retried with exponential backoff — the
+transient noise any distributed evaluation fleet sees — while semantic
+errors (400/404/409/422/429) surface immediately as
+:class:`ServiceClientError` carrying the HTTP status and the server's
+typed error payload, so callers can branch on them (the worker loop
+treats 429 as "back off", 404 as fatal).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.util import ReproError
+
+#: HTTP statuses worth retrying: the server was unable, not unwilling.
+RETRYABLE_STATUSES = (500, 502, 503, 504)
+
+
+class ServiceClientError(ReproError):
+    """A service request failed with a definitive (non-retried) answer.
+
+    Attributes ``status`` (HTTP code, 0 for transport exhaustion),
+    ``error`` (server-side exception type name) and ``message``.
+    """
+
+    def __init__(self, status: int, error: str, message: str):
+        super().__init__(f"HTTP {status} {error}: {message}")
+        self.status = int(status)
+        self.error = error
+        self.message = message
+
+
+class ServiceClient:
+    """JSON-over-HTTP client with retry/backoff.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8751``.
+    timeout:
+        Per-request socket timeout in seconds.
+    max_retries:
+        Transport/5xx retry attempts per request (beyond the first).
+    backoff:
+        Initial backoff in seconds; doubles per retry.
+    sleep:
+        Injectable sleeper for tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 4,
+        backoff: float = 0.2,
+        sleep=time.sleep,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.sleep = sleep
+
+    # -- transport -----------------------------------------------------
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One JSON request with retry/backoff; returns the parsed body."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                data = self._error_payload(exc)
+                if exc.code not in RETRYABLE_STATUSES:
+                    raise ServiceClientError(
+                        exc.code,
+                        data.get("error", "HTTPError"),
+                        data.get("message", str(exc)),
+                    ) from None
+                last = exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last = exc
+            if attempt < self.max_retries:
+                self.sleep(self.backoff * (2.0**attempt))
+        # Retries exhausted: surface the HTTP status if there was one
+        # (a drained 503 stays recognizable), else 0 for pure transport
+        # failures (connection refused, timeouts).
+        raise ServiceClientError(
+            getattr(last, "code", 0),
+            type(last).__name__,
+            f"{method} {path} failed after retries: {last}",
+        )
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> dict:
+        try:
+            data = json.loads(exc.read().decode("utf-8"))
+            return data if isinstance(data, dict) else {}
+        except Exception:
+            return {}
+
+    # -- protocol verbs ------------------------------------------------
+    def create_session(self, name: str, **spec) -> dict:
+        """``POST /sessions``; returns the normalized spec echo."""
+        return self.request("POST", "/sessions", {"name": name, **spec})
+
+    def ask(self, session: str, n: int = 1) -> list[tuple[str, np.ndarray]]:
+        """``POST /sessions/<name>/ask``; returns (ticket, x) pairs."""
+        data = self.request("POST", f"/sessions/{session}/ask", {"n": n})
+        return [
+            (t["ticket"], np.asarray(t["x"], dtype=np.float64))
+            for t in data["tickets"]
+        ]
+
+    def tell(self, session: str, ticket: str, y: float) -> dict:
+        """``POST /sessions/<name>/tell``; returns the tell status."""
+        return self.request(
+            "POST", f"/sessions/{session}/tell", {"ticket": ticket, "y": float(y)}
+        )
+
+    def best(self, session: str) -> dict:
+        """``GET /sessions/<name>/best`` (409 → ServiceClientError)."""
+        return self.request("GET", f"/sessions/{session}/best")
+
+    def session_status(self, session: str) -> dict:
+        return self.request("GET", f"/sessions/{session}/status")
+
+    def server_status(self) -> dict:
+        return self.request("GET", "/status")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def shutdown(self) -> dict:
+        """Ask the server to begin a graceful drain."""
+        return self.request("POST", "/shutdown")

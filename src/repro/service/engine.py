@@ -1,0 +1,519 @@
+"""Ask/tell inversion of the batch-BO loop.
+
+Every algorithm in :mod:`repro.core` was written for a driver that owns
+the loop: it calls ``propose()``, evaluates the batch itself, and calls
+``update()``. :class:`AskTellEngine` inverts that control so an
+*external* evaluator — the paper's expensive UPHES simulator running on
+remote workers — can drive the optimization over a narrow two-verb
+protocol:
+
+``ask(n)``
+    Returns up to ``n`` tickets, each a candidate point plus an opaque
+    ticket id. Overlapping asks never collide: points already issued
+    but not yet told are fantasized into the surrogate Kriging-Believer
+    style (the model "believes" its own prediction at the outstanding
+    points) before the next proposal is computed, exactly as the
+    sequential KB heuristic pushes consecutive single-point
+    acquisitions apart.
+``tell(ticket, y)``
+    Feeds one evaluation back. Tells may arrive out of proposal order,
+    in any interleaving with asks, duplicated (answered idempotently),
+    for expired tickets (acknowledged, not applied), or with non-finite
+    objectives (routed through the driver's non-finite guards, never
+    into the GP fit).
+
+Tickets that stay outstanding past ``ask_timeout`` — a worker died
+mid-simulation — are swept back into the candidate queue and reissued
+under a fresh ticket, so no proposed point is ever lost.
+
+The engine is checkpointable: :meth:`get_state` captures the optimizer
+snapshot (RNG stream included, via the same machinery the resilience
+layer uses for journaled runs), the observation history, the candidate
+queue, and the pending-ask ledger, so a restarted engine resumes
+mid-flight with identical best-so-far and outstanding tickets.
+
+The engine itself is single-threaded by design; concurrent access is
+serialized by the per-session locks of
+:class:`repro.service.sessions.SessionManager`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import make_optimizer
+from repro.core.driver import NONFINITE_ACTIONS, _guard_nonfinite
+from repro.doe import latin_hypercube, uniform_random
+from repro.obs.metrics import get_metrics
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    UnknownTicketError,
+    as_generator,
+    capture_rng,
+    check_finite,
+    from_jsonable,
+    restore_rng,
+    to_jsonable,
+)
+
+#: Engine checkpoint schema version, bumped on incompatible changes.
+STATE_SCHEMA = 1
+
+#: Terminal ticket statuses kept in the bounded retired map.
+_RETIRED_CAP = 8192
+
+
+class AskTellEngine:
+    """Ask/tell wrapper around any registry algorithm.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.problems.Problem` being optimized. ``tell``
+        and ``best`` speak its *native* orientation; the sign flip for
+        maximization problems happens inside, like in the driver.
+    algorithm:
+        Registry name (``"turbo"``, ``"kb-q-ego"``, ...).
+    n_batch:
+        Proposal batch size: how many candidates one refill of the
+        queue produces (and the surrogate's notion of parallelism).
+    seed:
+        Seed for the optimizer and the engine's own candidate RNG.
+    n_initial:
+        Initial design size (default ``16 · n_batch``, paper Table 2).
+        The first ``n_initial`` accepted tells initialize the optimizer;
+        until then asks are served from a Latin-hypercube design.
+    ask_timeout:
+        Seconds an issued ticket may stay outstanding before it is
+        requeued (None: tickets never expire).
+    max_pending:
+        Cap on in-flight asks; an ask that would exceed it raises
+        :class:`~repro.util.errors.BackpressureError` (HTTP 429 at the
+        server boundary). None: unbounded.
+    on_nonfinite:
+        Fallback for non-finite told objectives — one of
+        ``impute | fantasy | drop | raise`` (driver semantics).
+    fantasize:
+        Kriging-Believer fantasies for outstanding points during
+        proposals (default on; meaningless for non-surrogate
+        algorithms, which simply skip it).
+    clock:
+        Injectable time source for ticket-expiry tests.
+    """
+
+    def __init__(
+        self,
+        problem,
+        algorithm: str = "turbo",
+        n_batch: int = 4,
+        seed: int | None = 0,
+        n_initial: int | None = None,
+        ask_timeout: float | None = None,
+        max_pending: int | None = None,
+        on_nonfinite: str = "impute",
+        fantasize: bool = True,
+        algo_options: dict | None = None,
+        clock=time.time,
+    ):
+        if on_nonfinite not in NONFINITE_ACTIONS:
+            raise ConfigurationError(
+                f"on_nonfinite must be one of {NONFINITE_ACTIONS}, "
+                f"got {on_nonfinite!r}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if ask_timeout is not None and ask_timeout <= 0:
+            raise ConfigurationError(
+                f"ask_timeout must be positive, got {ask_timeout}"
+            )
+        self.problem = problem
+        self.algorithm = str(algorithm)
+        self.n_batch = int(n_batch)
+        self.seed = seed
+        self.n_initial = (
+            16 * self.n_batch if n_initial is None else int(n_initial)
+        )
+        if self.n_initial < 1:
+            raise ConfigurationError(
+                f"n_initial must be >= 1, got {self.n_initial}"
+            )
+        self.ask_timeout = None if ask_timeout is None else float(ask_timeout)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.on_nonfinite = on_nonfinite
+        self.fantasize = bool(fantasize)
+        self.clock = clock
+        self._sign = -1.0 if problem.maximize else 1.0
+
+        self.optimizer = make_optimizer(
+            algorithm, problem, n_batch, seed=seed, **(algo_options or {})
+        )
+        self.optimizer.strict_updates = True
+        # Engine-owned stream for the initial design and pre-init
+        # overflow candidates, separate from the optimizer's stream so
+        # ask traffic does not perturb the algorithm's own RNG.
+        self._rng = as_generator(None if seed is None else seed + 1)
+
+        self._queue: list[np.ndarray] = []  # unissued candidates, FIFO
+        self._pending: dict[str, dict] = {}  # ticket -> {x, issued_at, ...}
+        self._retired: dict[str, str] = {}  # ticket -> "done" | "expired"
+        self._seq = 0
+        self._design_emitted = False
+        self.initialized = False
+        self.initial_best: float | None = None  # native orientation
+        self._init_X: list[np.ndarray] = []  # pre-init tell buffer
+        self._init_y: list[float] = []  # native values, may be non-finite
+        self.counters = {
+            "asks": 0,  # tickets issued (requeues included)
+            "tells": 0,  # accepted tells (non-finite ones included)
+            "duplicates": 0,  # tells for already-resolved tickets
+            "expired_tells": 0,  # tells arriving after a requeue
+            "requeues": 0,  # tickets swept back by timeout
+            "nonfinite": 0,  # non-finite objectives guarded
+            "dropped": 0,  # points discarded by on_nonfinite="drop"
+            "proposals": 0,  # optimizer.propose() calls
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def n_told(self) -> int:
+        return self.counters["tells"]
+
+    @property
+    def best(self) -> tuple[np.ndarray, float] | None:
+        """Best (point, native value) so far, or None before any data."""
+        if self.optimizer.y.size:
+            return self.optimizer.best_x, self._sign * self.optimizer.best_f
+        finite = [
+            (x, y)
+            for x, y in zip(self._init_X, self._init_y)
+            if np.isfinite(y)
+        ]
+        if not finite:
+            return None
+        pick = (max if self.problem.maximize else min)(
+            finite, key=lambda pair: pair[1]
+        )
+        return pick[0].copy(), float(pick[1])
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot of the engine's public state."""
+        best = self.best
+        return {
+            "algorithm": self.optimizer.name,
+            "n_batch": self.n_batch,
+            "n_initial": self.n_initial,
+            "initialized": self.initialized,
+            "initial_best": self.initial_best,
+            "n_pending": self.n_pending,
+            "n_queued": self.n_queued,
+            "n_observations": int(self.optimizer.y.size)
+            + len(self._init_y),
+            "best_value": None if best is None else best[1],
+            "counters": dict(self.counters),
+        }
+
+    # -- ask -----------------------------------------------------------
+    def ask(self, n: int = 1) -> list[dict]:
+        """Issue up to ``n`` tickets ``{"ticket": id, "x": (d,) array}``."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.sweep_expired()
+        if (
+            self.max_pending is not None
+            and len(self._pending) + n > self.max_pending
+        ):
+            raise BackpressureError(
+                f"{len(self._pending)} asks already in flight "
+                f"(max_pending={self.max_pending}); tell or wait"
+            )
+        out = []
+        for _ in range(n):
+            if not self._queue:
+                self._refill()
+            x = self._queue.pop(0)
+            ticket = f"t{self._seq:08d}"
+            self._seq += 1
+            self._pending[ticket] = {
+                "x": x,
+                "issued_at": float(self.clock()),
+                "requeues": 0,
+            }
+            self.counters["asks"] += 1
+            out.append({"ticket": ticket, "x": x.copy()})
+        get_metrics().counter("service.engine.asks").inc(len(out))
+        return out
+
+    def sweep_expired(self) -> int:
+        """Requeue tickets outstanding past ``ask_timeout``; return count."""
+        if self.ask_timeout is None or not self._pending:
+            return 0
+        now = float(self.clock())
+        expired = [
+            t
+            for t, rec in self._pending.items()
+            if now - rec["issued_at"] > self.ask_timeout
+        ]
+        for ticket in expired:
+            rec = self._pending.pop(ticket)
+            # Front of the queue: a requeued point is the oldest debt.
+            self._queue.insert(0, rec["x"])
+            self._retire(ticket, "expired")
+            self.counters["requeues"] += 1
+        if expired:
+            get_metrics().counter("service.engine.requeues").inc(len(expired))
+        return len(expired)
+
+    def _refill(self) -> None:
+        """Extend the candidate queue by one batch."""
+        if not self.initialized:
+            if not self._design_emitted:
+                fresh = latin_hypercube(
+                    self.n_initial, self.problem.bounds, seed=self._rng
+                )
+                self._design_emitted = True
+            else:
+                # The whole design is in flight but not yet told: serve
+                # overflow asks with uniform candidates rather than
+                # blocking (there is no surrogate to propose from yet).
+                fresh = uniform_random(
+                    self.n_batch, self.problem.bounds, seed=self._rng
+                )
+            self.optimizer.note_proposed(fresh)
+            self._queue.extend(fresh)
+            return
+        proposal = self._propose_with_fantasies()
+        self.counters["proposals"] += 1
+        self.optimizer.note_proposed(proposal)
+        self._queue.extend(proposal)
+
+    def _propose_with_fantasies(self) -> np.ndarray:
+        """One optimizer proposal, fantasizing outstanding points.
+
+        Kriging-Believer at the engine level: the surrogate temporarily
+        "observes" every issued-but-untold and queued-but-unissued
+        point at its predicted (or imputed) value, so the new batch is
+        pushed away from work already in flight — the same mechanism
+        KB-q-EGO uses within one batch, lifted to the asynchronous
+        boundary (cf. randomized Kriging Believer in parallel BO).
+        """
+        opt = self.optimizer
+        outstanding = [rec["x"] for rec in self._pending.values()]
+        outstanding.extend(self._queue)
+        if not (self.fantasize and opt.uses_surrogate and outstanding):
+            return opt.propose().X
+        X_pend = np.vstack(outstanding)
+        y_fant = self._fantasy_values(X_pend)
+        n_real = opt.X.shape[0]
+        opt.X = np.vstack([opt.X, X_pend])
+        opt.y = np.concatenate([opt.y, y_fant])
+        try:
+            X_prop = opt.propose().X
+        finally:
+            opt.X = opt.X[:n_real]
+            opt.y = opt.y[:n_real]
+        return X_prop
+
+    def _fantasy_values(self, X_pend: np.ndarray) -> np.ndarray:
+        """KB fantasy values (internal orientation) for pending points.
+
+        Posterior mean of the last fitted surrogate where available; the
+        mean observed value (a constant liar) before the first fit or if
+        the prediction comes back non-finite.
+        """
+        liar = float(np.mean(self.optimizer.y))
+        gp = self.optimizer.gp
+        if gp is None:
+            return np.full(X_pend.shape[0], liar)
+        try:
+            mu = np.asarray(
+                gp.predict(X_pend, return_std=False), dtype=np.float64
+            ).reshape(-1)
+        except Exception:
+            return np.full(X_pend.shape[0], liar)
+        return np.where(np.isfinite(mu), mu, liar)
+
+    # -- tell ----------------------------------------------------------
+    def tell(self, ticket: str, y: float) -> dict:
+        """Feed back one evaluation; returns ``{"status": ..., ...}``.
+
+        Statuses: ``accepted`` (applied), ``dropped`` (non-finite value
+        discarded under ``on_nonfinite="drop"``), ``duplicate`` (ticket
+        already resolved — idempotent), ``expired`` (ticket requeued
+        before this tell arrived; the value is acknowledged but not
+        applied, because its point is already owned by a fresh ticket).
+        """
+        self.sweep_expired()
+        ticket = str(ticket)
+        if ticket in self._retired:
+            kind = self._retired[ticket]
+            if kind == "expired":
+                self.counters["expired_tells"] += 1
+                get_metrics().counter("service.engine.expired_tells").inc()
+                return {"status": "expired"}
+            self.counters["duplicates"] += 1
+            get_metrics().counter("service.engine.duplicate_tells").inc()
+            return {"status": "duplicate"}
+        rec = self._pending.pop(ticket, None)
+        if rec is None:
+            raise UnknownTicketError(
+                f"ticket {ticket!r} was never issued by this session"
+            )
+        y = float(y)
+        status = self._absorb(rec["x"], y)
+        self._retire(ticket, "done")
+        self.counters["tells"] += 1
+        if not np.isfinite(y):
+            self.counters["nonfinite"] += 1
+            get_metrics().counter("service.engine.nonfinite_tells").inc()
+        get_metrics().counter("service.engine.tells").inc()
+        return {"status": status, "n_told": self.counters["tells"]}
+
+    def _absorb(self, x: np.ndarray, y_native: float) -> str:
+        """Apply one evaluation to the optimizer (or the init buffer)."""
+        if not self.initialized:
+            self._init_X.append(x)
+            self._init_y.append(y_native)
+            if len(self._init_y) >= self.n_initial:
+                self._initialize()
+            return "accepted"
+        y_int = self._sign * y_native
+        X_used, y_used = _guard_nonfinite(
+            x[None, :],
+            np.asarray([y_int]),
+            self.optimizer,
+            self.on_nonfinite,
+        )
+        if X_used.shape[0] == 0:
+            self.counters["dropped"] += 1
+            # The point stays consumed from the strict ledger even
+            # though its value was unusable, mirroring the driver's
+            # "drop" semantics; consume it explicitly.
+            self.optimizer._consume_outstanding(x[None, :])
+            return "dropped"
+        self.optimizer.update(X_used, y_used)
+        return "accepted"
+
+    def _initialize(self) -> None:
+        """First ``n_initial`` tells arrived: install the initial design."""
+        X0 = np.vstack(self._init_X)
+        y0 = self._sign * np.asarray(self._init_y, dtype=np.float64)
+        X0, y0 = _guard_nonfinite(X0, y0, None, self.on_nonfinite)
+        dropped = len(self._init_y) - y0.size
+        if dropped:
+            self.counters["dropped"] += dropped
+        # initialize() bypasses the strict ledger; consume the design
+        # rows so the outstanding pool only holds truly in-flight work.
+        self.optimizer._consume_outstanding(np.vstack(self._init_X))
+        self.optimizer.initialize(X0, check_finite(y0, "initial design"))
+        self.initial_best = self._sign * float(np.min(y0))
+        self._init_X = []
+        self._init_y = []
+        self.initialized = True
+
+    def _retire(self, ticket: str, status: str) -> None:
+        self._retired[ticket] = status
+        if len(self._retired) > _RETIRED_CAP:
+            for key in list(self._retired)[: _RETIRED_CAP // 2]:
+                del self._retired[key]
+
+    # -- checkpointing -------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-serializable snapshot of the full engine state.
+
+        Everything needed to resume mid-flight: optimizer snapshot (RNG
+        stream, algorithm internals), observation history, candidate
+        queue, pending-ask ledger, retired-ticket map, counters. The
+        engine's construction parameters are *not* included — the
+        session layer persists those as the session spec.
+        """
+        return {
+            "schema": STATE_SCHEMA,
+            "optimizer": self.optimizer.get_state(),
+            "outstanding": to_jsonable(self.optimizer.outstanding_proposals()),
+            "X": to_jsonable(self.optimizer.X),
+            "y": to_jsonable(self.optimizer.y),
+            "engine_rng": to_jsonable(capture_rng(self._rng)),
+            "queue": to_jsonable(
+                np.vstack(self._queue)
+                if self._queue
+                else np.empty((0, self.problem.dim))
+            ),
+            "pending": [
+                {
+                    "ticket": t,
+                    "x": to_jsonable(rec["x"]),
+                    "issued_at": rec["issued_at"],
+                    "requeues": rec["requeues"],
+                }
+                for t, rec in self._pending.items()
+            ],
+            "retired": [[t, s] for t, s in self._retired.items()],
+            "seq": self._seq,
+            "design_emitted": self._design_emitted,
+            "initialized": self.initialized,
+            "initial_best": self.initial_best,
+            "init_X": to_jsonable(
+                np.vstack(self._init_X)
+                if self._init_X
+                else np.empty((0, self.problem.dim))
+            ),
+            "init_y": list(self._init_y),
+            "counters": dict(self.counters),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot in place.
+
+        The engine must have been constructed with the same
+        configuration the snapshot was taken under (the session layer
+        guarantees this by persisting spec + state together).
+        """
+        if state.get("schema") != STATE_SCHEMA:
+            raise ConfigurationError(
+                f"engine state schema {state.get('schema')!r} not supported"
+            )
+        opt = self.optimizer
+        opt.X = np.asarray(from_jsonable(state["X"]), dtype=np.float64)
+        opt.y = np.asarray(from_jsonable(state["y"]), dtype=np.float64).reshape(-1)
+        opt.set_state(state["optimizer"])
+        opt._outstanding = np.empty((0, self.problem.dim))
+        outstanding = from_jsonable(state["outstanding"])
+        if np.asarray(outstanding).size:
+            opt.note_proposed(outstanding)
+        self._rng = restore_rng(self._rng, from_jsonable(state["engine_rng"]))
+        queue = np.asarray(from_jsonable(state["queue"]), dtype=np.float64)
+        self._queue = [row.copy() for row in queue.reshape(-1, self.problem.dim)]
+        self._pending = {
+            rec["ticket"]: {
+                "x": np.asarray(from_jsonable(rec["x"]), dtype=np.float64),
+                "issued_at": float(rec["issued_at"]),
+                "requeues": int(rec["requeues"]),
+            }
+            for rec in state["pending"]
+        }
+        self._retired = {t: s for t, s in state["retired"]}
+        self._seq = int(state["seq"])
+        self._design_emitted = bool(state["design_emitted"])
+        self.initialized = bool(state["initialized"])
+        self.initial_best = (
+            None
+            if state["initial_best"] is None
+            else float(state["initial_best"])
+        )
+        init_X = np.asarray(from_jsonable(state["init_X"]), dtype=np.float64)
+        self._init_X = [row.copy() for row in init_X.reshape(-1, self.problem.dim)]
+        self._init_y = [float(v) for v in state["init_y"]]
+        self.counters = {k: int(v) for k, v in state["counters"].items()}

@@ -1,0 +1,299 @@
+"""Stdlib-only JSON HTTP server over the session manager.
+
+A :class:`ThreadingHTTPServer` exposing the ask/tell protocol to
+distributed workers — no framework, no new dependencies, exactly the
+machinery the standard library ships:
+
+=======  ================================  =====================================
+method   path                              action
+=======  ================================  =====================================
+POST     ``/sessions``                     create a session from a JSON spec
+POST     ``/sessions/<name>/ask``          issue up to ``n`` tickets
+POST     ``/sessions/<name>/tell``         feed back ``{ticket, y}``
+GET      ``/sessions/<name>/best``         best point/value so far
+GET      ``/sessions/<name>/status``       engine counters + spec echo
+GET      ``/status``                       server-level status (all sessions)
+GET      ``/metrics``                      :mod:`repro.obs` metrics snapshot
+POST     ``/shutdown``                     begin a graceful drain
+=======  ================================  =====================================
+
+Error taxonomy → HTTP status: validation/configuration mistakes are
+400, unknown sessions/tickets 404, backpressure
+(:class:`~repro.util.errors.BackpressureError`, e.g. the per-session
+in-flight-ask cap) 429, evaluation-layer failures 422, a draining
+server 503, everything unexpected 500. Bodies are always JSON.
+
+Graceful drain: :meth:`ServiceServer.stop` flips the draining flag (new
+requests get 503), stops the accept loop, joins every in-flight handler
+thread (``daemon_threads=False``), then persists all sessions. The CLI
+wires SIGTERM/SIGINT to it, so ``kill <pid>`` is a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import get_metrics
+from repro.service.sessions import SessionManager
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    EvaluationError,
+    ReproError,
+    UnknownSessionError,
+    UnknownTicketError,
+    ValidationError,
+)
+
+#: Largest accepted request body (a spec or a tell — tiny in practice).
+MAX_BODY = 1 << 20
+
+#: Error class → HTTP status code.
+_STATUS = (
+    (BackpressureError, 429),
+    (UnknownSessionError, 404),
+    (UnknownTicketError, 404),
+    (EvaluationError, 422),
+    (ValidationError, 400),
+    (ConfigurationError, 400),
+    (ReproError, 500),
+)
+
+# Metric instruments may be hit from many handler threads at once;
+# StreamingQuantiles appends are not atomic under mutation + trim.
+_METRICS_LOCK = threading.Lock()
+
+
+def _observe_request(route: str, status: int, seconds: float) -> None:
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    with _METRICS_LOCK:
+        metrics.counter(f"service.http.{route}.requests").inc()
+        if status >= 400:
+            metrics.counter(f"service.http.{route}.errors").inc()
+        metrics.histogram(f"service.http.{route}.latency_s").observe(seconds)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # pragma: no cover - log routing
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise ValidationError(f"request body exceeds {MAX_BODY} bytes")
+        if length == 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        t0 = time.perf_counter()
+        route = "unknown"
+        status = 500
+        try:
+            route, status, payload = self._route(method)
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            status = 500
+            for cls, code in _STATUS:
+                if isinstance(exc, cls):
+                    status = code
+                    break
+            payload = {"error": type(exc).__name__, "message": str(exc)}
+        try:
+            self._send(status, payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+        _observe_request(route, status, time.perf_counter() - t0)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # -- routing -------------------------------------------------------
+    def _route(self, method: str) -> tuple[str, int, dict]:
+        server: ServiceServer = self.server.service
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if server.draining and not (method, parts) == ("GET", ["status"]):
+            return "draining", 503, {
+                "error": "Draining",
+                "message": "server is shutting down",
+            }
+        if method == "GET" and parts == ["status"]:
+            return "status", 200, server.server_status()
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", 200, get_metrics().snapshot()
+        if method == "POST" and parts == ["shutdown"]:
+            server.request_shutdown()
+            return "shutdown", 202, {"status": "draining"}
+        if method == "POST" and parts == ["sessions"]:
+            payload = self._read_json()
+            name = payload.get("name")
+            if not isinstance(name, str):
+                raise ValidationError("session spec must carry a 'name' string")
+            session = server.manager.create(name, payload)
+            return "create", 201, {"name": name, "spec": session.spec}
+        if len(parts) == 3 and parts[0] == "sessions":
+            return self._route_session(method, parts[1], parts[2])
+        raise ValidationError(f"no route for {method} {self.path}")
+
+    def _route_session(
+        self, method: str, name: str, verb: str
+    ) -> tuple[str, int, dict]:
+        server: ServiceServer = self.server.service
+        manager = server.manager
+        if method == "POST" and verb == "ask":
+            payload = self._read_json()
+            n = int(payload.get("n", 1))
+            with manager.session(name) as session:
+                tickets = session.engine.ask(n)
+            return "ask", 200, {
+                "tickets": [
+                    {"ticket": t["ticket"], "x": t["x"].tolist()}
+                    for t in tickets
+                ]
+            }
+        if method == "POST" and verb == "tell":
+            payload = self._read_json()
+            if "ticket" not in payload or "y" not in payload:
+                raise ValidationError("tell needs 'ticket' and 'y'")
+            y = payload["y"]
+            if not isinstance(y, (int, float)) or isinstance(y, bool):
+                # NaN/Inf arrive as the JSON-extension literals floats
+                # parse to; anything else is malformed.
+                raise ValidationError(f"y must be a number, got {y!r}")
+            with manager.session(name) as session:
+                result = session.engine.tell(str(payload["ticket"]), float(y))
+            return "tell", 200, result
+        if method == "GET" and verb == "best":
+            with manager.session(name) as session:
+                best = session.engine.best
+                n_told = session.engine.n_told
+            if best is None:
+                return "best", 409, {
+                    "error": "NoData",
+                    "message": f"session {name!r} has no evaluations yet",
+                }
+            x, value = best
+            return "best", 200, {
+                "x": x.tolist(),
+                "y": value,
+                "n_told": n_told,
+            }
+        if method == "GET" and verb == "status":
+            with manager.session(name) as session:
+                status = session.engine.status()
+                spec = session.spec
+            return "session_status", 200, {
+                "name": name,
+                "spec": spec,
+                **status,
+            }
+        raise ValidationError(f"no route for {method} {self.path}")
+
+
+class ServiceServer:
+    """Lifecycle wrapper: threaded HTTP server + graceful drain.
+
+    Start with :meth:`start` (background accept thread) and stop with
+    :meth:`stop`; usable as a context manager. ``port=0`` binds an
+    ephemeral port, reported by :attr:`port` / :attr:`url`.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ):
+        self.manager = manager
+        self.draining = False
+        self._started_at = time.time()
+        self._shutdown_requested = threading.Event()
+        self.httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self.httpd.daemon_threads = False  # join in-flight handlers on stop
+        self.httpd.service = self
+        self.httpd.quiet = quiet
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def server_status(self) -> dict:
+        return {
+            "draining": self.draining,
+            "uptime_s": time.time() - self._started_at,
+            "sessions": self.manager.names(),
+        }
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Flag a drain; the owner of :meth:`serve_until_shutdown` (or
+        anyone polling :attr:`shutdown_requested`) completes it."""
+        self.draining = True
+        self._shutdown_requested.set()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown_requested.is_set()
+
+    def wait_for_shutdown_request(self, timeout: float | None = None) -> bool:
+        return self._shutdown_requested.wait(timeout)
+
+    def stop(self) -> None:
+        """Drain and stop: refuse new work, join handlers, persist all."""
+        self.draining = True
+        self._shutdown_requested.set()
+        self.httpd.shutdown()  # stops serve_forever
+        self.httpd.server_close()  # joins non-daemon handler threads
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self.manager.persist_all()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

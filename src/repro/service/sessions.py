@@ -1,0 +1,337 @@
+"""Named concurrent ask/tell sessions with a crash-safe on-disk store.
+
+One session = one :class:`~repro.service.engine.AskTellEngine` plus the
+spec it was built from (problem, algorithm, batch size, seed, limits).
+The :class:`SessionManager` keeps many of them alive at once:
+
+- **per-session locks** — the HTTP server is threaded, engines are
+  single-threaded; every request runs under its session's RLock, so
+  sessions progress in parallel while each engine sees serial calls;
+- **crash-safe persistence** — after every mutating operation the
+  session's ``{spec, engine state}`` checkpoint is rewritten atomically
+  (:func:`repro.resilience.atomic.atomic_write_json`), so a killed
+  server restarts with identical best-so-far and pending ledgers;
+- **idle expiry / LRU eviction** — memory is a cache over the store:
+  sessions idle past ``idle_timeout`` or beyond ``max_sessions`` are
+  persisted and dropped, then transparently reloaded on next touch.
+
+Specs are validated with :mod:`repro.util.validation` semantics at the
+API boundary: unknown keys, bad algorithm/problem names, and
+non-positive sizes are rejected before an engine is built.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import re
+import threading
+import time
+from pathlib import Path
+
+from repro.core import ALGORITHMS
+from repro.resilience.atomic import atomic_write_json
+from repro.service.engine import AskTellEngine
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    UnknownSessionError,
+    ValidationError,
+)
+
+#: Session names must be filesystem- and URL-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Recognized spec keys with their defaults (None = engine default).
+SPEC_DEFAULTS = {
+    "problem": "ackley",
+    "dim": 12,
+    "sim_time": 0.0,
+    "algorithm": "turbo",
+    "n_batch": 4,
+    "seed": 0,
+    "n_initial": None,
+    "ask_timeout": None,
+    "max_pending": None,
+    "on_nonfinite": "impute",
+    "fantasize": True,
+}
+
+#: Session store schema version.
+STORE_SCHEMA = 1
+
+
+def validate_spec(payload: dict) -> dict:
+    """Normalize a session spec, filling defaults and rejecting junk."""
+    if not isinstance(payload, dict):
+        raise ValidationError("session spec must be a JSON object")
+    unknown = set(payload) - set(SPEC_DEFAULTS) - {"name"}
+    if unknown:
+        raise ValidationError(
+            f"unknown session spec keys: {sorted(unknown)}; "
+            f"allowed: {sorted(SPEC_DEFAULTS)}"
+        )
+    spec = {**SPEC_DEFAULTS, **{k: payload[k] for k in payload if k != "name"}}
+    algo = str(spec["algorithm"]).strip().lower().replace(" ", "-")
+    if algo not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {spec['algorithm']!r}; "
+            f"available: {sorted({c.name for c in ALGORITHMS.values()})}"
+        )
+    spec["algorithm"] = algo
+    spec["n_batch"] = int(spec["n_batch"])
+    if spec["n_batch"] < 1:
+        raise ValidationError(f"n_batch must be >= 1, got {spec['n_batch']}")
+    spec["dim"] = int(spec["dim"])
+    spec["sim_time"] = float(spec["sim_time"])
+    if spec["seed"] is not None:
+        spec["seed"] = int(spec["seed"])
+    for key in ("n_initial", "max_pending"):
+        if spec[key] is not None:
+            spec[key] = int(spec[key])
+    if spec["ask_timeout"] is not None:
+        spec["ask_timeout"] = float(spec["ask_timeout"])
+    if spec["on_nonfinite"] not in ("impute", "fantasy", "drop", "raise"):
+        raise ValidationError(
+            f"on_nonfinite must be impute|fantasy|drop|raise, "
+            f"got {spec['on_nonfinite']!r}"
+        )
+    spec["fantasize"] = bool(spec["fantasize"])
+    return spec
+
+
+def build_problem(spec: dict):
+    """Instantiate the problem a spec names (benchmark or UPHES)."""
+    if str(spec["problem"]).lower() == "uphes":
+        from repro.uphes import UPHESSimulator
+
+        return UPHESSimulator(seed=0, sim_time=spec["sim_time"])
+    from repro.problems import get_benchmark
+
+    return get_benchmark(
+        spec["problem"], dim=spec["dim"], sim_time=spec["sim_time"]
+    )
+
+
+def build_engine(spec: dict, clock=time.time) -> AskTellEngine:
+    """Construct a fresh engine from a validated spec."""
+    return AskTellEngine(
+        build_problem(spec),
+        algorithm=spec["algorithm"],
+        n_batch=spec["n_batch"],
+        seed=spec["seed"],
+        n_initial=spec["n_initial"],
+        ask_timeout=spec["ask_timeout"],
+        max_pending=spec["max_pending"],
+        on_nonfinite=spec["on_nonfinite"],
+        fantasize=spec["fantasize"],
+        clock=clock,
+    )
+
+
+class Session:
+    """One live session: engine + spec + lock + recency bookkeeping."""
+
+    def __init__(self, name: str, spec: dict, engine: AskTellEngine):
+        self.name = name
+        self.spec = spec
+        self.engine = engine
+        self.lock = threading.RLock()
+        self.last_used = 0.0
+
+    def checkpoint(self) -> dict:
+        return {
+            "schema": STORE_SCHEMA,
+            "name": self.name,
+            "spec": self.spec,
+            "engine": self.engine.get_state(),
+        }
+
+
+class SessionManager:
+    """Concurrent named sessions over an optional crash-safe store.
+
+    Parameters
+    ----------
+    store_dir:
+        Directory for per-session checkpoint files (created if absent).
+        ``None`` keeps sessions in memory only — eviction is then
+        refused rather than state-losing.
+    max_sessions:
+        Cap on sessions resident in memory; the least recently used is
+        persisted and evicted past it.
+    idle_timeout:
+        Seconds of inactivity after which :meth:`sweep_idle` evicts a
+        session from memory (state stays on disk). None: never.
+    fsync:
+        Force checkpoints to stable storage (disable only in tests).
+    clock:
+        Injectable time source (shared with the engines it builds).
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        max_sessions: int = 64,
+        idle_timeout: float | None = None,
+        fsync: bool = True,
+        clock=time.time,
+    ):
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        self.store_dir = None if store_dir is None else Path(store_dir)
+        if self.store_dir is not None:
+            self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.max_sessions = int(max_sessions)
+        self.idle_timeout = None if idle_timeout is None else float(idle_timeout)
+        self.fsync = bool(fsync)
+        self.clock = clock
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()  # guards the dict, not the engines
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> Path | None:
+        return None if self.store_dir is None else self.store_dir / f"{name}.json"
+
+    def names(self) -> list[str]:
+        """All known sessions: resident plus persisted."""
+        with self._lock:
+            known = set(self._sessions)
+        if self.store_dir is not None:
+            known.update(p.stem for p in self.store_dir.glob("*.json"))
+        return sorted(known)
+
+    def create(self, name: str, payload: dict | None = None) -> Session:
+        """Create (and persist) a new named session from a spec."""
+        if not _NAME_RE.match(name or ""):
+            raise ValidationError(
+                f"invalid session name {name!r}: use 1-64 characters "
+                "from [A-Za-z0-9._-], starting alphanumeric"
+            )
+        spec = validate_spec(payload or {})
+        with self._lock:
+            path = self._path(name)
+            if name in self._sessions or (path is not None and path.exists()):
+                raise ConfigurationError(f"session {name!r} already exists")
+            self._admit_locked()
+            session = Session(name, spec, build_engine(spec, clock=self.clock))
+            session.last_used = float(self.clock())
+            self._sessions[name] = session
+        self.persist(name)
+        return session
+
+    def get(self, name: str) -> Session:
+        """Fetch a resident session, reloading from the store if needed."""
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is not None:
+                session.last_used = float(self.clock())
+                return session
+            path = self._path(name)
+            if path is None or not path.exists():
+                raise UnknownSessionError(f"unknown session {name!r}")
+            session = self._load_locked(name, path)
+            self._admit_locked()
+            self._sessions[name] = session
+            session.last_used = float(self.clock())
+            return session
+
+    def _load_locked(self, name: str, path: Path) -> Session:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"session store for {name!r} is unreadable: {exc}"
+            ) from exc
+        if data.get("schema") != STORE_SCHEMA:
+            raise ConfigurationError(
+                f"session store schema {data.get('schema')!r} not supported"
+            )
+        spec = validate_spec(data["spec"])
+        session = Session(name, spec, build_engine(spec, clock=self.clock))
+        session.engine.set_state(data["engine"])
+        return session
+
+    def _admit_locked(self) -> None:
+        """Make room for one more resident session (caller holds _lock)."""
+        while len(self._sessions) >= self.max_sessions:
+            victim = self._pick_lru_locked()
+            if victim is None:
+                raise BackpressureError(
+                    f"{len(self._sessions)} sessions resident "
+                    f"(max_sessions={self.max_sessions}) and none evictable"
+                )
+            self._evict_locked(victim)
+
+    def _pick_lru_locked(self) -> Session | None:
+        """Least recently used session whose lock is free right now.
+
+        New checkouts need the manager lock (held by the caller), so a
+        session probed free here stays free until eviction completes.
+        """
+        if self.store_dir is None:
+            return None  # nothing to spill to: refuse rather than lose state
+        for s in sorted(self._sessions.values(), key=lambda s: s.last_used):
+            if s.lock.acquire(blocking=False):
+                s.lock.release()
+                return s
+        return None
+
+    def _evict_locked(self, session: Session) -> None:
+        with session.lock:
+            self._persist_session(session)
+            del self._sessions[session.name]
+
+    def sweep_idle(self) -> int:
+        """Evict sessions idle past ``idle_timeout``; return count."""
+        if self.idle_timeout is None or self.store_dir is None:
+            return 0
+        now = float(self.clock())
+        evicted = 0
+        with self._lock:
+            for name in list(self._sessions):
+                session = self._sessions[name]
+                if now - session.last_used <= self.idle_timeout:
+                    continue
+                if not session.lock.acquire(blocking=False):
+                    continue  # busy right now — not idle after all
+                try:
+                    self._evict_locked(session)
+                    evicted += 1
+                finally:
+                    session.lock.release()
+        return evicted
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def session(self, name: str):
+        """Lock a session for one operation; persist it on clean exit."""
+        session = self.get(name)
+        with session.lock:
+            yield session
+            self._persist_session(session)
+
+    def persist(self, name: str) -> None:
+        """Persist one session's checkpoint (no-op without a store)."""
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            return
+        with session.lock:
+            self._persist_session(session)
+
+    def _persist_session(self, session: Session) -> None:
+        path = self._path(session.name)
+        if path is None:
+            return
+        atomic_write_json(path, session.checkpoint(), fsync=self.fsync)
+
+    def persist_all(self) -> None:
+        """Persist every resident session (the shutdown drain path)."""
+        with self._lock:
+            resident = list(self._sessions.values())
+        for session in resident:
+            with session.lock:
+                self._persist_session(session)

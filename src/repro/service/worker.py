@@ -1,0 +1,140 @@
+"""Distributed evaluation worker: pull ask → simulate → post tell.
+
+``repro worker --url ... --session ...`` runs this loop in its own
+process; N such processes against one server give real distributed
+parallel BO over HTTP — the deployment shape of the paper's cluster
+(one master proposing, many workers each owning a 10 s UPHES
+simulation), with the master's loop inverted into the ask/tell server.
+
+The loop is deliberately fault-tolerant in both directions:
+
+- transient HTTP failures are retried with backoff by the client;
+- 429 (backpressure: too many asks in flight) backs off and retries;
+- a tell answered ``expired`` (the worker held the ticket past the
+  session's ``ask_timeout`` — from the server's perspective this worker
+  was dead and the point was requeued) is simply counted; the result is
+  already owned by a reissued ticket;
+- the worker evaluates the problem *locally*, rebuilding it from the
+  session's spec echo, so no objective values ever travel except
+  through ``tell``.
+
+``hold_s`` artificially stretches each evaluation — the fault-injection
+knob the service smoke test uses to kill a worker while it provably
+holds a ticket.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.sessions import build_problem, validate_spec
+from repro.util import ConfigurationError
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did, by tell status."""
+
+    n_asked: int = 0
+    n_told: int = 0
+    n_expired: int = 0
+    n_duplicate: int = 0
+    n_dropped: int = 0
+    n_backoff: int = 0
+    statuses: dict = field(default_factory=dict)
+
+    def record(self, status: str) -> None:
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if status in ("accepted", "dropped"):
+            self.n_told += 1
+        if status == "dropped":
+            self.n_dropped += 1
+        elif status == "expired":
+            self.n_expired += 1
+        elif status == "duplicate":
+            self.n_duplicate += 1
+
+
+def run_worker(
+    url: str,
+    session: str,
+    *,
+    max_evals: int | None = None,
+    deadline_s: float | None = None,
+    backoff_s: float = 0.2,
+    hold_s: float = 0.0,
+    client: ServiceClient | None = None,
+    evaluator=None,
+    quiet: bool = True,
+    sleep=time.sleep,
+) -> WorkerStats:
+    """Evaluate for one session until a budget or the server runs out.
+
+    Parameters
+    ----------
+    url / session:
+        Server root and session name.
+    max_evals:
+        Stop after this many completed evaluations (None: unlimited).
+    deadline_s:
+        Stop after this much wall time (None: unlimited).
+    backoff_s:
+        Sleep when the server answers 429 (doubles up to 16×).
+    hold_s:
+        Extra sleep between ask and tell (simulated slow simulation).
+    client / evaluator:
+        Injectables for tests: a pre-built client, and a callable
+        ``f(x) -> float`` replacing the spec-derived problem.
+    """
+    if max_evals is None and deadline_s is None:
+        raise ConfigurationError(
+            "give max_evals and/or deadline_s — a worker needs a budget"
+        )
+    client = client or ServiceClient(url)
+    stats = WorkerStats()
+    t0 = time.time()
+
+    if evaluator is None:
+        status = client.session_status(session)
+        problem = build_problem(validate_spec(status["spec"]))
+        evaluator = lambda x: float(problem(x[None, :])[0])  # noqa: E731
+
+    backoff = backoff_s
+    while True:
+        if max_evals is not None and stats.n_told >= max_evals:
+            break
+        if deadline_s is not None and time.time() - t0 >= deadline_s:
+            break
+        try:
+            tickets = client.ask(session, 1)
+        except ServiceClientError as exc:
+            if exc.status == 429:  # backpressure: let the fleet drain
+                stats.n_backoff += 1
+                sleep(backoff)
+                backoff = min(backoff * 2.0, 16.0 * backoff_s)
+                continue
+            if exc.status == 503:  # draining server: we are done here
+                break
+            raise
+        backoff = backoff_s
+        ticket, x = tickets[0]
+        stats.n_asked += 1
+        if hold_s > 0.0:
+            sleep(hold_s)
+        y = evaluator(x)
+        try:
+            result = client.tell(session, ticket, y)
+        except ServiceClientError as exc:
+            if exc.status == 503:
+                break
+            raise
+        stats.record(result.get("status", "unknown"))
+        if not quiet:
+            print(
+                f"[worker] {ticket} -> y={y:.4f} ({result.get('status')}, "
+                f"told={stats.n_told})",
+                flush=True,
+            )
+    return stats

@@ -2,6 +2,7 @@
 
 from repro.util.errors import (
     AcquisitionError,
+    BackpressureError,
     BudgetExhausted,
     ConfigurationError,
     EvaluationError,
@@ -9,7 +10,11 @@ from repro.util.errors import (
     ModelError,
     NumericalError,
     ReproError,
+    ServiceError,
     SurrogateUnavailableError,
+    UnknownSessionError,
+    UnknownTicketError,
+    UnproposedPointError,
     ValidationError,
 )
 from repro.util.rng import RandomState, as_generator, spawn_generators
@@ -24,15 +29,20 @@ from repro.util.validation import (
 
 __all__ = [
     "AcquisitionError",
+    "BackpressureError",
     "BudgetExhausted",
     "ConfigurationError",
     "EvaluationError",
     "FitFailedError",
     "ModelError",
     "NumericalError",
+    "ServiceError",
     "SurrogateUnavailableError",
     "RandomState",
     "ReproError",
+    "UnknownSessionError",
+    "UnknownTicketError",
+    "UnproposedPointError",
     "ValidationError",
     "as_generator",
     "capture_rng",

@@ -70,6 +70,52 @@ class AcquisitionError(ModelError):
     """
 
 
+class UnproposedPointError(ValidationError):
+    """A strict-mode :meth:`~repro.core.base.BatchOptimizer.update`
+    received a point the optimizer never proposed.
+
+    Strict updates are opt-in (``optimizer.strict_updates = True``) and
+    are used by the ask/tell service layer: every point fed back through
+    ``tell`` must match an outstanding proposal recorded with
+    :meth:`~repro.core.base.BatchOptimizer.note_proposed`, so a buggy or
+    malicious worker cannot poison the surrogate with fabricated
+    coordinates.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the ask/tell serving layer.
+
+    Everything below it maps to a well-defined HTTP status in
+    :mod:`repro.service.server`; the engine and session manager raise
+    these so in-process callers get the same typed taxonomy the HTTP
+    surface exposes.
+    """
+
+
+class UnknownSessionError(ServiceError):
+    """A request named a session that does not exist (HTTP 404)."""
+
+
+class UnknownTicketError(ServiceError):
+    """A ``tell`` referenced a ticket this engine never issued (HTTP 404).
+
+    Distinct from duplicate or expired tells, which are *expected*
+    distributed-system noise and are answered with a status rather than
+    an error: an unknown ticket means the caller is talking to the wrong
+    session or fabricating ids.
+    """
+
+
+class BackpressureError(ServiceError):
+    """The service is at capacity and refuses new work (HTTP 429).
+
+    Raised when a session already has the maximum number of in-flight
+    asks outstanding, or when the session manager cannot admit another
+    session without an on-disk store to spill to.
+    """
+
+
 class EvaluationError(ReproError, RuntimeError):
     """A black-box evaluation failed beyond what the run can absorb.
 

@@ -1,10 +1,67 @@
 """Tests for the single-run CLI."""
 
 import json
+import re
+import subprocess
+import sys
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    build_parser,
+    build_serve_parser,
+    build_worker_parser,
+    main,
+    package_version,
+)
+
+
+class TestVersion:
+    def test_version_flag_exits_zero_and_prints(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+        assert re.fullmatch(r"repro \d+\.\d+.*", out.strip())
+
+    def test_package_version_matches_module(self):
+        import repro
+
+        assert package_version() == repro.__version__
+
+    def test_python_dash_m_version(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == f"repro {package_version()}"
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8751
+        assert args.store is None
+        assert args.max_sessions == 64
+        assert args.no_fsync is False
+
+    def test_worker_requires_url_and_session(self):
+        with pytest.raises(SystemExit):
+            build_worker_parser().parse_args(["--session", "s"])
+        with pytest.raises(SystemExit):
+            build_worker_parser().parse_args(["--url", "http://x"])
+
+    def test_worker_defaults(self):
+        args = build_worker_parser().parse_args(
+            ["--url", "http://127.0.0.1:8751", "--session", "s"]
+        )
+        assert args.max_evals is None
+        assert args.deadline is None
+        assert args.hold == 0.0
+        assert args.backoff == 0.2
 
 
 class TestParser:

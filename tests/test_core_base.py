@@ -50,6 +50,64 @@ class TestDataManagement:
         with pytest.raises(NotImplementedError):
             opt.propose()
 
+    def test_update_accepts_partial_and_out_of_order_batches(self, opt, rng):
+        # Not the last proposal, not a whole batch: any shape-compatible
+        # slice is absorbed (the ask/tell service tells point by point).
+        n = opt.X.shape[0]
+        a = rng.random((2, 3))
+        b = rng.random((1, 3))
+        opt.update(b, [1.0])  # out of proposal order
+        opt.update(a[1:], [2.0])  # half a batch
+        opt.update(a[:1], [3.0])
+        assert opt.X.shape[0] == n + 3
+
+
+class TestStrictUpdates:
+    def test_off_by_default(self, opt, rng):
+        assert opt.strict_updates is False
+        opt.update(rng.random((1, 3)), [1.0])  # anything goes
+
+    def test_rejects_unproposed_points(self, opt, rng):
+        from repro.util import UnproposedPointError
+
+        opt.strict_updates = True
+        with pytest.raises(UnproposedPointError):
+            opt.update(rng.random((1, 3)), [1.0])
+
+    def test_accepts_and_consumes_noted_proposals(self, opt, rng):
+        from repro.util import UnproposedPointError
+
+        opt.strict_updates = True
+        X = rng.random((3, 3))
+        opt.note_proposed(X)
+        assert opt.outstanding_proposals().shape == (3, 3)
+        opt.update(X[1:2], [1.0])  # out of order, single point
+        assert opt.outstanding_proposals().shape == (2, 3)
+        opt.update(X[[2, 0]], [2.0, 3.0])
+        assert opt.outstanding_proposals().shape == (0, 3)
+        with pytest.raises(UnproposedPointError):  # ledger row consumed
+            opt.update(X[:1], [4.0])
+
+    def test_duplicate_rows_need_duplicate_notes(self, opt):
+        from repro.util import UnproposedPointError
+
+        opt.strict_updates = True
+        x = np.full((1, 3), 0.5)
+        opt.note_proposed(x)
+        opt.update(x, [1.0])
+        with pytest.raises(UnproposedPointError):
+            opt.update(x, [1.0])
+
+    def test_tolerates_json_roundtrip_coordinates(self, opt, rng):
+        import json
+
+        opt.strict_updates = True
+        X = rng.random((2, 3))
+        opt.note_proposed(X)
+        X_wire = np.asarray(json.loads(json.dumps(X.tolist())))
+        opt.update(X_wire, [1.0, 2.0])
+        assert opt.outstanding_proposals().shape == (0, 3)
+
 
 class TestFitGp:
     def test_fit_returns_timed_gp(self, opt):

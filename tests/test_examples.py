@@ -39,6 +39,15 @@ class TestCheapExamples:
 
 
 @pytest.mark.slow
+class TestServiceExample:
+    def test_ask_tell_service(self):
+        proc = _run("ask_tell_service.py", "6")
+        assert proc.returncode == 0, proc.stderr
+        assert "final best" in proc.stdout
+        assert "evaluations" in proc.stdout
+
+
+@pytest.mark.slow
 class TestOptimizationExamples:
     def test_quickstart(self):
         proc = _run("quickstart.py")

@@ -1,0 +1,277 @@
+"""Tests for the ask/tell engine (repro.service.engine)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.problems import FunctionProblem, get_benchmark
+from repro.service import AskTellEngine
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    UnknownTicketError,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def problem():
+    return get_benchmark("sphere", dim=3)
+
+
+def make_engine(problem, **kwargs):
+    defaults = dict(
+        algorithm="turbo", n_batch=2, seed=0, n_initial=6, ask_timeout=100.0
+    )
+    defaults.update(kwargs)
+    return AskTellEngine(problem, **defaults)
+
+
+def drive_to_init(engine, problem):
+    """Tell the whole initial design; returns the tickets told."""
+    told = []
+    while not engine.initialized:
+        t = engine.ask(1)[0]
+        engine.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+        told.append(t)
+    return told
+
+
+class TestAskTellProtocol:
+    def test_initialization_threshold(self, problem):
+        eng = make_engine(problem)
+        told = drive_to_init(eng, problem)
+        assert len(told) == 6
+        assert eng.initialized
+        assert eng.initial_best == eng.best[1]
+        assert eng.optimizer.y.size == 6
+
+    def test_overlapping_asks_before_init_do_not_block(self, problem):
+        eng = make_engine(problem)
+        tickets = eng.ask(10)  # 6 design + 4 overflow
+        assert len(tickets) == 10
+        X = np.vstack([t["x"] for t in tickets])
+        assert np.unique(X, axis=0).shape[0] == 10  # all distinct
+
+    def test_post_init_updates_flow_into_optimizer(self, problem):
+        eng = make_engine(problem)
+        drive_to_init(eng, problem)
+        t = eng.ask(1)[0]
+        eng.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+        assert eng.optimizer.y.size == 7
+        assert eng.counters["proposals"] >= 1
+
+    def test_best_none_before_any_tell(self, problem):
+        eng = make_engine(problem)
+        assert eng.best is None
+        t = eng.ask(1)[0]
+        eng.tell(t["ticket"], 5.0)
+        assert eng.best[1] == 5.0
+
+    def test_maximize_orientation(self):
+        prob = FunctionProblem(
+            lambda X: np.sum(X, axis=1), [(0, 1)] * 2,
+            name="maxsum", maximize=True,
+        )
+        eng = AskTellEngine(prob, algorithm="random", n_batch=2,
+                            seed=0, n_initial=4)
+        for t in eng.ask(4):
+            eng.tell(t["ticket"], float(np.sum(t["x"])))
+        x, best = eng.best
+        assert best == pytest.approx(float(np.sum(x)))
+        t = eng.ask(1)[0]
+        eng.tell(t["ticket"], 1e9)  # a huge profit must become the best
+        assert eng.best[1] == 1e9
+
+    def test_fantasies_separate_overlapping_asks(self, problem):
+        eng = make_engine(problem, algorithm="kb-q-ego")
+        drive_to_init(eng, problem)
+        first = eng.ask(2)  # outstanding, never told
+        second = eng.ask(2)  # proposed under fantasies of `first`
+        X1 = np.vstack([t["x"] for t in first])
+        X2 = np.vstack([t["x"] for t in second])
+        dists = np.min(
+            np.linalg.norm(X1[:, None, :] - X2[None, :, :], axis=-1)
+        )
+        assert dists > 1e-8  # no collision with in-flight work
+
+    def test_ask_n_validation(self, problem):
+        with pytest.raises(ConfigurationError):
+            make_engine(problem).ask(0)
+
+    def test_bad_config_rejected(self, problem):
+        with pytest.raises(ConfigurationError):
+            make_engine(problem, on_nonfinite="explode")
+        with pytest.raises(ConfigurationError):
+            make_engine(problem, max_pending=0)
+        with pytest.raises(ConfigurationError):
+            make_engine(problem, ask_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_engine(problem, n_initial=0)
+
+
+class TestBackpressure:
+    def test_max_pending_caps_in_flight_asks(self, problem):
+        eng = make_engine(problem, max_pending=3)
+        eng.ask(3)
+        with pytest.raises(BackpressureError):
+            eng.ask(1)
+
+    def test_tell_frees_capacity(self, problem):
+        eng = make_engine(problem, max_pending=2)
+        t = eng.ask(2)
+        with pytest.raises(BackpressureError):
+            eng.ask(1)
+        eng.tell(t[0]["ticket"], 1.0)
+        eng.ask(1)  # free slot again
+
+
+class TestAdversarialTells:
+    def test_duplicate_tell_is_idempotent(self, problem):
+        eng = make_engine(problem)
+        t = eng.ask(1)[0]
+        assert eng.tell(t["ticket"], 1.0)["status"] == "accepted"
+        assert eng.tell(t["ticket"], 2.0)["status"] == "duplicate"
+        assert eng.counters["tells"] == 1
+        assert eng.counters["duplicates"] == 1
+
+    def test_unknown_ticket_raises(self, problem):
+        eng = make_engine(problem)
+        eng.ask(1)
+        with pytest.raises(UnknownTicketError):
+            eng.tell("t99999999", 0.0)
+
+    def test_timeout_requeues_and_reissues_same_point(self, problem):
+        clock = FakeClock()
+        eng = make_engine(problem, ask_timeout=10.0, clock=clock)
+        t = eng.ask(1)[0]
+        clock.advance(11.0)
+        assert eng.sweep_expired() == 1
+        assert eng.n_pending == 0
+        t2 = eng.ask(1)[0]  # the requeued point comes back first
+        np.testing.assert_array_equal(t2["x"], t["x"])
+        assert t2["ticket"] != t["ticket"]
+        assert eng.counters["requeues"] == 1
+
+    def test_tell_for_expired_ticket_acknowledged_not_applied(self, problem):
+        clock = FakeClock()
+        eng = make_engine(problem, ask_timeout=10.0, clock=clock)
+        t = eng.ask(1)[0]
+        clock.advance(11.0)
+        assert eng.tell(t["ticket"], 1.0)["status"] == "expired"
+        assert eng.counters["tells"] == 0
+        assert eng.counters["expired_tells"] == 1
+        # the reissued ticket still works
+        t2 = eng.ask(1)[0]
+        assert eng.tell(t2["ticket"], 1.0)["status"] == "accepted"
+
+    def test_nan_tell_is_guarded_not_fatal(self, problem):
+        eng = make_engine(problem)
+        drive_to_init(eng, problem)
+        best_before = eng.best[1]
+        t = eng.ask(1)[0]
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = eng.tell(t["ticket"], float("nan"))
+        assert result["status"] == "accepted"
+        assert eng.counters["nonfinite"] == 1
+        assert eng.best[1] == best_before  # imputed as worst, not best
+        assert np.all(np.isfinite(eng.optimizer.y))
+        # the session keeps working afterwards
+        t = eng.ask(1)[0]
+        assert eng.tell(t["ticket"], 1.0)["status"] == "accepted"
+
+    def test_nan_tell_dropped_under_drop_policy(self, problem):
+        eng = make_engine(problem, on_nonfinite="drop")
+        drive_to_init(eng, problem)
+        n = eng.optimizer.y.size
+        t = eng.ask(1)[0]
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            assert eng.tell(t["ticket"], float("inf"))["status"] == "dropped"
+        assert eng.optimizer.y.size == n
+        assert eng.counters["dropped"] == 1
+
+    def test_nan_in_initial_design_imputed(self, problem):
+        eng = make_engine(problem, n_initial=4)
+        tickets = eng.ask(4)
+        for t in tickets[:-1]:
+            eng.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            eng.tell(tickets[-1]["ticket"], float("nan"))
+        assert eng.initialized
+        assert np.all(np.isfinite(eng.optimizer.y))
+
+
+class TestCheckpointResume:
+    def _mid_flight_engine(self, problem):
+        eng = make_engine(problem)
+        drive_to_init(eng, problem)
+        eng.ask(2)  # leave work in flight
+        t = eng.ask(1)[0]
+        eng.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+        return eng
+
+    def test_state_roundtrips_through_json(self, problem):
+        eng = self._mid_flight_engine(problem)
+        state = json.loads(json.dumps(eng.get_state()))
+        eng2 = make_engine(problem)
+        eng2.set_state(state)
+        assert eng2.best[1] == eng.best[1]
+        assert sorted(eng2._pending) == sorted(eng._pending)
+        assert eng2.counters == eng.counters
+
+    def test_restored_engine_continues_identically(self, problem):
+        eng = self._mid_flight_engine(problem)
+        state = json.loads(json.dumps(eng.get_state()))
+        eng2 = make_engine(problem)
+        eng2.set_state(state)
+        # identical future: same asks, same bests after the same tells
+        for _ in range(3):
+            a1, a2 = eng.ask(1)[0], eng2.ask(1)[0]
+            assert a1["ticket"] == a2["ticket"]
+            np.testing.assert_array_equal(a1["x"], a2["x"])
+            y = float(problem(a1["x"][None, :])[0])
+            assert (
+                eng.tell(a1["ticket"], y)["status"]
+                == eng2.tell(a2["ticket"], y)["status"]
+            )
+        assert eng.best[1] == eng2.best[1]
+
+    def test_restored_pending_tickets_still_tellable(self, problem):
+        eng = self._mid_flight_engine(problem)
+        pending = list(eng._pending.items())
+        state = json.loads(json.dumps(eng.get_state()))
+        eng2 = make_engine(problem)
+        eng2.set_state(state)
+        ticket, rec = pending[0]
+        assert eng2.tell(
+            ticket, float(problem(rec["x"][None, :])[0])
+        )["status"] == "accepted"
+
+    def test_schema_mismatch_rejected(self, problem):
+        eng = make_engine(problem)
+        state = eng.get_state()
+        state["schema"] = 999
+        with pytest.raises(ConfigurationError):
+            make_engine(problem).set_state(state)
+
+    def test_preinit_state_roundtrip(self, problem):
+        eng = make_engine(problem)
+        t = eng.ask(2)
+        eng.tell(t[0]["ticket"], 3.0)
+        state = json.loads(json.dumps(eng.get_state()))
+        eng2 = make_engine(problem)
+        eng2.set_state(state)
+        assert not eng2.initialized
+        assert eng2.best[1] == 3.0
+        assert eng2.tell(t[1]["ticket"], 1.0)["status"] == "accepted"

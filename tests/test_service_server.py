@@ -1,0 +1,209 @@
+"""Tests for the HTTP server + client over a real (in-process) socket."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.service import ServiceClient, ServiceClientError, ServiceServer, SessionManager
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+@pytest.fixture
+def service(metrics):
+    manager = SessionManager()
+    with ServiceServer(manager) as server:
+        yield server, ServiceClient(server.url, max_retries=0)
+
+
+def evaluate_some(client, session, n=4):
+    for ticket, x in client.ask(session, n):
+        client.tell(session, ticket, float(np.sum(x**2)))
+
+
+class TestSessionsEndpoint:
+    def test_create_returns_normalized_spec(self, service):
+        _, client = service
+        out = client.create_session("s1", **SMALL_SPEC)
+        assert out["name"] == "s1"
+        assert out["spec"]["algorithm"] == "random"
+        assert out["spec"]["on_nonfinite"] == "impute"
+
+    def test_duplicate_is_400(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        with pytest.raises(ServiceClientError) as exc:
+            client.create_session("s1", **SMALL_SPEC)
+        assert exc.value.status == 400
+
+    def test_bad_spec_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceClientError) as exc:
+            client.create_session("s1", algorithm="nope")
+        assert exc.value.status == 400
+
+    def test_missing_name_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("POST", "/sessions", SMALL_SPEC)
+        assert exc.value.status == 400
+
+    def test_unknown_route_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/nope")
+        assert exc.value.status == 400
+
+
+class TestAskTellOverHTTP:
+    def test_full_protocol(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        evaluate_some(client, "s1", n=5)
+        best = client.best("s1")
+        assert best["n_told"] == 5
+        assert best["y"] == pytest.approx(
+            float(np.sum(np.asarray(best["x"]) ** 2))
+        )
+        status = client.session_status("s1")
+        assert status["initialized"]
+        assert status["counters"]["tells"] == 5
+        assert status["n_pending"] == 0
+
+    def test_unknown_session_is_404(self, service):
+        _, client = service
+        for call in (
+            lambda: client.ask("ghost"),
+            lambda: client.tell("ghost", "t00000000", 1.0),
+            lambda: client.best("ghost"),
+        ):
+            with pytest.raises(ServiceClientError) as exc:
+                call()
+            assert exc.value.status == 404
+
+    def test_unknown_ticket_is_404(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        client.ask("s1")
+        with pytest.raises(ServiceClientError) as exc:
+            client.tell("s1", "t99999999", 1.0)
+        assert exc.value.status == 404
+
+    def test_best_before_data_is_409(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        with pytest.raises(ServiceClientError) as exc:
+            client.best("s1")
+        assert exc.value.status == 409
+
+    def test_backpressure_is_429(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC, max_pending=2)
+        client.ask("s1", 2)
+        with pytest.raises(ServiceClientError) as exc:
+            client.ask("s1", 1)
+        assert exc.value.status == 429
+
+    def test_nan_tell_over_http_is_guarded(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        evaluate_some(client, "s1", n=4)  # past init
+        ticket, _ = client.ask("s1")[0]
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = client.tell("s1", ticket, float("nan"))
+        assert result["status"] == "accepted"
+        assert client.session_status("s1")["counters"]["nonfinite"] == 1
+        assert np.isfinite(client.best("s1")["y"])
+
+    def test_malformed_tell_is_400(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        for payload in (
+            {"ticket": "t00000000"},
+            {"y": 1.0},
+            {"ticket": "t00000000", "y": "high"},
+            {"ticket": "t00000000", "y": True},
+        ):
+            with pytest.raises(ServiceClientError) as exc:
+                client.request("POST", "/sessions/s1/tell", payload)
+            assert exc.value.status == 400
+
+    def test_duplicate_tell_status_travels(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        ticket, x = client.ask("s1")[0]
+        client.tell("s1", ticket, 1.0)
+        assert client.tell("s1", ticket, 1.0)["status"] == "duplicate"
+
+
+class TestServerLevel:
+    def test_server_status_lists_sessions(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        status = client.server_status()
+        assert status["sessions"] == ["s1"]
+        assert status["draining"] is False
+
+    def test_metrics_exposes_http_instruments(self, service, metrics):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        evaluate_some(client, "s1", n=2)
+        snap = client.metrics()
+        assert snap["service.http.ask.requests"]["value"] >= 1
+        assert snap["service.http.tell.requests"]["value"] >= 2
+        assert snap["service.http.ask.latency_s"]["kind"] == "histogram"
+
+    def test_drain_rejects_new_work_with_503(self, service):
+        _, client = service
+        client.create_session("s1", **SMALL_SPEC)
+        assert client.shutdown()["status"] == "draining"
+        with pytest.raises(ServiceClientError) as exc:
+            client.ask("s1")
+        assert exc.value.status == 503
+        # /status stays up so operators can watch the drain
+        assert client.server_status()["draining"] is True
+
+    def test_shutdown_sets_the_wakeup_flag(self, service):
+        server, client = service
+        assert server.shutdown_requested is False
+        client.shutdown()
+        assert server.wait_for_shutdown_request(timeout=5.0)
+
+
+class TestRestartResume:
+    def test_http_restart_resumes_identical_best(self, tmp_path, metrics):
+        manager = SessionManager(store_dir=tmp_path, fsync=False)
+        with ServiceServer(manager) as server:
+            client = ServiceClient(server.url, max_retries=0)
+            client.create_session("s1", **SMALL_SPEC)
+            evaluate_some(client, "s1", n=6)
+            tickets = client.ask("s1", 2)  # leave pending work
+            best = client.best("s1")
+
+        manager2 = SessionManager(store_dir=tmp_path, fsync=False)
+        with ServiceServer(manager2) as server2:
+            client2 = ServiceClient(server2.url, max_retries=0)
+            best2 = client2.best("s1")
+            assert best2["y"] == best["y"]
+            assert best2["n_told"] == best["n_told"]
+            status = client2.session_status("s1")
+            assert status["n_pending"] == 2
+            # a pre-crash ticket is still honoured after restart
+            ticket, x = tickets[0]
+            assert client2.tell(
+                "s1", ticket, float(np.sum(x**2))
+            )["status"] == "accepted"

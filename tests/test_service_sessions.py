@@ -1,0 +1,230 @@
+"""Tests for session specs, the manager, and the crash-safe store."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.sessions import (
+    SPEC_DEFAULTS,
+    SessionManager,
+    validate_spec,
+)
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    UnknownSessionError,
+    ValidationError,
+)
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def run_session(manager, name, n=4):
+    """Drive n evaluations through a session; returns final n_told."""
+    with manager.session(name) as s:
+        for t in s.engine.ask(n):
+            s.engine.tell(t["ticket"], float(np.sum(t["x"] ** 2)))
+        return s.engine.n_told
+
+
+class TestValidateSpec:
+    def test_defaults_fill_in(self):
+        spec = validate_spec({})
+        assert spec == SPEC_DEFAULTS
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValidationError, match="unknown session spec"):
+            validate_spec({"probem": "ackley"})
+
+    def test_name_key_ignored(self):
+        assert "name" not in validate_spec({"name": "x"})
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            validate_spec({"algorithm": "gradient-descent"})
+
+    def test_algorithm_normalized(self):
+        assert validate_spec({"algorithm": "KB q-EGO"})["algorithm"] == "kb-q-ego"
+
+    def test_bad_n_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_spec({"n_batch": 0})
+
+    def test_bad_nonfinite_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_spec({"on_nonfinite": "pretend"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_spec(["not", "a", "spec"])
+
+
+class TestSessionLifecycle:
+    def test_create_and_get(self):
+        m = SessionManager()
+        m.create("a", SMALL_SPEC)
+        assert m.get("a").spec["problem"] == "sphere"
+        assert m.names() == ["a"]
+
+    def test_invalid_names_rejected(self):
+        m = SessionManager()
+        for bad in ("", ".hidden", "a/b", "a" * 65, "sp ace"):
+            with pytest.raises(ValidationError):
+                m.create(bad, SMALL_SPEC)
+
+    def test_duplicate_create_rejected(self):
+        m = SessionManager()
+        m.create("a", SMALL_SPEC)
+        with pytest.raises(ConfigurationError, match="already exists"):
+            m.create("a", SMALL_SPEC)
+
+    def test_unknown_session_raises(self):
+        with pytest.raises(UnknownSessionError):
+            SessionManager().get("ghost")
+
+    def test_sessions_progress_independently(self):
+        m = SessionManager()
+        m.create("a", SMALL_SPEC)
+        m.create("b", SMALL_SPEC)
+        run_session(m, "a", n=3)
+        assert m.get("a").engine.n_told == 3
+        assert m.get("b").engine.n_told == 0
+
+
+class TestPersistence:
+    def test_reload_in_fresh_manager(self, tmp_path):
+        m1 = SessionManager(store_dir=tmp_path, fsync=False)
+        m1.create("a", SMALL_SPEC)
+        n_told = run_session(m1, "a")
+        best = m1.get("a").engine.best
+
+        m2 = SessionManager(store_dir=tmp_path, fsync=False)
+        s = m2.get("a")
+        assert s.engine.n_told == n_told
+        assert s.engine.best[1] == best[1]
+        np.testing.assert_array_equal(s.engine.best[0], best[0])
+
+    def test_duplicate_rejected_against_store_too(self, tmp_path):
+        SessionManager(store_dir=tmp_path, fsync=False).create("a", SMALL_SPEC)
+        m2 = SessionManager(store_dir=tmp_path, fsync=False)
+        with pytest.raises(ConfigurationError, match="already exists"):
+            m2.create("a", SMALL_SPEC)
+
+    def test_corrupt_store_file_is_a_typed_error(self, tmp_path):
+        m1 = SessionManager(store_dir=tmp_path, fsync=False)
+        m1.create("a", SMALL_SPEC)
+        (tmp_path / "a.json").write_text("{ not json", encoding="utf-8")
+        m2 = SessionManager(store_dir=tmp_path, fsync=False)
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            m2.get("a")
+
+    def test_pending_ledger_survives_reload(self, tmp_path):
+        m1 = SessionManager(store_dir=tmp_path, fsync=False)
+        m1.create("a", SMALL_SPEC)
+        with m1.session("a") as s:
+            tickets = s.engine.ask(2)
+        m2 = SessionManager(store_dir=tmp_path, fsync=False)
+        with m2.session("a") as s:
+            assert s.engine.n_pending == 2
+            r = s.engine.tell(tickets[0]["ticket"], 1.0)
+        assert r["status"] == "accepted"
+
+
+class TestEviction:
+    def test_lru_eviction_spills_to_store(self, tmp_path):
+        m = SessionManager(store_dir=tmp_path, max_sessions=2, fsync=False)
+        m.create("a", SMALL_SPEC)
+        m.create("b", SMALL_SPEC)
+        run_session(m, "a")  # "a" is now most recently used
+        m.create("c", SMALL_SPEC)  # evicts "b" (LRU)
+        assert sorted(m._sessions) == ["a", "c"]
+        assert (tmp_path / "b.json").exists()
+        # transparently reloaded on next touch (evicting another)
+        assert m.get("b").spec["problem"] == "sphere"
+
+    def test_eviction_preserves_state(self, tmp_path):
+        m = SessionManager(store_dir=tmp_path, max_sessions=1, fsync=False)
+        m.create("a", SMALL_SPEC)
+        run_session(m, "a")
+        best = m.get("a").engine.best
+        m.create("b", SMALL_SPEC)  # evicts "a"
+        assert m.get("a").engine.best[1] == best[1]
+
+    def test_without_store_refuses_to_lose_state(self):
+        m = SessionManager(store_dir=None, max_sessions=1)
+        m.create("a", SMALL_SPEC)
+        with pytest.raises(BackpressureError):
+            m.create("b", SMALL_SPEC)
+
+    def test_sweep_idle_with_fake_clock(self, tmp_path):
+        clock = FakeClock()
+        m = SessionManager(
+            store_dir=tmp_path, idle_timeout=60.0, fsync=False, clock=clock
+        )
+        m.create("a", SMALL_SPEC)
+        clock.advance(30.0)
+        m.create("b", SMALL_SPEC)
+        clock.advance(45.0)  # "a" idle 75 s, "b" idle 45 s
+        assert m.sweep_idle() == 1
+        assert sorted(m._sessions) == ["b"]
+        assert m.get("a").spec["problem"] == "sphere"  # reloadable
+
+    def test_sweep_idle_noop_without_store(self):
+        clock = FakeClock()
+        m = SessionManager(idle_timeout=0.0, clock=clock)
+        m.create("a", SMALL_SPEC)
+        clock.advance(100.0)
+        assert m.sweep_idle() == 0
+        assert "a" in m._sessions
+
+    def test_bad_max_sessions(self):
+        with pytest.raises(ConfigurationError):
+            SessionManager(max_sessions=0)
+
+
+class TestConcurrency:
+    def test_threads_hammering_one_session_stay_consistent(self):
+        m = SessionManager()
+        m.create("a", {**SMALL_SPEC, "n_initial": 8})
+        n_threads, per_thread = 4, 6
+        errors = []
+
+        def work():
+            try:
+                for _ in range(per_thread):
+                    with m.session("a") as s:
+                        t = s.engine.ask(1)[0]
+                        s.engine.tell(
+                            t["ticket"], float(np.sum(t["x"] ** 2))
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        eng = m.get("a").engine
+        assert eng.n_told == n_threads * per_thread
+        assert eng.n_pending == 0
+        assert eng.counters["duplicates"] == 0

@@ -1,0 +1,128 @@
+"""Tests for the worker evaluation loop (repro.service.worker)."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceServer,
+    SessionManager,
+    run_worker,
+)
+from repro.service.worker import WorkerStats
+from repro.util import ConfigurationError
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+@pytest.fixture
+def service():
+    manager = SessionManager()
+    with ServiceServer(manager) as server:
+        client = ServiceClient(server.url, max_retries=0)
+        client.create_session("w", **SMALL_SPEC)
+        yield server, client, manager
+
+
+class TestWorkerStats:
+    def test_record_tallies_by_status(self):
+        stats = WorkerStats()
+        for s in ("accepted", "accepted", "dropped", "expired", "duplicate"):
+            stats.record(s)
+        assert stats.n_told == 3  # accepted + dropped both consume budget
+        assert stats.n_dropped == 1
+        assert stats.n_expired == 1
+        assert stats.n_duplicate == 1
+        assert stats.statuses == {
+            "accepted": 2, "dropped": 1, "expired": 1, "duplicate": 1,
+        }
+
+
+class TestRunWorker:
+    def test_budget_required(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            run_worker("http://127.0.0.1:1", "w")
+
+    def test_completes_eval_budget(self, service):
+        server, client, _ = service
+        stats = run_worker(server.url, "w", max_evals=6, backoff_s=0.01)
+        assert stats.n_told == 6
+        assert stats.n_asked == 6
+        status = client.session_status("w")
+        assert status["counters"]["tells"] == 6
+        assert status["n_pending"] == 0
+
+    def test_injected_evaluator_is_used(self, service):
+        server, client, _ = service
+        seen = []
+
+        def fake(x):
+            seen.append(x.copy())
+            return 42.0
+
+        stats = run_worker(server.url, "w", max_evals=3, evaluator=fake)
+        assert stats.n_told == 3
+        assert len(seen) == 3
+        assert client.best("w")["y"] == 42.0
+
+    def test_backpressure_backs_off_and_recovers(self, service):
+        server, client, _ = service
+        client2 = ServiceClient(server.url, max_retries=0)
+        client2.create_session("tight", **SMALL_SPEC, max_pending=2)
+        # Fill the in-flight cap from outside the worker...
+        stuck = client2.ask("tight", 2)
+        naps = []
+
+        def sleep(dt):
+            naps.append(dt)
+            # ...and release a slot the first time the worker backs off.
+            if len(naps) == 1:
+                ticket, x = stuck.pop()
+                client2.tell("tight", ticket, float(np.sum(x**2)))
+
+        stats = run_worker(
+            server.url, "tight", max_evals=2, backoff_s=0.01, sleep=sleep
+        )
+        assert stats.n_backoff >= 1
+        assert stats.n_told == 2
+
+    def test_expired_tickets_counted_not_fatal(self, service):
+        server, client, _ = service
+        client2 = ServiceClient(server.url, max_retries=0)
+        client2.create_session("fast", **SMALL_SPEC, ask_timeout=0.05)
+
+        def slow_eval(x):
+            import time
+
+            time.sleep(0.2)  # holds the ticket past ask_timeout
+            return float(np.sum(x**2))
+
+        stats = run_worker(
+            server.url, "fast", max_evals=None, deadline_s=1.0,
+            evaluator=slow_eval, backoff_s=0.01,
+        )
+        assert stats.n_expired >= 1
+        assert client2.session_status("fast")["counters"]["requeues"] >= 1
+
+    def test_draining_server_ends_the_loop_cleanly(self, service):
+        server, client, _ = service
+        evals = []
+
+        def eval_then_drain(x):
+            evals.append(x)
+            if len(evals) == 2:
+                client.shutdown()
+            return float(np.sum(x**2))
+
+        worker_client = ServiceClient(server.url, max_retries=0)
+        stats = run_worker(
+            server.url, "w", max_evals=100,
+            client=worker_client, evaluator=eval_then_drain,
+        )
+        assert 2 <= stats.n_asked <= 3  # stopped on 503, not on budget
