@@ -6,12 +6,18 @@ asynchronous scheme overlaps selection with simulation. This bench runs
 both under the same virtual budget and worker count and checks the
 async scheme's throughput advantage (simulations completed) at a large
 worker count — the regime where the paper's algorithms saturate.
-"""
 
-import pytest
+Both drivers report per-worker busy/idle shares on the virtual
+timeline (the PR-4 cluster accounting): the async driver carries them
+on :class:`~repro.core.async_driver.AsyncResult` directly, while the
+synchronous driver exposes them as ``cluster.busy_virtual_s`` /
+``cluster.idle_virtual_s`` metrics counters, read here through a
+temporary :class:`~repro.obs.MetricsRegistry`.
+"""
 
 from repro.core import KBqEGO, run_optimization
 from repro.core.async_driver import run_async_optimization
+from repro.obs import MetricsRegistry, set_metrics
 from repro.problems import get_benchmark
 
 FAST_GP = {"n_restarts": 0, "maxiter": 25}
@@ -21,11 +27,22 @@ WORKERS = 8
 
 
 def _sync():
+    """Synchronous run plus its (busy_share, idle_share) tuple."""
     problem = get_benchmark("ackley", dim=12, sim_time=10.0)
     opt = KBqEGO(problem, WORKERS, seed=0, gp_options=FAST_GP,
                  acq_options=FAST_ACQ)
-    return run_optimization(problem, opt, BUDGET, n_initial=32,
-                            time_scale=1.0, seed=0)
+    metrics = MetricsRegistry()
+    prev = set_metrics(metrics)
+    try:
+        res = run_optimization(problem, opt, BUDGET, n_initial=32,
+                               time_scale=1.0, seed=0)
+    finally:
+        set_metrics(prev)
+    busy = metrics.counter("cluster.busy_virtual_s").value
+    idle = metrics.counter("cluster.idle_virtual_s").value
+    total = busy + idle
+    busy_share = busy / total if total > 0 else 0.0
+    return res, busy_share, 1.0 - busy_share
 
 
 def _async():
@@ -38,22 +55,38 @@ def _async():
 
 
 def test_sync_baseline(benchmark):
-    res = benchmark.pedantic(_sync, rounds=1, iterations=1)
+    res, busy_share, idle_share = benchmark.pedantic(
+        _sync, rounds=1, iterations=1
+    )
     assert res.best_value < res.initial_best
+    assert 0.0 < busy_share <= 1.0
+    benchmark.extra_info["busy_share"] = busy_share
+    benchmark.extra_info["idle_share"] = idle_share
 
 
 def test_async_variant(benchmark):
     res = benchmark.pedantic(_async, rounds=1, iterations=1)
     assert res.best_value < res.initial_best
+    assert res.busy_virtual_s > 0
+    assert 0.0 < res.busy_share <= 1.0
+    benchmark.extra_info["busy_share"] = res.busy_share
+    benchmark.extra_info["idle_share"] = res.idle_share
 
 
 def test_async_throughput_advantage(benchmark):
     """Same budget, same workers: the asynchronous scheme completes at
     least as many simulations (usually clearly more, since workers
-    never wait for the slowest batch member or the master)."""
+    never wait for the slowest batch member or the master), and keeps
+    its workers at least as busy."""
 
     def compare():
-        return _async().n_simulations, _sync().n_simulations
+        a = _async()
+        res, sync_busy, _ = _sync()
+        return a.n_simulations, res.n_simulations, a.busy_share, sync_busy
 
-    n_async, n_sync = benchmark.pedantic(compare, rounds=1, iterations=1)
+    n_async, n_sync, busy_async, busy_sync = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
     assert n_async >= n_sync, (n_async, n_sync)
+    benchmark.extra_info["busy_share_async"] = busy_async
+    benchmark.extra_info["busy_share_sync"] = busy_sync

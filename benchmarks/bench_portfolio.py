@@ -1,0 +1,88 @@
+"""Ablation: bandit portfolio vs fixed-strategy asynchronous BO.
+
+The paper's central empirical finding is that no single acquisition
+strategy wins everywhere (TuRBO on the benchmarks, mic-q-EGO on the
+plant). The portfolio driver turns that finding into a scheduler: a
+bandit reallocates freed workers across acquisition arms by
+sliding-window improvement credit. This bench compares, under one
+virtual budget and worker count,
+
+- the full portfolio (kb / mic / turbo / bsp / random arms);
+- each fixed strategy run through the *same* completion-driven driver
+  (a single-arm portfolio — identical scheduling, no adaptivity);
+- the pre-existing single-strategy async driver as the KB-EI reference.
+
+``scripts/portfolio_smoke.py`` runs the CI-sized version of this
+comparison (plus chaos injection) and archives ``BENCH_portfolio.json``.
+"""
+
+from repro.core.async_driver import run_async_optimization
+from repro.portfolio import run_portfolio_optimization
+from repro.problems import get_benchmark
+
+FAST_GP = {"n_restarts": 0, "maxiter": 25}
+FAST_ACQ = {"n_restarts": 2, "raw_samples": 64, "maxiter": 25}
+BUDGET = 150.0
+WORKERS = 8
+
+
+def _problem():
+    return get_benchmark("ackley", dim=12, sim_time=10.0)
+
+
+def _portfolio(arms=("kb", "mic", "turbo", "bsp", "random")):
+    return run_portfolio_optimization(
+        _problem(), WORKERS, BUDGET, arms=arms, n_initial=32, seed=0,
+        time_scale=1.0, gp_options=FAST_GP, acq_options=FAST_ACQ,
+    )
+
+
+def test_portfolio_run(benchmark):
+    res = benchmark.pedantic(_portfolio, rounds=1, iterations=1)
+    assert res.best_value < res.initial_best
+    # every arm got at least one worker (the exploration floor at work)
+    assert all(s["selections"] > 0 for s in res.arm_stats.values())
+    benchmark.extra_info["busy_share"] = res.busy_share
+    benchmark.extra_info["arm_selections"] = {
+        name: s["selections"] for name, s in res.arm_stats.items()
+    }
+
+
+def test_portfolio_vs_fixed_arms(benchmark):
+    """The portfolio must stay competitive with the best single arm it
+    contains — adaptivity may cost a little, but must not collapse."""
+
+    def compare():
+        port = _portfolio()
+        fixed = {
+            name: _portfolio(arms=(name,)).best_value
+            for name in ("kb", "turbo", "random")
+        }
+        return port, fixed
+
+    port, fixed = benchmark.pedantic(compare, rounds=1, iterations=1)
+    best_fixed = min(fixed.values())
+    worst_fixed = max(fixed.values())
+    assert port.best_value <= worst_fixed, (port.best_value, fixed)
+    benchmark.extra_info["portfolio_best"] = port.best_value
+    benchmark.extra_info["fixed_best"] = {k: v for k, v in fixed.items()}
+    benchmark.extra_info["gap_to_best_fixed"] = port.best_value - best_fixed
+
+
+def test_portfolio_matches_async_reference(benchmark):
+    """Same machinery as the single-strategy async driver: comparable throughput
+    and utilization under identical budget/workers."""
+
+    def compare():
+        port = _portfolio()
+        ref = run_async_optimization(
+            _problem(), WORKERS, BUDGET, n_initial=32, seed=0,
+            time_scale=1.0, gp_options=FAST_GP, acq_options=FAST_ACQ,
+        )
+        return port, ref
+
+    port, ref = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert port.n_simulations >= 0.5 * ref.n_simulations
+    assert port.busy_share > 0.5
+    benchmark.extra_info["portfolio_sims"] = port.n_simulations
+    benchmark.extra_info["async_sims"] = ref.n_simulations

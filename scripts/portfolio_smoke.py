@@ -1,0 +1,288 @@
+"""Portfolio smoke: bandit portfolio vs fixed arms + chaos injection.
+
+Usage::
+
+    PYTHONPATH=src python scripts/portfolio_smoke.py [--out BENCH_portfolio.json]
+                                                     [--budget 120] [--workers 8]
+
+Runs the CI-sized acceptance experiment for the portfolio subsystem on
+three problems (two benchmarks + the UPHES plant), all at ``q`` workers
+under one virtual budget with ``time_scale=0`` (measured overheads do
+not perturb the virtual schedule, so every number below is exactly
+reproducible):
+
+1. **Portfolio vs fixed arms** — the full bandit portfolio against
+   each fixed strategy run through the *same* completion-driven driver
+   (single-arm portfolios: identical scheduling, no adaptivity). The
+   check: portfolio final regret matches or beats the best fixed arm's
+   (within 10% of its regret plus 2% of the observed spread) on at
+   least 2 of the 3 problems.
+2. **Idle share** — the portfolio's worker idle share must be lower
+   than the batch-synchronous driver's (KB-q-EGO, PR-4 cluster
+   accounting) on every problem.
+3. **Chaos** — a run with an injected always-failing arm must
+   quarantine it, still converge, and lose zero evaluations.
+4. **Kill/resume** — the final journaled ``portfolio_state`` snapshot
+   must rebuild the allocator's counters bit-identically, and a
+   re-run from the same seed must replay the identical arm sequence.
+
+The result lands in ``BENCH_portfolio.json`` so CI can assert and
+archive it per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import KBqEGO, run_optimization
+from repro.obs import MetricsRegistry, set_metrics
+from repro.portfolio import BanditAllocator, run_portfolio_optimization
+from repro.portfolio.arms import DEFAULT_ARMS, FailingArm
+from repro.problems import CountingProblem, get_benchmark
+from repro.resilience import RunJournal
+from repro.uphes import UPHESSimulator
+
+#: Keep the smoke fast: tiny inner-optimization budgets.
+FAST = {
+    "gp_options": {"n_restarts": 0, "maxiter": 25},
+    "acq_options": {"n_restarts": 2, "raw_samples": 64, "maxiter": 25},
+}
+FIXED_ARMS = ("kb", "turbo", "random")
+SYNC_ACQ = {**FAST["acq_options"], "n_mc": 64}
+
+
+def make_problems(sim_time: float):
+    return {
+        "ackley": lambda: get_benchmark("ackley", dim=6, sim_time=sim_time),
+        "rosenbrock": lambda: get_benchmark("rosenbrock", dim=6,
+                                            sim_time=sim_time),
+        "uphes": lambda: UPHESSimulator(seed=0, sim_time=sim_time),
+    }
+
+
+def score(result) -> float:
+    """Final objective in minimization orientation (lower is better)."""
+    return -result.best_value if result.maximize else result.best_value
+
+
+def run_portfolio(factory, workers, budget, n_initial, *, arms=DEFAULT_ARMS,
+                  seed=0, journal=None, **kwargs):
+    return run_portfolio_optimization(
+        factory(), workers, budget, arms=arms, n_initial=n_initial,
+        seed=seed, time_scale=0.0, refit_every=2, journal=journal,
+        **FAST, **kwargs,
+    )
+
+
+def run_sync(factory, workers, budget, n_initial):
+    """Batch-synchronous KB-q-EGO + its busy/idle share (PR-4 metrics)."""
+    problem = factory()
+    opt = KBqEGO(problem, workers, seed=0,
+                 gp_options=FAST["gp_options"], acq_options=SYNC_ACQ)
+    metrics = MetricsRegistry()
+    prev = set_metrics(metrics)
+    try:
+        res = run_optimization(problem, opt, budget, n_initial=n_initial,
+                               time_scale=0.0, seed=0)
+    finally:
+        set_metrics(prev)
+    busy = metrics.counter("cluster.busy_virtual_s").value
+    idle = metrics.counter("cluster.idle_virtual_s").value
+    total = busy + idle
+    idle_share = idle / total if total > 0 else 1.0
+    return res, idle_share
+
+
+def chaos_check(workers, budget, n_initial, journal_path):
+    """Injected always-failing arm: quarantined, converged, no losses."""
+    problem = CountingProblem(get_benchmark("ackley", dim=6, sim_time=10.0))
+    journal = RunJournal(journal_path, fsync=False)
+    res = run_portfolio_optimization(
+        problem, workers, budget,
+        arms=(*DEFAULT_ARMS, FailingArm(problem)),
+        allocator_options={"max_sick": 2, "quarantine": 8},
+        n_initial=n_initial, seed=0, time_scale=0.0, refit_every=2,
+        journal=journal, **FAST,
+    )
+    events = journal.events()
+    stats = res.arm_stats["failing"]
+    return {
+        "failing_arm_failures": stats["failures"],
+        "failing_arm_quarantines": stats["quarantines"],
+        "quarantine_journaled": any(
+            e["event"] == "arm_quarantined" for e in events
+        ),
+        "converged": bool(res.best_value < res.initial_best),
+        "zero_lost_evaluations": bool(
+            problem.n_evals == res.n_initial + res.n_simulations
+        ),
+        "n_simulations": res.n_simulations,
+        "best_value": res.best_value,
+    }
+
+
+def resume_check(workers, budget, n_initial, journal_path):
+    """Allocator counters replay bit-identically across kill/resume."""
+    factory = make_problems(10.0)["ackley"]
+    journal = RunJournal(journal_path, fsync=False)
+    first = run_portfolio(factory, workers, budget, n_initial,
+                          journal=journal)
+    snaps = [e for e in journal.events() if e["event"] == "portfolio_state"]
+    resumed = BanditAllocator(list(first.arm_names))
+    resumed.set_state(snaps[-1]["allocator"])
+    counters_match = resumed.stats() == first.arm_stats
+
+    second = run_portfolio(factory, workers, budget, n_initial)
+    same_arm_sequence = (
+        [r.arm for r in first.history] == [r.arm for r in second.history]
+    )
+    same_best = first.best_value == second.best_value
+    return {
+        "n_snapshots": len(snaps),
+        "counters_bit_identical": bool(counters_match),
+        "rerun_same_arm_sequence": bool(same_arm_sequence),
+        "rerun_same_best": bool(same_best),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_portfolio.json")
+    parser.add_argument("--budget", type=float, default=120.0)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--n-initial", type=int, default=24)
+    parser.add_argument("--sim-time", type=float, default=10.0)
+    parser.add_argument("--tmp", default=None,
+                        help="directory for scratch journals (default: cwd)")
+    args = parser.parse_args(argv)
+    tmp = Path(args.tmp) if args.tmp else Path(".")
+    tmp.mkdir(parents=True, exist_ok=True)
+    t_start = time.time()
+
+    problems = make_problems(args.sim_time)
+    per_problem = {}
+    n_portfolio_wins = 0
+    for name, factory in problems.items():
+        print(f"[{name}] portfolio ...", flush=True)
+        port = run_portfolio(factory, args.workers, args.budget,
+                             args.n_initial)
+        fixed = {}
+        for arm in FIXED_ARMS:
+            print(f"[{name}] fixed arm {arm} ...", flush=True)
+            fixed[arm] = run_portfolio(factory, args.workers, args.budget,
+                                       args.n_initial, arms=(arm,))
+        print(f"[{name}] batch-synchronous reference ...", flush=True)
+        sync_res, sync_idle = run_sync(factory, args.workers, args.budget,
+                                       args.n_initial)
+
+        scores = {arm: score(r) for arm, r in fixed.items()}
+        port_score = score(port)
+        optimum = getattr(factory(), "optimum", None)
+        floor = (
+            float(optimum) if optimum is not None
+            else min([port_score, *scores.values(), score(sync_res)])
+        )
+        regrets = {arm: s - floor for arm, s in scores.items()}
+        port_regret = port_score - floor
+        best_fixed = min(regrets.values())
+        spread = max(regrets.values()) - best_fixed
+        tol = 0.10 * best_fixed + 0.02 * spread + 1e-9
+        matches = bool(port_regret <= best_fixed + tol)
+        n_portfolio_wins += matches
+
+        per_problem[name] = {
+            "portfolio": {
+                "best_value": port.best_value,
+                "regret": port_regret,
+                "n_simulations": port.n_simulations,
+                "idle_share": port.idle_share,
+                "arm_selections": {
+                    a: s["selections"] for a, s in port.arm_stats.items()
+                },
+            },
+            "fixed": {
+                arm: {
+                    "best_value": fixed[arm].best_value,
+                    "regret": regrets[arm],
+                    "n_simulations": fixed[arm].n_simulations,
+                }
+                for arm in FIXED_ARMS
+            },
+            "sync": {
+                "best_value": sync_res.best_value,
+                "n_simulations": sync_res.n_simulations,
+                "idle_share": sync_idle,
+            },
+            "portfolio_matches_best_fixed": matches,
+            "portfolio_idle_below_sync": bool(port.idle_share < sync_idle),
+        }
+        print(f"[{name}] portfolio regret {port_regret:.3f} vs best fixed "
+              f"{best_fixed:.3f} (match={matches}); idle "
+              f"{port.idle_share:.1%} vs sync {sync_idle:.1%}", flush=True)
+
+    print("[chaos] failing-arm injection ...", flush=True)
+    chaos = chaos_check(args.workers, args.budget, args.n_initial,
+                        tmp / "portfolio_chaos.jsonl")
+    print("[resume] allocator kill/resume replay ...", flush=True)
+    resume = resume_check(args.workers, 60.0, args.n_initial,
+                          tmp / "portfolio_resume.jsonl")
+
+    record = {
+        "schema": 1,
+        "config": {
+            "workers": args.workers,
+            "budget": args.budget,
+            "n_initial": args.n_initial,
+            "sim_time": args.sim_time,
+            "arms": list(DEFAULT_ARMS),
+            "fixed_baselines": list(FIXED_ARMS),
+            "time_scale": 0.0,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "problems": per_problem,
+        "chaos": chaos,
+        "resume": resume,
+        "checks": {
+            "portfolio_matches_best_fixed_count": n_portfolio_wins,
+            "portfolio_matches_best_fixed_on_2_of_3": n_portfolio_wins >= 2,
+            "idle_below_sync_everywhere": all(
+                p["portfolio_idle_below_sync"] for p in per_problem.values()
+            ),
+            "chaos_pass": bool(
+                chaos["failing_arm_quarantines"] >= 1
+                and chaos["quarantine_journaled"]
+                and chaos["converged"]
+                and chaos["zero_lost_evaluations"]
+            ),
+            "resume_pass": bool(
+                resume["counters_bit_identical"]
+                and resume["rerun_same_arm_sequence"]
+                and resume["rerun_same_best"]
+            ),
+        },
+        "wall_seconds": round(time.time() - t_start, 2),
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out} in {record['wall_seconds']:.0f}s")
+    for key, val in record["checks"].items():
+        print(f"  {key}: {val}")
+    failed = [
+        k for k, v in record["checks"].items()
+        if isinstance(v, bool) and not v
+    ]
+    if failed:
+        print(f"FAILED checks: {failed}")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

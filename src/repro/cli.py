@@ -13,6 +13,8 @@ Usage::
     python -m repro serve --port 8751 --store sessions/
     python -m repro worker --url http://127.0.0.1:8751 --session prod
 
+    python -m repro portfolio --problem ackley --workers 8 --budget 600
+
 Runs one time-budgeted optimization under the paper's protocol and
 prints a human-readable summary (or writes the full run record as JSON
 with ``--json``). With ``--journal`` the run appends a crash-safe JSONL
@@ -25,6 +27,11 @@ service of :mod:`repro.service`: one long-lived HTTP server hosting
 concurrent optimization sessions, driven by any number of worker
 processes that pull candidates, run the simulator locally, and post
 results back.
+
+The ``portfolio`` subcommand runs the completion-driven asynchronous
+driver of :mod:`repro.portfolio`: each freed worker is immediately
+given a new point chosen by a bandit over acquisition arms, with
+fantasies over the evaluations still in flight.
 """
 
 from __future__ import annotations
@@ -33,13 +40,13 @@ import argparse
 import json
 import sys
 
-from repro.core import ALGORITHMS, make_optimizer, run_optimization
+from repro.core import algorithm_names, make_optimizer, run_optimization
 from repro.experiments.records import RunRecord
 from repro.problems.benchmarks import BENCHMARKS
 from repro.uphes import UPHESSimulator
 
 #: Subcommand names reserved ahead of the default single-run parser.
-SUBCOMMANDS = ("resume", "serve", "worker")
+SUBCOMMANDS = ("resume", "serve", "worker", "portfolio")
 
 
 def package_version() -> str:
@@ -71,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--algorithm",
         default="turbo",
-        help="one of: " + ", ".join(sorted({c.name for c in ALGORITHMS.values()})),
+        help="one of: " + ", ".join(algorithm_names()),
     )
     parser.add_argument("--n-batch", type=int, default=4,
                         help="batch size = parallel workers (default 4)")
@@ -272,6 +279,123 @@ def build_worker_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_portfolio_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro portfolio",
+        description="Completion-driven async optimization with a bandit "
+                    "portfolio of acquisition arms (repro.portfolio).",
+    )
+    parser.add_argument(
+        "--problem",
+        default="ackley",
+        choices=sorted(BENCHMARKS) + ["uphes"],
+        help="objective: a benchmark function or the UPHES simulator",
+    )
+    parser.add_argument("--dim", type=int, default=12,
+                        help="benchmark dimension (ignored for uphes)")
+    parser.add_argument("--sim-time", type=float, default=10.0,
+                        help="virtual seconds per simulation (paper: 10)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel evaluation workers (default 4)")
+    parser.add_argument("--budget", type=float, default=1200.0,
+                        help="virtual seconds of optimization budget")
+    parser.add_argument("--arms", default=None,
+                        help="comma-separated arm names (default: "
+                             "kb,mic,turbo,bsp,random)")
+    parser.add_argument("--fantasy", default="kb",
+                        choices=("kb", "randomized_kb", "constant_liar"),
+                        help="fantasy strategy over in-flight evaluations")
+    parser.add_argument("--rkb-scale", type=float, default=1.0,
+                        help="perturbation scale for randomized_kb")
+    parser.add_argument("--rule", default="softmax",
+                        choices=("softmax", "ucb"),
+                        help="bandit reallocation rule over arms")
+    parser.add_argument("--exploration-floor", type=float, default=0.1,
+                        help="minimum total probability spread uniformly "
+                             "over non-quarantined arms")
+    parser.add_argument("--window", type=int, default=20,
+                        help="sliding improvement-credit window per arm")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--time-scale", type=float, default=1.0,
+                        help="multiplier on measured fit/acquisition time")
+    parser.add_argument("--n-initial", type=int, default=None,
+                        help="initial design size (default 16·workers)")
+    parser.add_argument("--refit-every", type=int, default=1,
+                        help="completions between GP refits")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the run summary as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-arm table")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append a crash-safe JSONL event log "
+                             "(dispatch/completion/arm decisions)")
+    _add_obs_arguments(parser)
+    return parser
+
+
+def main_portfolio(argv=None) -> int:
+    args = build_portfolio_parser().parse_args(argv)
+    from repro.portfolio import DEFAULT_ARMS, run_portfolio_optimization
+
+    problem = make_problem(args)
+    arms = DEFAULT_ARMS
+    if args.arms:
+        arms = tuple(a.strip() for a in args.arms.split(",") if a.strip())
+    journal = None
+    if args.journal:
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(args.journal)
+    tracer, metrics = _setup_obs(args)
+
+    result = run_portfolio_optimization(
+        problem,
+        args.workers,
+        args.budget,
+        arms=arms,
+        allocator_options={
+            "rule": args.rule,
+            "exploration_floor": args.exploration_floor,
+            "window": args.window,
+        },
+        fantasy=args.fantasy,
+        rkb_scale=args.rkb_scale,
+        n_initial=args.n_initial,
+        refit_every=args.refit_every,
+        time_scale=args.time_scale,
+        seed=args.seed,
+        journal=journal,
+    )
+
+    direction = "profit" if result.maximize else "cost"
+    print(f"problem      : {result.problem} (d={len(result.best_x)}, "
+          f"sim={problem.sim_time:g}s)")
+    print(f"portfolio    : arms={','.join(result.arm_names)}, "
+          f"workers={result.n_workers}, fantasy={args.fantasy}, "
+          f"seed={args.seed}")
+    print(f"initial      : {result.n_initial} points, best {direction} "
+          f"{result.initial_best:.3f}")
+    print(f"simulations  : {result.n_simulations} "
+          f"in {result.elapsed:.0f}/{result.budget:.0f} virtual s")
+    print(f"worker time  : busy {result.busy_share:.1%} / "
+          f"idle {result.idle_share:.1%}")
+    print(f"final best   : {result.best_value:.3f}")
+    if not args.quiet:
+        print("\narm       selected  completed  failed  quarantines  "
+              "mean credit")
+        for name, s in result.arm_stats.items():
+            print(f"{name:<8s}  {s['selections']:8d}  {s['completions']:9d}"
+                  f"  {s['failures']:6d}  {s['quarantines']:11d}"
+                  f"  {s['mean_credit']:11.4f}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"\nrun summary written to {args.json}")
+    _export_obs(args, tracer, metrics, quiet=args.quiet)
+    return 0
+
+
 def main_serve(argv=None) -> int:
     args = build_serve_parser().parse_args(argv)
     import signal
@@ -349,6 +473,8 @@ def main(argv=None) -> int:
         return main_serve(argv[1:])
     if argv and argv[0] == "worker":
         return main_worker(argv[1:])
+    if argv and argv[0] == "portfolio":
+        return main_portfolio(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(

@@ -31,7 +31,15 @@ from repro.core.mc_qego import MCqEGO
 from repro.core.mic_qego import MicQEGO
 from repro.core.mic_turbo import MicTuRBO
 from repro.core.random_search import RandomSearch
-from repro.core.registry import ALGORITHMS, PAPER_ALGORITHMS, make_optimizer, optimize
+from repro.core.registry import (
+    ALGORITHMS,
+    LAZY_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    algorithm_names,
+    is_known_algorithm,
+    make_optimizer,
+    optimize,
+)
 from repro.core.supervision import CycleSupervisor, SupervisorConfig
 from repro.core.turbo import TuRBO
 from repro.core.turbo_m import TuRBOm
@@ -45,6 +53,7 @@ __all__ = [
     "CycleRecord",
     "CycleSupervisor",
     "KBqEGO",
+    "LAZY_ALGORITHMS",
     "LPEGO",
     "MCqEGO",
     "MicQEGO",
@@ -56,6 +65,8 @@ __all__ = [
     "SupervisorConfig",
     "TuRBO",
     "TuRBOm",
+    "algorithm_names",
+    "is_known_algorithm",
     "make_optimizer",
     "optimize",
     "run_async_optimization",

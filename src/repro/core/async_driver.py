@@ -66,11 +66,23 @@ class AsyncResult:
     n_initial: int
     n_simulations: int
     elapsed: float
+    busy_virtual_s: float = 0.0
+    idle_virtual_s: float = 0.0
     history: list[DispatchRecord] = field(default_factory=list)
 
     @property
     def trajectory(self) -> np.ndarray:
         return np.asarray([rec.best_value for rec in self.history])
+
+    @property
+    def busy_share(self) -> float:
+        """Fraction of worker-seconds spent simulating (vs idling)."""
+        total = self.busy_virtual_s + self.idle_virtual_s
+        return self.busy_virtual_s / total if total > 0 else 0.0
+
+    @property
+    def idle_share(self) -> float:
+        return 1.0 - self.busy_share
 
 
 def run_async_optimization(
@@ -322,6 +334,18 @@ def run_async_optimization(
         if now < budget and counter < max_dispatches:
             dispatch(worker)
 
+    # Per-worker busy/idle on the virtual timeline (PR-4 accounting):
+    # each dispatch occupied its worker for the simulation's duration;
+    # the rest of the n_workers·elapsed worker-seconds was idle.
+    busy_virtual = float(
+        sum(rec.t_finish - rec.t_dispatch for rec in history)
+    )
+    idle_virtual = max(0.0, n_workers * now - busy_virtual)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("async.busy_virtual_s").inc(busy_virtual)
+        metrics.counter("async.idle_virtual_s").inc(idle_virtual)
+
     best_idx = int(np.argmin(y))
     if journal is not None:
         journal.record(
@@ -330,6 +354,8 @@ def run_async_optimization(
             best_value=float(sign * y[best_idx]),
             n_simulations=n_done,
             elapsed=now,
+            busy_virtual_s=busy_virtual,
+            idle_virtual_s=idle_virtual,
         )
     return AsyncResult(
         problem=problem.name,
@@ -342,5 +368,7 @@ def run_async_optimization(
         n_initial=n0,
         n_simulations=n_done,
         elapsed=now,
+        busy_virtual_s=busy_virtual,
+        idle_virtual_s=idle_virtual,
         history=history,
     )

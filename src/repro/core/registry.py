@@ -39,6 +39,23 @@ ALGORITHMS: dict[str, type[BatchOptimizer]] = {
 #: The paper's five algorithms, in its presentation order.
 PAPER_ALGORITHMS = ("KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO", "TuRBO")
 
+#: Algorithms resolved lazily at construction time. These live in
+#: subsystems that themselves build on :mod:`repro.core` (the portfolio
+#: layer wraps the core strategies as arms), so importing them here
+#: eagerly would be an import cycle.
+LAZY_ALGORITHMS = ("portfolio",)
+
+
+def algorithm_names() -> list[str]:
+    """Every constructible algorithm name (canonical spellings)."""
+    return sorted({cls.name for cls in ALGORITHMS.values()} | set(LAZY_ALGORITHMS))
+
+
+def is_known_algorithm(name: str) -> bool:
+    """Whether ``make_optimizer`` accepts this (normalized) name."""
+    key = str(name).strip().lower().replace(" ", "-")
+    return key in ALGORITHMS or key in LAZY_ALGORITHMS
+
 
 def make_optimizer(
     name: str,
@@ -49,10 +66,13 @@ def make_optimizer(
 ) -> BatchOptimizer:
     """Instantiate an algorithm by (case/punctuation-insensitive) name."""
     key = name.strip().lower().replace(" ", "-")
+    if key == "portfolio":
+        from repro.portfolio.optimizer import PortfolioOptimizer
+
+        return PortfolioOptimizer(problem, n_batch, seed=seed, **kwargs)
     if key not in ALGORITHMS:
-        canonical = sorted({cls.name for cls in ALGORITHMS.values()})
         raise ConfigurationError(
-            f"unknown algorithm {name!r}; available: {canonical}"
+            f"unknown algorithm {name!r}; available: {algorithm_names()}"
         )
     return ALGORITHMS[key](problem, n_batch, seed=seed, **kwargs)
 

@@ -1,0 +1,57 @@
+"""Completion-driven asynchronous BO with a bandit portfolio of arms.
+
+A decision layer above every algorithm in :mod:`repro.core`, targeting
+the paper's central empirical finding — no single parallel-BO method
+wins everywhere — and its batch-synchronous idle time:
+
+- :mod:`~repro.portfolio.fantasy` — fantasy strategies for in-flight
+  evaluations (constant-liar, Kriging Believer, randomized KB);
+- :mod:`~repro.portfolio.arms` — the existing strategies (KB, mic,
+  TuRBO trust region, BSP sub-regions, random) behind one single-point
+  ``propose(ctx)`` interface;
+- :mod:`~repro.portfolio.allocator` — sliding-window improvement-credit
+  bandit (softmax/UCB with an exploration floor, per-arm quarantine)
+  deciding which arm proposes for each freed worker;
+- :mod:`~repro.portfolio.driver` — the completion-driven async driver
+  (no batch barrier; journal, metrics, and busy/idle accounting wired
+  through the resilience and observability layers);
+- :mod:`~repro.portfolio.optimizer` — the portfolio behind the batch
+  ask/tell protocol, registered as algorithm ``"portfolio"`` for the
+  synchronous driver and the suggestion service.
+"""
+
+from repro.portfolio.allocator import BanditAllocator
+from repro.portfolio.arms import (
+    ARM_TYPES,
+    DEFAULT_ARMS,
+    Arm,
+    ArmContext,
+    make_arm,
+)
+from repro.portfolio.driver import (
+    PortfolioDispatchRecord,
+    PortfolioResult,
+    run_portfolio_optimization,
+)
+from repro.portfolio.fantasy import (
+    FANTASY_MODES,
+    check_fantasy_mode,
+    fantasy_values,
+)
+from repro.portfolio.optimizer import PortfolioOptimizer
+
+__all__ = [
+    "ARM_TYPES",
+    "Arm",
+    "ArmContext",
+    "BanditAllocator",
+    "DEFAULT_ARMS",
+    "FANTASY_MODES",
+    "PortfolioDispatchRecord",
+    "PortfolioOptimizer",
+    "PortfolioResult",
+    "check_fantasy_mode",
+    "fantasy_values",
+    "make_arm",
+    "run_portfolio_optimization",
+]

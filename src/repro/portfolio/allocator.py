@@ -1,0 +1,259 @@
+"""Bandit allocation of workers to acquisition arms.
+
+Binois et al. (arXiv:2110.09334) show that at high parallelism a
+*portfolio* of acquisition strategies with adaptive worker reallocation
+beats any fixed strategy. :class:`BanditAllocator` is that decision
+layer: every time a worker frees, it picks which arm proposes the next
+candidate, based on the **improvement credit** each arm earned
+recently.
+
+Credit
+    When a completion credited to arm *a* improves the incumbent by
+    ``delta`` (internal orientation, clamped at 0), ``credit(a, delta)``
+    appends it to the arm's sliding window. Windowed means — not
+    lifetime means — so an arm that was good early but stalled loses
+    its budget share, matching the reference's non-stationary setting.
+Selection
+    ``softmax`` (default): sample proportionally to
+    ``floor/K + (1-floor) · softmax(mean_credit / temperature)``.
+    ``ucb``: with probability ``floor`` explore uniformly, else the
+    deterministic UCB1-style argmax over
+    ``mean_credit + c · sqrt(log(t+1)/(n_a+1))``.
+    The exploration floor keeps every healthy arm alive — the paper's
+    "no method wins everywhere" means yesterday's loser must keep
+    getting sampled cheaply.
+Quarantine
+    A persistently failing arm (``max_sick`` consecutive raised
+    proposals) is quarantined for ``quarantine`` selection rounds —
+    the :class:`repro.core.supervision.CycleSupervisor` policy applied
+    per arm instead of per run.
+
+Determinism: selection consumes exactly one uniform draw from the
+caller's generator per call (none for the deterministic UCB branch
+beyond the floor draw), and the full counter state is JSON-snapshotted
+by :meth:`get_state` / :meth:`set_state`, so a killed-and-resumed run
+replays the identical allocation sequence bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+#: Selection rules.
+RULES = ("softmax", "ucb")
+
+
+class BanditAllocator:
+    """Sliding-window improvement-credit bandit over named arms."""
+
+    def __init__(
+        self,
+        arm_names,
+        *,
+        window: int = 20,
+        rule: str = "softmax",
+        temperature: float = 1.0,
+        ucb_c: float = 1.0,
+        exploration_floor: float = 0.1,
+        max_sick: int = 3,
+        quarantine: int = 10,
+    ):
+        self.arm_names = [str(n) for n in arm_names]
+        if not self.arm_names:
+            raise ConfigurationError("allocator needs at least one arm")
+        if len(set(self.arm_names)) != len(self.arm_names):
+            raise ConfigurationError(
+                f"duplicate arm names: {self.arm_names}"
+            )
+        if rule not in RULES:
+            raise ConfigurationError(
+                f"rule must be one of {RULES}, got {rule!r}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if temperature <= 0:
+            raise ConfigurationError(
+                f"temperature must be positive, got {temperature}"
+            )
+        if not 0.0 <= exploration_floor <= 1.0:
+            raise ConfigurationError(
+                f"exploration_floor must be in [0, 1], got {exploration_floor}"
+            )
+        if max_sick < 1:
+            raise ConfigurationError(f"max_sick must be >= 1, got {max_sick}")
+        if quarantine < 0:
+            raise ConfigurationError(
+                f"quarantine must be >= 0, got {quarantine}"
+            )
+        self.window = int(window)
+        self.rule = rule
+        self.temperature = float(temperature)
+        self.ucb_c = float(ucb_c)
+        self.exploration_floor = float(exploration_floor)
+        self.max_sick = int(max_sick)
+        self.quarantine = int(quarantine)
+
+        k = len(self.arm_names)
+        self._credits: list[list[float]] = [[] for _ in range(k)]
+        self._selections = [0] * k
+        self._completions = [0] * k
+        self._failures = [0] * k
+        self._fail_streak = [0] * k
+        self._quarantine_left = [0] * k
+        self._quarantines = [0] * k
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_arms(self) -> int:
+        return len(self.arm_names)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.arm_names.index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown arm {name!r}; have {self.arm_names}"
+            ) from None
+
+    def mean_credit(self, i: int) -> float:
+        win = self._credits[i]
+        return float(np.mean(win)) if win else 0.0
+
+    def active(self) -> list[int]:
+        """Arms currently eligible for selection (not quarantined)."""
+        return [i for i in range(self.n_arms) if self._quarantine_left[i] == 0]
+
+    def quarantined(self) -> list[str]:
+        return [
+            self.arm_names[i]
+            for i in range(self.n_arms)
+            if self._quarantine_left[i] > 0
+        ]
+
+    # -- credit / health feedback ---------------------------------------
+    def credit(self, i: int, improvement: float) -> None:
+        """Record one completion's improvement credit for arm ``i``."""
+        improvement = max(0.0, float(improvement))
+        win = self._credits[i]
+        win.append(improvement)
+        if len(win) > self.window:
+            del win[: len(win) - self.window]
+        self._completions[i] += 1
+
+    def report_success(self, i: int) -> None:
+        """A proposal by arm ``i`` was produced without raising."""
+        self._fail_streak[i] = 0
+
+    def report_failure(self, i: int) -> bool:
+        """A proposal by arm ``i`` raised; True if newly quarantined."""
+        self._failures[i] += 1
+        self._fail_streak[i] += 1
+        if self._fail_streak[i] >= self.max_sick:
+            self._fail_streak[i] = 0
+            self._quarantine_left[i] = self.quarantine
+            self._quarantines[i] += 1
+            return self.quarantine > 0
+        return False
+
+    # -- selection -------------------------------------------------------
+    def _weights(self, active: list[int]) -> np.ndarray:
+        means = np.asarray([self.mean_credit(i) for i in active])
+        if self.rule == "softmax":
+            z = means / self.temperature
+            z -= z.max()  # shift-invariant, numerically safe
+            w = np.exp(z)
+            return w / w.sum()
+        # ucb weights are only used for the argmax.
+        bonus = self.ucb_c * np.sqrt(
+            math.log(self._total + 1.0)
+            / (np.asarray([self._selections[i] for i in active]) + 1.0)
+        )
+        return means + bonus
+
+    def select(self, rng: np.random.Generator) -> int:
+        """Pick the arm that proposes for the next freed worker.
+
+        Consumes exactly one uniform draw from ``rng``. Quarantined
+        arms tick down one round per selection and are excluded; if
+        every arm is quarantined the draw falls back to uniform over
+        all arms (the run must never stall).
+        """
+        active = self.active()
+        for i in range(self.n_arms):
+            if self._quarantine_left[i] > 0:
+                self._quarantine_left[i] -= 1
+        u = float(rng.random())
+        if not active:
+            pick = min(int(u * self.n_arms), self.n_arms - 1)
+        elif self.rule == "ucb":
+            if u < self.exploration_floor:
+                # Reuse the same draw for the uniform pick: rescale the
+                # sub-interval [0, floor) back to [0, 1).
+                v = u / self.exploration_floor
+                pick = active[min(int(v * len(active)), len(active) - 1)]
+            else:
+                w = self._weights(active)
+                pick = active[int(np.argmax(w))]
+        else:
+            k = len(active)
+            probs = (
+                self.exploration_floor / k
+                + (1.0 - self.exploration_floor) * self._weights(active)
+            )
+            cum = np.cumsum(probs)
+            idx = int(np.searchsorted(cum, u * cum[-1], side="right"))
+            pick = active[min(idx, k - 1)]
+        self._selections[pick] += 1
+        self._total += 1
+        return pick
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict:
+        """Per-arm counters for journals, metrics, and reports."""
+        return {
+            name: {
+                "selections": self._selections[i],
+                "completions": self._completions[i],
+                "failures": self._failures[i],
+                "quarantines": self._quarantines[i],
+                "quarantine_left": self._quarantine_left[i],
+                "mean_credit": self.mean_credit(i),
+                "total_credit": float(sum(self._credits[i])),
+            }
+            for i, name in enumerate(self.arm_names)
+        }
+
+    # -- checkpointing ---------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON snapshot of every counter (bit-exact on restore)."""
+        return {
+            "arm_names": list(self.arm_names),
+            "credits": [list(map(float, w)) for w in self._credits],
+            "selections": list(self._selections),
+            "completions": list(self._completions),
+            "failures": list(self._failures),
+            "fail_streak": list(self._fail_streak),
+            "quarantine_left": list(self._quarantine_left),
+            "quarantines": list(self._quarantines),
+            "total": self._total,
+        }
+
+    def set_state(self, state: dict) -> None:
+        if list(state["arm_names"]) != self.arm_names:
+            raise ConfigurationError(
+                f"allocator state is for arms {state['arm_names']}, "
+                f"this allocator has {self.arm_names}"
+            )
+        self._credits = [list(map(float, w)) for w in state["credits"]]
+        self._selections = [int(v) for v in state["selections"]]
+        self._completions = [int(v) for v in state["completions"]]
+        self._failures = [int(v) for v in state["failures"]]
+        self._fail_streak = [int(v) for v in state["fail_streak"]]
+        self._quarantine_left = [int(v) for v in state["quarantine_left"]]
+        self._quarantines = [int(v) for v in state["quarantines"]]
+        self._total = int(state["total"])

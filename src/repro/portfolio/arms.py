@@ -1,0 +1,359 @@
+"""Acquisition arms: one-point proposers behind a uniform interface.
+
+The paper's finding — TuRBO wins the synthetic benchmarks, mic-q-EGO
+wins the UPHES plant, nobody wins everywhere — means the *choice of
+acquisition strategy* is itself a decision problem. Each class here
+wraps one of the repo's strategies as an **arm**: a stateful,
+checkpointable proposer of a single candidate given the current
+surrogate and the work in flight,
+
+    ``arm.propose(ctx) -> (d,) candidate``
+
+where :class:`ArmContext` carries everything a strategy may look at
+(real data, fantasy-extended model, bounds, RNG). Arms never evaluate,
+never fit, and never own an RNG stream — the caller's generator flows
+through ``ctx.rng``, so a run checkpointing that one stream replays all
+arms bit-exactly.
+
+State beyond (X, y, rng) — TuRBO's trust-region counters, BSP's
+partition, mic's criterion rotation — lives in :meth:`Arm.get_state` /
+:meth:`Arm.set_state` JSON snapshots, mirroring
+:class:`repro.core.base.BatchOptimizer` checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acquisition import (
+    ExpectedImprovement,
+    UpperConfidenceBound,
+    optimize_acqf,
+)
+from repro.util import ConfigurationError
+
+#: The default portfolio: the paper's strategy families plus the
+#: random-search control arm.
+DEFAULT_ARMS = ("kb", "mic", "turbo", "bsp", "random")
+
+
+@dataclass
+class ArmContext:
+    """Everything an arm may condition a single proposal on.
+
+    ``model`` is the fantasy-extended surrogate (in-flight points
+    believed at their fantasy values); ``gp`` is the surrogate fitted on
+    real observations only (trust-region geometry wants the real one).
+    Either may be ``None`` when the model layer is degraded — every arm
+    must still return a candidate.
+    """
+
+    problem: object
+    X: np.ndarray  # real observations
+    y: np.ndarray  # internal (minimization) orientation
+    model: object | None  # fantasy-extended GP
+    gp: object | None  # real-data GP
+    best_f: float
+    in_flight: np.ndarray  # (m, d) points being evaluated
+    rng: np.random.Generator
+    acq_options: dict
+
+
+class Arm:
+    """One acquisition strategy wrapped as a portfolio arm."""
+
+    name = "arm"
+
+    #: JSON-scalar attributes snapshotted by the default state methods.
+    _state_attrs: tuple[str, ...] = ()
+
+    def __init__(self, problem, acq_options: dict | None = None):
+        self.problem = problem
+        self.acq_options = dict(acq_options or {})
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        raise NotImplementedError
+
+    def observe(self, x: np.ndarray, y: float, improved: bool) -> None:
+        """One completed evaluation credited to this arm (hook)."""
+
+    # -- checkpointing ---------------------------------------------------
+    def get_state(self) -> dict:
+        return {attr: getattr(self, attr) for attr in self._state_attrs}
+
+    def set_state(self, state: dict) -> None:
+        for attr in self._state_attrs:
+            if attr not in state:
+                raise ConfigurationError(
+                    f"arm state lacks {attr!r} for {type(self).__name__}"
+                )
+            setattr(self, attr, state[attr])
+
+    # -- shared helpers --------------------------------------------------
+    def _random_point(self, rng) -> np.ndarray:
+        lo, hi = self.problem.lower, self.problem.upper
+        return lo + rng.random(self.problem.dim) * (hi - lo)
+
+    def _maximize(self, acq, bounds, ctx, initial_points=None) -> np.ndarray:
+        opts = ctx.acq_options
+        x, _ = optimize_acqf(
+            acq,
+            bounds,
+            n_restarts=opts.get("n_restarts", 4),
+            raw_samples=opts.get("raw_samples", 256),
+            maxiter=opts.get("maxiter", 50),
+            seed=ctx.rng,
+            initial_points=initial_points,
+            avoid=ctx.X,
+        )
+        return np.asarray(x, dtype=np.float64).reshape(-1)
+
+
+class RandomArm(Arm):
+    """Uniform random search: the zero-overhead control arm."""
+
+    name = "random"
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        return self._random_point(ctx.rng)
+
+
+class KBArm(Arm):
+    """Single-point EI on the fantasy-extended model (KB-q-EGO's AP)."""
+
+    name = "kb"
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        if ctx.model is None:
+            return self._random_point(ctx.rng)
+        acq = ExpectedImprovement(ctx.model, ctx.best_f)
+        return self._maximize(acq, self.problem.bounds, ctx)
+
+
+class MicArm(Arm):
+    """mic-q-EGO's multi-infill rotation: EI and UCB alternate.
+
+    The synchronous algorithm runs both criteria per fantasy update;
+    asynchronously there is one proposal per call, so the arm rotates
+    through the criteria across calls — same diversity, one point at a
+    time. The rotation index is checkpointed.
+    """
+
+    name = "mic"
+    _state_attrs = ("k",)
+
+    def __init__(self, problem, acq_options=None, ucb_beta: float = 2.0):
+        super().__init__(problem, acq_options)
+        self.ucb_beta = float(ucb_beta)
+        self.k = 0
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        if ctx.model is None:
+            return self._random_point(ctx.rng)
+        use_ucb = self.k % 2 == 1
+        self.k += 1
+        acq = (
+            UpperConfidenceBound(ctx.model, beta=self.ucb_beta)
+            if use_ucb
+            else ExpectedImprovement(ctx.model, ctx.best_f)
+        )
+        best_x = ctx.X[int(np.argmin(ctx.y))]
+        return self._maximize(acq, self.problem.bounds, ctx,
+                              initial_points=best_x[None, :])
+
+
+class TuRBOArm(Arm):
+    """EI inside a private adaptive trust region (TuRBO-1 dynamics).
+
+    The arm keeps its own success/failure counters and base length,
+    updated on the completions *credited to it* — doubling on
+    ``succ_tol`` consecutive improvements, halving on ``fail_tol``
+    consecutive misses, resetting below ``length_min`` (a restart,
+    counted). The box geometry follows the real-data GP's ARD
+    lengthscales, exactly like :class:`repro.core.turbo.TuRBO`.
+    """
+
+    name = "turbo"
+    _state_attrs = ("length", "n_succ", "n_fail", "n_restarts_done")
+
+    def __init__(
+        self,
+        problem,
+        acq_options=None,
+        length_init: float = 0.8,
+        length_min: float = 2.0**-7,
+        length_max: float = 1.6,
+        succ_tol: int = 3,
+        fail_tol: int = 8,
+    ):
+        super().__init__(problem, acq_options)
+        if not (0 < length_min < length_init <= length_max):
+            raise ConfigurationError(
+                "need 0 < length_min < length_init <= length_max"
+            )
+        self.length_init = float(length_init)
+        self.length_min = float(length_min)
+        self.length_max = float(length_max)
+        self.succ_tol = int(succ_tol)
+        self.fail_tol = int(fail_tol)
+        self.length = self.length_init
+        self.n_succ = 0
+        self.n_fail = 0
+        self.n_restarts_done = 0
+
+    def observe(self, x, y, improved: bool) -> None:
+        if improved:
+            self.n_succ += 1
+            self.n_fail = 0
+        else:
+            self.n_fail += 1
+            self.n_succ = 0
+        if self.n_succ >= self.succ_tol:
+            self.length = min(2.0 * self.length, self.length_max)
+            self.n_succ = 0
+        elif self.n_fail >= self.fail_tol:
+            self.length /= 2.0
+            self.n_fail = 0
+        if self.length < self.length_min:
+            self.length = self.length_init
+            self.n_succ = 0
+            self.n_fail = 0
+            self.n_restarts_done += 1
+
+    def _bounds(self, gp, center: np.ndarray) -> np.ndarray:
+        if gp is None:
+            ls = np.ones(self.problem.dim)
+        else:
+            kernel = gp.kernel
+            inner = getattr(kernel, "inner", kernel)
+            ls = np.atleast_1d(getattr(inner, "lengthscale", np.array([1.0])))
+            if ls.shape[0] != self.problem.dim:
+                ls = np.full(self.problem.dim, float(ls[0]))
+        weights = ls / np.exp(np.mean(np.log(ls)))
+        span = self.problem.upper - self.problem.lower
+        half = 0.5 * self.length * weights * span
+        lo = np.maximum(center - half, self.problem.lower)
+        hi = np.minimum(center + half, self.problem.upper)
+        width = np.maximum(hi - lo, 1e-9 * span)
+        return np.column_stack([lo, lo + width])
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        center = ctx.X[int(np.argmin(ctx.y))]
+        bounds = self._bounds(ctx.gp, center)
+        if ctx.model is None:
+            lo, hi = bounds[:, 0], bounds[:, 1]
+            return lo + ctx.rng.random(self.problem.dim) * (hi - lo)
+        acq = ExpectedImprovement(ctx.model, ctx.best_f)
+        return self._maximize(acq, bounds, ctx,
+                              initial_points=center[None, :])
+
+
+class BSPArm(Arm):
+    """Round-robin EI over an adaptive box partition (BSP-EGO's AP).
+
+    The domain starts split into ``n_regions`` boxes (recursive
+    longest-edge bisection); each call maximizes EI inside the next box
+    in rotation, so consecutive proposals explore *different*
+    sub-regions without any fantasy machinery. A completion that
+    improves the incumbent splits its box (intensification where
+    progress happens), capped at ``max_regions`` leaves; the boxes
+    always partition the domain.
+    """
+
+    name = "bsp"
+
+    def __init__(
+        self,
+        problem,
+        acq_options=None,
+        n_regions: int = 8,
+        max_regions: int = 64,
+    ):
+        super().__init__(problem, acq_options)
+        if n_regions < 2:
+            raise ConfigurationError(f"n_regions must be >= 2, got {n_regions}")
+        self.max_regions = int(max_regions)
+        self.cursor = 0
+        self.boxes: list[np.ndarray] = [problem.bounds.copy()]
+        while len(self.boxes) < int(n_regions):
+            self._split(self._largest())
+
+    def _largest(self) -> int:
+        vols = [float(np.prod(b[:, 1] - b[:, 0])) for b in self.boxes]
+        return int(np.argmax(vols))
+
+    def _split(self, idx: int) -> None:
+        box = self.boxes[idx]
+        span = self.problem.upper - self.problem.lower
+        dim = int(np.argmax((box[:, 1] - box[:, 0]) / span))
+        mid = 0.5 * (box[dim, 0] + box[dim, 1])
+        left, right = box.copy(), box.copy()
+        left[dim, 1] = mid
+        right[dim, 0] = mid
+        self.boxes[idx : idx + 1] = [left, right]
+
+    def _box_of(self, x: np.ndarray) -> int:
+        for i, b in enumerate(self.boxes):
+            if np.all(x >= b[:, 0]) and np.all(x <= b[:, 1]):
+                return i
+        return -1
+
+    def observe(self, x, y, improved: bool) -> None:
+        if improved and len(self.boxes) < self.max_regions:
+            idx = self._box_of(np.asarray(x, dtype=np.float64))
+            if idx >= 0:
+                self._split(idx)
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        box = self.boxes[self.cursor % len(self.boxes)]
+        self.cursor = (self.cursor + 1) % len(self.boxes)
+        if ctx.model is None:
+            lo, hi = box[:, 0], box[:, 1]
+            return lo + ctx.rng.random(self.problem.dim) * (hi - lo)
+        acq = ExpectedImprovement(ctx.model, ctx.best_f)
+        return self._maximize(acq, box, ctx)
+
+    def get_state(self) -> dict:
+        return {
+            "cursor": int(self.cursor),
+            "boxes": [b.tolist() for b in self.boxes],
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.cursor = int(state["cursor"])
+        self.boxes = [
+            np.asarray(b, dtype=np.float64) for b in state["boxes"]
+        ]
+
+
+class FailingArm(Arm):
+    """An arm whose every proposal raises — chaos-testing only.
+
+    The portfolio smoke/CI injects it to prove that a persistently sick
+    arm is quarantined by the allocator while the run still converges
+    with zero lost evaluations.
+    """
+
+    name = "failing"
+
+    def propose(self, ctx: ArmContext) -> np.ndarray:
+        raise RuntimeError("injected arm failure (FailingArm)")
+
+
+#: Name -> class for every selectable arm.
+ARM_TYPES: dict[str, type[Arm]] = {
+    cls.name: cls
+    for cls in (KBArm, MicArm, TuRBOArm, BSPArm, RandomArm, FailingArm)
+}
+
+
+def make_arm(name: str, problem, acq_options: dict | None = None, **kwargs) -> Arm:
+    """Instantiate an arm by name."""
+    key = str(name).strip().lower()
+    if key not in ARM_TYPES:
+        raise ConfigurationError(
+            f"unknown arm {name!r}; available: {sorted(ARM_TYPES)}"
+        )
+    return ARM_TYPES[key](problem, acq_options, **kwargs)

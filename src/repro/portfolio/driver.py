@@ -1,0 +1,520 @@
+"""Completion-driven asynchronous optimization over a portfolio of arms.
+
+The batch-synchronous drivers in :mod:`repro.core` idle every worker
+whenever one evaluation straggles; the async driver fixed that for a
+*single* acquisition strategy. This driver goes the rest of the way
+(ROADMAP open item 3): the instant any worker frees,
+
+1. the :class:`~repro.portfolio.allocator.BanditAllocator` picks which
+   **arm** proposes, based on sliding-window improvement credit;
+2. the chosen arm proposes one candidate on a surrogate extended with
+   **fantasies** over every in-flight evaluation
+   (:mod:`repro.portfolio.fantasy`: constant-liar, Kriging Believer, or
+   randomized KB);
+3. the candidate is dispatched immediately — no batch barrier, ever.
+
+Completions feed improvement credit back to the proposing arm, so
+workers drift toward whichever strategy is currently producing
+improvement — TuRBO on the benchmarks, mic on the plant, random when
+the model layer is sick — instead of committing to one method for the
+whole run (the paper's "no single winner" finding, turned into a
+scheduler).
+
+Resilience wiring: every arm decision, completion, quarantine, and
+degradation is journaled; the allocator's counters plus the driver RNG
+are snapshotted into periodic ``portfolio_state`` events, so a killed
+run's allocation sequence replays bit-identically from the journal
+(same contract as PR-1 checkpoint/resume). A persistently failing arm
+is quarantined by the allocator — the
+:class:`~repro.core.supervision.CycleSupervisor` policy applied per arm
+— while its freed slot degrades to a random in-bounds candidate, never
+an idle worker or a lost evaluation.
+
+Observability wiring: ``portfolio.dispatch`` / ``portfolio.refit``
+spans, per-arm dispatch/completion/credit counters, and per-worker
+busy/idle virtual-clock accounting (the PR-4 scheme), so portfolio
+speedups are attributable in ``bench_portfolio.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.doe import latin_hypercube
+from repro.gp import GaussianProcess
+from repro.gp.safe_fit import safe_fit
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import trace_span
+from repro.portfolio.allocator import BanditAllocator
+from repro.portfolio.arms import DEFAULT_ARMS, ArmContext, make_arm
+from repro.portfolio.fantasy import check_fantasy_mode, fantasy_values
+from repro.util import (
+    ConfigurationError,
+    ModelError,
+    RandomState,
+    as_generator,
+    capture_rng,
+)
+
+#: Inner-optimization defaults (match the async driver).
+_ACQ_DEFAULTS = {"n_restarts": 4, "raw_samples": 256, "maxiter": 50}
+_GP_DEFAULTS = {"n_restarts": 1, "maxiter": 50}
+
+
+@dataclass
+class PortfolioDispatchRecord:
+    """One arm-attributed asynchronous dispatch."""
+
+    index: int
+    arm: str
+    t_dispatch: float
+    t_finish: float
+    worker: int
+    acq_time: float
+    fit_time: float
+    best_value: float  # running best at dispatch time (native)
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one portfolio run."""
+
+    problem: str
+    n_workers: int
+    budget: float
+    maximize: bool
+    fantasy: str
+    arm_names: list[str]
+    best_x: np.ndarray
+    best_value: float
+    initial_best: float
+    n_initial: int
+    n_simulations: int
+    elapsed: float
+    busy_virtual_s: float
+    idle_virtual_s: float
+    arm_stats: dict = field(default_factory=dict)
+    history: list[PortfolioDispatchRecord] = field(default_factory=list)
+
+    @property
+    def trajectory(self) -> np.ndarray:
+        return np.asarray([rec.best_value for rec in self.history])
+
+    @property
+    def busy_share(self) -> float:
+        """Fraction of worker-seconds spent simulating (vs idling)."""
+        total = self.busy_virtual_s + self.idle_virtual_s
+        return self.busy_virtual_s / total if total > 0 else 0.0
+
+    @property
+    def idle_share(self) -> float:
+        return 1.0 - self.busy_share
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (trajectory included, per-point x omitted)."""
+        return {
+            "problem": self.problem,
+            "n_workers": self.n_workers,
+            "budget": self.budget,
+            "maximize": self.maximize,
+            "fantasy": self.fantasy,
+            "arm_names": list(self.arm_names),
+            "best_x": np.asarray(self.best_x).tolist(),
+            "best_value": self.best_value,
+            "initial_best": self.initial_best,
+            "n_initial": self.n_initial,
+            "n_simulations": self.n_simulations,
+            "elapsed": self.elapsed,
+            "busy_virtual_s": self.busy_virtual_s,
+            "idle_virtual_s": self.idle_virtual_s,
+            "busy_share": self.busy_share,
+            "idle_share": self.idle_share,
+            "arm_stats": self.arm_stats,
+            "trajectory": self.trajectory.tolist(),
+            "dispatch_arms": [rec.arm for rec in self.history],
+        }
+
+
+def run_portfolio_optimization(
+    problem,
+    n_workers: int,
+    budget: float,
+    *,
+    arms=DEFAULT_ARMS,
+    allocator_options: dict | None = None,
+    fantasy: str = "kb",
+    rkb_scale: float = 1.0,
+    n_initial: int | None = None,
+    refit_every: int = 1,
+    time_scale: float = 1.0,
+    seed: RandomState = None,
+    gp_options: dict | None = None,
+    acq_options: dict | None = None,
+    max_dispatches: int = 100_000,
+    journal=None,
+    on_nonfinite: str = "impute",
+    sim_time_fn=None,
+    checkpoint_every: int = 1,
+) -> PortfolioResult:
+    """Completion-driven portfolio BO under a virtual wall-clock budget.
+
+    Parameters beyond :func:`repro.core.run_async_optimization`:
+
+    arms:
+        Arm names (see :data:`repro.portfolio.arms.ARM_TYPES`) or
+        pre-built :class:`~repro.portfolio.arms.Arm` instances.
+    allocator_options:
+        Overrides for :class:`~repro.portfolio.allocator.BanditAllocator`
+        (window, rule, temperature, exploration_floor, max_sick,
+        quarantine, ...).
+    fantasy:
+        In-flight fantasy strategy: ``kb`` | ``randomized_kb`` |
+        ``constant_liar`` (:mod:`repro.portfolio.fantasy`).
+    rkb_scale:
+        Perturbation scale of ``randomized_kb``.
+    sim_time_fn:
+        Optional ``(index, worker, rng) -> seconds`` override of the
+        per-simulation virtual duration (default: ``problem.sim_time``
+        jittered ±5%). The completion-order permutation tests drive
+        this to force arbitrary completion interleavings.
+    checkpoint_every:
+        Journal an allocator+RNG ``portfolio_state`` snapshot every
+        this many completions (0 disables).
+    """
+    from repro.core.driver import NONFINITE_ACTIONS, _guard_nonfinite
+
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if budget <= 0:
+        raise ConfigurationError(f"budget must be positive, got {budget}")
+    if refit_every < 1:
+        raise ConfigurationError(f"refit_every must be >= 1, got {refit_every}")
+    if on_nonfinite not in NONFINITE_ACTIONS:
+        raise ConfigurationError(
+            f"on_nonfinite must be one of {NONFINITE_ACTIONS}, got {on_nonfinite!r}"
+        )
+    fantasy = check_fantasy_mode(fantasy)
+    rng = as_generator(seed)
+    gp_opts = {**_GP_DEFAULTS, **(gp_options or {})}
+    acq_opts = {**_ACQ_DEFAULTS, **(acq_options or {})}
+    sign = -1.0 if problem.maximize else 1.0
+    metrics = get_metrics()
+
+    arm_objs = [
+        a if hasattr(a, "propose") else make_arm(a, problem, acq_opts)
+        for a in arms
+    ]
+    allocator = BanditAllocator(
+        [a.name for a in arm_objs], **(allocator_options or {})
+    )
+
+    n0 = n_initial if n_initial is not None else 16 * n_workers
+    if journal is not None:
+        journal.record(
+            "run_started",
+            config={
+                "mode": "portfolio",
+                "problem": problem.name,
+                "dim": int(problem.dim),
+                "sim_time": float(problem.sim_time),
+                "maximize": bool(problem.maximize),
+                "n_workers": int(n_workers),
+                "budget": float(budget),
+                "time_scale": float(time_scale),
+                "seed": seed if isinstance(seed, (int, type(None))) else None,
+                "n_initial": int(n0),
+                "refit_every": int(refit_every),
+                "on_nonfinite": on_nonfinite,
+                "arms": [a.name for a in arm_objs],
+                "fantasy": fantasy,
+                "rkb_scale": float(rkb_scale),
+            },
+        )
+    X = latin_hypercube(n0, problem.bounds, seed=rng)
+    y_raw = sign * np.asarray(problem(X), dtype=np.float64).reshape(-1)
+    X, y = _guard_nonfinite(X, y_raw, None, on_nonfinite, journal=journal)
+    if y.size == 0:
+        raise ConfigurationError(
+            "the entire initial design evaluated non-finite; nothing to model"
+        )
+    if journal is not None:
+        from repro.util import to_jsonable
+
+        journal.record(
+            "initial_design",
+            X=to_jsonable(X),
+            y_raw=to_jsonable(sign * y_raw),
+            y_used=to_jsonable(sign * y),
+        )
+    initial_best = float(sign * np.min(y))
+
+    def _journal_degradations(report, index: int) -> None:
+        if journal is not None:
+            for ev in report.events():
+                journal.record("degradation", index=index, **ev)
+
+    gp = GaussianProcess(dim=problem.dim, input_bounds=problem.bounds)
+    gp, report = safe_fit(
+        gp, X, y,
+        n_restarts=gp_opts["n_restarts"],
+        maxiter=gp_opts["maxiter"],
+        seed=rng,
+    )
+    _journal_degradations(report, 0)
+
+    # Event queue of running simulations:
+    # (finish_time, counter, worker, x, arm_index).
+    now = 0.0
+    pending: list[tuple[float, int, int, np.ndarray, int]] = []
+    counter = 0
+    history: list[PortfolioDispatchRecord] = []
+    n_done = 0
+
+    def sim_duration(index: int, worker: int) -> float:
+        if sim_time_fn is not None:
+            return max(0.0, float(sim_time_fn(index, worker, rng)))
+        if problem.sim_time <= 0:
+            return 0.0
+        return problem.sim_time * float(rng.uniform(0.95, 1.05))
+
+    def _fantasy_model(busy: np.ndarray):
+        """The surrogate extended with fantasies over in-flight points."""
+        if busy.size == 0:
+            return gp
+        y_fant = fantasy_values(
+            gp, busy, y, mode=fantasy, rng=rng, rkb_scale=rkb_scale
+        )
+        return gp.fantasize(busy, y_fant)
+
+    def dispatch(worker: int) -> None:
+        nonlocal now, counter
+        arm_idx = allocator.select(rng)
+        arm = arm_objs[arm_idx]
+        with trace_span(
+            "portfolio.dispatch", index=counter + 1, worker=worker,
+            arm=arm.name,
+        ) as sp:
+            t0 = time.perf_counter()
+            degraded = None
+            try:
+                busy = np.asarray([x for _, _, _, x, _ in pending])
+                model = _fantasy_model(busy)
+                ctx = ArmContext(
+                    problem=problem,
+                    X=X,
+                    y=y,
+                    model=model,
+                    gp=gp,
+                    best_f=float(np.min(y)),
+                    in_flight=busy,
+                    rng=rng,
+                    acq_options=acq_opts,
+                )
+                x_next = np.asarray(arm.propose(ctx), dtype=np.float64).reshape(-1)
+                if x_next.shape[0] != problem.dim or not np.all(
+                    np.isfinite(x_next)
+                ):
+                    raise ModelError(
+                        f"arm {arm.name!r} proposed an invalid candidate"
+                    )
+                x_next = np.clip(x_next, problem.lower, problem.upper)
+                allocator.report_success(arm_idx)
+            except Exception as exc:
+                # A sick arm must not idle the freed worker: the slot
+                # degrades to a random in-bounds candidate and the arm's
+                # health counters absorb the failure.
+                lo, hi = problem.lower, problem.upper
+                x_next = lo + rng.random(problem.dim) * (hi - lo)
+                degraded = f"{type(exc).__name__}: {str(exc)[:200]}"
+                newly_quarantined = allocator.report_failure(arm_idx)
+                if journal is not None:
+                    journal.record(
+                        "degradation",
+                        index=counter + 1,
+                        stage="portfolio",
+                        kind=f"arm_failed:{arm.name}",
+                        action="random_candidate",
+                        detail=degraded,
+                    )
+                    if newly_quarantined:
+                        journal.record(
+                            "arm_quarantined",
+                            arm=arm.name,
+                            t=now,
+                            rounds=allocator.quarantine,
+                        )
+                if metrics.enabled:
+                    metrics.counter(f"portfolio.arm.{arm.name}.failures").inc()
+                    if newly_quarantined:
+                        metrics.counter(
+                            f"portfolio.arm.{arm.name}.quarantines"
+                        ).inc()
+            acq_time = (time.perf_counter() - t0) * time_scale
+            now += acq_time  # the master's selection blocks the timeline
+            dur = sim_duration(counter + 1, worker)
+            finish = now + dur
+            heapq.heappush(pending, (finish, counter, worker, x_next, arm_idx))
+            counter += 1
+            sp.set(acq_s=acq_time, t_dispatch=now, t_finish=finish,
+                   degraded=degraded is not None)
+            if metrics.enabled:
+                metrics.histogram("portfolio.acq_s").observe(acq_time)
+                metrics.counter("portfolio.dispatches_total").inc()
+                metrics.counter(f"portfolio.arm.{arm.name}.dispatches").inc()
+            history.append(
+                PortfolioDispatchRecord(
+                    index=counter,
+                    arm=arm.name,
+                    t_dispatch=now,
+                    t_finish=finish,
+                    worker=worker,
+                    acq_time=acq_time,
+                    fit_time=0.0,
+                    best_value=float(sign * np.min(y)),
+                )
+            )
+            if journal is not None:
+                journal.record(
+                    "dispatch",
+                    index=counter,
+                    worker=worker,
+                    arm=arm.name,
+                    t_dispatch=now,
+                    t_finish=finish,
+                    acq_time=acq_time,
+                    degraded=degraded,
+                    x=x_next.tolist(),
+                )
+
+    # Fill every worker once, then steady-state: one completion -> one
+    # credit update -> one (possibly deferred) refit -> one dispatch.
+    for worker in range(n_workers):
+        if now >= budget or counter >= max_dispatches:
+            break
+        dispatch(worker)
+
+    while pending:
+        finish, _, worker, x_done, arm_idx = heapq.heappop(pending)
+        arm = arm_objs[arm_idx]
+        now = max(now, finish)
+        y_new_raw = sign * np.asarray(
+            problem(x_done[None, :]), dtype=np.float64
+        ).reshape(-1)
+        X_new, y_new = _guard_nonfinite(
+            x_done[None, :],
+            y_new_raw,
+            SimpleNamespace(y=y, gp=gp),
+            on_nonfinite,
+            journal=journal,
+        )
+        n_done += 1
+        best_before = float(np.min(y))
+        improvement = 0.0
+        improved = False
+        if y_new.size:
+            improvement = max(0.0, best_before - float(np.min(y_new)))
+            improved = improvement > 0.0
+        allocator.credit(arm_idx, improvement)
+        arm.observe(x_done, float(y_new[0]) if y_new.size else np.nan, improved)
+        if metrics.enabled:
+            metrics.counter(f"portfolio.arm.{arm.name}.completions").inc()
+            if improvement > 0:
+                metrics.counter(f"portfolio.arm.{arm.name}.credit").inc(
+                    improvement
+                )
+        if journal is not None:
+            journal.record(
+                "completion",
+                index=n_done,
+                worker=worker,
+                arm=arm.name,
+                t=now,
+                y_raw=(sign * y_new_raw).tolist(),
+                y_used=(sign * y_new).tolist(),
+                improvement=improvement,
+            )
+        if checkpoint_every and n_done % checkpoint_every == 0 and journal is not None:
+            journal.record(
+                "portfolio_state",
+                n_done=n_done,
+                allocator=allocator.get_state(),
+                rng=capture_rng(rng),
+            )
+        if y_new.size == 0:  # on_nonfinite="drop" discarded the point
+            if now < budget and counter < max_dispatches:
+                dispatch(worker)
+            continue
+        X = np.vstack([X, X_new])
+        y = np.concatenate([y, y_new])
+
+        t0 = time.perf_counter()
+        with trace_span("portfolio.refit", index=n_done, n_train=X.shape[0]):
+            if n_done % refit_every == 0:
+                gp, report = safe_fit(
+                    gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
+                )
+                _journal_degradations(report, n_done)
+            else:
+                try:
+                    gp.fit(X, y, optimize=False)
+                except ModelError:
+                    gp, report = safe_fit(
+                        gp, X, y, n_restarts=0, maxiter=gp_opts["maxiter"], seed=rng
+                    )
+                    _journal_degradations(report, n_done)
+        fit_time = (time.perf_counter() - t0) * time_scale
+        now += fit_time
+        if history:
+            history[-1].fit_time += fit_time
+
+        if now < budget and counter < max_dispatches:
+            dispatch(worker)
+
+    # Per-worker busy/idle on the virtual timeline (PR-4 accounting):
+    # each dispatch occupied its worker for the simulation's duration;
+    # everything else of the n_workers·elapsed worker-seconds was idle
+    # (waiting on the master's selection/fit or on the drain tail).
+    busy_virtual = float(
+        sum(rec.t_finish - rec.t_dispatch for rec in history)
+    )
+    idle_virtual = max(0.0, n_workers * now - busy_virtual)
+    if metrics.enabled:
+        metrics.counter("portfolio.busy_virtual_s").inc(busy_virtual)
+        metrics.counter("portfolio.idle_virtual_s").inc(idle_virtual)
+
+    best_idx = int(np.argmin(y))
+    stats = allocator.stats()
+    if journal is not None:
+        journal.record(
+            "run_completed",
+            best_x=X[best_idx].tolist(),
+            best_value=float(sign * y[best_idx]),
+            n_simulations=n_done,
+            elapsed=now,
+            busy_virtual_s=busy_virtual,
+            idle_virtual_s=idle_virtual,
+            arm_stats=stats,
+        )
+    return PortfolioResult(
+        problem=problem.name,
+        n_workers=n_workers,
+        budget=float(budget),
+        maximize=problem.maximize,
+        fantasy=fantasy,
+        arm_names=[a.name for a in arm_objs],
+        best_x=X[best_idx].copy(),
+        best_value=float(sign * y[best_idx]),
+        initial_best=initial_best,
+        n_initial=n0,
+        n_simulations=n_done,
+        elapsed=now,
+        busy_virtual_s=busy_virtual,
+        idle_virtual_s=idle_virtual,
+        arm_stats=stats,
+        history=history,
+    )

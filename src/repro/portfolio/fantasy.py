@@ -1,0 +1,108 @@
+"""Fantasy strategies for in-flight evaluations.
+
+Asynchronous proposers must condition on points that are still being
+evaluated, or every freed worker would be sent to the same optimum of
+the current acquisition. The classic fixes assign *fantasy* objective
+values to the in-flight points and temporarily extend the surrogate's
+training set with them:
+
+``constant_liar``
+    Every in-flight point "observes" the same constant (the mean of
+    the real observations) — Ginsbourger's CL(mean). Cheap, model-free,
+    but flattens the posterior equally everywhere.
+``kb``
+    Kriging Believer: the posterior mean at each in-flight point. The
+    surrogate trusts itself; at large q the fantasies collapse the
+    posterior variance along the believed trajectory and consecutive
+    proposals crowd together.
+``randomized_kb``
+    Randomized Kriging Believer (cf. arXiv:2603.01470): the posterior
+    mean plus a scaled joint posterior-sample perturbation,
+    ``mu + scale · (f_sample - mu)``. At ``scale = 0`` this is exactly
+    KB; at ``scale = 1`` each fantasy is a coherent posterior draw, so
+    repeated proposals see *different* plausible futures and the
+    fantasy-collapse at large q disappears (with regret guarantees in
+    the reference).
+
+All values are in the internal **minimization** orientation, like
+everything below the driver boundary. Every strategy falls back to the
+constant liar wherever the model prediction is unavailable or
+non-finite, so a sick surrogate degrades the fantasy, never the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ConfigurationError
+
+#: Recognized fantasy strategies.
+FANTASY_MODES = ("kb", "randomized_kb", "constant_liar")
+
+
+def check_fantasy_mode(mode: str) -> str:
+    """Validate and normalize a fantasy-mode name."""
+    mode = str(mode).strip().lower()
+    if mode not in FANTASY_MODES:
+        raise ConfigurationError(
+            f"fantasy mode must be one of {FANTASY_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def fantasy_values(
+    gp,
+    X_pend: np.ndarray,
+    y_obs: np.ndarray,
+    *,
+    mode: str = "kb",
+    rng: np.random.Generator | None = None,
+    rkb_scale: float = 1.0,
+) -> np.ndarray:
+    """Fantasy objective values (minimization sense) for pending points.
+
+    Parameters
+    ----------
+    gp:
+        The last fitted surrogate, or ``None`` (forces the liar).
+    X_pend:
+        ``(m, d)`` in-flight points needing fantasy values.
+    y_obs:
+        Real observations so far; their mean is the constant liar and
+        the universal fallback.
+    mode:
+        One of :data:`FANTASY_MODES`.
+    rng:
+        Generator consumed by ``randomized_kb`` (one joint posterior
+        sample per call). Required for that mode; unused otherwise, so
+        enabling/disabling the other modes is RNG-neutral.
+    rkb_scale:
+        Perturbation scale of ``randomized_kb`` (0 = plain KB,
+        1 = full posterior draw).
+    """
+    mode = check_fantasy_mode(mode)
+    X_pend = np.asarray(X_pend, dtype=np.float64)
+    liar = float(np.mean(y_obs)) if np.asarray(y_obs).size else 0.0
+    m = X_pend.shape[0]
+    if mode == "constant_liar" or gp is None:
+        return np.full(m, liar)
+    try:
+        mu = np.asarray(
+            gp.predict(X_pend, return_std=False), dtype=np.float64
+        ).reshape(-1)
+    except Exception:
+        return np.full(m, liar)
+    mu = np.where(np.isfinite(mu), mu, liar)
+    if mode == "kb":
+        return mu
+    # randomized_kb: mean + scaled coherent posterior-sample perturbation.
+    if rng is None:
+        raise ConfigurationError("randomized_kb needs an rng")
+    try:
+        sample = np.asarray(
+            gp.sample_f(X_pend, n_samples=1, seed=rng), dtype=np.float64
+        ).reshape(-1)
+    except Exception:
+        return mu  # degraded: plain KB, never a dead dispatch
+    perturbed = mu + float(rkb_scale) * (sample - mu)
+    return np.where(np.isfinite(perturbed), perturbed, mu)

@@ -1,0 +1,203 @@
+"""The portfolio as a registry algorithm (batch ask/tell protocol).
+
+:func:`repro.portfolio.driver.run_portfolio_optimization` is the
+completion-driven home of the portfolio; this module is its adapter to
+every *existing* entry point. :class:`PortfolioOptimizer` speaks the
+:class:`~repro.core.base.BatchOptimizer` protocol, so
+
+- ``make_optimizer("portfolio", ...)`` works everywhere an algorithm
+  name is accepted (CLI single runs, ``run_optimization``, campaigns);
+- the ask/tell service gets a **portfolio session mode** for free: a
+  session created with ``algorithm="portfolio"`` serves each ask slot
+  from a bandit-selected arm, with Kriging-Believer fantasies over the
+  points already chosen for the batch (the engine adds its own
+  fantasies over the in-flight tickets on top).
+
+Credit assignment across the asynchronous boundary uses a proposal
+ledger: each proposed point remembers its arm; ``update()`` matches
+told rows back (same tolerance rule as the strict-update ledger),
+credits the owning arm with the incumbent improvement, and feeds the
+arm's ``observe`` hook. Rows the portfolio never proposed (the initial
+design, supervisor fallbacks) simply earn nobody credit.
+
+All of it — allocator counters, per-arm state, the pending ledger — is
+covered by :meth:`get_state` / :meth:`set_state`, so session
+checkpoints and PR-1 kill/resume stay bit-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import BatchOptimizer, Proposal, _Stopwatch
+from repro.portfolio.allocator import BanditAllocator
+from repro.portfolio.arms import DEFAULT_ARMS, ArmContext, make_arm
+from repro.portfolio.fantasy import check_fantasy_mode, fantasy_values
+from repro.util import RandomState
+
+
+class PortfolioOptimizer(BatchOptimizer):
+    """Bandit portfolio of acquisition arms behind the batch protocol."""
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        problem,
+        n_batch: int,
+        seed: RandomState = None,
+        gp_options: dict | None = None,
+        acq_options: dict | None = None,
+        arms=DEFAULT_ARMS,
+        allocator_options: dict | None = None,
+        fantasy: str = "kb",
+        rkb_scale: float = 1.0,
+    ):
+        super().__init__(problem, n_batch, seed, gp_options, acq_options)
+        self.arms = [
+            a if hasattr(a, "propose") else make_arm(a, problem, self.acq_options)
+            for a in arms
+        ]
+        self.allocator = BanditAllocator(
+            [a.name for a in self.arms], **(allocator_options or {})
+        )
+        self.fantasy = check_fantasy_mode(fantasy)
+        self.rkb_scale = float(rkb_scale)
+        #: Proposed-point -> arm ledger for asynchronous credit
+        #: assignment: ``[{"x": [...], "arm": index}, ...]``.
+        self._arm_ledger: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def propose(self) -> Proposal:
+        gp, fit_time = self._fit_gp()
+        sw = _Stopwatch()
+        batch: list[np.ndarray] = []
+        chosen: list[int] = []
+        with sw:
+            best_f = self.best_f
+            for _ in range(self.n_batch):
+                arm_idx = self.allocator.select(self.rng)
+                arm = self.arms[arm_idx]
+                model = gp
+                if batch:
+                    pend = np.asarray(batch)
+                    y_fant = fantasy_values(
+                        gp, pend, self.y,
+                        mode=self.fantasy, rng=self.rng,
+                        rkb_scale=self.rkb_scale,
+                    )
+                    model = gp.fantasize(pend, y_fant)
+                ctx = ArmContext(
+                    problem=self.problem,
+                    X=self.X,
+                    y=self.y,
+                    model=model,
+                    gp=gp,
+                    best_f=best_f,
+                    in_flight=np.asarray(batch) if batch else
+                    np.empty((0, self.problem.dim)),
+                    rng=self.rng,
+                    acq_options=self.acq_options,
+                )
+                try:
+                    x = np.asarray(
+                        arm.propose(ctx), dtype=np.float64
+                    ).reshape(-1)
+                    if x.shape[0] != self.problem.dim or not np.all(
+                        np.isfinite(x)
+                    ):
+                        raise ValueError(
+                            f"arm {arm.name!r} proposed an invalid candidate"
+                        )
+                    x = np.clip(x, self.problem.lower, self.problem.upper)
+                    self.allocator.report_success(arm_idx)
+                except Exception as exc:
+                    lo, hi = self.problem.lower, self.problem.upper
+                    x = lo + self.rng.random(self.problem.dim) * (hi - lo)
+                    newly = self.allocator.report_failure(arm_idx)
+                    self._degradations.append(
+                        {
+                            "stage": "portfolio",
+                            "kind": f"arm_failed:{arm.name}",
+                            "action": "random_candidate",
+                            "detail": f"{type(exc).__name__}: {str(exc)[:200]}",
+                        }
+                    )
+                    if newly:
+                        self._degradations.append(
+                            {
+                                "stage": "portfolio",
+                                "kind": f"arm_quarantined:{arm.name}",
+                                "action": "quarantine",
+                                "rounds": self.allocator.quarantine,
+                            }
+                        )
+                x = self._dedupe(x, batch)
+                batch.append(x)
+                chosen.append(arm_idx)
+        X = np.asarray(batch)
+        for x, arm_idx in zip(X, chosen):
+            self._arm_ledger.append({"x": x.copy(), "arm": int(arm_idx)})
+        # A bounded ledger: points older than a few batches were either
+        # told (and consumed) or abandoned by the caller.
+        cap = max(64, 16 * self.n_batch)
+        if len(self._arm_ledger) > cap:
+            del self._arm_ledger[: len(self._arm_ledger) - cap]
+        return Proposal(
+            X=X,
+            fit_time=fit_time,
+            acq_time=sw.total,
+            info={
+                "arms": [self.arms[i].name for i in chosen],
+                "quarantined": self.allocator.quarantined(),
+            },
+        )
+
+    # -- credit assignment ----------------------------------------------
+    def _after_update(self, X_new, y_new) -> None:
+        span = self.problem.upper - self.problem.lower
+        tol = 1e-9 * span
+        # Incumbent *before* this update: self.y already includes the
+        # new rows, so strip them for the baseline.
+        n_new = X_new.shape[0]
+        prior = self.y[:-n_new] if self.y.size > n_new else np.empty(0)
+        best_before = float(np.min(prior)) if prior.size else np.inf
+        for row, val in zip(X_new, y_new):
+            hit = None
+            for j, rec in enumerate(self._arm_ledger):
+                if np.all(np.abs(rec["x"] - row) <= tol):
+                    hit = j
+                    break
+            val = float(val)
+            improvement = max(0.0, best_before - val)
+            best_before = min(best_before, val)
+            if hit is None:
+                continue  # not a portfolio proposal (initial design, ...)
+            rec = self._arm_ledger.pop(hit)
+            arm_idx = rec["arm"]
+            self.allocator.credit(arm_idx, improvement)
+            self.arms[arm_idx].observe(row, val, improvement > 0.0)
+
+    # -- checkpointing ---------------------------------------------------
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["allocator"] = self.allocator.get_state()
+        state["arms"] = [arm.get_state() for arm in self.arms]
+        state["arm_ledger"] = [
+            {"x": rec["x"].tolist(), "arm": rec["arm"]}
+            for rec in self._arm_ledger
+        ]
+        return state
+
+    def set_state(self, state: dict) -> None:
+        super().set_state(state)
+        self.allocator.set_state(state["allocator"])
+        for arm, arm_state in zip(self.arms, state["arms"]):
+            arm.set_state(arm_state)
+        self._arm_ledger = [
+            {
+                "x": np.asarray(rec["x"], dtype=np.float64),
+                "arm": int(rec["arm"]),
+            }
+            for rec in state["arm_ledger"]
+        ]

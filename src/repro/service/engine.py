@@ -46,6 +46,7 @@ import numpy as np
 from repro.core import make_optimizer
 from repro.core.driver import NONFINITE_ACTIONS, _guard_nonfinite
 from repro.doe import latin_hypercube, uniform_random
+from repro.portfolio.fantasy import check_fantasy_mode, fantasy_values
 from repro.obs.metrics import get_metrics
 from repro.util import (
     BackpressureError,
@@ -97,9 +98,16 @@ class AskTellEngine:
         Fallback for non-finite told objectives — one of
         ``impute | fantasy | drop | raise`` (driver semantics).
     fantasize:
-        Kriging-Believer fantasies for outstanding points during
-        proposals (default on; meaningless for non-surrogate
-        algorithms, which simply skip it).
+        Fantasies for outstanding points during proposals (default on;
+        meaningless for non-surrogate algorithms, which simply skip it).
+    fantasy:
+        Fantasy strategy for the outstanding points — ``kb``
+        (Kriging Believer, the historical behavior), ``randomized_kb``
+        (mean + scaled posterior-sample perturbation; fixes KB's
+        fantasy collapse at many overlapping asks), or
+        ``constant_liar`` (see :mod:`repro.portfolio.fantasy`).
+    rkb_scale:
+        Perturbation scale of ``randomized_kb`` (0 = plain KB).
     clock:
         Injectable time source for ticket-expiry tests.
     """
@@ -115,6 +123,8 @@ class AskTellEngine:
         max_pending: int | None = None,
         on_nonfinite: str = "impute",
         fantasize: bool = True,
+        fantasy: str = "kb",
+        rkb_scale: float = 1.0,
         algo_options: dict | None = None,
         clock=time.time,
     ):
@@ -146,6 +156,8 @@ class AskTellEngine:
         self.max_pending = None if max_pending is None else int(max_pending)
         self.on_nonfinite = on_nonfinite
         self.fantasize = bool(fantasize)
+        self.fantasy = check_fantasy_mode(fantasy)
+        self.rkb_scale = float(rkb_scale)
         self.clock = clock
         self._sign = -1.0 if problem.maximize else 1.0
 
@@ -157,6 +169,9 @@ class AskTellEngine:
         # overflow candidates, separate from the optimizer's stream so
         # ask traffic does not perturb the algorithm's own RNG.
         self._rng = as_generator(None if seed is None else seed + 1)
+        # Dedicated stream for randomized-KB perturbations, so choosing
+        # the fantasy strategy never shifts the candidate RNG above.
+        self._fantasy_rng = as_generator(None if seed is None else seed + 2)
 
         self._queue: list[np.ndarray] = []  # unissued candidates, FIFO
         self._pending: dict[str, dict] = {}  # ticket -> {x, issued_at, ...}
@@ -213,6 +228,7 @@ class AskTellEngine:
         best = self.best
         return {
             "algorithm": self.optimizer.name,
+            "fantasy": self.fantasy,
             "n_batch": self.n_batch,
             "n_initial": self.n_initial,
             "initialized": self.initialized,
@@ -327,23 +343,22 @@ class AskTellEngine:
         return X_prop
 
     def _fantasy_values(self, X_pend: np.ndarray) -> np.ndarray:
-        """KB fantasy values (internal orientation) for pending points.
+        """Fantasy values (internal orientation) for pending points.
 
-        Posterior mean of the last fitted surrogate where available; the
-        mean observed value (a constant liar) before the first fit or if
-        the prediction comes back non-finite.
+        Dispatches on the configured strategy (``kb`` posterior mean,
+        ``randomized_kb`` mean + scaled posterior-sample perturbation,
+        ``constant_liar`` mean observation); every strategy falls back
+        to the constant liar before the first fit or when predictions
+        come back non-finite.
         """
-        liar = float(np.mean(self.optimizer.y))
-        gp = self.optimizer.gp
-        if gp is None:
-            return np.full(X_pend.shape[0], liar)
-        try:
-            mu = np.asarray(
-                gp.predict(X_pend, return_std=False), dtype=np.float64
-            ).reshape(-1)
-        except Exception:
-            return np.full(X_pend.shape[0], liar)
-        return np.where(np.isfinite(mu), mu, liar)
+        return fantasy_values(
+            self.optimizer.gp,
+            X_pend,
+            self.optimizer.y,
+            mode=self.fantasy,
+            rng=self._fantasy_rng,
+            rkb_scale=self.rkb_scale,
+        )
 
     # -- tell ----------------------------------------------------------
     def tell(self, ticket: str, y: float) -> dict:
@@ -446,6 +461,8 @@ class AskTellEngine:
             "X": to_jsonable(self.optimizer.X),
             "y": to_jsonable(self.optimizer.y),
             "engine_rng": to_jsonable(capture_rng(self._rng)),
+            "fantasy": self.fantasy,
+            "fantasy_rng": to_jsonable(capture_rng(self._fantasy_rng)),
             "queue": to_jsonable(
                 np.vstack(self._queue)
                 if self._queue
@@ -494,6 +511,15 @@ class AskTellEngine:
         if np.asarray(outstanding).size:
             opt.note_proposed(outstanding)
         self._rng = restore_rng(self._rng, from_jsonable(state["engine_rng"]))
+        if state.get("fantasy") is not None and state["fantasy"] != self.fantasy:
+            raise ConfigurationError(
+                f"engine state was taken under fantasy={state['fantasy']!r}, "
+                f"this engine uses {self.fantasy!r}"
+            )
+        if "fantasy_rng" in state:  # absent in pre-portfolio checkpoints
+            self._fantasy_rng = restore_rng(
+                self._fantasy_rng, from_jsonable(state["fantasy_rng"])
+            )
         queue = np.asarray(from_jsonable(state["queue"]), dtype=np.float64)
         self._queue = [row.copy() for row in queue.reshape(-1, self.problem.dim)]
         self._pending = {

@@ -29,7 +29,8 @@ import threading
 import time
 from pathlib import Path
 
-from repro.core import ALGORITHMS
+from repro.core import algorithm_names, is_known_algorithm
+from repro.portfolio.fantasy import check_fantasy_mode
 from repro.resilience.atomic import atomic_write_json
 from repro.service.engine import AskTellEngine
 from repro.util import (
@@ -55,6 +56,8 @@ SPEC_DEFAULTS = {
     "max_pending": None,
     "on_nonfinite": "impute",
     "fantasize": True,
+    "fantasy": "kb",
+    "rkb_scale": 1.0,
 }
 
 #: Session store schema version.
@@ -73,10 +76,10 @@ def validate_spec(payload: dict) -> dict:
         )
     spec = {**SPEC_DEFAULTS, **{k: payload[k] for k in payload if k != "name"}}
     algo = str(spec["algorithm"]).strip().lower().replace(" ", "-")
-    if algo not in ALGORITHMS:
+    if not is_known_algorithm(algo):
         raise ConfigurationError(
             f"unknown algorithm {spec['algorithm']!r}; "
-            f"available: {sorted({c.name for c in ALGORITHMS.values()})}"
+            f"available: {algorithm_names()}"
         )
     spec["algorithm"] = algo
     spec["n_batch"] = int(spec["n_batch"])
@@ -97,6 +100,8 @@ def validate_spec(payload: dict) -> dict:
             f"got {spec['on_nonfinite']!r}"
         )
     spec["fantasize"] = bool(spec["fantasize"])
+    spec["fantasy"] = check_fantasy_mode(spec["fantasy"])
+    spec["rkb_scale"] = float(spec["rkb_scale"])
     return spec
 
 
@@ -125,6 +130,8 @@ def build_engine(spec: dict, clock=time.time) -> AskTellEngine:
         max_pending=spec["max_pending"],
         on_nonfinite=spec["on_nonfinite"],
         fantasize=spec["fantasize"],
+        fantasy=spec["fantasy"],
+        rkb_scale=spec["rkb_scale"],
         clock=clock,
     )
 

@@ -235,3 +235,62 @@ class TestObservabilityFlags:
         for cycle in joined.values():
             assert cycle["journal"]["event"] == "cycle"
             assert cycle["phases"]["evaluate"] >= 0.0
+
+
+class TestPortfolioSubcommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_portfolio_parser
+
+        args = build_portfolio_parser().parse_args([])
+        assert args.problem == "ackley"
+        assert args.workers == 4
+        assert args.fantasy == "kb"
+        assert args.rule == "softmax"
+        assert args.arms is None
+
+    def test_parser_rejects_bad_fantasy(self):
+        from repro.cli import build_portfolio_parser
+
+        with pytest.raises(SystemExit):
+            build_portfolio_parser().parse_args(["--fantasy", "believer"])
+
+    def test_portfolio_run_prints_arm_table(self, tmp_path, capsys):
+        from repro.resilience import read_events
+
+        json_path = tmp_path / "pf.json"
+        journal_path = tmp_path / "pf.jsonl"
+        code = main([
+            "portfolio", "--problem", "sphere", "--dim", "3",
+            "--sim-time", "5", "--workers", "2", "--budget", "30",
+            "--n-initial", "6", "--seed", "0", "--time-scale", "0",
+            "--arms", "kb,random", "--json", str(json_path),
+            "--journal", str(journal_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final best" in out
+        assert "worker time" in out
+        assert "arm " in out  # the per-arm table header
+        data = json.loads(json_path.read_text())
+        assert data["arm_names"] == ["kb", "random"]
+        assert 0.0 <= data["busy_share"] <= 1.0
+        events = read_events(journal_path)
+        assert events[0]["event"] == "run_started"
+        assert events[0]["config"]["mode"] == "portfolio"
+        assert any(e["event"] == "dispatch" for e in events)
+
+    def test_quiet_suppresses_arm_table(self, capsys):
+        code = main([
+            "portfolio", "--problem", "sphere", "--dim", "3",
+            "--sim-time", "5", "--workers", "2", "--budget", "20",
+            "--n-initial", "6", "--time-scale", "0",
+            "--arms", "random", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final best" in out
+        assert "mean credit" not in out
+
+    def test_algorithm_help_lists_portfolio(self):
+        helptext = build_parser().format_help()
+        assert "portfolio" in helptext

@@ -1,0 +1,184 @@
+"""Tests for the bandit allocator over acquisition arms."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio.allocator import BanditAllocator
+from repro.util import ConfigurationError, capture_rng, restore_rng
+
+ARMS = ["kb", "turbo", "random"]
+
+
+class TestConfiguration:
+    def test_needs_arms(self):
+        with pytest.raises(ConfigurationError):
+            BanditAllocator([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            BanditAllocator(["a", "a"])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rule": "greedy"},
+        {"window": 0},
+        {"temperature": 0.0},
+        {"exploration_floor": 1.5},
+        {"max_sick": 0},
+        {"quarantine": -1},
+    ])
+    def test_rejects_bad_options(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BanditAllocator(ARMS, **kwargs)
+
+    def test_index_of(self):
+        alloc = BanditAllocator(ARMS)
+        assert alloc.index_of("turbo") == 1
+        with pytest.raises(ConfigurationError):
+            alloc.index_of("nope")
+
+
+class TestCredit:
+    def test_window_slides(self):
+        alloc = BanditAllocator(ARMS, window=3)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            alloc.credit(0, v)
+        # only the last 3 credits count
+        assert alloc.mean_credit(0) == pytest.approx(4.0)
+        assert alloc.stats()["kb"]["completions"] == 5
+
+    def test_negative_improvement_clamped(self):
+        alloc = BanditAllocator(ARMS)
+        alloc.credit(0, -1.0)
+        assert alloc.mean_credit(0) == 0.0
+
+
+class TestSelection:
+    def test_consumes_exactly_one_draw(self):
+        alloc = BanditAllocator(ARMS)
+        rng = np.random.default_rng(0)
+        ref = np.random.default_rng(0)
+        alloc.select(rng)
+        ref.random()
+        assert rng.random() == ref.random()
+
+    def test_softmax_prefers_credited_arm(self):
+        alloc = BanditAllocator(ARMS, exploration_floor=0.1,
+                                temperature=0.05)
+        for _ in range(20):
+            alloc.credit(1, 1.0)
+        rng = np.random.default_rng(0)
+        picks = [alloc.select(rng) for _ in range(300)]
+        assert picks.count(1) > 200
+
+    def test_exploration_floor_keeps_losers_alive(self):
+        alloc = BanditAllocator(ARMS, exploration_floor=0.5,
+                                temperature=0.01)
+        for _ in range(20):
+            alloc.credit(1, 10.0)
+        rng = np.random.default_rng(0)
+        picks = [alloc.select(rng) for _ in range(600)]
+        for i in range(3):
+            assert picks.count(i) >= 30, (i, picks.count(i))
+
+    def test_ucb_bonus_spreads_initial_picks(self):
+        alloc = BanditAllocator(ARMS, rule="ucb", exploration_floor=0.0)
+        rng = np.random.default_rng(0)
+        picks = [alloc.select(rng) for _ in range(6)]
+        # the sqrt(log t / n) bonus forces round-robin-ish coverage
+        assert set(picks) == {0, 1, 2}
+
+    def test_ucb_exploits_credited_arm(self):
+        alloc = BanditAllocator(ARMS, rule="ucb", exploration_floor=0.0,
+                                ucb_c=0.1)
+        for _ in range(20):
+            alloc.credit(2, 5.0)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            alloc.select(rng)  # burn the cold-start bonus
+        picks = [alloc.select(rng) for _ in range(20)]
+        assert picks.count(2) == 20
+
+
+class TestQuarantine:
+    def test_max_sick_failures_quarantine(self):
+        alloc = BanditAllocator(ARMS, max_sick=3, quarantine=5)
+        assert alloc.report_failure(0) is False
+        assert alloc.report_failure(0) is False
+        assert alloc.report_failure(0) is True  # newly quarantined
+        assert alloc.quarantined() == ["kb"]
+        assert 0 not in alloc.active()
+
+    def test_success_resets_streak(self):
+        alloc = BanditAllocator(ARMS, max_sick=2, quarantine=5)
+        alloc.report_failure(0)
+        alloc.report_success(0)
+        assert alloc.report_failure(0) is False
+        assert alloc.quarantined() == []
+
+    def test_quarantine_ticks_down_per_selection(self):
+        alloc = BanditAllocator(ARMS, max_sick=1, quarantine=2)
+        alloc.report_failure(0)
+        rng = np.random.default_rng(0)
+        picks = [alloc.select(rng) for _ in range(50)]
+        assert 0 not in picks[:2]
+        assert 0 in picks  # back in rotation once the rounds expire
+
+    def test_all_quarantined_still_selects(self):
+        alloc = BanditAllocator(ARMS, max_sick=1, quarantine=1000)
+        for i in range(3):
+            alloc.report_failure(i)
+        rng = np.random.default_rng(0)
+        picks = {alloc.select(rng) for _ in range(60)}
+        assert picks <= {0, 1, 2} and picks
+
+
+class TestCheckpoint:
+    def _exercise(self, alloc, rng, n=40):
+        picks = []
+        for j in range(n):
+            i = alloc.select(rng)
+            picks.append(i)
+            alloc.credit(i, float(rng.random()))
+            if j % 7 == 0:
+                alloc.report_failure(i)
+            else:
+                alloc.report_success(i)
+        return picks
+
+    def test_kill_and_resume_bit_equivalence(self):
+        """Snapshot mid-run, rebuild from JSON, replay: identical picks
+        and identical counters — the PR-1 resume contract applied to
+        the allocator."""
+        alloc = BanditAllocator(ARMS, max_sick=2, quarantine=3)
+        rng = np.random.default_rng(7)
+        self._exercise(alloc, rng, n=25)
+
+        state = alloc.get_state()
+        rng_state = capture_rng(rng)
+
+        live = self._exercise(alloc, rng, n=30)
+
+        resumed = BanditAllocator(ARMS, max_sick=2, quarantine=3)
+        resumed.set_state(state)
+        rng2 = restore_rng(np.random.default_rng(0), rng_state)
+        replay = self._exercise(resumed, rng2, n=30)
+
+        assert replay == live
+        assert resumed.get_state() == alloc.get_state()
+        assert resumed.stats() == alloc.stats()
+
+    def test_state_roundtrips_through_json(self):
+        import json
+
+        alloc = BanditAllocator(ARMS)
+        self._exercise(alloc, np.random.default_rng(1), n=15)
+        blob = json.dumps(alloc.get_state())
+        other = BanditAllocator(ARMS)
+        other.set_state(json.loads(blob))
+        assert other.get_state() == alloc.get_state()
+
+    def test_rejects_mismatched_arms(self):
+        alloc = BanditAllocator(ARMS)
+        other = BanditAllocator(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            other.set_state(alloc.get_state())

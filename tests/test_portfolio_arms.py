@@ -1,0 +1,193 @@
+"""Tests for the acquisition-arm abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio.arms import (
+    ARM_TYPES,
+    DEFAULT_ARMS,
+    ArmContext,
+    BSPArm,
+    FailingArm,
+    MicArm,
+    TuRBOArm,
+    make_arm,
+)
+from repro.problems import get_benchmark
+from repro.util import ConfigurationError
+
+FAST_ACQ = {"n_restarts": 2, "raw_samples": 32, "maxiter": 15}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return get_benchmark("sphere", dim=3, sim_time=0.0)
+
+
+@pytest.fixture(scope="module")
+def armdata(problem):
+    from repro.gp import GaussianProcess
+
+    rng = np.random.default_rng(0)
+    lo, hi = problem.lower, problem.upper
+    X = lo + rng.random((20, 3)) * (hi - lo)
+    y = np.asarray(problem(X), dtype=np.float64)
+    gp = GaussianProcess(dim=3, input_bounds=problem.bounds)
+    gp.fit(X, y, n_restarts=0, maxiter=30, seed=0)
+    return X, y, gp
+
+
+def _ctx(problem, armdata, seed=0, model="gp"):
+    X, y, gp = armdata
+    return ArmContext(
+        problem=problem,
+        X=X,
+        y=y,
+        model=gp if model == "gp" else None,
+        gp=gp if model == "gp" else None,
+        best_f=float(np.min(y)),
+        in_flight=np.empty((0, 3)),
+        rng=np.random.default_rng(seed),
+        acq_options=FAST_ACQ,
+    )
+
+
+class TestProposals:
+    @pytest.mark.parametrize("name", DEFAULT_ARMS)
+    def test_in_bounds(self, problem, armdata, name):
+        arm = make_arm(name, problem, FAST_ACQ)
+        x = arm.propose(_ctx(problem, armdata))
+        assert x.shape == (3,)
+        assert np.all(x >= problem.lower) and np.all(x <= problem.upper)
+        assert np.all(np.isfinite(x))
+
+    @pytest.mark.parametrize("name", DEFAULT_ARMS)
+    def test_degraded_model_still_proposes(self, problem, armdata, name):
+        """model=None (sick surrogate) must yield a valid candidate."""
+        arm = make_arm(name, problem, FAST_ACQ)
+        x = arm.propose(_ctx(problem, armdata, model=None))
+        assert np.all(x >= problem.lower) and np.all(x <= problem.upper)
+
+    def test_make_arm_unknown(self, problem):
+        with pytest.raises(ConfigurationError):
+            make_arm("gradient-descent", problem)
+
+    def test_failing_arm_raises(self, problem, armdata):
+        with pytest.raises(RuntimeError):
+            FailingArm(problem).propose(_ctx(problem, armdata))
+
+    def test_registry_covers_defaults(self):
+        assert set(DEFAULT_ARMS) <= set(ARM_TYPES)
+
+
+class TestMicRotation:
+    def test_alternates_criteria(self, problem, armdata):
+        arm = MicArm(problem, FAST_ACQ)
+        assert arm.k == 0
+        arm.propose(_ctx(problem, armdata))
+        arm.propose(_ctx(problem, armdata))
+        assert arm.k == 2
+
+    def test_state_roundtrip(self, problem):
+        arm = MicArm(problem, FAST_ACQ)
+        arm.k = 5
+        other = MicArm(problem, FAST_ACQ)
+        other.set_state(arm.get_state())
+        assert other.k == 5
+
+
+class TestTuRBODynamics:
+    def test_doubles_after_successes(self, problem):
+        arm = TuRBOArm(problem, FAST_ACQ, succ_tol=3)
+        L0 = arm.length
+        for _ in range(3):
+            arm.observe(np.zeros(3), 0.0, improved=True)
+        assert arm.length == pytest.approx(2 * L0)
+
+    def test_halves_after_failures(self, problem):
+        arm = TuRBOArm(problem, FAST_ACQ, fail_tol=4)
+        L0 = arm.length
+        for _ in range(4):
+            arm.observe(np.zeros(3), 0.0, improved=False)
+        assert arm.length == pytest.approx(L0 / 2)
+
+    def test_restart_below_min(self, problem):
+        arm = TuRBOArm(problem, FAST_ACQ, fail_tol=1)
+        for _ in range(30):
+            arm.observe(np.zeros(3), 0.0, improved=False)
+        assert arm.n_restarts_done >= 1
+        assert arm.length >= arm.length_min
+
+    def test_trust_region_inside_domain(self, problem, armdata):
+        X, y, gp = armdata
+        arm = TuRBOArm(problem, FAST_ACQ)
+        center = X[int(np.argmin(y))]
+        bounds = arm._bounds(gp, center)
+        assert np.all(bounds[:, 0] >= problem.lower)
+        assert np.all(bounds[:, 1] <= problem.upper)
+        assert np.all(bounds[:, 1] > bounds[:, 0])
+
+    def test_state_roundtrip(self, problem):
+        arm = TuRBOArm(problem, FAST_ACQ)
+        arm.length, arm.n_succ, arm.n_fail = 0.4, 2, 1
+        arm.n_restarts_done = 3
+        other = TuRBOArm(problem, FAST_ACQ)
+        other.set_state(arm.get_state())
+        assert (other.length, other.n_succ, other.n_fail,
+                other.n_restarts_done) == (0.4, 2, 1, 3)
+
+    def test_missing_state_key_rejected(self, problem):
+        with pytest.raises(ConfigurationError):
+            TuRBOArm(problem, FAST_ACQ).set_state({"length": 0.8})
+
+
+class TestBSPPartition:
+    def test_boxes_partition_domain(self, problem):
+        arm = BSPArm(problem, FAST_ACQ, n_regions=8)
+        vol = sum(float(np.prod(b[:, 1] - b[:, 0])) for b in arm.boxes)
+        span = float(np.prod(problem.upper - problem.lower))
+        assert vol == pytest.approx(span)
+        assert len(arm.boxes) == 8
+
+    def test_improvement_splits_owning_box(self, problem):
+        arm = BSPArm(problem, FAST_ACQ, n_regions=4)
+        n0 = len(arm.boxes)
+        x = arm.boxes[0].mean(axis=1)
+        arm.observe(x, 0.0, improved=True)
+        assert len(arm.boxes) == n0 + 1
+
+    def test_split_capped_at_max_regions(self, problem):
+        arm = BSPArm(problem, FAST_ACQ, n_regions=4, max_regions=4)
+        arm.observe(arm.boxes[0].mean(axis=1), 0.0, improved=True)
+        assert len(arm.boxes) == 4
+
+    def test_cursor_rotates(self, problem, armdata):
+        arm = BSPArm(problem, FAST_ACQ, n_regions=4)
+        ctx = _ctx(problem, armdata, model=None)
+        assert arm.cursor == 0
+        arm.propose(ctx)
+        arm.propose(ctx)
+        assert arm.cursor == 2
+
+    def test_state_roundtrip_through_json(self, problem):
+        import json
+
+        arm = BSPArm(problem, FAST_ACQ, n_regions=8)
+        arm.cursor = 3
+        blob = json.dumps(arm.get_state())
+        other = BSPArm(problem, FAST_ACQ, n_regions=2)
+        other.set_state(json.loads(blob))
+        assert other.cursor == 3
+        assert len(other.boxes) == len(arm.boxes)
+        for a, b in zip(other.boxes, arm.boxes):
+            assert np.array_equal(a, b)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", DEFAULT_ARMS)
+    def test_same_rng_state_same_proposal(self, problem, armdata, name):
+        a = make_arm(name, problem, FAST_ACQ)
+        b = make_arm(name, problem, FAST_ACQ)
+        xa = a.propose(_ctx(problem, armdata, seed=42))
+        xb = b.propose(_ctx(problem, armdata, seed=42))
+        assert np.array_equal(xa, xb)

@@ -1,0 +1,209 @@
+"""Tests for the completion-driven portfolio driver."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio import run_portfolio_optimization
+from repro.portfolio.arms import FailingArm
+from repro.problems import CountingProblem, get_benchmark
+from repro.resilience import RunJournal
+from repro.util import ConfigurationError
+
+FAST = {
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15},
+}
+
+
+def _run(budget=60.0, n_workers=3, arms=("kb", "random"), **kwargs):
+    problem = kwargs.pop("problem", None) or get_benchmark(
+        "sphere", dim=3, sim_time=10.0
+    )
+    return run_portfolio_optimization(
+        problem, n_workers, budget, arms=arms, n_initial=8, seed=0,
+        time_scale=0.0, **FAST, **kwargs,
+    )
+
+
+class TestSteadyState:
+    def test_result_basics(self):
+        res = _run()
+        assert res.n_workers == 3
+        assert res.n_initial == 8
+        assert res.n_simulations > 0
+        assert res.best_value <= res.initial_best
+        assert set(res.arm_stats) == {"kb", "random"}
+        assert len(res.trajectory) == len(res.history)
+
+    def test_every_dispatch_attributed_to_an_arm(self):
+        res = _run()
+        names = {rec.arm for rec in res.history}
+        assert names <= {"kb", "random"}
+        total = sum(s["selections"] for s in res.arm_stats.values())
+        assert total == len(res.history)
+
+    def test_busy_idle_accounting(self):
+        res = _run(budget=100.0)
+        assert res.busy_virtual_s > 0
+        assert res.idle_virtual_s >= 0
+        assert res.busy_share + res.idle_share == pytest.approx(1.0)
+        # worker-seconds must add up to n_workers * elapsed (the tail
+        # of the last simulations may run past `elapsed`, so busy can
+        # exceed the product by at most one sim per worker)
+        assert res.busy_virtual_s <= res.n_workers * (res.elapsed + 11.0)
+
+    def test_no_lost_evaluations(self):
+        problem = CountingProblem(
+            get_benchmark("sphere", dim=3, sim_time=10.0)
+        )
+        res = _run(budget=40.0, n_workers=2, problem=problem)
+        assert problem.n_evals == res.n_initial + res.n_simulations
+
+    def test_improves_over_initial(self):
+        res = _run(budget=120.0, arms=("kb", "turbo", "random"))
+        assert res.best_value < res.initial_best
+
+    def test_deterministic_given_seed(self):
+        a = _run(budget=50.0)
+        b = _run(budget=50.0)
+        assert np.array_equal(a.best_x, b.best_x)
+        assert [r.arm for r in a.history] == [r.arm for r in b.history]
+        assert np.array_equal(a.trajectory, b.trajectory)
+
+    def test_fantasy_modes_run(self):
+        for mode, kw in (("constant_liar", {}),
+                         ("randomized_kb", {"rkb_scale": 0.5})):
+            res = _run(budget=40.0, fantasy=mode, **kw)
+            assert res.n_simulations > 0
+            assert res.fantasy == mode
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        blob = json.dumps(_run(budget=40.0).to_dict())
+        assert "arm_stats" in json.loads(blob)
+
+
+class TestCompletionOrderPermutation:
+    """The async contract: *any* completion interleaving yields a valid,
+    internally consistent run — same evaluation conservation, same
+    journal shape — only the schedule differs."""
+
+    @pytest.mark.parametrize("pattern", ["fifo", "lifo", "shuffle"])
+    def test_permuted_completion_orders_stay_consistent(
+        self, pattern, tmp_path
+    ):
+        # sim_time_fn reorders completions: constant -> FIFO; strongly
+        # decreasing -> later dispatches finish first (LIFO-ish);
+        # rng-driven -> arbitrary interleaving.
+        def sim_time_fn(index, worker, rng):
+            if pattern == "fifo":
+                return 10.0
+            if pattern == "lifo":
+                return max(1.0, 30.0 - 2.0 * (index % 14))
+            return float(rng.uniform(1.0, 30.0))
+
+        problem = CountingProblem(
+            get_benchmark("sphere", dim=3, sim_time=10.0)
+        )
+        journal = RunJournal(tmp_path / f"{pattern}.jsonl", fsync=False)
+        res = run_portfolio_optimization(
+            problem, 3, 60.0, arms=("kb", "random"), n_initial=8,
+            seed=0, time_scale=0.0, sim_time_fn=sim_time_fn,
+            journal=journal, **FAST,
+        )
+        events = journal.events()
+        dispatches = [e for e in events if e["event"] == "dispatch"]
+        completions = [e for e in events if e["event"] == "completion"]
+        # conservation: every dispatch completes, exactly once
+        assert len(dispatches) == len(completions) == res.n_simulations
+        assert len({d["index"] for d in dispatches}) == len(dispatches)
+        assert problem.n_evals == res.n_initial + res.n_simulations
+        # the incumbent is the min over everything that completed
+        y_all = [y for c in completions for y in c["y_used"]]
+        assert res.best_value == pytest.approx(
+            min(min(y_all), res.initial_best)
+        )
+        # completions are journaled in nondecreasing virtual time
+        times = [c["t"] for c in completions]
+        assert times == sorted(times)
+
+    def test_orders_actually_differ(self):
+        """Sanity: the LIFO pattern really does invert completion order
+        relative to FIFO (the permutation above is not vacuous)."""
+        orders = {}
+        for pattern, fn in (
+            ("fifo", lambda i, w, r: 10.0),
+            ("lifo", lambda i, w, r: max(1.0, 30.0 - 2.0 * (i % 14))),
+        ):
+            res = _run(budget=60.0, sim_time_fn=fn)
+            orders[pattern] = [rec.index for rec in res.history]
+        assert orders["fifo"] != orders["lifo"]
+
+
+class TestFailingArmQuarantine:
+    def test_failing_arm_quarantined_run_converges(self, tmp_path):
+        problem = CountingProblem(
+            get_benchmark("sphere", dim=3, sim_time=10.0)
+        )
+        journal = RunJournal(tmp_path / "chaos.jsonl", fsync=False)
+        failing = FailingArm(problem)
+        res = run_portfolio_optimization(
+            problem, 3, 80.0,
+            arms=("kb", "random", failing),
+            allocator_options={"max_sick": 2, "quarantine": 6},
+            n_initial=8, seed=0, time_scale=0.0, journal=journal, **FAST,
+        )
+        stats = res.arm_stats["failing"]
+        assert stats["failures"] > 0
+        assert stats["quarantines"] >= 1
+        # zero lost evaluations: the degraded slots still evaluated
+        assert problem.n_evals == res.n_initial + res.n_simulations
+        assert res.best_value < res.initial_best
+        events = journal.events()
+        assert any(e["event"] == "arm_quarantined" for e in events)
+        assert any(
+            e["event"] == "degradation"
+            and str(e.get("kind", "")).startswith("arm_failed:failing")
+            for e in events
+        )
+
+    def test_allocator_checkpoints_in_journal(self, tmp_path):
+        """portfolio_state events carry allocator counters + RNG; the
+        final snapshot must reconstruct the run's end-state bit-exactly
+        (the kill/resume contract for the allocator)."""
+        from repro.portfolio.allocator import BanditAllocator
+
+        journal = RunJournal(tmp_path / "ckpt.jsonl", fsync=False)
+        res = _run(budget=50.0, journal=journal, checkpoint_every=1)
+        snaps = [
+            e for e in journal.events() if e["event"] == "portfolio_state"
+        ]
+        assert len(snaps) == res.n_simulations
+        final = snaps[-1]
+        assert "rng" in final
+        resumed = BanditAllocator(["kb", "random"])
+        resumed.set_state(final["allocator"])
+        assert resumed.stats() == res.arm_stats
+
+
+class TestConfiguration:
+    def test_invalid_workers(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_portfolio_optimization(problem, 0, 10.0)
+
+    def test_invalid_budget(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_portfolio_optimization(problem, 2, 0.0)
+
+    def test_unknown_arm(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_portfolio_optimization(problem, 2, 10.0, arms=("nope",))
+
+    def test_unknown_fantasy(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        with pytest.raises(ConfigurationError):
+            run_portfolio_optimization(problem, 2, 10.0, fantasy="liar")

@@ -1,0 +1,122 @@
+"""Tests for in-flight fantasy strategies (and their engine wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio.fantasy import (
+    FANTASY_MODES,
+    check_fantasy_mode,
+    fantasy_values,
+)
+from repro.problems import get_benchmark
+from repro.service.engine import AskTellEngine
+from repro.util import ConfigurationError
+
+
+class _BrokenGP:
+    def predict(self, X, return_std=False):
+        raise RuntimeError("sick model")
+
+
+class TestModeValidation:
+    def test_normalizes(self):
+        assert check_fantasy_mode(" KB ") == "kb"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            check_fantasy_mode("believer")
+
+    def test_modes_cover_issue_triple(self):
+        assert set(FANTASY_MODES) == {"kb", "randomized_kb", "constant_liar"}
+
+
+class TestFantasyValues:
+    def test_constant_liar_is_mean(self, fitted_gp):
+        gp, X, y = fitted_gp
+        out = fantasy_values(gp, X[:4], y, mode="constant_liar")
+        assert np.allclose(out, np.mean(y))
+
+    def test_kb_is_posterior_mean(self, fitted_gp):
+        gp, X, y = fitted_gp
+        X_pend = np.random.default_rng(0).random((5, 3))
+        out = fantasy_values(gp, X_pend, y, mode="kb")
+        assert np.allclose(out, gp.predict(X_pend, return_std=False))
+
+    def test_none_gp_falls_back_to_liar(self):
+        y = np.array([1.0, 3.0])
+        out = fantasy_values(None, np.zeros((2, 3)), y, mode="kb")
+        assert np.allclose(out, 2.0)
+
+    def test_broken_gp_falls_back_to_liar(self):
+        y = np.array([1.0, 3.0])
+        out = fantasy_values(_BrokenGP(), np.zeros((2, 3)), y, mode="kb")
+        assert np.allclose(out, 2.0)
+
+    def test_randomized_kb_requires_rng(self, fitted_gp):
+        gp, X, y = fitted_gp
+        with pytest.raises(ConfigurationError):
+            fantasy_values(gp, X[:2], y, mode="randomized_kb")
+
+    def test_randomized_kb_scale_zero_is_kb(self, fitted_gp):
+        gp, X, y = fitted_gp
+        X_pend = np.random.default_rng(0).random((4, 3))
+        rkb = fantasy_values(gp, X_pend, y, mode="randomized_kb",
+                             rng=np.random.default_rng(1), rkb_scale=0.0)
+        kb = fantasy_values(gp, X_pend, y, mode="kb")
+        assert np.allclose(rkb, kb)
+
+    def test_randomized_kb_perturbs_and_is_seeded(self, fitted_gp):
+        gp, X, y = fitted_gp
+        X_pend = np.random.default_rng(0).random((4, 3))
+        a = fantasy_values(gp, X_pend, y, mode="randomized_kb",
+                           rng=np.random.default_rng(1), rkb_scale=1.0)
+        b = fantasy_values(gp, X_pend, y, mode="randomized_kb",
+                           rng=np.random.default_rng(1), rkb_scale=1.0)
+        kb = fantasy_values(gp, X_pend, y, mode="kb")
+        assert np.array_equal(a, b)  # same rng state, same fantasies
+        assert not np.allclose(a, kb)  # genuinely perturbed
+        assert np.all(np.isfinite(a))
+
+
+def _engine(mode, seed=0):
+    return AskTellEngine(
+        get_benchmark("sphere", dim=3, sim_time=0.0),
+        algorithm="kb-q-ego", n_batch=2, seed=seed, n_initial=6,
+        fantasy=mode,
+    )
+
+
+class TestEngineWiring:
+    @pytest.mark.parametrize("mode", FANTASY_MODES)
+    def test_ask_tell_under_each_mode(self, mode):
+        eng = _engine(mode)
+        t1 = eng.ask(1)[0]
+        t2 = eng.ask(1)[0]  # overlapping ask exercises the fantasies
+        assert not np.array_equal(t1["x"], t2["x"])
+        eng.tell(t1["ticket"], 1.0)
+        eng.tell(t2["ticket"], 2.0)
+        assert eng.status()["fantasy"] == mode
+
+    def test_state_roundtrip_bit_equal(self):
+        eng = _engine("randomized_kb")
+        eng.ask(1)
+        state = eng.get_state()
+        other = _engine("randomized_kb")
+        other.set_state(state)
+        a = eng.ask(1)[0]
+        b = other.ask(1)[0]
+        assert np.array_equal(a["x"], b["x"])
+
+    def test_mode_mismatch_rejected(self):
+        state = _engine("randomized_kb").get_state()
+        with pytest.raises(ConfigurationError):
+            _engine("kb").set_state(state)
+
+    def test_legacy_state_without_fantasy_restores(self):
+        eng = _engine("kb")
+        state = eng.get_state()
+        state.pop("fantasy", None)
+        state.pop("fantasy_rng", None)
+        other = _engine("kb")
+        other.set_state(state)  # pre-portfolio checkpoints still load
+        assert other.status()["fantasy"] == "kb"

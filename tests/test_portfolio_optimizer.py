@@ -1,0 +1,146 @@
+"""Tests for the portfolio behind the batch ask/tell protocol."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    algorithm_names,
+    is_known_algorithm,
+    make_optimizer,
+    run_optimization,
+)
+from repro.portfolio import PortfolioOptimizer
+from repro.problems import get_benchmark
+
+FAST = {
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15},
+}
+
+
+def _opt(n_batch=3, seed=0, **kwargs):
+    problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+    return problem, PortfolioOptimizer(
+        problem, n_batch, seed=seed, arms=("kb", "random"), **FAST, **kwargs
+    )
+
+
+def _seed_data(problem, opt, n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    lo, hi = problem.lower, problem.upper
+    X = lo + rng.random((n, 3)) * (hi - lo)
+    opt.initialize(X, np.asarray(problem(X), dtype=np.float64))
+
+
+class TestRegistry:
+    def test_portfolio_is_known(self):
+        assert is_known_algorithm("portfolio")
+        assert is_known_algorithm(" Portfolio ")
+        assert "portfolio" in algorithm_names()
+
+    def test_make_optimizer_builds_portfolio(self):
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        opt = make_optimizer("portfolio", problem, 2, seed=0, **FAST)
+        assert isinstance(opt, PortfolioOptimizer)
+        assert opt.name == "portfolio"
+
+
+class TestProtocol:
+    def test_propose_batch_in_bounds(self):
+        problem, opt = _opt()
+        _seed_data(problem, opt)
+        prop = opt.propose()
+        assert prop.X.shape == (3, 3)
+        assert np.all(prop.X >= problem.lower)
+        assert np.all(prop.X <= problem.upper)
+        assert len(prop.info["arms"]) == 3
+        assert set(prop.info["arms"]) <= {"kb", "random"}
+
+    def test_update_credits_proposing_arm(self):
+        problem, opt = _opt()
+        _seed_data(problem, opt)
+        prop = opt.propose()
+        # force a large improvement on every proposed row
+        y = np.full(prop.X.shape[0], float(np.min(opt.y)) - 5.0)
+        opt.update(prop.X, y)
+        stats = opt.allocator.stats()
+        assert sum(s["completions"] for s in stats.values()) == 3
+        assert sum(s["total_credit"] for s in stats.values()) > 0
+        assert not opt._arm_ledger  # every row matched and was consumed
+
+    def test_foreign_rows_earn_no_credit(self):
+        problem, opt = _opt()
+        _seed_data(problem, opt)
+        opt.propose()
+        foreign = np.full((1, 3), 2.0)
+        opt.update(foreign, np.asarray([1.0]))
+        stats = opt.allocator.stats()
+        assert sum(s["completions"] for s in stats.values()) == 0
+        assert len(opt._arm_ledger) == 3  # untouched
+
+    def test_runs_under_sync_driver(self):
+        problem, opt = _opt(n_batch=2)
+        res = run_optimization(problem, opt, 60.0, n_initial=8,
+                               time_scale=0.0, seed=0)
+        assert res.algorithm == "portfolio"
+        assert res.n_simulations > 0
+        assert res.best_value <= res.initial_best
+
+
+class TestCheckpoint:
+    def test_state_roundtrip_bit_equal_propose(self):
+        problem, opt = _opt()
+        _seed_data(problem, opt)
+        opt.propose()
+        state = json.loads(json.dumps(opt.get_state()))
+
+        problem2, opt2 = _opt()
+        _seed_data(problem2, opt2)  # (X, y) travel outside the snapshot
+        opt2.set_state(state)
+        a = opt.propose()
+        b = opt2.propose()
+        assert np.array_equal(a.X, b.X)
+        assert a.info["arms"] == b.info["arms"]
+
+    def test_state_covers_allocator_and_ledger(self):
+        problem, opt = _opt()
+        _seed_data(problem, opt)
+        opt.propose()
+        state = opt.get_state()
+        assert state["allocator"]["total"] == 3
+        assert len(state["arm_ledger"]) == 3
+
+
+class TestEngineSession:
+    def test_ask_tell_with_portfolio_algorithm(self):
+        from repro.service.engine import AskTellEngine
+
+        eng = AskTellEngine(
+            get_benchmark("sphere", dim=3, sim_time=0.0),
+            algorithm="portfolio", n_batch=2, seed=0, n_initial=6,
+        )
+        t1 = eng.ask(1)[0]
+        t2 = eng.ask(1)[0]
+        eng.tell(t1["ticket"], 1.0)
+        out = eng.tell(t2["ticket"], 2.0)
+        assert out["status"] == "accepted"
+        assert eng.status()["algorithm"] == "portfolio"
+
+    def test_portfolio_session_checkpoint_roundtrip(self, tmp_path):
+        from repro.service.sessions import SessionManager
+
+        mgr = SessionManager(store_dir=tmp_path, fsync=False)
+        s = mgr.create("p", {"problem": "sphere", "dim": 3,
+                             "algorithm": "portfolio", "n_batch": 2,
+                             "n_initial": 6})
+        t = s.engine.ask(1)[0]
+        s.engine.tell(t["ticket"], 4.0)
+        mgr.persist("p")
+
+        mgr2 = SessionManager(store_dir=tmp_path, fsync=False)
+        s2 = mgr2.get("p")
+        a = s.engine.ask(1)[0]
+        b = s2.engine.ask(1)[0]
+        assert np.array_equal(a["x"], b["x"])
