@@ -1,0 +1,363 @@
+"""Load + chaos harness for the sharded ask/tell fleet.
+
+Drives a :class:`~repro.service.fleet.FleetSupervisor` (real shard
+subprocesses behind the front-door router) with concurrent ask/tell
+load threads, injects one fault mid-run, and publishes
+``BENCH_service.json`` with throughput and p50/p99 ask latency split
+into *before* / *during* / *after* failover windows, the measured
+recovery time, and the per-session ticket ledger proving **zero
+tickets were lost** across the fault.
+
+Fault modes (``--fault``):
+
+- ``sigkill`` — SIGKILL the shard owning the first session while that
+  session provably has tickets in flight; the supervisor must detect
+  the death, respawn the shard, and the restarted process must recover
+  every session (pending ledger included) from its checkpoints;
+- ``slow``    — SIGSTOP the same shard (alive-but-unresponsive) for a
+  few heartbeats, then SIGCONT; the supervisor marks it suspect/dead
+  and traffic resumes;
+- ``none``    — pure load baseline (windows split by thirds).
+
+Zero-lost criterion, per session, checked after a drain phase that
+ask+tells until nothing is pending::
+
+    asks == tells + requeues   and   n_pending == 0
+
+Usage (the CI ``fleet-chaos`` job runs the small default)::
+
+    PYTHONPATH=src python scripts/service_load.py \
+        --shards 2 --sessions 2 --load-threads 4 --phase-s 5 \
+        --fault sigkill --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.service import FleetSupervisor, ServiceClient, ServiceClientError
+from repro.service.client import CircuitOpenError
+
+
+def percentile(values, q: float) -> float:
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+class LoadThread(threading.Thread):
+    """One closed-loop client: ask → evaluate (sphere) → tell, forever.
+
+    Every op is recorded as ``(t_done, ask_latency_s | None, ok)`` so
+    the harness can window the series around the fault afterwards. A
+    failed ask (breaker open, shed, shard down past retries) is an
+    error sample; a ticket whose tell ultimately fails stays pending on
+    the shard and is recovered by the expiry sweep — the ledger check
+    at the end accounts for it as a requeue, not a loss.
+    """
+
+    def __init__(self, url: str, sessions: list[str], stop: threading.Event,
+                 seed: int):
+        super().__init__(daemon=True)
+        self.client = ServiceClient(
+            url, timeout=10.0, max_retries=4, backoff=0.1,
+            retry_backpressure=True,
+        )
+        self.sessions = sessions
+        self.stop_event = stop
+        self.rng = np.random.default_rng(seed)
+        self.records: list[tuple[float, float | None, bool]] = []
+
+    def run(self) -> None:
+        i = 0
+        while not self.stop_event.is_set():
+            session = self.sessions[i % len(self.sessions)]
+            i += 1
+            t0 = time.monotonic()
+            try:
+                ticket, x = self.client.ask(session, 1)[0]
+                ask_latency = time.monotonic() - t0
+            except (ServiceClientError, CircuitOpenError, OSError):
+                self.records.append((time.monotonic(), None, False))
+                time.sleep(0.05)
+                continue
+            y = float(np.sum(np.square(x)))
+            try:
+                self.client.tell(session, ticket, y)
+                self.records.append((time.monotonic(), ask_latency, True))
+            except (ServiceClientError, CircuitOpenError, OSError):
+                # Ticket left pending; the expiry sweep will requeue it.
+                self.records.append((time.monotonic(), ask_latency, False))
+                time.sleep(0.05)
+
+
+def window_stats(records, t_from: float, t_to: float) -> dict:
+    ops = [r for r in records if t_from <= r[0] < t_to]
+    lat = [r[1] for r in ops if r[1] is not None and r[2]]
+    span = max(t_to - t_from, 1e-9)
+    return {
+        "n_ops": len(ops),
+        "n_ok": sum(1 for r in ops if r[2]),
+        "n_errors": sum(1 for r in ops if not r[2]),
+        "throughput_ops_s": round(len(ops) / span, 2),
+        "ask_p50_ms": round(percentile(lat, 50) * 1e3, 2),
+        "ask_p99_ms": round(percentile(lat, 99) * 1e3, 2),
+    }
+
+
+def wait_pending(client, session: str, timeout_s: float = 30.0) -> int:
+    """Block until the session holds at least one in-flight ticket."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        n = client.session_status(session)["n_pending"]
+        if n > 0:
+            return n
+        time.sleep(0.1)
+    return 0
+
+
+def drain_session(client, session: str, timeout_s: float = 60.0) -> dict:
+    """Ask+tell until nothing is pending, then return the final status.
+
+    Expired tickets are only swept back into the queue during ask/tell,
+    so polling alone cannot drain — each cycle here both triggers the
+    sweep and resolves one ticket immediately.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.session_status(session)
+        if status["n_pending"] == 0:
+            return status
+        try:
+            ticket, x = client.ask(session, 1)[0]
+            client.tell(session, ticket, float(np.sum(np.square(x))))
+        except (ServiceClientError, CircuitOpenError, OSError):
+            time.sleep(0.25)
+    return client.session_status(session)
+
+
+def recovery_window(supervisor, victim: int, t_fault: float) -> float | None:
+    """Wall seconds from the fault until the victim shard is healthy."""
+    for event in supervisor.events:
+        if (event["kind"] == "healthy" and event["shard"] == victim
+                and event["t"] >= t_fault):
+            return event["t"] - t_fault
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--sessions", type=int, default=2)
+    parser.add_argument("--load-threads", type=int, default=4)
+    parser.add_argument("--phase-s", type=float, default=5.0,
+                        help="seconds of load before the fault and after "
+                             "recovery (the measurement windows)")
+    parser.add_argument("--fault", default="sigkill",
+                        choices=("sigkill", "slow", "none"))
+    parser.add_argument("--slow-s", type=float, default=4.0,
+                        help="SIGSTOP duration for --fault slow")
+    parser.add_argument("--ask-timeout", type=float, default=3.0,
+                        help="session ticket expiry (drives requeue of "
+                             "tickets orphaned by the fault)")
+    parser.add_argument("--heartbeat", type=float, default=0.4)
+    parser.add_argument("--max-missed", type=int, default=2)
+    parser.add_argument("--p99-budget-ms", type=float, default=2000.0,
+                        help="fail if the after-recovery ask p99 exceeds "
+                             "this")
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--store", default=None,
+                        help="fleet store dir (default: fresh tempdir)")
+    args = parser.parse_args()
+
+    checks: list[dict] = []
+
+    def check(cond: bool, what: str) -> None:
+        print(f"  [{'ok' if cond else 'FAIL'}] {what}", flush=True)
+        checks.append({"check": what, "ok": bool(cond)})
+
+    store = args.store or tempfile.mkdtemp(prefix="repro-fleet-load-")
+    sessions = [f"load-{i}" for i in range(args.sessions)]
+    supervisor = FleetSupervisor(
+        args.shards, store,
+        heartbeat_s=args.heartbeat,
+        heartbeat_timeout_s=1.0,
+        max_missed=args.max_missed,
+        restart_backoff_s=0.2,
+        max_inflight=128,
+        max_queue=128,
+    )
+    print(f"== fleet: {args.shards} shards, store={store} ==", flush=True)
+    t_run0 = time.time()
+    with supervisor:
+        url = supervisor.url
+        print(f"router on {url}", flush=True)
+        admin = ServiceClient(url, timeout=10.0, max_retries=4, backoff=0.1,
+                              retry_backpressure=True)
+        for name in sessions:
+            admin.create_session(
+                name, problem="sphere", dim=8, algorithm="random",
+                n_batch=4, seed=0, n_initial=4,
+                ask_timeout=args.ask_timeout, max_pending=64,
+            )
+        owners = {s: supervisor.router.ring.owner(s) for s in sessions}
+        print(f"session -> shard: {owners}", flush=True)
+
+        stop = threading.Event()
+        threads = [
+            LoadThread(url, sessions, stop, seed=1000 + i)
+            for i in range(args.load_threads)
+        ]
+        for t in threads:
+            t.start()
+
+        print(f"== load: before window ({args.phase_s:.0f}s) ==", flush=True)
+        time.sleep(args.phase_s)
+
+        victim = owners[sessions[0]]
+        t_fault = t_recovered = None
+        if args.fault != "none":
+            # The fault only proves anything if the victim shard holds
+            # live tickets when it dies.
+            n_pending = wait_pending(admin, sessions[0])
+            check(n_pending > 0,
+                  f"victim shard {victim} holds {n_pending} live "
+                  f"ticket(s) at fault time")
+            t_fault = time.time()
+            if args.fault == "sigkill":
+                print(f"== fault: SIGKILL shard {victim} ==", flush=True)
+                supervisor.sigkill_shard(victim)
+            else:
+                print(f"== fault: SIGSTOP shard {victim} "
+                      f"for {args.slow_s:.0f}s ==", flush=True)
+                supervisor.pause_shard(victim)
+                threading.Timer(
+                    args.slow_s, supervisor.resume_shard, (victim,)
+                ).start()
+            deadline = time.time() + 120.0
+            while time.time() < deadline:
+                t_rec = recovery_window(supervisor, victim, t_fault)
+                if t_rec is not None:
+                    t_recovered = t_fault + t_rec
+                    break
+                time.sleep(0.1)
+            check(t_recovered is not None,
+                  "supervisor restarted the shard to healthy")
+            if t_recovered is None:
+                t_recovered = time.time()
+            print(f"recovered in {t_recovered - t_fault:.2f}s", flush=True)
+
+        print(f"== load: after window ({args.phase_s:.0f}s) ==", flush=True)
+        time.sleep(args.phase_s)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+
+        print("== drain: resolve every outstanding ticket ==", flush=True)
+        ledgers = {}
+        zero_lost = True
+        for name in sessions:
+            status = drain_session(admin, name)
+            counters = status["counters"]
+            balanced = (counters["asks"]
+                        == counters["tells"] + counters["requeues"])
+            lost = status["n_pending"] != 0 or not balanced
+            zero_lost = zero_lost and not lost
+            ledgers[name] = {
+                "shard": owners[name],
+                "asks": counters["asks"],
+                "tells": counters["tells"],
+                "requeues": counters["requeues"],
+                "expired_tells": counters.get("expired_tells", 0),
+                "n_pending_final": status["n_pending"],
+                "balanced": balanced,
+            }
+            check(not lost,
+                  f"{name}: asks({counters['asks']}) == "
+                  f"tells({counters['tells']}) + "
+                  f"requeues({counters['requeues']}), pending 0")
+        check(zero_lost, "zero tickets lost across the fleet")
+
+        records = [r for t in threads for r in t.records]
+        records.sort(key=lambda r: r[0])
+        # Convert wall-clock fault instants to the monotonic timeline
+        # the records use.
+        mono_now, wall_now = time.monotonic(), time.time()
+        to_mono = lambda w: w - wall_now + mono_now  # noqa: E731
+        t_lo = records[0][0] if records else 0.0
+        t_hi = (records[-1][0] + 1e-9) if records else 1.0
+        if t_fault is not None:
+            m_fault, m_rec = to_mono(t_fault), to_mono(t_recovered)
+        else:
+            span = (t_hi - t_lo) / 3.0
+            m_fault, m_rec = t_lo + span, t_lo + 2 * span
+        phases = {
+            "before": window_stats(records, t_lo, m_fault),
+            "during": window_stats(records, m_fault, m_rec),
+            "after": window_stats(records, m_rec, t_hi),
+        }
+        for name, stats in phases.items():
+            print(f"  {name:<7s} {stats['n_ops']:5d} ops "
+                  f"({stats['n_errors']} errors) "
+                  f"{stats['throughput_ops_s']:8.1f} ops/s "
+                  f"p50 {stats['ask_p50_ms']:7.1f} ms "
+                  f"p99 {stats['ask_p99_ms']:7.1f} ms", flush=True)
+        if phases["after"]["n_ok"]:
+            check(phases["after"]["ask_p99_ms"] <= args.p99_budget_ms,
+                  f"after-recovery ask p99 "
+                  f"{phases['after']['ask_p99_ms']:.1f} ms within "
+                  f"{args.p99_budget_ms:.0f} ms budget")
+        check(phases["before"]["n_ok"] > 0, "load ran before the fault")
+        check(phases["after"]["n_ok"] > 0, "load ran after recovery")
+
+        bench = {
+            "bench": "service_fleet_chaos",
+            "config": {
+                "shards": args.shards,
+                "sessions": args.sessions,
+                "load_threads": args.load_threads,
+                "phase_s": args.phase_s,
+                "fault": args.fault,
+                "ask_timeout": args.ask_timeout,
+                "heartbeat_s": args.heartbeat,
+                "max_missed": args.max_missed,
+            },
+            "fault": {
+                "mode": args.fault,
+                "victim_shard": victim if args.fault != "none" else None,
+                "recovery_s": (round(t_recovered - t_fault, 3)
+                               if t_fault is not None else None),
+            },
+            "phases": phases,
+            "ledgers": ledgers,
+            "zero_lost": zero_lost,
+            "supervisor_events": [
+                {k: (round(v, 3) if isinstance(v, float) else v)
+                 for k, v in e.items()}
+                for e in supervisor.events
+            ],
+            "checks": checks,
+            "elapsed_s": round(time.time() - t_run0, 2),
+        }
+
+    with open(args.out, "w") as fh:
+        json.dump(bench, fh, indent=2)
+    print(f"\nbench written to {args.out}", flush=True)
+
+    failed = [c["check"] for c in checks if not c["ok"]]
+    if failed:
+        print(f"service load FAILED: {failed}", flush=True)
+        return 1
+    print(f"service load: {len(checks)} checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ Usage::
     python -m repro serve --port 8751 --store sessions/
     python -m repro worker --url http://127.0.0.1:8751 --session prod
 
+    python -m repro fleet --shards 4 --store fleet/ --port 8750
+
     python -m repro portfolio --problem ackley --workers 8 --budget 600
 
 Runs one time-budgeted optimization under the paper's protocol and
@@ -46,7 +48,7 @@ from repro.problems.benchmarks import BENCHMARKS
 from repro.uphes import UPHESSimulator
 
 #: Subcommand names reserved ahead of the default single-run parser.
-SUBCOMMANDS = ("resume", "serve", "worker", "portfolio")
+SUBCOMMANDS = ("resume", "serve", "worker", "portfolio", "fleet")
 
 
 def package_version() -> str:
@@ -251,6 +253,55 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "evicted from memory (state stays on disk)")
     parser.add_argument("--no-fsync", action="store_true",
                         help="skip fsync on session checkpoints")
+    parser.add_argument("--backup-checkpoints", action="store_true",
+                        help="keep a .bak of each session checkpoint's "
+                             "previous generation and fall back to it on "
+                             "a corrupt primary")
+    parser.add_argument("--announce", default=None, metavar="PATH",
+                        help="write {'url', 'pid'} JSON to PATH once the "
+                             "server is bound (how the fleet supervisor "
+                             "discovers ephemeral shard ports)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logging")
+    return parser
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Run a supervised multi-process ask/tell fleet: N "
+                    "shard servers behind one front-door router, with "
+                    "heartbeats, automatic restart and checkpoint "
+                    "recovery (repro.service.fleet).",
+    )
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard server processes (default 2)")
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="fleet root directory; shard i persists "
+                             "sessions under DIR/shard-0i/sessions "
+                             "(mandatory: restart recovery needs it)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8750,
+                        help="router TCP port (0 picks an ephemeral one)")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        help="seconds between shard health probes")
+    parser.add_argument("--max-missed", type=int, default=3,
+                        help="consecutive missed heartbeats before a live "
+                             "shard is declared dead and restarted")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="requests relayed concurrently before new "
+                             "ones queue at the front door")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="queued requests before the router sheds "
+                             "with 429 + Retry-After")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="token-bucket rate limit in requests/s "
+                             "(default: unlimited)")
+    parser.add_argument("--burst", type=float, default=None,
+                        help="token-bucket burst size (default: rate)")
+    parser.add_argument("--announce", default=None, metavar="PATH",
+                        help="write {'url', 'pid'} JSON once the router "
+                             "is bound")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
     return parser
@@ -410,6 +461,7 @@ def main_serve(argv=None) -> int:
         max_sessions=args.max_sessions,
         idle_timeout=args.idle_timeout,
         fsync=not args.no_fsync,
+        backup_checkpoints=args.backup_checkpoints,
     )
     server = ServiceServer(
         manager, host=args.host, port=args.port, quiet=args.quiet
@@ -417,6 +469,8 @@ def main_serve(argv=None) -> int:
     server.start()
     print(f"serving on {server.url} "
           f"(store={args.store or 'memory-only'})", flush=True)
+    if args.announce:
+        _announce(args.announce, server.url)
 
     def _request_drain(signum, frame):
         server.request_shutdown()
@@ -429,6 +483,57 @@ def main_serve(argv=None) -> int:
     finally:
         server.stop()
     print("drained cleanly", flush=True)
+    return 0
+
+
+def _announce(path: str, url: str) -> None:
+    """Atomically publish the bound URL for supervisors to discover."""
+    import os
+
+    from repro.resilience import atomic_write_json
+
+    atomic_write_json(path, {"url": url, "pid": os.getpid()}, fsync=False)
+
+
+def main_fleet(argv=None) -> int:
+    args = build_fleet_parser().parse_args(argv)
+    import signal
+
+    from repro.service import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        args.shards,
+        args.store,
+        host=args.host,
+        port=args.port,
+        heartbeat_s=args.heartbeat,
+        max_missed=args.max_missed,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        rate=args.rate,
+        burst=args.burst,
+        quiet=args.quiet,
+    )
+    supervisor.start(wait_healthy=False)
+    print(f"fleet router on {supervisor.url} "
+          f"({args.shards} shards, store={args.store})", flush=True)
+    if args.announce:
+        _announce(args.announce, supervisor.url)
+    healthy = supervisor.wait_all_healthy(timeout=supervisor.startup_timeout_s)
+    print("all shards healthy" if healthy
+          else "warning: not all shards healthy yet", flush=True)
+
+    def _request_drain(signum, frame):
+        supervisor.router.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _request_drain)
+    signal.signal(signal.SIGINT, _request_drain)
+    try:
+        while not supervisor.router.wait_for_shutdown_request(timeout=1.0):
+            pass
+    finally:
+        supervisor.stop()
+    print("fleet drained cleanly", flush=True)
     return 0
 
 
@@ -475,6 +580,8 @@ def main(argv=None) -> int:
         return main_worker(argv[1:])
     if argv and argv[0] == "portfolio":
         return main_portfolio(argv[1:])
+    if argv and argv[0] == "fleet":
+        return main_fleet(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(

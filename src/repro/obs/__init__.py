@@ -45,6 +45,7 @@ from repro.obs.metrics import (
     NullMetrics,
     StreamingQuantiles,
     get_metrics,
+    merge_snapshots,
     set_metrics,
 )
 from repro.obs.tracer import (
@@ -80,6 +81,7 @@ __all__ = [
     "cycle_breakdown",
     "get_metrics",
     "get_tracer",
+    "merge_snapshots",
     "phase_summary",
     "read_trace",
     "set_metrics",

@@ -208,6 +208,64 @@ class MetricsRegistry:
         self._metrics = {}
 
 
+def merge_snapshots(snapshots) -> dict:
+    """Merge per-process registry snapshots into one fleet-level view.
+
+    The fleet router aggregates ``GET /metrics`` across shards with
+    this: counters and histogram ``count``/``sum`` add up exactly,
+    extrema combine exactly, gauges add (they count resources — alive
+    workers, resident sessions). Quantiles of distributed histograms
+    cannot be merged exactly from summaries, so the merged ``p50`` is
+    the count-weighted mean of the shard medians and the merged ``p99``
+    is the worst shard's p99 — a conservative upper bound, which is the
+    honest direction for a latency SLO.
+    """
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, entry in (snap or {}).items():
+            kind = entry.get("kind")
+            out = merged.setdefault(name, {"kind": kind, "shards": 0})
+            if out["kind"] != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} has conflicting kinds across shards: "
+                    f"{out['kind']!r} vs {kind!r}"
+                )
+            out["shards"] += 1
+            if kind == "counter":
+                out["value"] = out.get("value", 0.0) + float(entry["value"])
+            elif kind == "gauge":
+                if entry.get("value") is not None:
+                    out["value"] = out.get("value") or 0.0
+                    out["value"] += float(entry["value"])
+                else:
+                    out.setdefault("value", None)
+            elif kind == "histogram":
+                n = int(entry.get("count", 0))
+                out["count"] = out.get("count", 0) + n
+                out["sum"] = out.get("sum", 0.0) + float(entry.get("sum", 0.0))
+                for key, pick in (("min", min), ("max", max)):
+                    if entry.get(key) is not None:
+                        prev = out.get(key)
+                        out[key] = (
+                            entry[key]
+                            if prev is None
+                            else pick(prev, entry[key])
+                        )
+                if n and entry.get("p50") is not None:
+                    w = out.setdefault("_w", 0)
+                    p50 = out.get("p50") or 0.0
+                    out["p50"] = (p50 * w + float(entry["p50"]) * n) / (w + n)
+                    out["_w"] = w + n
+                    out["p99"] = max(
+                        out.get("p99", float(entry["p99"])), float(entry["p99"])
+                    )
+    for entry in merged.values():
+        entry.pop("_w", None)
+        if entry.get("kind") == "histogram" and entry.get("count"):
+            entry["mean"] = entry["sum"] / entry["count"]
+    return merged
+
+
 class _NullInstrument:
     """Shared no-op counter/gauge/histogram for disabled metrics."""
 

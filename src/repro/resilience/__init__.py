@@ -19,7 +19,13 @@ crash-safe and failure-tolerant:
   :class:`FaultySimulatedCluster`, :class:`FaultyExecutor`).
 """
 
-from repro.resilience.atomic import append_line, atomic_write_json, atomic_write_text
+from repro.resilience.atomic import (
+    append_line,
+    atomic_write_json,
+    atomic_write_text,
+    backup_path,
+    load_json_with_backup,
+)
 from repro.resilience.checkpoint import RunCheckpoint, load_checkpoint
 from repro.resilience.faults import (
     FaultSpec,
@@ -40,7 +46,9 @@ __all__ = [
     "append_line",
     "atomic_write_json",
     "atomic_write_text",
+    "backup_path",
     "load_checkpoint",
+    "load_json_with_backup",
     "read_events",
     "rebuild_optimizer",
     "rebuild_problem",

@@ -66,9 +66,73 @@ def atomic_write_text(path: str | Path, text: str, *, fsync: bool = True) -> Non
         raise
 
 
-def atomic_write_json(path: str | Path, obj, *, fsync: bool = True, **dumps_kwargs) -> None:
-    """Serialize ``obj`` as JSON and atomically write it to ``path``."""
+def atomic_write_json(
+    path: str | Path,
+    obj,
+    *,
+    fsync: bool = True,
+    backup: bool = False,
+    **dumps_kwargs,
+) -> None:
+    """Serialize ``obj`` as JSON and atomically write it to ``path``.
+
+    With ``backup`` the previous generation of the file (if any) is
+    preserved as ``<path>.bak`` before the replace, giving readers a
+    one-generation recovery path (:func:`load_json_with_backup`) when
+    the primary is destroyed by something *outside* the atomic-write
+    protocol — a bad disk, an operator truncation, a torn filesystem.
+    """
+    path = Path(path)
+    if backup and path.exists():
+        # os.replace keeps the backup write atomic too: the .bak file
+        # is either the whole previous generation or the one before.
+        try:
+            backup_copy = path.read_bytes()
+        except OSError:
+            backup_copy = None
+        if backup_copy is not None:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{path.name}.", suffix=".bak.tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(backup_copy)
+                    fh.flush()
+                    if fsync:
+                        os.fsync(fh.fileno())
+                os.replace(tmp_name, backup_path(path))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
     atomic_write_text(path, json.dumps(obj, **dumps_kwargs), fsync=fsync)
+
+
+def backup_path(path: str | Path) -> Path:
+    """The sibling ``.bak`` path of a backed-up JSON artifact."""
+    path = Path(path)
+    return path.with_name(path.name + ".bak")
+
+
+def load_json_with_backup(path: str | Path) -> tuple[dict, bool]:
+    """Read a JSON checkpoint, falling back to its ``.bak`` generation.
+
+    Returns ``(data, recovered)`` where ``recovered`` is True when the
+    primary was unreadable or corrupt and the previous generation was
+    served instead. Raises the primary's error when neither generation
+    is readable — callers keep their typed-error translation.
+    """
+    path = Path(path)
+    try:
+        return json.loads(path.read_text(encoding="utf-8")), False
+    except (OSError, json.JSONDecodeError) as primary_error:
+        bak = backup_path(path)
+        try:
+            return json.loads(bak.read_text(encoding="utf-8")), True
+        except (OSError, json.JSONDecodeError):
+            raise primary_error from None
 
 
 def append_line(path: str | Path, line: str, *, fsync: bool = True) -> None:

@@ -1,4 +1,4 @@
-"""``repro.service`` — ask/tell suggestion server (DESIGN §11).
+"""``repro.service`` — ask/tell suggestion service (DESIGN §11, §13).
 
 The serving layer that turns the reproduction into a long-lived
 suggestion service driven by external evaluators:
@@ -9,21 +9,41 @@ suggestion service driven by external evaluators:
   asks, timeout requeue, and checkpointable state;
 - :mod:`repro.service.sessions` — :class:`SessionManager`, many named
   concurrent sessions behind per-session locks with an atomic on-disk
-  store (idle expiry, LRU eviction);
+  store (idle expiry, LRU eviction — never while tickets are live);
 - :mod:`repro.service.server` — :class:`ServiceServer`, a stdlib
-  ``ThreadingHTTPServer`` JSON API with backpressure, per-endpoint
-  metrics, and graceful drain;
+  ``ThreadingHTTPServer`` JSON API with backpressure, deadline
+  propagation, per-endpoint metrics, and graceful drain;
 - :mod:`repro.service.client` / :mod:`repro.service.worker` — the
-  ``urllib`` client and the pull-evaluate-tell worker loop behind
-  ``repro worker``.
+  ``urllib`` client (full-jitter retries, ``Retry-After``, circuit
+  breaker) and the pull-evaluate-tell worker loop behind
+  ``repro worker``;
+- :mod:`repro.service.router` / :mod:`repro.service.fleet` — the
+  fleet tier: a front-door proxy (consistent-hash shard routing,
+  admission control, rate limiting) and the shard supervisor
+  (heartbeats, automatic restart, checkpoint recovery) behind
+  ``repro fleet``.
 
-Start a server with ``repro serve``, attach workers with
-``repro worker``, or embed everything in-process (see
-``examples/ask_tell_service.py``).
+Start a server with ``repro serve``, a supervised multi-process fleet
+with ``repro fleet --shards 4``, attach workers with ``repro worker``,
+or embed everything in-process (see ``examples/ask_tell_service.py``).
 """
 
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServiceClient,
+    ServiceClientError,
+    full_jitter,
+)
 from repro.service.engine import AskTellEngine
+from repro.service.fleet import FleetSupervisor, ShardProcess
+from repro.service.router import (
+    AdmissionGate,
+    FleetRouter,
+    HashRing,
+    ShardTable,
+    TokenBucket,
+)
 from repro.service.server import ServiceServer
 from repro.service.sessions import (
     Session,
@@ -35,15 +55,25 @@ from repro.service.sessions import (
 from repro.service.worker import WorkerStats, run_worker
 
 __all__ = [
+    "AdmissionGate",
     "AskTellEngine",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
     "ServiceClient",
     "ServiceClientError",
     "ServiceServer",
     "Session",
     "SessionManager",
+    "ShardProcess",
+    "ShardTable",
+    "TokenBucket",
     "WorkerStats",
     "build_engine",
     "build_problem",
+    "full_jitter",
     "run_worker",
     "validate_spec",
 ]

@@ -1,18 +1,32 @@
 """Thin stdlib client for the ask/tell HTTP service.
 
-Workers and scripts talk to :mod:`repro.service.server` through this
-``urllib``-based client. Transport-level failures (connection refused,
-resets, 5xx/503 responses) are retried with exponential backoff — the
-transient noise any distributed evaluation fleet sees — while semantic
-errors (400/404/409/422/429) surface immediately as
-:class:`ServiceClientError` carrying the HTTP status and the server's
-typed error payload, so callers can branch on them (the worker loop
+Workers and scripts talk to :mod:`repro.service.server` (or the fleet
+front door of :mod:`repro.service.router`) through this ``urllib``-based
+client. Transport-level failures (connection refused, resets, 5xx
+responses) are retried with **full-jitter exponential backoff** — each
+retry sleeps ``uniform(0, min(cap, base·2^attempt))``, so a thousand
+clients bouncing off a restarting shard spread their retries instead of
+stampeding it in lockstep — and any server-provided ``Retry-After``
+hint is honored as an additive floor. Semantic errors (400/404/409/
+422/429/504) surface immediately as :class:`ServiceClientError`
+carrying the HTTP status, the server's typed error payload, and the
+parsed ``Retry-After``, so callers can branch on them (the worker loop
 treats 429 as "back off", 404 as fatal).
+
+A :class:`CircuitBreaker` can be attached: after enough consecutive
+transport/5xx failures the client stops hammering the sick endpoint and
+fails fast (:class:`CircuitOpenError`) until a cooldown elapses, then
+lets exactly one half-open probe through; a successful probe closes the
+circuit, a failed one reopens it with a doubled (capped) cooldown. This
+is what keeps one slow shard from dragging every worker thread of the
+fleet down with it.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -24,23 +38,152 @@ from repro.util import ReproError
 #: HTTP statuses worth retrying: the server was unable, not unwilling.
 RETRYABLE_STATUSES = (500, 502, 503, 504)
 
+#: Header carrying the caller's absolute deadline (unix seconds).
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+
+def full_jitter(base: float, attempt: int, cap: float, rng: random.Random,
+                retry_after: float | None = None) -> float:
+    """One full-jitter backoff delay (AWS-style), honoring server hints.
+
+    ``uniform(0, min(cap, base·2^attempt))``; a ``Retry-After`` hint is
+    added as a floor *under* the jitter (hint + jitter, never a bare
+    hint) so a fleet told "retry in 2 s" does not return as one wave at
+    exactly t+2.
+    """
+    delay = rng.uniform(0.0, min(cap, base * (2.0 ** attempt)))
+    if retry_after is not None:
+        delay += max(0.0, float(retry_after))
+    return delay
+
 
 class ServiceClientError(ReproError):
     """A service request failed with a definitive (non-retried) answer.
 
     Attributes ``status`` (HTTP code, 0 for transport exhaustion),
-    ``error`` (server-side exception type name) and ``message``.
+    ``error`` (server-side exception type name), ``message``, and
+    ``retry_after`` (parsed ``Retry-After`` seconds, or None).
     """
 
-    def __init__(self, status: int, error: str, message: str):
+    def __init__(self, status: int, error: str, message: str,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status} {error}: {message}")
         self.status = int(status)
         self.error = error
         self.message = message
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServiceClientError):
+    """The client's circuit breaker is open: failing fast, not calling.
+
+    ``retry_after`` is the time until the next half-open probe slot.
+    """
+
+    def __init__(self, base_url: str, retry_after: float):
+        super().__init__(
+            0,
+            "CircuitOpen",
+            f"circuit for {base_url} is open; retry in {retry_after:.2f}s",
+            retry_after=retry_after,
+        )
+
+
+class CircuitBreaker:
+    """Per-endpoint circuit breaker with half-open probes.
+
+    States::
+
+        closed ──(failures ≥ threshold)──▶ open
+        open ──(cooldown elapsed)──▶ half-open (one probe admitted)
+        half-open ──probe ok──▶ closed        (cooldown resets)
+        half-open ──probe fails──▶ open       (cooldown doubles, capped)
+
+    Successes in the closed state reset the consecutive-failure count.
+    Thread-safe: many worker threads may share one breaker (they should
+    — the point is a *collective* back-off from a sick shard).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        max_cooldown_s: float = 30.0,
+        clock=time.monotonic,
+        rng: random.Random | None = None,
+    ):
+        self.failure_threshold = int(failure_threshold)
+        self.base_cooldown_s = float(cooldown_s)
+        self.max_cooldown_s = float(max_cooldown_s)
+        self.clock = clock
+        self.rng = rng or random.Random()
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self._failures = 0
+        self._cooldown = self.base_cooldown_s
+        self._open_until = 0.0
+        self._probing = False
+        self.stats = {"opened": 0, "probes": 0, "fast_failures": 0}
+
+    def allow(self) -> bool:
+        """May a request proceed right now? (False = fail fast.)"""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            now = self.clock()
+            if self.state == "open":
+                if now < self._open_until:
+                    self.stats["fast_failures"] += 1
+                    return False
+                self.state = "half_open"
+                self._probing = False
+            # half-open: admit exactly one probe at a time
+            if self._probing:
+                self.stats["fast_failures"] += 1
+                return False
+            self._probing = True
+            self.stats["probes"] += 1
+            return True
+
+    def retry_in(self) -> float:
+        """Seconds until a request could next be admitted."""
+        with self._lock:
+            if self.state != "open":
+                return 0.0
+            return max(0.0, self._open_until - self.clock())
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = "closed"
+            self._failures = 0
+            self._probing = False
+            self._cooldown = self.base_cooldown_s
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self.state == "half_open":
+                self._trip_locked(double=True)
+                return
+            self._failures += 1
+            if self.state == "closed" and self._failures >= self.failure_threshold:
+                self._trip_locked(double=False)
+
+    def _trip_locked(self, double: bool) -> None:
+        if double:
+            self._cooldown = min(self._cooldown * 2.0, self.max_cooldown_s)
+        self.state = "open"
+        self._probing = False
+        self._failures = 0
+        # Jitter the reopen instant too: breakers tripped by the same
+        # shard death should not all probe in the same millisecond.
+        self._open_until = self.clock() + self._cooldown * self.rng.uniform(
+            0.8, 1.2
+        )
+        self.stats["opened"] += 1
 
 
 class ServiceClient:
-    """JSON-over-HTTP client with retry/backoff.
+    """JSON-over-HTTP client with jittered retry, breaker, deadlines.
 
     Parameters
     ----------
@@ -51,9 +194,23 @@ class ServiceClient:
     max_retries:
         Transport/5xx retry attempts per request (beyond the first).
     backoff:
-        Initial backoff in seconds; doubles per retry.
-    sleep:
-        Injectable sleeper for tests.
+        Full-jitter backoff base in seconds (doubling cap per attempt).
+    backoff_cap:
+        Upper bound on any single backoff sleep.
+    retry_backpressure:
+        Also retry 429 responses (honoring ``Retry-After``) instead of
+        raising them. Off by default: the worker loop owns its own 429
+        policy.
+    deadline_s:
+        Per-request deadline budget. Each request carries an absolute
+        ``X-Repro-Deadline`` header of ``now + deadline_s``; the router
+        and shards refuse work past it, and the retry loop stops
+        sleeping once the budget is spent.
+    breaker:
+        Optional :class:`CircuitBreaker` shared across clients hitting
+        the same endpoint.
+    sleep / rng:
+        Injectable sleeper and jitter source for tests.
     """
 
     def __init__(
@@ -62,42 +219,82 @@ class ServiceClient:
         timeout: float = 30.0,
         max_retries: int = 4,
         backoff: float = 0.2,
+        backoff_cap: float = 10.0,
+        retry_backpressure: bool = False,
+        deadline_s: float | None = None,
+        breaker: CircuitBreaker | None = None,
         sleep=time.sleep,
+        rng: random.Random | None = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
         self.max_retries = int(max_retries)
         self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.retry_backpressure = bool(retry_backpressure)
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self.breaker = breaker
         self.sleep = sleep
+        self.rng = rng or random.Random()
 
     # -- transport -----------------------------------------------------
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
         """One JSON request with retry/backoff; returns the parsed body."""
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(self.base_url, self.breaker.retry_in())
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        deadline = (
+            None if self.deadline_s is None else time.time() + self.deadline_s
+        )
         last: Exception | None = None
+        last_retry_after: float | None = None
         for attempt in range(self.max_retries + 1):
+            headers = {"Content-Type": "application/json"}
+            timeout = self.timeout
+            if deadline is not None:
+                headers[DEADLINE_HEADER] = f"{deadline:.6f}"
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    break  # budget gone: report the last failure
+                timeout = min(timeout, remaining)
             req = urllib.request.Request(
-                self.base_url + path,
-                data=body,
-                method=method,
-                headers={"Content-Type": "application/json"},
+                self.base_url + path, data=body, method=method, headers=headers
             )
             try:
-                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                with urllib.request.urlopen(req, timeout=timeout) as resp:
+                    self._record(success=True)
                     return json.loads(resp.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
-                data = self._error_payload(exc)
-                if exc.code not in RETRYABLE_STATUSES:
+                retry_after = self._parse_retry_after(exc)
+                retryable = exc.code in RETRYABLE_STATUSES or (
+                    exc.code == 429 and self.retry_backpressure
+                )
+                # Any well-formed HTTP answer proves the endpoint alive;
+                # only transport failures and 5xx count against the
+                # breaker.
+                self._record(success=exc.code < 500)
+                if not retryable:
+                    data = self._error_payload(exc)
                     raise ServiceClientError(
                         exc.code,
                         data.get("error", "HTTPError"),
                         data.get("message", str(exc)),
+                        retry_after=retry_after,
                     ) from None
-                last = exc
+                last, last_retry_after = exc, retry_after
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
-                last = exc
+                self._record(success=False)
+                last, last_retry_after = exc, None
             if attempt < self.max_retries:
-                self.sleep(self.backoff * (2.0**attempt))
+                delay = full_jitter(
+                    self.backoff, attempt, self.backoff_cap, self.rng,
+                    retry_after=last_retry_after,
+                )
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= delay:
+                        break  # sleeping would blow the deadline
+                self.sleep(delay)
         # Retries exhausted: surface the HTTP status if there was one
         # (a drained 503 stays recognizable), else 0 for pure transport
         # failures (connection refused, timeouts).
@@ -105,7 +302,26 @@ class ServiceClient:
             getattr(last, "code", 0),
             type(last).__name__,
             f"{method} {path} failed after retries: {last}",
+            retry_after=last_retry_after,
         )
+
+    def _record(self, success: bool) -> None:
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    @staticmethod
+    def _parse_retry_after(exc: urllib.error.HTTPError) -> float | None:
+        raw = exc.headers.get("Retry-After") if exc.headers else None
+        if raw is None:
+            return None
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            return None
 
     @staticmethod
     def _error_payload(exc: urllib.error.HTTPError) -> dict:

@@ -206,6 +206,25 @@ class AskTellEngine:
     def n_told(self) -> int:
         return self.counters["tells"]
 
+    def live_pending(self, now: float | None = None) -> int:
+        """In-flight tickets a worker may still legitimately answer.
+
+        A ticket past ``ask_timeout`` is dead weight — it will requeue
+        on the next ask/tell sweep — so it does not count. The session
+        layer uses this to define *ticket quiescence*: only sessions
+        with zero live tickets are eligible for LRU/idle eviction.
+        """
+        if not self._pending:
+            return 0
+        if self.ask_timeout is None:
+            return len(self._pending)
+        now = float(self.clock()) if now is None else float(now)
+        return sum(
+            1
+            for rec in self._pending.values()
+            if now - rec["issued_at"] <= self.ask_timeout
+        )
+
     @property
     def best(self) -> tuple[np.ndarray, float] | None:
         """Best (point, native value) so far, or None before any data."""

@@ -1,0 +1,435 @@
+"""Shard supervision: spawn, heartbeat, restart, recover, drain.
+
+:class:`FleetSupervisor` turns the single-process ask/tell server into
+a fleet: N shard processes (each ``repro serve`` with its own store
+subdirectory and checkpoint backups enabled) behind one
+:class:`~repro.service.router.FleetRouter` front door. The supervisor's
+monitor thread drives a per-shard health state machine::
+
+    starting ──announce file + first heartbeat──▶ healthy
+    healthy ──missed heartbeat──▶ suspect ──(max_missed)──▶ dead
+    healthy/suspect ──process exited──▶ dead
+    dead ──kill leftover + respawn (jittered backoff)──▶ starting
+
+A shard declared dead is unregistered from the router (its sessions
+answer 503 + ``Retry-After`` while it is down), killed if a zombie,
+and respawned against the *same* store directory — the restarted
+process recovers every session from its PR-5 per-session checkpoint,
+including the pending-ticket ledger, so in-flight tickets either get
+told by their worker against the recovered shard or expire and requeue
+under fresh tickets. Zero tickets are lost; the load harness
+(``scripts/service_load.py``) measures exactly that.
+
+Shards announce themselves by writing ``{"url", "pid"}`` to an
+announce file (``repro serve --announce``) once bound, which is how
+the supervisor learns each ephemeral port without parsing stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.service.router import FleetRouter, ShardTable
+from repro.util import ConfigurationError
+
+#: Per-shard health states (see module docstring state machine).
+SHARD_STATES = ("starting", "healthy", "suspect", "dead")
+
+
+def _repro_env() -> dict:
+    """A child environment in which ``python -m repro`` is importable."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+class ShardProcess:
+    """One shard: a ``repro serve`` subprocess plus its announce file."""
+
+    def __init__(
+        self,
+        index: int,
+        store_dir: Path,
+        host: str = "127.0.0.1",
+        extra_args: tuple[str, ...] = (),
+        quiet: bool = True,
+    ):
+        self.index = int(index)
+        self.store_dir = Path(store_dir)
+        self.host = host
+        self.extra_args = tuple(extra_args)
+        self.quiet = quiet
+        self.announce_path = self.store_dir / "announce.json"
+        self.proc: subprocess.Popen | None = None
+        self._url: str | None = None
+
+    def start(self) -> None:
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self.announce_path.unlink()
+        except FileNotFoundError:
+            pass
+        self._url = None
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host, "--port", "0",
+            "--store", str(self.store_dir / "sessions"),
+            "--announce", str(self.announce_path),
+            "--backup-checkpoints",
+            *self.extra_args,
+        ]
+        if self.quiet:
+            cmd.append("--quiet")
+        self.proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=_repro_env(),
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> int | None:
+        return None if self.proc is None else self.proc.pid
+
+    def url(self) -> str | None:
+        """The announced base URL, once the shard has bound its port."""
+        if self._url is not None:
+            return self._url
+        try:
+            data = json.loads(self.announce_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if self.proc is not None and data.get("pid") != self.proc.pid:
+            return None  # stale announce from a previous incarnation
+        self._url = data.get("url")
+        return self._url
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+
+    def kill(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+
+    def wait(self, timeout: float | None = None) -> int | None:
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def send_signal(self, sig: int) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(sig)
+
+
+class _ShardSlot:
+    """Supervisor-side bookkeeping for one shard index."""
+
+    def __init__(self, index: int, handle):
+        self.index = index
+        self.handle = handle
+        self.state = "starting"
+        self.missed = 0
+        self.restarts = 0
+        self.started_at = time.monotonic()
+        self.next_restart_at = 0.0
+        self.last_heartbeat: float | None = None
+
+
+class FleetSupervisor:
+    """Own a shard fleet: spawn, heartbeat, restart, route, drain.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard process count; sessions spread over them by consistent
+        hash of the session name.
+    store_dir:
+        Fleet root directory. Each shard persists under
+        ``<store_dir>/shard-<i>/sessions`` and announces under
+        ``<store_dir>/shard-<i>/announce.json`` — restart-in-place
+        recovery requires a store, so (unlike ``repro serve``) it is
+        mandatory here.
+    host / port:
+        Router bind address (``port=0`` → ephemeral).
+    heartbeat_s / heartbeat_timeout_s / max_missed:
+        Probe cadence, per-probe timeout, and how many consecutive
+        missed probes turn a live process from suspect to dead.
+    startup_timeout_s:
+        How long a starting shard may take to announce + answer before
+        being declared dead and respawned.
+    restart_backoff_s:
+        Base of the jittered backoff between consecutive restarts of
+        the same shard (doubles per restart-within-a-minute, capped at
+        ×16), so a crash-looping shard does not busy-spin the host.
+    max_inflight / max_queue / queue_timeout_s / rate / burst:
+        Router admission knobs (see :class:`FleetRouter`).
+    shard_args:
+        Extra CLI args appended to every ``repro serve`` shard (e.g.
+        ``("--idle-timeout", "600")``).
+    shard_factory:
+        Injectable ``f(index, store_dir) -> handle`` for tests; the
+        handle implements the :class:`ShardProcess` protocol
+        (``start``/``alive``/``url``/``kill``/``terminate``/``wait``).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        store_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_s: float = 1.0,
+        heartbeat_timeout_s: float = 2.0,
+        max_missed: int = 3,
+        startup_timeout_s: float = 60.0,
+        restart_backoff_s: float = 0.5,
+        max_inflight: int = 64,
+        max_queue: int = 64,
+        queue_timeout_s: float = 2.0,
+        rate: float | None = None,
+        burst: float | None = None,
+        shard_args: tuple[str, ...] = (),
+        quiet: bool = True,
+        shard_factory=None,
+        rng: random.Random | None = None,
+    ):
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.store_dir = Path(store_dir)
+        self.heartbeat_s = float(heartbeat_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.max_missed = int(max_missed)
+        self.startup_timeout_s = float(startup_timeout_s)
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.rng = rng or random.Random()
+        self._factory = shard_factory or (
+            lambda index, store: ShardProcess(
+                index, store, host="127.0.0.1",
+                extra_args=shard_args, quiet=quiet,
+            )
+        )
+        self.table = ShardTable(self.n_shards)
+        self.router = FleetRouter(
+            self.table,
+            host=host,
+            port=port,
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            queue_timeout_s=queue_timeout_s,
+            rate=rate,
+            burst=burst,
+            quiet=quiet,
+            fleet_info=self.describe,
+        )
+        self.slots: list[_ShardSlot] = []
+        self.events: list[dict] = []
+        self._events_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    def start(self, wait_healthy: bool = True) -> "FleetSupervisor":
+        """Spawn every shard, start the router and the monitor thread."""
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        for index in range(self.n_shards):
+            slot = _ShardSlot(
+                index, self._factory(index, self._shard_dir(index))
+            )
+            slot.handle.start()
+            self.slots.append(slot)
+            self._event("spawn", index)
+        self.router.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        if wait_healthy:
+            self.wait_all_healthy(timeout=self.startup_timeout_s)
+        return self
+
+    def _shard_dir(self, index: int) -> Path:
+        return self.store_dir / f"shard-{index:02d}"
+
+    def wait_all_healthy(self, timeout: float = 60.0) -> bool:
+        """Block until every shard is healthy (or the timeout passes)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(s.state == "healthy" for s in self.slots):
+                return True
+            time.sleep(0.05)
+        return all(s.state == "healthy" for s in self.slots)
+
+    def stop(self) -> None:
+        """Drain the fleet: stop monitoring, drain shards, stop router."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+        for slot in self.slots:
+            slot.handle.terminate()  # SIGTERM → graceful drain + persist
+        for slot in self.slots:
+            if slot.handle.wait(timeout=15.0) is None:
+                slot.handle.kill()
+                slot.handle.wait(timeout=5.0)
+        self.router.stop()
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- chaos hooks (used by the load harness and tests) --------------
+    def shard_pid(self, index: int) -> int | None:
+        return self.slots[index].handle.pid
+
+    def sigkill_shard(self, index: int) -> None:
+        """SIGKILL a shard process — the chaos-harness fault."""
+        self.slots[index].handle.kill()
+        self._event("sigkill", index)
+
+    def pause_shard(self, index: int) -> None:
+        """SIGSTOP a shard: alive but unresponsive (the slow-shard fault)."""
+        self.slots[index].handle.send_signal(signal.SIGSTOP)
+        self._event("sigstop", index)
+
+    def resume_shard(self, index: int) -> None:
+        self.slots[index].handle.send_signal(signal.SIGCONT)
+        self._event("sigcont", index)
+
+    # -- the heartbeat / restart state machine -------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            for slot in self.slots:
+                try:
+                    self._check(slot)
+                except Exception:  # pragma: no cover - monitor must survive
+                    pass
+
+    def _check(self, slot: _ShardSlot) -> None:
+        if slot.state == "dead":
+            self._maybe_restart(slot)
+            return
+        if not slot.handle.alive:
+            self._declare_dead(slot, "process exited")
+            return
+        url = slot.handle.url()
+        if url is None:
+            if slot.state == "starting":
+                waited = time.monotonic() - slot.started_at
+                if waited > self.startup_timeout_s:
+                    self._declare_dead(slot, "startup timed out")
+            else:  # pragma: no cover - announce file vanished
+                self._declare_dead(slot, "announce lost")
+            return
+        if self._probe(url):
+            first = slot.state != "healthy"
+            slot.state = "healthy"
+            slot.missed = 0
+            slot.last_heartbeat = time.monotonic()
+            self.table.set_url(slot.index, url)
+            self.table.set_state(slot.index, "healthy")
+            if first:
+                self._event("healthy", slot.index)
+        elif slot.state == "starting":
+            pass  # bound but not answering yet; startup timeout governs
+        else:
+            slot.missed += 1
+            slot.state = "suspect"
+            self.table.set_state(slot.index, "suspect")
+            self._event("missed_heartbeat", slot.index, missed=slot.missed)
+            if slot.missed >= self.max_missed:
+                self._declare_dead(
+                    slot, f"{slot.missed} consecutive missed heartbeats"
+                )
+
+    def _probe(self, url: str) -> bool:
+        try:
+            req = urllib.request.Request(url + "/status", method="GET")
+            with urllib.request.urlopen(
+                req, timeout=self.heartbeat_timeout_s
+            ) as resp:
+                return resp.status == 200
+        except Exception:
+            return False
+
+    def _declare_dead(self, slot: _ShardSlot, why: str) -> None:
+        slot.state = "dead"
+        slot.missed = 0
+        self.table.set_url(slot.index, None)
+        self.table.set_state(slot.index, "dead")
+        self._event("dead", slot.index, why=why)
+        # Jittered, doubling backoff against crash loops: a shard that
+        # died within a minute of starting waits longer each time.
+        fast_death = time.monotonic() - slot.started_at < 60.0
+        factor = min(2.0 ** slot.restarts, 16.0) if fast_death else 1.0
+        delay = self.restart_backoff_s * factor * self.rng.uniform(0.5, 1.5)
+        slot.next_restart_at = time.monotonic() + delay
+        self._maybe_restart(slot)
+
+    def _maybe_restart(self, slot: _ShardSlot) -> None:
+        if time.monotonic() < slot.next_restart_at:
+            return
+        slot.handle.kill()  # reap any zombie before respawning
+        slot.handle.wait(timeout=5.0)
+        slot.handle = self._factory(slot.index, self._shard_dir(slot.index))
+        slot.handle.start()
+        slot.state = "starting"
+        slot.missed = 0
+        slot.restarts += 1
+        slot.started_at = time.monotonic()
+        self.table.set_state(slot.index, "starting")
+        self._event("restart", slot.index, restarts=slot.restarts)
+
+    # -- reporting -----------------------------------------------------
+    def _event(self, kind: str, shard: int, **detail) -> None:
+        with self._events_lock:
+            self.events.append(
+                {"t": time.time(), "kind": kind, "shard": shard, **detail}
+            )
+            if len(self.events) > 4096:
+                del self.events[:2048]
+
+    def describe(self) -> dict:
+        """Supervisor summary embedded in the router's ``GET /status``."""
+        with self._events_lock:
+            recent = list(self.events[-32:])
+        return {
+            "shards": [
+                {
+                    "shard": s.index,
+                    "state": s.state,
+                    "pid": s.handle.pid,
+                    "restarts": s.restarts,
+                    "missed": s.missed,
+                }
+                for s in self.slots
+            ],
+            "recent_events": recent,
+        }

@@ -1,0 +1,530 @@
+"""Front-door proxy for a sharded ask/tell fleet.
+
+One :class:`FleetRouter` stands in front of N shard servers (each a
+:class:`~repro.service.server.ServiceServer` in its own process) and
+gives clients a single base URL:
+
+- **consistent-hash routing** — every session name maps to one owner
+  shard via :class:`HashRing` (MD5 ring with virtual nodes), so a
+  session's engine state lives in exactly one process and resizing the
+  fleet moves only ~1/N of the keyspace;
+- **admission control** — a global :class:`TokenBucket` rate limiter
+  plus a bounded per-shard :class:`AdmissionGate` (in-flight cap with a
+  short wait queue); load beyond either is *shed* with 429 and a
+  ``Retry-After`` hint rather than queued into memory;
+- **deadline propagation** — a request's ``X-Repro-Deadline`` header
+  bounds the time spent queued here *and* the upstream socket timeout,
+  and an expired deadline is answered 504 without touching the shard;
+- **failure containment** — a shard that is down (being restarted by
+  the :class:`~repro.service.fleet.FleetSupervisor`) answers 503 +
+  ``Retry-After`` for its slice of sessions only; the rest of the
+  fleet is unaffected;
+- **aggregation** — ``GET /status`` reports per-shard health and
+  sessions, ``GET /metrics`` merges per-shard metric snapshots
+  (:func:`repro.obs.metrics.merge_snapshots`) next to the router's own.
+
+The router is deliberately stateless about sessions: all durable state
+lives in the shards' per-session checkpoints, which is what makes
+kill-and-restart recovery a shard-local affair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import ThreadingHTTPServer
+
+from repro.obs.metrics import get_metrics, merge_snapshots
+from repro.service.server import (
+    DEADLINE_HEADER,
+    JsonRequestHandler,
+    _observe_request,
+)
+from repro.util import (
+    BackpressureError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ValidationError,
+)
+
+class HashRing:
+    """Consistent hashing of session names onto shard indices.
+
+    An MD5 ring with ``replicas`` virtual nodes per shard: the owner of
+    a name is the first virtual node clockwise of the name's hash.
+    Ownership is a pure function of ``(name, n_shards, replicas)`` —
+    every router instance, restarted or concurrent, agrees — and
+    adding/removing a shard remaps only ~1/N of names (the classic
+    consistent-hashing guarantee), so a resized fleet mostly keeps its
+    session placement.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        ring = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                ring.append((self._hash(f"shard-{shard}#{replica}"), shard))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners = [s for _, s in ring]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def owner(self, name: str) -> int:
+        """The shard index owning ``name``."""
+        point = self._hash(name)
+        lo, hi = 0, len(self._points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._points[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._owners[lo % len(self._owners)]
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    ``try_take`` never blocks; on refusal it returns the time until one
+    token will exist, which becomes the 429 ``Retry-After`` hint.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst < 1:
+            raise ConfigurationError(
+                f"need rate > 0 and burst >= 1, got rate={rate} burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = self.burst
+        self._stamp = float(clock())
+        self._lock = threading.Lock()
+
+    def try_take(self, n: float = 1.0) -> tuple[bool, float]:
+        """``(admitted, wait_s_until_a_token)``."""
+        with self._lock:
+            now = float(self.clock())
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True, 0.0
+            return False, (n - self._tokens) / self.rate
+
+
+class AdmissionGate:
+    """Bounded per-shard admission: an in-flight cap + a short queue.
+
+    Up to ``max_inflight`` requests may be inside the shard at once;
+    up to ``max_queue`` more may wait (bounded, deadline-aware). Anyone
+    beyond that is shed immediately — the queue is a shock absorber,
+    not a reservoir, so a slow shard's latency does not grow without
+    bound while looking "accepted".
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int):
+        if max_inflight < 1 or max_queue < 0:
+            raise ConfigurationError(
+                f"need max_inflight >= 1 and max_queue >= 0, got "
+                f"{max_inflight}/{max_queue}"
+            )
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.inflight = 0
+        self.queued = 0
+        self._cond = threading.Condition()
+
+    def admit(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` s for an in-flight slot; False = shed."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._cond:
+            if self.inflight < self.max_inflight:
+                self.inflight += 1
+                return True
+            if self.queued >= self.max_queue:
+                return False
+            self.queued += 1
+            try:
+                while self.inflight >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self.inflight >= self.max_inflight:
+                            return False
+                self.inflight += 1
+                return True
+            finally:
+                self.queued -= 1
+
+    def release(self) -> None:
+        with self._cond:
+            self.inflight -= 1
+            self._cond.notify()
+
+
+class ShardTable:
+    """Thread-safe registry of shard slots the router forwards to.
+
+    The supervisor owns mutation (announce/mark-down); the router only
+    reads. A slot's ``url`` is None while its process is down or not
+    yet announced.
+    """
+
+    def __init__(self, n_shards: int):
+        self.n_shards = int(n_shards)
+        self._urls: list[str | None] = [None] * self.n_shards
+        self._states: list[str] = ["starting"] * self.n_shards
+        self._lock = threading.Lock()
+
+    def set_url(self, index: int, url: str | None) -> None:
+        with self._lock:
+            self._urls[index] = url
+
+    def set_state(self, index: int, state: str) -> None:
+        with self._lock:
+            self._states[index] = state
+
+    def url(self, index: int) -> str | None:
+        with self._lock:
+            return self._urls[index]
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return [
+                {"shard": i, "url": self._urls[i], "state": self._states[i]}
+                for i in range(self.n_shards)
+            ]
+
+
+class _RouterHandler(JsonRequestHandler):
+    metric_prefix = "service.router"
+
+    def _route(self, method: str) -> tuple[str, int, dict]:
+        router: FleetRouter = self.server.router
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if router.draining and not (method, parts) == ("GET", ["status"]):
+            return "draining", 503, {
+                "error": "Draining",
+                "message": "fleet is shutting down",
+            }
+        if method == "GET" and parts == ["status"]:
+            return "status", 200, router.fleet_status()
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", 200, router.fleet_metrics()
+        if method == "POST" and parts == ["shutdown"]:
+            router.request_shutdown()
+            return "shutdown", 202, {"status": "draining"}
+        if method == "POST" and parts == ["sessions"]:
+            payload = self._read_json()
+            name = payload.get("name")
+            if not isinstance(name, str) or not name:
+                raise ValidationError("session spec must carry a 'name' string")
+            body = json.dumps(payload).encode("utf-8")
+            return self._forward("create", name, method, body)
+        if len(parts) == 3 and parts[0] == "sessions":
+            body = None
+            if method == "POST":
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b"{}"
+            return self._forward(parts[2], parts[1], method, body)
+        raise ValidationError(f"no route for {method} {self.path}")
+
+    def _forward(
+        self, route: str, session: str, method: str, body: bytes | None
+    ) -> tuple[str, int, dict]:
+        router: FleetRouter = self.server.router
+        status, payload = router.forward(
+            session,
+            method,
+            self.path,
+            body,
+            deadline=self.deadline(),
+        )
+        return route, status, payload
+
+
+class FleetRouter:
+    """The fleet's single public endpoint: route, admit, relay, report.
+
+    Parameters
+    ----------
+    table:
+        The :class:`ShardTable` the supervisor keeps current.
+    host / port:
+        Bind address (``port=0`` picks an ephemeral port).
+    max_inflight / max_queue:
+        Per-shard admission bounds (see :class:`AdmissionGate`).
+    queue_timeout_s:
+        Longest a request may wait for an in-flight slot before being
+        shed (bounded further by its propagated deadline).
+    rate / burst:
+        Optional global token-bucket rate limit (requests/s and burst
+        size); ``rate=None`` disables it.
+    upstream_timeout_s:
+        Socket timeout for proxied shard calls (bounded further by the
+        propagated deadline).
+    retry_after_s:
+        Default ``Retry-After`` hint on 429/503 answers.
+    """
+
+    def __init__(
+        self,
+        table: ShardTable,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        max_queue: int = 64,
+        queue_timeout_s: float = 2.0,
+        rate: float | None = None,
+        burst: float | None = None,
+        upstream_timeout_s: float = 30.0,
+        retry_after_s: float = 1.0,
+        quiet: bool = True,
+        fleet_info=None,
+    ):
+        self.table = table
+        self.ring = HashRing(table.n_shards)
+        self.gates = [
+            AdmissionGate(max_inflight, max_queue)
+            for _ in range(table.n_shards)
+        ]
+        self.bucket = (
+            None
+            if rate is None
+            else TokenBucket(rate, burst if burst is not None else 2 * rate)
+        )
+        self.queue_timeout_s = float(queue_timeout_s)
+        self.upstream_timeout_s = float(upstream_timeout_s)
+        self.retry_after_s = float(retry_after_s)
+        self.fleet_info = fleet_info
+        self.draining = False
+        self._started_at = time.time()
+        self._shutdown_requested = threading.Event()
+        self.httpd = ThreadingHTTPServer((host, port), _RouterHandler)
+        self.httpd.daemon_threads = False
+        self.httpd.router = self
+        self.httpd.quiet = quiet
+        self.httpd.retry_after_s = self.retry_after_s
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetRouter":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-fleet-router",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        self.draining = True
+        self._shutdown_requested.set()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown_requested.is_set()
+
+    def wait_for_shutdown_request(self, timeout: float | None = None) -> bool:
+        return self._shutdown_requested.wait(timeout)
+
+    def stop(self) -> None:
+        self.draining = True
+        self._shutdown_requested.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the proxy core ------------------------------------------------
+    def owner(self, session: str) -> int:
+        return self.ring.owner(session)
+
+    def forward(
+        self,
+        session: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        deadline: float | None = None,
+    ) -> tuple[int, dict]:
+        """Admit, route, and relay one session-scoped request."""
+        metrics = get_metrics()
+        if self.bucket is not None:
+            admitted, wait = self.bucket.try_take()
+            if not admitted:
+                metrics.counter("service.router.shed_rate").inc()
+                raise BackpressureError(
+                    f"fleet rate limit exceeded; retry in {wait:.3f}s",
+                    retry_after=wait,
+                )
+        shard = self.ring.owner(session)
+        url = self.table.url(shard)
+        if url is None:
+            metrics.counter("service.router.shard_unavailable").inc()
+            return 503, {
+                "error": "ShardUnavailable",
+                "message": f"shard {shard} (owner of {session!r}) is "
+                           "down or restarting",
+                "shard": shard,
+            }
+        queue_timeout = self.queue_timeout_s
+        if deadline is not None:
+            queue_timeout = min(queue_timeout, deadline - time.time())
+        gate = self.gates[shard]
+        if not gate.admit(max(0.0, queue_timeout)):
+            metrics.counter("service.router.shed_queue").inc()
+            raise BackpressureError(
+                f"shard {shard} admission queue is full "
+                f"({gate.max_inflight} in flight, {gate.max_queue} queued)",
+                retry_after=self.retry_after_s,
+            )
+        try:
+            return self._relay(shard, url, method, path, body, deadline)
+        finally:
+            gate.release()
+
+    def _relay(
+        self,
+        shard: int,
+        url: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        deadline: float | None,
+    ) -> tuple[int, dict]:
+        timeout = self.upstream_timeout_s
+        headers = {"Content-Type": "application/json"}
+        if deadline is not None:
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "deadline expired while queued at the router"
+                )
+            timeout = min(timeout, remaining)
+            headers[DEADLINE_HEADER] = f"{deadline:.6f}"
+        req = urllib.request.Request(
+            url + path, data=body, method=method, headers=headers
+        )
+        metrics = get_metrics()
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                if not isinstance(payload, dict):  # pragma: no cover
+                    payload = {"error": "HTTPError", "message": str(exc)}
+            except Exception:  # pragma: no cover - malformed shard answer
+                payload = {"error": "HTTPError", "message": str(exc)}
+            status = exc.code
+        except (TimeoutError, urllib.error.URLError, ConnectionError) as exc:
+            reason = getattr(exc, "reason", exc)
+            if deadline is not None and time.time() >= deadline:
+                raise DeadlineExceededError(
+                    f"shard {shard} exceeded the propagated deadline"
+                ) from None
+            metrics.counter("service.router.upstream_errors").inc()
+            return 503, {
+                "error": "ShardUnavailable",
+                "message": f"shard {shard} did not answer: {reason}",
+                "shard": shard,
+            }
+        finally:
+            _observe_request(
+                f"service.router.upstream.shard{shard}",
+                0,
+                time.perf_counter() - t0,
+            )
+        metrics.counter("service.router.forwarded").inc()
+        return status, payload
+
+    # -- aggregation ---------------------------------------------------
+    def _fetch(self, url: str, path: str, timeout: float = 3.0):
+        req = urllib.request.Request(url + path, method="GET")
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def fleet_status(self) -> dict:
+        shards = []
+        for slot in self.table.snapshot():
+            entry = dict(slot)
+            gate = self.gates[slot["shard"]]
+            entry["inflight"] = gate.inflight
+            entry["queued"] = gate.queued
+            if slot["url"] is not None:
+                try:
+                    upstream = self._fetch(slot["url"], "/status")
+                    entry["sessions"] = upstream.get("sessions", [])
+                    entry["draining"] = upstream.get("draining", False)
+                except Exception as exc:
+                    entry["probe_error"] = str(exc)
+            shards.append(entry)
+        status = {
+            "role": "fleet-router",
+            "draining": self.draining,
+            "uptime_s": time.time() - self._started_at,
+            "n_shards": self.table.n_shards,
+            "shards": shards,
+            "sessions": sorted(
+                name for s in shards for name in s.get("sessions", [])
+            ),
+        }
+        if self.fleet_info is not None:
+            status["supervisor"] = self.fleet_info()
+        return status
+
+    def fleet_metrics(self) -> dict:
+        per_shard: dict[str, dict] = {}
+        for slot in self.table.snapshot():
+            if slot["url"] is None:
+                continue
+            try:
+                per_shard[str(slot["shard"])] = self._fetch(
+                    slot["url"], "/metrics"
+                )
+            except Exception:
+                per_shard[str(slot["shard"])] = {}
+        return {
+            "router": get_metrics().snapshot(),
+            "fleet": merge_snapshots(per_shard.values()),
+            "shards": per_shard,
+        }

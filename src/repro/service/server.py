@@ -21,7 +21,10 @@ Error taxonomy → HTTP status: validation/configuration mistakes are
 400, unknown sessions/tickets 404, backpressure
 (:class:`~repro.util.errors.BackpressureError`, e.g. the per-session
 in-flight-ask cap) 429, evaluation-layer failures 422, a draining
-server 503, everything unexpected 500. Bodies are always JSON.
+server 503, an expired propagated deadline (``X-Repro-Deadline``
+header, unix seconds) 504, everything unexpected 500. Bodies are
+always JSON; 429/503 responses carry a ``Retry-After`` header so a
+well-behaved client never stampedes a recovering server.
 
 Graceful drain: :meth:`ServiceServer.stop` flips the draining flag (new
 requests get 503), stops the accept loop, joins every in-flight handler
@@ -41,6 +44,7 @@ from repro.service.sessions import SessionManager
 from repro.util import (
     BackpressureError,
     ConfigurationError,
+    DeadlineExceededError,
     EvaluationError,
     ReproError,
     UnknownSessionError,
@@ -51,9 +55,13 @@ from repro.util import (
 #: Largest accepted request body (a spec or a tell — tiny in practice).
 MAX_BODY = 1 << 20
 
+#: Request header carrying the caller's absolute deadline (unix s).
+DEADLINE_HEADER = "X-Repro-Deadline"
+
 #: Error class → HTTP status code.
-_STATUS = (
+ERROR_STATUS = (
     (BackpressureError, 429),
+    (DeadlineExceededError, 504),
     (UnknownSessionError, 404),
     (UnknownTicketError, 404),
     (EvaluationError, 422),
@@ -61,36 +69,52 @@ _STATUS = (
     (ConfigurationError, 400),
     (ReproError, 500),
 )
+_STATUS = ERROR_STATUS  # historical alias
 
 # Metric instruments may be hit from many handler threads at once;
 # StreamingQuantiles appends are not atomic under mutation + trim.
 _METRICS_LOCK = threading.Lock()
 
 
-def _observe_request(route: str, status: int, seconds: float) -> None:
+def _observe_request(name: str, status: int, seconds: float) -> None:
     metrics = get_metrics()
     if not metrics.enabled:
         return
     with _METRICS_LOCK:
-        metrics.counter(f"service.http.{route}.requests").inc()
+        metrics.counter(f"{name}.requests").inc()
         if status >= 400:
-            metrics.counter(f"service.http.{route}.errors").inc()
-        metrics.histogram(f"service.http.{route}.latency_s").observe(seconds)
+            metrics.counter(f"{name}.errors").inc()
+        metrics.histogram(f"{name}.latency_s").observe(seconds)
 
 
-class _ServiceHandler(BaseHTTPRequestHandler):
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared JSON-over-HTTP plumbing for the shard and router servers.
+
+    Subclasses implement ``_route(method) -> (route, status, payload)``
+    and may return headers via :meth:`_extra_headers`; everything else
+    — body parsing, error→status translation, deadline enforcement,
+    Retry-After hints, per-route metrics — lives here so the fleet's
+    front door and its shards answer identically.
+    """
+
     server_version = "repro-service/1"
+    #: Metric prefix for :func:`_observe_request`.
+    metric_prefix = "service.http"
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, fmt, *args):  # pragma: no cover - log routing
         if not self.server.quiet:
             BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -108,30 +132,79 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise ValidationError("request body must be a JSON object")
         return payload
 
+    def deadline(self) -> float | None:
+        """The request's absolute deadline (unix seconds), if any."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{DEADLINE_HEADER} must be unix seconds, got {raw!r}"
+            )
+
+    def check_deadline(self) -> float | None:
+        """Remaining seconds before the deadline; raises when expired."""
+        deadline = self.deadline()
+        if deadline is None:
+            return None
+        remaining = deadline - time.time()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"deadline expired {-remaining:.3f}s before the request "
+                "was handled"
+            )
+        return remaining
+
+    def _retry_after(self) -> float:
+        return getattr(self.server, "retry_after_s", 1.0)
+
+    def _extra_headers(self, status: int, exc: Exception | None) -> dict:
+        """Response headers beyond Content-*; 429/503 advertise backoff."""
+        headers: dict[str, str] = {}
+        if status in (429, 503):
+            hint = getattr(exc, "retry_after", None)
+            if hint is None:
+                hint = self._retry_after()
+            headers["Retry-After"] = f"{max(0.0, float(hint)):.3f}"
+        return headers
+
     def _dispatch(self, method: str) -> None:
         t0 = time.perf_counter()
         route = "unknown"
         status = 500
+        exc_seen: Exception | None = None
         try:
+            self.check_deadline()
             route, status, payload = self._route(method)
         except Exception as exc:  # noqa: BLE001 - boundary translation
+            exc_seen = exc
             status = 500
-            for cls, code in _STATUS:
+            for cls, code in ERROR_STATUS:
                 if isinstance(exc, cls):
                     status = code
                     break
             payload = {"error": type(exc).__name__, "message": str(exc)}
         try:
-            self._send(status, payload)
+            self._send(status, payload, self._extra_headers(status, exc_seen))
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-response; nothing to salvage
-        _observe_request(route, status, time.perf_counter() - t0)
+        _observe_request(
+            f"{self.metric_prefix}.{route}", status, time.perf_counter() - t0
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
+
+    def _route(self, method: str) -> tuple[str, int, dict]:
+        raise NotImplementedError
+
+
+class _ServiceHandler(JsonRequestHandler):
 
     # -- routing -------------------------------------------------------
     def _route(self, method: str) -> tuple[str, int, dict]:
@@ -229,6 +302,7 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        retry_after_s: float = 1.0,
     ):
         self.manager = manager
         self.draining = False
@@ -238,6 +312,7 @@ class ServiceServer:
         self.httpd.daemon_threads = False  # join in-flight handlers on stop
         self.httpd.service = self
         self.httpd.quiet = quiet
+        self.httpd.retry_after_s = float(retry_after_s)
         self._thread: threading.Thread | None = None
 
     @property

@@ -30,8 +30,9 @@ import time
 from pathlib import Path
 
 from repro.core import algorithm_names, is_known_algorithm
+from repro.obs.metrics import get_metrics
 from repro.portfolio.fantasy import check_fantasy_mode
-from repro.resilience.atomic import atomic_write_json
+from repro.resilience.atomic import atomic_write_json, load_json_with_backup
 from repro.service.engine import AskTellEngine
 from repro.util import (
     BackpressureError,
@@ -154,6 +155,17 @@ class Session:
             "engine": self.engine.get_state(),
         }
 
+    def quiescent(self, now: float | None = None) -> bool:
+        """True when no worker may still answer an in-flight ticket.
+
+        Only quiescent sessions are eligible for LRU/idle eviction:
+        evicting a session mid-evaluation would force a reload (and an
+        expiry sweep it cannot run while off-memory) between a worker's
+        ask and its tell, turning healthy in-flight work into requeue
+        churn under memory pressure.
+        """
+        return self.engine.live_pending(now) == 0
+
 
 class SessionManager:
     """Concurrent named sessions over an optional crash-safe store.
@@ -172,6 +184,11 @@ class SessionManager:
         session from memory (state stays on disk). None: never.
     fsync:
         Force checkpoints to stable storage (disable only in tests).
+    backup_checkpoints:
+        Keep the previous checkpoint generation as ``<name>.json.bak``
+        on every persist, and fall back to it when the primary is
+        corrupt. Costs one extra write per mutation; fleet shards turn
+        it on, a single laptop server usually does not need it.
     clock:
         Injectable time source (shared with the engines it builds).
     """
@@ -182,6 +199,7 @@ class SessionManager:
         max_sessions: int = 64,
         idle_timeout: float | None = None,
         fsync: bool = True,
+        backup_checkpoints: bool = False,
         clock=time.time,
     ):
         if max_sessions < 1:
@@ -194,6 +212,7 @@ class SessionManager:
         self.max_sessions = int(max_sessions)
         self.idle_timeout = None if idle_timeout is None else float(idle_timeout)
         self.fsync = bool(fsync)
+        self.backup_checkpoints = bool(backup_checkpoints)
         self.clock = clock
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()  # guards the dict, not the engines
@@ -247,11 +266,13 @@ class SessionManager:
 
     def _load_locked(self, name: str, path: Path) -> Session:
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data, recovered = load_json_with_backup(path)
         except (OSError, json.JSONDecodeError) as exc:
             raise ConfigurationError(
                 f"session store for {name!r} is unreadable: {exc}"
             ) from exc
+        if recovered:
+            get_metrics().counter("service.sessions.backup_recoveries").inc()
         if data.get("schema") != STORE_SCHEMA:
             raise ConfigurationError(
                 f"session store schema {data.get('schema')!r} not supported"
@@ -273,17 +294,25 @@ class SessionManager:
             self._evict_locked(victim)
 
     def _pick_lru_locked(self) -> Session | None:
-        """Least recently used session whose lock is free right now.
+        """Least recently used *ticket-quiescent* session, lock free.
 
         New checkouts need the manager lock (held by the caller), so a
         session probed free here stays free until eviction completes.
+        Sessions holding unexpired in-flight tickets are skipped: a
+        worker is mid-evaluation against them, and eviction would trade
+        its healthy tell for reload churn (or a spurious requeue).
         """
         if self.store_dir is None:
             return None  # nothing to spill to: refuse rather than lose state
+        now = float(self.clock())
         for s in sorted(self._sessions.values(), key=lambda s: s.last_used):
-            if s.lock.acquire(blocking=False):
+            if not s.lock.acquire(blocking=False):
+                continue
+            try:
+                if s.quiescent(now):
+                    return s
+            finally:
                 s.lock.release()
-                return s
         return None
 
     def _evict_locked(self, session: Session) -> None:
@@ -305,6 +334,8 @@ class SessionManager:
                 if not session.lock.acquire(blocking=False):
                     continue  # busy right now — not idle after all
                 try:
+                    if not session.quiescent(now):
+                        continue  # a worker still owes this session a tell
                     self._evict_locked(session)
                     evicted += 1
                 finally:
@@ -333,7 +364,12 @@ class SessionManager:
         path = self._path(session.name)
         if path is None:
             return
-        atomic_write_json(path, session.checkpoint(), fsync=self.fsync)
+        atomic_write_json(
+            path,
+            session.checkpoint(),
+            fsync=self.fsync,
+            backup=self.backup_checkpoints,
+        )
 
     def persist_all(self) -> None:
         """Persist every resident session (the shutdown drain path)."""

@@ -8,8 +8,13 @@ simulation), with the master's loop inverted into the ask/tell server.
 
 The loop is deliberately fault-tolerant in both directions:
 
-- transient HTTP failures are retried with backoff by the client;
-- 429 (backpressure: too many asks in flight) backs off and retries;
+- transient HTTP failures are retried with full-jitter backoff by the
+  client, behind a shared circuit breaker that fails fast (and sleeps)
+  while a shard is being restarted instead of hammering it;
+- 429 (backpressure: too many asks in flight) backs off with full
+  jitter, honoring the server's ``Retry-After`` hint as a floor, so a
+  fleet of workers released from backpressure does not return as one
+  thundering herd;
 - a tell answered ``expired`` (the worker held the ticket past the
   session's ``ask_timeout`` — from the server's perspective this worker
   was dead and the point was requeued) is simply counted; the result is
@@ -25,10 +30,17 @@ holds a ticket.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServiceClient,
+    ServiceClientError,
+    full_jitter,
+)
 from repro.service.sessions import build_problem, validate_spec
 from repro.util import ConfigurationError
 
@@ -86,13 +98,16 @@ def run_worker(
         Extra sleep between ask and tell (simulated slow simulation).
     client / evaluator:
         Injectables for tests: a pre-built client, and a callable
-        ``f(x) -> float`` replacing the spec-derived problem.
+        ``f(x) -> float`` replacing the spec-derived problem. The
+        default client carries a circuit breaker, so a dead or
+        restarting server is probed gently instead of hammered.
     """
     if max_evals is None and deadline_s is None:
         raise ConfigurationError(
             "give max_evals and/or deadline_s — a worker needs a budget"
         )
-    client = client or ServiceClient(url)
+    rng = random.Random()
+    client = client or ServiceClient(url, breaker=CircuitBreaker())
     stats = WorkerStats()
     t0 = time.time()
 
@@ -101,7 +116,8 @@ def run_worker(
         problem = build_problem(validate_spec(status["spec"]))
         evaluator = lambda x: float(problem(x[None, :])[0])  # noqa: E731
 
-    backoff = backoff_s
+    attempt = 0
+    backoff_cap = 16.0 * backoff_s
     while True:
         if max_evals is not None and stats.n_told >= max_evals:
             break
@@ -109,27 +125,46 @@ def run_worker(
             break
         try:
             tickets = client.ask(session, 1)
+        except CircuitOpenError as exc:
+            # The breaker is protecting a sick endpoint: sleep out the
+            # cooldown (plus jitter) and let the half-open probe decide.
+            stats.n_backoff += 1
+            sleep(full_jitter(backoff_s, 0, backoff_cap, rng,
+                              retry_after=exc.retry_after))
+            continue
         except ServiceClientError as exc:
             if exc.status == 429:  # backpressure: let the fleet drain
                 stats.n_backoff += 1
-                sleep(backoff)
-                backoff = min(backoff * 2.0, 16.0 * backoff_s)
+                sleep(full_jitter(backoff_s, attempt, backoff_cap, rng,
+                                  retry_after=exc.retry_after))
+                attempt += 1
                 continue
             if exc.status == 503:  # draining server: we are done here
                 break
             raise
-        backoff = backoff_s
+        attempt = 0
         ticket, x = tickets[0]
         stats.n_asked += 1
         if hold_s > 0.0:
             sleep(hold_s)
         y = evaluator(x)
-        try:
-            result = client.tell(session, ticket, y)
-        except ServiceClientError as exc:
-            if exc.status == 503:
-                break
-            raise
+        result = None
+        while result is None:
+            try:
+                result = client.tell(session, ticket, y)
+            except CircuitOpenError as exc:
+                # Never abandon a computed result: the ticket would sit
+                # pending until the expiry sweep requeues it. Wait the
+                # breaker out and deliver.
+                stats.n_backoff += 1
+                sleep(full_jitter(backoff_s, 0, backoff_cap, rng,
+                                  retry_after=exc.retry_after))
+            except ServiceClientError as exc:
+                if exc.status == 503:
+                    break
+                raise
+        if result is None:  # draining server mid-tell
+            break
         stats.record(result.get("status", "unknown"))
         if not quiet:
             print(

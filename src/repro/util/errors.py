@@ -111,8 +111,26 @@ class BackpressureError(ServiceError):
     """The service is at capacity and refuses new work (HTTP 429).
 
     Raised when a session already has the maximum number of in-flight
-    asks outstanding, or when the session manager cannot admit another
-    session without an on-disk store to spill to.
+    asks outstanding, when the session manager cannot admit another
+    session without an on-disk store to spill to, or when the fleet
+    router's admission queue / token bucket sheds load. May carry a
+    ``retry_after`` hint (seconds) surfaced as the HTTP ``Retry-After``
+    header.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """The caller's propagated deadline expired before completion (504).
+
+    Requests may carry an absolute deadline (``X-Repro-Deadline``, unix
+    seconds); the router and the shard servers refuse to start — or
+    relay a timeout for — work whose deadline has already passed, so a
+    slow shard sheds exactly the requests whose answers nobody is still
+    waiting for.
     """
 
 

@@ -8,6 +8,7 @@ import sys
 import pytest
 
 from repro.cli import (
+    build_fleet_parser,
     build_parser,
     build_serve_parser,
     build_worker_parser,
@@ -62,6 +63,25 @@ class TestServiceParsers:
         assert args.deadline is None
         assert args.hold == 0.0
         assert args.backoff == 0.2
+
+    def test_serve_announce_and_backup_flags(self):
+        args = build_serve_parser().parse_args(
+            ["--announce", "a.json", "--backup-checkpoints"]
+        )
+        assert args.announce == "a.json"
+        assert args.backup_checkpoints is True
+
+    def test_fleet_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_fleet_parser().parse_args(["--shards", "2"])
+
+    def test_fleet_defaults(self):
+        args = build_fleet_parser().parse_args(["--store", "fleet/"])
+        assert args.shards == 2
+        assert args.port == 8750
+        assert args.heartbeat == 1.0
+        assert args.max_missed == 3
+        assert args.rate is None
 
 
 class TestParser:

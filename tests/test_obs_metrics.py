@@ -259,3 +259,55 @@ class TestRegistry:
         null.gauge("z").set(2.0)
         assert null.snapshot() == {}
         assert null.names() == []
+
+
+class TestMergeSnapshots:
+    """Cross-shard snapshot merging for the fleet's GET /metrics."""
+
+    def make_shard(self, counter_n, latencies):
+        registry = MetricsRegistry()
+        registry.counter("ask.requests").inc(counter_n)
+        hist = registry.histogram("ask.latency_s")
+        for v in latencies:
+            hist.observe(v)
+        registry.gauge("sessions").set(counter_n)
+        return registry.snapshot()
+
+    def test_counters_sum_and_histograms_pool(self):
+        from repro.obs import merge_snapshots
+
+        a = self.make_shard(3, [0.1, 0.2])
+        b = self.make_shard(5, [0.4])
+        merged = merge_snapshots([a, b])
+        assert merged["ask.requests"]["value"] == 8
+        assert merged["ask.requests"]["shards"] == 2
+        hist = merged["ask.latency_s"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.7)
+        assert hist["max"] == pytest.approx(0.4)
+        # p99 is the max across shards: conservative for SLO checks
+        assert hist["p99"] >= max(a["ask.latency_s"]["p99"],
+                                  b["ask.latency_s"]["p99"]) - 1e-12
+        assert merged["sessions"]["value"] == 8
+
+    def test_disjoint_names_union(self):
+        from repro.obs import merge_snapshots
+
+        a = self.make_shard(1, [0.1])
+        b = {"other.counter": {"kind": "counter", "value": 2}}
+        merged = merge_snapshots([a, b])
+        assert merged["other.counter"]["value"] == 2
+        assert merged["ask.requests"]["value"] == 1
+
+    def test_kind_conflict_is_a_typed_error(self):
+        from repro.obs import merge_snapshots
+
+        a = {"m": {"kind": "counter", "value": 1}}
+        b = {"m": {"kind": "gauge", "value": 2}}
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([a, b])
+
+    def test_empty_input(self):
+        from repro.obs import merge_snapshots
+
+        assert merge_snapshots([]) == {}

@@ -1,0 +1,253 @@
+"""Tests for client-side resilience: jitter, breaker, Retry-After,
+deadline propagation."""
+
+import io
+import json
+import random
+import urllib.error
+import urllib.request
+from email.message import Message
+
+import pytest
+
+from repro.service import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceServer,
+    SessionManager,
+    full_jitter,
+)
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+class TestFullJitter:
+    def test_bounded_by_doubling_and_cap(self):
+        rng = random.Random(7)
+        for attempt in range(8):
+            for _ in range(50):
+                d = full_jitter(0.1, attempt, 1.5, rng)
+                assert 0.0 <= d <= min(1.5, 0.1 * 2**attempt)
+
+    def test_retry_after_is_a_floor_not_a_ceiling(self):
+        rng = random.Random(7)
+        delays = [full_jitter(0.1, 0, 1.0, rng, retry_after=2.0)
+                  for _ in range(50)]
+        assert all(d >= 2.0 for d in delays)
+        assert any(d > 2.0 for d in delays)  # jitter rides on top
+
+    def test_jitter_actually_spreads(self):
+        rng = random.Random(7)
+        delays = {round(full_jitter(1.0, 3, 10.0, rng), 6)
+                  for _ in range(20)}
+        assert len(delays) > 10
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        self.now = [0.0]
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("cooldown_s", 1.0)
+        kw.setdefault("rng", random.Random(0))
+        return CircuitBreaker(clock=lambda: self.now[0], **kw)
+
+    def trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+
+    def test_closed_allows_and_success_resets(self):
+        breaker = self.make()
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_opens_after_threshold_and_fails_fast(self):
+        breaker = self.make()
+        self.trip(breaker)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_in() > 0.0
+        assert breaker.stats["opened"] == 1
+        assert breaker.stats["fast_failures"] == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = self.make()
+        self.trip(breaker)
+        self.now[0] += 10.0  # past any jittered cooldown
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else still fails fast
+        assert breaker.stats["probes"] == 1
+
+    def test_successful_probe_closes_and_resets_cooldown(self):
+        breaker = self.make()
+        self.trip(breaker)
+        self.now[0] += 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker._cooldown == breaker.base_cooldown_s
+
+    def test_failed_probe_reopens_with_doubled_capped_cooldown(self):
+        breaker = self.make(max_cooldown_s=3.0)
+        for _ in range(4):
+            if breaker.state == "closed":
+                self.trip(breaker)
+            self.now[0] += 100.0
+            assert breaker.allow()
+            breaker.record_failure()  # probe fails
+            assert breaker.state == "open"
+        assert breaker._cooldown == 3.0  # 1 -> 2 -> 3 (capped) -> 3
+
+
+def fake_transport(monkeypatch, script):
+    """Replace urlopen with a scripted sequence of answers.
+
+    ``script`` entries: an Exception instance to raise, or a dict to
+    return as the JSON body. Returns the list of issued requests.
+    """
+    calls = []
+
+    class _Resp:
+        def __init__(self, payload):
+            self.payload = payload
+            self.status = 200
+
+        def read(self):
+            return json.dumps(self.payload).encode()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    def fake_urlopen(req, timeout=None):
+        calls.append((req, timeout))
+        action = script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        return _Resp(action)
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    return calls
+
+
+def http_error(code, retry_after=None, payload=None):
+    headers = Message()
+    if retry_after is not None:
+        headers["Retry-After"] = str(retry_after)
+    body = json.dumps(payload or {"error": "E", "message": "m"}).encode()
+    return urllib.error.HTTPError(
+        "http://x", code, "err", headers, io.BytesIO(body)
+    )
+
+
+class TestClientRetries:
+    def test_retry_after_floors_the_backoff_sleep(self, monkeypatch):
+        fake_transport(monkeypatch, [http_error(429, retry_after=1.5),
+                                     {"ok": True}])
+        sleeps = []
+        client = ServiceClient(
+            "http://x", max_retries=2, backoff=0.01,
+            retry_backpressure=True, sleep=sleeps.append,
+            rng=random.Random(0),
+        )
+        assert client.request("GET", "/status") == {"ok": True}
+        assert len(sleeps) == 1 and sleeps[0] >= 1.5
+
+    def test_429_not_retried_by_default(self, monkeypatch):
+        fake_transport(monkeypatch, [http_error(429, retry_after=2.0)])
+        client = ServiceClient("http://x", max_retries=3, sleep=lambda s: None)
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/status")
+        assert exc.value.status == 429
+        assert exc.value.retry_after == 2.0
+
+    def test_503_retried_then_surfaced_with_status(self, monkeypatch):
+        fake_transport(monkeypatch, [http_error(503, retry_after=0.1)] * 3)
+        client = ServiceClient(
+            "http://x", max_retries=2, backoff=0.001,
+            sleep=lambda s: None, rng=random.Random(0),
+        )
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/status")
+        assert exc.value.status == 503
+        assert exc.value.retry_after == 0.1
+
+    def test_transport_errors_exhaust_to_status_zero(self, monkeypatch):
+        fake_transport(
+            monkeypatch, [urllib.error.URLError("refused")] * 2
+        )
+        client = ServiceClient(
+            "http://x", max_retries=1, backoff=0.001, sleep=lambda s: None
+        )
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/status")
+        assert exc.value.status == 0
+
+
+class TestClientBreakerIntegration:
+    def test_breaker_opens_then_fails_fast_without_transport(
+        self, monkeypatch
+    ):
+        calls = fake_transport(
+            monkeypatch, [urllib.error.URLError("down")] * 2
+        )
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        client = ServiceClient(
+            "http://x", max_retries=0, breaker=breaker, sleep=lambda s: None
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceClientError):
+                client.request("GET", "/status")
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as exc:
+            client.request("GET", "/status")
+        assert exc.value.retry_after > 0
+        assert len(calls) == 2  # the fast-fail never touched the wire
+
+    def test_4xx_proves_liveness_and_never_opens(self, monkeypatch):
+        fake_transport(monkeypatch, [http_error(404)] * 5)
+        breaker = CircuitBreaker(failure_threshold=2)
+        client = ServiceClient("http://x", max_retries=0, breaker=breaker)
+        for _ in range(5):
+            with pytest.raises(ServiceClientError):
+                client.request("GET", "/status")
+        assert breaker.state == "closed"
+
+
+class TestDeadlinePropagation:
+    def test_deadline_header_travels(self, monkeypatch):
+        calls = fake_transport(monkeypatch, [{"ok": True}])
+        client = ServiceClient("http://x", deadline_s=5.0, timeout=30.0)
+        client.request("GET", "/status")
+        req, timeout = calls[0]
+        assert float(req.headers["X-repro-deadline"]) > 0
+        assert timeout <= 5.0  # socket timeout bounded by the budget
+
+    def test_expired_deadline_is_504_at_the_server(self):
+        manager = SessionManager()
+        with ServiceServer(manager) as server:
+            req = urllib.request.Request(
+                server.url + "/status",
+                method="GET",
+                headers={"X-Repro-Deadline": "1.0"},  # 1970: long expired
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(req, timeout=5)
+            assert exc.value.code == 504
+            body = json.loads(exc.value.read())
+            assert body["error"] == "DeadlineExceededError"

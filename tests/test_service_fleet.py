@@ -1,0 +1,224 @@
+"""Tests for the fleet supervisor's heartbeat/restart state machine.
+
+The supervisor is exercised against *fake* shards — real in-process
+:class:`ServiceServer` sockets wrapped in the :class:`ShardProcess`
+protocol — so death, wedging, restart, and checkpoint recovery run in
+milliseconds without subprocesses. One test at the end spawns a real
+``repro serve`` shard to cover the announce-file discovery path.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.service import (
+    FleetSupervisor,
+    ServiceClient,
+    ServiceServer,
+    SessionManager,
+    ShardProcess,
+)
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+class FakeShard:
+    """In-process stand-in for a shard subprocess.
+
+    Persists to the same per-shard store a real shard would, so a
+    "restarted" FakeShard recovers sessions from checkpoints exactly
+    like a respawned process.
+    """
+
+    spawned = 0
+
+    def __init__(self, index, store_dir):
+        self.index = index
+        self.store_dir = store_dir
+        self.server = None
+        self._alive = False
+        self._wedged = False
+        type(self).spawned += 1
+
+    def start(self):
+        manager = SessionManager(
+            store_dir=self.store_dir / "sessions", fsync=False
+        )
+        self.server = ServiceServer(manager)
+        self.server.start()
+        self._alive = True
+
+    @property
+    def alive(self):
+        return self._alive
+
+    @property
+    def pid(self):
+        return 90000 + self.index
+
+    def url(self):
+        # Still announced while wedged — only the probe fails.
+        return None if self.server is None else self.server.url
+
+    def wedge(self):
+        """Alive but unresponsive: the slow-shard failure mode."""
+        self._wedged = True
+        self.server.httpd.shutdown()
+
+    def kill(self):
+        if self._alive and self.server is not None:
+            self.server.stop()
+        self._alive = False
+
+    def terminate(self):
+        self.kill()
+
+    def wait(self, timeout=None):
+        return 0
+
+    def send_signal(self, sig):  # pragma: no cover - not used by fakes
+        pass
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+@pytest.fixture
+def fleet(metrics, tmp_path):
+    supervisor = FleetSupervisor(
+        2,
+        tmp_path,
+        heartbeat_s=0.1,
+        heartbeat_timeout_s=0.5,
+        max_missed=2,
+        startup_timeout_s=20.0,
+        restart_backoff_s=0.05,
+        shard_factory=lambda index, store: FakeShard(index, store),
+    )
+    with supervisor:
+        yield supervisor
+
+
+def wait_for(cond, timeout=20.0, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def event_kinds(supervisor, shard):
+    return [e["kind"] for e in supervisor.events if e["shard"] == shard]
+
+
+class TestSupervision:
+    def test_all_shards_become_healthy(self, fleet):
+        assert all(s.state == "healthy" for s in fleet.slots)
+        assert all(
+            slot["url"] is not None for slot in fleet.table.snapshot()
+        )
+
+    def test_dead_shard_is_detected_and_restarted(self, fleet):
+        victim = fleet.slots[0]
+        victim.handle.kill()
+        wait_for(lambda: victim.restarts >= 1, what="restart")
+        wait_for(lambda: victim.state == "healthy", what="re-health")
+        kinds = event_kinds(fleet, 0)
+        assert "dead" in kinds and "restart" in kinds
+        assert kinds.index("dead") < kinds.index("restart")
+        # the table followed the shard down and back up
+        assert fleet.table.snapshot()[0]["url"] is not None
+
+    def test_wedged_shard_goes_suspect_then_dead(self, fleet):
+        victim = fleet.slots[1]
+        victim.handle.wedge()
+        wait_for(lambda: victim.restarts >= 1, what="restart after wedge")
+        kinds = event_kinds(fleet, 1)
+        assert "missed_heartbeat" in kinds
+        assert "dead" in kinds
+        wait_for(lambda: victim.state == "healthy", what="recovery")
+
+    def test_restart_recovers_sessions_and_pending_tickets(self, fleet):
+        client = ServiceClient(fleet.url, max_retries=4, backoff=0.1)
+        client.create_session("recover-me", **SMALL_SPEC)
+        ticket, x = client.ask("recover-me", 1)[0]
+        owner = fleet.router.ring.owner("recover-me")
+        victim = fleet.slots[owner]
+        generation = victim.restarts
+        victim.handle.kill()
+        wait_for(lambda: victim.restarts > generation, what="restart")
+        wait_for(lambda: victim.state == "healthy", what="re-health")
+        # the pre-crash ticket is honoured by the recovered shard
+        result = client.tell("recover-me", ticket, float(np.sum(x**2)))
+        assert result["status"] == "accepted"
+        status = client.session_status("recover-me")
+        assert status["n_pending"] == 0
+        counters = status["counters"]
+        assert counters["asks"] == counters["tells"] + counters["requeues"]
+
+    def test_down_shard_answers_503_until_recovered(self, fleet):
+        from repro.service import ServiceClientError
+
+        client = ServiceClient(fleet.url, max_retries=0)
+        client.create_session("s503", **SMALL_SPEC)
+        owner = fleet.router.ring.owner("s503")
+        victim = fleet.slots[owner]
+        victim.handle.kill()
+        wait_for(lambda: victim.state == "dead" or victim.restarts >= 1,
+                 what="death detection")
+        if victim.state == "dead":
+            with pytest.raises(ServiceClientError) as exc:
+                client.ask("s503")
+            assert exc.value.status == 503
+        wait_for(lambda: victim.state == "healthy", what="recovery")
+        assert client.ask("s503", 1)
+
+    def test_describe_reports_states_and_events(self, fleet):
+        info = fleet.describe()
+        assert len(info["shards"]) == 2
+        assert all(s["state"] == "healthy" for s in info["shards"])
+        assert any(e["kind"] == "spawn" for e in info["recent_events"])
+
+    def test_router_status_embeds_supervisor(self, fleet):
+        client = ServiceClient(fleet.url, max_retries=0)
+        status = client.server_status()
+        assert status["role"] == "fleet-router"
+        assert len(status["supervisor"]["shards"]) == 2
+
+
+class TestShardProcessReal:
+    def test_subprocess_shard_announces_and_serves(self, tmp_path):
+        shard = ShardProcess(0, tmp_path / "shard-00")
+        shard.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            url = None
+            while time.monotonic() < deadline and url is None:
+                url = shard.url()
+                time.sleep(0.1)
+            assert url is not None, "shard never announced"
+            announce = json.loads(
+                (tmp_path / "shard-00" / "announce.json").read_text()
+            )
+            assert announce["pid"] == shard.pid
+            client = ServiceClient(url, max_retries=2, backoff=0.2)
+            assert client.server_status()["draining"] is False
+            assert shard.alive
+        finally:
+            shard.terminate()
+            assert shard.wait(timeout=30.0) == 0

@@ -1,0 +1,285 @@
+"""Tests for the fleet front door: ring, limiters, and the proxy.
+
+The FleetRouter integration tests run against two real in-process
+:class:`ServiceServer` shards — actual sockets, no subprocesses — so
+routing, relaying, error passthrough, and admission behave exactly as
+in the multi-process fleet, just faster.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.service import (
+    AdmissionGate,
+    FleetRouter,
+    HashRing,
+    ServiceClient,
+    ServiceClientError,
+    ServiceServer,
+    SessionManager,
+    ShardTable,
+    TokenBucket,
+)
+
+SMALL_SPEC = {
+    "problem": "sphere",
+    "dim": 2,
+    "algorithm": "random",
+    "n_batch": 2,
+    "n_initial": 4,
+}
+
+
+class TestHashRing:
+    def test_deterministic_and_in_range(self):
+        ring = HashRing(4)
+        owners = [ring.owner(f"session-{i}") for i in range(50)]
+        assert owners == [HashRing(4).owner(f"session-{i}") for i in range(50)]
+        assert all(0 <= o < 4 for o in owners)
+
+    def test_spreads_load(self):
+        ring = HashRing(4)
+        owners = [ring.owner(f"s{i}") for i in range(400)]
+        counts = [owners.count(k) for k in range(4)]
+        assert min(counts) > 0  # every shard owns something
+        assert max(counts) < 400 * 0.6  # nothing owns a supermajority
+
+    def test_resize_moves_few_keys(self):
+        # Consistent hashing: growing 4 -> 5 shards should remap about
+        # 1/5 of keys, far from the ~4/5 a modulo scheme would move.
+        keys = [f"k{i}" for i in range(1000)]
+        a, b = HashRing(4), HashRing(5)
+        moved = sum(a.owner(k) != b.owner(k) for k in keys)
+        assert moved < 450
+
+    def test_single_shard(self):
+        ring = HashRing(1)
+        assert {ring.owner(f"x{i}") for i in range(10)} == {0}
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_wait_hint(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_take()[0]
+        assert bucket.try_take()[0]
+        ok, wait = bucket.try_take()
+        assert not ok and wait > 0.0
+        now[0] += wait
+        assert bucket.try_take()[0]
+
+    def test_refills_at_rate(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=lambda: now[0])
+        for _ in range(4):
+            assert bucket.try_take()[0]
+        now[0] += 1.0  # 2 tokens back
+        assert bucket.try_take()[0]
+        assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+
+
+class TestAdmissionGate:
+    def test_sheds_past_inflight_plus_queue(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        assert gate.admit(timeout=0.05)
+        assert not gate.admit(timeout=0.05)  # full, no queue: shed
+        gate.release()
+        assert gate.admit(timeout=0.05)
+
+    def test_queued_request_proceeds_on_release(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1)
+        assert gate.admit(timeout=0.1)
+        results = []
+        waiter = threading.Thread(
+            target=lambda: results.append(gate.admit(timeout=5.0))
+        )
+        waiter.start()
+        gate.release()
+        waiter.join(timeout=5.0)
+        assert results == [True]
+
+
+class TestShardTable:
+    def test_snapshot_tracks_updates(self):
+        table = ShardTable(2)
+        table.set_url(0, "http://h:1")
+        table.set_state(0, "healthy")
+        snap = table.snapshot()
+        assert snap[0] == {"shard": 0, "url": "http://h:1", "state": "healthy"}
+        assert snap[1]["url"] is None
+        table.set_url(0, None)
+        assert table.url(0) is None
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+@pytest.fixture
+def fleet(metrics):
+    """A router fronting two real in-process shard servers."""
+    managers = [SessionManager(), SessionManager()]
+    shards = [ServiceServer(m) for m in managers]
+    for s in shards:
+        s.start()
+    table = ShardTable(2)
+    for i, s in enumerate(shards):
+        table.set_url(i, s.url)
+        table.set_state(i, "healthy")
+    router = FleetRouter(table, max_inflight=8, max_queue=8)
+    router.start()
+    try:
+        yield router, shards, ServiceClient(router.url, max_retries=0)
+    finally:
+        router.stop()
+        for s in shards:
+            s.stop()
+
+
+def shard_names(shard: ServiceServer) -> list[str]:
+    with urllib.request.urlopen(shard.url + "/status", timeout=5) as resp:
+        return json.loads(resp.read())["sessions"]
+
+
+class TestFleetRouterRouting:
+    def test_sessions_land_only_on_their_hash_owner(self, fleet):
+        router, shards, client = fleet
+        names = [f"route-{i}" for i in range(8)]
+        for name in names:
+            client.create_session(name, **SMALL_SPEC)
+        for name in names:
+            owner = router.ring.owner(name)
+            assert name in shard_names(shards[owner])
+            assert name not in shard_names(shards[1 - owner])
+
+    def test_concurrent_creation_across_shards(self, fleet):
+        """Satellite: many clients creating sessions through the proxy
+        at once must neither lose nor duplicate any session."""
+        router, shards, _ = fleet
+        names = [f"conc-{i}" for i in range(12)]
+        errors = []
+
+        def create(name):
+            try:
+                ServiceClient(router.url, max_retries=0).create_session(
+                    name, **SMALL_SPEC
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((name, exc))
+
+        threads = [threading.Thread(target=create, args=(n,)) for n in names]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        placed = {0: shard_names(shards[0]), 1: shard_names(shards[1])}
+        for name in names:
+            owner = router.ring.owner(name)
+            assert name in placed[owner]
+            assert name not in placed[1 - owner]
+        # both shards actually took part
+        assert placed[0] and placed[1]
+
+    def test_ask_tell_protocol_through_proxy(self, fleet):
+        _, _, client = fleet
+        client.create_session("s1", **SMALL_SPEC)
+        for ticket, x in client.ask("s1", 3):
+            client.tell("s1", ticket, float(np.sum(x**2)))
+        status = client.session_status("s1")
+        assert status["counters"]["tells"] == 3
+        assert status["n_pending"] == 0
+
+    def test_duplicate_tell_taxonomy_travels_through_proxy(self, fleet):
+        _, _, client = fleet
+        client.create_session("s1", **SMALL_SPEC)
+        ticket, _ = client.ask("s1")[0]
+        assert client.tell("s1", ticket, 1.0)["status"] == "accepted"
+        assert client.tell("s1", ticket, 1.0)["status"] == "duplicate"
+
+    def test_shard_errors_pass_through_with_status(self, fleet):
+        _, _, client = fleet
+        with pytest.raises(ServiceClientError) as exc:
+            client.ask("ghost")
+        assert exc.value.status == 404
+        client.create_session("s1", **SMALL_SPEC)
+        with pytest.raises(ServiceClientError) as exc:
+            client.create_session("s1", **SMALL_SPEC)
+        assert exc.value.status == 400
+
+    def test_fleet_status_unions_sessions(self, fleet):
+        router, _, client = fleet
+        client.create_session("a1", **SMALL_SPEC)
+        client.create_session("a2", **SMALL_SPEC)
+        status = client.server_status()
+        assert sorted(status["sessions"]) == ["a1", "a2"]
+        assert len(status["shards"]) == 2
+
+    def test_fleet_metrics_merges_shards(self, fleet):
+        _, _, client = fleet
+        client.create_session("m1", **SMALL_SPEC)
+        snap = client.metrics()
+        assert "router" in snap and "fleet" in snap
+        assert snap["router"]["service.router.forwarded"]["value"] >= 1
+
+
+class TestFleetRouterResilience:
+    def test_down_shard_is_503_with_retry_after(self, fleet):
+        router, shards, client = fleet
+        client.create_session("s1", **SMALL_SPEC)
+        owner = router.ring.owner("s1")
+        router.table.set_url(owner, None)  # supervisor marked it dead
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(
+                urllib.request.Request(
+                    router.url + "/sessions/s1/ask",
+                    data=b'{"n": 1}',
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                ),
+                timeout=5,
+            )
+        assert exc.value.code == 503
+        assert float(exc.value.headers["Retry-After"]) > 0
+        # restore and the same session answers again
+        router.table.set_url(owner, shards[owner].url)
+        assert client.ask("s1", 1)
+
+    def test_rate_limit_sheds_with_429(self, metrics):
+        manager = SessionManager()
+        shard = ServiceServer(manager)
+        shard.start()
+        table = ShardTable(1)
+        table.set_url(0, shard.url)
+        router = FleetRouter(table, rate=1.0, burst=1.0)
+        router.start()
+        try:
+            client = ServiceClient(router.url, max_retries=0)
+            client.create_session("s1", **SMALL_SPEC)  # takes the token
+            with pytest.raises(ServiceClientError) as exc:
+                client.session_status("s1")
+            assert exc.value.status == 429
+            assert exc.value.retry_after is not None
+        finally:
+            router.stop()
+            shard.stop()
+
+    def test_draining_router_refuses_new_work(self, fleet):
+        _, _, client = fleet
+        client.create_session("s1", **SMALL_SPEC)
+        assert client.shutdown()["status"] == "draining"
+        with pytest.raises(ServiceClientError) as exc:
+            client.ask("s1")
+        assert exc.value.status == 503
+        assert client.server_status()["draining"] is True

@@ -200,6 +200,80 @@ class TestEviction:
             SessionManager(max_sessions=0)
 
 
+class TestEvictionGuard:
+    """Sessions holding live in-flight tickets must never be evicted:
+    a worker is mid-evaluation against them, and spilling the engine
+    would turn its healthy tell into reload churn or a spurious
+    requeue."""
+
+    def test_pending_session_is_not_lru_evicted(self, tmp_path):
+        m = SessionManager(store_dir=tmp_path, max_sessions=1, fsync=False)
+        m.create("a", SMALL_SPEC)
+        with m.session("a") as s:
+            ticket = s.engine.ask(1)[0]["ticket"]
+        # "a" is the only LRU candidate but holds a live ticket
+        with pytest.raises(BackpressureError, match="none evictable"):
+            m.create("b", SMALL_SPEC)
+        assert "a" in m._sessions
+        with m.session("a") as s:
+            s.engine.tell(ticket, 1.0)
+        m.create("b", SMALL_SPEC)  # quiescent now: evictable
+        assert "b" in m._sessions
+
+    def test_expired_tickets_unblock_eviction(self, tmp_path):
+        clock = FakeClock()
+        m = SessionManager(
+            store_dir=tmp_path, max_sessions=1, fsync=False, clock=clock
+        )
+        m.create("a", {**SMALL_SPEC, "ask_timeout": 10.0})
+        with m.session("a") as s:
+            s.engine.ask(1)
+        clock.advance(30.0)  # the ticket holder is presumed dead
+        m.create("b", SMALL_SPEC)  # no longer blocked
+        assert "a" not in m._sessions
+
+    def test_sweep_idle_skips_sessions_with_live_tickets(self, tmp_path):
+        clock = FakeClock()
+        m = SessionManager(
+            store_dir=tmp_path, idle_timeout=60.0, fsync=False, clock=clock
+        )
+        m.create("a", SMALL_SPEC)
+        with m.session("a") as s:
+            ticket = s.engine.ask(1)[0]["ticket"]
+        clock.advance(100.0)  # idle long past the timeout, but pending
+        assert m.sweep_idle() == 0
+        assert "a" in m._sessions
+        with m.session("a") as s:
+            s.engine.tell(ticket, 1.0)
+        clock.advance(100.0)
+        assert m.sweep_idle() == 1
+
+    def test_sigkill_reload_after_near_eviction_keeps_pending(
+        self, tmp_path
+    ):
+        """Regression: memory pressure against a ticket-holding session
+        followed by a SIGKILL-style reload must preserve the pending
+        ledger exactly."""
+        m = SessionManager(store_dir=tmp_path, max_sessions=2, fsync=False)
+        m.create("a", SMALL_SPEC)
+        with m.session("a") as s:
+            tickets = s.engine.ask(2)
+        m.create("b", SMALL_SPEC)
+        m.create("c", SMALL_SPEC)  # pressure: evicts "b", never "a"
+        assert "a" in m._sessions
+
+        # SIGKILL: a fresh manager sees only the checkpoints
+        m2 = SessionManager(store_dir=tmp_path, fsync=False)
+        with m2.session("a") as s:
+            assert s.engine.n_pending == 2
+            r = s.engine.tell(tickets[0]["ticket"], 1.0)
+            assert r["status"] == "accepted"
+            counters = s.engine.counters
+            assert counters["asks"] == (
+                counters["tells"] + counters["requeues"] + s.engine.n_pending
+            )
+
+
 class TestConcurrency:
     def test_threads_hammering_one_session_stay_consistent(self):
         m = SessionManager()
