@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize
 
+from repro.obs.metrics import get_metrics
 from repro.obs.tracer import trace_span
 from repro.util import (
     ConfigurationError,
@@ -222,7 +223,10 @@ def _optimize_single(
                 options={"maxiter": maxiter},
             )
         except Exception:
-            continue  # a failed polish falls back to the raw sample
+            # A failed polish falls back to the raw sample; count the
+            # degradation so repeated optimizer failures are visible.
+            get_metrics().counter("acq.polish_failed").inc()
+            continue
         if (
             np.isfinite(result.fun)
             and -result.fun > best_val
@@ -296,6 +300,7 @@ def _optimize_joint(
                 options={"maxiter": maxiter},
             )
         except Exception:
+            get_metrics().counter("acq.polish_failed").inc()
             continue
         if (
             np.isfinite(result.fun)

@@ -1,0 +1,50 @@
+"""Static invariant analysis (``repro lint``).
+
+An stdlib-``ast`` checker enforcing the coding discipline the system's
+reproducibility guarantees rest on: RNG draws only through injected
+Generators (RNG-001/002), wall-clock reads only in transport and
+observability code (CLK-001), durable writes only through
+``resilience.atomic`` (ATM-001), lock-guarded shared state mutated
+only under its lock (LOCK-001), no silent exception swallows
+(EXC-001), no OS entropy in replayable state (DET-001).
+
+See DESIGN.md §14 for the rules, conventions, and how to add one.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    render_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import (
+    LintReport,
+    analyze_file,
+    analyze_paths,
+    apply_baseline,
+    format_github,
+    format_json,
+    format_text,
+    iter_python_files,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule, get_rule
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "apply_baseline",
+    "format_github",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "iter_python_files",
+    "load_baseline",
+    "render_baseline",
+    "save_baseline",
+]

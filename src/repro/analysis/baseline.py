@@ -1,0 +1,71 @@
+"""The grandfathered-findings baseline for ``repro lint``.
+
+``analysis/baseline.json`` records every finding audited once and
+deemed deliberate (e.g. the measured fit/acquisition wall-time reads
+that the paper's time model charges to the virtual clock). The file is
+byte-deterministic — entries sorted by ``(path, line, rule)``, no
+timestamps, no environment — so regenerating it on an unchanged tree
+is a no-op diff, and it is written through the same atomic machinery
+it helps enforce (eating our own ATM-001 cooking).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.resilience.atomic import atomic_write_text
+from repro.util.errors import ConfigurationError
+
+#: Default location, relative to the repository root.
+DEFAULT_BASELINE = "analysis/baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def entry_for(finding: Finding) -> dict:
+    """The persisted form of one grandfathered finding."""
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+    }
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """The baseline file's exact text for ``findings``."""
+    entries = sorted(
+        (entry_for(f) for f in findings),
+        key=lambda e: (e["path"], e["line"], e["rule"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> Path:
+    """Atomically (re)write the baseline; returns the path."""
+    path = Path(path)
+    atomic_write_text(path, render_baseline(findings), fsync=False)
+    return path
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Baseline entries from ``path``; raises on a malformed file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else None!r}"
+        )
+    entries = payload.get("findings", [])
+    for entry in entries:
+        if not {"rule", "path", "line"} <= set(entry):
+            raise ConfigurationError(
+                f"baseline {path} entry missing rule/path/line: {entry}"
+            )
+    return entries

@@ -1,0 +1,225 @@
+"""File walker, suppression handling, and reporting for ``repro lint``.
+
+The engine parses each Python file once, runs every rule whose path
+allowlist does not exempt the file, and splits raw findings three ways:
+
+- **suppressed** — the finding's line (or a comment-only line directly
+  above it) carries ``# repro-lint: disable=RULE[,RULE...]``;
+- **baselined** — the finding matches an entry of the checked-in
+  baseline (``analysis/baseline.json``), grandfathered deliberately;
+- **new** — everything else; any of these makes ``repro lint`` exit
+  nonzero, so the repo stays clean-or-explicit.
+
+Suppressions are for sites whose justification belongs next to the
+code (e.g. the ``WallClock`` class *is* the wall-clock read); the
+baseline is for deliberate legacy sites audited once, in bulk.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_key
+from repro.analysis.rules import RULES, ModuleContext, Rule
+
+#: Inline suppression: a ``repro-lint: disable=CLK-001,RNG-001`` (or
+#: ``disable=all``) comment on the finding's line or the line above it.
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+#: Directories never scanned.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+    return sorted(set(files))
+
+
+def module_relative(path: Path, roots) -> str:
+    """Path relative to the ``repro`` package root, for allowlists.
+
+    ``src/repro/obs/tracer.py`` → ``obs/tracer.py``. Files outside a
+    ``repro`` directory (fixtures, ad-hoc trees) fall back to the path
+    relative to the scan root that contains them, so fixture tests can
+    exercise allowlists by mirroring the package layout.
+    """
+    parts = path.parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        rel = parts[idx + 1:]
+        if rel:
+            return "/".join(rel)
+    for root in roots:
+        root = Path(root)
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            continue
+    return path.name
+
+
+def _suppress_tokens(line: str) -> set[str]:
+    match = SUPPRESS_RE.search(line)
+    if not match:
+        return set()
+    return {t for t in re.split(r"[,\s]+", match.group(1)) if t}
+
+
+def suppressed_rules(lines: list[str], lineno: int) -> set[str]:
+    """Rule ids disabled for the physical line ``lineno``."""
+    out: set[str] = set()
+    if 1 <= lineno <= len(lines):
+        out |= _suppress_tokens(lines[lineno - 1])
+    above = lineno - 1
+    if 1 <= above <= len(lines) and lines[above - 1].lstrip().startswith("#"):
+        out |= _suppress_tokens(lines[above - 1])
+    return out
+
+
+@dataclass
+class LintReport:
+    """Everything one analysis pass produced, pre-baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    def sorted(self) -> "LintReport":
+        self.findings.sort(key=sort_key)
+        self.suppressed.sort(key=sort_key)
+        return self
+
+
+def analyze_file(path: Path, roots=(), rules: tuple[Rule, ...] = RULES,
+                 report_path: str | None = None
+                 ) -> tuple[list[Finding], list[Finding]]:
+    """Run every applicable rule over one file.
+
+    Returns ``(findings, suppressed)``. A file that does not parse
+    yields a single ``PARSE-001`` finding at the syntax error — an
+    unparseable file can hide anything, so it can never count as clean.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    reported = report_path if report_path is not None else Path(path).as_posix()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="PARSE-001",
+            path=reported,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 1),
+            message=f"file does not parse: {exc.msg}",
+        )], []
+    ctx = ModuleContext(
+        path=reported,
+        module_rel=module_relative(Path(path), roots),
+        tree=tree,
+        lines=lines,
+    )
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            disabled = suppressed_rules(lines, finding.line)
+            if finding.rule in disabled or "all" in disabled:
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def analyze_paths(paths, rules: tuple[Rule, ...] = RULES) -> LintReport:
+    """Run the checker over files/directories; deterministic output."""
+    report = LintReport()
+    roots = [Path(p) for p in paths]
+    for path in iter_python_files(paths):
+        findings, suppressed = analyze_file(path, roots=roots, rules=rules)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        report.n_files += 1
+    return report.sorted()
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split findings against baseline entries, multiset-matched.
+
+    Returns ``(new, baselined, stale_entries)`` — stale entries match
+    no current finding (the violation was fixed or moved; the entry
+    should be deleted, which ``--update-baseline`` does).
+    """
+    budget: dict[tuple, int] = {}
+    for entry in entries:
+        key = (entry["rule"], entry["path"], int(entry["line"]))
+        budget[key] = budget.get(key, 0) + 1
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = []
+    for entry in entries:
+        key = (entry["rule"], entry["path"], int(entry["line"]))
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            stale.append(entry)
+    return new, baselined, stale
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_text(findings: list[Finding]) -> str:
+    lines = []
+    for f in findings:
+        lines.append(f"{f.location()}: {f.rule} {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    return "\n".join(lines)
+
+
+def format_github(findings: list[Finding]) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding."""
+    return "\n".join(
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title={f.rule}::{f.message}"
+        for f in findings
+    )
+
+
+def format_json(findings: list[Finding], *, baselined: int = 0,
+                suppressed: int = 0) -> str:
+    import json
+
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "n_findings": len(findings),
+            "n_baselined": baselined,
+            "n_suppressed": suppressed,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,51 @@
+"""The finding model shared by the invariant checker's layers.
+
+A :class:`Finding` is one rule violation at one source location. The
+engine (:mod:`repro.analysis.engine`) produces them, the baseline
+(:mod:`repro.analysis.baseline`) grandfathers them, and the CLI
+(``repro lint``) renders them. Findings are frozen and hashable so the
+baseline diff is plain set arithmetic over :meth:`Finding.key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sort key shared everywhere a finding list is rendered or persisted,
+#: so output and baseline files are byte-deterministic.
+def sort_key(finding: "Finding") -> tuple:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: ``rule`` at ``path:line:col`` with a message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def key(self) -> tuple[str, str, int]:
+        """Identity used for baseline matching: ``(rule, path, line)``.
+
+        The column and message are deliberately excluded: re-wording a
+        message or shifting a statement within its line must not
+        invalidate a grandfathered entry.
+        """
+        return (self.rule, self.path, self.line)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"

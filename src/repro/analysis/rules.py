@@ -1,0 +1,636 @@
+"""The repo-specific invariant rules behind ``repro lint``.
+
+Every guarantee this reproduction advertises — bit-identical
+kill/resume, RNG-neutral supervision and tracing, zero-lost-ticket
+failover — rests on coding discipline: exactly one RNG draw per
+selection, no wall-clock reads on virtual-clock paths, durable state
+only through :mod:`repro.resilience.atomic`, shared state only under
+its lock. These rules make that discipline mechanical. Each rule has a
+stable id, a rationale (its docstring, surfaced by
+``repro lint --list-rules``), and an optional path allowlist of
+package-relative prefixes where the pattern is legitimate by design.
+
+DESIGN.md §14 documents each rule, the invariant it protects, and the
+``# guarded-by:`` / ``# repro-lint: disable=`` conventions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+#: Declares an attribute lock-guarded, on the line of its ``__init__``
+#: assignment: ``self._sessions = {}  # guarded-by: self._lock``.
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chain as a dotted string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolve local names back to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.normal`` resolve to
+    ``numpy.random.normal``; ``from random import choice`` makes a bare
+    ``choice(...)`` resolve to ``random.choice``. Names bound by neither
+    kind of import resolve to themselves, so locals shadowing module
+    names simply never match a rule's canonical pattern.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if not node.module or node.level:
+                    continue  # relative imports cannot name stdlib/numpy
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str | None) -> str | None:
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.aliases:
+                return ".".join([self.aliases[prefix], *parts[i:]])
+        return dotted
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed source file."""
+
+    path: str  # as reported in findings (posix, relative to the scan cwd)
+    module_rel: str  # relative to the repro package root, for allowlists
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    imports: ImportMap | None = None
+
+    def __post_init__(self):
+        if self.imports is None:
+            self.imports = ImportMap(self.tree)
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's target, if resolvable."""
+        return self.imports.resolve(dotted_name(node.func))
+
+    def snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=self.snippet(node),
+        )
+
+
+class Rule:
+    """One invariant check: an id, a rationale, and a ``check`` pass."""
+
+    id: str = ""
+    title: str = ""
+    #: Package-relative path prefixes where the pattern is legitimate.
+    allowed_paths: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not any(ctx.module_rel.startswith(p) for p in self.allowed_paths)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# RNG discipline
+# ----------------------------------------------------------------------
+#: numpy.random attributes that *construct* an isolated stream (fine)
+#: rather than drawing from the hidden module-level global (not fine).
+_NUMPY_RNG_CONSTRUCTORS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: stdlib ``random`` attributes that construct an instance (fine).
+#: ``SystemRandom`` is excluded here only because DET-001 owns it.
+_STDLIB_RNG_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+
+class RngGlobalDrawRule(Rule):
+    """No module-level RNG draws: all randomness flows through an
+    injected ``numpy.random.Generator`` (see ``util.rng.as_generator``).
+
+    A draw from ``np.random.*`` or ``random.*`` consumes hidden global
+    state that no checkpoint captures and any import-order change
+    perturbs — one stray draw silently breaks the bit-identical
+    kill/resume guarantee of PR 1 and every golden trace since.
+    Constructing an isolated stream (``np.random.default_rng``,
+    ``random.Random``) is allowed; drawing from the module is not.
+    """
+
+    id = "RNG-001"
+    title = "module-level RNG draw"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if not resolved:
+                continue
+            if resolved.startswith("numpy.random."):
+                tail = resolved.split(".", 2)[2]
+                if "." not in tail and tail not in _NUMPY_RNG_CONSTRUCTORS:
+                    findings.append(ctx.finding(
+                        self, node,
+                        f"module-level RNG draw `{resolved}`: route draws "
+                        f"through an injected numpy Generator "
+                        f"(util.rng.as_generator)",
+                    ))
+            elif resolved.startswith("random."):
+                tail = resolved.split(".", 1)[1]
+                if "." not in tail and tail not in _STDLIB_RNG_CONSTRUCTORS:
+                    findings.append(ctx.finding(
+                        self, node,
+                        f"module-level RNG draw `{resolved}`: use an "
+                        f"injected `random.Random` instance (or a numpy "
+                        f"Generator) so the stream is checkpointable",
+                    ))
+        return findings
+
+
+def _is_set_expr(node: ast.AST, ctx: ModuleContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve_call(node) in ("set", "frozenset")
+    return False
+
+
+class SetIterationOrderRule(Rule):
+    """No direct iteration over ``set``/``frozenset`` values.
+
+    Set iteration order depends on hash seeds and insertion history, so
+    any set-ordered loop that feeds RNG draws, dispatch order, or
+    journal writes is run-to-run nondeterministic even under a fixed
+    seed. Wrap the set in ``sorted(...)`` (or keep a list) before
+    iterating. Dicts are insertion-ordered and are not flagged.
+    """
+
+    id = "RNG-002"
+    title = "iteration over hash-ordered set"
+
+    _MATERIALIZERS = ("list", "tuple", "enumerate")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        message = (
+            "iteration order over a set is hash-randomized; sort it "
+            "(`sorted(...)`) before it feeds RNG-consuming or "
+            "dispatch-order-sensitive code"
+        )
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                if (ctx.resolve_call(node) in self._MATERIALIZERS
+                        and node.args):
+                    iters.append(node.args[0])
+            for it in iters:
+                if _is_set_expr(it, ctx):
+                    findings.append(ctx.finding(self, it, message))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Clock discipline
+# ----------------------------------------------------------------------
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class WallClockRule(Rule):
+    """No wall-clock reads outside the transport/observability layers.
+
+    The paper's time model charges fit/acquisition/evaluation cost to a
+    *virtual* clock so runs replay bit-identically at any wall speed.
+    A stray ``time.time()`` on an algorithm path leaks real time into
+    decisions (timeouts, budgets, tie-breaks) and breaks replay.
+    Transport code (``service/``), observability (``obs/``), and shared
+    utilities (``util/``) legitimately read wall time; everywhere else
+    a clock must be injected (``parallel.clock``) or the read must be
+    explicitly suppressed/baselined as a deliberate measured-time site.
+    """
+
+    id = "CLK-001"
+    title = "wall-clock read on a virtual-clock path"
+    allowed_paths = ("obs/", "service/", "util/")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved in _WALL_CLOCK_CALLS:
+                findings.append(ctx.finding(
+                    self, node,
+                    f"wall-clock read `{resolved}()` outside the "
+                    f"obs/service/util allowlist: inject a clock "
+                    f"(parallel.clock) or mark the site deliberate",
+                ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Atomicity discipline
+# ----------------------------------------------------------------------
+_SERIALIZE_CALLS = frozenset({
+    "json.dump", "json.dumps", "pickle.dump", "pickle.dumps",
+    "numpy.save", "numpy.savez", "numpy.savez_compressed",
+})
+
+
+def _open_write_mode(call: ast.Call, ctx: ModuleContext) -> bool:
+    """True when ``call`` is an ``open``/``.open`` with a write mode."""
+    resolved = ctx.resolve_call(call)
+    if resolved is None or not (
+        resolved == "open" or resolved.endswith(".open")
+    ):
+        return False
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    elif resolved != "open" and len(call.args) >= 1:
+        mode = call.args[0]  # Path(...).open("w")
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+        return False
+    return any(c in mode.value for c in "wx")
+
+
+class NonAtomicPersistRule(Rule):
+    """Durable state goes through ``repro.resilience.atomic`` only.
+
+    A plain ``open(path, "w")`` + ``json.dump``/``pickle.dump`` leaves
+    a truncated hybrid on disk when the process dies mid-write — the
+    exact corruption the checkpoint/journal/store layers exist to
+    prevent. Use ``atomic_write_json`` / ``atomic_write_text`` (write
+    to a temp sibling, fsync, ``os.replace``) for anything a restart
+    might read back.
+    """
+
+    id = "ATM-001"
+    title = "non-atomic serialized write"
+    allowed_paths = ("resilience/",)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        message = (
+            "serialized write through bare `open(..., 'w')`: persist "
+            "via repro.resilience.atomic (atomic_write_json/text) so a "
+            "mid-write crash cannot leave a truncated file"
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.With):
+                opens = [
+                    item.context_expr for item in node.items
+                    if isinstance(item.context_expr, ast.Call)
+                    and _open_write_mode(item.context_expr, ctx)
+                ]
+                if not opens:
+                    continue
+                body_calls = {
+                    ctx.resolve_call(sub)
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                    if isinstance(sub, ast.Call)
+                }
+                if body_calls & _SERIALIZE_CALLS:
+                    findings.extend(
+                        ctx.finding(self, o, message) for o in opens
+                    )
+            elif isinstance(node, ast.Call):
+                # json.dump(obj, open(path, "w")) without a with-block.
+                if ctx.resolve_call(node) in _SERIALIZE_CALLS and any(
+                    isinstance(arg, ast.Call)
+                    and _open_write_mode(arg, ctx)
+                    for arg in node.args
+                ):
+                    findings.append(ctx.finding(self, node, message))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Locking discipline
+# ----------------------------------------------------------------------
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "sort", "reverse",
+    "appendleft", "popleft",
+})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _mutated_self_attr(target: ast.AST) -> str | None:
+    """The ``self.X`` a statement target mutates, unwrapping ``self.X[k]``."""
+    attr = _self_attr(target)
+    if attr is not None:
+        return attr
+    if isinstance(target, ast.Subscript):
+        return _self_attr(target.value)
+    return None
+
+
+class _GuardedMutationVisitor(ast.NodeVisitor):
+    """Walk one method, tracking which lock expressions are held."""
+
+    def __init__(self, rule: "GuardedFieldRule", ctx: ModuleContext,
+                 guards: dict[str, str], method: str):
+        self.rule = rule
+        self.ctx = ctx
+        self.guards = guards
+        self.method = method
+        self.held: list[str] = []
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, attr: str) -> None:
+        lock = self.guards[attr]
+        if lock in self.held:
+            return
+        self.findings.append(self.ctx.finding(
+            self.rule, node,
+            f"`self.{attr}` is declared guarded-by `{lock}` but is "
+            f"mutated in `{self.method}` outside `with {lock}:` (and "
+            f"the method name does not end in `_locked`)",
+        ))
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = [ast.unparse(item.context_expr) for item in node.items]
+        self.held.extend(entered)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self.held[len(self.held) - len(entered):]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = _mutated_self_attr(target)
+            if attr in self.guards:
+                self._flag(node, attr)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _mutated_self_attr(node.target)
+        if attr in self.guards:
+            self._flag(node, attr)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            attr = _mutated_self_attr(target)
+            if attr in self.guards:
+                self._flag(node, attr)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS):
+            attr = _self_attr(node.func.value)
+            if attr in self.guards:
+                self._flag(node, attr)
+        self.generic_visit(node)
+
+
+class GuardedFieldRule(Rule):
+    """Attributes annotated ``# guarded-by: <lock>`` mutate under it.
+
+    The service and observability layers share state across request
+    threads; the convention is one annotation on the attribute's
+    ``__init__`` assignment, e.g.
+    ``self._sessions = {}  # guarded-by: self._lock``. Every later
+    rebind, item write, ``del``, or in-place mutator call of that
+    attribute must be lexically inside ``with <lock>:`` — or inside a
+    method whose name ends in ``_locked`` (the repo's marker for
+    "caller already holds the lock"). ``__init__`` itself is exempt:
+    construction happens-before sharing.
+    """
+
+    id = "LOCK-001"
+    title = "guarded attribute mutated off-lock"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _declared_guards(self, ctx: ModuleContext,
+                         cls: ast.ClassDef) -> dict[str, str]:
+        guards: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            line = getattr(node, "lineno", 0)
+            if not (1 <= line <= len(ctx.lines)):
+                continue
+            match = GUARDED_BY_RE.search(ctx.lines[line - 1])
+            if not match:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    guards[attr] = match.group(1)
+        return guards
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> list[Finding]:
+        guards = self._declared_guards(ctx, cls)
+        if not guards:
+            return []
+        findings = []
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__" or node.name.endswith("_locked"):
+                continue
+            visitor = _GuardedMutationVisitor(self, ctx, guards, node.name)
+            for stmt in node.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Exception discipline
+# ----------------------------------------------------------------------
+def _exception_names(node: ast.AST | None,
+                     ctx: ModuleContext) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_exception_names(elt, ctx))
+        return names
+    resolved = ctx.imports.resolve(dotted_name(node))
+    return [resolved] if resolved else []
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """True when a handler body only passes/continues (pure swallow)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / `...`
+        return False
+    return True
+
+
+class SilentExceptRule(Rule):
+    """No bare ``except:`` and no pure-swallow ``except Exception:``.
+
+    A bare ``except:`` also catches ``SystemExit``/``KeyboardInterrupt``
+    — it can turn a clean SIGINT drain into a hung worker. A handler
+    for ``Exception`` whose body is only ``pass``/``continue`` hides
+    degradations the supervision layers are built to surface: either
+    re-raise a typed ``util.errors`` exception or record the
+    degradation (journal event, ``obs`` metric) before continuing.
+    Handlers that perform fallback work are fine — the rule only flags
+    swallows that leave no trace at all.
+    """
+
+    id = "EXC-001"
+    title = "bare or silent exception swallow"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(ctx.finding(
+                    self, node,
+                    "bare `except:` also swallows SystemExit/"
+                    "KeyboardInterrupt: catch a typed exception and "
+                    "journal the degradation or re-raise (util.errors)",
+                ))
+                continue
+            names = _exception_names(node.type, ctx)
+            if any(n in ("Exception", "BaseException") for n in names):
+                if _is_silent_body(node.body):
+                    findings.append(ctx.finding(
+                        self, node,
+                        "silent `except Exception: pass`: journal a "
+                        "degradation (run journal / obs metric) or "
+                        "re-raise a typed util.errors error",
+                    ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Determinism of journaled state
+# ----------------------------------------------------------------------
+_NONDET_SOURCE_CALLS = frozenset({
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "random.SystemRandom",
+})
+
+
+class NondeterministicSourceRule(Rule):
+    """No OS-entropy identifiers anywhere near replayable state.
+
+    ``uuid4()``/``os.urandom()``/``secrets.*`` values differ on every
+    run, so any that reach a journal, checkpoint, or trace make
+    bit-equivalence checks impossible and resumed runs diverge from
+    their originals. Ids must derive from the run's seed lineage
+    (``SeedSequence`` spawns) or from deterministic counters (cycle,
+    ticket, span ids).
+    """
+
+    id = "DET-001"
+    title = "OS-entropy source in deterministic code"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved is None:
+                continue
+            if (resolved in _NONDET_SOURCE_CALLS
+                    or resolved.startswith("secrets.")):
+                findings.append(ctx.finding(
+                    self, node,
+                    f"nondeterministic entropy source `{resolved}()`: "
+                    f"derive ids from the run's SeedSequence lineage or "
+                    f"deterministic counters so journaled state replays",
+                ))
+        return findings
+
+
+#: Every shipped rule, in documentation order.
+RULES: tuple[Rule, ...] = (
+    RngGlobalDrawRule(),
+    SetIterationOrderRule(),
+    WallClockRule(),
+    NonAtomicPersistRule(),
+    GuardedFieldRule(),
+    SilentExceptRule(),
+    NondeterministicSourceRule(),
+)
+
+
+def get_rule(rule_id: str) -> Rule:
+    for rule in RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(rule_id)

@@ -39,7 +39,6 @@ fantasies over the evaluations still in flight.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.core import algorithm_names, make_optimizer, run_optimization
@@ -48,7 +47,7 @@ from repro.problems.benchmarks import BENCHMARKS
 from repro.uphes import UPHESSimulator
 
 #: Subcommand names reserved ahead of the default single-run parser.
-SUBCOMMANDS = ("resume", "serve", "worker", "portfolio", "fleet")
+SUBCOMMANDS = ("resume", "serve", "worker", "portfolio", "fleet", "lint")
 
 
 def package_version() -> str:
@@ -194,8 +193,11 @@ def _export_obs(args, tracer, metrics, *, quiet: bool) -> None:
         if not quiet:
             print("\n" + summary_markdown(phase_summary(tracer.spans)))
     if metrics is not None:
-        with open(args.metrics_out, "w") as fh:
-            json.dump(metrics.snapshot(), fh, indent=2)
+        from repro.resilience import atomic_write_json
+
+        atomic_write_json(
+            args.metrics_out, metrics.snapshot(), fsync=False, indent=2
+        )
         print(f"metrics written to {args.metrics_out}")
 
 
@@ -228,9 +230,10 @@ def _report(result, seed, *, quiet: bool, json_path: str | None) -> None:
                   f"  {rec.acq_time:6.3f}  {rec.best_value:10.3f}")
 
     if json_path:
+        from repro.resilience import atomic_write_json
+
         record = RunRecord.from_result(result, seed=seed, preset="cli")
-        with open(json_path, "w") as fh:
-            json.dump(record.to_dict(), fh, indent=2)
+        atomic_write_json(json_path, record.to_dict(), fsync=False, indent=2)
         print(f"\nrun record written to {json_path}")
 
 
@@ -440,8 +443,9 @@ def main_portfolio(argv=None) -> int:
                   f"  {s['mean_credit']:11.4f}")
 
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(result.to_dict(), fh, indent=2)
+        from repro.resilience import atomic_write_json
+
+        atomic_write_json(args.json, result.to_dict(), fsync=False, indent=2)
         print(f"\nrun summary written to {args.json}")
     _export_obs(args, tracer, metrics, quiet=args.quiet)
     return 0
@@ -558,6 +562,105 @@ def main_worker(argv=None) -> int:
     return 0
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Check the repo-specific reproducibility invariants "
+                    "(RNG/clock/atomicity/locking discipline) with the "
+                    "AST rules of repro.analysis. Exits nonzero on any "
+                    "finding not suppressed inline or grandfathered in "
+                    "the baseline. See DESIGN.md §14.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "github", "json"),
+                        help="finding output format; 'github' emits "
+                             "::error workflow commands that annotate "
+                             "PR lines")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of grandfathered findings "
+                             "(default: analysis/baseline.json when it "
+                             "exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, baseline ignored")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current "
+                             "findings (deterministic: sorted, no "
+                             "timestamps) and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule id with its rationale")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also list inline-suppressed findings")
+    return parser
+
+
+def main_lint(argv=None) -> int:
+    args = build_lint_parser().parse_args(argv)
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        RULES,
+        analyze_paths,
+        apply_baseline,
+        format_github,
+        format_json,
+        format_text,
+        load_baseline,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.title}")
+            doc = (rule.__doc__ or "").strip()
+            for line in doc.splitlines():
+                print(f"    {line.strip()}")
+            if rule.allowed_paths:
+                print(f"    [allowed paths: {', '.join(rule.allowed_paths)}]")
+            print()
+        return 0
+
+    report = analyze_paths(args.paths)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    entries: list = []
+    import os
+
+    if not args.no_baseline and not args.update_baseline:
+        if args.baseline is not None or os.path.exists(baseline_path):
+            entries = load_baseline(baseline_path)
+    new, baselined, stale = apply_baseline(report.findings, entries)
+
+    if args.update_baseline:
+        path = save_baseline(baseline_path, report.findings)
+        print(f"baseline rewritten: {path} "
+              f"({len(report.findings)} grandfathered finding(s))")
+        return 0
+
+    if args.format == "github":
+        out = format_github(new)
+    elif args.format == "json":
+        out = format_json(new, baselined=len(baselined),
+                          suppressed=len(report.suppressed))
+    else:
+        out = format_text(new)
+    if out:
+        print(out)
+    if args.show_suppressed and report.suppressed:
+        print("suppressed:")
+        for f in report.suppressed:
+            print(f"  {f.location()}: {f.rule} (inline disable)")
+    for entry in stale:
+        print(f"warning: stale baseline entry (fixed? run "
+              f"--update-baseline): {entry['path']}:{entry['line']} "
+              f"{entry['rule']}")
+    if args.format != "json":
+        print(f"{report.n_files} file(s): {len(new)} finding(s), "
+              f"{len(baselined)} baselined, "
+              f"{len(report.suppressed)} suppressed")
+    return 1 if new else 0
+
+
 def main_resume(argv=None) -> int:
     args = build_resume_parser().parse_args(argv)
     from repro.resilience import resume_run
@@ -582,6 +685,8 @@ def main(argv=None) -> int:
         return main_portfolio(argv[1:])
     if argv and argv[0] == "fleet":
         return main_fleet(argv[1:])
+    if argv and argv[0] == "lint":
+        return main_lint(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(

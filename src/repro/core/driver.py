@@ -207,7 +207,9 @@ def _guard_nonfinite(
             if np.all(np.isfinite(mu)):
                 y_used[bad] = mu
         except Exception:
-            pass  # a sick surrogate degrades fantasy to worst-value imputation
+            # A sick surrogate degrades fantasy to worst-value imputation;
+            # count it so the degradation is visible in metrics.
+            get_metrics().counter("driver.fantasy_impute_predict_failed").inc()
     return X, y_used
 
 

@@ -60,24 +60,23 @@ def write_trace_jsonl(tracer: Tracer, path: str | Path) -> Path:
     """Write every completed span as one JSON line; returns the path.
 
     The first line is a ``trace_header`` carrying the schema version
-    and drop counter, so a reader can detect truncated collection.
+    and drop counter, so a reader can detect truncated collection. The
+    file is written atomically (temp sibling + ``os.replace``), so a
+    run killed mid-export leaves the previous trace intact rather than
+    a torn one.
     """
+    from repro.resilience.atomic import atomic_write_text
+
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(
-            json.dumps(
-                {
-                    "span": "trace_header",
-                    "schema": TRACE_SCHEMA_VERSION,
-                    "n_spans": len(tracer.spans),
-                    "n_dropped": tracer.n_dropped,
-                }
-            )
-            + "\n"
-        )
-        for span in tracer.spans:
-            fh.write(json.dumps(span_to_dict(span)) + "\n")
+    header = {
+        "span": "trace_header",
+        "schema": TRACE_SCHEMA_VERSION,
+        "n_spans": len(tracer.spans),
+        "n_dropped": tracer.n_dropped,
+    }
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(span_to_dict(span)) for span in tracer.spans)
+    atomic_write_text(path, "\n".join(lines) + "\n", fsync=False)
     return path
 
 

@@ -18,6 +18,8 @@ one global read plus a no-op method call when metrics are off.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.util import ConfigurationError
@@ -162,25 +164,33 @@ class MetricsRegistry:
 
     A name is bound to one instrument kind for the registry's lifetime;
     asking for the same name with a different kind is a bug and raises.
+
+    The registry is shared across the threaded HTTP server's request
+    handlers, so instrument creation is serialized under a lock —
+    without it, two threads racing ``counter(name)`` on a fresh name
+    each build their own instrument and one thread's increments are
+    silently lost when the dict write is overwritten.
     """
 
     enabled = True
 
     def __init__(self, histogram_window: int = 4096):
         self.histogram_window = int(histogram_window)
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}  # guarded-by: self._lock
 
     def _get(self, name: str, cls, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise ConfigurationError(
-                f"metric {name!r} already exists as {type(metric).__name__}, "
-                f"not {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already exists as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -192,20 +202,24 @@ class MetricsRegistry:
         return self._get(name, Histogram, window=self.histogram_window)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict:
         """JSON-friendly snapshot of every instrument."""
+        with self._lock:
+            instruments = sorted(self._metrics.items())
         return {
             name: {
                 "kind": type(metric).__name__.lower(),
                 **metric.snapshot(),
             }
-            for name, metric in sorted(self._metrics.items())
+            for name, metric in instruments
         }
 
     def clear(self) -> None:
-        self._metrics = {}
+        with self._lock:
+            self._metrics = {}
 
 
 def merge_snapshots(snapshots) -> dict:

@@ -45,7 +45,7 @@ class Communicator:
         if size < 1:
             raise ConfigurationError(f"size must be >= 1, got {size}")
         self.size = int(size)
-        self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._boxes: dict[tuple[int, int, int], queue.Queue] = {}  # guarded-by: self._boxes_lock
         self._boxes_lock = threading.Lock()
         self._barrier = threading.Barrier(self.size)
 
@@ -103,6 +103,9 @@ class RankView:
                 ) from None
         import time as _time
 
+        # Thread-transport receive timeout: real threads block in real
+        # time here, exactly like the service layer's socket timeouts.
+        # repro-lint: disable=CLK-001
         deadline = None if timeout is None else _time.monotonic() + timeout
         while True:
             for src in range(self._comm.size):
@@ -111,6 +114,7 @@ class RankView:
                     return box.get_nowait()
                 except queue.Empty:
                     continue
+            # repro-lint: disable=CLK-001 (transport timeout, see above)
             if deadline is not None and _time.monotonic() > deadline:
                 raise TimeoutError(f"rank {self.rank} timed out on ANY_SOURCE")
             _time.sleep(1e-4)

@@ -245,7 +245,7 @@ class FleetSupervisor:
             fleet_info=self.describe,
         )
         self.slots: list[_ShardSlot] = []
-        self.events: list[dict] = []
+        self.events: list[dict] = []  # guarded-by: self._events_lock
         self._events_lock = threading.Lock()
         self._stop = threading.Event()
         self._monitor: threading.Thread | None = None
@@ -329,8 +329,10 @@ class FleetSupervisor:
             for slot in self.slots:
                 try:
                     self._check(slot)
-                except Exception:  # pragma: no cover - monitor must survive
-                    pass
+                except Exception as exc:  # pragma: no cover - must survive
+                    # The monitor thread never dies with a shard; record
+                    # the probe failure in the bounded event log instead.
+                    self._event("monitor_error", slot.index, error=repr(exc))
 
     def _check(self, slot: _ShardSlot) -> None:
         if slot.state == "dead":

@@ -112,8 +112,8 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self.clock = clock
-        self._tokens = self.burst
-        self._stamp = float(clock())
+        self._tokens = self.burst  # guarded-by: self._lock
+        self._stamp = float(clock())  # guarded-by: self._lock
         self._lock = threading.Lock()
 
     def try_take(self, n: float = 1.0) -> tuple[bool, float]:
@@ -148,8 +148,8 @@ class AdmissionGate:
             )
         self.max_inflight = int(max_inflight)
         self.max_queue = int(max_queue)
-        self.inflight = 0
-        self.queued = 0
+        self.inflight = 0  # guarded-by: self._cond
+        self.queued = 0  # guarded-by: self._cond
         self._cond = threading.Condition()
 
     def admit(self, timeout: float) -> bool:
@@ -189,8 +189,8 @@ class ShardTable:
 
     def __init__(self, n_shards: int):
         self.n_shards = int(n_shards)
-        self._urls: list[str | None] = [None] * self.n_shards
-        self._states: list[str] = ["starting"] * self.n_shards
+        self._urls: list[str | None] = [None] * self.n_shards  # guarded-by: self._lock
+        self._states: list[str] = ["starting"] * self.n_shards  # guarded-by: self._lock
         self._lock = threading.Lock()
 
     def set_url(self, index: int, url: str | None) -> None:

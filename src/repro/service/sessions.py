@@ -214,7 +214,7 @@ class SessionManager:
         self.fsync = bool(fsync)
         self.backup_checkpoints = bool(backup_checkpoints)
         self.clock = clock
-        self._sessions: dict[str, Session] = {}
+        self._sessions: dict[str, Session] = {}  # guarded-by: self._lock
         self._lock = threading.Lock()  # guards the dict, not the engines
 
     # ------------------------------------------------------------------

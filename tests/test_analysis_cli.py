@@ -1,0 +1,122 @@
+"""End-to-end ``repro lint`` CLI behavior: exit codes, formats,
+baseline lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "x = 1\n"
+DIRTY = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A scan root with one clean and one dirty module; cwd pinned so
+    the default baseline path stays inside the sandbox."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "dirty.py").write_text(DIRTY)
+    monkeypatch.chdir(tmp_path)
+    return pkg
+
+
+def run_lint(capsys, *argv) -> tuple[int, str]:
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        (tree / "dirty.py").unlink()
+        code, out = run_lint(capsys, str(tree))
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_nonzero_with_location(self, tree, capsys):
+        code, out = run_lint(capsys, str(tree))
+        assert code == 1
+        assert "dirty.py:4" in out and "CLK-001" in out
+
+    def test_unreadable_syntax_is_a_finding_not_a_crash(self, tree, capsys):
+        (tree / "dirty.py").write_text("def broken(:\n")
+        code, out = run_lint(capsys, str(tree))
+        assert code == 1
+        assert "PARSE-001" in out
+
+
+class TestBaselineLifecycle:
+    def test_update_then_lint_is_clean(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        code, out = run_lint(
+            capsys, str(tree), "--baseline", str(baseline), "--update-baseline"
+        )
+        assert code == 0 and "1 grandfathered" in out
+        code, out = run_lint(capsys, str(tree), "--baseline", str(baseline))
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_new_finding_on_top_of_baseline_fails(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run_lint(capsys, str(tree), "--baseline", str(baseline),
+                 "--update-baseline")
+        (tree / "fresh.py").write_text("import time\nnow = time.time()\n")
+        code, out = run_lint(capsys, str(tree), "--baseline", str(baseline))
+        assert code == 1
+        assert "fresh.py:2" in out
+
+    def test_fixed_finding_warns_stale(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run_lint(capsys, str(tree), "--baseline", str(baseline),
+                 "--update-baseline")
+        (tree / "dirty.py").write_text(CLEAN)
+        code, out = run_lint(capsys, str(tree), "--baseline", str(baseline))
+        assert code == 0  # stale entries warn, they don't fail
+        assert "stale baseline entry" in out
+
+    def test_no_baseline_flag_ignores_it(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        run_lint(capsys, str(tree), "--baseline", str(baseline),
+                 "--update-baseline")
+        code, _ = run_lint(capsys, str(tree), "--baseline", str(baseline),
+                           "--no-baseline")
+        assert code == 1
+
+
+class TestFormats:
+    def test_github_format(self, tree, capsys):
+        code, out = run_lint(capsys, str(tree), "--format=github")
+        assert code == 1
+        assert "::error file=" in out and "title=CLK-001" in out
+
+    def test_json_format(self, tree, capsys):
+        code, out = run_lint(capsys, str(tree), "--format=json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["n_findings"] == 1
+        assert payload["findings"][0]["rule"] == "CLK-001"
+
+    def test_list_rules(self, tree, capsys):
+        code, out = run_lint(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ("RNG-001", "RNG-002", "CLK-001", "ATM-001",
+                        "LOCK-001", "EXC-001", "DET-001"):
+            assert rule_id in out
+
+    def test_show_suppressed(self, tree, capsys):
+        (tree / "dirty.py").write_text(
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=CLK-001\n"
+        )
+        code, out = run_lint(capsys, str(tree), "--show-suppressed")
+        assert code == 0
+        assert "suppressed:" in out and "dirty.py:2" in out

@@ -1,0 +1,122 @@
+"""Engine mechanics: baseline round-trip, matching, and output formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    format_github,
+    format_json,
+    format_text,
+    load_baseline,
+    render_baseline,
+    save_baseline,
+)
+from repro.util.errors import ConfigurationError
+
+
+def make_finding(rule="CLK-001", path="src/a.py", line=3, col=1,
+                 message="wall-clock read"):
+    return Finding(rule=rule, path=path, line=line, col=col,
+                   message=message, snippet="t = time.time()")
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(line=9), make_finding(line=3)]
+        save_baseline(path, findings)
+        entries = load_baseline(path)
+        assert [e["line"] for e in entries] == [3, 9]  # sorted
+        assert all(set(e) == {"rule", "path", "line", "message"}
+                   for e in entries)
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        """No timestamps, no environment: same findings → same bytes."""
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(line=9), make_finding(line=3),
+                    make_finding(rule="ATM-001", path="src/b.py")]
+        save_baseline(path, findings)
+        first = path.read_bytes()
+        save_baseline(path, list(reversed(findings)))
+        assert path.read_bytes() == first
+        # And the rendered text is exactly what landed on disk.
+        assert render_baseline(findings).encode() == first
+
+    def test_versioned_and_rejects_junk(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [])
+        assert json.loads(path.read_text())["version"] == 1
+
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+        path.write_text(json.dumps(
+            {"version": 1, "findings": [{"rule": "X"}]}
+        ))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+
+class TestApplyBaseline:
+    def test_matching_splits_new_and_baselined(self):
+        known = make_finding(line=3)
+        fresh = make_finding(line=44)
+        entries = [{"rule": known.rule, "path": known.path,
+                    "line": known.line}]
+        new, baselined, stale = apply_baseline([known, fresh], entries)
+        assert new == [fresh]
+        assert baselined == [known]
+        assert stale == []
+
+    def test_stale_entries_reported(self):
+        entries = [{"rule": "CLK-001", "path": "src/gone.py", "line": 1}]
+        new, baselined, stale = apply_baseline([], entries)
+        assert (new, baselined) == ([], [])
+        assert stale == entries
+
+    def test_duplicate_keys_matched_as_multiset(self):
+        # Two identical (rule, path, line) findings + one entry:
+        # exactly one is grandfathered, the other is new.
+        f = make_finding()
+        entries = [{"rule": f.rule, "path": f.path, "line": f.line}]
+        new, baselined, _ = apply_baseline([f, f], entries)
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_message_change_does_not_invalidate(self):
+        f = make_finding(message="reworded since the audit")
+        entries = [{"rule": f.rule, "path": f.path, "line": f.line,
+                    "message": "original wording"}]
+        new, baselined, _ = apply_baseline([f], entries)
+        assert new == [] and baselined == [f]
+
+
+class TestFormats:
+    def test_text_has_location_and_snippet(self):
+        out = format_text([make_finding()])
+        assert "src/a.py:3:1: CLK-001" in out
+        assert "t = time.time()" in out
+
+    def test_github_workflow_command(self):
+        out = format_github([make_finding()])
+        assert out.startswith("::error file=src/a.py,line=3,col=1,"
+                              "title=CLK-001::")
+
+    def test_json_is_parseable_and_counted(self):
+        payload = json.loads(format_json(
+            [make_finding()], baselined=2, suppressed=1
+        ))
+        assert payload["n_findings"] == 1
+        assert payload["n_baselined"] == 2
+        assert payload["n_suppressed"] == 1
+        assert payload["findings"][0]["rule"] == "CLK-001"

@@ -1,0 +1,513 @@
+"""Fixture-driven tests for every ``repro lint`` rule.
+
+Each rule gets at least one true positive and one true negative, plus
+suppression and allowlist cases where the rule defines them. Fixtures
+are written to tmp_path and analyzed through the real engine, so the
+whole pipeline (parse → rules → suppressions) is exercised.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_file, analyze_paths
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+def lint_source(tmp_path, source, name="fixture.py", subdir=None):
+    """Write one fixture file and return (findings, suppressed)."""
+    directory = tmp_path if subdir is None else tmp_path / subdir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(textwrap.dedent(source))
+    return analyze_file(path, roots=(tmp_path,))
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RNG-001
+# ----------------------------------------------------------------------
+class TestRng001:
+    def test_numpy_module_draw_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import numpy as np
+
+            def propose():
+                return np.random.uniform(0, 1, 4)
+        """)
+        assert rule_ids(findings) == ["RNG-001"]
+        assert findings[0].line == 5
+        assert "numpy.random.uniform" in findings[0].message
+
+    def test_from_import_draw_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            from numpy.random import normal
+            from random import choice
+
+            def propose(xs):
+                return choice(xs) + normal()
+        """)
+        assert sorted(rule_ids(findings)) == ["RNG-001", "RNG-001"]
+
+    def test_seeding_the_global_stream_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert rule_ids(findings) == ["RNG-001"]
+
+    def test_injected_generator_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import numpy as np
+            import random
+
+            def propose(rng: np.random.Generator):
+                local = np.random.default_rng(0)
+                backoff = random.Random(7)
+                return rng.uniform(0, 1), local.normal(), backoff.random()
+        """)
+        assert findings == []
+
+    def test_suppressed_inline(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """
+            import numpy as np
+
+            def legacy():
+                return np.random.rand()  # repro-lint: disable=RNG-001
+        """)
+        assert findings == []
+        assert rule_ids(suppressed) == ["RNG-001"]
+
+
+# ----------------------------------------------------------------------
+# RNG-002
+# ----------------------------------------------------------------------
+class TestRng002:
+    def test_for_over_set_call_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def dispatch(workers):
+                for w in set(workers):
+                    w.go()
+        """)
+        assert rule_ids(findings) == ["RNG-002"]
+
+    def test_comprehension_over_set_literal_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def order():
+                return [x for x in {3, 1, 2}]
+        """)
+        assert rule_ids(findings) == ["RNG-002"]
+
+    def test_list_of_set_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def names(seen):
+                return list(frozenset(seen))
+        """)
+        assert rule_ids(findings) == ["RNG-002"]
+
+    def test_sorted_set_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def dispatch(workers):
+                for w in sorted(set(workers)):
+                    w.go()
+                return sorted({3, 1, 2})
+        """)
+        assert findings == []
+
+    def test_dict_iteration_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def walk(d: dict):
+                for k in d:
+                    yield d[k]
+                for k, v in d.items():
+                    yield v
+        """)
+        assert findings == []
+
+    def test_membership_test_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def member(x, xs):
+                return x in set(xs)
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# CLK-001
+# ----------------------------------------------------------------------
+class TestClk001:
+    def test_time_time_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert rule_ids(findings) == ["CLK-001"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """)
+        assert rule_ids(findings) == ["CLK-001"]
+
+    def test_injected_clock_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def stamp(clock):
+                return clock()
+
+            def sleepy(time):
+                time.sleep(1.0)  # not a clock *read*
+        """)
+        assert findings == []
+
+    def test_obs_service_util_allowlisted(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        for subdir in ("obs", "service", "util"):
+            findings, _ = lint_source(
+                tmp_path, source, name="mod.py", subdir=subdir
+            )
+            assert findings == [], subdir
+        findings, _ = lint_source(
+            tmp_path, source, name="mod.py", subdir="core"
+        )
+        assert rule_ids(findings) == ["CLK-001"]
+
+    def test_time_reference_without_call_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import time
+
+            def build(clock=time.time):
+                return clock
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ATM-001
+# ----------------------------------------------------------------------
+class TestAtm001:
+    def test_open_w_json_dump_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import json
+
+            def checkpoint(state, path):
+                with open(path, "w") as fh:
+                    json.dump(state, fh)
+        """)
+        assert rule_ids(findings) == ["ATM-001"]
+        assert findings[0].line == 5
+
+    def test_pickle_and_mode_kwarg_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import pickle
+
+            def checkpoint(state, path):
+                with open(path, mode="wb") as fh:
+                    pickle.dump(state, fh)
+        """)
+        assert rule_ids(findings) == ["ATM-001"]
+
+    def test_direct_dump_into_open_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import json
+
+            def checkpoint(state, path):
+                json.dump(state, open(path, "w"))
+        """)
+        assert rule_ids(findings) == ["ATM-001"]
+
+    def test_read_mode_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import json
+
+            def load(path):
+                with open(path) as fh:
+                    return json.load(fh)
+        """)
+        assert findings == []
+
+    def test_plain_text_write_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def note(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """)
+        assert findings == []
+
+    def test_resilience_package_allowlisted(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import json
+
+            def atomic_write_json(path, obj):
+                with open(path, "w") as fh:
+                    json.dump(obj, fh)
+        """, name="atomic.py", subdir="resilience")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# LOCK-001
+# ----------------------------------------------------------------------
+_GUARDED_CLASS = """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {{}}  # guarded-by: self._lock
+            self.count = 0  # guarded-by: self._lock
+
+        {body}
+"""
+
+
+class TestLock001:
+    def test_unguarded_mutation_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, _GUARDED_CLASS.format(body="""
+        def put(self, k, v):
+            self._items[k] = v
+"""))
+        assert rule_ids(findings) == ["LOCK-001"]
+        assert "self._items" in findings[0].message
+
+    def test_augassign_and_mutator_call_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, _GUARDED_CLASS.format(body="""
+        def bump(self):
+            self.count += 1
+
+        def wipe(self):
+            self._items.clear()
+"""))
+        assert sorted(rule_ids(findings)) == ["LOCK-001", "LOCK-001"]
+
+    def test_with_lock_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, _GUARDED_CLASS.format(body="""
+        def put(self, k, v):
+            with self._lock:
+                self._items[k] = v
+                self.count += 1
+"""))
+        assert findings == []
+
+    def test_locked_suffix_method_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, _GUARDED_CLASS.format(body="""
+        def _evict_locked(self, k):
+            del self._items[k]
+"""))
+        assert findings == []
+
+    def test_init_assignment_exempt(self, tmp_path):
+        # The declarations themselves (in __init__) must not self-flag.
+        findings, _ = lint_source(tmp_path, _GUARDED_CLASS.format(body="""
+        def read(self, k):
+            return self._items.get(k)
+"""))
+        assert findings == []
+
+    def test_wrong_lock_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other = threading.Lock()
+                    self._items = {}  # guarded-by: self._lock
+
+                def put(self, k, v):
+                    with self._other:
+                        self._items[k] = v
+        """)
+        assert rule_ids(findings) == ["LOCK-001"]
+
+    def test_unannotated_class_ignored(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            class Plain:
+                def __init__(self):
+                    self._items = {}
+
+                def put(self, k, v):
+                    self._items[k] = v
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# EXC-001
+# ----------------------------------------------------------------------
+class TestExc001:
+    def test_bare_except_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def risky():
+                try:
+                    return 1 / 0
+                except:
+                    return None
+        """)
+        assert rule_ids(findings) == ["EXC-001"]
+        assert "bare" in findings[0].message
+
+    def test_silent_swallow_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def risky():
+                try:
+                    return 1 / 0
+                except Exception:
+                    pass
+        """)
+        assert rule_ids(findings) == ["EXC-001"]
+
+    def test_silent_continue_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def risky(xs):
+                for x in xs:
+                    try:
+                        x.poke()
+                    except BaseException:
+                        continue
+        """)
+        assert rule_ids(findings) == ["EXC-001"]
+
+    def test_fallback_work_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def risky(metrics):
+                try:
+                    return 1 / 0
+                except Exception:
+                    metrics.counter("risky.failed").inc()
+                    return None
+        """)
+        assert findings == []
+
+    def test_typed_exception_pass_ok(self, tmp_path):
+        # Swallowing a *typed* error is a deliberate, narrow decision.
+        findings, _ = lint_source(tmp_path, """
+            def risky(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        """)
+        assert findings == []
+
+    def test_reraise_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def risky():
+                try:
+                    return 1 / 0
+                except Exception as exc:
+                    raise RuntimeError("typed") from exc
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET-001
+# ----------------------------------------------------------------------
+class TestDet001:
+    def test_uuid4_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import uuid
+
+            def ticket_id():
+                return str(uuid.uuid4())
+        """)
+        assert rule_ids(findings) == ["DET-001"]
+
+    def test_urandom_and_secrets_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import os
+            import secrets
+
+            def token():
+                return os.urandom(8) + secrets.token_bytes(8)
+        """)
+        assert sorted(rule_ids(findings)) == ["DET-001", "DET-001"]
+
+    def test_from_import_uuid4_flagged(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            from uuid import uuid4
+
+            def ticket_id():
+                return uuid4().hex
+        """)
+        assert rule_ids(findings) == ["DET-001"]
+
+    def test_deterministic_ids_ok(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import uuid
+
+            def ticket_id(counter: int):
+                return f"ticket-{counter:08d}"
+
+            def stable(ns, name):
+                return uuid.uuid5(ns, name)  # content-derived, stable
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine-level behaviors shared by all rules
+# ----------------------------------------------------------------------
+class TestEngineBehaviors:
+    def test_syntax_error_reports_parse_finding(self, tmp_path):
+        findings, _ = lint_source(tmp_path, "def broken(:\n    pass\n")
+        assert rule_ids(findings) == ["PARSE-001"]
+
+    def test_disable_all_suppresses_everything(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=all
+        """)
+        assert findings == []
+        assert rule_ids(suppressed) == ["CLK-001"]
+
+    def test_suppression_on_line_above(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                # repro-lint: disable=CLK-001
+                return time.time()
+        """)
+        assert findings == []
+        assert rule_ids(suppressed) == ["CLK-001"]
+
+    def test_suppression_for_other_rule_does_not_apply(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=RNG-001
+        """)
+        assert rule_ids(findings) == ["CLK-001"]
+        assert suppressed == []
+
+    def test_analyze_paths_is_deterministic(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            (tmp_path / name).write_text("import time\nt = time.time()\n")
+        first = analyze_paths([tmp_path])
+        second = analyze_paths([tmp_path])
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        assert [f.path for f in first.findings] == sorted(
+            f.path for f in first.findings
+        )

@@ -1,0 +1,118 @@
+"""The linter's own dogfood: ``repro lint src`` is clean vs the
+committed baseline, and that cleanliness is *tight* — removing any
+single baseline entry or inline suppression resurfaces a finding at
+exactly the recorded location.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import tokenize
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_BASELINE,
+    analyze_file,
+    analyze_paths,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.engine import SUPPRESS_RE
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+BASELINE = REPO / DEFAULT_BASELINE
+
+
+@pytest.fixture(scope="module")
+def findings():
+    # The committed baseline records repo-relative paths (the CLI is run
+    # from the repo root); scanning from an absolute root here, so
+    # relativize before matching.
+    return [
+        dataclasses.replace(f, path=Path(f.path).relative_to(REPO).as_posix())
+        for f in analyze_paths([SRC]).findings
+    ]
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return load_baseline(BASELINE)
+
+
+class TestRepoIsClean:
+    def test_src_clean_against_committed_baseline(self, findings, entries):
+        new, _, stale = apply_baseline(findings, entries)
+        assert new == [], "un-baselined findings:\n" + "\n".join(
+            f"  {f.location()}: {f.rule} {f.message}" for f in new
+        )
+        assert stale == [], "stale baseline entries:\n" + "\n".join(
+            f"  {e['path']}:{e['line']}: {e['rule']}" for e in stale
+        )
+
+    def test_baseline_is_nonempty_and_deterministically_ordered(self, entries):
+        assert entries, "baseline should grandfather the audited findings"
+        keys = [(e["path"], e["line"], e["rule"]) for e in entries]
+        assert keys == sorted(keys)
+
+
+class TestBaselineIsTight:
+    def test_removing_any_entry_resurfaces_that_finding(self, findings, entries):
+        """Every grandfathered finding still exists: drop one entry and
+        the lint goes red with a finding at exactly that path:line."""
+        for i, removed in enumerate(entries):
+            remaining = entries[:i] + entries[i + 1:]
+            new, _, stale = apply_baseline(findings, remaining)
+            assert stale == []
+            assert len(new) == 1
+            got = new[0]
+            assert (got.rule, got.path, got.line) == (
+                removed["rule"], removed["path"], removed["line"]
+            )
+
+
+def iter_suppressed_sources():
+    """(path, lineno) for every inline repro-lint suppression in src/.
+
+    Tokenizes rather than greps so directive syntax quoted in docstrings
+    (the engine documents its own convention) is not mistaken for a
+    live suppression.
+    """
+    for path in sorted(SRC.rglob("*.py")):
+        with tokenize.open(path) as handle:
+            for tok in tokenize.generate_tokens(handle.readline):
+                if tok.type == tokenize.COMMENT and SUPPRESS_RE.search(
+                    tok.string
+                ):
+                    yield path, tok.start[0]
+
+
+class TestSuppressionsAreTight:
+    def test_src_has_inline_suppressions(self):
+        assert list(iter_suppressed_sources()), (
+            "expected at least one inline suppression in src/"
+        )
+
+    def test_stripping_any_suppression_resurfaces_a_finding(self, tmp_path):
+        """Each ``# repro-lint: disable=`` in src/ is load-bearing: copy
+        the file with that one directive removed and the suppressed
+        finding comes back."""
+        strip = re.compile(r"#\s*repro-lint:\s*disable=\S+.*$")
+        for n, (path, lineno) in enumerate(iter_suppressed_sources()):
+            lines = path.read_text().splitlines(keepends=True)
+            target = lines[lineno - 1]
+            stripped = strip.sub("# (suppression removed)", target)
+            assert stripped != target
+            lines[lineno - 1] = stripped
+            copy = tmp_path / f"case_{n}" / path.relative_to(SRC)
+            copy.parent.mkdir(parents=True, exist_ok=True)
+            copy.write_text("".join(lines))
+
+            baseline_findings, _ = analyze_file(path, roots=[SRC])
+            edited_findings, _ = analyze_file(copy, roots=[copy.parent])
+            assert len(edited_findings) > len(baseline_findings), (
+                f"suppression at {path}:{lineno} suppresses nothing"
+            )

@@ -311,3 +311,97 @@ class TestMergeSnapshots:
         from repro.obs import merge_snapshots
 
         assert merge_snapshots([]) == {}
+
+
+class TestRegistryThreadSafety:
+    """Regression: instrument creation raced under the threaded HTTP
+    server — two threads hitting ``counter(name)`` on a fresh name each
+    built an instrument, and increments on the loser were dropped when
+    its dict write was overwritten."""
+
+    def test_concurrent_first_use_creates_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        n_threads, n_incs = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()  # maximize overlap on the first-use race
+            for _ in range(n_incs):
+                registry.counter("race.requests").inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert registry.counter("race.requests").value == n_threads * n_incs
+
+    def test_concurrent_mixed_kind_raises_for_losers_only(self):
+        import threading
+
+        registry = MetricsRegistry()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def claim(kind):
+            barrier.wait()
+            try:
+                getattr(registry, kind)("race.kind")
+                result = kind
+            except ConfigurationError:
+                result = "error"
+            with lock:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(
+                target=claim, args=("counter" if i % 2 else "gauge",)
+            )
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Exactly one kind won; every thread of the other kind got the
+        # typed error, never a silently-replaced instrument.
+        winners = {o for o in outcomes if o != "error"}
+        assert len(winners) == 1
+        assert len([o for o in outcomes if o != "error"]) == n_threads // 2
+
+    def test_snapshot_during_concurrent_creation(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def create():
+            i = 0
+            while not stop.is_set() and i < 500:
+                registry.counter(f"churn.{i}").inc()
+                i += 1
+
+        def snapshot():
+            try:
+                while not stop.is_set():
+                    registry.snapshot()
+            except BaseException as exc:  # pragma: no cover - fail signal
+                errors.append(exc)
+                raise
+
+        creator = threading.Thread(target=create)
+        snapper = threading.Thread(target=snapshot)
+        snapper.start()
+        creator.start()
+        creator.join()
+        stop.set()
+        snapper.join()
+        assert not errors
+        assert len(registry.names()) == 500
