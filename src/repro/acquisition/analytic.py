@@ -34,6 +34,7 @@ class ExpectedImprovement(AcquisitionFunction):
     """
 
     has_analytic_grad = True
+    has_batch_grad = True
 
     def __init__(self, gp, best_f: float, xi: float = 0.0):
         super().__init__(gp)
@@ -64,11 +65,26 @@ class ExpectedImprovement(AcquisitionFunction):
         grad = -cdf * dmu + pdf * dsigma
         return float(value), grad
 
+    def value_and_grad_batch(self, X) -> tuple[np.ndarray, np.ndarray]:
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad_batch(X)
+        improve = self.best_f - mu - self.xi
+        vals = np.maximum(improve, 0.0)
+        grads = np.where((improve > 0)[:, None], -dmu, 0.0)
+        mask = sigma > _MIN_STD
+        if np.any(mask):
+            u = improve[mask] / sigma[mask]
+            cdf = norm.cdf(u)
+            pdf = norm.pdf(u)
+            vals[mask] = sigma[mask] * (u * cdf + pdf)
+            grads[mask] = -cdf[:, None] * dmu[mask] + pdf[:, None] * dsigma[mask]
+        return vals, grads
+
 
 class ProbabilityOfImprovement(AcquisitionFunction):
     """PI(x) = P[f(x) < best_f − ξ] under the GP posterior."""
 
     has_analytic_grad = True
+    has_batch_grad = True
 
     def __init__(self, gp, best_f: float, xi: float = 0.0):
         super().__init__(gp)
@@ -96,6 +112,23 @@ class ProbabilityOfImprovement(AcquisitionFunction):
         grad = pdf * (-dmu - u * dsigma) / sigma
         return float(norm.cdf(u)), grad
 
+    def value_and_grad_batch(self, X) -> tuple[np.ndarray, np.ndarray]:
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad_batch(X)
+        improve = self.best_f - mu - self.xi
+        vals = (improve > 0).astype(np.float64)
+        grads = np.zeros_like(dmu)
+        mask = sigma > _MIN_STD
+        if np.any(mask):
+            u = improve[mask] / sigma[mask]
+            pdf = norm.pdf(u)
+            vals[mask] = norm.cdf(u)
+            grads[mask] = (
+                pdf[:, None]
+                * (-dmu[mask] - u[:, None] * dsigma[mask])
+                / sigma[mask][:, None]
+            )
+        return vals, grads
+
 
 class UpperConfidenceBound(AcquisitionFunction):
     """GP-UCB for a minimized objective: α(x) = −μ(x) + √β·σ(x).
@@ -106,6 +139,7 @@ class UpperConfidenceBound(AcquisitionFunction):
     """
 
     has_analytic_grad = True
+    has_batch_grad = True
 
     def __init__(self, gp, beta: float = 2.0):
         super().__init__(gp)
@@ -120,6 +154,10 @@ class UpperConfidenceBound(AcquisitionFunction):
         x = check_vector(x, "x", dim=self.gp.dim)
         mu, sigma, dmu, dsigma = self.gp.mean_std_grad(x)
         return float(-mu + self._sqrt_beta * sigma), -dmu + self._sqrt_beta * dsigma
+
+    def value_and_grad_batch(self, X) -> tuple[np.ndarray, np.ndarray]:
+        mu, sigma, dmu, dsigma = self.gp.mean_std_grad_batch(X)
+        return -mu + self._sqrt_beta * sigma, -dmu + self._sqrt_beta * dsigma
 
 
 class ScaledExpectedImprovement(AcquisitionFunction):

@@ -26,6 +26,12 @@ class AcquisitionFunction:
     #: set by subclasses with an analytic gradient path
     has_analytic_grad: bool = False
 
+    #: set by subclasses whose :meth:`value_and_grad_batch` is truly
+    #: vectorized — the inner optimizer only uses the batched
+    #: multi-start polish when this is True (the base fallback below
+    #: just loops, which would add overhead without the BLAS-3 win)
+    has_batch_grad: bool = False
+
     def __init__(self, gp):
         self.gp = gp
 
@@ -55,3 +61,19 @@ class AcquisitionFunction:
                 float(self.value(xp[None, :])[0]) - float(self.value(xm[None, :])[0])
             ) / (2.0 * h)
         return f0, grad
+
+    def value_and_grad_batch(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Values ``(m,)`` and gradients ``(m, d)`` for rows of ``X``.
+
+        Default: loop over :meth:`value_and_grad`. Criteria that set
+        :attr:`has_batch_grad` override this with one stacked posterior
+        evaluation.
+        """
+        X = check_matrix(X, "X", cols=self.gp.dim)
+        vals = np.empty(X.shape[0], dtype=np.float64)
+        grads = np.empty_like(X)
+        for i in range(X.shape[0]):
+            v, g = self.value_and_grad(X[i])
+            vals[i] = v
+            grads[i] = g
+        return vals, grads

@@ -227,6 +227,7 @@ def run_async_optimization(
                     maxiter=acq_opts["maxiter"],
                     seed=rng,
                     avoid=X,
+                    batch_starts=acq_opts.get("batch_starts", True),
                 )
             except Exception as exc:
                 # A sick fantasy model must not idle the freed worker:

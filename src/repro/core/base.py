@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gp import GaussianProcess
+from repro.gp import FactorCache, GaussianProcess
 from repro.gp.safe_fit import safe_fit
 from repro.obs.tracer import trace_span
 from repro.util import (
@@ -39,11 +39,16 @@ from repro.util import (
 )
 
 #: Default inner-optimization configuration (BoTorch-like multi-start).
+#: ``batch_starts`` enables the vectorized multi-start polish in
+#: :func:`repro.acquisition.optimize_acqf` (one stacked posterior call
+#: per L-BFGS-B iteration across all restarts); it consumes no RNG and
+#: is silently ignored by criteria without a batched gradient.
 DEFAULT_ACQ_OPTIONS = {
     "n_restarts": 4,
     "raw_samples": 256,
     "maxiter": 50,
     "n_mc": 128,
+    "batch_starts": True,
 }
 
 #: Default surrogate-fitting configuration (full fit, each cycle).
@@ -54,12 +59,20 @@ DEFAULT_ACQ_OPTIONS = {
 #: ``backend`` selects the surrogate: ``"exact"`` (the paper's GP) or
 #: ``"rff"`` (random-Fourier-features low-rank GP, the fast-surrogate
 #: remedy of the paper's Discussion; single-point APs only).
+#: ``factor_cache`` keeps one :class:`~repro.gp.FactorCache` on the
+#: optimizer so surrogates rebuilt with unchanged hyperparameters reuse
+#: the previous Cholesky factor (exact backend only).
+#: ``refit_every`` re-optimizes hyperparameters only every k-th fit and
+#: carries the incumbent theta in between (k = 1 — the default — keeps
+#: the paper's fit-every-cycle behaviour and its exact RNG stream).
 DEFAULT_GP_OPTIONS = {
     "n_restarts": 1,
     "maxiter": 50,
     "max_points": None,
     "backend": "exact",
     "n_features": 256,
+    "factor_cache": True,
+    "refit_every": 1,
 }
 
 
@@ -154,6 +167,27 @@ class BatchOptimizer:
         #: cannot feed back coordinates the optimizer never asked for.
         self.strict_updates = False
         self._outstanding = np.empty((0, problem.dim))
+        # One factor cache outlives the per-cycle surrogates: a refit
+        # whose hyperparameters did not move reuses the previous
+        # Cholesky factor instead of paying O(n³) again. Exact backend
+        # only — the RFF surrogate has no dense factor to share.
+        self._factor_cache: FactorCache | None = None
+        if (
+            self.gp_options.get("factor_cache", True)
+            and self.gp_options.get("backend", "exact") == "exact"
+        ):
+            self._factor_cache = FactorCache()
+        # refit_every bookkeeping: the theta/log-noise carried between
+        # full hyperparameter optimizations, and how many fits happened
+        # since the last full one.
+        self._fits_since_full = 0
+        self._carried_theta: np.ndarray | None = None
+        self._carried_log_noise: float | None = None
+        #: Block-boundary hint for the factor cache: number of *real*
+        #: observations when the training set ends in fantasy rows (set
+        #: by the ask/tell engine around fantasized proposals so the
+        #: real/fantasy seam becomes a truncation point).
+        self.fantasy_split: int | None = None
 
     def drain_degradations(self) -> list[dict]:
         """Return and clear the degradations of the last propose()."""
@@ -262,6 +296,23 @@ class BatchOptimizer:
         state: dict = {"rng": capture_rng(self.rng)}
         for attr in self._state_attrs:
             state[attr] = to_jsonable(getattr(self, attr))
+        # Both keys are emitted only when they carry information, so
+        # default-configuration snapshots are byte-for-byte what they
+        # were before these features existed (golden-trace guarantee).
+        if int(self.gp_options.get("refit_every", 1)) > 1:
+            state["refit"] = {
+                "fits_since_full": int(self._fits_since_full),
+                "theta": (
+                    None
+                    if self._carried_theta is None
+                    else self._carried_theta.tolist()
+                ),
+                "log_noise": self._carried_log_noise,
+            }
+        if self._factor_cache is not None:
+            cache_state = self._factor_cache.get_state()
+            if cache_state is not None:
+                state["factor_cache"] = cache_state
         return state
 
     def set_state(self, state: dict) -> None:
@@ -278,6 +329,25 @@ class BatchOptimizer:
                     f"state snapshot lacks {attr!r} for {type(self).__name__}"
                 )
             setattr(self, attr, from_jsonable(state[attr]))
+        refit = state.get("refit")
+        if refit is not None:
+            self._fits_since_full = int(refit["fits_since_full"])
+            self._carried_theta = (
+                None
+                if refit["theta"] is None
+                else np.asarray(refit["theta"], dtype=np.float64)
+            )
+            self._carried_log_noise = (
+                None
+                if refit["log_noise"] is None
+                else float(refit["log_noise"])
+            )
+        else:
+            self._fits_since_full = 0
+            self._carried_theta = None
+            self._carried_log_noise = None
+        if self._factor_cache is not None:
+            self._factor_cache.set_state(state.get("factor_cache"))
 
     # ------------------------------------------------------------------
     def _training_subset(self, X: np.ndarray, y: np.ndarray):
@@ -327,25 +397,74 @@ class BatchOptimizer:
         a diverged hyperparameter search walks the self-healing ladder
         instead of raising, and everything observed lands in
         :meth:`drain_degradations` for the driver to journal.
+
+        With ``refit_every`` = k > 1 only every k-th fit re-optimizes
+        hyperparameters; the intermediate fits carry the incumbent
+        theta (``optimize=False``), which skips the MLL search *and*
+        — combined with the factor cache — turns the posterior rebuild
+        into an O(n²·m) append. A degraded fit drops the carried
+        hyperparameters and invalidates the cache so the next cycle
+        starts clean.
         """
+        full_data = X is None and y is None
         X = self.X if X is None else X
         y = self.y if y is None else y
+        n_before = X.shape[0]
         X, y = self._training_subset(X, y)
+        # The fantasy-seam hint only holds for the uncapped full
+        # training set: a max_points cap rewrites the row order, so the
+        # seam index would point at the wrong row.
+        split = (
+            self.fantasy_split
+            if full_data and X.shape[0] == n_before
+            else None
+        )
+        refit_every = int(self.gp_options.get("refit_every", 1))
+        reuse = (
+            refit_every > 1
+            and self._carried_theta is not None
+            and self._fits_since_full % refit_every != 0
+        )
         sw = _Stopwatch()
         with trace_span(
             "fit", algorithm=self.name, n_train=X.shape[0]
         ) as sp, sw:
+            surrogate = self._make_surrogate()
+            if self._factor_cache is not None and getattr(
+                surrogate, "supports_factor_cache", False
+            ):
+                surrogate.factor_cache = self._factor_cache
+            if reuse:
+                surrogate.kernel.theta = self._carried_theta.copy()
+                surrogate.log_noise = self._carried_log_noise
             gp, report = safe_fit(
-                self._make_surrogate(),
+                surrogate,
                 X,
                 y,
                 n_restarts=self.gp_options["n_restarts"],
                 maxiter=self.gp_options["maxiter"],
                 seed=self.rng,
+                optimize=not reuse,
+                cache_split=split,
             )
         sp.set(degraded=report.degraded)
         self.gp = gp
         self._degradations.extend(report.events())
+        if report.degraded:
+            # The ladder may have repaired data or reset hypers; both
+            # poison the carried theta and any cached factor.
+            self._fits_since_full = 0
+            self._carried_theta = None
+            self._carried_log_noise = None
+            if self._factor_cache is not None:
+                self._factor_cache.invalidate()
+        elif refit_every > 1:
+            if not reuse and getattr(gp, "kernel", None) is not None:
+                self._carried_theta = np.asarray(
+                    gp.kernel.theta, dtype=np.float64
+                ).copy()
+                self._carried_log_noise = float(gp.log_noise)
+            self._fits_since_full += 1
         return gp, sw.total
 
     def _dedupe(self, x: np.ndarray, batch: list[np.ndarray]) -> np.ndarray:

@@ -198,6 +198,7 @@ class BSPEGO(BatchOptimizer):
                     maxiter=opts["maxiter"],
                     seed=self.rng,
                     avoid=self.X,
+                    batch_starts=opts.get("batch_starts", True),
                 )
             durations.append(sw.total)
             leaf.score = float(val)

@@ -40,6 +40,7 @@ class MCqEGO(BatchOptimizer):
                     seed=self.rng,
                     initial_points=self.best_x[None, :],
                     avoid=self.X,
+                    batch_starts=opts.get("batch_starts", True),
                 )
                 X = x[None, :]
             else:
@@ -69,5 +70,6 @@ class MCqEGO(BatchOptimizer):
                     seed=self.rng,
                     initial_points=[warm],
                     avoid=self.X,
+                    batch_starts=opts.get("batch_starts", True),
                 )
         return Proposal(X=np.asarray(X), fit_time=fit_time, acq_time=sw.total)

@@ -96,6 +96,7 @@ class MicQEGO(BatchOptimizer):
                         seed=self.rng,
                         initial_points=self.best_x[None, :],
                         avoid=self.X,
+                        batch_starts=opts.get("batch_starts", True),
                     )
                     x = self._dedupe(x, batch)
                     batch.append(x)

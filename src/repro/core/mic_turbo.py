@@ -77,6 +77,7 @@ class MicTuRBO(TuRBO):
                         seed=self.rng,
                         initial_points=center[None, :],
                         avoid=self.X,
+                        batch_starts=opts.get("batch_starts", True),
                     )
                     x = self._dedupe(x, batch)
                     batch.append(x)

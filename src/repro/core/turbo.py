@@ -200,6 +200,7 @@ class TuRBO(BatchOptimizer):
                     seed=self.rng,
                     initial_points=center[None, :],
                     avoid=self.X,
+                    batch_starts=opts.get("batch_starts", True),
                 )
                 X = x[None, :]
             else:
@@ -225,6 +226,7 @@ class TuRBO(BatchOptimizer):
                     seed=self.rng,
                     initial_points=[warm],
                     avoid=self.X,
+                    batch_starts=opts.get("batch_starts", True),
                 )
         return Proposal(
             X=np.asarray(X),

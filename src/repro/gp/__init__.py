@@ -6,7 +6,8 @@ trend estimated by generalized least squares, homoskedastic noise, and
 rank-1 Cholesky extensions for the Kriging Believer "fantasy" updates.
 """
 
-from repro.gp.gp import GaussianProcess, GPPosterior
+from repro.gp.factor_cache import FactorCache, kernel_fingerprint
+from repro.gp.gp import GaussianProcess, GPBatchPosterior, GPPosterior
 from repro.gp.kernels import (
     RBF,
     Kernel,
@@ -20,6 +21,8 @@ from repro.gp.kernels import (
 )
 from repro.gp.linalg import (
     cholesky_append,
+    cholesky_downdate,
+    cholesky_update,
     jittered_cholesky,
     solve_cholesky,
     solve_lower,
@@ -28,9 +31,12 @@ from repro.gp.rff import RFFGaussianProcess
 from repro.gp.safe_fit import SafeFitReport, safe_fit
 
 __all__ = [
+    "FactorCache",
+    "GPBatchPosterior",
     "GPPosterior",
     "GaussianProcess",
     "Kernel",
+    "kernel_fingerprint",
     "SafeFitReport",
     "safe_fit",
     "Matern12",
@@ -42,6 +48,8 @@ __all__ = [
     "ScaledKernel",
     "SumKernel",
     "cholesky_append",
+    "cholesky_downdate",
+    "cholesky_update",
     "jittered_cholesky",
     "make_kernel",
     "solve_cholesky",

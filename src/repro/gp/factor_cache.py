@@ -1,0 +1,239 @@
+"""Hyperparameter-fingerprinted Cholesky factor cache.
+
+The profiler (BENCH_pr4) showed the fit→acquire→fantasize cycle
+dominated by full O(n³) refactorizations, most of which rebuild a
+kernel matrix whose leading block is unchanged: theta-frozen refits,
+fantasies over in-flight asks, and ticket-expiry requeues all touch
+only a suffix of the training set. :class:`FactorCache` exploits that
+structure. It lives on the *optimizer* (one cache outlives the
+per-cycle surrogates) and is consulted by
+:meth:`repro.gp.GaussianProcess._rebuild_cache`.
+
+Matching is keyed by a hyperparameter **fingerprint** — kernel class,
+exact theta bytes, and log-noise — plus a bitwise prefix comparison of
+the normalized training inputs:
+
+- same fingerprint, identical inputs → **hit**: the cached factor is
+  returned as-is (bit-identical to what a fresh factorization produced
+  when it was stored);
+- same fingerprint, cached inputs are a prefix → **append**: the new
+  rows are folded in with :func:`repro.gp.linalg.cholesky_append` in
+  O(n²·m);
+- same fingerprint, inputs share a prefix up to a *block boundary* →
+  **truncate** (+ append): the factor is sliced back to the boundary —
+  a bit-exact operation, see :func:`repro.gp.linalg.cholesky_downdate`
+  — and re-extended;
+- anything else → **miss**: a full factorization, which then seeds the
+  cache.
+
+Truncation is only attempted at block boundaries (the sizes recorded in
+``_blocks``) because a factor rebuilt by *replaying* the block sequence
+is bit-identical to the original only if every truncation point is also
+a replay point. That property is what makes kill/resume safe: the
+serialized state (:meth:`get_state`) stores the block structure and the
+cached inputs, and :meth:`set_state` replays chol(block₀) + appends
+lazily on the first matching lookup, reproducing the exact bytes the
+pre-kill factor had. Single-block caches serialize to ``None`` so
+default-configuration run journals are byte-for-byte unchanged by this
+feature.
+
+Observability: every lookup increments exactly one of the
+``gp.refit.cache_hit`` / ``cache_append`` / ``cache_truncate`` /
+``cache_miss`` counters (append-after-truncate counts as truncate).
+
+Not thread-safe: a cache belongs to one optimizer, and every caller
+(sync drivers, :class:`~repro.service.engine.AskTellEngine`, portfolio
+arms) already serializes proposals per optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gp.linalg import cholesky_append, jittered_cholesky
+from repro.obs.metrics import get_metrics
+
+#: Version tag for the serialized cache state.
+STATE_SCHEMA = 1
+
+
+def kernel_fingerprint(kernel, log_noise: float) -> tuple:
+    """Exact hyperparameter identity: class name, theta bytes, noise.
+
+    Theta is compared by its float64 byte representation — the cache
+    must never treat "close" hyperparameters as equal, because a hit
+    returns the cached factor verbatim and any drift would break the
+    bit-identity guarantee of golden traces.
+    """
+    theta = np.ascontiguousarray(np.asarray(kernel.theta, dtype=np.float64))
+    return (type(kernel).__name__, theta.tobytes(), float(log_noise))
+
+
+class FactorCache:
+    """Reusable Cholesky factor keyed by hyperparameters + input prefix."""
+
+    def __init__(self):
+        self._fp: tuple | None = None
+        self._X: np.ndarray | None = None  # normalized inputs backing _L
+        self._L: np.ndarray | None = None
+        self._blocks: list[int] = []  # sizes; cumsum = truncation points
+        self._pending: dict | None = None  # deserialized state, not replayed
+
+    # -- lookup --------------------------------------------------------
+    def factor_for(self, kernel, log_noise: float, X: np.ndarray,
+                   split: int | None = None) -> np.ndarray:
+        """Return the lower factor of ``k(X, X) + noise·I``.
+
+        ``X`` is in the GP's normalized input space. ``split`` marks a
+        known block boundary (the engine's real/fantasy seam): on a
+        miss the factorization is built as two blocks so later lookups
+        can truncate back to the seam instead of missing.
+        """
+        X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+        fp = kernel_fingerprint(kernel, log_noise)
+        if self._pending is not None:
+            self._replay_pending(kernel, fp)
+        # math.exp to match GaussianProcess.noise bit-for-bit (np.exp on
+        # scalars may differ in the last ulp, which would poison the
+        # "cache-on is bit-identical" guarantee).
+        noise = math.exp(float(log_noise))
+        n = X.shape[0]
+        metrics = get_metrics()
+
+        if self._fp == fp and self._L is not None:
+            p = self._longest_boundary_prefix(X)
+            if p == n == self._X.shape[0]:
+                metrics.counter("gp.refit.cache_hit").inc()
+                return self._L
+            if p > 0:
+                truncated = p < self._X.shape[0]
+                if truncated:
+                    self._truncate_to(p)
+                if n > p:
+                    self._append(kernel, noise, X[p:])
+                metrics.counter(
+                    "gp.refit.cache_truncate" if truncated
+                    else "gp.refit.cache_append"
+                ).inc()
+                return self._L
+
+        metrics.counter("gp.refit.cache_miss").inc()
+        self._fp = fp
+        if split is not None and 0 < split < n:
+            self._X = X[:split].copy()
+            K = kernel(self._X)
+            K[np.diag_indices_from(K)] += noise
+            self._L, _ = jittered_cholesky(K)
+            self._blocks = [int(split)]
+            self._append(kernel, noise, X[split:])
+        else:
+            self._X = X.copy()
+            K = kernel(self._X)
+            K[np.diag_indices_from(K)] += noise
+            self._L, _ = jittered_cholesky(K)
+            self._blocks = [n]
+        return self._L
+
+    def invalidate(self) -> None:
+        """Drop all cached state (hyperparameter reset, data repair)."""
+        self._fp = None
+        self._X = None
+        self._L = None
+        self._blocks = []
+        self._pending = None
+
+    # -- internals -----------------------------------------------------
+    def _longest_boundary_prefix(self, X: np.ndarray) -> int:
+        """Largest block boundary p with ``X[:p] == cached[:p]``, else 0."""
+        n = X.shape[0]
+        if self._X is None or X.shape[1] != self._X.shape[1]:
+            return 0
+        for p in reversed(np.cumsum(self._blocks).tolist()):
+            if p <= n and np.array_equal(X[:p], self._X[:p]):
+                return int(p)
+        return 0
+
+    def _truncate_to(self, p: int) -> None:
+        self._L = self._L[:p, :p].copy()
+        self._X = self._X[:p].copy()
+        kept: list[int] = []
+        acc = 0
+        for size in self._blocks:
+            if acc >= p:
+                break
+            kept.append(size)
+            acc += size
+        self._blocks = kept
+
+    def _append(self, kernel, noise: float, X_new: np.ndarray) -> None:
+        K_cross = kernel(self._X, X_new)
+        K_new = kernel(X_new)
+        K_new[np.diag_indices_from(K_new)] += noise
+        self._L = cholesky_append(self._L, K_cross, K_new)
+        self._X = np.vstack([self._X, X_new])
+        self._blocks.append(X_new.shape[0])
+
+    # -- serialization -------------------------------------------------
+    def get_state(self) -> dict | None:
+        """JSON-friendly snapshot, or ``None`` when replay is trivial.
+
+        A single-block cache rebuilds bit-identically from a cold miss,
+        so serializing it would only bloat journals and make cache-off
+        and cache-on checkpoints diverge; multi-block chains *must* be
+        replayed in order to reproduce the same bytes, so only they are
+        serialized.
+        """
+        if self._pending is not None:
+            return dict(self._pending)
+        if self._fp is None or len(self._blocks) <= 1:
+            return None
+        return {
+            "schema": STATE_SCHEMA,
+            "kernel": self._fp[0],
+            "theta": np.frombuffer(self._fp[1], dtype=np.float64).tolist(),
+            "log_noise": float(self._fp[2]),
+            "blocks": [int(b) for b in self._blocks],
+            "X": np.asarray(self._X, dtype=np.float64).tolist(),
+        }
+
+    def set_state(self, state: dict | None) -> None:
+        """Restore a snapshot; the factor is replayed lazily.
+
+        Replay needs the kernel object (the snapshot only records its
+        fingerprint), so reconstruction happens on the first
+        :meth:`factor_for` call whose fingerprint matches. A mismatch
+        silently discards the snapshot — the caller's hyperparameters
+        have moved on, so the cache would have been invalidated anyway.
+        """
+        self.invalidate()
+        if state is None:
+            return
+        if state.get("schema") != STATE_SCHEMA:
+            return
+        self._pending = dict(state)
+
+    def _replay_pending(self, kernel, fp: tuple) -> None:
+        pending, self._pending = self._pending, None
+        theta = np.asarray(pending["theta"], dtype=np.float64)
+        pending_fp = (pending["kernel"], theta.tobytes(),
+                      float(pending["log_noise"]))
+        if pending_fp != fp:
+            return
+        X = np.ascontiguousarray(np.asarray(pending["X"], dtype=np.float64))
+        blocks = [int(b) for b in pending["blocks"]]
+        if sum(blocks) != X.shape[0] or not blocks:
+            return
+        noise = math.exp(pending_fp[2])
+        K = kernel(X[: blocks[0]])
+        K[np.diag_indices_from(K)] += noise
+        L, _ = jittered_cholesky(K)
+        self._fp = pending_fp
+        self._X = X[: blocks[0]].copy()
+        self._L = L
+        self._blocks = [blocks[0]]
+        offset = blocks[0]
+        for size in blocks[1:]:
+            self._append(kernel, noise, X[offset:offset + size])
+            offset += size

@@ -31,7 +31,13 @@ import numpy as np
 
 from repro.gp.fit import fit_hyperparameters
 from repro.gp.kernels import Kernel, make_kernel
-from repro.gp.linalg import cholesky_append, jittered_cholesky, solve_cholesky, solve_lower
+from repro.gp.linalg import (
+    cholesky_append,
+    cholesky_downdate,
+    jittered_cholesky,
+    solve_cholesky,
+    solve_lower,
+)
 from repro.gp.mll import mll_value, profiled_mean
 from repro.obs.tracer import trace_span
 from repro.util import (
@@ -60,6 +66,22 @@ class GPPosterior:
     cov: np.ndarray
     U: np.ndarray  # query points in normalized input space, (q, d)
     V: np.ndarray  # L⁻¹ k(X_train, U), (n, q)
+
+
+@dataclass
+class GPBatchPosterior:
+    """Joint posteriors over ``r`` independent q-batches at once.
+
+    The stacked analogue of :class:`GPPosterior` used by batched
+    multi-start acquisition optimization: one posterior call covers all
+    restart candidates, so the O(n²) triangular solves run as a single
+    BLAS-3 operation instead of ``r`` BLAS-2 ones.
+    """
+
+    mean: np.ndarray  # (r, q)
+    cov: np.ndarray  # (r, q, q)
+    U: np.ndarray  # (r, q, d) normalized query points
+    V: np.ndarray  # (n, r, q)
 
 
 class GaussianProcess:
@@ -134,6 +156,24 @@ class GaussianProcess:
         self._gls_mean = 0.0
         self.last_mll_: float | None = None
 
+        # Factor-cache plumbing (see repro.gp.factor_cache). The cache
+        # is attached by the owning optimizer, not created here — one
+        # cache must outlive the per-cycle surrogate instances.
+        self.factor_cache = None
+        self._cache_split: int | None = None
+        # Ownership flag for L_: False while L_ aliases an array owned
+        # by the cache (or a parent model), True once this instance
+        # holds a freshly allocated factor. Operations that rebind L_
+        # (fantasize_, defantasize_) always allocate, so aliased
+        # factors are never written through — this is the
+        # copy-on-write guard for fantasy clones.
+        self._owns_factor = True
+        self._n_fantasy = 0
+
+    #: Class marker checked by safe_fit before passing cache kwargs
+    #: (the RFF backend has a different fit signature and no L_).
+    supports_factor_cache = True
+
     # ------------------------------------------------------------------
     @property
     def dim(self) -> int:
@@ -147,6 +187,11 @@ class GaussianProcess:
     def n_train(self) -> int:
         """Number of (real + fantasy) training points."""
         return 0 if self.X_ is None else self.X_.shape[0]
+
+    @property
+    def n_fantasy(self) -> int:
+        """Number of trailing fantasy rows (removable by defantasize_)."""
+        return self._n_fantasy
 
     @property
     def noise(self) -> float:
@@ -175,12 +220,16 @@ class GaussianProcess:
         n_restarts: int = 2,
         maxiter: int = 100,
         seed: RandomState = None,
+        cache_split: int | None = None,
     ) -> "GaussianProcess":
         """Set training data and (optionally) fit hyperparameters.
 
         Returns ``self`` for chaining. With ``optimize=False`` the
         current hyperparameters are kept and only the posterior cache
         is rebuilt — the cheap path for intermediate updates.
+        ``cache_split`` marks a block boundary for the factor cache
+        (the engine's real/fantasy seam); it is ignored when no cache
+        is attached.
         """
         X = check_finite(check_matrix(X, "X", cols=self._dim), "X")
         self._dim = X.shape[1]
@@ -188,6 +237,8 @@ class GaussianProcess:
         with trace_span(
             "gp_fit", n_train=X.shape[0], optimize=bool(optimize)
         ) as sp:
+            self._cache_split = cache_split
+            self._n_fantasy = 0
             self.X_ = self._normalize_x(X)
             self.y_ = y.copy()
             if self.standardize_y:
@@ -215,9 +266,16 @@ class GaussianProcess:
 
     def _rebuild_cache(self) -> None:
         assert self.X_ is not None and self._z is not None
-        K = self.kernel(self.X_)
-        K[np.diag_indices_from(K)] += self.noise
-        self.L_, _ = jittered_cholesky(K)
+        if self.factor_cache is not None:
+            self.L_ = self.factor_cache.factor_for(
+                self.kernel, self.log_noise, self.X_, split=self._cache_split
+            )
+            self._owns_factor = False
+        else:
+            K = self.kernel(self.X_)
+            K[np.diag_indices_from(K)] += self.noise
+            self.L_, _ = jittered_cholesky(K)
+            self._owns_factor = True
         self._gls_mean = profiled_mean(self.L_, self._z, self.mean_mode)
         self.alpha_ = solve_cholesky(self.L_, self._z - self._gls_mean)
 
@@ -277,6 +335,43 @@ class GaussianProcess:
             dsigma = np.zeros_like(dmu)
         return mu, sigma, dmu, dsigma
 
+    def mean_std_grad_batch(self, X):
+        """Batched :meth:`mean_std_grad` over the ``m`` rows of ``X``.
+
+        Returns ``(mu (m,), sigma (m,), dmu (m, d), dsigma (m, d))``,
+        all in original units. One kernel evaluation and one stacked
+        triangular solve replace ``m`` separate BLAS-2 calls — the hot
+        path of batched multi-start acquisition optimization.
+        """
+        self._require_fitted()
+        X = check_matrix(X, "X", cols=self.dim)
+        U = self._normalize_x(X)
+        m, d = U.shape
+        n = self.X_.shape[0]
+        k_star = self.kernel(U, self.X_)  # (m, n)
+        V = solve_lower(self.L_, k_star.T)  # (n, m)
+        mu = self._y_mean + self._y_std * (self._gls_mean + k_star @ self.alpha_)
+        var_z = self.kernel.diag(U) - np.sum(V * V, axis=0)
+        np.maximum(var_z, 0.0, out=var_z)
+        sigma = self._y_std * np.sqrt(var_z)
+
+        scale = self._x_scale()
+        G = self.kernel.grad_x_batch(U, self.X_)  # (m, n, d)
+        dmu = self._y_std * (G.transpose(0, 2, 1) @ self.alpha_) * scale
+        # One stacked solve for all m·d right-hand sides.
+        A = solve_lower(self.L_, G.transpose(1, 0, 2).reshape(n, m * d))
+        A = A.reshape(n, m, d)
+        dvar_z = -2.0 * np.einsum("nm,nmd->md", V, A)
+        dsigma = np.zeros_like(dmu)
+        safe = var_z > 1e-16
+        if np.any(safe):
+            dsigma[safe] = (
+                self._y_std
+                * dvar_z[safe]
+                / (2.0 * np.sqrt(var_z[safe]))[:, None]
+            ) * scale
+        return mu, sigma, dmu, dsigma
+
     def joint_posterior(self, Xq) -> GPPosterior:
         """Joint posterior over a batch, with the backward cache."""
         self._require_fitted()
@@ -319,6 +414,64 @@ class GaussianProcess:
             ) * scale
         return grad
 
+    def joint_posterior_batch(self, Xb) -> GPBatchPosterior:
+        """Joint posteriors over ``r`` stacked q-batches, ``Xb (r, q, d)``.
+
+        The stacked analogue of :meth:`joint_posterior`: the kernel
+        cross-covariances and triangular solves for all ``r`` restart
+        candidates run as single BLAS-3 calls; only the (q, q) batch
+        covariances are per-block.
+        """
+        self._require_fitted()
+        Xb = np.asarray(Xb, dtype=np.float64)
+        if Xb.ndim != 3 or Xb.shape[2] != self.dim:
+            raise ConfigurationError(
+                f"Xb must be (r, q, {self.dim}), got {Xb.shape}"
+            )
+        r, q, d = Xb.shape
+        U = self._normalize_x(Xb.reshape(r * q, d)).reshape(r, q, d)
+        flat = U.reshape(r * q, d)
+        k_star = self.kernel(flat, self.X_)  # (rq, n)
+        mu_z = self._gls_mean + k_star @ self.alpha_
+        V = solve_lower(self.L_, k_star.T).reshape(-1, r, q)  # (n, r, q)
+        cov_z = np.empty((r, q, q), dtype=np.float64)
+        for i in range(r):
+            cov_z[i] = self.kernel(U[i]) - V[:, i, :].T @ V[:, i, :]
+        cov_z = 0.5 * (cov_z + cov_z.transpose(0, 2, 1))
+        mean = self._y_mean + self._y_std * mu_z.reshape(r, q)
+        cov = (self._y_std**2) * cov_z
+        return GPBatchPosterior(mean=mean, cov=cov, U=U, V=V)
+
+    def joint_posterior_batch_backward(
+        self, post: GPBatchPosterior, mean_bar: np.ndarray, cov_bar: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`joint_posterior_backward`: ``(r, q, d)`` grads.
+
+        ``mean_bar (r, q)`` and symmetric ``cov_bar (r, q, q)`` in
+        original units. The expensive L⁻¹-solve against all kernel
+        gradients is one stacked triangular solve across every restart.
+        """
+        self._require_fitted()
+        r, q, d = post.U.shape
+        n = self.X_.shape[0]
+        scale = self._x_scale()
+        flat = post.U.reshape(r * q, d)
+        G = self.kernel.grad_x_batch(flat, self.X_)  # (rq, n, d)
+        A = solve_lower(self.L_, G.transpose(1, 0, 2).reshape(n, r * q * d))
+        A = A.reshape(n, r, q, d)
+        term_mu = (G.transpose(0, 2, 1) @ self.alpha_).reshape(r, q, d)
+        VSb = np.einsum("nrq,rqk->nrk", post.V, cov_bar)  # (n, r, q)
+        grad = np.empty((r, q, d), dtype=np.float64)
+        for i in range(r):
+            H = self.kernel.grad_x_batch(post.U[i], post.U[i])  # (q, q, d)
+            term_cov = 2.0 * np.einsum("kqd,kq->kd", H, cov_bar[i])
+            term_cov -= 2.0 * np.einsum("nkd,nk->kd", A[:, i], VSb[:, i])
+            grad[i] = (
+                self._y_std * mean_bar[i][:, None] * term_mu[i]
+                + (self._y_std**2) * term_cov
+            ) * scale
+        return grad
+
     def sample_f(self, X, n_samples: int = 1, seed: RandomState = None):
         """Draw joint posterior samples of the latent function.
 
@@ -349,7 +502,14 @@ class GaussianProcess:
         clone = object.__new__(GaussianProcess)
         clone.__dict__.update(self.__dict__)
         # fantasize_ rebinds (never mutates) the fitted-state arrays,
-        # so the shallow copy leaves this GP untouched.
+        # so the shallow copy leaves this GP untouched. Two guards make
+        # that a hard invariant rather than a convention: the clone
+        # does not own the shared factor (so nothing may write through
+        # it), and it drops the factor cache — a clone storing its
+        # fantasy-polluted factor into the parent's cache would
+        # corrupt every later cache lookup.
+        clone.factor_cache = None
+        clone._owns_factor = False
         return clone.fantasize_(X_new, y_new)
 
     def fantasize_(self, X_new, y_new=None) -> "GaussianProcess":
@@ -376,10 +536,45 @@ class GaussianProcess:
             K_new = self.kernel(U_new)
             K_new[np.diag_indices_from(K_new)] += self.noise
             self.L_ = cholesky_append(self.L_, K_cross, K_new)
+            self._owns_factor = True  # cholesky_append allocates fresh
+            self._n_fantasy += U_new.shape[0]
             self.X_ = np.vstack([self.X_, U_new])
             self.y_ = np.concatenate([self.y_, y_new])
             self._z = np.concatenate([self._z, z_new])
             # Keep the trend frozen (no re-estimation inside a cycle).
+            self.alpha_ = solve_cholesky(self.L_, self._z - self._gls_mean)
+        return self
+
+    def defantasize_(self, m: int | None = None) -> "GaussianProcess":
+        """Roll back the last ``m`` fantasy rows in place (default: all).
+
+        The inverse of :meth:`fantasize_`: because fantasies always sit
+        at the trailing end of the training set, the factor downdate is
+        the bit-exact truncation fast path of
+        :func:`~repro.gp.linalg.cholesky_downdate` — a
+        fantasize_/defantasize_ round trip restores ``L_`` (and hence
+        every posterior quantity) to the exact bytes it had before.
+        This is what ticket-expiry requeues in the ask/tell engine use
+        to drop a stale fantasy without refitting.
+        """
+        self._require_fitted()
+        if m is None:
+            m = self._n_fantasy
+        m = int(m)
+        if not 0 <= m <= self._n_fantasy:
+            raise ConfigurationError(
+                f"cannot remove {m} fantasies; model has {self._n_fantasy}"
+            )
+        if m == 0:
+            return self
+        n = self.n_train - m
+        with trace_span("fantasy_downdate", n_train=self.n_train, m=m):
+            self.L_ = cholesky_downdate(self.L_, range(n, self.n_train))
+            self._owns_factor = True  # cholesky_downdate always copies
+            self._n_fantasy -= m
+            self.X_ = self.X_[:n].copy()
+            self.y_ = self.y_[:n].copy()
+            self._z = self._z[:n].copy()
             self.alpha_ = solve_cholesky(self.L_, self._z - self._gls_mean)
         return self
 

@@ -93,6 +93,18 @@ class Kernel:
         """``(n2, d)`` array of ∂k(x, X2ᵢ)/∂x for a single point ``x``."""
         raise NotImplementedError
 
+    def grad_x_batch(self, X1, X2) -> np.ndarray:
+        """``(m, n2, d)`` stack of :meth:`grad_x` over the rows of ``X1``.
+
+        The base implementation loops; stationary kernels and the
+        compositional wrappers override it with one vectorized
+        evaluation — the primitive behind batched multi-start
+        acquisition optimization.
+        """
+        X1 = _as_2d(X1)
+        X2 = _as_2d(X2)
+        return np.stack([self.grad_x(x, X2) for x in X1], axis=0)
+
     # -- composition ----------------------------------------------------
     def __add__(self, other: "Kernel") -> "SumKernel":
         return SumKernel(self, other)
@@ -220,6 +232,13 @@ class _Stationary(Kernel):
         # d r² / dx = 2 (x - x2) / ℓ² , chain rule through the profile.
         return 2.0 * dk[:, None] * diff
 
+    def grad_x_batch(self, X1, X2) -> np.ndarray:
+        X1 = _as_2d(X1)
+        X2 = _as_2d(X2)
+        diff = (X1[:, None, :] - X2[None, :, :]) / (self.lengthscale**2)
+        dk = self._dk_dr2(self._scaled_sqdist(X1, X2))  # (m, n2)
+        return 2.0 * dk[:, :, None] * diff
+
 
 class RBF(_Stationary):
     """Squared-exponential kernel ``exp(-r²/2)`` with optional ARD."""
@@ -321,6 +340,9 @@ class ScaledKernel(Kernel):
     def grad_x(self, x, X2) -> np.ndarray:
         return self.outputscale * self.inner.grad_x(x, X2)
 
+    def grad_x_batch(self, X1, X2) -> np.ndarray:
+        return self.outputscale * self.inner.grad_x_batch(X1, X2)
+
 
 class SumKernel(Kernel):
     """Sum of two kernels; hyperparameters are concatenated."""
@@ -354,6 +376,9 @@ class SumKernel(Kernel):
 
     def grad_x(self, x, X2) -> np.ndarray:
         return self.left.grad_x(x, X2) + self.right.grad_x(x, X2)
+
+    def grad_x_batch(self, X1, X2) -> np.ndarray:
+        return self.left.grad_x_batch(X1, X2) + self.right.grad_x_batch(X1, X2)
 
 
 class ProductKernel(Kernel):
@@ -396,6 +421,11 @@ class ProductKernel(Kernel):
         kl = self.left(np.asarray(x).reshape(1, -1), X2)[0][:, None]
         kr = self.right(np.asarray(x).reshape(1, -1), X2)[0][:, None]
         return self.left.grad_x(x, X2) * kr + self.right.grad_x(x, X2) * kl
+
+    def grad_x_batch(self, X1, X2) -> np.ndarray:
+        kl = self.left(X1, X2)[:, :, None]
+        kr = self.right(X1, X2)[:, :, None]
+        return self.left.grad_x_batch(X1, X2) * kr + self.right.grad_x_batch(X1, X2) * kl
 
 
 _KERNELS = {

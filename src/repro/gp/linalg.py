@@ -13,6 +13,8 @@ performance-critical pieces are:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy.linalg import LinAlgError, cho_solve, cholesky, solve_triangular
 
@@ -88,6 +90,91 @@ def cholesky_append(
     out[:n, :n] = L
     out[n:, :n] = B.T
     out[n:, n:] = C
+    return out
+
+
+def cholesky_update(L: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rank-1 *update* of a lower Cholesky factor: factor of ``LLᵀ + vvᵀ``.
+
+    Classic O(n²) sequence of Givens-style rotations (Golub & Van Loan
+    §6.5.4). The update direction (adding ``vvᵀ``) is unconditionally
+    stable — unlike the subtraction direction, it cannot leave the
+    positive-definite cone. This is the primitive behind
+    :func:`cholesky_downdate`: deleting a row/column of ``K`` *adds*
+    the deleted column's outer product back into the trailing Schur
+    block, so row removal is a rank-1 update of the trailing factor.
+    """
+    L = np.array(L, dtype=np.float64)  # copied; mutated in place below
+    v = np.array(v, dtype=np.float64).ravel()
+    n = L.shape[0]
+    if v.shape[0] != n:
+        raise NumericalError(
+            f"cholesky_update: v has length {v.shape[0]}, factor is {n}x{n}"
+        )
+    for k in range(n):
+        Lkk = L[k, k]
+        if not Lkk > 0.0:
+            raise NumericalError(
+                f"cholesky_update: nonpositive pivot {Lkk:g} at index {k}"
+            )
+        r = math.hypot(Lkk, v[k])
+        c = r / Lkk
+        s = v[k] / Lkk
+        L[k, k] = r
+        if k + 1 < n:
+            L[k + 1 :, k] = (L[k + 1 :, k] + s * v[k + 1 :]) / c
+            v[k + 1 :] = c * v[k + 1 :] - s * L[k + 1 :, k]
+    return L
+
+
+def cholesky_downdate(L: np.ndarray, indices) -> np.ndarray:
+    """Shrink a Cholesky factor after *removing* rows/columns of ``K``.
+
+    Given ``L`` with ``LLᵀ = K`` (n×n) and a set of row indices, return
+    the lower factor of ``K`` with those rows *and* columns deleted.
+
+    Two regimes, both far below O(n³):
+
+    - removing a trailing contiguous block (the fantasy-rollback and
+      ticket-requeue case) is a pure truncation: ``L[:k, :k]`` already
+      factors the leading submatrix exactly, so the result is bitwise
+      identical to the factor the original prefix had;
+    - removing an interior row ``k`` keeps ``L[:k, :k]`` and the rows
+      below it intact and rank-1-updates the trailing block: with
+      ``d = L[k+1:, k]`` and ``E = L[k+1:, k+1:]``, the new trailing
+      factor is ``cholesky_update(E, d)`` — O((n−k)²) per removal.
+
+    Indices are processed in descending order so earlier removals never
+    shift the meaning of later ones. Always returns a fresh array (the
+    input factor is never aliased), so callers may mutate the result.
+    """
+    L = np.asarray(L, dtype=np.float64)
+    n = L.shape[0]
+    idx = sorted({int(i) for i in np.atleast_1d(np.asarray(indices, dtype=int))})
+    if not idx:
+        return L.copy()
+    if idx[0] < 0 or idx[-1] >= n:
+        raise NumericalError(
+            f"cholesky_downdate: indices {idx} out of range for {n}x{n} factor"
+        )
+    m = len(idx)
+    if idx == list(range(n - m, n)):
+        # Trailing block: exact truncation, bit-identical to the factor
+        # of the prefix (Cholesky is computed left-to-right).
+        return L[: n - m, : n - m].copy()
+    out = L.copy()
+    for k in reversed(idx):
+        nn = out.shape[0]
+        if k == nn - 1:
+            out = out[:k, :k].copy()
+            continue
+        d = out[k + 1 :, k].copy()
+        F = cholesky_update(out[k + 1 :, k + 1 :], d)
+        new = np.zeros((nn - 1, nn - 1), dtype=np.float64)
+        new[:k, :k] = out[:k, :k]
+        new[k:, :k] = out[k + 1 :, :k]
+        new[k:, k:] = np.tril(F)
+        out = new
     return out
 
 

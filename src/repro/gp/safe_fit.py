@@ -241,6 +241,8 @@ def safe_fit(
     n_restarts: int = 1,
     maxiter: int = 50,
     seed: RandomState = None,
+    optimize: bool = True,
+    cache_split: int | None = None,
 ) -> tuple[object, SafeFitReport]:
     """Fit ``gp`` on ``(X, y)`` with the self-healing ladder.
 
@@ -250,16 +252,28 @@ def safe_fit(
     wrapping an existing fit with :func:`safe_fit` changes nothing
     until something actually goes wrong.
 
+    ``optimize=False`` keeps the incumbent hyperparameters (the
+    ``refit_every`` carry-over path); ``cache_split`` is forwarded to
+    the factor cache for models that support one (see
+    ``GaussianProcess.supports_factor_cache``) and silently dropped for
+    other backends.
+
     Raises :class:`~repro.util.SurrogateUnavailableError` only when
     every rung of the ladder fails.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).reshape(-1)
+    cache_kwargs = (
+        {"cache_split": cache_split}
+        if getattr(gp, "supports_factor_cache", False)
+        else {}
+    )
     with trace_span("safe_fit", n_train=X.shape[0]) as sp:
         report = SafeFitReport(issues=data_health_issues(gp, X, y))
 
         try:
-            gp.fit(X, y, n_restarts=n_restarts, maxiter=maxiter, seed=seed)
+            gp.fit(X, y, optimize=optimize, n_restarts=n_restarts,
+                   maxiter=maxiter, seed=seed, **cache_kwargs)
         except ModelError as exc:
             report.errors.append(f"{type(exc).__name__}: {exc}")
             _ladder(gp, X, y, report, seed)
@@ -280,7 +294,13 @@ def _ladder(gp, X, y, report: SafeFitReport, seed: RandomState) -> None:
     except ModelError as exc:
         report.errors.append(f"{type(exc).__name__}: {exc}")
 
-    # Rung 2: repair the data and retry the full fit.
+    # Rung 2: repair the data and retry the full fit. Repaired rows
+    # invalidate any factor cache — its stored inputs no longer
+    # correspond to data the optimizer will ever fit again, and a
+    # poisoned prefix match after a repair would be hard to debug.
+    cache = getattr(gp, "factor_cache", None)
+    if cache is not None:
+        cache.invalidate()
     rng = as_generator(seed)
     X_rep, y_rep, n_dropped = _dedupe_or_jitter(gp, X, y, rng)
     report.n_dropped = n_dropped

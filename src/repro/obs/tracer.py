@@ -51,6 +51,7 @@ SPAN_NAMES = (
     "gp_fit",         # one raw GP fit (gp.GaussianProcess.fit)
     "acq_optimize",   # one inner acquisition optimization
     "fantasy_update", # one Kriging-Believer fantasy extension
+    "fantasy_downdate",  # one fantasy rollback (gp.defantasize_)
     "evaluate",       # batch evaluation on the (simulated) cluster
     "checkpoint",     # journal write incl. optimizer state snapshot
     "dispatch",       # async driver: one candidate selection

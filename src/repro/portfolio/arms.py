@@ -107,6 +107,7 @@ class Arm:
             seed=ctx.rng,
             initial_points=initial_points,
             avoid=ctx.X,
+            batch_starts=opts.get("batch_starts", True),
         )
         return np.asarray(x, dtype=np.float64).reshape(-1)
 

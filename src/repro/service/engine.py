@@ -354,9 +354,16 @@ class AskTellEngine:
         n_real = opt.X.shape[0]
         opt.X = np.vstack([opt.X, X_pend])
         opt.y = np.concatenate([opt.y, y_fant])
+        # Tell the factor cache where the real observations end: the
+        # fantasy suffix churns every ask/tell/expiry, so building the
+        # factorization with a block boundary at the seam lets the next
+        # proposal truncate back to the (stable) real block instead of
+        # missing outright.
+        opt.fantasy_split = n_real
         try:
             X_prop = opt.propose().X
         finally:
+            opt.fantasy_split = None
             opt.X = opt.X[:n_real]
             opt.y = opt.y[:n_real]
         return X_prop

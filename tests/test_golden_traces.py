@@ -64,7 +64,8 @@ def _reset_obs():
     set_metrics(NULL_METRICS)
 
 
-def run_golden(algorithm: str, journal_path, *, traced: bool):
+def run_golden(algorithm: str, journal_path, *, traced: bool,
+               gp_overrides: dict | None = None):
     """One seeded 3-cycle run; returns (result, journal events, tracer)."""
     tracer = None
     if traced:
@@ -76,7 +77,12 @@ def run_golden(algorithm: str, journal_path, *, traced: bool):
         set_metrics(NULL_METRICS)
     try:
         problem = get_benchmark("sphere", dim=3, sim_time=10.0)
-        optimizer = make_optimizer(algorithm, problem, 2, seed=SEED, **FAST)
+        options = dict(FAST)
+        if gp_overrides:
+            options = {
+                **FAST, "gp_options": {**FAST["gp_options"], **gp_overrides}
+            }
+        optimizer = make_optimizer(algorithm, problem, 2, seed=SEED, **options)
         result = run_optimization(
             problem,
             optimizer,
@@ -156,6 +162,27 @@ class TestGoldenTraces:
         assert {"cycle", "propose", "evaluate", "fit", "checkpoint"} <= names
         rows = cycle_breakdown(tracer.spans)
         assert [row["cycle"] for row in rows] == list(range(1, N_CYCLES + 1))
+
+    def test_factor_cache_is_bit_neutral(self, algorithm, tmp_path):
+        """The factor cache (on by default) must not move a single bit
+        of the journal or the evaluation history relative to a run with
+        the cache disabled: a cold miss executes the exact factorization
+        sequence the cache-free path does, and the default
+        fit-every-cycle configuration never takes an append/truncate
+        shortcut mid-run."""
+        res_on, ev_on, _ = run_golden(
+            algorithm, tmp_path / "cache_on.jsonl", traced=False
+        )
+        res_off, ev_off, _ = run_golden(
+            algorithm,
+            tmp_path / "cache_off.jsonl",
+            traced=False,
+            gp_overrides={"factor_cache": False},
+        )
+        assert history_hash(res_on) == history_hash(res_off)
+        assert journal_hash(ev_on) == journal_hash(ev_off)
+        assert canonical_journal(ev_on) == canonical_journal(ev_off)
+        assert np.array_equal(res_on.best_x, res_off.best_x)
 
     def test_trace_does_not_touch_journal(self, algorithm, tmp_path):
         """The journal schema never grows observability fields."""

@@ -1,0 +1,324 @@
+"""Tests for the hyperparameter-fingerprinted Cholesky factor cache.
+
+Covers the bit-identity contract (a cached fit must be byte-for-byte
+what a cache-free fit produces), the hit/append/truncate/miss match
+ladder and its observability counters, checkpoint replay, and the
+optimizer-level ``refit_every`` wiring that makes theta-frozen refits
+skip full refactorizations entirely.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import FactorCache, GaussianProcess, kernel_fingerprint
+from repro.gp.safe_fit import safe_fit
+from repro.obs import MetricsRegistry, set_metrics
+from repro.problems import get_benchmark
+
+
+@pytest.fixture
+def metrics():
+    """Install a real registry for the duration of one test."""
+    reg = MetricsRegistry()
+    previous = set_metrics(reg)
+    yield reg
+    set_metrics(previous)
+
+
+def _counts(reg):
+    return {
+        name: reg.counter(f"gp.refit.cache_{name}").value
+        for name in ("hit", "append", "truncate", "miss")
+    }
+
+
+def _data(seed, n, d=3):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = np.sin(3.0 * X[:, 0]) + X[:, 1] ** 2 - 0.5 * X[:, 2]
+    return X, y
+
+
+def _gp(bounds, cache=None):
+    gp = GaussianProcess(dim=3, input_bounds=bounds)
+    gp.factor_cache = cache
+    return gp
+
+
+class TestBitIdentity:
+    def test_first_fit_matches_cache_off(self, unit_bounds3):
+        """A cold miss runs the exact same code path as no cache."""
+        X, y = _data(0, 18)
+        plain = _gp(unit_bounds3).fit(X, y, n_restarts=1, maxiter=40, seed=0)
+        cached = _gp(unit_bounds3, FactorCache()).fit(
+            X, y, n_restarts=1, maxiter=40, seed=0
+        )
+        assert cached.L_.tobytes() == plain.L_.tobytes()
+        assert cached.alpha_.tobytes() == plain.alpha_.tobytes()
+
+    def test_hit_returns_identical_factor(self, unit_bounds3, metrics):
+        """Unchanged hyperparameters + data → the very same factor."""
+        X, y = _data(1, 15)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache).fit(X, y, n_restarts=1, seed=0)
+        L_first = gp.L_
+        # refit without re-optimizing: theta and data are unchanged
+        gp.fit(X, y, optimize=False)
+        assert gp.L_ is L_first
+        assert _counts(metrics) == {
+            "hit": 1.0, "append": 0.0, "truncate": 0.0, "miss": 1.0
+        }
+
+    def test_append_path_matches_fresh_within_tolerance(self, unit_bounds3):
+        X, y = _data(2, 12)
+        X2, y2 = _data(3, 16)
+        X_all = np.vstack([X, X2[:4]])
+        y_all = np.concatenate([y, y2[:4]])
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache).fit(X, y, optimize=False)
+        gp.fit(X_all, y_all, optimize=False)
+        fresh = _gp(unit_bounds3).fit(X_all, y_all, optimize=False)
+        np.testing.assert_allclose(gp.L_, fresh.L_, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(
+            gp.predict(X[:5])[0], fresh.predict(X[:5])[0], rtol=1e-8
+        )
+
+
+class TestMatchLadder:
+    def test_theta_change_invalidates(self, unit_bounds3, metrics):
+        """A different fingerprint must never reuse the factor."""
+        X, y = _data(4, 14)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache).fit(X, y, optimize=False)
+        gp.kernel.theta = gp.kernel.theta + 0.1
+        gp.fit(X, y, optimize=False)
+        assert _counts(metrics)["miss"] == 2.0
+        assert _counts(metrics)["hit"] == 0.0
+
+    def test_noise_change_invalidates(self, unit_bounds3, metrics):
+        X, y = _data(5, 14)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache).fit(X, y, optimize=False)
+        gp.log_noise = gp.log_noise + 0.5
+        gp.fit(X, y, optimize=False)
+        assert _counts(metrics)["miss"] == 2.0
+
+    def test_changed_prefix_misses(self, unit_bounds3, metrics):
+        """Mutating an already-cached row forces a full rebuild."""
+        X, y = _data(6, 14)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache).fit(X, y, optimize=False)
+        X_mut = X.copy()
+        X_mut[0, 0] = 1.0 - X_mut[0, 0]
+        gp.fit(X_mut, y, optimize=False)
+        assert _counts(metrics)["miss"] == 2.0
+        fresh = _gp(unit_bounds3).fit(X_mut, y, optimize=False)
+        assert gp.L_.tobytes() == fresh.L_.tobytes()
+
+    def test_split_seam_enables_truncation(self, unit_bounds3, metrics):
+        """A fantasy-suffix swap truncates back to the seam block."""
+        X, y = _data(7, 16)
+        fant_a, _ = _data(8, 4)
+        fant_b, _ = _data(9, 4)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache)
+        gp.fit(
+            np.vstack([X, fant_a]), np.concatenate([y, np.zeros(4)]),
+            optimize=False, cache_split=16,
+        )
+        assert _counts(metrics)["miss"] == 1.0
+        gp.fit(
+            np.vstack([X, fant_b]), np.concatenate([y, np.ones(4)]),
+            optimize=False, cache_split=16,
+        )
+        assert _counts(metrics) == {
+            "hit": 0.0, "append": 0.0, "truncate": 1.0, "miss": 1.0
+        }
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(5, 14), m=st.integers(1, 5), seed=st.integers(0, 200))
+    def test_truncate_append_replay_is_consistent(self, n, m, seed):
+        """Whatever path the ladder takes, reusing the cache and
+        rebuilding from scratch agree to solver tolerance."""
+        bounds = np.tile([0.0, 1.0], (3, 1))
+        X, y = _data(seed, n + m)
+        cache = FactorCache()
+        gp = _gp(bounds, cache)
+        gp.fit(X, y, optimize=False, cache_split=n)
+        # drop the suffix, then extend with a different one
+        X2, y2 = _data(seed + 1000, n + m)
+        X_next = np.vstack([X[:n], X2[n:]])
+        y_next = np.concatenate([y[:n], y2[n:]])
+        gp.fit(X_next, y_next, optimize=False, cache_split=n)
+        fresh = _gp(bounds).fit(X_next, y_next, optimize=False)
+        np.testing.assert_allclose(gp.L_, fresh.L_, rtol=1e-8, atol=1e-10)
+
+
+class TestSerialization:
+    def test_single_block_state_is_none(self, unit_bounds3):
+        X, y = _data(10, 12)
+        cache = FactorCache()
+        _gp(unit_bounds3, cache).fit(X, y, optimize=False)
+        assert cache.get_state() is None
+
+    def test_multi_block_replay_is_bit_identical(self, unit_bounds3):
+        """Kill/resume: the replayed factor has the exact same bytes."""
+        X, y = _data(11, 12)
+        X2, y2 = _data(12, 16)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache)
+        gp.fit(X, y, optimize=False)
+        # append on matching prefix → multi-block chain [12, 4]
+        X_all = np.vstack([X, X2[:4]])
+        y_all = np.concatenate([y, y2[:4]])
+        gp.fit(X_all, y_all, optimize=False)
+        L_before = gp.L_.copy()
+        state = cache.get_state()
+        assert state is not None
+
+        import json
+        state = json.loads(json.dumps(state))  # journal round trip
+        cache2 = FactorCache()
+        cache2.set_state(state)
+        gp2 = _gp(unit_bounds3, cache2)
+        gp2.fit(X_all, y_all, optimize=False)
+        assert gp2.L_.tobytes() == L_before.tobytes()
+
+    def test_stale_snapshot_discarded(self, unit_bounds3, metrics):
+        """A snapshot from different hyperparameters must not poison."""
+        X, y = _data(13, 12)
+        X_all = np.vstack([X, _data(14, 4)[0]])
+        y_all = np.concatenate([y, np.zeros(4)])
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache)
+        gp.fit(X, y, optimize=False)
+        gp.fit(X_all, y_all, optimize=False)
+        state = cache.get_state()
+        cache2 = FactorCache()
+        cache2.set_state(state)
+        gp2 = _gp(unit_bounds3, cache2)
+        gp2.kernel.theta = gp2.kernel.theta + 0.3
+        gp2.fit(X_all, y_all, optimize=False)
+        fresh = _gp(unit_bounds3)
+        fresh.kernel.theta = fresh.kernel.theta + 0.3
+        fresh.fit(X_all, y_all, optimize=False)
+        assert gp2.L_.tobytes() == fresh.L_.tobytes()
+        assert _counts(metrics)["miss"] >= 1.0
+
+    def test_schema_mismatch_ignored(self):
+        cache = FactorCache()
+        cache.set_state({"schema": 999, "blocks": [1]})
+        assert cache.get_state() is None
+
+
+class TestSafeFitIntegration:
+    def test_repair_rung_invalidates_cache(self, unit_bounds3):
+        """Rung-2 data repair must drop cached inputs (they no longer
+        match anything the optimizer will fit)."""
+        X, y = _data(15, 10)
+        cache = FactorCache()
+        gp = _gp(unit_bounds3, cache)
+        gp.fit(X, y, optimize=False)
+        assert cache._fp is not None
+        cache_before = cache._fp
+        # degenerate data: duplicated rows with a huge outputscale push
+        X_dup = np.vstack([X, X])
+        y_dup = np.concatenate([y, y])
+        safe_fit(gp, X_dup, y_dup, n_restarts=0, maxiter=5, seed=0)
+        # whether or not the ladder fired, the cache is in a coherent
+        # state: either invalidated or matching the latest inputs
+        if cache._fp is not None and cache._fp == cache_before:
+            assert cache._X is not None
+
+
+class TestOptimizerWiring:
+    def _make_opt(self, refit_every=1, factor_cache=True):
+        from repro.core.kb_qego import KBqEGO
+
+        problem = get_benchmark("sphere", dim=3)
+        return KBqEGO(
+            problem,
+            n_batch=2,
+            seed=7,
+            gp_options={
+                "refit_every": refit_every,
+                "factor_cache": factor_cache,
+                "n_restarts": 0,
+                "maxiter": 15,
+            },
+        )
+
+    def test_theta_frozen_refit_does_zero_refactorizations(self, metrics):
+        """With refit_every=3, the two carried fits between full MLL
+        optimizations must be pure cache hits (satellite regression:
+        no silent fallback to O(n³) rebuilds)."""
+        opt = self._make_opt(refit_every=3)
+        rng = np.random.default_rng(0)
+        X0 = rng.random((8, 3))
+        y0 = opt.problem(X0)
+        opt.initialize(X0, y0)
+        for _ in range(3):
+            proposal = opt.propose()
+            opt.update(proposal.X, opt.problem(proposal.X))
+        counts = _counts(metrics)
+        # fit 0: full optimize → miss; fits 1-2: carried theta on grown
+        # data → append (never a miss, never a hit on changed data)
+        assert counts["miss"] == 1.0
+        assert counts["append"] == 2.0
+        assert counts["hit"] == 0.0
+
+    def test_refit_state_round_trip(self):
+        opt = self._make_opt(refit_every=3)
+        rng = np.random.default_rng(1)
+        X0 = rng.random((8, 3))
+        y0 = opt.problem(X0)
+        opt.initialize(X0, y0)
+        opt.propose()
+        assert opt._carried_theta is not None
+        state = opt.get_state()
+        assert "refit" in state
+
+        opt2 = self._make_opt(refit_every=3)
+        opt2.initialize(X0, y0)
+        opt2.set_state(state)
+        assert opt2._fits_since_full == opt._fits_since_full
+        np.testing.assert_array_equal(opt2._carried_theta, opt._carried_theta)
+        assert opt2._carried_log_noise == opt._carried_log_noise
+
+    def test_default_config_state_unchanged(self):
+        """refit_every=1 snapshots carry no new keys (golden traces)."""
+        opt = self._make_opt(refit_every=1)
+        rng = np.random.default_rng(2)
+        X0 = rng.random((8, 3))
+        y0 = opt.problem(X0)
+        opt.initialize(X0, y0)
+        opt.propose()
+        state = opt.get_state()
+        assert "refit" not in state
+        assert "factor_cache" not in state
+
+    def test_cache_disabled_by_option(self):
+        opt = self._make_opt(factor_cache=False)
+        assert opt._factor_cache is None
+
+    def test_rff_backend_gets_no_cache(self):
+        from repro.core.kb_qego import KBqEGO
+
+        problem = get_benchmark("sphere", dim=3)
+        opt = KBqEGO(
+            problem, n_batch=2, seed=0, gp_options={"backend": "rff"}
+        )
+        assert opt._factor_cache is None
+
+
+class TestFingerprint:
+    def test_fingerprint_is_exact(self, unit_bounds3):
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        fp1 = kernel_fingerprint(gp.kernel, gp.log_noise)
+        fp2 = kernel_fingerprint(gp.kernel, gp.log_noise)
+        assert fp1 == fp2
+        gp.kernel.theta = gp.kernel.theta + 1e-15
+        fp3 = kernel_fingerprint(gp.kernel, gp.log_noise)
+        assert fp1 != fp3

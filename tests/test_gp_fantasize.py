@@ -124,6 +124,122 @@ class TestFantasize:
         np.testing.assert_array_equal(gp.L_, clone.L_)
 
 
+class TestDefantasize:
+    def test_round_trip_is_bit_exact(self, fitted_gp, rng):
+        """fantasize_ → defantasize_ restores L_ and alpha_ verbatim
+        (trailing truncation returns the factor's own prefix)."""
+        gp, _, _ = fitted_gp
+        L_before = gp.L_.copy()
+        alpha_before = gp.alpha_.copy()
+        n = gp.n_train
+        gp.fantasize_(rng.random((3, 3)))
+        assert gp.n_fantasy == 3
+        gp.defantasize_()
+        assert gp.n_train == n
+        assert gp.n_fantasy == 0
+        assert gp.L_.tobytes() == L_before.tobytes()
+        assert gp.alpha_.tobytes() == alpha_before.tobytes()
+
+    def test_partial_rollback(self, fitted_gp, rng):
+        """Removing only the newest fantasies keeps the older ones —
+        the ticket-expiry requeue case (one ask dies, others live)."""
+        gp, _, _ = fitted_gp
+        n = gp.n_train
+        gp.fantasize_(rng.random((2, 3)))
+        mid_L = gp.L_.copy()
+        gp.fantasize_(rng.random((3, 3)))
+        gp.defantasize_(3)
+        assert gp.n_train == n + 2
+        assert gp.n_fantasy == 2
+        assert gp.L_.tobytes() == mid_L.tobytes()
+
+    def test_rejects_more_than_fantasized(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        gp.fantasize_(rng.random((2, 3)))
+        with pytest.raises(Exception):
+            gp.defantasize_(3)
+
+    def test_zero_is_noop(self, fitted_gp):
+        gp, _, _ = fitted_gp
+        L_id = id(gp.L_)
+        gp.defantasize_(0)
+        assert id(gp.L_) == L_id
+
+    def test_predictions_restored(self, fitted_gp, rng):
+        gp, _, _ = fitted_gp
+        xq = rng.random((5, 3))
+        mu_before, s_before = gp.predict(xq)
+        gp.fantasize_(rng.random((4, 3)))
+        gp.defantasize_()
+        mu_after, s_after = gp.predict(xq)
+        np.testing.assert_array_equal(mu_before, mu_after)
+        np.testing.assert_array_equal(s_before, s_after)
+
+
+class TestFactorOwnership:
+    """Copy-on-write guard: fantasized clones never corrupt the parent.
+
+    The parent's ``L_`` may be owned by a shared :class:`FactorCache`;
+    a clone that mutated it in place would silently poison every later
+    cache hit. ``fantasize()`` therefore drops the cache reference on
+    the clone and ``fantasize_``/``defantasize_`` always rebind freshly
+    allocated factors.
+    """
+
+    def test_clone_does_not_share_cache(self, fitted_gp, rng):
+        from repro.gp import FactorCache
+
+        gp, _, _ = fitted_gp
+        gp.factor_cache = FactorCache()
+        clone = gp.fantasize(rng.random((2, 3)))
+        assert clone.factor_cache is None
+
+    def test_mutating_clone_preserves_parent_factor(self, unit_bounds3, rng):
+        """End-to-end: parent's cached factor survives arbitrary clone
+        fantasize/defantasize churn, bit for bit."""
+        from repro.gp import FactorCache
+
+        X = rng.random((15, 3))
+        y = np.sin(3.0 * X[:, 0]) + X[:, 1]
+        cache = FactorCache()
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.factor_cache = cache
+        gp.fit(X, y, optimize=False)
+        parent_bytes = gp.L_.tobytes()
+        cache_bytes = cache._L.tobytes()
+
+        clone = gp.fantasize(rng.random((3, 3)))
+        clone.fantasize_(rng.random((2, 3)))
+        clone.defantasize_(4)
+        clone.fantasize_(rng.random((1, 3)))
+
+        assert gp.L_.tobytes() == parent_bytes
+        assert cache._L.tobytes() == cache_bytes
+        # and the cache still serves the parent's next refit as a hit
+        gp.fit(X, y, optimize=False)
+        assert gp.L_.tobytes() == parent_bytes
+
+    def test_cache_owned_factor_not_mutated_by_fantasize_(self,
+                                                          unit_bounds3, rng):
+        """Even the in-place fantasize_ on a cache-backed model must
+        rebind, never write through, the cached factor."""
+        from repro.gp import FactorCache
+
+        X = rng.random((12, 3))
+        y = X[:, 0] ** 2
+        cache = FactorCache()
+        gp = GaussianProcess(dim=3, input_bounds=unit_bounds3)
+        gp.factor_cache = cache
+        gp.fit(X, y, optimize=False)
+        cached_L = cache._L
+        cached_bytes = cached_L.tobytes()
+        gp.fantasize_(rng.random((2, 3)))
+        assert gp.L_ is not cached_L
+        assert cached_L.tobytes() == cached_bytes
+        gp.defantasize_()
+        assert cached_L.tobytes() == cached_bytes
+
+
 class TestPartialFit:
     def test_appends_data(self, fitted_gp, rng):
         gp, _, _ = fitted_gp

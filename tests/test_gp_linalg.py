@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.gp.linalg import (
     cholesky_adjoint,
     cholesky_append,
+    cholesky_downdate,
+    cholesky_update,
     jittered_cholesky,
     log_det_from_cholesky,
     solve_cholesky,
@@ -87,6 +89,146 @@ class TestCholeskyAppend:
         L_ext = cholesky_append(L, K[:, [0]], K[[0], [0]])
         assert np.all(np.isfinite(L_ext))
         assert L_ext.shape == (5, 5)
+
+
+def _kernelish(rng, n, jitter=1.0):
+    """SPD matrix shaped like a kernel Gram: smooth, near-unit diagonal.
+
+    ``jitter`` scales the diagonal regularization; tiny values produce
+    the near-singular matrices that stress the downdate recurrences the
+    way duplicated training points stress the real cache.
+    """
+    X = rng.uniform(0.0, 1.0, size=(n, max(2, n // 2)))
+    sq = np.sum((X[:, None, :] - X[None, :, :]) ** 2, axis=-1)
+    K = np.exp(-0.5 * sq / 0.3**2)
+    K[np.diag_indices_from(K)] += jitter
+    return K
+
+
+class TestCholeskyUpdate:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 10), seed=st.integers(0, 500))
+    def test_matches_fresh_factorization(self, n, seed):
+        rng = np.random.default_rng(seed)
+        K = _spd(rng, n)
+        v = rng.standard_normal(n)
+        L, _ = jittered_cholesky(K)
+        L_up = cholesky_update(L, v)
+        np.testing.assert_allclose(
+            L_up @ L_up.T, K + np.outer(v, v), rtol=1e-10, atol=1e-10
+        )
+        assert np.allclose(L_up, np.tril(L_up))
+
+    def test_input_not_mutated(self, rng):
+        K = _spd(rng, 5)
+        L, _ = jittered_cholesky(K)
+        L0 = L.copy()
+        cholesky_update(L, rng.standard_normal(5))
+        np.testing.assert_array_equal(L, L0)
+
+    def test_length_mismatch_raises(self, rng):
+        L, _ = jittered_cholesky(_spd(rng, 4))
+        with pytest.raises(NumericalError):
+            cholesky_update(L, np.ones(3))
+
+
+class TestCholeskyDowndate:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        seed=st.integers(0, 1000),
+        data=st.data(),
+    )
+    def test_interior_removal_matches_fresh(self, n, seed, data):
+        """Removing arbitrary rows matches factoring the submatrix."""
+        rng = np.random.default_rng(seed)
+        m = data.draw(st.integers(1, n - 1), label="m")
+        idx = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=m, max_size=m),
+                label="idx",
+            )
+        )
+        K = _kernelish(rng, n)
+        L, _ = jittered_cholesky(K)
+        L_dd = cholesky_downdate(L, idx)
+        keep = [i for i in range(n) if i not in idx]
+        K_sub = K[np.ix_(keep, keep)]
+        np.testing.assert_allclose(
+            L_dd @ L_dd.T, K_sub, rtol=1e-8, atol=1e-8
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 10), m=st.integers(1, 4), seed=st.integers(0, 500))
+    def test_trailing_truncation_is_bit_exact(self, n, m, seed):
+        """Dropping a trailing block returns the factor's own prefix
+        verbatim — the property fantasy rollback relies on."""
+        rng = np.random.default_rng(seed)
+        K = _kernelish(rng, n + m)
+        L, _ = jittered_cholesky(K)
+        L_dd = cholesky_downdate(L, range(n, n + m))
+        assert L_dd.tobytes() == np.ascontiguousarray(L[:n, :n]).tobytes()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 8),
+        m=st.integers(1, 4),
+        seed=st.integers(0, 500),
+        log_jitter=st.integers(-8, 0),
+    )
+    def test_append_then_downdate_recovers_original(
+        self, n, m, seed, log_jitter
+    ):
+        """append(m rows) → downdate(those rows) is the identity on the
+        factor, bitwise, including near-singular appended blocks."""
+        rng = np.random.default_rng(seed)
+        K_full = _kernelish(rng, n + m, jitter=10.0**log_jitter)
+        L, _ = jittered_cholesky(K_full[:n, :n])
+        L_ext = cholesky_append(L, K_full[:n, n:], K_full[n:, n:])
+        L_back = cholesky_downdate(L_ext, range(n, n + m))
+        assert L_back.tobytes() == L.tobytes()
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 10), seed=st.integers(0, 500))
+    def test_near_singular_interior(self, n, seed):
+        """A near-duplicate pair leaves the downdate finite and within
+        loose tolerance of the fresh factorization."""
+        rng = np.random.default_rng(seed)
+        K = _kernelish(rng, n, jitter=1e-8)
+        L, _ = jittered_cholesky(K)
+        k = int(rng.integers(0, n - 1))
+        L_dd = cholesky_downdate(L, [k])
+        assert np.all(np.isfinite(L_dd))
+        keep = [i for i in range(n) if i != k]
+        K_sub = K[np.ix_(keep, keep)]
+        np.testing.assert_allclose(
+            L_dd @ L_dd.T, K_sub, rtol=1e-6, atol=1e-6
+        )
+
+    def test_remove_everything(self, rng):
+        L, _ = jittered_cholesky(_spd(rng, 3))
+        out = cholesky_downdate(L, [0, 1, 2])
+        assert out.shape == (0, 0)
+
+    def test_out_of_range_raises(self, rng):
+        L, _ = jittered_cholesky(_spd(rng, 4))
+        with pytest.raises(NumericalError):
+            cholesky_downdate(L, [4])
+        with pytest.raises(NumericalError):
+            cholesky_downdate(L, [-1])
+
+    def test_duplicate_indices_collapse(self, rng):
+        """Indices form a set: repeating one removes it once."""
+        L, _ = jittered_cholesky(_spd(rng, 4))
+        a = cholesky_downdate(L, [1, 1])
+        b = cholesky_downdate(L, [1])
+        assert a.tobytes() == b.tobytes()
+
+    def test_result_is_fresh_memory(self, rng):
+        """The downdated factor never aliases the input."""
+        L, _ = jittered_cholesky(_spd(rng, 5))
+        out = cholesky_downdate(L, [4])
+        assert not np.shares_memory(out, L)
 
 
 class TestCholeskyAdjoint:

@@ -275,3 +275,106 @@ class TestCheckpointResume:
         assert not eng2.initialized
         assert eng2.best[1] == 3.0
         assert eng2.tell(t[1]["ticket"], 1.0)["status"] == "accepted"
+
+
+class TestFactorCacheEngine:
+    """The factor cache + refit_every under the engine's hottest loop:
+    fantasies over in-flight asks, ticket-timeout requeues, and
+    kill/resume through the serialized multi-block cache."""
+
+    OPTS = {
+        "gp_options": {"refit_every": 4, "n_restarts": 0, "maxiter": 15},
+        "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 10,
+                        "n_mc": 32},
+    }
+
+    def _make(self, problem, clock, **gp_overrides):
+        # kb_qego fits on the full (real + fantasy) training set every
+        # proposal, so the cache ladder is exactly predictable here.
+        opts = {
+            "gp_options": {**self.OPTS["gp_options"], **gp_overrides},
+            "acq_options": self.OPTS["acq_options"],
+        }
+        return make_engine(
+            problem, algorithm="kb_qego", ask_timeout=10.0, clock=clock,
+            algo_options=opts,
+        )
+
+    def test_fantasy_seam_truncates_not_rebuilds(self, problem):
+        """When an in-flight ask resolves out of proposal order, the
+        fantasy suffix no longer matches the cached factor; the next
+        proposal must truncate back to the real-data seam and re-append
+        — never refactorize from scratch."""
+        from repro.obs import NULL_METRICS, MetricsRegistry, set_metrics
+
+        clock = FakeClock()
+        eng = self._make(problem, clock)
+        drive_to_init(eng, problem)
+        reg = MetricsRegistry()
+        previous = set_metrics(reg)
+        try:
+            a, b = eng.ask(2)     # proposal 1: no fantasies yet -> miss
+            eng.ask(1)            # proposal 2: fantasies [xa, xb] -> append
+            # b resolves before a: the realized row order now disagrees
+            # with the fantasized suffix
+            eng.tell(b["ticket"], float(problem(b["x"][None, :])[0]))
+            eng.ask(2)            # proposal 3: truncate at the seam
+            assert reg.counter("gp.refit.cache_miss").value == 1.0
+            assert reg.counter("gp.refit.cache_append").value == 1.0
+            assert reg.counter("gp.refit.cache_truncate").value == 1.0
+        finally:
+            set_metrics(previous if previous is not None else NULL_METRICS)
+
+    def test_kill_resume_with_requeue_bit_identical(self, problem):
+        """An engine killed after a timeout-requeue workload and
+        restored from its JSON state issues byte-identical asks — the
+        serialized multi-block factor cache and carried hyperparameters
+        replay exactly. The snapshot lands at a quiescent point (no
+        in-flight tickets): the surrogate that feeds fantasy values is
+        deliberately not part of the snapshot, so only a quiescent
+        state round-trips bit-exactly — the cache and refit state must
+        then carry the whole determinism burden."""
+        clock = FakeClock()
+        eng = self._make(problem, clock)
+        drive_to_init(eng, problem)
+
+        # requeue both in-flight asks, then force a fantasized proposal
+        # over the requeued points before resolving everything
+        eng.ask(2)
+        clock.advance(50.0)
+        assert eng.sweep_expired() == 2   # ticket-timeout requeue
+        open_tickets = [eng.ask(1)[0], eng.ask(1)[0]]   # drain the queue
+        open_tickets.append(eng.ask(1)[0])  # fantasized, cache-append fit
+        while open_tickets:
+            t = open_tickets.pop(0)
+            eng.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+        t = eng.ask(1)[0]                 # drain the proposal leftover
+        eng.tell(t["ticket"], float(problem(t["x"][None, :])[0]))
+
+        state = json.loads(json.dumps(eng.get_state()))
+        # the churned cache really is multi-block in the snapshot
+        assert state["optimizer"]["factor_cache"] is not None
+        eng2 = self._make(problem, FakeClock(clock.t))
+        eng2.set_state(state)
+
+        for _ in range(4):
+            a1, a2 = eng.ask(1)[0], eng2.ask(1)[0]
+            assert a1["ticket"] == a2["ticket"]
+            np.testing.assert_array_equal(a1["x"], a2["x"])
+            y = float(problem(a1["x"][None, :])[0])
+            assert (
+                eng.tell(a1["ticket"], y)["status"]
+                == eng2.tell(a2["ticket"], y)["status"]
+            )
+        assert eng.best[1] == eng2.best[1]
+
+    def test_refit_state_survives_round_trip(self, problem):
+        clock = FakeClock()
+        eng = self._make(problem, clock)
+        drive_to_init(eng, problem)
+        eng.ask(2)
+        state = json.loads(json.dumps(eng.get_state()))
+        assert "refit" in state["optimizer"]
+        eng2 = self._make(problem, FakeClock(clock.t))
+        eng2.set_state(state)
+        assert eng2.optimizer._fits_since_full == eng.optimizer._fits_since_full
