@@ -19,6 +19,12 @@ from repro.acquisition.analytic import (
 )
 from repro.acquisition.base import AcquisitionFunction
 from repro.acquisition.mes import MaxValueEntropySearch, sample_min_values
+from repro.acquisition.mo_pi import (
+    MultiObjectivePI,
+    hypervolume,
+    pareto_front,
+    select_batch_pi,
+)
 from repro.acquisition.optimize import optimize_acqf
 from repro.acquisition.qei import qExpectedImprovement
 from repro.acquisition.quadrature import qei_quadrature, qei_quadrature_from_gp
@@ -28,13 +34,17 @@ __all__ = [
     "AcquisitionFunction",
     "ExpectedImprovement",
     "MaxValueEntropySearch",
+    "MultiObjectivePI",
     "ProbabilityOfImprovement",
     "ScaledExpectedImprovement",
     "UpperConfidenceBound",
+    "hypervolume",
     "optimize_acqf",
+    "pareto_front",
     "qExpectedImprovement",
     "qei_quadrature",
     "qei_quadrature_from_gp",
     "sample_min_values",
+    "select_batch_pi",
     "thompson_sample",
 ]

@@ -17,6 +17,10 @@ Usage::
 
     python -m repro portfolio --problem ackley --workers 8 --budget 600
 
+    python -m repro scenarios list
+    python -m repro scenarios run stress --algorithm turbo --budget 300
+    python -m repro scenarios matrix --out BENCH_scenarios.json
+
 Runs one time-budgeted optimization under the paper's protocol and
 prints a human-readable summary (or writes the full run record as JSON
 with ``--json``). With ``--journal`` the run appends a crash-safe JSONL
@@ -34,6 +38,10 @@ The ``portfolio`` subcommand runs the completion-driven asynchronous
 driver of :mod:`repro.portfolio`: each freed worker is immediately
 given a new point chosen by a bandit over acquisition arms, with
 fantasies over the evaluations still in flight.
+
+The ``scenarios`` subcommand drives the UPHES workload family of
+:mod:`repro.scenarios`: declarative multi-plant / multi-regime /
+event-scripted scenario specs, single runs or full campaign matrices.
 """
 
 from __future__ import annotations
@@ -47,7 +55,9 @@ from repro.problems.benchmarks import BENCHMARKS
 from repro.uphes import UPHESSimulator
 
 #: Subcommand names reserved ahead of the default single-run parser.
-SUBCOMMANDS = ("resume", "serve", "worker", "portfolio", "fleet", "lint")
+SUBCOMMANDS = (
+    "resume", "serve", "worker", "portfolio", "fleet", "lint", "scenarios"
+)
 
 
 def package_version() -> str:
@@ -661,6 +671,176 @@ def main_lint(argv=None) -> int:
     return 1 if new else 0
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenarios",
+        description="The UPHES workload family (repro.scenarios): list "
+                    "named scenario specs and price regimes, inspect a "
+                    "spec as canonical JSON, run one spec under the "
+                    "paper's time-budgeted driver, or sweep a campaign "
+                    "matrix into comparison tables. See DESIGN.md §16.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    sub.add_parser("list", help="named scenarios and price regimes")
+
+    show = sub.add_parser("show", help="print a spec as canonical JSON")
+    show.add_argument("spec", help="scenario name or a spec JSON file path")
+
+    run = sub.add_parser(
+        "run", help="one optimization run on a scenario workload"
+    )
+    run.add_argument("spec", help="scenario name or a spec JSON file path")
+    run.add_argument("--algorithm", default="turbo",
+                     help="one of: " + ", ".join(algorithm_names()) +
+                          " (multi-objective specs default to mo_bpi)")
+    run.add_argument("--n-batch", type=int, default=4)
+    run.add_argument("--budget", type=float, default=1200.0,
+                     help="virtual seconds of optimization budget")
+    run.add_argument("--seed", type=int, default=0,
+                     help="optimizer/driver seed (the spec's own seed "
+                          "freezes the scenario draws)")
+    run.add_argument("--n-initial", type=int, default=None)
+    run.add_argument("--time-scale", type=float, default=1.0)
+    run.add_argument("--n-scenarios", type=int, default=None,
+                     help="compact the spec to this many uncertainty "
+                          "scenarios per plant (smoke runs)")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="write the full run record as JSON")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="append a crash-safe JSONL event log (records "
+                          "the spec and its scripted events; resume "
+                          "with 'python -m repro resume PATH')")
+    run.add_argument("--quiet", action="store_true")
+
+    matrix = sub.add_parser(
+        "matrix", help="sweep scenario × algorithm comparison matrix"
+    )
+    matrix.add_argument("--scenarios", default="paper,duo,seasonal,stress,mo",
+                        help="comma-separated scenario names")
+    matrix.add_argument("--algorithms", default="turbo",
+                        help="comma-separated algorithm names")
+    matrix.add_argument("--n-batch", type=int, default=2)
+    matrix.add_argument("--cycles", type=int, default=3,
+                        help="optimization cycles per cell")
+    matrix.add_argument("--seeds", default="0",
+                        help="comma-separated seeds")
+    matrix.add_argument("--n-scenarios", type=int, default=None,
+                        help="compact every spec for smoke runs")
+    matrix.add_argument("--out", default=None, metavar="PATH",
+                        help="archive the raw rows as JSON "
+                             "(BENCH_scenarios.json in CI)")
+    matrix.add_argument("--quiet", action="store_true",
+                        help="suppress the markdown table")
+    return parser
+
+
+def _load_spec(ref: str):
+    """Resolve a scenario reference: library name or spec JSON path."""
+    import json
+    import os
+
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if os.path.exists(ref):
+        with open(ref, encoding="utf-8") as fh:
+            return ScenarioSpec.from_dict(json.load(fh))
+    return get_scenario(ref)
+
+
+def main_scenarios(argv=None) -> int:
+    args = build_scenarios_parser().parse_args(argv)
+    from repro.scenarios import (
+        REGIMES,
+        build_problem,
+        compact,
+        event_records,
+        get_scenario,
+        matrix_markdown,
+        run_matrix,
+        save_bench,
+        scenario_names,
+    )
+
+    if args.action == "list":
+        print("named scenarios:")
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"  {name:<10s} {spec.n_plants} plant(s) × "
+                  f"{spec.n_regimes} regime(s), {len(spec.events)} "
+                  f"event(s), objective={spec.objective}")
+        print("price regimes:")
+        for name in sorted(REGIMES):
+            overrides = REGIMES[name]
+            desc = ", ".join(f"{k}={v:g}" for k, v in sorted(overrides.items()))
+            print(f"  {name:<12s} {desc or '(paper-aligned market)'}")
+        return 0
+
+    if args.action == "show":
+        spec = _load_spec(args.spec)
+        import json as _json
+
+        print(_json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "matrix":
+        result = run_matrix(
+            scenarios=[s.strip() for s in args.scenarios.split(",") if s.strip()],
+            algorithms=[a.strip() for a in args.algorithms.split(",") if a.strip()],
+            n_batch=args.n_batch,
+            n_cycles=args.cycles,
+            seeds=[int(s) for s in args.seeds.split(",") if s.strip()],
+            n_scenarios=args.n_scenarios,
+        )
+        if not args.quiet:
+            print(matrix_markdown(result))
+        if args.out:
+            save_bench(args.out, result)
+            print(f"\nmatrix rows written to {args.out}")
+        return 0
+
+    # action == "run"
+    spec = _load_spec(args.spec)
+    if args.n_scenarios is not None:
+        spec = compact(spec, args.n_scenarios)
+    problem = build_problem(spec)
+    algorithm = args.algorithm
+    if spec.objective == "multi" and algorithm != "mo_bpi":
+        algorithm = "mo_bpi"
+    optimizer = make_optimizer(
+        algorithm, problem, args.n_batch, seed=args.seed
+    )
+    journal = None
+    if args.journal:
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(args.journal)
+    result = run_optimization(
+        problem,
+        optimizer,
+        args.budget,
+        n_initial=args.n_initial,
+        time_scale=args.time_scale,
+        seed=args.seed,
+        journal=journal,
+    )
+    if journal is not None:
+        # The scripted events degraded this run by construction; record
+        # them in the same stream the supervisor uses for emergent ones.
+        for record in event_records(spec):
+            journal.record("degradation", cycle=0, **record)
+    print(f"scenario     : {spec.name} ({spec.n_plants} plant(s) × "
+          f"{spec.n_regimes} regime(s), {len(spec.events)} event(s), "
+          f"objective={spec.objective})")
+    _report(result, args.seed, quiet=args.quiet, json_path=args.json)
+    hv_history = getattr(optimizer, "hv_history", None)
+    if hv_history:
+        front_x, front_f = optimizer.front()
+        print(f"pareto front : {front_f.shape[0]} point(s), normalized "
+              f"hypervolume {hv_history[-1]:.3f}")
+    return 0
+
+
 def main_resume(argv=None) -> int:
     args = build_resume_parser().parse_args(argv)
     from repro.resilience import resume_run
@@ -687,6 +867,8 @@ def main(argv=None) -> int:
         return main_fleet(argv[1:])
     if argv and argv[0] == "lint":
         return main_lint(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return main_scenarios(argv[1:])
     args = build_parser().parse_args(argv)
     problem = make_problem(args)
     optimizer = make_optimizer(

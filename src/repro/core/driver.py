@@ -550,7 +550,7 @@ def _run_config(
     def _int_or_none(value):
         return int(value) if isinstance(value, (int, np.integer)) else None
 
-    return {
+    config = {
         "problem": problem.name,
         "dim": int(problem.dim),
         "sim_time": float(problem.sim_time),
@@ -607,3 +607,10 @@ def _run_config(
             }
         ),
     }
+    # Scenario problems carry their declarative spec; journaling it is
+    # what lets resume rebuild an ad-hoc fleet/regime/event workload
+    # (plain problems emit the exact historical payload, key absent).
+    spec = getattr(problem, "spec", None)
+    if spec is not None and hasattr(spec, "to_dict"):
+        config["problem_spec"] = spec.to_dict()
+    return config

@@ -10,6 +10,7 @@ from repro.core.lp_ego import LPEGO
 from repro.core.mc_qego import MCqEGO
 from repro.core.mic_qego import MicQEGO
 from repro.core.mic_turbo import MicTuRBO
+from repro.core.mo_bpi import MOBPI
 from repro.core.random_search import RandomSearch
 from repro.core.turbo import TuRBO
 from repro.core.turbo_m import TuRBOm
@@ -33,6 +34,8 @@ ALGORITHMS: dict[str, type[BatchOptimizer]] = {
     "turbo_m": TuRBOm,
     "mic-turbo": MicTuRBO,
     "mic_turbo": MicTuRBO,
+    "mo-bpi": MOBPI,
+    "mo_bpi": MOBPI,
     "random": RandomSearch,
 }
 

@@ -14,7 +14,15 @@ Maps one-to-one onto the paper's evaluation (§3):
 """
 
 from repro.experiments.campaign import Campaign
-from repro.experiments.presets import PAPER, QUICK, SMOKE, Preset, get_preset
+from repro.experiments.presets import (
+    PAPER,
+    QUICK,
+    QUICK_REFIT4,
+    SMOKE,
+    SMOKE_REFIT4,
+    Preset,
+    get_preset,
+)
 from repro.experiments.records import RunRecord
 from repro.experiments.runner import run_single
 from repro.experiments.stats import pairwise_ttests, summarize
@@ -24,8 +32,10 @@ __all__ = [
     "PAPER",
     "Preset",
     "QUICK",
+    "QUICK_REFIT4",
     "RunRecord",
     "SMOKE",
+    "SMOKE_REFIT4",
     "get_preset",
     "pairwise_ttests",
     "run_single",

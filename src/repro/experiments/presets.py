@@ -13,6 +13,12 @@ overhead-to-simulation ratio (the quantity the paper studies) lands in
 the same regime despite the smaller data sets.
 
 ``SMOKE`` is for CI: minutes of budget, 2 seeds, 3 batch sizes.
+
+The ``*-refit4`` variants surface ``gp_options={"refit_every": 4}``
+(PR 9's carried-hyperparameter refits) at the protocol level: the same
+campaigns with hyperparameters re-optimized only every 4th cycle. Their
+convergence cost on a paper benchmark is recorded in EXPERIMENTS.md
+("Refit cadence: the cost of carried hyperparameters").
 """
 
 from __future__ import annotations
@@ -84,11 +90,34 @@ SMOKE = Preset(
     time_scale=10.0,
 )
 
-_PRESETS = {p.name: p for p in (PAPER, QUICK, SMOKE)}
+QUICK_REFIT4 = Preset(
+    name="quick-refit4",
+    budget=300.0,
+    sim_time=10.0,
+    n_seeds=3,
+    batch_sizes=(1, 2, 4, 8, 16),
+    time_scale=15.0,
+    gp_options={"refit_every": 4},
+)
+
+SMOKE_REFIT4 = Preset(
+    name="smoke-refit4",
+    budget=80.0,
+    sim_time=10.0,
+    n_seeds=2,
+    batch_sizes=(1, 4),
+    time_scale=10.0,
+    gp_options={"refit_every": 4},
+)
+
+_PRESETS = {
+    p.name: p for p in (PAPER, QUICK, SMOKE, QUICK_REFIT4, SMOKE_REFIT4)
+}
 
 
 def get_preset(name: str) -> Preset:
-    """Look up a preset by name (``paper``, ``quick``, ``smoke``)."""
+    """Look up a preset by name (``paper``, ``quick``, ``smoke``,
+    ``quick-refit4``, ``smoke-refit4``)."""
     key = name.strip().lower()
     if key not in _PRESETS:
         raise ConfigurationError(

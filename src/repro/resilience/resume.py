@@ -22,7 +22,18 @@ from repro.util import ConfigurationError, from_jsonable
 
 
 def rebuild_problem(config: dict):
-    """Instantiate the journaled problem by name (benchmarks / uphes)."""
+    """Instantiate the journaled problem (spec, benchmark, or uphes).
+
+    A journaled ``problem_spec`` (scenario runs) takes precedence: the
+    declarative spec rebuilds the exact fleet/regime/event workload —
+    including its SeedSequence lineage — so scenario-bundle objectives
+    are kill-and-resume bit-stable. Everything else resolves by name.
+    """
+    spec = config.get("problem_spec")
+    if spec is not None:
+        from repro.scenarios import build_problem
+
+        return build_problem(spec)
     name = str(config["problem"]).strip().lower()
     sim_time = float(config["sim_time"])
     if name == "uphes":

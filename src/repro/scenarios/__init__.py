@@ -1,0 +1,65 @@
+"""UPHES as a workload family: fleets, regimes, events, objectives.
+
+The scenario subsystem turns the single-plant reproduction into a
+parameterized workload generator (ROADMAP item 4): declarative
+:class:`ScenarioSpec` documents compose multi-plant fleets bidding
+into one price-coupled market, bundles of named seasonal/volatility
+price regimes, scripted outage/drought events, and a multi-objective
+mode (profit / wear / reserve reliability) served by the ``mo_bpi``
+algorithm. Every stochastic draw descends from one
+``SeedSequence(spec.seed)`` lineage, so specs are replayable and
+resume-stable; degenerate specs reduce bit-exactly to the plain
+:class:`~repro.uphes.UPHESSimulator`. See DESIGN.md §16.
+"""
+
+from repro.scenarios.campaign import (
+    compact,
+    matrix_markdown,
+    run_cell,
+    run_matrix,
+    save_bench,
+)
+from repro.scenarios.events import compile_events, event_records
+from repro.scenarios.fleet import FleetSimulator
+from repro.scenarios.generator import (
+    SCENARIOS,
+    build_problem,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.multiobjective import MO_OBJECTIVES, MultiObjectiveProblem
+from repro.scenarios.spec import (
+    EVENT_KINDS,
+    REGIMES,
+    EventSpec,
+    PlantSpec,
+    RegimeSpec,
+    ScenarioSpec,
+    apply_overrides,
+    regime_names,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "MO_OBJECTIVES",
+    "REGIMES",
+    "SCENARIOS",
+    "EventSpec",
+    "FleetSimulator",
+    "MultiObjectiveProblem",
+    "PlantSpec",
+    "RegimeSpec",
+    "ScenarioSpec",
+    "apply_overrides",
+    "build_problem",
+    "compact",
+    "compile_events",
+    "event_records",
+    "get_scenario",
+    "matrix_markdown",
+    "regime_names",
+    "run_cell",
+    "run_matrix",
+    "save_bench",
+    "scenario_names",
+]

@@ -1,0 +1,164 @@
+"""The scenario campaign matrix: sweep workload axes, emit tables.
+
+``run_matrix`` runs every (scenario × algorithm × seed) cell under the
+deterministic analytic time model, so the whole matrix is reproducible
+bit-for-bit from its arguments — the same contract the experiment
+presets give the paper benchmarks. ``matrix_markdown`` renders the
+rows as the comparison tables EXPERIMENTS.md carries, and
+``save_bench`` archives the raw rows (BENCH_scenarios.json in CI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition import pareto_front
+from repro.core import AnalyticTimeModel, make_optimizer, run_optimization
+from repro.scenarios.generator import build_problem, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Laptop/CI-sized inner-loop options (the golden-trace FAST settings).
+FAST_OPTIONS = {
+    "acq_options": {
+        "n_restarts": 2, "raw_samples": 32, "maxiter": 15, "n_mc": 32,
+    },
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+
+
+def compact(spec: ScenarioSpec, n_scenarios: int = 4) -> ScenarioSpec:
+    """A cheaper clone of ``spec``: fewer uncertainty scenarios per
+    plant (same structure, same seed lineage shape — for smoke runs)."""
+    data = spec.to_dict()
+    for plant in data["plants"]:
+        plant["config"] = {**plant["config"], "n_scenarios": n_scenarios}
+    return ScenarioSpec.from_dict(data)
+
+
+def run_cell(
+    spec: ScenarioSpec,
+    algorithm: str,
+    *,
+    n_batch: int = 2,
+    n_cycles: int = 3,
+    seed: int = 0,
+    n_initial: int | None = None,
+    options: dict | None = None,
+) -> dict:
+    """One matrix cell: a short deterministic optimization run."""
+    problem = build_problem(spec)
+    opts = {**FAST_OPTIONS, **(options or {})}
+    optimizer = make_optimizer(
+        algorithm, problem, n_batch, seed=seed, **opts
+    )
+    result = run_optimization(
+        problem,
+        optimizer,
+        budget=1e9,
+        n_initial=n_initial if n_initial is not None else 4 * n_batch,
+        seed=seed,
+        max_cycles=n_cycles,
+        time_model=AnalyticTimeModel(),
+    )
+    row = {
+        "scenario": spec.name,
+        "algorithm": algorithm,
+        "seed": seed,
+        "dim": int(problem.dim),
+        "n_plants": spec.n_plants,
+        "n_regimes": spec.n_regimes,
+        "n_events": len(spec.events),
+        "objective": spec.objective,
+        "initial_best": float(result.initial_best),
+        "best_profit": float(result.best_value),
+        "n_cycles": int(result.n_cycles),
+        "n_simulations": int(result.n_simulations),
+    }
+    hv_history = getattr(optimizer, "hv_history", None)
+    if hv_history:
+        row["hypervolume"] = float(hv_history[-1])
+        row["front_size"] = int(np.count_nonzero(pareto_front(optimizer.F)))
+    return row
+
+
+def run_matrix(
+    scenarios=("paper", "duo", "seasonal", "stress", "mo"),
+    algorithms=("turbo",),
+    *,
+    n_batch: int = 2,
+    n_cycles: int = 3,
+    seeds=(0,),
+    n_scenarios: int | None = None,
+    options: dict | None = None,
+) -> dict:
+    """The full campaign matrix; returns ``{"rows": [...], ...}``.
+
+    ``scenarios`` mixes names from the library and ready
+    :class:`ScenarioSpec` instances; ``mo_bpi`` cells require (and are
+    only valid for) multi-objective specs, so pair algorithms and
+    scenarios accordingly or use the default single-algorithm sweep.
+    ``n_scenarios`` (when given) compacts every spec for smoke runs.
+    """
+    rows = []
+    for entry in scenarios:
+        spec = entry if isinstance(entry, ScenarioSpec) else get_scenario(entry)
+        if n_scenarios is not None:
+            spec = compact(spec, n_scenarios)
+        for algorithm in algorithms:
+            algo = (
+                "mo_bpi"
+                if spec.objective == "multi" and algorithm != "mo_bpi"
+                else algorithm
+            )
+            for seed in seeds:
+                rows.append(
+                    run_cell(
+                        spec,
+                        algo,
+                        n_batch=n_batch,
+                        n_cycles=n_cycles,
+                        seed=seed,
+                        options=options,
+                    )
+                )
+    return {
+        "preset": {
+            "n_batch": n_batch,
+            "n_cycles": n_cycles,
+            "seeds": list(seeds),
+            "n_scenarios": n_scenarios,
+        },
+        "rows": rows,
+    }
+
+
+def matrix_markdown(result: dict) -> str:
+    """Render matrix rows as the EXPERIMENTS.md comparison table."""
+    header = (
+        "| scenario | plants×regimes | events | algorithm | seed "
+        "| initial best | final best | Δ | hv |\n"
+        "|---|---|---|---|---|---|---|---|---|"
+    )
+    lines = [header]
+    for row in result["rows"]:
+        delta = row["best_profit"] - row["initial_best"]
+        hv = f"{row['hypervolume']:.3f}" if "hypervolume" in row else "—"
+        lines.append(
+            f"| {row['scenario']} "
+            f"| {row['n_plants']}×{row['n_regimes']} "
+            f"| {row['n_events']} "
+            f"| {row['algorithm']} "
+            f"| {row['seed']} "
+            f"| {row['initial_best']:.0f} "
+            f"| {row['best_profit']:.0f} "
+            f"| {delta:+.0f} "
+            f"| {hv} |"
+        )
+    return "\n".join(lines)
+
+
+def save_bench(path, result: dict) -> None:
+    """Archive the matrix rows (atomic, CI artifact friendly)."""
+    from repro.resilience import atomic_write_json
+
+    atomic_write_json(path, result, fsync=False, indent=2)

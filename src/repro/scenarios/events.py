@@ -1,0 +1,91 @@
+"""Event scripting: compile spec events into simulator overrides.
+
+Events live on the *scheduling horizon* (the simulated day, i.e. the
+same virtual timeline the schedule blocks cover), not on wall time: an
+outage window masks the machine envelopes for every step it overlaps,
+which in turn masks the schedule dimensions committed there — exactly
+the PR-1 degradation semantics (a resource that silently stops
+serving), but deterministic and declared up front. Droughts derate the
+groundwater exchange the same way.
+
+Compilation is pure: a spec compiles to one ``(T,)`` availability mask
+and one ``(T,)`` inflow-scale vector per plant (or ``None`` where no
+event touches the plant, keeping the no-event path bit-identical to
+the plain simulator). :func:`event_records` renders the same script as
+journal-ready degradation payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios.spec import EventSpec, ScenarioSpec
+from repro.uphes.config import UPHESConfig
+
+
+def _window_steps(
+    event: EventSpec, n_steps: int, dt_hours: float
+) -> np.ndarray:
+    """Boolean ``(T,)`` mask of steps overlapping the event window.
+
+    A step covering ``[t·dt, (t+1)·dt)`` is inside the window when the
+    two intervals overlap at all — a 15-minute outage therefore always
+    knocks out at least one full step (conservative, like real
+    redispatch).
+    """
+    t0 = np.arange(n_steps) * dt_hours
+    t1 = t0 + dt_hours
+    return (t0 < event.end_hour) & (t1 > event.start_hour)
+
+
+def compile_events(
+    spec: ScenarioSpec, plant_name: str, config: UPHESConfig
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Compile the spec's script for one plant.
+
+    Returns ``(avail, inflow_scale)`` — each ``None`` when no event of
+    that kind touches the plant, so untouched plants take the exact
+    legacy simulator code path.
+
+    Overlap semantics: outage windows *union* (the machine is down if
+    any outage covers the step); drought deratings *compound*
+    multiplicatively (two half-deratings leave 25% of the exchange).
+    """
+    avail = None
+    inflow = None
+    for event in spec.events:
+        if event.plant not in ("*", plant_name):
+            continue
+        steps = _window_steps(event, config.n_steps, config.dt_hours)
+        if event.kind == "outage":
+            if avail is None:
+                avail = np.ones(config.n_steps, dtype=bool)
+            avail &= ~steps
+        else:  # drought
+            if inflow is None:
+                inflow = np.ones(config.n_steps, dtype=np.float64)
+            inflow *= np.where(steps, 1.0 - event.magnitude, 1.0)
+    return avail, inflow
+
+
+def event_records(spec: ScenarioSpec) -> list[dict]:
+    """Journal-ready degradation payloads for the spec's event script.
+
+    The driver journals surrogate degradations under the
+    ``degradation`` event; scenario runs record their scripted
+    outages/droughts in the same stream (``stage="scenario_event"``)
+    so one journal read reconstructs everything that degraded a run.
+    """
+    records = []
+    for event in spec.events:
+        records.append(
+            {
+                "stage": "scenario_event",
+                "kind": event.kind,
+                "plant": event.plant,
+                "start_hour": float(event.start_hour),
+                "end_hour": float(event.end_hour),
+                "magnitude": float(event.magnitude),
+            }
+        )
+    return records

@@ -1,0 +1,156 @@
+"""Building problems from specs, and the named scenario library.
+
+:func:`build_problem` is the subsystem's front door. Its key guarantee
+is the *degenerate reduction*: a single-plant, zero-event, one-regime
+spec with no market override and no price coupling does not get a
+fleet wrapper at all — it returns the plain
+:class:`~repro.uphes.UPHESSimulator` seeded with ``spec.seed``,
+bit-identical to the path every pre-scenario run took (the golden-trace
+acceptance criterion). The returned problem carries the spec on a
+``.spec`` attribute, which the run journal records and
+:func:`repro.resilience.resume.rebuild_problem` rebuilds from.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.fleet import FleetSimulator
+from repro.scenarios.multiobjective import MultiObjectiveProblem
+from repro.scenarios.spec import EventSpec, PlantSpec, RegimeSpec, ScenarioSpec
+from repro.util import ConfigurationError
+
+
+def build_problem(spec):
+    """Instantiate the problem a spec (or its dict form) describes."""
+    if isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigurationError(
+            f"expected a ScenarioSpec or dict, got {type(spec).__name__}"
+        )
+    if spec.objective == "multi":
+        return MultiObjectiveProblem(spec)
+    if spec.is_degenerate():
+        from repro.uphes import UPHESSimulator
+
+        problem = UPHESSimulator(
+            config=spec.plants[0].resolve(),
+            seed=spec.seed,
+            sim_time=spec.sim_time,
+        )
+        problem.spec = spec
+        return problem
+    return FleetSimulator(spec)
+
+
+# ---------------------------------------------------------------------
+# Named scenario library (the axes the campaign matrix sweeps).
+
+def _paper() -> ScenarioSpec:
+    """The paper's setup as a spec: reduces to the plain simulator."""
+    return ScenarioSpec(
+        name="paper",
+        plants=(PlantSpec(name="maizeret"),),
+        regimes=(RegimeSpec.named("base"),),
+    )
+
+
+def _duo() -> ScenarioSpec:
+    """Two coupled plants, one market: the smallest real fleet."""
+    return ScenarioSpec(
+        name="duo",
+        plants=(
+            PlantSpec(name="maizeret"),
+            PlantSpec(
+                name="big-sister",
+                config={
+                    "machine": {"p_turb_max": 10.0, "p_pump_max": 10.0},
+                    "upper": {"v_max": 4.5e5},
+                    "lower": {"v_max": 4.5e5},
+                },
+            ),
+        ),
+        regimes=(RegimeSpec.named("base"),),
+        price_impact=0.4,
+    )
+
+
+def _seasonal() -> ScenarioSpec:
+    """One plant across the seasonal regime bundle (mean aggregate)."""
+    return ScenarioSpec(
+        name="seasonal",
+        plants=(PlantSpec(name="maizeret"),),
+        regimes=(
+            RegimeSpec.named("winter-peak", weight=1.0),
+            RegimeSpec.named("summer-flat", weight=1.0),
+            RegimeSpec.named("high-vol", weight=0.5),
+        ),
+    )
+
+
+def _stress() -> ScenarioSpec:
+    """Fleet + volatility + events: the resilience workload."""
+    return ScenarioSpec(
+        name="stress",
+        plants=(
+            PlantSpec(name="maizeret"),
+            PlantSpec(
+                name="big-sister",
+                config={"machine": {"p_turb_max": 10.0, "p_pump_max": 10.0}},
+            ),
+        ),
+        regimes=(
+            RegimeSpec.named("winter-peak"),
+            RegimeSpec.named("high-vol"),
+        ),
+        events=(
+            EventSpec(
+                kind="outage", plant="maizeret",
+                start_hour=8.0, end_hour=12.0,
+            ),
+            EventSpec(
+                kind="drought", plant="*",
+                start_hour=0.0, end_hour=24.0, magnitude=0.6,
+            ),
+        ),
+        price_impact=0.4,
+        aggregate="worst",
+    )
+
+
+def _mo() -> ScenarioSpec:
+    """Profit vs wear vs reserve reliability (for algorithm=mo_bpi)."""
+    return ScenarioSpec(
+        name="mo",
+        plants=(PlantSpec(name="maizeret"),),
+        regimes=(
+            RegimeSpec.named("base"),
+            RegimeSpec.named("high-vol", weight=0.5),
+        ),
+        objective="multi",
+    )
+
+
+#: Name -> zero-argument spec factory. Factories (not instances) so a
+#: caller mutating nothing still gets a fresh spec each build.
+SCENARIOS = {
+    "paper": _paper,
+    "duo": _duo,
+    "seasonal": _seasonal,
+    "stress": _stress,
+    "mo": _mo,
+}
+
+
+def scenario_names() -> list[str]:
+    """The named scenarios, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a named scenario spec."""
+    key = str(name).strip().lower()
+    if key not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return SCENARIOS[key]()

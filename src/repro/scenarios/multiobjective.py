@@ -1,0 +1,76 @@
+"""The multi-objective scenario mode (profit / wear / reliability).
+
+The scalar driver loop stays untouched: a
+:class:`MultiObjectiveProblem` *is* a maximization problem whose
+``evaluate`` returns fleet profit, so every existing algorithm — and
+the journal, resume, and golden-trace machinery — runs unchanged. The
+extra objectives ride along: each evaluation caches its full objective
+vector, and :meth:`mo_values` hands the ``mo_bpi`` optimizer the
+``(n, 3)`` minimization-oriented matrix
+
+    (−profit [EUR], wear [switches + MW ramped], reserve shortfall [MWh])
+
+for Pareto bookkeeping. The cache is keyed by the exact float bytes of
+each row; a miss (e.g. after resume reinstalled history the wrapper
+never saw) recomputes through the deterministic simulator, so resumed
+runs stay bit-stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems import Problem
+from repro.scenarios.fleet import FleetSimulator
+from repro.scenarios.spec import ScenarioSpec
+
+#: Objective names, minimization orientation, column order of
+#: :meth:`MultiObjectiveProblem.mo_values`.
+MO_OBJECTIVES = ("neg_profit", "wear", "reserve_shortfall_mwh")
+
+
+class MultiObjectiveProblem(Problem):
+    """Fleet scheduling with (profit, wear, reserve-shortfall) tracked."""
+
+    n_objectives = len(MO_OBJECTIVES)
+    objective_names = MO_OBJECTIVES
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+        self.fleet = FleetSimulator(spec)
+        super().__init__(
+            self.fleet.bounds,
+            name=f"scenario-mo:{spec.name}",
+            maximize=True,
+            sim_time=spec.sim_time,
+        )
+        self.event_log = self.fleet.event_log
+        self._cache: dict[bytes, np.ndarray] = {}
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        F = self.mo_values(X)
+        return -F[:, 0]  # profit, native maximization orientation
+
+    def mo_values(self, X: np.ndarray) -> np.ndarray:
+        """``(n, 3)`` objective matrix (smaller is better, every column)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        F = np.empty((X.shape[0], self.n_objectives))
+        misses = [
+            i for i, row in enumerate(X) if row.tobytes() not in self._cache
+        ]
+        if misses:
+            comps = self.fleet.evaluate_components(X[misses])
+            fresh = np.column_stack(
+                [
+                    -comps["profit"],
+                    comps["wear"],
+                    comps["reserve_shortfall_mwh"],
+                ]
+            )
+            for j, i in enumerate(misses):
+                self._cache[X[i].tobytes()] = fresh[j]
+        for i, row in enumerate(X):
+            F[i] = self._cache[row.tobytes()]
+        return F

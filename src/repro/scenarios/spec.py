@@ -1,0 +1,383 @@
+"""Declarative scenario specifications (the UPHES workload family).
+
+A :class:`ScenarioSpec` composes the single-plant simulator of
+:mod:`repro.uphes` into a *workload*: a fleet of plants bidding into a
+shared price curve, a bundle of named price regimes, and a script of
+outage/drought events. Specs are frozen dataclasses validated like
+:class:`~repro.uphes.config.UPHESConfig`, round-trip through
+JSON/dicts byte-stably, and are fully determined by ``seed`` — the
+fleet builder spawns every stream from one ``SeedSequence`` lineage,
+so two builds of the same spec are bit-identical functions (DESIGN
+§16).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields, is_dataclass
+
+from repro.uphes.config import UPHESConfig
+from repro.util import ConfigurationError
+
+#: Named market regimes: overrides of
+#: :class:`~repro.uphes.config.MarketConfig` fields. ``base`` is the
+#: paper-aligned market untouched — a one-regime bundle of ``base``
+#: reduces bit-exactly to today's :class:`UPHESSimulator`.
+REGIMES: dict[str, dict] = {
+    "base": {},
+    # Cold snap: high level, hard evening peak, shallow night valley.
+    "winter-peak": {
+        "price_base": 58.0,
+        "price_morning_peak": 36.0,
+        "price_evening_peak": 55.0,
+        "price_night_valley": 14.0,
+    },
+    # Solar-heavy summer: depressed, flat curve — little to arbitrage.
+    "summer-flat": {
+        "price_base": 36.0,
+        "price_morning_peak": 10.0,
+        "price_evening_peak": 15.0,
+        "price_night_valley": 9.0,
+    },
+    # Scarcity spikes: the shape is nominal but noise dominates it.
+    "high-vol": {
+        "price_noise_std": 18.0,
+        "price_noise_rho": 0.8,
+        "reserve_price_mean": 14.0,
+        "reserve_price_std": 5.0,
+    },
+}
+
+#: Event kinds understood by the scripting engine.
+EVENT_KINDS = ("outage", "drought")
+
+
+def regime_names() -> list[str]:
+    """The named market regimes, sorted."""
+    return sorted(REGIMES)
+
+
+def apply_overrides(base, overrides: dict):
+    """Recursively ``dataclasses.replace`` nested frozen-config fields.
+
+    Unknown keys raise :class:`ConfigurationError`; the replaced
+    dataclasses re-run their own ``__post_init__`` validation, so a
+    degenerate override (e.g. ``upper.v_max = 0``) fails loudly here
+    rather than deep inside the simulator.
+    """
+    if not overrides:
+        return base
+    valid = {f.name: f for f in fields(base)}
+    changes = {}
+    for key, value in overrides.items():
+        if key not in valid:
+            raise ConfigurationError(
+                f"unknown {type(base).__name__} field {key!r}; "
+                f"valid: {sorted(valid)}"
+            )
+        current = getattr(base, key)
+        if is_dataclass(current) and isinstance(value, dict):
+            changes[key] = apply_overrides(current, value)
+        else:
+            changes[key] = value
+    return dataclasses.replace(base, **changes)
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """One named market regime within a scenario bundle.
+
+    ``market`` holds :class:`~repro.uphes.config.MarketConfig` field
+    overrides (usually taken from :data:`REGIMES` by name); ``weight``
+    is the regime's probability mass under ``aggregate="mean"``.
+    """
+
+    name: str
+    market: dict = field(default_factory=dict)
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("regime needs a non-empty name")
+        if not (self.weight > 0.0):
+            raise ConfigurationError(
+                f"regime {self.name!r} weight must be > 0, got {self.weight}"
+            )
+
+    @classmethod
+    def named(cls, name: str, weight: float = 1.0) -> RegimeSpec:
+        """Build a regime from the :data:`REGIMES` registry."""
+        if name not in REGIMES:
+            raise ConfigurationError(
+                f"unknown regime {name!r}; available: {regime_names()}"
+            )
+        return cls(name=name, market=dict(REGIMES[name]), weight=weight)
+
+
+@dataclass(frozen=True)
+class PlantSpec:
+    """One plant of the fleet: a named bundle of config overrides.
+
+    ``config`` holds nested :class:`~repro.uphes.config.UPHESConfig`
+    overrides (e.g. ``{"machine": {"p_turb_max": 9.0}}``). The market
+    section belongs to the regimes — overriding it per plant would
+    break the shared price curve and is rejected.
+    """
+
+    name: str
+    config: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("plant needs a non-empty name")
+        if "market" in self.config:
+            raise ConfigurationError(
+                f"plant {self.name!r} overrides 'market'; market structure "
+                "is shared and belongs to the scenario's regimes"
+            )
+
+    def resolve(self, market_overrides: dict | None = None) -> UPHESConfig:
+        """The plant's full config, under one regime's market."""
+        cfg = apply_overrides(UPHESConfig(), self.config)
+        if market_overrides:
+            cfg = dataclasses.replace(
+                cfg, market=apply_overrides(cfg.market, market_overrides)
+            )
+        return cfg
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One scripted degradation event on the scheduling horizon.
+
+    ``kind="outage"`` makes the plant's machine unavailable on
+    ``[start_hour, end_hour)`` — commitments there trip and pay the
+    imbalance/unsafe penalties, and reserve headroom is zero.
+    ``kind="drought"`` derates the groundwater exchange by
+    ``magnitude`` (1.0 = exchange fully stopped) over the window.
+    ``plant`` names one plant or ``"*"`` for the whole fleet.
+    Overlapping windows are legal: outages union, droughts compound.
+    """
+
+    kind: str
+    plant: str = "*"
+    start_hour: float = 0.0
+    end_hour: float = 24.0
+    magnitude: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown event kind {self.kind!r}; valid: {EVENT_KINDS}"
+            )
+        if not (self.start_hour < self.end_hour):
+            raise ConfigurationError(
+                f"event window [{self.start_hour}, {self.end_hour}) is empty"
+            )
+        if self.start_hour < 0:
+            raise ConfigurationError("event start_hour must be >= 0")
+        if not (0.0 <= self.magnitude <= 1.0):
+            raise ConfigurationError(
+                f"event magnitude must be in [0, 1], got {self.magnitude}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A full workload: fleet × regime bundle × event script.
+
+    Parameters
+    ----------
+    plants:
+        The fleet (>= 1 plant; names unique). All plants must agree on
+        horizon, step size, and scenario count — the shared market
+        requires one ``(n_scenarios, n_steps)`` price block.
+    regimes:
+        The price-regime bundle (>= 1; names unique). Each regime draws
+        its own market scenario set from a spawned seed child.
+    events:
+        Scripted outage/drought windows (see :class:`EventSpec`).
+    price_impact:
+        EUR/MWh of price depression per MW of *fleet* net injection:
+        the market-coupling term. 0 keeps every plant a pure price
+        taker (and keeps degenerate specs bit-exact with the plain
+        simulator).
+    aggregate:
+        ``"mean"`` = weight-averaged profit over regimes; ``"worst"``
+        = robust min over regimes.
+    objective:
+        ``"profit"`` (scalar) or ``"multi"`` (profit / wear /
+        reserve-shortfall, for ``algorithm="mo_bpi"``).
+    seed:
+        Root of the ``SeedSequence`` lineage that every market and
+        groundwater stream spawns from.
+    sim_time:
+        Virtual seconds one fleet evaluation is charged on the clock.
+    """
+
+    plants: tuple[PlantSpec, ...]
+    regimes: tuple[RegimeSpec, ...]
+    events: tuple[EventSpec, ...] = ()
+    price_impact: float = 0.0
+    aggregate: str = "mean"
+    objective: str = "profit"
+    seed: int = 0
+    sim_time: float = 10.0
+    name: str = "scenario"
+
+    def __post_init__(self):
+        # Tuples survive dict-built specs (lists) without breaking
+        # frozen hashing or the JSON round trip.
+        object.__setattr__(self, "plants", tuple(self.plants))
+        object.__setattr__(self, "regimes", tuple(self.regimes))
+        object.__setattr__(self, "events", tuple(self.events))
+        if not self.plants:
+            raise ConfigurationError(
+                "a scenario needs at least one plant (zero-machine fleets "
+                "have nothing to schedule)"
+            )
+        if not self.regimes:
+            raise ConfigurationError("a scenario needs at least one regime")
+        plant_names = [p.name for p in self.plants]
+        if len(set(plant_names)) != len(plant_names):
+            raise ConfigurationError(f"duplicate plant names: {plant_names}")
+        regime_names_ = [r.name for r in self.regimes]
+        if len(set(regime_names_)) != len(regime_names_):
+            raise ConfigurationError(
+                f"duplicate regime names: {regime_names_}"
+            )
+        if self.price_impact < 0:
+            raise ConfigurationError("price_impact must be >= 0")
+        if self.aggregate not in ("mean", "worst"):
+            raise ConfigurationError(
+                f"aggregate must be 'mean' or 'worst', got {self.aggregate!r}"
+            )
+        if self.objective not in ("profit", "multi"):
+            raise ConfigurationError(
+                f"objective must be 'profit' or 'multi', got {self.objective!r}"
+            )
+        if self.sim_time <= 0:
+            raise ConfigurationError("sim_time must be > 0")
+
+        # Resolving each plant validates its overrides (unknown keys,
+        # degenerate geometry) and pins the shared-market contract.
+        configs = [p.resolve() for p in self.plants]
+        shapes = {
+            (c.n_steps, c.dt_hours, c.n_scenarios) for c in configs
+        }
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                "all plants must share horizon/step/scenario count for "
+                f"the shared market; got {sorted(shapes)}"
+            )
+        # Regime overrides must build a valid market.
+        for regime in self.regimes:
+            apply_overrides(configs[0].market, regime.market)
+        horizon = configs[0].horizon_hours
+        for ev in self.events:
+            if ev.plant != "*" and ev.plant not in plant_names:
+                raise ConfigurationError(
+                    f"event references unknown plant {ev.plant!r}; "
+                    f"fleet: {plant_names}"
+                )
+            if ev.start_hour >= horizon:
+                raise ConfigurationError(
+                    f"event window starts at hour {ev.start_hour}, beyond "
+                    f"the {horizon}-hour horizon"
+                )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "plants": [
+                {"name": p.name, "config": p.config} for p in self.plants
+            ],
+            "regimes": [
+                {"name": r.name, "market": r.market, "weight": r.weight}
+                for r in self.regimes
+            ],
+            "events": [
+                {
+                    "kind": e.kind,
+                    "plant": e.plant,
+                    "start_hour": e.start_hour,
+                    "end_hour": e.end_hour,
+                    "magnitude": e.magnitude,
+                }
+                for e in self.events
+            ],
+            "price_impact": self.price_impact,
+            "aggregate": self.aggregate,
+            "objective": self.objective,
+            "seed": self.seed,
+            "sim_time": self.sim_time,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (sorted keys — byte-stable)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ScenarioSpec:
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON with the same shape)."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"scenario spec must be a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario spec keys: {sorted(unknown)}"
+            )
+        return cls(
+            name=str(data.get("name", "scenario")),
+            plants=tuple(
+                PlantSpec(**p) if isinstance(p, dict) else p
+                for p in data.get("plants", ())
+            ),
+            regimes=tuple(
+                RegimeSpec(**r) if isinstance(r, dict) else r
+                for r in data.get("regimes", ())
+            ),
+            events=tuple(
+                EventSpec(**e) if isinstance(e, dict) else e
+                for e in data.get("events", ())
+            ),
+            price_impact=float(data.get("price_impact", 0.0)),
+            aggregate=str(data.get("aggregate", "mean")),
+            objective=str(data.get("objective", "profit")),
+            seed=int(data.get("seed", 0)),
+            sim_time=float(data.get("sim_time", 10.0)),
+        )
+
+    # -- structure queries ---------------------------------------------
+    @property
+    def n_plants(self) -> int:
+        return len(self.plants)
+
+    @property
+    def n_regimes(self) -> int:
+        return len(self.regimes)
+
+    def is_degenerate(self) -> bool:
+        """Whether this spec reduces to one plain :class:`UPHESSimulator`.
+
+        True for a single-plant, zero-event, one-regime bundle with no
+        market override, no price coupling, and the scalar objective:
+        the builder then returns the exact legacy simulator, which is
+        what makes the golden-trace acceptance a reduction proof rather
+        than a tolerance comparison.
+        """
+        return (
+            self.n_plants == 1
+            and self.n_regimes == 1
+            and not self.regimes[0].market
+            and not self.events
+            and self.price_impact == 0.0
+            and self.objective == "profit"
+        )

@@ -34,6 +34,13 @@ def daily_price_shape(hours: np.ndarray, config: MarketConfig) -> np.ndarray:
 class MarketScenarios:
     """Frozen scenario set for one simulator instance.
 
+    ``seed`` accepts a :class:`numpy.random.SeedSequence` so callers
+    composing several scenario sets (the regime bundles of
+    :mod:`repro.scenarios`) can hand each one a ``SeedSequence.spawn``
+    child: every bundle then replays bit-identically regardless of how
+    many siblings were built before it, which is what makes
+    checkpoint/resume over scenario bundles bit-stable.
+
     Attributes
     ----------
     energy_price:

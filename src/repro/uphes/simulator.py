@@ -73,6 +73,12 @@ class UPHESSimulator(Problem):
         with the same seed are bit-identical functions.
     sim_time:
         Virtual evaluation cost in seconds (paper: ~10 s).
+    market:
+        Optional pre-built scenario set to share between simulators
+        (the multi-plant fleet of :mod:`repro.scenarios` bids N plants
+        into one price curve). When omitted the simulator draws its own
+        market from ``seed`` exactly as before — the default path is
+        bit-identical to historical behaviour.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class UPHESSimulator(Problem):
         config: UPHESConfig | None = None,
         seed: RandomState = 0,
         sim_time: float = 10.0,
+        market: MarketScenarios | None = None,
     ):
         self.config = config if config is not None else UPHESConfig()
         cfg = self.config
@@ -91,9 +98,20 @@ class UPHESSimulator(Problem):
         self.reservoir_low = Reservoir(cfg.lower)
         self.machine = PumpTurbine(cfg.machine)
         self.groundwater = GroundwaterExchange(cfg.groundwater)
-        self.market = MarketScenarios(
-            cfg.market, cfg.n_steps, cfg.dt_hours, cfg.n_scenarios, seed=rng
-        )
+        if market is None:
+            market = MarketScenarios(
+                cfg.market, cfg.n_steps, cfg.dt_hours, cfg.n_scenarios, seed=rng
+            )
+        elif (
+            market.n_steps != cfg.n_steps
+            or market.n_scenarios != cfg.n_scenarios
+        ):
+            raise ValueError(
+                "shared market shape "
+                f"({market.n_scenarios} scenarios × {market.n_steps} steps) "
+                f"does not match the plant ({cfg.n_scenarios} × {cfg.n_steps})"
+            )
+        self.market = market
         self._z_table = self.groundwater.sample_table(rng, cfg.n_scenarios)
         # Energy [MWh] per m³ of upper-basin water, at nominal conditions:
         # used for the reserve sustain check and the terminal valuation.
@@ -103,20 +121,77 @@ class UPHESSimulator(Problem):
 
     # ------------------------------------------------------------------
     def evaluate(self, X: np.ndarray) -> np.ndarray:
-        profit, _ = self._profit_batch(X, record=False)
+        profit, _, _ = self._profit_batch(X, record=False)
         return profit
 
     def simulate_detailed(self, x) -> SimulationTrace:
         """Evaluate one schedule and return the full trajectory."""
         x = np.asarray(x, dtype=np.float64).reshape(1, -1)
-        _, trace = self._profit_batch(x, record=True)
+        _, trace, _ = self._profit_batch(x, record=True)
         assert trace is not None
         return trace
 
+    def evaluate_scenario(
+        self,
+        X: np.ndarray,
+        *,
+        price: np.ndarray | None = None,
+        avail: np.ndarray | None = None,
+        inflow_scale: np.ndarray | None = None,
+        components: bool = False,
+    ):
+        """Evaluate under scenario overrides (see :mod:`repro.scenarios`).
+
+        Parameters
+        ----------
+        X:
+            ``(B, dim)`` decision batch.
+        price:
+            Energy-price override: ``(S, T)`` replaces the instance's
+            scenario paths, ``(B, S, T)`` additionally varies per batch
+            row (fleet price-impact coupling). Reserve prices stay the
+            instance's own.
+        avail:
+            ``(T,)`` boolean machine-availability mask; ``False`` steps
+            collapse both operating envelopes (an outage): committed
+            power there trips, earns nothing, and pays the imbalance +
+            unsafe penalties, and reserve headroom is zero.
+        inflow_scale:
+            ``(T,)`` multiplier on the groundwater exchange flow
+            (drought derating; 1.0 everywhere = nominal).
+        components:
+            Also return the per-row objective components used by the
+            multi-objective mode.
+
+        Returns the ``(B,)`` expected profit, or ``(profit, comps)``
+        with ``comps`` a dict of ``(B,)`` arrays when ``components``.
+        With every override at its default this is exactly
+        :meth:`evaluate` — bit for bit.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        profit, _, comps = self._profit_batch(
+            X,
+            record=False,
+            price=price,
+            avail=avail,
+            inflow_scale=inflow_scale,
+            components=components,
+        )
+        if components:
+            return profit, comps
+        return profit
+
     # ------------------------------------------------------------------
     def _profit_batch(
-        self, X: np.ndarray, record: bool
-    ) -> tuple[np.ndarray, SimulationTrace | None]:
+        self,
+        X: np.ndarray,
+        record: bool,
+        *,
+        price: np.ndarray | None = None,
+        avail: np.ndarray | None = None,
+        inflow_scale: np.ndarray | None = None,
+        components: bool = False,
+    ) -> tuple[np.ndarray, SimulationTrace | None, dict | None]:
         cfg = self.config
         mkt = cfg.market
         dt_h = cfg.dt_hours
@@ -124,11 +199,15 @@ class UPHESSimulator(Problem):
         S = cfg.n_scenarios
         B = X.shape[0]
 
-        # (B, T) commitments, (S, T) prices.
+        # (B, T) commitments, (S, T) prices — or (B, S, T) when a
+        # per-row price override carries the fleet coupling.
         sched = [decode_schedule(x, cfg) for x in X]
         power_sched = np.stack([p for p, _ in sched])
         reserve_sched = np.stack([r for _, r in sched])
-        price = self.market.energy_price
+        if price is None:
+            price = self.market.energy_price
+        else:
+            price = np.asarray(price, dtype=np.float64)
 
         v_up = np.full((B, S), cfg.upper_fill0 * cfg.upper.v_max)
         v_low = np.full((B, S), cfg.lower_fill0 * cfg.lower.v_max)
@@ -139,6 +218,8 @@ class UPHESSimulator(Problem):
         unsafe_cost = np.zeros((B, S))
         reserve_shortfall_cost = np.zeros((B, S))
         z_table = self._z_table[None, :]  # (1, S)
+        if components:
+            shortfall_mwh = np.zeros((B, S))
 
         if record:
             rec_delivered = np.zeros(cfg.n_steps)
@@ -152,8 +233,15 @@ class UPHESSimulator(Problem):
             r_c = reserve_sched[:, t][:, None]
             sell = p_c > 0.0
             buy = p_c < 0.0
+            out_now = avail is not None and not avail[t]
 
-            t_min, t_max = self.machine.turbine_limits(head)
+            # An outage collapses both envelopes: nothing can run, so
+            # every nonzero commitment trips (imbalance + unsafe
+            # penalties follow from the unchanged settlement logic).
+            if out_now:
+                t_min, t_max = np.inf, 0.0
+            else:
+                t_min, t_max = self.machine.turbine_limits(head)
 
             # -- turbine side (applied where sell) ----------------------
             p_t = np.where(sell & (p_c >= t_min), np.minimum(p_c, t_max), 0.0)
@@ -175,7 +263,10 @@ class UPHESSimulator(Problem):
 
             # -- pump side (applied where buy) ---------------------------
             p_pump_req = np.where(buy, -p_c, 0.0)
-            pm_min, pm_max = self.machine.pump_limits(head)
+            if out_now:
+                pm_min, pm_max = np.inf, 0.0
+            else:
+                pm_min, pm_max = self.machine.pump_limits(head)
             p_p = np.where(
                 buy & (p_pump_req >= pm_min) & (p_pump_req <= pm_max),
                 p_pump_req,
@@ -194,7 +285,8 @@ class UPHESSimulator(Problem):
             # charged at the imbalance multiple of the same price, plus
             # a flat unsafe-operation penalty on commitments the unit
             # could not serve at all (forbidden zone / tripped).
-            step_price = price[None, :, t]  # (1, S)
+            # (1, S) shared paths, or (B, S) when the override is 3-d.
+            step_price = price[:, :, t] if price.ndim == 3 else price[None, :, t]
             revenue += p_c * dt_h * step_price
             imbalance_cost += (
                 np.abs(p_c - delivered) * dt_h * step_price * mkt.imbalance_multiplier
@@ -220,9 +312,14 @@ class UPHESSimulator(Problem):
             headroom = np.minimum(headroom, np.maximum(sustainable, 0.0))
             shortfall = np.maximum(r_c - headroom, 0.0)
             reserve_shortfall_cost += shortfall * dt_h * mkt.reserve_shortfall_price
+            if components:
+                shortfall_mwh += shortfall * dt_h
 
-            # Groundwater exchange with the pit.
+            # Groundwater exchange with the pit (drought events derate
+            # the exchange through ``inflow_scale``).
             seep = self.groundwater.flow(self.reservoir_low.level(v_low), z_table)
+            if inflow_scale is not None:
+                seep = seep * inflow_scale[t]
             v_low = self.reservoir_low.clamp(v_low + seep * dt_s)
             v_up = self.reservoir_up.clamp(v_up)
 
@@ -243,8 +340,16 @@ class UPHESSimulator(Problem):
         start_cost = cfg.machine.start_cost * n_switch[:, None]
 
         # Terminal valuation of the change in stored (upper) energy.
+        # Stored water is valued at the realized mean price, so a price
+        # override (regime or fleet-coupled) reprices it consistently.
+        if price is self.market.energy_price:
+            mean_price = self.market.mean_price
+        elif price.ndim == 3:
+            mean_price = price.mean(axis=(1, 2))[:, None]  # (B, 1)
+        else:
+            mean_price = float(np.mean(price))
         de_mwh = (v_up - v_up0) * self._mwh_per_m3
-        terminal = cfg.water_value_factor * self.market.mean_price * de_mwh
+        terminal = cfg.water_value_factor * mean_price * de_mwh
 
         profit = (
             revenue
@@ -256,6 +361,21 @@ class UPHESSimulator(Problem):
             - start_cost
         )
         expected = profit.mean(axis=1)  # (B,)
+
+        comps = None
+        if components:
+            # Wear proxies come from the committed schedule (mode
+            # switches and MW ramped across energy blocks); reliability
+            # is the expected undelivered reserve energy.
+            ramp_mw = np.abs(
+                np.diff(X[:, : mkt.n_energy_blocks], axis=1)
+            ).sum(axis=1)
+            comps = {
+                "profit": expected,
+                "mode_switches": n_switch.astype(np.float64),
+                "ramp_mw": ramp_mw,
+                "reserve_shortfall_mwh": shortfall_mwh.mean(axis=1),
+            }
 
         trace = None
         if record:
@@ -280,4 +400,4 @@ class UPHESSimulator(Problem):
                     "start_cost": float(start_cost[0, 0]),
                 },
             )
-        return expected, trace
+        return expected, trace, comps

@@ -1,11 +1,14 @@
 """Random-number-generator plumbing.
 
 Every stochastic component in the library accepts a ``seed`` argument
-that may be ``None``, an ``int``, or a :class:`numpy.random.Generator`.
-:func:`as_generator` normalises it; :func:`spawn_generators` derives
-independent child streams for parallel components, following NumPy's
-``SeedSequence.spawn`` discipline so that results are reproducible
-regardless of execution order.
+that may be ``None``, an ``int``, a :class:`numpy.random.SeedSequence`,
+or a :class:`numpy.random.Generator`. :func:`as_generator` normalises
+it; :func:`spawn_generators` derives independent child streams for
+parallel components, following NumPy's ``SeedSequence.spawn``
+discipline so that results are reproducible regardless of execution
+order. The scenario layer (:mod:`repro.scenarios`) passes spawned
+``SeedSequence`` children directly, so each plant/regime stream has a
+stable lineage independent of construction order.
 """
 
 from __future__ import annotations
@@ -14,22 +17,27 @@ from typing import Union
 
 import numpy as np
 
-RandomState = Union[None, int, np.random.Generator]
+RandomState = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
 
 def as_generator(seed: RandomState = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    Passing a ``Generator`` returns it unchanged (shared stream);
-    an ``int`` gives a fresh deterministic stream; ``None`` gives a
-    fresh OS-entropy stream.
+    Passing a ``Generator`` returns it unchanged (shared stream); an
+    ``int`` gives a fresh deterministic stream; a ``SeedSequence``
+    gives the stream of its spawn lineage (``default_rng(SeedSequence(k))``
+    is bit-identical to ``default_rng(k)``); ``None`` gives a fresh
+    OS-entropy stream.
     """
     if isinstance(seed, np.random.Generator):
         return seed
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
     raise TypeError(
-        f"seed must be None, int, or numpy.random.Generator, got {type(seed).__name__}"
+        "seed must be None, int, numpy.random.SeedSequence, or "
+        f"numpy.random.Generator, got {type(seed).__name__}"
     )
 
 

@@ -3,7 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.experiments import PAPER, QUICK, SMOKE, Preset, get_preset, run_single
+from repro.experiments import (
+    PAPER,
+    QUICK,
+    QUICK_REFIT4,
+    SMOKE,
+    SMOKE_REFIT4,
+    Preset,
+    get_preset,
+    run_single,
+)
 from repro.experiments.runner import initial_design_for, make_problem
 from repro.util import ConfigurationError
 
@@ -39,6 +48,18 @@ class TestPresets:
         assert get_preset("paper") is PAPER
         assert get_preset("QUICK") is QUICK
         assert get_preset("smoke") is SMOKE
+
+    def test_refit_variants_surface_gp_options(self):
+        assert QUICK_REFIT4.gp_options == {"refit_every": 4}
+        assert SMOKE_REFIT4.gp_options == {"refit_every": 4}
+        # Same protocol otherwise: only the refit cadence differs.
+        for refit, base in ((QUICK_REFIT4, QUICK), (SMOKE_REFIT4, SMOKE)):
+            assert refit.budget == base.budget
+            assert refit.batch_sizes == base.batch_sizes
+            assert refit.n_seeds == base.n_seeds
+            assert refit.time_scale == base.time_scale
+        assert get_preset("quick-refit4") is QUICK_REFIT4
+        assert get_preset("smoke-refit4") is SMOKE_REFIT4
 
     def test_unknown(self):
         with pytest.raises(ConfigurationError):

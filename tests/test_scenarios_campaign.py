@@ -1,0 +1,157 @@
+"""The campaign matrix and the ``repro scenarios`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    ScenarioSpec,
+    compact,
+    get_scenario,
+    matrix_markdown,
+    run_cell,
+    run_matrix,
+    save_bench,
+)
+
+
+class TestCompact:
+    def test_reduces_scenario_count_only(self):
+        spec = get_scenario("stress")
+        small = compact(spec, 4)
+        assert small.plants[0].config["n_scenarios"] == 4
+        assert small.n_plants == spec.n_plants
+        assert small.n_regimes == spec.n_regimes
+        assert small.events == spec.events
+        assert small.seed == spec.seed
+
+    def test_compact_round_trips(self):
+        small = compact(get_scenario("paper"), 4)
+        assert ScenarioSpec.from_dict(small.to_dict()) == small
+
+
+class TestRunCell:
+    def test_cell_row_shape(self):
+        row = run_cell(
+            compact(get_scenario("paper"), 4), "random",
+            n_batch=2, n_cycles=2,
+        )
+        assert row["scenario"] == "paper"
+        assert row["algorithm"] == "random"
+        assert row["dim"] == 12
+        assert row["n_cycles"] == 2
+        assert row["n_simulations"] == 2 * 2
+        assert "hypervolume" not in row
+
+    def test_mo_cell_reports_hypervolume(self):
+        row = run_cell(
+            compact(get_scenario("mo"), 4), "mo_bpi",
+            n_batch=2, n_cycles=2, n_initial=8,
+        )
+        assert row["objective"] == "multi"
+        assert row["hypervolume"] >= 0.0
+        assert row["front_size"] >= 1
+
+    def test_cell_is_deterministic(self):
+        spec = compact(get_scenario("seasonal"), 4)
+        a = run_cell(spec, "random", n_cycles=2, seed=5)
+        b = run_cell(spec, "random", n_cycles=2, seed=5)
+        assert a == b
+
+
+class TestRunMatrix:
+    def test_matrix_sweeps_cells(self, tmp_path):
+        result = run_matrix(
+            scenarios=("paper", "mo"),
+            algorithms=("random",),
+            n_batch=2,
+            n_cycles=1,
+            seeds=(0,),
+            n_scenarios=4,
+        )
+        assert [r["scenario"] for r in result["rows"]] == ["paper", "mo"]
+        # The multi-objective cell auto-switches to mo_bpi.
+        assert result["rows"][1]["algorithm"] == "mo_bpi"
+        assert result["preset"]["n_scenarios"] == 4
+
+        table = matrix_markdown(result)
+        assert table.splitlines()[0].startswith("| scenario ")
+        assert len(table.splitlines()) == 2 + len(result["rows"])
+
+        out = tmp_path / "bench.json"
+        save_bench(out, result)
+        archived = json.loads(out.read_text())
+        assert archived["rows"] == result["rows"]
+
+    def test_spec_instances_accepted(self):
+        spec = compact(get_scenario("paper"), 4)
+        result = run_matrix(
+            scenarios=(spec,), algorithms=("random",), n_cycles=1
+        )
+        assert result["rows"][0]["scenario"] == "paper"
+
+
+class TestScenariosCLI:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper", "duo", "seasonal", "stress", "mo"):
+            assert name in out
+        assert "winter-peak" in out
+
+    def test_show_named(self, capsys):
+        assert main(["scenarios", "show", "stress"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == get_scenario("stress").to_dict()
+
+    def test_show_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        spec = compact(get_scenario("paper"), 4)
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["scenarios", "show", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out) == spec.to_dict()
+
+    def test_run_journals_scripted_events(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        code = main([
+            "scenarios", "run", "stress",
+            "--algorithm", "random",
+            "--budget", "40", "--n-batch", "2", "--n-initial", "4",
+            "--n-scenarios", "4", "--quiet",
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario     : stress" in out
+        events = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+        ]
+        kinds = [
+            e["kind"] for e in events
+            if e["event"] == "degradation"
+            and e.get("stage") == "scenario_event"
+        ]
+        assert kinds == ["outage", "drought"]
+
+    def test_run_unknown_scenario_fails(self):
+        from repro.util import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            main(["scenarios", "run", "atlantis"])
+
+    def test_matrix_writes_bench(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scenarios.json"
+        code = main([
+            "scenarios", "matrix",
+            "--scenarios", "paper",
+            "--algorithms", "random",
+            "--n-batch", "2", "--cycles", "1",
+            "--n-scenarios", "4",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "| scenario |" in printed
+        assert json.loads(out.read_text())["rows"]

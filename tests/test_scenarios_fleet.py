@@ -1,0 +1,165 @@
+"""The fleet simulator: reduction, lineage stability, price coupling."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    FleetSimulator,
+    PlantSpec,
+    RegimeSpec,
+    ScenarioSpec,
+    build_problem,
+    get_scenario,
+)
+from repro.uphes import UPHESSimulator
+from repro.util import ConfigurationError
+
+
+def _degenerate(seed=0) -> ScenarioSpec:
+    return ScenarioSpec(
+        plants=(PlantSpec(name="maizeret"),),
+        regimes=(RegimeSpec.named("base"),),
+        seed=seed,
+    )
+
+
+def _batch(problem, n=16, seed=7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(
+        problem.bounds[:, 0], problem.bounds[:, 1], size=(n, problem.dim)
+    )
+
+
+class TestDegenerateReduction:
+    def test_builder_returns_plain_simulator(self):
+        problem = build_problem(_degenerate())
+        assert isinstance(problem, UPHESSimulator)
+        assert not isinstance(problem, FleetSimulator)
+        assert problem.spec == _degenerate()
+
+    def test_bit_identical_to_legacy_path(self):
+        reduced = build_problem(_degenerate(seed=0))
+        legacy = UPHESSimulator(seed=0, sim_time=10.0)
+        X = _batch(legacy)
+        assert np.array_equal(reduced.evaluate(X), legacy.evaluate(X))
+
+    def test_forced_fleet_wrapper_is_passthrough(self):
+        # Even without the reduction shortcut, a degenerate spec's
+        # fleet wrapper must delegate bit-exactly to its single plant.
+        fleet = FleetSimulator(_degenerate(seed=3))
+        inner = fleet._sims[0][0]
+        X = _batch(fleet)
+        assert np.array_equal(fleet.evaluate(X), inner.evaluate(X))
+
+    def test_dict_input_accepted(self):
+        problem = build_problem(_degenerate().to_dict())
+        assert isinstance(problem, UPHESSimulator)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="ScenarioSpec"):
+            build_problem(42)
+
+
+class TestFleetStructure:
+    def test_bounds_stack_per_plant(self):
+        fleet = FleetSimulator(get_scenario("duo"))
+        single = UPHESSimulator(seed=0)
+        assert fleet.dim == 2 * single.dim
+        assert np.array_equal(fleet.bounds[: single.dim], single.bounds)
+
+    def test_split_roundtrips(self):
+        fleet = FleetSimulator(get_scenario("duo"))
+        X = _batch(fleet, n=5)
+        parts = fleet.split(X)
+        assert [p.shape for p in parts] == [(5, 12), (5, 12)]
+        assert np.array_equal(np.hstack(parts), X)
+
+    def test_regime_shares_one_market_object(self):
+        fleet = FleetSimulator(get_scenario("duo"))
+        sims = fleet._sims[0]
+        assert sims[0].market is sims[1].market is fleet.markets[0]
+
+    def test_maximize_orientation_and_name(self):
+        fleet = FleetSimulator(get_scenario("stress"))
+        assert fleet.maximize
+        assert fleet.name == "scenario:stress"
+
+
+class TestLineageStability:
+    def test_build_twice_is_deterministic(self):
+        a = FleetSimulator(get_scenario("stress"))
+        b = FleetSimulator(get_scenario("stress"))
+        X = _batch(a, n=8)
+        assert np.array_equal(a.evaluate(X), b.evaluate(X))
+
+    def test_regime_streams_independent_of_sibling_count(self):
+        # Regime 0's market draw must not depend on how many regimes
+        # follow it in the bundle (SeedSequence.spawn lineage).
+        one = FleetSimulator(_degenerate(seed=5))
+        two = FleetSimulator(
+            ScenarioSpec(
+                plants=(PlantSpec(name="maizeret"),),
+                regimes=(
+                    RegimeSpec.named("base"),
+                    RegimeSpec.named("winter-peak"),
+                ),
+                seed=5,
+            )
+        )
+        assert np.array_equal(
+            one.markets[0].energy_price, two.markets[0].energy_price
+        )
+
+    def test_seed_changes_the_draws(self):
+        a = FleetSimulator(_degenerate(seed=0))
+        b = FleetSimulator(_degenerate(seed=1))
+        assert not np.array_equal(
+            a.markets[0].energy_price, b.markets[0].energy_price
+        )
+
+
+class TestAggregation:
+    def test_worst_is_never_above_mean(self):
+        base = get_scenario("seasonal")
+        mean = FleetSimulator(base)
+        worst = FleetSimulator(
+            ScenarioSpec.from_dict({**base.to_dict(), "aggregate": "worst"})
+        )
+        X = _batch(mean, n=12)
+        assert np.all(worst.evaluate(X) <= mean.evaluate(X) + 1e-9)
+
+    def test_weights_normalized(self):
+        fleet = FleetSimulator(get_scenario("seasonal"))
+        assert fleet._weights.sum() == pytest.approx(1.0)
+        assert fleet._weights[0] == pytest.approx(1.0 / 2.5)
+
+
+class TestPriceCoupling:
+    def test_zero_impact_returns_none(self):
+        fleet = FleetSimulator(get_scenario("seasonal"))
+        parts = fleet.split(_batch(fleet, n=3))
+        assert fleet._coupled_prices(parts, fleet._sims[0]) is None
+
+    def test_injection_depresses_settled_price(self):
+        fleet = FleetSimulator(get_scenario("duo"))
+        X = _batch(fleet, n=4)
+        parts = fleet.split(X)
+        # Force both plants to full turbine commitment everywhere.
+        for part, sim in zip(parts, fleet._sims[0]):
+            blocks = sim.config.market.n_energy_blocks
+            part[:, :blocks] = sim.config.machine.p_turb_max
+        prices = fleet._coupled_prices(parts, fleet._sims[0])
+        base = fleet.markets[0].energy_price[None, :, :]
+        assert np.all(prices[0] <= base + 1e-12)
+        assert prices[0].mean() < base.mean()
+        # Floored at the market's minimum price.
+        assert prices[0].min() >= fleet.markets[0].config.min_price - 1e-12
+
+    def test_coupling_changes_the_objective(self):
+        spec = get_scenario("duo")
+        coupled = FleetSimulator(spec)
+        uncoupled = FleetSimulator(
+            ScenarioSpec.from_dict({**spec.to_dict(), "price_impact": 0.0})
+        )
+        X = _batch(coupled, n=8)
+        assert not np.array_equal(coupled.evaluate(X), uncoupled.evaluate(X))

@@ -1,0 +1,128 @@
+"""Golden-trace reduction: scenario specs are RNG-neutral wrappers.
+
+The acceptance criterion of the scenarios subsystem: optimizing a
+single-plant / zero-event / one-regime spec produces a bit-identical
+trace to the pre-scenario ``UPHESSimulator`` path. The journals are
+compared canonically (measured wall seconds dropped); the *only*
+permitted delta is the ``problem_spec`` key the scenario run journals
+in its ``run_started`` config — everything downstream (initial design,
+every cycle's batch, state snapshots, RNG streams, incumbent) must
+hash identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticTimeModel, make_optimizer, run_optimization
+from repro.resilience import RunJournal, read_events
+from repro.scenarios import build_problem, compact, get_scenario
+from repro.uphes import UPHESSimulator
+
+from test_golden_traces import (
+    FAST,
+    canonical_journal,
+    history_hash,
+    journal_hash,
+)
+
+SEED = 1234
+N_CYCLES = 3
+#: Compact draws keep the suite fast; both runs use the same count.
+N_SCENARIOS = 4
+
+
+def _run(problem, journal_path):
+    optimizer = make_optimizer("turbo", problem, 2, seed=SEED, **FAST)
+    result = run_optimization(
+        problem,
+        optimizer,
+        budget=1e9,
+        n_initial=6,
+        seed=SEED,
+        max_cycles=N_CYCLES,
+        time_model=AnalyticTimeModel(),
+        journal=RunJournal(journal_path, fsync=False),
+    )
+    return result, read_events(journal_path)
+
+
+def _plain_problem():
+    spec = compact(get_scenario("paper"), N_SCENARIOS)
+    return UPHESSimulator(
+        config=spec.plants[0].resolve(), seed=spec.seed,
+        sim_time=spec.sim_time,
+    )
+
+
+def _spec_problem():
+    return build_problem(compact(get_scenario("paper"), N_SCENARIOS))
+
+
+class TestGoldenReduction:
+    def test_degenerate_spec_trace_is_bit_identical(self, tmp_path):
+        res_plain, ev_plain = _run(_plain_problem(), tmp_path / "plain.jsonl")
+        res_spec, ev_spec = _run(_spec_problem(), tmp_path / "spec.jsonl")
+
+        assert history_hash(res_spec) == history_hash(res_plain)
+        assert res_spec.best_value == res_plain.best_value
+        assert np.array_equal(res_spec.best_x, res_plain.best_x)
+
+        # Canonical journals agree modulo the journaled spec itself.
+        can_plain = canonical_journal(ev_plain)
+        can_spec = canonical_journal(ev_spec)
+        assert len(can_plain) == len(can_spec)
+        spec_cfg = dict(can_spec[0])
+        assert spec_cfg.pop("config")["problem_spec"] == (
+            compact(get_scenario("paper"), N_SCENARIOS).to_dict()
+        )
+        plain_cfg = dict(can_plain[0])
+        cfg_a = dict(can_plain[0]["config"])
+        cfg_b = dict(can_spec[0]["config"])
+        cfg_b.pop("problem_spec")
+        assert cfg_a == cfg_b
+        assert plain_cfg.keys() == dict(can_spec[0]).keys()
+        # Every post-config event is byte-identical.
+        assert journal_hash(ev_plain[1:]) == journal_hash(ev_spec[1:])
+
+    def test_spec_rerun_determinism(self, tmp_path):
+        res_a, ev_a = _run(_spec_problem(), tmp_path / "a.jsonl")
+        res_b, ev_b = _run(_spec_problem(), tmp_path / "b.jsonl")
+        assert journal_hash(ev_a) == journal_hash(ev_b)
+        assert history_hash(res_a) == history_hash(res_b)
+
+    def test_uncompacted_paper_spec_reduces_too(self):
+        # Full-size check without a driver run: the builder returns the
+        # plain simulator and its batch evaluations are bit-equal.
+        reduced = build_problem(get_scenario("paper"))
+        legacy = UPHESSimulator(seed=0, sim_time=10.0)
+        assert isinstance(reduced, UPHESSimulator)
+        rng = np.random.default_rng(5)
+        X = rng.uniform(
+            legacy.bounds[:, 0], legacy.bounds[:, 1], size=(8, legacy.dim)
+        )
+        assert np.array_equal(reduced.evaluate(X), legacy.evaluate(X))
+
+    def test_event_free_fleet_wrapper_is_rng_neutral(self):
+        # The wrapper itself (forced, not reduced) must not perturb any
+        # RNG stream: same draws, same values as the inner plant.
+        from repro.scenarios import FleetSimulator
+
+        spec = compact(get_scenario("paper"), N_SCENARIOS)
+        fleet = FleetSimulator(spec)
+        inner = fleet._sims[0][0]
+        rng = np.random.default_rng(6)
+        X = rng.uniform(
+            fleet.bounds[:, 0], fleet.bounds[:, 1], size=(8, fleet.dim)
+        )
+        assert np.array_equal(fleet.evaluate(X), inner.evaluate(X))
+
+
+class TestSpecJournalDelta:
+    def test_problem_spec_is_the_only_config_delta(self, tmp_path):
+        _, ev_plain = _run(_plain_problem(), tmp_path / "p.jsonl")
+        _, ev_spec = _run(_spec_problem(), tmp_path / "s.jsonl")
+        cfg_plain = ev_plain[0]["config"]
+        cfg_spec = dict(ev_spec[0]["config"])
+        assert set(cfg_spec) - set(cfg_plain) == {"problem_spec"}
+        cfg_spec.pop("problem_spec")
+        assert cfg_spec == cfg_plain

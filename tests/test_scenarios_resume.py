@@ -1,0 +1,139 @@
+"""Kill-and-resume equivalence over scenario-bundle objectives.
+
+The satellite acceptance for the SeedSequence lineage: a journaled run
+on a regime-bundle workload, killed mid-flight, resumes *without being
+handed the problem object* — the journaled ``problem_spec`` rebuilds
+the exact fleet (markets, groundwater tables, event masks) and the
+continued run reaches bit-for-bit the uninterrupted incumbent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticTimeModel, make_optimizer, run_optimization
+from repro.resilience import RunJournal, read_events, resume_run
+from repro.resilience.resume import rebuild_problem
+from repro.scenarios import (
+    FleetSimulator,
+    MultiObjectiveProblem,
+    build_problem,
+    compact,
+    get_scenario,
+)
+from repro.uphes import UPHESSimulator
+
+FAST = {
+    "acq_options": {"n_restarts": 2, "raw_samples": 32, "maxiter": 15,
+                    "n_mc": 32},
+    "gp_options": {"n_restarts": 0, "maxiter": 20},
+}
+SEED = 3
+BUDGET = 80.0
+
+
+class KillSwitch:
+    """Problem wrapper raising once after ``n_calls`` evaluations."""
+
+    def __init__(self, inner, n_calls):
+        self.inner = inner
+        self.n_calls = n_calls
+        self.calls = 0
+
+    def __call__(self, X):
+        self.calls += np.atleast_2d(X).shape[0]
+        if self.calls > self.n_calls:
+            raise KeyboardInterrupt("simulated kill")
+        return self.inner(X)
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def _spec():
+    return compact(get_scenario("seasonal"), 4)
+
+
+def _run(problem, journal=None):
+    optimizer = make_optimizer("turbo", problem, 2, seed=SEED, **FAST)
+    return run_optimization(
+        problem,
+        optimizer,
+        BUDGET,
+        n_initial=8,
+        seed=SEED,
+        time_model=AnalyticTimeModel(),
+        journal=journal,
+    )
+
+
+class TestScenarioKillAndResume:
+    def test_resume_rebuilds_fleet_from_journaled_spec(self, tmp_path):
+        reference = _run(build_problem(_spec()))
+
+        path = tmp_path / "run.jsonl"
+        killer = KillSwitch(build_problem(_spec()), 12)
+        with pytest.raises(KeyboardInterrupt):
+            _run(killer, journal=RunJournal(path, fsync=False))
+
+        # No problem handed over: the journal's problem_spec is the
+        # only way resume can know what to rebuild.
+        resumed = resume_run(path, fsync=False, optimizer_kwargs=FAST)
+        assert resumed.best_value == reference.best_value
+        assert np.array_equal(resumed.best_x, reference.best_x)
+        assert resumed.n_cycles == reference.n_cycles
+        assert [(r.cycle, r.best_value) for r in resumed.history] == [
+            (r.cycle, r.best_value) for r in reference.history
+        ]
+
+    def test_journal_records_the_spec(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _run(build_problem(_spec()), journal=RunJournal(path, fsync=False))
+        events = read_events(path)
+        config = events[0]["config"]
+        assert config["problem_spec"] == _spec().to_dict()
+
+    def test_plain_runs_have_no_spec_key(self, tmp_path):
+        from repro.problems import get_benchmark
+
+        path = tmp_path / "run.jsonl"
+        problem = get_benchmark("sphere", dim=3, sim_time=10.0)
+        _run(problem, journal=RunJournal(path, fsync=False))
+        assert "problem_spec" not in read_events(path)[0]["config"]
+
+
+class TestRebuildProblem:
+    def test_spec_takes_precedence(self):
+        spec = get_scenario("stress")
+        config = {
+            "problem": "scenario:stress",
+            "sim_time": 10.0,
+            "problem_spec": spec.to_dict(),
+        }
+        problem = rebuild_problem(config)
+        assert isinstance(problem, FleetSimulator)
+        assert problem.spec == spec
+
+    def test_degenerate_spec_rebuilds_plain_simulator(self):
+        spec = get_scenario("paper")
+        problem = rebuild_problem({"problem_spec": spec.to_dict()})
+        assert isinstance(problem, UPHESSimulator)
+        assert problem.spec == spec
+
+    def test_multi_spec_rebuilds_mo_problem(self):
+        spec = get_scenario("mo")
+        problem = rebuild_problem({"problem_spec": spec.to_dict()})
+        assert isinstance(problem, MultiObjectiveProblem)
+
+    def test_rebuild_is_bit_deterministic(self):
+        spec = compact(get_scenario("stress"), 4)
+        a = rebuild_problem({"problem_spec": spec.to_dict()})
+        b = rebuild_problem({"problem_spec": spec.to_dict()})
+        rng = np.random.default_rng(0)
+        X = rng.uniform(a.bounds[:, 0], a.bounds[:, 1], size=(6, a.dim))
+        assert np.array_equal(a.evaluate(X), b.evaluate(X))
+
+    def test_by_name_path_still_works(self):
+        problem = rebuild_problem(
+            {"problem": "sphere", "sim_time": 10.0, "dim": 3}
+        )
+        assert problem.dim == 3

@@ -1,0 +1,245 @@
+"""Validation and serialization of the scenario spec layer.
+
+Satellite coverage for the workload family's config edge cases:
+zero-machine fleets, degenerate reservoir bounds, overlapping outage
+windows, and byte-stable JSON round trips.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    REGIMES,
+    EventSpec,
+    PlantSpec,
+    RegimeSpec,
+    ScenarioSpec,
+    apply_overrides,
+    get_scenario,
+    regime_names,
+    scenario_names,
+)
+from repro.uphes.config import UPHESConfig
+from repro.util import ConfigurationError
+
+
+def _single(**kwargs) -> ScenarioSpec:
+    """A minimal valid one-plant spec with field overrides."""
+    defaults = dict(
+        plants=(PlantSpec(name="maizeret"),),
+        regimes=(RegimeSpec.named("base"),),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestApplyOverrides:
+    def test_nested_replace(self):
+        cfg = apply_overrides(
+            UPHESConfig(), {"machine": {"p_turb_max": 9.5}}
+        )
+        assert cfg.machine.p_turb_max == 9.5
+        # Untouched siblings keep the paper values.
+        assert cfg.machine.p_pump_max == UPHESConfig().machine.p_pump_max
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            apply_overrides(UPHESConfig(), {"not_a_field": 1})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            apply_overrides(UPHESConfig(), {"upper": {"v_min": 0.0}})
+
+    def test_degenerate_reservoir_bounds_fail_loudly(self):
+        # The replaced dataclass re-runs its own validation.
+        with pytest.raises(ConfigurationError, match="> 0"):
+            apply_overrides(UPHESConfig(), {"upper": {"v_max": 0.0}})
+
+    def test_empty_overrides_identity(self):
+        base = UPHESConfig()
+        assert apply_overrides(base, {}) is base
+
+
+class TestFleetValidation:
+    def test_zero_machine_fleet_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one plant"):
+            ScenarioSpec(plants=(), regimes=(RegimeSpec.named("base"),))
+
+    def test_zero_regimes_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one regime"):
+            ScenarioSpec(plants=(PlantSpec(name="a"),), regimes=())
+
+    def test_duplicate_plant_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate plant"):
+            ScenarioSpec(
+                plants=(PlantSpec(name="a"), PlantSpec(name="a")),
+                regimes=(RegimeSpec.named("base"),),
+            )
+
+    def test_duplicate_regime_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate regime"):
+            _single(
+                regimes=(RegimeSpec.named("base"), RegimeSpec.named("base"))
+            )
+
+    def test_plant_market_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="market"):
+            PlantSpec(name="a", config={"market": {"price_base": 99.0}})
+
+    def test_degenerate_plant_geometry_rejected(self):
+        with pytest.raises(ConfigurationError, match="> 0"):
+            _single(
+                plants=(
+                    PlantSpec(name="a", config={"lower": {"v_max": 0.0}}),
+                )
+            )
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(ConfigurationError, match="share horizon"):
+            ScenarioSpec(
+                plants=(
+                    PlantSpec(name="a"),
+                    PlantSpec(name="b", config={"dt_hours": 0.5}),
+                ),
+                regimes=(RegimeSpec.named("base"),),
+            )
+
+    def test_bad_regime_market_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            _single(
+                regimes=(RegimeSpec(name="x", market={"nope": 1.0}),)
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"price_impact": -0.1},
+            {"aggregate": "median"},
+            {"objective": "tri"},
+            {"sim_time": 0.0},
+        ],
+    )
+    def test_scalar_field_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            _single(**kwargs)
+
+
+class TestEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            EventSpec(kind="flood")
+
+    def test_empty_window(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            EventSpec(kind="outage", start_hour=6.0, end_hour=6.0)
+
+    def test_negative_start(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            EventSpec(kind="outage", start_hour=-1.0, end_hour=2.0)
+
+    def test_magnitude_range(self):
+        with pytest.raises(ConfigurationError, match="magnitude"):
+            EventSpec(kind="drought", magnitude=1.5)
+
+    def test_unknown_plant_reference(self):
+        with pytest.raises(ConfigurationError, match="unknown plant"):
+            _single(events=(EventSpec(kind="outage", plant="ghost"),))
+
+    def test_window_beyond_horizon(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            _single(
+                events=(
+                    EventSpec(kind="outage", start_hour=25.0, end_hour=26.0),
+                )
+            )
+
+    def test_overlapping_outage_windows_are_legal(self):
+        spec = _single(
+            events=(
+                EventSpec(kind="outage", start_hour=6.0, end_hour=12.0),
+                EventSpec(kind="outage", start_hour=10.0, end_hour=14.0),
+                EventSpec(kind="drought", start_hour=8.0, end_hour=16.0,
+                          magnitude=0.5),
+            )
+        )
+        assert len(spec.events) == 3
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", ["paper", "duo", "seasonal", "stress",
+                                      "mo"])
+    def test_json_round_trip_byte_stable(self, name):
+        spec = get_scenario(name)
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_json() == spec.to_json()
+        # And through an actual JSON encode/decode cycle.
+        again = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+        assert again.to_json() == spec.to_json()
+
+    def test_to_json_is_canonical(self):
+        spec = _single()
+        assert spec.to_json() == json.dumps(spec.to_dict(), sort_keys=True)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = _single().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            ScenarioSpec.from_dict([1, 2, 3])
+
+    def test_lists_coerced_to_tuples(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "plants": [{"name": "a"}],
+                "regimes": [{"name": "base"}],
+                "events": [
+                    {"kind": "outage", "start_hour": 1.0, "end_hour": 2.0}
+                ],
+            }
+        )
+        assert isinstance(spec.plants, tuple)
+        assert isinstance(spec.regimes, tuple)
+        assert isinstance(spec.events, tuple)
+
+
+class TestRegistries:
+    def test_regime_registry(self):
+        assert "base" in REGIMES and REGIMES["base"] == {}
+        assert regime_names() == sorted(REGIMES)
+        with pytest.raises(ConfigurationError, match="unknown regime"):
+            RegimeSpec.named("monsoon")
+
+    def test_regime_weight_positive(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            RegimeSpec(name="base", weight=0.0)
+
+    def test_scenario_library(self):
+        assert scenario_names() == sorted(
+            ["paper", "duo", "seasonal", "stress", "mo"]
+        )
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("nope")
+        # Factories return fresh, valid instances each call.
+        assert get_scenario("paper") == get_scenario("paper")
+        assert get_scenario("paper") is not get_scenario("paper")
+
+
+class TestDegeneracy:
+    def test_paper_spec_is_degenerate(self):
+        assert get_scenario("paper").is_degenerate()
+
+    @pytest.mark.parametrize("name", ["duo", "seasonal", "stress", "mo"])
+    def test_structured_specs_are_not(self, name):
+        assert not get_scenario(name).is_degenerate()
+
+    def test_market_override_breaks_degeneracy(self):
+        spec = _single(regimes=(RegimeSpec.named("winter-peak"),))
+        assert not spec.is_degenerate()
+
+    def test_price_impact_breaks_degeneracy(self):
+        assert not _single(price_impact=0.1).is_degenerate()
